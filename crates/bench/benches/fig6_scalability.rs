@@ -1,0 +1,30 @@
+//! Figure 6 regeneration bench: the full pipeline across cluster sizes.
+//! (The figure's simulated-minutes series comes from `repro fig6`; this
+//! bench tracks the real wall cost of producing one point.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrinv::{invert, InversionConfig};
+use mrinv_bench::experiments::medium_cluster;
+use mrinv_bench::suite::SuiteMatrix;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_scalability");
+    group.sample_size(10);
+    let m5 = SuiteMatrix::by_name("M5").unwrap();
+    let scale = 64; // n = 256 for bench speed
+    let a = m5.generate(scale);
+    let cfg = InversionConfig::with_nb(m5.nb(scale));
+    for &m0 in &[1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("invert", m0), &m0, |b, &m0| {
+            b.iter(|| {
+                let cluster = medium_cluster(m0, scale);
+                invert(&cluster, black_box(&a), &cfg).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

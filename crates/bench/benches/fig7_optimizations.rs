@@ -1,0 +1,38 @@
+//! Figure 7 regeneration bench: the pipeline with each Section 6
+//! optimization disabled in turn (real wall time; the simulated-time
+//! ratios come from `repro fig7`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrinv::{invert, InversionConfig, Optimizations};
+use mrinv_bench::experiments::medium_cluster;
+use mrinv_bench::suite::SuiteMatrix;
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_optimizations");
+    group.sample_size(10);
+    let m5 = SuiteMatrix::by_name("M5").unwrap();
+    let scale = 64;
+    let a = m5.generate(scale);
+    let nb = m5.nb(scale);
+    let variants: [(&str, fn(&mut Optimizations)); 4] = [
+        ("all_optimizations", |_| {}),
+        ("no_separate_files", |o| o.separate_intermediate_files = false),
+        ("no_block_wrap", |o| o.block_wrap = false),
+        ("no_transposed_u", |o| o.transpose_u = false),
+    ];
+    for (name, mutate) in variants {
+        let mut cfg = InversionConfig::with_nb(nb);
+        mutate(&mut cfg.opts);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let cluster = medium_cluster(4, scale);
+                invert(&cluster, black_box(&a), &cfg).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

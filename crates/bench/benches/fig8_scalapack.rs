@@ -1,0 +1,36 @@
+//! Figure 8 regeneration bench: our pipeline vs the ScaLAPACK-style
+//! baseline on the same input (real wall time; the simulated-time ratio
+//! series comes from `repro fig8`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrinv::{invert, InversionConfig};
+use mrinv_bench::experiments::{extrapolated_cost, medium_cluster};
+use mrinv_bench::suite::SuiteMatrix;
+use mrinv_scalapack::ScalapackConfig;
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_scalapack");
+    group.sample_size(10);
+    let m5 = SuiteMatrix::by_name("M5").unwrap();
+    let scale = 64;
+    let a = m5.generate(scale);
+    let cfg = InversionConfig::with_nb(m5.nb(scale));
+    group.bench_function("ours_mapreduce_m0_4", |b| {
+        b.iter(|| {
+            let cluster = medium_cluster(4, scale);
+            invert(&cluster, black_box(&a), &cfg).unwrap()
+        })
+    });
+    group.bench_function("scalapack_baseline_m0_4", |b| {
+        let cost = extrapolated_cost(scale);
+        b.iter(|| {
+            mrinv_scalapack::invert(black_box(&a), 4, &cost, &ScalapackConfig { block_size: 8 })
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! LU decomposition kernels: single-node Algorithm 1 vs the in-memory
+//! block method (Algorithm 2) vs the blocked ScaLAPACK-style PDGETRF.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrinv::inmem::block_lu;
+use mrinv_matrix::lu::lu_decompose;
+use mrinv_matrix::random::random_invertible;
+use mrinv_scalapack::grid::ProcessGrid;
+use mrinv_scalapack::pdgetrf::pdgetrf;
+use std::hint::black_box;
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu_kernels");
+    group.sample_size(10);
+    for &n in &[128usize, 320] {
+        let a = random_invertible(n, n as u64);
+        group.bench_with_input(BenchmarkId::new("algorithm1_single_node", n), &n, |b, _| {
+            b.iter(|| lu_decompose(black_box(&a)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm2_block_nb32", n), &n, |b, _| {
+            b.iter(|| block_lu(black_box(&a), 32).unwrap())
+        });
+        let grid = ProcessGrid::new(4, 32);
+        group.bench_with_input(BenchmarkId::new("pdgetrf_blocked", n), &n, |b, _| {
+            b.iter(|| pdgetrf(black_box(&a), &grid).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lu);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Kernel-level ablation for the Section 6.3 claim: transposed-B storage
+//! speeds multiplication 2-3x over the naive row-major x row-major layout.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrinv_matrix::multiply::{mul_blocked, mul_ijk, mul_naive, mul_parallel_transposed, mul_transposed};
+use mrinv_matrix::random::random_matrix;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_kernels");
+    group.sample_size(10);
+    for &n in &[128usize, 384] {
+        let a = random_matrix(n, n, 1);
+        let b = random_matrix(n, n, 2);
+        let b_t = b.transpose();
+        group.bench_with_input(BenchmarkId::new("eq7_column_stride", n), &n, |bench, _| {
+            bench.iter(|| mul_ijk(black_box(&a), black_box(&b)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("ikj_row_major", n), &n, |bench, _| {
+            bench.iter(|| mul_naive(black_box(&a), black_box(&b)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("transposed_sec63", n), &n, |bench, _| {
+            bench.iter(|| mul_transposed(black_box(&a), black_box(&b_t)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_t64", n), &n, |bench, _| {
+            bench.iter(|| mul_blocked(black_box(&a), black_box(&b), 64).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_transposed", n), &n, |bench, _| {
+            bench.iter(|| mul_parallel_transposed(black_box(&a), black_box(&b_t)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

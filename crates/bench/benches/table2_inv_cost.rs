@@ -1,0 +1,29 @@
+//! Table 2 regeneration bench: real wall time of the full inversion (the
+//! final triangular-inversion job dominates over the LU stage at small
+//! orders); the full theory-vs-measured table comes from `repro table2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrinv::{invert, InversionConfig};
+use mrinv_bench::experiments::medium_cluster;
+use mrinv_matrix::random::random_well_conditioned;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_inv_cost");
+    group.sample_size(10);
+    let n = 256;
+    let a = random_well_conditioned(n, 106);
+    let cfg = InversionConfig::with_nb(64);
+    for &m0 in &[4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("full_inversion", m0), &m0, |b, &m0| {
+            b.iter(|| {
+                let cluster = medium_cluster(m0, 64);
+                invert(&cluster, black_box(&a), &cfg).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

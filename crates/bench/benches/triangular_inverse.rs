@@ -1,0 +1,35 @@
+//! Triangular inversion kernels (Equation 4): per-column mapper kernel and
+//! whole-matrix inverses, row-major vs transposed upper storage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrinv_matrix::random::{random_unit_lower, random_upper};
+use mrinv_matrix::triangular::{
+    invert_lower, invert_lower_column, invert_upper, invert_upper_transposed,
+};
+use std::hint::black_box;
+
+fn bench_triangular(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triangular_inverse");
+    group.sample_size(10);
+    for &n in &[256usize, 512] {
+        let l = random_unit_lower(n, 1);
+        let u = random_upper(n, 2);
+        let u_t = u.transpose();
+        group.bench_with_input(BenchmarkId::new("lower_full", n), &n, |b, _| {
+            b.iter(|| invert_lower(black_box(&l)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lower_one_column", n), &n, |b, _| {
+            b.iter(|| invert_lower_column(black_box(&l), 0).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("upper_row_major", n), &n, |b, _| {
+            b.iter(|| invert_upper(black_box(&u)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("upper_transposed_storage", n), &n, |b, _| {
+            b.iter(|| invert_upper_transposed(black_box(&u_t)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_triangular);
+criterion_main!(benches);

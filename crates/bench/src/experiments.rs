@@ -1,0 +1,716 @@
+//! The experiment implementations behind the `repro` subcommands.
+//!
+//! # Extrapolated pricing
+//!
+//! Experiments run the suite at a power-of-two `scale` divisor (orders and
+//! `nb` divided by `scale`), which preserves the pipeline structure
+//! exactly. To report times comparable to the paper's full-scale EC2 runs,
+//! the cost model is *extrapolated*: measured task CPU is multiplied by
+//! `scale³` (arithmetic is cubic in the order) and effective bandwidths
+//! divided by `scale²` (I/O is quadratic), on top of the 2007-era EC2
+//! calibration. Job-launch overhead is scale-free, as in reality. The
+//! same model prices both systems, so every ratio and crossover is
+//! apples-to-apples.
+
+use mrinv::config::InversionConfig;
+use mrinv::partition::{ingest_input, run_partition_job, PartitionPlan};
+use mrinv::schedule;
+use mrinv::theory;
+use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel, Phase, Pipeline};
+use mrinv_matrix::norms::inversion_residual;
+use mrinv_matrix::Matrix;
+use mrinv_scalapack::{ScalapackConfig, ScalapackRun};
+
+use crate::suite::{SuiteMatrix, SUITE};
+
+/// The EC2-medium cost model extrapolated from `scale`-reduced matrices to
+/// paper-scale behavior.
+pub fn extrapolated_cost(scale: usize) -> CostModel {
+    let s = scale as f64;
+    let base = CostModel::ec2_medium();
+    CostModel {
+        compute_scale: base.compute_scale * s * s * s,
+        master_compute_scale: base.master_compute_scale * s * s * s,
+        codec_scale: base.codec_scale * s * s,
+        disk_read_bw: base.disk_read_bw / (s * s),
+        disk_write_bw: base.disk_write_bw / (s * s),
+        net_bw: base.net_bw / (s * s),
+        ..base
+    }
+}
+
+/// The EC2-large variant (Section 7.4's second cluster shape).
+pub fn extrapolated_cost_large(scale: usize) -> CostModel {
+    let s = scale as f64;
+    let base = CostModel::ec2_large();
+    CostModel {
+        compute_scale: base.compute_scale * s * s * s,
+        master_compute_scale: base.master_compute_scale * s * s * s,
+        codec_scale: base.codec_scale * s * s,
+        disk_read_bw: base.disk_read_bw / (s * s),
+        disk_write_bw: base.disk_write_bw / (s * s),
+        net_bw: base.net_bw / (s * s),
+        ..base
+    }
+}
+
+/// Builds a medium cluster of `m0` nodes with extrapolated pricing.
+pub fn medium_cluster(m0: usize, scale: usize) -> Cluster {
+    let mut cfg = ClusterConfig::medium(m0);
+    cfg.cost = extrapolated_cost(scale);
+    Cluster::new(cfg)
+}
+
+/// Builds a large-instance cluster (2 cores, 2 slots per node).
+pub fn large_cluster(m0: usize, scale: usize) -> Cluster {
+    let mut cfg = ClusterConfig::large(m0);
+    cfg.cost = extrapolated_cost_large(scale);
+    Cluster::new(cfg)
+}
+
+/// Stage-separated accounting of one inversion.
+#[derive(Debug, Clone)]
+pub struct StagedRun {
+    /// Matrix order (at scale).
+    pub n: usize,
+    /// Cluster size.
+    pub m0: usize,
+    /// Simulated seconds of partition + LU pipeline.
+    pub lu_secs: f64,
+    /// DFS bytes written during partition + LU.
+    pub lu_bytes_written: u64,
+    /// DFS bytes read during partition + LU.
+    pub lu_bytes_read: u64,
+    /// Simulated seconds of the final inversion job.
+    pub inv_secs: f64,
+    /// DFS bytes written during the final job.
+    pub inv_bytes_written: u64,
+    /// DFS bytes read during the final job.
+    pub inv_bytes_read: u64,
+    /// Total simulated seconds.
+    pub total_secs: f64,
+    /// MapReduce jobs executed.
+    pub jobs: u64,
+    /// Failed task attempts.
+    pub failures: u64,
+    /// The computed inverse.
+    pub inverse: Matrix,
+}
+
+/// Runs the full pipeline with per-stage DFS/byte accounting.
+pub fn staged_invert(cluster: &Cluster, a: &Matrix, cfg: &InversionConfig) -> StagedRun {
+    let n = a.rows();
+    let plan = PartitionPlan::new(
+        n,
+        cluster,
+        cfg,
+        format!("bench/{}", cluster.dfs.file_count()),
+    );
+    ingest_input(cluster, a, &plan).expect("ingest");
+
+    let m_before = cluster.metrics.snapshot();
+    let d_before = cluster.dfs.counters();
+
+    let mut pipeline = Pipeline::new();
+    let (tree, partition_report) = run_partition_job(cluster, &plan).expect("partition");
+    pipeline.push(partition_report);
+    let factors = mrinv::lu_mr::lu_decompose_mr(
+        cluster,
+        mrinv::lu_mr::BlockView::Tree(tree),
+        &plan,
+        &cfg.opts,
+        &mut pipeline,
+    )
+    .expect("lu pipeline");
+
+    let m_mid = cluster.metrics.snapshot();
+    let d_mid = cluster.dfs.counters();
+
+    let inverse =
+        mrinv::tri_inv_mr::invert_factors_mr(cluster, &factors, &plan, &cfg.opts, &mut pipeline)
+            .expect("final job");
+
+    let m_after = cluster.metrics.snapshot();
+    let d_after = cluster.dfs.counters();
+
+    StagedRun {
+        n,
+        m0: cluster.nodes(),
+        lu_secs: m_mid.sim_secs - m_before.sim_secs,
+        lu_bytes_written: d_mid.bytes_written - d_before.bytes_written,
+        lu_bytes_read: d_mid.bytes_read - d_before.bytes_read,
+        inv_secs: m_after.sim_secs - m_mid.sim_secs,
+        inv_bytes_written: d_after.bytes_written - d_mid.bytes_written,
+        inv_bytes_read: d_after.bytes_read - d_mid.bytes_read,
+        total_secs: m_after.sim_secs - m_before.sim_secs,
+        jobs: m_after.jobs - m_before.jobs,
+        failures: m_after.task_failures - m_before.task_failures,
+        inverse,
+    }
+}
+
+/// Convenience wrapper: full optimized inversion, returning only the
+/// staged accounting.
+pub fn run_suite_matrix(m: &SuiteMatrix, scale: usize, m0: usize) -> StagedRun {
+    let cluster = medium_cluster(m0, scale);
+    let a = m.generate(scale);
+    let cfg = InversionConfig::with_nb(m.nb(scale));
+    staged_invert(&cluster, &a, &cfg)
+}
+
+/// Number of repetitions used to de-noise measured-CPU-based simulated
+/// times (the minimum over repeats is reported, the usual treatment for
+/// timing noise on a shared machine).
+pub const TIMING_REPEATS: usize = 3;
+
+/// Minimum simulated seconds over [`TIMING_REPEATS`] runs of `f`.
+pub fn min_sim_secs(mut f: impl FnMut() -> f64) -> f64 {
+    (0..TIMING_REPEATS).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+/// One Table 1 / Table 2 comparison row.
+#[derive(Debug, Clone)]
+pub struct CostComparisonRow {
+    /// Cluster size.
+    pub m0: usize,
+    /// Theoretical element count (ours).
+    pub theory_writes: f64,
+    /// Measured elements written.
+    pub measured_writes: f64,
+    /// Theoretical element reads (ours).
+    pub theory_reads: f64,
+    /// Measured elements read.
+    pub measured_reads: f64,
+    /// ScaLAPACK transfer per the paper's model (elements).
+    pub scalapack_transfer: f64,
+}
+
+/// Table 1: LU-stage I/O, theory vs measured, vs the ScaLAPACK model.
+pub fn table1(n_matrix: &SuiteMatrix, scale: usize, m0s: &[usize]) -> Vec<CostComparisonRow> {
+    m0s.iter()
+        .map(|&m0| {
+            let run = run_suite_matrix(n_matrix, scale, m0);
+            let n = run.n;
+            let ours = theory::table1_ours(n, m0);
+            let scal = theory::table1_scalapack(n, m0);
+            CostComparisonRow {
+                m0,
+                theory_writes: ours.writes,
+                measured_writes: run.lu_bytes_written as f64 / 8.0,
+                theory_reads: ours.reads,
+                measured_reads: run.lu_bytes_read as f64 / 8.0,
+                scalapack_transfer: scal.transfer,
+            }
+        })
+        .collect()
+}
+
+/// Table 2: final-stage I/O, theory vs measured, vs the ScaLAPACK model.
+pub fn table2(n_matrix: &SuiteMatrix, scale: usize, m0s: &[usize]) -> Vec<CostComparisonRow> {
+    m0s.iter()
+        .map(|&m0| {
+            let run = run_suite_matrix(n_matrix, scale, m0);
+            let n = run.n;
+            let ours = theory::table2_ours(n, m0);
+            let scal = theory::table2_scalapack(n, m0);
+            CostComparisonRow {
+                m0,
+                theory_writes: ours.writes,
+                measured_writes: run.inv_bytes_written as f64 / 8.0,
+                theory_reads: ours.reads,
+                measured_reads: run.inv_bytes_read as f64 / 8.0,
+                scalapack_transfer: scal.transfer,
+            }
+        })
+        .collect()
+}
+
+/// One Figure 6 data point.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Matrix name.
+    pub name: &'static str,
+    /// Node count.
+    pub m0: usize,
+    /// Simulated running time, minutes (the paper's Figure 6 axis).
+    pub minutes: f64,
+}
+
+/// Figure 6: strong scalability of M1–M3 across node counts.
+pub fn fig6(scale: usize, node_counts: &[usize]) -> Vec<ScalingPoint> {
+    let mut out = Vec::new();
+    for m in SUITE.iter().filter(|m| matches!(m.name, "M1" | "M2" | "M3")) {
+        for &m0 in node_counts {
+            let secs = min_sim_secs(|| run_suite_matrix(m, scale, m0).total_secs);
+            out.push(ScalingPoint { name: m.name, m0, minutes: secs / 60.0 });
+        }
+    }
+    out
+}
+
+/// One Figure 7 ablation row.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Node count.
+    pub m0: usize,
+    /// `T_unopt / T_opt` with intermediate-file combining re-enabled
+    /// (Section 6.1 off).
+    pub separate_files_ratio: f64,
+    /// `T_unopt / T_opt` with block wrap disabled (Section 6.2 off).
+    pub block_wrap_ratio: f64,
+    /// `T_unopt / T_opt` with transposed-U storage disabled
+    /// (Section 6.3 off).
+    pub transpose_ratio: f64,
+}
+
+/// Figure 7: per-optimization ablations on M5.
+pub fn fig7(scale: usize, node_counts: &[usize]) -> Vec<AblationRow> {
+    let m5 = SuiteMatrix::by_name("M5").unwrap();
+    node_counts
+        .iter()
+        .map(|&m0| {
+            let base = min_sim_secs(|| run_suite_matrix(&m5, scale, m0).total_secs);
+            let time_with = |mutate: fn(&mut mrinv::Optimizations)| {
+                min_sim_secs(|| {
+                    let cluster = medium_cluster(m0, scale);
+                    let a = m5.generate(scale);
+                    let mut cfg = InversionConfig::with_nb(m5.nb(scale));
+                    mutate(&mut cfg.opts);
+                    staged_invert(&cluster, &a, &cfg).total_secs
+                })
+            };
+            AblationRow {
+                m0,
+                separate_files_ratio: time_with(|o| o.separate_intermediate_files = false) / base,
+                block_wrap_ratio: time_with(|o| o.block_wrap = false) / base,
+                transpose_ratio: time_with(|o| o.transpose_u = false) / base,
+            }
+        })
+        .collect()
+}
+
+/// One Figure 8 data point.
+#[derive(Debug, Clone)]
+pub struct VersusPoint {
+    /// Matrix name.
+    pub name: &'static str,
+    /// Node count.
+    pub m0: usize,
+    /// `T_scalapack / T_ours` (above 1.0 = we win).
+    pub ratio: f64,
+    /// Our simulated minutes.
+    pub ours_minutes: f64,
+    /// ScaLAPACK's simulated minutes.
+    pub scalapack_minutes: f64,
+}
+
+/// Runs the ScaLAPACK baseline on a suite matrix with extrapolated
+/// pricing.
+pub fn run_scalapack(m: &SuiteMatrix, scale: usize, m0: usize, large: bool) -> ScalapackRun {
+    let a = m.generate(scale);
+    let cost = if large { extrapolated_cost_large(scale) } else { extrapolated_cost(scale) };
+    let block = (128 / scale).max(4);
+    mrinv_scalapack::invert(&a, m0, &cost, &ScalapackConfig { block_size: block })
+        .expect("scalapack inversion")
+}
+
+/// Figure 8: ratio of ScaLAPACK to our running time for M1–M3.
+pub fn fig8(scale: usize, node_counts: &[usize]) -> Vec<VersusPoint> {
+    let mut out = Vec::new();
+    for m in SUITE.iter().filter(|m| matches!(m.name, "M1" | "M2" | "M3")) {
+        for &m0 in node_counts {
+            let ours = min_sim_secs(|| run_suite_matrix(m, scale, m0).total_secs);
+            let scal = min_sim_secs(|| run_scalapack(m, scale, m0, false).report.sim_secs);
+            out.push(VersusPoint {
+                name: m.name,
+                m0,
+                ratio: scal / ours,
+                ours_minutes: ours / 60.0,
+                scalapack_minutes: scal / 60.0,
+            });
+        }
+    }
+    out
+}
+
+/// Section 7.4 / 7.5 outcome for the very large matrix.
+#[derive(Debug, Clone)]
+pub struct LargeMatrixOutcome {
+    /// Label of the run.
+    pub label: String,
+    /// Simulated hours.
+    pub hours: f64,
+    /// Jobs executed.
+    pub jobs: u64,
+    /// Failed task attempts.
+    pub failures: u64,
+}
+
+/// Section 7.4: the very large matrix M4 on both cluster shapes, with and
+/// without an injected mapper failure, plus the Section 7.5 ScaLAPACK
+/// comparison.
+pub fn sec74(scale: usize, with_scalapack: bool) -> Vec<LargeMatrixOutcome> {
+    let m4 = SuiteMatrix::by_name("M4").unwrap();
+    let cfg = InversionConfig::with_nb(m4.nb(scale));
+    let a = m4.generate(scale);
+    let mut out = Vec::new();
+
+    // 128 large instances, clean run (paper: ~5 hours).
+    let cluster = large_cluster(128, scale);
+    let run = staged_invert(&cluster, &a, &cfg);
+    out.push(LargeMatrixOutcome {
+        label: "ours/128-large/clean".into(),
+        hours: run.total_secs / 3600.0,
+        jobs: run.jobs,
+        failures: run.failures,
+    });
+
+    // 128 large instances with one failed triangular-inversion mapper
+    // (paper: ~8 hours). Large instances have two task slots per node, so
+    // with as many tasks as nodes the retry lands on a *free* slot and the
+    // schedule barely stretches — the contrast case.
+    let cluster = large_cluster(128, scale);
+    cluster.faults.fail_task("final-inverse", Phase::Map, 0, 1);
+    let run = staged_invert(&cluster, &a, &cfg);
+    out.push(LargeMatrixOutcome {
+        label: "ours/128-large/mapper-failure".into(),
+        hours: run.total_secs / 3600.0,
+        jobs: run.jobs,
+        failures: run.failures,
+    });
+
+    // 64 medium instances (paper: ~15 hours).
+    let cluster = medium_cluster(64, scale);
+    let run = staged_invert(&cluster, &a, &cfg);
+    out.push(LargeMatrixOutcome {
+        label: "ours/64-medium/clean".into(),
+        hours: run.total_secs / 3600.0,
+        jobs: run.jobs,
+        failures: run.failures,
+    });
+
+    // 64 medium instances with the same mapper failure. Medium instances
+    // have one slot per node and the final job has exactly one task per
+    // slot, so the retried mapper "does not restart until one of the other
+    // mappers finishes" — the paper's Section 7.4 scenario, and the run
+    // visibly stretches.
+    let cluster = medium_cluster(64, scale);
+    cluster.faults.fail_task("final-inverse", Phase::Map, 0, 1);
+    let run = staged_invert(&cluster, &a, &cfg);
+    out.push(LargeMatrixOutcome {
+        label: "ours/64-medium/mapper-failure".into(),
+        hours: run.total_secs / 3600.0,
+        jobs: run.jobs,
+        failures: run.failures,
+    });
+
+    if with_scalapack {
+        // Section 7.5: ScaLAPACK on the same two shapes (paper: 8 h on
+        // large, >48 h on medium).
+        let large = run_scalapack(&m4, scale, 128, true);
+        out.push(LargeMatrixOutcome {
+            label: "scalapack/128-large".into(),
+            hours: large.report.hours,
+            jobs: 0,
+            failures: 0,
+        });
+        let medium = run_scalapack(&m4, scale, 64, false);
+        out.push(LargeMatrixOutcome {
+            label: "scalapack/64-medium".into(),
+            hours: medium.report.hours,
+            jobs: 0,
+            failures: 0,
+        });
+    }
+    out
+}
+
+/// Section 7.2 accuracy check: max |(I − M·M^-1)_ij| for the suite.
+pub fn accuracy(scale: usize, m0: usize) -> Vec<(String, f64)> {
+    SUITE
+        .iter()
+        .filter(|m| matches!(m.name, "M1" | "M2" | "M3" | "M5"))
+        .map(|m| {
+            let a = m.generate(scale);
+            let run = run_suite_matrix(m, scale, m0);
+            let res = inversion_residual(&a, &run.inverse).expect("square");
+            (m.name.to_string(), res)
+        })
+        .collect()
+}
+
+/// Table 3 static row (sizes extrapolate to the paper's scale; the job
+/// count is exact at every scale).
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Matrix name.
+    pub name: &'static str,
+    /// Paper-scale order.
+    pub full_order: usize,
+    /// Elements in billions at paper scale.
+    pub elements_billion: f64,
+    /// Text size in GB at paper scale.
+    pub text_gb: f64,
+    /// Binary size in GB at paper scale.
+    pub binary_gb: f64,
+    /// Number of MapReduce jobs.
+    pub jobs: u64,
+    /// Order actually run at the chosen scale.
+    pub scaled_order: usize,
+}
+
+/// Table 3: the evaluation suite.
+pub fn table3(scale: usize) -> Vec<Table3Row> {
+    SUITE
+        .iter()
+        .map(|m| {
+            let n = m.full_order;
+            Table3Row {
+                name: m.name,
+                full_order: n,
+                elements_billion: m.full_elements_billion(),
+                text_gb: mrinv_matrix::io::text_size_estimate(n, n) as f64 / 1e9 * 0.8,
+                binary_gb: mrinv_matrix::io::binary_size(n, n) as f64 / 1e9,
+                jobs: schedule::total_jobs(m.order(scale), m.nb(scale)),
+                scaled_order: m.order(scale),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extrapolated_cost_scales() {
+        let c1 = extrapolated_cost(1);
+        let c32 = extrapolated_cost(32);
+        assert_eq!(c1.compute_scale, 16.0);
+        assert_eq!(c32.compute_scale, 16.0 * 32.0f64.powi(3));
+        assert_eq!(c32.disk_read_bw, c1.disk_read_bw / 1024.0);
+        assert_eq!(c32.job_launch_secs, c1.job_launch_secs, "launch is scale-free");
+    }
+
+    #[test]
+    fn staged_run_accounts_stages() {
+        let m5 = SuiteMatrix::by_name("M5").unwrap();
+        // Tiny: scale 64 -> n = 256, nb = 50.
+        let run = run_suite_matrix(&m5, 64, 4);
+        assert_eq!(run.n, 256);
+        assert_eq!(run.jobs, 9, "M5 runs 9 jobs at any scale");
+        assert!(run.lu_secs > 0.0 && run.inv_secs > 0.0);
+        assert!(run.lu_bytes_written > 0 && run.inv_bytes_written > 0);
+        assert!((run.total_secs - (run.lu_secs + run.inv_secs)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn table3_is_static_and_exact() {
+        let rows = table3(32);
+        assert_eq!(rows.len(), 5);
+        let jobs: Vec<u64> = rows.iter().map(|r| r.jobs).collect();
+        assert_eq!(jobs, vec![9, 17, 17, 33, 9]);
+        let m4 = &rows[3];
+        assert!((m4.binary_gb - 83.9).abs() < 1.0, "M4 ~80 GB binary");
+    }
+
+    #[test]
+    fn accuracy_below_paper_threshold_small() {
+        // Small smoke version of `repro accuracy`.
+        let m5 = SuiteMatrix::by_name("M5").unwrap();
+        let a = m5.generate(64);
+        let run = run_suite_matrix(&m5, 64, 4);
+        let res = inversion_residual(&a, &run.inverse).unwrap();
+        assert!(res < 1e-5, "residual {res}");
+    }
+}
+
+/// One bound-value sweep point (the Section 5 `nb` tuning discussion:
+/// too small => too many job launches; too large => the serial master-node
+/// LU becomes the bottleneck).
+#[derive(Debug, Clone)]
+pub struct NbSweepPoint {
+    /// Bound value tried.
+    pub nb: usize,
+    /// Jobs the pipeline needed.
+    pub jobs: u64,
+    /// Simulated minutes.
+    pub minutes: f64,
+}
+
+/// Ablation: sweep the bound value `nb` for M5 on a fixed cluster.
+pub fn nb_sweep(scale: usize, m0: usize, nbs: &[usize]) -> Vec<NbSweepPoint> {
+    let m5 = SuiteMatrix::by_name("M5").unwrap();
+    let a = m5.generate(scale);
+    nbs.iter()
+        .map(|&nb| {
+            let secs = min_sim_secs(|| {
+                let cluster = medium_cluster(m0, scale);
+                staged_invert(&cluster, &a, &InversionConfig::with_nb(nb)).total_secs
+            });
+            let run = {
+                let cluster = medium_cluster(m0, scale);
+                staged_invert(&cluster, &a, &InversionConfig::with_nb(nb))
+            };
+            NbSweepPoint { nb, jobs: run.jobs, minutes: secs / 60.0 }
+        })
+        .collect()
+}
+
+/// One Section 8 (future work) projection point: the same pipeline priced
+/// as a Spark-style in-memory dataflow.
+#[derive(Debug, Clone)]
+pub struct SparkPoint {
+    /// Matrix name.
+    pub name: &'static str,
+    /// Node count.
+    pub m0: usize,
+    /// Hadoop-priced simulated minutes (DFS between every job).
+    pub hadoop_minutes: f64,
+    /// Spark-priced simulated minutes (intermediates in memory).
+    pub spark_minutes: f64,
+}
+
+/// Section 8's future-work projection: "implementing our algorithm in
+/// Spark would improve performance by reducing read I/O". The identical
+/// pipeline runs twice; the Spark pricing keeps intermediates in memory
+/// (memory-speed "disk", no replication, cheap job launch), exactly the
+/// deltas the paper attributes to Spark's RDDs.
+pub fn sec8_spark(scale: usize, node_counts: &[usize]) -> Vec<SparkPoint> {
+    let mut out = Vec::new();
+    for m in SUITE.iter().filter(|m| matches!(m.name, "M2" | "M5")) {
+        let a = m.generate(scale);
+        let cfg = InversionConfig::with_nb(m.nb(scale));
+        for &m0 in node_counts {
+            let hadoop = min_sim_secs(|| {
+                let cluster = medium_cluster(m0, scale);
+                staged_invert(&cluster, &a, &cfg).total_secs
+            });
+            let spark = min_sim_secs(|| {
+                let mut ccfg = ClusterConfig::medium(m0);
+                let base = extrapolated_cost(scale);
+                ccfg.cost = CostModel {
+                    // Intermediates live in memory: ~2 GB/s effective
+                    // (scale-adjusted), no replication, 1 s task launch.
+                    disk_read_bw: base.disk_read_bw * 33.0,
+                    disk_write_bw: base.disk_write_bw * 33.0,
+                    replication: 1,
+                    job_launch_secs: 1.0,
+                    ..base
+                };
+                let cluster = Cluster::new(ccfg);
+                staged_invert(&cluster, &a, &cfg).total_secs
+            });
+            out.push(SparkPoint {
+                name: m.name,
+                m0,
+                hadoop_minutes: hadoop / 60.0,
+                spark_minutes: spark / 60.0,
+            });
+        }
+    }
+    out
+}
+
+/// One Section 2 method-comparison row: the executable version of the
+/// paper's "choice of inversion method" discussion.
+#[derive(Debug, Clone)]
+pub struct MethodRow {
+    /// Method name.
+    pub method: &'static str,
+    /// Single-node wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Accuracy: max |I − A·X|.
+    pub residual: f64,
+    /// MapReduce jobs a pipeline port would need (the paper's Section 2
+    /// argument: sequential steps translate to sequential jobs).
+    pub mr_jobs: u64,
+    /// Scope restriction, if any.
+    pub scope: &'static str,
+}
+
+/// Section 2: compare the inversion methods the paper weighs —
+/// Gauss-Jordan, (block) LU, QR via Gram-Schmidt — plus the related-work
+/// Cholesky fast path on an SPD input.
+pub fn section2_methods(n: usize, nb: usize) -> Vec<MethodRow> {
+    use mrinv_matrix::norms::inversion_residual;
+    let a = mrinv_matrix::random::random_well_conditioned(n, 2014);
+    let spd = mrinv_matrix::random::random_spd(n, 2014);
+    let mut out = Vec::new();
+    let mut push = |method: &'static str,
+                    target: &Matrix,
+                    mr_jobs: u64,
+                    scope: &'static str,
+                    f: &dyn Fn() -> Matrix| {
+        let start = std::time::Instant::now();
+        let inv = f();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let residual = inversion_residual(target, &inv).unwrap();
+        out.push(MethodRow { method, wall_ms, residual, mr_jobs, scope });
+    };
+    push(
+        "gauss-jordan",
+        &a,
+        2 * n as u64,
+        "general",
+        &|| mrinv_matrix::gauss_jordan::invert_gauss_jordan(&a).unwrap(),
+    );
+    push(
+        "block-lu (paper)",
+        &a,
+        schedule::total_jobs(n, nb),
+        "general",
+        &|| mrinv::inmem::invert_block(&a, nb).unwrap(),
+    );
+    push("qr (gram-schmidt)", &a, n as u64, "general", &|| {
+        mrinv_matrix::qr::invert_qr(&a).unwrap()
+    });
+    push("cholesky", &spd, n as u64, "SPD only", &|| {
+        mrinv_matrix::cholesky::invert_spd(&spd).unwrap()
+    });
+    out
+}
+
+/// One straggler-mitigation row.
+#[derive(Debug, Clone)]
+pub struct StragglerRow {
+    /// Slow-node speed factor (1.0 = homogeneous).
+    pub slow_factor: f64,
+    /// Simulated minutes with speculative execution off.
+    pub no_speculation_minutes: f64,
+    /// Simulated minutes with speculative execution on.
+    pub speculation_minutes: f64,
+}
+
+/// Heterogeneity ablation: the paper observes high variance between
+/// supposedly identical EC2 instances (Section 7.4) and credits MapReduce
+/// scheduling with keeping workers busy (Section 7.5). This experiment
+/// slows one node of a 16-node cluster by increasing factors and measures
+/// the run with and without Hadoop-style speculative execution.
+pub fn stragglers(scale: usize, slow_factors: &[f64]) -> Vec<StragglerRow> {
+    let m5 = SuiteMatrix::by_name("M5").unwrap();
+    let a = m5.generate(scale);
+    let cfg = InversionConfig::with_nb(m5.nb(scale));
+    slow_factors
+        .iter()
+        .map(|&slow| {
+            let time_with = |speculative: bool| {
+                min_sim_secs(|| {
+                    let mut ccfg = ClusterConfig::medium(16);
+                    ccfg.cost = extrapolated_cost(scale);
+                    let mut speeds = vec![1.0; 16];
+                    speeds[7] = slow;
+                    ccfg.node_speeds = speeds;
+                    ccfg.speculative_execution = speculative;
+                    let cluster = Cluster::new(ccfg);
+                    staged_invert(&cluster, &a, &cfg).total_secs
+                })
+            };
+            StragglerRow {
+                slow_factor: slow,
+                no_speculation_minutes: time_with(false) / 60.0,
+                speculation_minutes: time_with(true) / 60.0,
+            }
+        })
+        .collect()
+}

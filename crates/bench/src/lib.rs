@@ -1,0 +1,51 @@
+//! Shared harness for regenerating the paper's evaluation (Section 7).
+//!
+//! The `repro` binary exposes one subcommand per table/figure; the
+//! Criterion benches reuse the same experiment functions on smaller
+//! workloads. See `EXPERIMENTS.md` at the repository root for the
+//! paper-vs-measured record.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod suite;
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// Writes rows as a CSV file under `results/`.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<String> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{header}")?;
+    for row in rows {
+        writeln!(f, "{row}")?;
+    }
+    Ok(path.display().to_string())
+}
+
+/// Formats a byte count as gigabytes with two decimals.
+pub fn gb(bytes: f64) -> String {
+    format!("{:.2}", bytes / (1u64 << 30) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gb_formats() {
+        assert_eq!(gb((1u64 << 30) as f64), "1.00");
+        assert_eq!(gb(0.0), "0.00");
+    }
+
+    #[test]
+    fn csv_writes_to_results() {
+        let p = write_csv("selftest", "a,b", &["1,2".into(), "3,4".into()]).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3,4\n");
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -1,0 +1,161 @@
+//! `mrinv` — command-line matrix inversion over the simulated MapReduce
+//! cluster.
+//!
+//! ```text
+//! mrinv invert --input a.txt --output inv.txt [--nodes 4] [--nb 200]
+//! mrinv lu     --input a.txt --l l.txt --u u.txt [--nodes 4] [--nb 200]
+//! mrinv gen    --order 512 --output a.txt [--seed 42]
+//! ```
+//!
+//! Matrices use the text format of the paper's `a.txt` (a `rows cols`
+//! header line, then whitespace-separated values; see
+//! `mrinv_matrix::io`). `invert` prints the pipeline's job count,
+//! simulated time, and the Section 7.2 residual check.
+
+use std::process::exit;
+
+use mrinv::{invert, lu, InversionConfig};
+use mrinv_mapreduce::Cluster;
+use mrinv_matrix::io::{decode_text, encode_text};
+use mrinv_matrix::norms::inversion_residual;
+use mrinv_matrix::random::random_well_conditioned;
+use mrinv_matrix::Matrix;
+
+struct Opts {
+    command: String,
+    input: Option<String>,
+    output: Option<String>,
+    l_out: Option<String>,
+    u_out: Option<String>,
+    nodes: usize,
+    nb: usize,
+    order: usize,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  mrinv invert --input a.txt --output inv.txt [--nodes N] [--nb NB]\n  mrinv lu --input a.txt --l l.txt --u u.txt [--nodes N] [--nb NB]\n  mrinv gen --order N --output a.txt [--seed S]"
+    );
+    exit(2)
+}
+
+fn parse() -> Opts {
+    let mut opts = Opts {
+        command: String::new(),
+        input: None,
+        output: None,
+        l_out: None,
+        u_out: None,
+        nodes: 4,
+        nb: 200,
+        order: 0,
+        seed: 42,
+    };
+    let mut it = std::env::args().skip(1);
+    opts.command = it.next().unwrap_or_else(|| usage());
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--input" => opts.input = Some(val()),
+            "--output" => opts.output = Some(val()),
+            "--l" => opts.l_out = Some(val()),
+            "--u" => opts.u_out = Some(val()),
+            "--nodes" => opts.nodes = val().parse().unwrap_or_else(|_| usage()),
+            "--nb" => opts.nb = val().parse().unwrap_or_else(|_| usage()),
+            "--order" => opts.order = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = val().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn read_matrix(path: &str) -> Matrix {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("mrinv: cannot read {path}: {e}");
+        exit(1)
+    });
+    decode_text(&text).unwrap_or_else(|e| {
+        eprintln!("mrinv: cannot parse {path}: {e}");
+        exit(1)
+    })
+}
+
+fn write_matrix(path: &str, m: &Matrix) {
+    std::fs::write(path, encode_text(m)).unwrap_or_else(|e| {
+        eprintln!("mrinv: cannot write {path}: {e}");
+        exit(1)
+    });
+}
+
+fn main() {
+    let opts = parse();
+    match opts.command.as_str() {
+        "gen" => {
+            let (Some(output), order) = (&opts.output, opts.order) else { usage() };
+            if order == 0 {
+                usage()
+            }
+            let a = random_well_conditioned(order, opts.seed);
+            write_matrix(output, &a);
+            println!("wrote a well-conditioned {order}x{order} matrix to {output}");
+        }
+        "invert" => {
+            let (Some(input), Some(output)) = (&opts.input, &opts.output) else { usage() };
+            let a = read_matrix(input);
+            let cluster = Cluster::medium(opts.nodes);
+            let cfg = InversionConfig::with_nb(opts.nb.min(a.rows().max(1)));
+            match invert(&cluster, &a, &cfg) {
+                Ok(out) => {
+                    let res = inversion_residual(&a, &out.inverse).unwrap_or(f64::NAN);
+                    write_matrix(output, &out.inverse);
+                    println!(
+                        "inverted {}x{} on {} simulated nodes: {} jobs, {:.1} simulated s",
+                        a.rows(),
+                        a.cols(),
+                        opts.nodes,
+                        out.report.jobs,
+                        out.report.sim_secs
+                    );
+                    println!("max |I - A*A^-1| = {res:.3e} (paper threshold 1e-5)");
+                    if !(res < 1e-5) {
+                        eprintln!("mrinv: WARNING: residual exceeds the accuracy threshold");
+                        exit(3);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("mrinv: inversion failed: {e}");
+                    exit(1);
+                }
+            }
+        }
+        "lu" => {
+            let (Some(input), Some(l_out), Some(u_out)) = (&opts.input, &opts.l_out, &opts.u_out)
+            else {
+                usage()
+            };
+            let a = read_matrix(input);
+            let cluster = Cluster::medium(opts.nodes);
+            let cfg = InversionConfig::with_nb(opts.nb.min(a.rows().max(1)));
+            match lu(&cluster, &a, &cfg) {
+                Ok(out) => {
+                    write_matrix(l_out, &out.l);
+                    write_matrix(u_out, &out.u);
+                    println!(
+                        "decomposed {}x{}: {} jobs; P stored implicitly (PA = LU), S = {:?}...",
+                        a.rows(),
+                        a.cols(),
+                        out.report.jobs,
+                        &out.perm.as_slice()[..out.perm.len().min(8)]
+                    );
+                }
+                Err(e) => {
+                    eprintln!("mrinv: decomposition failed: {e}");
+                    exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

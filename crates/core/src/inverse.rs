@@ -1,0 +1,281 @@
+//! The public entry points: distributed matrix inversion and LU
+//! decomposition over a simulated MapReduce cluster.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mrinv_mapreduce::{Cluster, Pipeline};
+use mrinv_matrix::{Matrix, Permutation};
+
+use crate::config::InversionConfig;
+use crate::error::Result;
+use crate::factors::FactorRef;
+use crate::lu_mr::{lu_decompose_mr, BlockView};
+use crate::partition::{ingest_input, run_partition_job, PartitionPlan};
+use crate::report::RunReport;
+use crate::source::MasterIo;
+use crate::tri_inv_mr::invert_factors_mr;
+
+static JOB_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_workdir() -> String {
+    format!("mrinv/job-{}", JOB_COUNTER.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Result of a distributed LU decomposition, with assembled factors.
+#[derive(Debug, Clone)]
+pub struct LuOutput {
+    /// Unit lower-triangular factor.
+    pub l: Matrix,
+    /// Upper-triangular factor.
+    pub u: Matrix,
+    /// Pivot permutation with `P·A = L·U`.
+    pub perm: Permutation,
+    /// Run accounting.
+    pub report: RunReport,
+}
+
+/// Outcome of [`invert`]: the inverse plus run accounting.
+#[derive(Debug, Clone)]
+pub struct InverseOutput {
+    /// The computed `A^-1`.
+    pub inverse: Matrix,
+    /// Run accounting.
+    pub report: RunReport,
+}
+
+/// Inverts `a` on the cluster through the full pipeline of Figure 2:
+/// partition job → LU pipeline → final inversion job.
+///
+/// The run's jobs, simulated time, and I/O are returned in the report
+/// (deltas over the cluster's counters at call time). The input ingest —
+/// writing `a` into the DFS, the upstream job's output in the paper's
+/// workflow — happens *before* the measured window.
+pub fn invert(cluster: &Cluster, a: &Matrix, cfg: &InversionConfig) -> Result<InverseOutput> {
+    let n = a.order()?;
+    let work = fresh_workdir();
+    let plan = PartitionPlan::new(n, cluster, cfg, work);
+    ingest_input(cluster, a, &plan)?;
+
+    let metrics_before = cluster.metrics.snapshot();
+    let dfs_before = cluster.dfs.counters();
+
+    let mut pipeline = Pipeline::new();
+    let (tree, partition_report) = run_partition_job(cluster, &plan)?;
+    pipeline.push(partition_report);
+    let factors = lu_decompose_mr(cluster, BlockView::Tree(tree), &plan, &cfg.opts, &mut pipeline)?;
+    let inverse = invert_factors_mr(cluster, &factors, &plan, &cfg.opts, &mut pipeline)?;
+
+    let report = RunReport::from_deltas(
+        n,
+        cluster.nodes(),
+        cfg.nb,
+        &metrics_before,
+        &cluster.metrics.snapshot(),
+        &dfs_before,
+        &cluster.dfs.counters(),
+    );
+    Ok(InverseOutput { inverse, report })
+}
+
+/// Runs only the LU stage of the pipeline (partition job + LU jobs) and
+/// returns the assembled factors.
+///
+/// The assembly reads the factor file forest back on the master and is not
+/// charged to the simulated clock (it exists for API convenience and
+/// verification; the paper's downstream consumers read the files
+/// directly).
+pub fn lu(cluster: &Cluster, a: &Matrix, cfg: &InversionConfig) -> Result<LuOutput> {
+    let n = a.order()?;
+    let work = fresh_workdir();
+    let plan = PartitionPlan::new(n, cluster, cfg, work);
+    ingest_input(cluster, a, &plan)?;
+
+    let metrics_before = cluster.metrics.snapshot();
+    let dfs_before = cluster.dfs.counters();
+
+    let mut pipeline = Pipeline::new();
+    let (tree, partition_report) = run_partition_job(cluster, &plan)?;
+    pipeline.push(partition_report);
+    let factors = lu_decompose_mr(cluster, BlockView::Tree(tree), &plan, &cfg.opts, &mut pipeline)?;
+
+    let report = RunReport::from_deltas(
+        n,
+        cluster.nodes(),
+        cfg.nb,
+        &metrics_before,
+        &cluster.metrics.snapshot(),
+        &dfs_before,
+        &cluster.dfs.counters(),
+    );
+
+    let mut io = MasterIo::new(&cluster.dfs);
+    let l = factors.assemble_l(&mut io)?;
+    let u = factors.assemble_u(&mut io)?;
+    Ok(LuOutput { l, u, perm: factors.perm(), report })
+}
+
+/// Low-level variant of [`invert`] for callers that already partitioned:
+/// decomposes and inverts, reusing the given plan and pipeline.
+pub fn invert_with_plan(
+    cluster: &Cluster,
+    plan: &PartitionPlan,
+    tree: crate::partition::SourceTree,
+    cfg: &InversionConfig,
+    pipeline: &mut Pipeline,
+) -> Result<(Matrix, FactorRef)> {
+    let factors = lu_decompose_mr(cluster, BlockView::Tree(tree), plan, &cfg.opts, pipeline)?;
+    let inverse = invert_factors_mr(cluster, &factors, plan, &cfg.opts, pipeline)?;
+    Ok((inverse, factors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Optimizations;
+    use mrinv_mapreduce::{ClusterConfig, CostModel};
+    use mrinv_matrix::norms::inversion_residual;
+    use mrinv_matrix::random::{random_invertible, random_well_conditioned};
+    use mrinv_matrix::PAPER_ACCURACY;
+
+    fn test_cluster(m0: usize) -> Cluster {
+        let mut cfg = ClusterConfig::medium(m0);
+        cfg.cost = CostModel::unit_for_tests();
+        Cluster::new(cfg)
+    }
+
+    #[test]
+    fn end_to_end_inversion_is_accurate() {
+        let cluster = test_cluster(4);
+        let a = random_well_conditioned(48, 1);
+        let out = invert(&cluster, &a, &InversionConfig::with_nb(12)).unwrap();
+        let res = inversion_residual(&a, &out.inverse).unwrap();
+        assert!(res < PAPER_ACCURACY, "residual {res}");
+    }
+
+    #[test]
+    fn inversion_matches_in_memory_reference() {
+        let cluster = test_cluster(4);
+        let a = random_invertible(40, 2);
+        let out = invert(&cluster, &a, &InversionConfig::with_nb(10)).unwrap();
+        let reference = crate::inmem::invert_block(&a, 10).unwrap();
+        assert!(out.inverse.approx_eq(&reference, 1e-7));
+    }
+
+    #[test]
+    fn job_count_matches_schedule() {
+        for &(n, nb) in &[(32usize, 8usize), (64, 8), (16, 16), (48, 6)] {
+            let cluster = test_cluster(4);
+            let a = random_invertible(n, n as u64);
+            let out = invert(&cluster, &a, &InversionConfig::with_nb(nb)).unwrap();
+            assert_eq!(
+                out.report.jobs,
+                crate::schedule::total_jobs(n, nb),
+                "n={n} nb={nb}"
+            );
+        }
+    }
+
+    #[test]
+    fn lu_entry_point_returns_valid_factors() {
+        let cluster = test_cluster(4);
+        let a = random_invertible(32, 5);
+        let out = lu(&cluster, &a, &InversionConfig::with_nb(8)).unwrap();
+        let pa = out.perm.apply_rows(&a);
+        assert!((&out.l * &out.u).approx_eq(&pa, 1e-8));
+        // LU alone runs the partition + pipeline jobs, no final job.
+        assert_eq!(out.report.jobs, crate::schedule::total_jobs(32, 8) - 1);
+    }
+
+    #[test]
+    fn report_accounts_io_and_time() {
+        let cluster = test_cluster(4);
+        let a = random_well_conditioned(32, 7);
+        let out = invert(&cluster, &a, &InversionConfig::with_nb(8)).unwrap();
+        let r = &out.report;
+        assert_eq!(r.n, 32);
+        assert_eq!(r.nodes, 4);
+        assert!(r.sim_secs > 0.0);
+        assert!(r.master_secs > 0.0);
+        assert!(r.dfs_bytes_written as f64 > (32.0 * 32.0) * 8.0, "at least the partition");
+        assert!(r.dfs_bytes_read > 0);
+        assert_eq!(r.task_failures, 0);
+        assert!((r.hours - r.sim_secs / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runs_are_isolated_by_workdir() {
+        let cluster = test_cluster(2);
+        let a = random_well_conditioned(16, 9);
+        let out1 = invert(&cluster, &a, &InversionConfig::with_nb(4)).unwrap();
+        let out2 = invert(&cluster, &a, &InversionConfig::with_nb(4)).unwrap();
+        assert!(out1.inverse.approx_eq(&out2.inverse, 0.0), "same input, same output");
+    }
+
+    #[test]
+    fn optimizations_do_not_change_results() {
+        let a = random_invertible(24, 11);
+        let reference = {
+            let cluster = test_cluster(4);
+            invert(&cluster, &a, &InversionConfig::with_nb(6)).unwrap().inverse
+        };
+        let mut cfg = InversionConfig::with_nb(6);
+        cfg.opts = Optimizations::none();
+        let cluster = test_cluster(4);
+        let unopt = invert(&cluster, &a, &cfg).unwrap().inverse;
+        assert!(unopt.approx_eq(&reference, 1e-9));
+    }
+
+    #[test]
+    fn unoptimized_run_costs_more_io() {
+        let a = random_well_conditioned(32, 13);
+        let opt = {
+            let cluster = test_cluster(4);
+            invert(&cluster, &a, &InversionConfig::with_nb(8)).unwrap().report
+        };
+        let mut cfg = InversionConfig::with_nb(8);
+        cfg.opts = Optimizations::none();
+        let unopt = {
+            let cluster = test_cluster(4);
+            invert(&cluster, &a, &cfg).unwrap().report
+        };
+        assert!(
+            unopt.dfs_bytes_read > opt.dfs_bytes_read,
+            "no block wrap => more read I/O ({} vs {})",
+            unopt.dfs_bytes_read,
+            opt.dfs_bytes_read
+        );
+        assert!(unopt.dfs_bytes_written > opt.dfs_bytes_written, "combining writes more");
+    }
+
+    #[test]
+    fn singular_input_errors_cleanly() {
+        let cluster = test_cluster(2);
+        let mut a = random_well_conditioned(16, 15);
+        let row = a.row(2).to_vec();
+        a.row_mut(9).copy_from_slice(&row);
+        assert!(invert(&cluster, &a, &InversionConfig::with_nb(4)).is_err());
+    }
+
+    #[test]
+    fn non_square_input_rejected() {
+        let cluster = test_cluster(2);
+        let a = Matrix::zeros(4, 6);
+        assert!(invert(&cluster, &a, &InversionConfig::default()).is_err());
+    }
+
+    #[test]
+    fn one_node_cluster_end_to_end() {
+        let cluster = test_cluster(1);
+        let a = random_well_conditioned(20, 21);
+        let out = invert(&cluster, &a, &InversionConfig::with_nb(5)).unwrap();
+        assert!(inversion_residual(&a, &out.inverse).unwrap() < PAPER_ACCURACY);
+    }
+
+    #[test]
+    fn many_node_cluster_end_to_end() {
+        let cluster = test_cluster(16);
+        let a = random_well_conditioned(64, 23);
+        let out = invert(&cluster, &a, &InversionConfig::with_nb(16)).unwrap();
+        assert!(inversion_residual(&a, &out.inverse).unwrap() < PAPER_ACCURACY);
+    }
+}

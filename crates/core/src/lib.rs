@@ -1,0 +1,66 @@
+//! **mrinv** — scalable matrix inversion using MapReduce.
+//!
+//! A from-scratch Rust reproduction of *"Scalable Matrix Inversion Using
+//! MapReduce"* (Xiang, Meng, Aboulnaga — HPDC 2014): matrix inversion via
+//! recursive **block LU decomposition** executed as a **pipeline of
+//! MapReduce jobs** over an HDFS-like distributed file system.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mrinv::{invert, InversionConfig};
+//! use mrinv_mapreduce::Cluster;
+//! use mrinv_matrix::random::random_well_conditioned;
+//! use mrinv_matrix::norms::inversion_residual;
+//!
+//! // A simulated 4-node cluster (EC2-medium cost profile).
+//! let cluster = Cluster::medium(4);
+//! let a = random_well_conditioned(64, 42);
+//!
+//! let out = invert(&cluster, &a, &InversionConfig::with_nb(16)).unwrap();
+//! assert!(inversion_residual(&a, &out.inverse).unwrap() < 1e-5);
+//! // The pipeline ran partition + 3 LU jobs + final inversion.
+//! assert_eq!(out.report.jobs, mrinv::schedule::total_jobs(64, 16));
+//! ```
+//!
+//! # Architecture
+//!
+//! | Stage | Jobs | Module |
+//! |---|---|---|
+//! | Partition input (Algorithm 3) | 1 map-only | [`partition`] |
+//! | Block LU (Algorithm 2, Eq. 6) | `2^⌈log2(n/nb)⌉ − 1` | [`lu_mr`] |
+//! | Triangular inverses + product (Eq. 4) | 1 | [`tri_inv_mr`] |
+//!
+//! Supporting pieces: [`schedule`] (the precomputed pipeline shape),
+//! [`source`] (descriptor-based submatrix storage, Section 5.2),
+//! [`factors`] (the separate-files factor forest, Section 6.1),
+//! [`theory`] (the closed forms of Tables 1–2), [`inmem`] (the same
+//! algorithm without MapReduce, for verification and as the Section 8
+//! "Spark-style" dataflow), and [`config`] (the Section 6 optimization
+//! toggles). Beyond the paper: [`ops`] (distributed multiply, transpose,
+//! and element-wise combine — the SystemML-style neighbours inversion
+//! composes with) and [`solve`] (linear solves, determinants, condition
+//! estimates, and Newton–Schulz-refined inverses on top of the
+//! distributed factors).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod factors;
+pub mod inmem;
+pub mod inverse;
+pub mod lu_mr;
+pub mod ops;
+pub mod partition;
+pub mod solve;
+pub mod report;
+pub mod schedule;
+pub mod source;
+pub mod theory;
+pub mod tri_inv_mr;
+
+pub use config::{InversionConfig, Optimizations};
+pub use error::{CoreError, Result};
+pub use inverse::{invert, lu, InverseOutput, LuOutput};
+pub use report::RunReport;

@@ -1,0 +1,574 @@
+//! The distributed block LU decomposition (Algorithm 2 over MapReduce).
+//!
+//! One MapReduce job per recursion node (Section 5.3):
+//!
+//! * **mappers** — half compute row stripes of `L2'` (each row solves
+//!   `x·U1 = [A3]_row`, Equation 6), half compute column stripes of `U2`
+//!   (each column solves `L1·x = [P1·A2]_col`). A mapper learns its role
+//!   from its task input, the paper's control-file pattern (Section 5.1,
+//!   Figure 5), and reads/writes only its own files;
+//! * **reducers** — each computes one block-wrap cell of
+//!   `B = A4 − L2'·U2` (Section 6.2) and writes it to `OUT/A.<cell>`;
+//!   mappers emit `(cell, cell)` control pairs routed by the identity
+//!   partitioner, exactly Figure 5's `(j, j)` scheme.
+//!
+//! Leaves (order ≤ `nb`) are LU-decomposed *on the master node*
+//! (Section 4.2), and `B` is never re-materialized: the next level reads it
+//! through [`MatrixSource`] descriptors (Section 5.2).
+
+use mrinv_mapreduce::job::{identity_partitioner, JobSpec, MapContext, Mapper, ReduceContext, Reducer};
+use mrinv_mapreduce::master::run_on_master;
+use mrinv_mapreduce::runner::run_job;
+use mrinv_mapreduce::{Cluster, MrError, Pipeline};
+use mrinv_matrix::block::even_ranges;
+use mrinv_matrix::io::encode_binary;
+use mrinv_matrix::lu::lu_decompose;
+use mrinv_matrix::triangular::{
+    solve_row_times_upper, solve_row_times_upper_transposed, solve_unit_lower_column,
+};
+use mrinv_matrix::multiply::{sub_mul_ijk, sub_mul_transposed};
+use mrinv_matrix::Matrix;
+
+use crate::config::Optimizations;
+use crate::error::{CoreError, Result};
+use crate::factors::{FactorRef, Stripe};
+use crate::partition::{PartitionPlan, SourceTree};
+use crate::source::{BlockIo, MasterIo, MatrixSource, Piece};
+
+/// A block to decompose: either a materialized partition subtree (the input
+/// side) or a descriptor-only source (a `B` submatrix).
+#[derive(Debug, Clone)]
+pub enum BlockView {
+    /// Materialized by the partitioning job.
+    Tree(SourceTree),
+    /// Descriptor into reducer outputs (never materialized).
+    Source {
+        /// DFS directory for this block's outputs.
+        dir: String,
+        /// The block's pieces.
+        source: MatrixSource,
+    },
+}
+
+impl BlockView {
+    fn n(&self) -> usize {
+        match self {
+            BlockView::Tree(t) => t.n(),
+            BlockView::Source { source, .. } => source.rows(),
+        }
+    }
+
+    fn dir(&self) -> String {
+        match self {
+            BlockView::Tree(t) => t.dir().to_string(),
+            BlockView::Source { dir, .. } => dir.clone(),
+        }
+    }
+}
+
+/// Charges a master I/O session to the simulated clock.
+pub(crate) fn charge_master_io(cluster: &Cluster, io: &MasterIo<'_>) {
+    let cost = &cluster.config.cost;
+    let secs = io.bytes_read as f64 / cost.disk_read_bw
+        + io.bytes_written as f64 * f64::from(cost.replication) / cost.disk_write_bw;
+    cluster.metrics.add_master_secs(secs);
+}
+
+/// Distributed block LU decomposition of the given block. Appends one
+/// [`mrinv_mapreduce::runner::JobReport`] per recursion node to `pipeline`
+/// and returns the factor descriptor.
+pub fn lu_decompose_mr(
+    cluster: &Cluster,
+    view: BlockView,
+    plan: &PartitionPlan,
+    opts: &Optimizations,
+    pipeline: &mut Pipeline,
+) -> Result<FactorRef> {
+    let n = view.n();
+    let dir = view.dir();
+
+    if n <= plan.nb {
+        // Leaf: decompose on the master node (Algorithm 2 lines 2-3).
+        let mut io = MasterIo::new(&cluster.dfs);
+        let block = match &view {
+            BlockView::Tree(SourceTree::Leaf { source, .. }) => source.read_all(&mut io)?,
+            BlockView::Source { source, .. } => source.read_all(&mut io)?,
+            BlockView::Tree(other) => {
+                return Err(CoreError::Invariant(format!(
+                    "partition tree has a split of order {} at leaf size",
+                    other.n()
+                )))
+            }
+        };
+        let factors = run_on_master(cluster, || lu_decompose(&block))?;
+        let l_path = format!("{dir}/l.bin");
+        let u_path = format!("{dir}/u.bin");
+        io.write_bytes(&l_path, encode_binary(&factors.unit_lower()));
+        let u = factors.upper();
+        let stored_u = if opts.transpose_u { u.transpose() } else { u };
+        io.write_bytes(&u_path, encode_binary(&stored_u));
+        charge_master_io(cluster, &io);
+        return Ok(FactorRef::Leaf {
+            n,
+            l_path,
+            u_path,
+            perm: factors.perm,
+            transposed_u: opts.transpose_u,
+        });
+    }
+
+    // Internal node: resolve the quadrants.
+    let (half, a1_view, a2, a3, a4) = match view {
+        BlockView::Tree(SourceTree::Split { half, a1, a2, a3, a4, .. }) => {
+            (half, BlockView::Tree(*a1), a2, a3, a4)
+        }
+        BlockView::Tree(SourceTree::Leaf { .. }) => unreachable!("handled above"),
+        BlockView::Source { source, dir: d } => {
+            let half = n / 2;
+            let [q1, q2, q3, q4] = source.quadrants(half, half)?;
+            (half, BlockView::Source { dir: format!("{d}/A1"), source: q1 }, q2, q3, q4)
+        }
+    };
+    let rest = n - half;
+
+    // Decompose A1 first (Algorithm 2 line 6).
+    let a1_factors = lu_decompose_mr(cluster, a1_view, plan, opts, pipeline)?;
+    let p1 = a1_factors.perm();
+
+    // Stripe and cell geometry for this level.
+    let l2_ranges: Vec<(usize, usize)> =
+        even_ranges(rest, plan.m_l).into_iter().filter(|r| r.0 < r.1).collect();
+    let u2_ranges: Vec<(usize, usize)> =
+        even_ranges(rest, plan.m_u).into_iter().filter(|r| r.0 < r.1).collect();
+    let cell_rows: Vec<(usize, usize)> =
+        even_ranges(rest, plan.grid.0).into_iter().collect();
+    let cell_cols: Vec<(usize, usize)> =
+        even_ranges(rest, plan.grid.1).into_iter().collect();
+
+    let mut inputs = Vec::new();
+    for (k, &range) in l2_ranges.iter().enumerate() {
+        inputs.push(LuTaskInput::L2Stripe { k, rows: range });
+    }
+    for (k, &range) in u2_ranges.iter().enumerate() {
+        inputs.push(LuTaskInput::U2Stripe { k, cols: range });
+    }
+
+    let num_cells = plan.grid.0 * plan.grid.1;
+    let mapper = LuLevelMapper {
+        dir: dir.clone(),
+        a1: a1_factors.clone(),
+        p1: p1.clone(),
+        a2,
+        a3,
+        opts: *opts,
+        num_cells,
+    };
+    let l2_stripes: Vec<Stripe> = l2_ranges
+        .iter()
+        .enumerate()
+        .map(|(k, &range)| Stripe { path: format!("{dir}/L2/L.{k}"), range })
+        .collect();
+    let u2_stripes: Vec<Stripe> = u2_ranges
+        .iter()
+        .enumerate()
+        .map(|(k, &range)| Stripe { path: format!("{dir}/U2/U.{k}"), range })
+        .collect();
+
+    let reducer = LuLevelReducer {
+        dir: dir.clone(),
+        a4,
+        l2_source: MatrixSource::new(
+            (rest, half),
+            l2_stripes.iter().map(|s| Piece::new(s.path.clone(), s.range, (0, half))).collect(),
+        ),
+        u2_source: if opts.transpose_u {
+            // Transposed space: rows are U2's columns.
+            MatrixSource::new(
+                (rest, half),
+                u2_stripes.iter().map(|s| Piece::new(s.path.clone(), s.range, (0, half))).collect(),
+            )
+        } else {
+            MatrixSource::new(
+                (half, rest),
+                u2_stripes.iter().map(|s| Piece::new(s.path.clone(), (0, half), s.range)).collect(),
+            )
+        },
+        cell_rows: cell_rows.clone(),
+        cell_cols: cell_cols.clone(),
+        opts: *opts,
+    };
+
+    let mut spec = JobSpec::new(format!("lu-level:{dir}"), num_cells);
+    spec.partitioner = identity_partitioner;
+    let (_outputs, report) = run_job(cluster, &spec, &mapper, &reducer, &inputs)?;
+    pipeline.push(report);
+
+    // B's descriptor (Section 5.2: metadata only, built on the master).
+    let b_pieces: Vec<Piece> = cell_rows
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &rr)| {
+            let dir = &dir;
+            let cell_cols = &cell_cols;
+            cell_cols.iter().enumerate().filter_map(move |(j, &cc)| {
+                if rr.0 >= rr.1 || cc.0 >= cc.1 {
+                    return None;
+                }
+                let cell = i * cell_cols.len() + j;
+                Some(Piece::new(format!("{dir}/OUT/A.{cell}"), rr, cc))
+            })
+        })
+        .collect();
+    let b_source = MatrixSource::new((rest, rest), b_pieces);
+
+    // Decompose B (Algorithm 2 line 10).
+    let b_factors = lu_decompose_mr(
+        cluster,
+        BlockView::Source { dir: format!("{dir}/OUT"), source: b_source },
+        plan,
+        opts,
+        pipeline,
+    )?;
+
+    let node = FactorRef::Node {
+        n,
+        half,
+        a1: Box::new(a1_factors),
+        l2_stripes,
+        u2_stripes,
+        b: Box::new(b_factors),
+        transposed_u: opts.transpose_u,
+    };
+
+    if opts.separate_intermediate_files {
+        Ok(node)
+    } else {
+        // Section 6.1 ablation: serially combine this level's factors on
+        // the master while the cluster waits.
+        let mut io = MasterIo::new(&cluster.dfs);
+        let combined =
+            run_on_master(cluster, || node.combine(&mut io, &format!("{dir}/COMBINED"), opts.transpose_u));
+        charge_master_io(cluster, &io);
+        combined
+    }
+}
+
+/// Map-task input: which stripe of which factor to compute (the control
+/// integer of Section 5.1, enriched with the stripe geometry).
+#[derive(Debug, Clone)]
+pub enum LuTaskInput {
+    /// Compute rows `rows.0..rows.1` of `L2'`.
+    L2Stripe {
+        /// Stripe index.
+        k: usize,
+        /// Row range within the bottom-left block.
+        rows: (usize, usize),
+    },
+    /// Compute columns `cols.0..cols.1` of `U2`.
+    U2Stripe {
+        /// Stripe index.
+        k: usize,
+        /// Column range within the top-right block.
+        cols: (usize, usize),
+    },
+}
+
+struct LuLevelMapper {
+    dir: String,
+    a1: FactorRef,
+    p1: mrinv_matrix::Permutation,
+    a2: MatrixSource,
+    a3: MatrixSource,
+    opts: Optimizations,
+    num_cells: usize,
+}
+
+impl Mapper for LuLevelMapper {
+    type Input = LuTaskInput;
+    type Key = usize;
+    type Value = usize;
+
+    fn map(
+        &self,
+        input: &LuTaskInput,
+        ctx: &mut MapContext<usize, usize>,
+    ) -> std::result::Result<(), MrError> {
+        match *input {
+            LuTaskInput::L2Stripe { k, rows } => {
+                let a3_stripe = self.a3.read_rows(ctx, rows.0, rows.1)?;
+                let mut out = Matrix::zeros(a3_stripe.rows(), a3_stripe.cols());
+                if self.opts.transpose_u {
+                    let u1_t = self.a1.assemble_u_t(ctx)?;
+                    let kernel = std::time::Instant::now();
+                    for i in 0..a3_stripe.rows() {
+                        let row = solve_row_times_upper_transposed(&u1_t, a3_stripe.row(i))
+                            .map_err(CoreError::from)?;
+                        out.row_mut(i).copy_from_slice(&row);
+                    }
+                    ctx.charge_kernel(kernel.elapsed());
+                } else {
+                    let u1 = self.a1.assemble_u(ctx)?;
+                    let kernel = std::time::Instant::now();
+                    for i in 0..a3_stripe.rows() {
+                        let row = solve_row_times_upper(&u1, a3_stripe.row(i))
+                            .map_err(CoreError::from)?;
+                        out.row_mut(i).copy_from_slice(&row);
+                    }
+                    ctx.charge_kernel(kernel.elapsed());
+                }
+                ctx.write(&format!("{}/L2/L.{k}", self.dir), encode_binary(&out));
+            }
+            LuTaskInput::U2Stripe { k, cols } => {
+                let a2_stripe = self.a2.read_cols(ctx, cols.0, cols.1)?;
+                // Pivot A2's rows by P1 before solving (Equation 5:
+                // L1 U2 = P1 A2).
+                let a2_stripe = self.p1.apply_rows(&a2_stripe);
+                let l1 = self.a1.assemble_l(ctx)?;
+                let half = l1.rows();
+                let w = a2_stripe.cols();
+                // Solve per column; accumulate directly in transposed
+                // orientation when the Section 6.3 layout is on.
+                if self.opts.transpose_u {
+                    let mut out_t = Matrix::zeros(w, half);
+                    let kernel = std::time::Instant::now();
+                    for j in 0..w {
+                        let col = solve_unit_lower_column(&l1, &a2_stripe.col(j))
+                            .map_err(CoreError::from)?;
+                        out_t.row_mut(j).copy_from_slice(&col);
+                    }
+                    ctx.charge_kernel(kernel.elapsed());
+                    ctx.write(&format!("{}/U2/U.{k}", self.dir), encode_binary(&out_t));
+                } else {
+                    let mut out = Matrix::zeros(half, w);
+                    let kernel = std::time::Instant::now();
+                    for j in 0..w {
+                        let col = solve_unit_lower_column(&l1, &a2_stripe.col(j))
+                            .map_err(CoreError::from)?;
+                        for i in 0..half {
+                            out[(i, j)] = col[i];
+                        }
+                    }
+                    ctx.charge_kernel(kernel.elapsed());
+                    ctx.write(&format!("{}/U2/U.{k}", self.dir), encode_binary(&out));
+                }
+            }
+        }
+        // Control pairs (Figure 5): distribute the B cells round-robin
+        // across map tasks so every reducer receives exactly one
+        // (cell, cell) key.
+        let mut cell = ctx.task_index();
+        let stride = ctx.num_tasks();
+        while cell < self.num_cells {
+            ctx.emit(cell, cell);
+            cell += stride;
+        }
+        Ok(())
+    }
+}
+
+struct LuLevelReducer {
+    dir: String,
+    a4: MatrixSource,
+    l2_source: MatrixSource,
+    /// `U2` pieces; in transposed space (`rest x half`) when
+    /// `opts.transpose_u`, else `half x rest`.
+    u2_source: MatrixSource,
+    cell_rows: Vec<(usize, usize)>,
+    cell_cols: Vec<(usize, usize)>,
+    opts: Optimizations,
+}
+
+impl Reducer for LuLevelReducer {
+    type Key = usize;
+    type Value = usize;
+    type Output = ();
+
+    fn reduce(
+        &self,
+        key: &usize,
+        _values: &[usize],
+        ctx: &mut ReduceContext,
+    ) -> std::result::Result<(), MrError> {
+        let cell = *key;
+        let i = cell / self.cell_cols.len();
+        let j = cell % self.cell_cols.len();
+        let rr = self.cell_rows[i];
+        let cc = self.cell_cols[j];
+        if rr.0 >= rr.1 || cc.0 >= cc.1 {
+            return Ok(());
+        }
+        let mut b = self.a4.read_range(ctx, rr, cc)?;
+        let l2_rows = self.l2_source.read_rows(ctx, rr.0, rr.1)?;
+        if self.opts.transpose_u {
+            let u2t_rows = self.u2_source.read_rows(ctx, cc.0, cc.1)?;
+            let kernel = std::time::Instant::now();
+            sub_mul_transposed(&mut b, &l2_rows, &u2t_rows).map_err(CoreError::from)?;
+            ctx.charge_kernel(kernel.elapsed());
+        } else {
+            // Ablation path: row-major U2, Equation 7's column-striding
+            // inner loop (the access pattern Section 6.3 eliminates).
+            let u2_cols = self.u2_source.read_cols(ctx, cc.0, cc.1)?;
+            let kernel = std::time::Instant::now();
+            sub_mul_ijk(&mut b, &l2_rows, &u2_cols).map_err(CoreError::from)?;
+            ctx.charge_kernel(kernel.elapsed());
+        }
+        ctx.write(&format!("{}/OUT/A.{cell}", self.dir), encode_binary(&b));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InversionConfig;
+    use crate::partition::{ingest_input, run_partition_job};
+    use mrinv_mapreduce::{ClusterConfig, CostModel};
+    use mrinv_matrix::random::random_invertible;
+
+    fn run_lu(
+        n: usize,
+        nb: usize,
+        m0: usize,
+        opts: Optimizations,
+        seed: u64,
+    ) -> (Cluster, FactorRef, Pipeline, Matrix) {
+        let mut ccfg = ClusterConfig::medium(m0);
+        ccfg.cost = CostModel::unit_for_tests();
+        let cluster = Cluster::new(ccfg);
+        let mut icfg = InversionConfig::with_nb(nb);
+        icfg.opts = opts;
+        let plan = PartitionPlan::new(n, &cluster, &icfg, "Root");
+        let a = random_invertible(n, seed);
+        ingest_input(&cluster, &a, &plan).unwrap();
+        let (tree, _) = run_partition_job(&cluster, &plan).unwrap();
+        let mut pipeline = Pipeline::new();
+        let factors =
+            lu_decompose_mr(&cluster, BlockView::Tree(tree), &plan, &icfg.opts, &mut pipeline)
+                .unwrap();
+        (cluster, factors, pipeline, a)
+    }
+
+    fn assert_pa_eq_lu(cluster: &Cluster, factors: &FactorRef, a: &Matrix, tol: f64) {
+        let mut io = MasterIo::new(&cluster.dfs);
+        let l = factors.assemble_l(&mut io).unwrap();
+        let u = factors.assemble_u(&mut io).unwrap();
+        let pa = factors.perm().apply_rows(a);
+        let lu = &l * &u;
+        assert!(
+            lu.approx_eq(&pa, tol),
+            "PA != LU (max diff {})",
+            lu.max_abs_diff(&pa).unwrap()
+        );
+    }
+
+    #[test]
+    fn one_level_decomposition_matches() {
+        let (cluster, factors, pipeline, a) = run_lu(16, 8, 4, Optimizations::all(), 1);
+        assert_eq!(pipeline.num_jobs(), 1, "one recursion node -> one MR job");
+        assert_pa_eq_lu(&cluster, &factors, &a, 1e-8);
+    }
+
+    #[test]
+    fn two_level_decomposition_matches() {
+        let (cluster, factors, pipeline, a) = run_lu(32, 8, 4, Optimizations::all(), 2);
+        assert_eq!(pipeline.num_jobs(), 3, "depth 2 -> 3 MR jobs");
+        assert_pa_eq_lu(&cluster, &factors, &a, 1e-8);
+    }
+
+    #[test]
+    fn three_level_decomposition_matches() {
+        let (cluster, factors, pipeline, a) = run_lu(64, 8, 4, Optimizations::all(), 3);
+        assert_eq!(pipeline.num_jobs(), 7);
+        assert_pa_eq_lu(&cluster, &factors, &a, 1e-7);
+    }
+
+    #[test]
+    fn odd_orders_decompose() {
+        for &(n, nb, m0) in &[(21usize, 5usize, 3usize), (37, 9, 4), (50, 7, 5)] {
+            let (cluster, factors, _p, a) = run_lu(n, nb, m0, Optimizations::all(), n as u64);
+            assert_pa_eq_lu(&cluster, &factors, &a, 1e-7);
+        }
+    }
+
+    #[test]
+    fn all_ablation_combinations_agree() {
+        let mut variants = Vec::new();
+        for sep in [true, false] {
+            for wrap in [true, false] {
+                for tr in [true, false] {
+                    variants.push(Optimizations {
+                        separate_intermediate_files: sep,
+                        block_wrap: wrap,
+                        transpose_u: tr,
+                    });
+                }
+            }
+        }
+        let mut reference: Option<Matrix> = None;
+        for opts in variants {
+            let (cluster, factors, _p, a) = run_lu(24, 6, 4, opts, 42);
+            assert_pa_eq_lu(&cluster, &factors, &a, 1e-8);
+            let mut io = MasterIo::new(&cluster.dfs);
+            let l = factors.assemble_l(&mut io).unwrap();
+            match &reference {
+                None => reference = Some(l),
+                Some(r) => assert!(
+                    l.approx_eq(r, 1e-9),
+                    "optimizations changed the numerics: {opts:?}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn combine_ablation_reduces_file_count() {
+        let (_c1, f1, _p1, _a1) = run_lu(32, 8, 4, Optimizations::all(), 7);
+        let mut no_sep = Optimizations::all();
+        no_sep.separate_intermediate_files = false;
+        let (_c2, f2, _p2, _a2) = run_lu(32, 8, 4, no_sep, 7);
+        assert!(f1.l_file_count() > 1, "separate files keep the forest");
+        assert_eq!(f2.l_file_count(), 1, "combining collapses to one file");
+    }
+
+    #[test]
+    fn factor_file_count_matches_formula() {
+        // N(d) = 2^d + (m0/2)(2^d - 1) when every level has m0/2 stripes.
+        let (_c, f, _p, _a) = run_lu(64, 8, 4, Optimizations::all(), 9);
+        let d = crate::schedule::recursion_depth(64, 8);
+        assert_eq!(f.l_file_count(), crate::schedule::factor_file_count(d, 4));
+    }
+
+    #[test]
+    fn single_node_cluster_works() {
+        let (cluster, factors, _p, a) = run_lu(16, 4, 1, Optimizations::all(), 11);
+        assert_pa_eq_lu(&cluster, &factors, &a, 1e-8);
+    }
+
+    #[test]
+    fn leaf_only_decomposition_runs_no_jobs() {
+        let (cluster, factors, pipeline, a) = run_lu(8, 16, 2, Optimizations::all(), 13);
+        assert_eq!(pipeline.num_jobs(), 0);
+        assert_pa_eq_lu(&cluster, &factors, &a, 1e-9);
+        assert!(cluster.metrics.snapshot().master_secs > 0.0);
+    }
+
+    #[test]
+    fn fault_injection_does_not_change_result() {
+        let mut ccfg = ClusterConfig::medium(4);
+        ccfg.cost = CostModel::unit_for_tests();
+        let cluster = Cluster::new(ccfg);
+        cluster.faults.fail_task("lu-level", mrinv_mapreduce::Phase::Map, 0, 1);
+        cluster.faults.fail_task("lu-level", mrinv_mapreduce::Phase::Reduce, 1, 1);
+        let icfg = InversionConfig::with_nb(8);
+        let plan = PartitionPlan::new(32, &cluster, &icfg, "Root");
+        let a = random_invertible(32, 17);
+        ingest_input(&cluster, &a, &plan).unwrap();
+        let (tree, _) = run_partition_job(&cluster, &plan).unwrap();
+        let mut pipeline = Pipeline::new();
+        let factors =
+            lu_decompose_mr(&cluster, BlockView::Tree(tree), &plan, &icfg.opts, &mut pipeline)
+                .unwrap();
+        assert!(pipeline.total_failures() >= 2);
+        assert_pa_eq_lu(&cluster, &factors, &a, 1e-8);
+    }
+}

@@ -1,0 +1,531 @@
+//! The map-only partitioning job (Algorithm 3, Figures 3 and 4).
+//!
+//! One MapReduce job recursively partitions the input matrix into the full
+//! Figure-4 directory tree before any LU work starts. Structural
+//! properties preserved from the paper:
+//!
+//! * each partition mapper reads an equal range of *consecutive rows* of
+//!   the input, for sequential I/O (Section 5.2);
+//! * every written file has exactly one writer, and every pipeline reader
+//!   reads only the files of its own stripe/cell — "synchronization on
+//!   file writes is never required" (Section 5.2). Files are named
+//!   `<dir>/<quad>/A.<reader-cell>.<writer-mapper>`;
+//! * `A2` is split into column stripes (one per `U2` mapper) × writer row
+//!   pieces, `A3` into row stripes (one per `L2'` mapper) × writer pieces,
+//!   `A4` into the `f1 × f2` block-wrap grid (Section 6.2) × writer
+//!   pieces, and `A1` recurses.
+//!
+//! The master rebuilds the same geometry as [`MatrixSource`] descriptors
+//! (pure metadata — the mapper and the master share one enumeration
+//! function, so they cannot disagree).
+
+use mrinv_mapreduce::job::{JobSpec, MapContext, Mapper};
+use mrinv_mapreduce::runner::{run_map_only, JobReport};
+use mrinv_mapreduce::{Cluster, MrError};
+use mrinv_matrix::block::{even_ranges, BlockRange};
+use mrinv_matrix::io::{decode_binary, encode_binary};
+use mrinv_matrix::Matrix;
+
+use crate::config::InversionConfig;
+use crate::error::{CoreError, Result};
+use crate::source::{BlockIo, MasterIo, MatrixSource, Piece};
+
+/// Static geometry of one inversion's data layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlan {
+    /// Matrix order.
+    pub n: usize,
+    /// Bound value: blocks of order at most `nb` become leaves.
+    pub nb: usize,
+    /// Cluster size `m0` (= number of partition mappers).
+    pub m0: usize,
+    /// Number of `L2'` row stripes per level (`max(m0/2, 1)`).
+    pub m_l: usize,
+    /// Number of `U2` column stripes per level (`max(m0/2, 1)`).
+    pub m_u: usize,
+    /// `A4` reader cells: the `f1 × f2` block-wrap grid, or `(m0, 1)` row
+    /// stripes when block wrap is disabled.
+    pub grid: (usize, usize),
+    /// DFS directory all paths live under (the paper's `Root`).
+    pub root: String,
+}
+
+impl PartitionPlan {
+    /// Builds the plan for a cluster and configuration.
+    pub fn new(n: usize, cluster: &Cluster, cfg: &InversionConfig, root: impl Into<String>) -> Self {
+        let m0 = cluster.nodes().max(1);
+        let half_workers = (m0 / 2).max(1);
+        let grid = if cfg.opts.block_wrap {
+            cluster.config.block_wrap_factors()
+        } else {
+            (m0, 1)
+        };
+        PartitionPlan {
+            n,
+            nb: cfg.nb,
+            m0,
+            m_l: half_workers,
+            m_u: half_workers,
+            grid,
+            root: root.into(),
+        }
+    }
+
+    /// The consecutive global row range partition mapper `j` owns.
+    pub fn mapper_rows(&self, j: usize) -> (usize, usize) {
+        even_ranges(self.n, self.m0)[j]
+    }
+
+    /// DFS path of the input row-stripe file mapper `j` reads.
+    pub fn input_part_path(&self, j: usize) -> String {
+        format!("{}/input/part.{j}", self.root)
+    }
+}
+
+/// A planned file: its path, global rectangle, and writer mapper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PlannedPiece {
+    writer: usize,
+    path: String,
+    rows: (usize, usize),
+    cols: (usize, usize),
+}
+
+/// The recursive layout of one block, mirroring Figure 4.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceTree {
+    /// Block of order ≤ `nb`, decomposed on the master node.
+    Leaf {
+        /// DFS directory of this block.
+        dir: String,
+        /// Block order.
+        n: usize,
+        /// The stored block (local coordinates).
+        source: MatrixSource,
+    },
+    /// Internal node: `A1` recurses; `A2`/`A3`/`A4` feed the level's job.
+    Split {
+        /// DFS directory of this block.
+        dir: String,
+        /// Block order.
+        n: usize,
+        /// Split point (`A1` has order `half`).
+        half: usize,
+        /// Recursive layout of the top-left block.
+        a1: Box<SourceTree>,
+        /// Top-right block, split for the `U2` mappers.
+        a2: MatrixSource,
+        /// Bottom-left block, split for the `L2'` mappers.
+        a3: MatrixSource,
+        /// Bottom-right block, split for the block-wrap reducers.
+        a4: MatrixSource,
+    },
+}
+
+impl SourceTree {
+    /// Block order at this node.
+    pub fn n(&self) -> usize {
+        match self {
+            SourceTree::Leaf { n, .. } | SourceTree::Split { n, .. } => *n,
+        }
+    }
+
+    /// DFS directory of this node.
+    pub fn dir(&self) -> &str {
+        match self {
+            SourceTree::Leaf { dir, .. } | SourceTree::Split { dir, .. } => dir,
+        }
+    }
+
+    /// Total number of leaf blocks (master-node LU sites).
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            SourceTree::Leaf { .. } => 1,
+            SourceTree::Split { a1, .. } => 1 + a1.leaf_count(), // B's tree is built later
+        }
+    }
+}
+
+/// Enumerates every planned piece of the recursive layout (shared by the
+/// mapper and the master so the two views cannot diverge).
+fn enumerate_pieces(plan: &PartitionPlan, out: &mut Vec<PlannedPiece>) {
+    enumerate_block(plan, &plan.root.clone(), 0, 0, plan.n, out);
+}
+
+fn enumerate_block(
+    plan: &PartitionPlan,
+    dir: &str,
+    r_off: usize,
+    c_off: usize,
+    n: usize,
+    out: &mut Vec<PlannedPiece>,
+) {
+    if n == 0 {
+        return;
+    }
+    if n <= plan.nb {
+        // Leaf: single reader cell, row-sliced by writers.
+        push_cells(plan, &format!("{dir}"), r_off, c_off, n, n, &[(0, n)], &[(0, n)], out);
+        return;
+    }
+    let half = n / 2;
+    let rest = n - half;
+    // A1 recurses.
+    enumerate_block(plan, &format!("{dir}/A1"), r_off, c_off, half, out);
+    // A2: column stripes for U2 mappers (rows 0..half, cols half..n).
+    let a2_cols = even_ranges(rest, plan.m_u);
+    push_cells(plan, &format!("{dir}/A2"), r_off, c_off + half, half, rest, &[(0, half)], &a2_cols, out);
+    // A3: row stripes for L2' mappers (rows half..n, cols 0..half).
+    let a3_rows = even_ranges(rest, plan.m_l);
+    push_cells(plan, &format!("{dir}/A3"), r_off + half, c_off, rest, half, &a3_rows, &[(0, half)], out);
+    // A4: grid cells for the reducers (rows half..n, cols half..n).
+    let a4_rows = even_ranges(rest, plan.grid.0);
+    let a4_cols = even_ranges(rest, plan.grid.1);
+    push_cells(plan, &format!("{dir}/A4"), r_off + half, c_off + half, rest, rest, &a4_rows, &a4_cols, out);
+}
+
+/// Emits the (reader-cell × writer) pieces of one quadrant whose local
+/// origin sits at global `(r_off, c_off)` with shape `(nr, nc)`.
+#[allow(clippy::too_many_arguments)]
+fn push_cells(
+    plan: &PartitionPlan,
+    dir: &str,
+    r_off: usize,
+    c_off: usize,
+    _nr: usize,
+    _nc: usize,
+    cell_rows: &[(usize, usize)],
+    cell_cols: &[(usize, usize)],
+    out: &mut Vec<PlannedPiece>,
+) {
+    for (ci, &(cr0, cr1)) in cell_rows.iter().enumerate() {
+        for (cj, &(cc0, cc1)) in cell_cols.iter().enumerate() {
+            if cr0 == cr1 || cc0 == cc1 {
+                continue;
+            }
+            let cell = ci * cell_cols.len() + cj;
+            // Global rows of this cell.
+            let g0 = r_off + cr0;
+            let g1 = r_off + cr1;
+            for j in 0..plan.m0 {
+                let (m0r, m1r) = plan.mapper_rows(j);
+                let ir0 = g0.max(m0r);
+                let ir1 = g1.min(m1r);
+                if ir0 >= ir1 {
+                    continue;
+                }
+                out.push(PlannedPiece {
+                    writer: j,
+                    path: format!("{dir}/A.{cell}.{j}"),
+                    rows: (ir0, ir1),
+                    cols: (c_off + cc0, c_off + cc1),
+                });
+            }
+        }
+    }
+}
+
+/// Builds the master's [`SourceTree`] of [`MatrixSource`] descriptors for
+/// the layout the partition job will write. All sources use coordinates
+/// local to their own block.
+pub fn build_source_tree(plan: &PartitionPlan) -> SourceTree {
+    let mut pieces = Vec::new();
+    enumerate_pieces(plan, &mut pieces);
+    build_tree_node(plan, &plan.root.clone(), 0, 0, plan.n, &pieces)
+}
+
+fn collect_quadrant(
+    pieces: &[PlannedPiece],
+    dir_prefix: &str,
+    r_off: usize,
+    c_off: usize,
+    shape: (usize, usize),
+) -> MatrixSource {
+    let prefix = format!("{dir_prefix}/A.");
+    let local: Vec<Piece> = pieces
+        .iter()
+        .filter(|p| p.path.starts_with(&prefix))
+        .map(|p| {
+            Piece::new(
+                p.path.clone(),
+                (p.rows.0 - r_off, p.rows.1 - r_off),
+                (p.cols.0 - c_off, p.cols.1 - c_off),
+            )
+        })
+        .collect();
+    MatrixSource::new(shape, local)
+}
+
+fn build_tree_node(
+    plan: &PartitionPlan,
+    dir: &str,
+    r_off: usize,
+    c_off: usize,
+    n: usize,
+    pieces: &[PlannedPiece],
+) -> SourceTree {
+    if n <= plan.nb {
+        return SourceTree::Leaf {
+            dir: dir.to_string(),
+            n,
+            source: collect_quadrant(pieces, dir, r_off, c_off, (n, n)),
+        };
+    }
+    let half = n / 2;
+    let rest = n - half;
+    SourceTree::Split {
+        dir: dir.to_string(),
+        n,
+        half,
+        a1: Box::new(build_tree_node(plan, &format!("{dir}/A1"), r_off, c_off, half, pieces)),
+        a2: collect_quadrant(pieces, &format!("{dir}/A2"), r_off, c_off + half, (half, rest)),
+        a3: collect_quadrant(pieces, &format!("{dir}/A3"), r_off + half, c_off, (rest, half)),
+        a4: collect_quadrant(
+            pieces,
+            &format!("{dir}/A4"),
+            r_off + half,
+            c_off + half,
+            (rest, rest),
+        ),
+    }
+}
+
+/// The partitioning mapper: worker `j` reads its consecutive input rows and
+/// writes every planned piece it owns.
+pub struct PartitionMapper {
+    plan: PartitionPlan,
+}
+
+impl Mapper for PartitionMapper {
+    type Input = usize;
+    type Key = usize;
+    type Value = usize;
+
+    fn map(
+        &self,
+        input: &usize,
+        ctx: &mut MapContext<usize, usize>,
+    ) -> std::result::Result<(), MrError> {
+        let j = *input;
+        let (r0, _r1) = self.plan.mapper_rows(j);
+        let stripe = decode_binary(&ctx.read(&self.plan.input_part_path(j))?)
+            .map_err(|e| MrError::Other(e.to_string()))?;
+        let mut pieces = Vec::new();
+        enumerate_pieces(&self.plan, &mut pieces);
+        for p in pieces.into_iter().filter(|p| p.writer == j) {
+            let block = stripe
+                .block(BlockRange::new((p.rows.0 - r0, p.rows.1 - r0), p.cols))
+                .map_err(|e| MrError::Other(e.to_string()))?;
+            ctx.write(&p.path, encode_binary(&block));
+        }
+        Ok(())
+    }
+}
+
+/// Writes the input matrix into the DFS as `m0` row-stripe files (the
+/// upstream job's output in the paper's workflow; its cost is not part of
+/// the inversion's Tables 1–2 accounting, so callers typically reset the
+/// DFS counters afterwards).
+pub fn ingest_input(cluster: &Cluster, a: &Matrix, plan: &PartitionPlan) -> Result<()> {
+    if a.rows() != plan.n || a.cols() != plan.n {
+        return Err(CoreError::Invariant(format!(
+            "input is {:?}, plan expects {n}x{n}",
+            a.shape(),
+            n = plan.n
+        )));
+    }
+    let mut io = MasterIo::new(&cluster.dfs);
+    for j in 0..plan.m0 {
+        let (r0, r1) = plan.mapper_rows(j);
+        let stripe = a.row_stripe(r0, r1)?;
+        io.write_bytes(&plan.input_part_path(j), encode_binary(&stripe));
+    }
+    Ok(())
+}
+
+/// Runs the partitioning job and returns the layout descriptor tree.
+pub fn run_partition_job(
+    cluster: &Cluster,
+    plan: &PartitionPlan,
+) -> Result<(SourceTree, JobReport)> {
+    let spec: JobSpec<usize, usize> = JobSpec::new(format!("partition:{}", plan.root), 0);
+    let inputs: Vec<usize> = (0..plan.m0).collect();
+    let mapper = PartitionMapper { plan: plan.clone() };
+    let report = run_map_only(cluster, &spec, &mapper, &inputs)?;
+    Ok((build_source_tree(plan), report))
+}
+
+/// Reads the whole partitioned input back (test/diagnostic helper).
+pub fn read_back(tree: &SourceTree, io: &mut MasterIo<'_>) -> Result<Matrix> {
+    match tree {
+        SourceTree::Leaf { source, .. } => source.read_all(io),
+        SourceTree::Split { n, half, a1, a2, a3, a4, .. } => {
+            let mut m = Matrix::zeros(*n, *n);
+            m.set_block(0, 0, &read_back(a1, io)?)?;
+            m.set_block(0, *half, &a2.read_all(io)?)?;
+            m.set_block(*half, 0, &a3.read_all(io)?)?;
+            m.set_block(*half, *half, &a4.read_all(io)?)?;
+            Ok(m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrinv_matrix::random::random_matrix;
+
+    fn plan(n: usize, nb: usize, m0: usize, block_wrap: bool) -> (Cluster, PartitionPlan) {
+        let mut cfg = mrinv_mapreduce::ClusterConfig::medium(m0);
+        cfg.cost = mrinv_mapreduce::CostModel::unit_for_tests();
+        let cluster = Cluster::new(cfg);
+        let mut icfg = InversionConfig::with_nb(nb);
+        icfg.opts.block_wrap = block_wrap;
+        let p = PartitionPlan::new(n, &cluster, &icfg, "Root");
+        (cluster, p)
+    }
+
+    #[test]
+    fn partition_round_trips_the_matrix() {
+        for &(n, nb, m0) in &[(24usize, 6usize, 4usize), (31, 7, 3), (16, 16, 2), (40, 5, 8)] {
+            let (cluster, p) = plan(n, nb, m0, true);
+            let a = random_matrix(n, n, n as u64);
+            ingest_input(&cluster, &a, &p).unwrap();
+            let (tree, report) = run_partition_job(&cluster, &p).unwrap();
+            assert_eq!(report.map_tasks, m0);
+            let mut io = MasterIo::new(&cluster.dfs);
+            let back = read_back(&tree, &mut io).unwrap();
+            assert_eq!(back, a, "n={n} nb={nb} m0={m0}");
+        }
+    }
+
+    #[test]
+    fn every_file_has_one_writer() {
+        let (_c, p) = plan(32, 8, 4, true);
+        let mut pieces = Vec::new();
+        enumerate_pieces(&p, &mut pieces);
+        let mut seen = std::collections::HashMap::new();
+        for piece in &pieces {
+            if let Some(prev) = seen.insert(piece.path.clone(), piece.writer) {
+                assert_eq!(prev, piece.writer, "file {} has two writers", piece.path);
+            }
+        }
+        // And paths are unique outright.
+        let paths: std::collections::HashSet<_> = pieces.iter().map(|p| &p.path).collect();
+        assert_eq!(paths.len(), pieces.len());
+    }
+
+    #[test]
+    fn pieces_tile_the_matrix_exactly() {
+        let (_c, p) = plan(30, 7, 5, true);
+        let mut pieces = Vec::new();
+        enumerate_pieces(&p, &mut pieces);
+        let mut cover = vec![0u8; 30 * 30];
+        for piece in &pieces {
+            for r in piece.rows.0..piece.rows.1 {
+                for c in piece.cols.0..piece.cols.1 {
+                    cover[r * 30 + c] += 1;
+                }
+            }
+        }
+        assert!(cover.iter().all(|&v| v == 1), "every element in exactly one piece");
+    }
+
+    #[test]
+    fn writers_only_touch_their_rows() {
+        let (_c, p) = plan(40, 10, 4, true);
+        let mut pieces = Vec::new();
+        enumerate_pieces(&p, &mut pieces);
+        for piece in &pieces {
+            let (r0, r1) = p.mapper_rows(piece.writer);
+            assert!(piece.rows.0 >= r0 && piece.rows.1 <= r1);
+        }
+    }
+
+    #[test]
+    fn tree_structure_matches_recursion() {
+        let (_c, p) = plan(32, 8, 4, true);
+        let tree = build_source_tree(&p);
+        match &tree {
+            SourceTree::Split { n, half, a1, a2, a3, a4, .. } => {
+                assert_eq!(*n, 32);
+                assert_eq!(*half, 16);
+                assert_eq!(a2.shape(), (16, 16));
+                assert_eq!(a3.shape(), (16, 16));
+                assert_eq!(a4.shape(), (16, 16));
+                match a1.as_ref() {
+                    SourceTree::Split { n, a1: inner, .. } => {
+                        assert_eq!(*n, 16);
+                        assert!(matches!(inner.as_ref(), SourceTree::Leaf { n: 8, .. }));
+                    }
+                    other => panic!("expected split, got {other:?}"),
+                }
+            }
+            other => panic!("expected split root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn small_matrix_is_a_single_leaf() {
+        let (cluster, p) = plan(8, 16, 4, true);
+        let a = random_matrix(8, 8, 1);
+        ingest_input(&cluster, &a, &p).unwrap();
+        let (tree, _) = run_partition_job(&cluster, &p).unwrap();
+        assert!(matches!(tree, SourceTree::Leaf { n: 8, .. }));
+        let mut io = MasterIo::new(&cluster.dfs);
+        assert_eq!(read_back(&tree, &mut io).unwrap(), a);
+    }
+
+    #[test]
+    fn block_wrap_off_uses_row_stripes_for_a4() {
+        let (_c, p) = plan(32, 8, 4, false);
+        assert_eq!(p.grid, (4, 1));
+        let (_c2, p2) = plan(32, 8, 4, true);
+        assert_eq!(p2.grid, (2, 2));
+    }
+
+    #[test]
+    fn u2_mapper_stripe_reads_only_its_columns() {
+        // Reader-cell file split: a U2 mapper reading its column stripe of
+        // A2 must not decode other stripes' files.
+        let n = 32;
+        let (cluster, p) = plan(n, 8, 4, true);
+        let a = random_matrix(n, n, 9);
+        ingest_input(&cluster, &a, &p).unwrap();
+        let (tree, _) = run_partition_job(&cluster, &p).unwrap();
+        let SourceTree::Split { a2, .. } = &tree else { panic!("expected split") };
+        cluster.dfs.reset_counters();
+        let mut io = MasterIo::new(&cluster.dfs);
+        let stripe_cols = even_ranges(16, p.m_u)[0];
+        let got = a2.read_cols(&mut io, stripe_cols.0, stripe_cols.1).unwrap();
+        let expect = a.block(BlockRange::new((0, 16), (16 + 0, 16 + stripe_cols.1))).unwrap();
+        assert_eq!(got, expect);
+        // Bytes read ≈ the stripe, not all of A2.
+        let a2_bytes = 16 * 16 * 8;
+        assert!(
+            cluster.dfs.counters().bytes_read < (a2_bytes / 2 + 1024) as u64,
+            "read {} bytes, expected about half of A2's {}",
+            cluster.dfs.counters().bytes_read,
+            a2_bytes
+        );
+    }
+
+    #[test]
+    fn ingest_validates_shape() {
+        let (cluster, p) = plan(16, 4, 2, true);
+        let wrong = random_matrix(8, 16, 0);
+        assert!(ingest_input(&cluster, &wrong, &p).is_err());
+    }
+
+    #[test]
+    fn mapper_rows_cover_input() {
+        let (_c, p) = plan(33, 8, 5, true);
+        let mut next = 0;
+        for j in 0..5 {
+            let (a, b) = p.mapper_rows(j);
+            assert_eq!(a, next);
+            next = b;
+        }
+        assert_eq!(next, 33);
+    }
+}

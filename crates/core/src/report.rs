@@ -1,0 +1,91 @@
+//! Per-run accounting returned by the public API.
+
+use mrinv_mapreduce::dfs::DfsCountersSnapshot;
+use mrinv_mapreduce::MetricsSnapshot;
+
+/// Everything one inversion run measured, as deltas over the cluster's
+/// state when the run started.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Matrix order.
+    pub n: usize,
+    /// Cluster size `m0`.
+    pub nodes: usize,
+    /// Bound value used.
+    pub nb: usize,
+    /// MapReduce jobs executed (partition + LU pipeline + final).
+    pub jobs: u64,
+    /// Total simulated seconds (job waves + shuffles + launches + master
+    /// work).
+    pub sim_secs: f64,
+    /// Simulated seconds of serial master-node work.
+    pub master_secs: f64,
+    /// Failed task attempts (all injected or transient).
+    pub task_failures: u64,
+    /// Logical DFS bytes written during the run.
+    pub dfs_bytes_written: u64,
+    /// Logical DFS bytes read during the run.
+    pub dfs_bytes_read: u64,
+    /// Bytes moved through shuffles.
+    pub shuffle_bytes: u64,
+    /// Simulated running time in hours (convenience for paper-style
+    /// reporting).
+    pub hours: f64,
+}
+
+impl RunReport {
+    /// Builds a report from before/after snapshots.
+    pub fn from_deltas(
+        n: usize,
+        nodes: usize,
+        nb: usize,
+        metrics_before: &MetricsSnapshot,
+        metrics_after: &MetricsSnapshot,
+        dfs_before: &DfsCountersSnapshot,
+        dfs_after: &DfsCountersSnapshot,
+    ) -> Self {
+        let sim_secs = metrics_after.sim_secs - metrics_before.sim_secs;
+        RunReport {
+            n,
+            nodes,
+            nb,
+            jobs: metrics_after.jobs - metrics_before.jobs,
+            sim_secs,
+            master_secs: metrics_after.master_secs - metrics_before.master_secs,
+            task_failures: metrics_after.task_failures - metrics_before.task_failures,
+            dfs_bytes_written: dfs_after.bytes_written - dfs_before.bytes_written,
+            dfs_bytes_read: dfs_after.bytes_read - dfs_before.bytes_read,
+            shuffle_bytes: metrics_after.shuffle_bytes - metrics_before.shuffle_bytes,
+            hours: sim_secs / 3600.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_subtract() {
+        let before = MetricsSnapshot { jobs: 2, sim_secs: 10.0, ..Default::default() };
+        let after = MetricsSnapshot {
+            jobs: 5,
+            sim_secs: 7210.0,
+            master_secs: 100.0,
+            task_failures: 1,
+            shuffle_bytes: 64,
+            ..Default::default()
+        };
+        let db = DfsCountersSnapshot { bytes_written: 100, bytes_read: 50, ..Default::default() };
+        let da =
+            DfsCountersSnapshot { bytes_written: 1100, bytes_read: 2050, ..Default::default() };
+        let r = RunReport::from_deltas(64, 4, 8, &before, &after, &db, &da);
+        assert_eq!(r.jobs, 3);
+        assert!((r.sim_secs - 7200.0).abs() < 1e-9);
+        assert!((r.hours - 2.0).abs() < 1e-9);
+        assert_eq!(r.dfs_bytes_written, 1000);
+        assert_eq!(r.dfs_bytes_read, 2000);
+        assert_eq!(r.task_failures, 1);
+        assert_eq!(r.shuffle_bytes, 64);
+    }
+}

@@ -1,0 +1,421 @@
+//! The final MapReduce job: triangular inversion and the product
+//! `A^-1 = U^-1 · L^-1 · P` (Section 5.4).
+//!
+//! * **mappers** — half invert `L` by computing interleaved columns of
+//!   `L^-1` (mapper `k` computes columns `k, k+m, k+2m, ...` — the paper's
+//!   load-balancing assignment: "Mapper0 computes columns 0, 4, 8, 12,
+//!   ..."), half invert `U` by computing interleaved rows of `U^-1`
+//!   (through the transposed storage of Section 6.3). Each mapper writes
+//!   its vectors grouped by the reducer cell that needs them, so reducers
+//!   read only their own `(1/f1 + 1/f2)·n²` share (Section 6.2);
+//! * **reducers** — each computes one block of `U^-1·L^-1` and writes it
+//!   with its *permuted* target column indices: column `j` of the product
+//!   is column `S[j]` of `A^-1` (Section 4.3).
+//!
+//! Because the interleaved vectors are non-contiguous, files carry explicit
+//! index headers ([`IndexedBlock`]).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mrinv_mapreduce::job::{identity_partitioner, JobSpec, MapContext, Mapper, ReduceContext, Reducer};
+use mrinv_mapreduce::runner::run_job;
+use mrinv_mapreduce::{Cluster, MrError, Pipeline};
+use mrinv_matrix::block::even_ranges;
+use mrinv_matrix::io::{decode_binary, encode_binary};
+use mrinv_matrix::multiply::{mul_ijk, mul_transposed};
+use mrinv_matrix::triangular::{invert_lower_column, solve_row_times_upper};
+use mrinv_matrix::{Matrix, Permutation};
+
+use crate::config::Optimizations;
+use crate::error::{CoreError, Result};
+use crate::factors::FactorRef;
+use crate::partition::PartitionPlan;
+
+/// A bundle of same-length vectors tagged with their global indices
+/// (interleaved rows of `U^-1`, columns of `L^-1`, or permuted output
+/// columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexedBlock {
+    /// Global index of each vector in `data`'s rows (or columns).
+    pub indices: Vec<u64>,
+    /// The vectors; orientation is up to the producer.
+    pub data: Matrix,
+}
+
+/// Encodes an [`IndexedBlock`]: `[count u64][indices...][matrix]`.
+pub fn encode_indexed(block: &IndexedBlock) -> Bytes {
+    let mat = encode_binary(&block.data);
+    let mut buf = BytesMut::with_capacity(8 + block.indices.len() * 8 + mat.len());
+    buf.put_u64_le(block.indices.len() as u64);
+    for &i in &block.indices {
+        buf.put_u64_le(i);
+    }
+    buf.put_slice(&mat);
+    buf.freeze()
+}
+
+/// Decodes an [`IndexedBlock`].
+pub fn decode_indexed(mut data: &[u8]) -> Result<IndexedBlock> {
+    if data.len() < 8 {
+        return Err(CoreError::Invariant("indexed block truncated".into()));
+    }
+    let count = data.get_u64_le() as usize;
+    if data.len() < count * 8 {
+        return Err(CoreError::Invariant("indexed block index list truncated".into()));
+    }
+    let mut indices = Vec::with_capacity(count);
+    for _ in 0..count {
+        indices.push(data.get_u64_le());
+    }
+    let matrix = decode_binary(data)?;
+    Ok(IndexedBlock { indices, data: matrix })
+}
+
+/// Map-task input for the final job.
+#[derive(Debug, Clone)]
+pub enum InvTaskInput {
+    /// Invert `L`: compute columns `k, k+m, ...` of `L^-1`.
+    LCols {
+        /// Worker index within the `L` half.
+        k: usize,
+    },
+    /// Invert `U`: compute rows `k, k+m, ...` of `U^-1`.
+    URows {
+        /// Worker index within the `U` half.
+        k: usize,
+    },
+}
+
+struct TriInvMapper {
+    dir: String,
+    factors: FactorRef,
+    opts: Optimizations,
+    n: usize,
+    m_l: usize,
+    m_u: usize,
+    row_blocks: Vec<(usize, usize)>,
+    col_blocks: Vec<(usize, usize)>,
+    num_cells: usize,
+}
+
+impl TriInvMapper {
+    /// Splits this worker's interleaved vector indices by block, returning
+    /// `(block_idx, indices)` for each non-empty block.
+    fn group_by_block(
+        indices: &[usize],
+        blocks: &[(usize, usize)],
+    ) -> Vec<(usize, Vec<usize>)> {
+        blocks
+            .iter()
+            .enumerate()
+            .filter_map(|(bi, &(b0, b1))| {
+                let in_block: Vec<usize> =
+                    indices.iter().copied().filter(|&i| i >= b0 && i < b1).collect();
+                if in_block.is_empty() {
+                    None
+                } else {
+                    Some((bi, in_block))
+                }
+            })
+            .collect()
+    }
+}
+
+impl Mapper for TriInvMapper {
+    type Input = InvTaskInput;
+    type Key = usize;
+    type Value = usize;
+
+    fn map(
+        &self,
+        input: &InvTaskInput,
+        ctx: &mut MapContext<usize, usize>,
+    ) -> std::result::Result<(), MrError> {
+        match *input {
+            InvTaskInput::LCols { k } => {
+                let l = self.factors.assemble_l(ctx)?;
+                let my_cols: Vec<usize> = (k..self.n).step_by(self.m_l).collect();
+                // Compute each column once, then scatter into per-cell files.
+                let mut computed: Vec<(usize, Vec<f64>)> = Vec::with_capacity(my_cols.len());
+                let kernel = std::time::Instant::now();
+                for &j in &my_cols {
+                    computed.push((j, invert_lower_column(&l, j).map_err(CoreError::from)?));
+                }
+                ctx.charge_kernel(kernel.elapsed());
+                for (bi, cols) in Self::group_by_block(&my_cols, &self.col_blocks) {
+                    let mut data = if self.opts.transpose_u {
+                        // Columns stored as rows (transposed layout).
+                        Matrix::zeros(cols.len(), self.n)
+                    } else {
+                        Matrix::zeros(self.n, cols.len())
+                    };
+                    for (slot, &j) in cols.iter().enumerate() {
+                        let col = &computed.iter().find(|(cj, _)| *cj == j).unwrap().1;
+                        if self.opts.transpose_u {
+                            data.row_mut(slot).copy_from_slice(col);
+                        } else {
+                            for i in 0..self.n {
+                                data[(i, slot)] = col[i];
+                            }
+                        }
+                    }
+                    let block =
+                        IndexedBlock { indices: cols.iter().map(|&c| c as u64).collect(), data };
+                    ctx.write(&format!("{}/INV/L.{k}.{bi}", self.dir), encode_indexed(&block));
+                }
+            }
+            InvTaskInput::URows { k } => {
+                let my_rows: Vec<usize> = (k..self.n).step_by(self.m_u).collect();
+                let mut computed: Vec<Vec<f64>> = Vec::with_capacity(my_rows.len());
+                if self.opts.transpose_u {
+                    // Row i of U^-1 is column i of (Uᵀ)^-1, and Uᵀ is the
+                    // lower-triangular matrix we store directly.
+                    let ut = self.factors.assemble_u_t(ctx)?;
+                    let kernel = std::time::Instant::now();
+                    for &i in &my_rows {
+                        computed.push(invert_lower_column(&ut, i).map_err(CoreError::from)?);
+                    }
+                    ctx.charge_kernel(kernel.elapsed());
+                } else {
+                    // Ablation path: row-major U, solve eᵢᵀ = x·U with
+                    // column-striding access.
+                    let u = self.factors.assemble_u(ctx)?;
+                    let kernel = std::time::Instant::now();
+                    for &i in &my_rows {
+                        let mut e = vec![0.0; self.n];
+                        e[i] = 1.0;
+                        computed.push(solve_row_times_upper(&u, &e).map_err(CoreError::from)?);
+                    }
+                    ctx.charge_kernel(kernel.elapsed());
+                }
+                for (bi, rows) in Self::group_by_block(&my_rows, &self.row_blocks) {
+                    let mut data = Matrix::zeros(rows.len(), self.n);
+                    for (slot, &i) in rows.iter().enumerate() {
+                        let pos = my_rows.iter().position(|&r| r == i).unwrap();
+                        data.row_mut(slot).copy_from_slice(&computed[pos]);
+                    }
+                    let block =
+                        IndexedBlock { indices: rows.iter().map(|&r| r as u64).collect(), data };
+                    ctx.write(&format!("{}/INV/U.{k}.{bi}", self.dir), encode_indexed(&block));
+                }
+            }
+        }
+        // Control pairs: assign product cells round-robin across map tasks.
+        let mut cell = ctx.task_index();
+        let stride = ctx.num_tasks();
+        while cell < self.num_cells {
+            ctx.emit(cell, cell);
+            cell += stride;
+        }
+        Ok(())
+    }
+}
+
+struct TriInvReducer {
+    dir: String,
+    n: usize,
+    m_l: usize,
+    m_u: usize,
+    row_blocks: Vec<(usize, usize)>,
+    col_blocks: Vec<(usize, usize)>,
+    perm: Permutation,
+    opts: Optimizations,
+}
+
+impl Reducer for TriInvReducer {
+    type Key = usize;
+    type Value = usize;
+    type Output = ();
+
+    fn reduce(
+        &self,
+        key: &usize,
+        _values: &[usize],
+        ctx: &mut ReduceContext,
+    ) -> std::result::Result<(), MrError> {
+        let cell = *key;
+        let bi = cell / self.col_blocks.len();
+        let bj = cell % self.col_blocks.len();
+        let (r0, r1) = self.row_blocks[bi];
+        let (c0, c1) = self.col_blocks[bj];
+        if r0 >= r1 || c0 >= c1 {
+            return Ok(());
+        }
+
+        // Assemble this cell's rows of U^-1.
+        let mut u_rows = Matrix::zeros(r1 - r0, self.n);
+        for k in 0..self.m_u {
+            let path = format!("{}/INV/U.{k}.{bi}", self.dir);
+            if !ctx.exists(&path) {
+                continue; // that worker had no rows in this block
+            }
+            let block = decode_indexed(&ctx.read(&path)?).map_err(CoreError::from)?;
+            for (slot, &i) in block.indices.iter().enumerate() {
+                u_rows.row_mut(i as usize - r0).copy_from_slice(block.data.row(slot));
+            }
+        }
+
+        // Assemble this cell's columns of L^-1 and multiply.
+        let product = if self.opts.transpose_u {
+            let mut l_cols_t = Matrix::zeros(c1 - c0, self.n);
+            for k in 0..self.m_l {
+                let path = format!("{}/INV/L.{k}.{bj}", self.dir);
+                if !ctx.exists(&path) {
+                    continue;
+                }
+                let block = decode_indexed(&ctx.read(&path)?).map_err(CoreError::from)?;
+                for (slot, &j) in block.indices.iter().enumerate() {
+                    l_cols_t.row_mut(j as usize - c0).copy_from_slice(block.data.row(slot));
+                }
+            }
+            let kernel = std::time::Instant::now();
+            let p = mul_transposed(&u_rows, &l_cols_t).map_err(CoreError::from)?;
+            ctx.charge_kernel(kernel.elapsed());
+            p
+        } else {
+            let mut l_cols = Matrix::zeros(self.n, c1 - c0);
+            for k in 0..self.m_l {
+                let path = format!("{}/INV/L.{k}.{bj}", self.dir);
+                if !ctx.exists(&path) {
+                    continue;
+                }
+                let block = decode_indexed(&ctx.read(&path)?).map_err(CoreError::from)?;
+                for (slot, &j) in block.indices.iter().enumerate() {
+                    for i in 0..self.n {
+                        l_cols[(i, j as usize - c0)] = block.data[(i, slot)];
+                    }
+                }
+            }
+            // Ablation path: Equation 7's column-striding product.
+            let kernel = std::time::Instant::now();
+            let p = mul_ijk(&u_rows, &l_cols).map_err(CoreError::from)?;
+            ctx.charge_kernel(kernel.elapsed());
+            p
+        };
+
+        // Column j of the product is column S[j] of A^-1 (Section 4.3).
+        let out = IndexedBlock {
+            indices: (c0..c1).map(|j| self.perm.source_of(j) as u64).collect(),
+            data: product,
+        };
+        ctx.write(&format!("{}/RESULT/A.{cell}.{r0}", self.dir), encode_indexed(&out));
+        Ok(())
+    }
+}
+
+/// Runs the final inversion job over decomposed factors, returning the
+/// assembled `A^-1`.
+///
+/// The result also remains in the DFS under `<dir>/RESULT/` for downstream
+/// consumers (the paper's Hadoop-workflow motivation); the in-memory
+/// assembly here is an API convenience and is not charged to the simulated
+/// clock.
+pub fn invert_factors_mr(
+    cluster: &Cluster,
+    factors: &FactorRef,
+    plan: &PartitionPlan,
+    opts: &Optimizations,
+    pipeline: &mut Pipeline,
+) -> Result<Matrix> {
+    let n = factors.n();
+    let dir = plan.root.clone();
+    let row_blocks = even_ranges(n, plan.grid.0);
+    let col_blocks = even_ranges(n, plan.grid.1);
+    let num_cells = plan.grid.0 * plan.grid.1;
+
+    let mut inputs = Vec::new();
+    for k in 0..plan.m_l.min(n) {
+        inputs.push(InvTaskInput::LCols { k });
+    }
+    for k in 0..plan.m_u.min(n) {
+        inputs.push(InvTaskInput::URows { k });
+    }
+
+    let perm = factors.perm();
+    let mapper = TriInvMapper {
+        dir: dir.clone(),
+        factors: factors.clone(),
+        opts: *opts,
+        n,
+        m_l: plan.m_l.min(n),
+        m_u: plan.m_u.min(n),
+        row_blocks: row_blocks.clone(),
+        col_blocks: col_blocks.clone(),
+        num_cells,
+    };
+    let reducer = TriInvReducer {
+        dir: dir.clone(),
+        n,
+        m_l: plan.m_l.min(n),
+        m_u: plan.m_u.min(n),
+        row_blocks: row_blocks.clone(),
+        col_blocks: col_blocks.clone(),
+        perm,
+        opts: *opts,
+    };
+
+    let mut spec = JobSpec::new(format!("final-inverse:{dir}"), num_cells);
+    spec.partitioner = identity_partitioner;
+    let (_out, report) = run_job(cluster, &spec, &mapper, &reducer, &inputs)?;
+    pipeline.push(report);
+
+    // Assemble the final matrix from the RESULT files (uncharged).
+    let mut result = Matrix::zeros(n, n);
+    for (bi, &(r0, r1)) in row_blocks.iter().enumerate() {
+        for (bj, &(c0, c1)) in col_blocks.iter().enumerate() {
+            if r0 >= r1 || c0 >= c1 {
+                continue;
+            }
+            let cell = bi * col_blocks.len() + bj;
+            let data = cluster.dfs.read(&format!("{dir}/RESULT/A.{cell}.{r0}"))?;
+            let block = decode_indexed(&data)?;
+            for (slot, &target_col) in block.indices.iter().enumerate() {
+                for i in r0..r1 {
+                    result[(i, target_col as usize)] = block.data[(i - r0, slot)];
+                }
+            }
+        }
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrinv_matrix::random::random_matrix;
+
+    #[test]
+    fn indexed_block_round_trips() {
+        let b = IndexedBlock { indices: vec![3, 1, 4, 1], data: random_matrix(4, 7, 1) };
+        let back = decode_indexed(&encode_indexed(&b)).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn indexed_block_rejects_corruption() {
+        let b = IndexedBlock { indices: vec![0, 1], data: random_matrix(2, 2, 2) };
+        let enc = encode_indexed(&b);
+        assert!(decode_indexed(&enc[..4]).is_err());
+        assert!(decode_indexed(&enc[..12]).is_err());
+        assert!(decode_indexed(&[]).is_err());
+    }
+
+    #[test]
+    fn empty_indexed_block() {
+        let b = IndexedBlock { indices: vec![], data: Matrix::zeros(0, 0) };
+        let back = decode_indexed(&encode_indexed(&b)).unwrap();
+        assert!(back.indices.is_empty());
+    }
+
+    #[test]
+    fn group_by_block_partitions_indices() {
+        let blocks = vec![(0usize, 4usize), (4, 8), (8, 10)];
+        let groups = TriInvMapper::group_by_block(&[0, 5, 9, 2, 7], &blocks);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0], (0, vec![0, 2]));
+        assert_eq!(groups[1], (1, vec![5, 7]));
+        assert_eq!(groups[2], (2, vec![9]));
+        // Indices outside every block are dropped; empty blocks omitted.
+        let groups = TriInvMapper::group_by_block(&[1], &blocks);
+        assert_eq!(groups.len(), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! The simulated cluster: DFS + configuration + metrics + fault plan.
+
+use std::sync::Arc;
+
+use crate::dfs::Dfs;
+use crate::fault::FaultPlan;
+use crate::metrics::ClusterMetrics;
+use crate::simtime::CostModel;
+
+/// Static cluster shape and pricing.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of compute nodes, the paper's `m0`.
+    pub nodes: usize,
+    /// Concurrent task slots per node (Hadoop 1.x map slots).
+    pub slots_per_node: usize,
+    /// Maximum attempts per task before the job fails (Hadoop's
+    /// `mapred.map.max.attempts`, default 4).
+    pub max_task_attempts: u32,
+    /// Per-node speed factors (1.0 = nominal). Empty means homogeneous.
+    /// The paper observes high variance between supposedly identical EC2
+    /// instances (Section 7.4); populate this to model it.
+    pub node_speeds: Vec<f64>,
+    /// Hadoop-style speculative execution: back up the wave's straggler
+    /// task on another slot (on by default, as in Hadoop).
+    pub speculative_execution: bool,
+    /// Pricing of compute, disk, network, and job launches.
+    pub cost: CostModel,
+}
+
+impl ClusterConfig {
+    /// A cluster of `nodes` EC2-medium-like nodes (Section 7.1).
+    pub fn medium(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            slots_per_node: 1,
+            max_task_attempts: 4,
+            node_speeds: Vec::new(),
+            speculative_execution: true,
+            cost: CostModel::ec2_medium(),
+        }
+    }
+
+    /// A cluster of `nodes` EC2-large-like nodes (two cores each,
+    /// Section 7.4).
+    pub fn large(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            slots_per_node: 2,
+            max_task_attempts: 4,
+            node_speeds: Vec::new(),
+            speculative_execution: true,
+            cost: CostModel::ec2_large(),
+        }
+    }
+
+    /// The paper's block-wrap factorization of `m0 = f1 × f2` (Section
+    /// 6.2): `f2 ≤ f1`, both factors of `m0`, with no other factor of `m0`
+    /// between them (i.e. the most-square factorization).
+    pub fn block_wrap_factors(&self) -> (usize, usize) {
+        factor_pair(self.nodes)
+    }
+
+    /// Per-node speed factors expanded to the cluster size (1.0 where
+    /// unspecified).
+    pub fn speeds(&self) -> Vec<f64> {
+        let mut v = self.node_speeds.clone();
+        v.resize(self.nodes.max(1), 1.0);
+        v
+    }
+}
+
+/// Most-square factorization `m0 = f1 × f2` with `f2 ≤ f1`.
+pub fn factor_pair(m0: usize) -> (usize, usize) {
+    let m0 = m0.max(1);
+    let mut f2 = (m0 as f64).sqrt() as usize;
+    while f2 > 1 && m0 % f2 != 0 {
+        f2 -= 1;
+    }
+    let f2 = f2.max(1);
+    (m0 / f2, f2)
+}
+
+/// A running cluster instance, shared across jobs via `Arc`.
+#[derive(Debug)]
+pub struct Cluster {
+    /// The distributed file system.
+    pub dfs: Arc<Dfs>,
+    /// Static configuration.
+    pub config: ClusterConfig,
+    /// Accumulated execution metrics.
+    pub metrics: ClusterMetrics,
+    /// Failure-injection plan.
+    pub faults: FaultPlan,
+}
+
+impl Cluster {
+    /// Creates a cluster with a fresh DFS.
+    pub fn new(config: ClusterConfig) -> Self {
+        Cluster {
+            dfs: Arc::new(Dfs::new(config.cost.replication)),
+            config,
+            metrics: ClusterMetrics::default(),
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Convenience: a medium cluster of `nodes` nodes.
+    pub fn medium(nodes: usize) -> Self {
+        Cluster::new(ClusterConfig::medium(nodes))
+    }
+
+    /// Number of nodes (`m0`).
+    pub fn nodes(&self) -> usize {
+        self.config.nodes
+    }
+
+    /// Total simulated seconds so far.
+    pub fn sim_secs(&self) -> f64 {
+        self.metrics.sim_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_pair_most_square() {
+        assert_eq!(factor_pair(64), (8, 8));
+        assert_eq!(factor_pair(32), (8, 4));
+        assert_eq!(factor_pair(12), (4, 3));
+        assert_eq!(factor_pair(7), (7, 1));
+        assert_eq!(factor_pair(1), (1, 1));
+        assert_eq!(factor_pair(0), (1, 1));
+        assert_eq!(factor_pair(2), (2, 1));
+        assert_eq!(factor_pair(36), (6, 6));
+    }
+
+    #[test]
+    fn factor_pair_invariants() {
+        for m0 in 1..200 {
+            let (f1, f2) = factor_pair(m0);
+            assert_eq!(f1 * f2, m0);
+            assert!(f2 <= f1);
+            // No factor of m0 strictly between f2 and f1 closer to sqrt.
+            for g in (f2 + 1)..=((m0 as f64).sqrt() as usize) {
+                assert!(m0 % g != 0, "better factor {g} exists for {m0}");
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_profiles() {
+        let c = Cluster::medium(16);
+        assert_eq!(c.nodes(), 16);
+        assert_eq!(c.config.slots_per_node, 1);
+        assert_eq!(c.config.block_wrap_factors(), (4, 4));
+        assert_eq!(c.dfs.replication(), 3);
+        assert_eq!(c.sim_secs(), 0.0);
+
+        let l = Cluster::new(ClusterConfig::large(128));
+        assert_eq!(l.config.slots_per_node, 2);
+        assert_eq!(l.config.cost.cores_per_node, 2);
+    }
+}

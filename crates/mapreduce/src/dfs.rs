@@ -1,0 +1,333 @@
+//! An HDFS-like distributed file system, in memory, with byte accounting.
+//!
+//! The paper's pipeline communicates between MapReduce jobs exclusively
+//! through HDFS files laid out in the Figure 4 directory tree. This module
+//! provides that store: a flat map from normalized `/`-separated paths to
+//! immutable byte blobs, plus the counters the evaluation needs — logical
+//! bytes written and read, which Tables 1 and 2 compare against closed
+//! forms.
+//!
+//! Files are immutable once written (HDFS 1.x semantics: write-once,
+//! read-many); overwriting is permitted and counts as a fresh write.
+//! Replication is tracked as metadata: the store keeps one copy, but the
+//! cost model charges `replication` disk writes per logical write, like a
+//! real HDFS pipeline would.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::error::{MrError, Result};
+
+/// Default HDFS replication factor (the paper uses the Hadoop default of 3,
+/// Section 7.1).
+pub const DEFAULT_REPLICATION: u32 = 3;
+
+/// Aggregate I/O counters, all in logical (unreplicated) bytes.
+#[derive(Debug, Default)]
+pub struct DfsCounters {
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+    files_written: AtomicU64,
+    reads: AtomicU64,
+}
+
+/// A point-in-time copy of the DFS counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DfsCountersSnapshot {
+    /// Logical bytes written (excluding replication).
+    pub bytes_written: u64,
+    /// Logical bytes read.
+    pub bytes_read: u64,
+    /// Number of file writes.
+    pub files_written: u64,
+    /// Number of file reads.
+    pub reads: u64,
+}
+
+/// The in-memory distributed file system.
+///
+/// ```
+/// use mrinv_mapreduce::Dfs;
+/// use bytes::Bytes;
+///
+/// let dfs = Dfs::default();
+/// dfs.write("Root/A1/block.bin", Bytes::from_static(b"data"));
+/// assert_eq!(dfs.read("Root/A1/block.bin").unwrap().as_ref(), b"data");
+/// assert_eq!(dfs.list("Root"), vec!["Root/A1/block.bin".to_string()]);
+/// assert_eq!(dfs.counters().bytes_written, 4);
+/// ```
+#[derive(Debug)]
+pub struct Dfs {
+    files: RwLock<BTreeMap<String, Bytes>>,
+    counters: DfsCounters,
+    replication: u32,
+}
+
+impl Default for Dfs {
+    fn default() -> Self {
+        Self::new(DEFAULT_REPLICATION)
+    }
+}
+
+/// Normalizes a path: strips leading/trailing `/` and collapses repeats, so
+/// `"/Root//A1/"` and `"Root/A1"` address the same file.
+pub fn normalize_path(path: &str) -> String {
+    let mut out = String::with_capacity(path.len());
+    for seg in path.split('/').filter(|s| !s.is_empty()) {
+        if !out.is_empty() {
+            out.push('/');
+        }
+        out.push_str(seg);
+    }
+    out
+}
+
+impl Dfs {
+    /// Creates an empty DFS with the given replication factor.
+    pub fn new(replication: u32) -> Self {
+        assert!(replication >= 1, "replication factor must be at least 1");
+        Dfs { files: RwLock::new(BTreeMap::new()), counters: DfsCounters::default(), replication }
+    }
+
+    /// The configured replication factor.
+    pub fn replication(&self) -> u32 {
+        self.replication
+    }
+
+    /// Writes (or overwrites) a file.
+    pub fn write(&self, path: &str, data: Bytes) {
+        let path = normalize_path(path);
+        self.counters.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.counters.files_written.fetch_add(1, Ordering::Relaxed);
+        self.files.write().insert(path, data);
+    }
+
+    /// Reads a file; cheap (`Bytes` is reference-counted).
+    pub fn read(&self, path: &str) -> Result<Bytes> {
+        let path = normalize_path(path);
+        let files = self.files.read();
+        let data =
+            files.get(&path).cloned().ok_or_else(|| MrError::FileNotFound(path.clone()))?;
+        self.counters.bytes_read.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(data)
+    }
+
+    /// True when `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.read().contains_key(&normalize_path(path))
+    }
+
+    /// Size in bytes of `path`.
+    pub fn len(&self, path: &str) -> Result<u64> {
+        let path = normalize_path(path);
+        self.files
+            .read()
+            .get(&path)
+            .map(|d| d.len() as u64)
+            .ok_or(MrError::FileNotFound(path))
+    }
+
+    /// True when the store holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.read().is_empty()
+    }
+
+    /// Number of files stored.
+    pub fn file_count(&self) -> usize {
+        self.files.read().len()
+    }
+
+    /// Deletes a file; returns whether it existed.
+    pub fn delete(&self, path: &str) -> bool {
+        self.files.write().remove(&normalize_path(path)).is_some()
+    }
+
+    /// Deletes every file under the directory `dir`; returns how many were
+    /// removed.
+    pub fn delete_dir(&self, dir: &str) -> usize {
+        let prefix = format!("{}/", normalize_path(dir));
+        let mut files = self.files.write();
+        let doomed: Vec<String> =
+            files.range(prefix.clone()..).take_while(|(k, _)| k.starts_with(&prefix)).map(|(k, _)| k.clone()).collect();
+        for k in &doomed {
+            files.remove(k);
+        }
+        doomed.len()
+    }
+
+    /// Lists all files under directory `dir` (recursively), sorted.
+    pub fn list(&self, dir: &str) -> Vec<String> {
+        let norm = normalize_path(dir);
+        let files = self.files.read();
+        if norm.is_empty() {
+            return files.keys().cloned().collect();
+        }
+        let prefix = format!("{norm}/");
+        files
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(&prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Sum of the sizes of all files under `dir`.
+    pub fn dir_size(&self, dir: &str) -> u64 {
+        let norm = normalize_path(dir);
+        let files = self.files.read();
+        if norm.is_empty() {
+            return files.values().map(|d| d.len() as u64).sum();
+        }
+        let prefix = format!("{norm}/");
+        files
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(&prefix))
+            .map(|(_, d)| d.len() as u64)
+            .sum()
+    }
+
+    /// Snapshot of the I/O counters.
+    pub fn counters(&self) -> DfsCountersSnapshot {
+        DfsCountersSnapshot {
+            bytes_written: self.counters.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.counters.bytes_read.load(Ordering::Relaxed),
+            files_written: self.counters.files_written.load(Ordering::Relaxed),
+            reads: self.counters.reads.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the I/O counters (e.g. between experiments on a shared DFS).
+    pub fn reset_counters(&self) {
+        self.counters.bytes_written.store(0, Ordering::Relaxed);
+        self.counters.bytes_read.store(0, Ordering::Relaxed);
+        self.counters.files_written.store(0, Ordering::Relaxed);
+        self.counters.reads.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let dfs = Dfs::default();
+        dfs.write("Root/a.txt", Bytes::from_static(b"hello"));
+        assert_eq!(dfs.read("Root/a.txt").unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(dfs.len("Root/a.txt").unwrap(), 5);
+        assert!(dfs.exists("Root/a.txt"));
+        assert!(!dfs.exists("Root/b.txt"));
+    }
+
+    #[test]
+    fn paths_are_normalized() {
+        let dfs = Dfs::default();
+        dfs.write("/Root//A1/x", Bytes::from_static(b"1"));
+        assert!(dfs.exists("Root/A1/x"));
+        assert_eq!(dfs.read("Root/A1//x/").unwrap(), Bytes::from_static(b"1"));
+        assert_eq!(normalize_path("//a///b/"), "a/b");
+        assert_eq!(normalize_path(""), "");
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let dfs = Dfs::default();
+        assert!(matches!(dfs.read("nope"), Err(MrError::FileNotFound(_))));
+        assert!(dfs.len("nope").is_err());
+    }
+
+    #[test]
+    fn list_is_recursive_and_scoped() {
+        let dfs = Dfs::default();
+        dfs.write("Root/A1/x", Bytes::new());
+        dfs.write("Root/A1/sub/y", Bytes::new());
+        dfs.write("Root/A2/z", Bytes::new());
+        dfs.write("Other/w", Bytes::new());
+        let l = dfs.list("Root/A1");
+        assert_eq!(l, vec!["Root/A1/sub/y".to_string(), "Root/A1/x".to_string()]);
+        assert_eq!(dfs.list("Root").len(), 3);
+        assert_eq!(dfs.list("").len(), 4);
+        // Prefix must respect path boundaries: "Root/A1" must not match "Root/A10".
+        dfs.write("Root/A10/q", Bytes::new());
+        assert_eq!(dfs.list("Root/A1").len(), 2);
+    }
+
+    #[test]
+    fn delete_and_delete_dir() {
+        let dfs = Dfs::default();
+        dfs.write("d/a", Bytes::from_static(b"1"));
+        dfs.write("d/b", Bytes::from_static(b"2"));
+        dfs.write("e/c", Bytes::from_static(b"3"));
+        assert!(dfs.delete("d/a"));
+        assert!(!dfs.delete("d/a"));
+        assert_eq!(dfs.delete_dir("d"), 1);
+        assert_eq!(dfs.file_count(), 1);
+        assert!(!dfs.is_empty());
+    }
+
+    #[test]
+    fn counters_track_logical_bytes() {
+        let dfs = Dfs::default();
+        dfs.write("a", Bytes::from(vec![0u8; 100]));
+        dfs.write("b", Bytes::from(vec![0u8; 50]));
+        let _ = dfs.read("a").unwrap();
+        let _ = dfs.read("a").unwrap();
+        let c = dfs.counters();
+        assert_eq!(c.bytes_written, 150);
+        assert_eq!(c.bytes_read, 200);
+        assert_eq!(c.files_written, 2);
+        assert_eq!(c.reads, 2);
+        dfs.reset_counters();
+        assert_eq!(dfs.counters(), DfsCountersSnapshot::default());
+    }
+
+    #[test]
+    fn dir_size_sums_contents() {
+        let dfs = Dfs::default();
+        dfs.write("d/a", Bytes::from(vec![0u8; 10]));
+        dfs.write("d/e/b", Bytes::from(vec![0u8; 20]));
+        dfs.write("x", Bytes::from(vec![0u8; 40]));
+        assert_eq!(dfs.dir_size("d"), 30);
+        assert_eq!(dfs.dir_size(""), 70);
+    }
+
+    #[test]
+    fn overwrite_replaces_and_counts() {
+        let dfs = Dfs::default();
+        dfs.write("a", Bytes::from_static(b"xx"));
+        dfs.write("a", Bytes::from_static(b"yyy"));
+        assert_eq!(dfs.read("a").unwrap(), Bytes::from_static(b"yyy"));
+        assert_eq!(dfs.counters().bytes_written, 5);
+        assert_eq!(dfs.file_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_files() {
+        use std::sync::Arc;
+        let dfs = Arc::new(Dfs::default());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let dfs = Arc::clone(&dfs);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        dfs.write(&format!("dir/{t}/{i}"), Bytes::from(vec![t as u8; 10]));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(dfs.file_count(), 400);
+        assert_eq!(dfs.counters().bytes_written, 4000);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn zero_replication_rejected() {
+        let _ = Dfs::new(0);
+    }
+}

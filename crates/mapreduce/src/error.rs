@@ -1,0 +1,81 @@
+//! Framework error type.
+
+use std::fmt;
+
+use crate::fault::Phase;
+
+/// Result alias for framework operations.
+pub type Result<T> = std::result::Result<T, MrError>;
+
+/// Errors produced by the MapReduce framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MrError {
+    /// A DFS path was not found.
+    FileNotFound(String),
+    /// A task exhausted its retry budget.
+    TaskFailed {
+        /// Job name.
+        job: String,
+        /// Map or reduce phase.
+        phase: Phase,
+        /// Task index within the phase.
+        task: usize,
+        /// Number of attempts made.
+        attempts: u32,
+    },
+    /// A user map/reduce function reported an error.
+    UserTask {
+        /// Job name.
+        job: String,
+        /// Map or reduce phase.
+        phase: Phase,
+        /// Task index within the phase.
+        task: usize,
+        /// Error message from the task body.
+        message: String,
+    },
+    /// Invalid job configuration.
+    InvalidJob(String),
+    /// Generic framework error.
+    Other(String),
+}
+
+impl fmt::Display for MrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrError::FileNotFound(p) => write!(f, "DFS file not found: {p}"),
+            MrError::TaskFailed { job, phase, task, attempts } => {
+                write!(f, "{phase:?} task {task} of job {job:?} failed after {attempts} attempts")
+            }
+            MrError::UserTask { job, phase, task, message } => {
+                write!(f, "{phase:?} task {task} of job {job:?} errored: {message}")
+            }
+            MrError::InvalidJob(msg) => write!(f, "invalid job: {msg}"),
+            MrError::Other(msg) => write!(f, "mapreduce error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(MrError::FileNotFound("x/y".into()).to_string().contains("x/y"));
+        let e = MrError::TaskFailed { job: "j".into(), phase: Phase::Map, task: 3, attempts: 4 };
+        assert!(e.to_string().contains("task 3"));
+        assert!(e.to_string().contains("4 attempts"));
+        let e = MrError::UserTask {
+            job: "j".into(),
+            phase: Phase::Reduce,
+            task: 0,
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("boom"));
+        assert!(MrError::InvalidJob("no inputs".into()).to_string().contains("no inputs"));
+        assert!(MrError::Other("misc".into()).to_string().contains("misc"));
+    }
+}

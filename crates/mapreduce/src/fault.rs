@@ -1,0 +1,164 @@
+//! Deterministic task-failure injection.
+//!
+//! Section 7.4 of the paper reports a run in which one mapper computing a
+//! triangular inverse failed and was re-executed after another mapper's
+//! slot freed up, stretching the run from 5 to 8 hours — a demonstration of
+//! MapReduce fault tolerance. [`FaultPlan`] reproduces such scenarios
+//! deterministically: rules select (job, phase, task) coordinates and a
+//! number of attempts to kill; the runner consults the plan before
+//! accepting each attempt's output and retries failed attempts on another
+//! virtual node, charging the lost work to the schedule.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use parking_lot::Mutex;
+
+/// Which half of a job a task belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Map phase.
+    Map,
+    /// Reduce phase.
+    Reduce,
+}
+
+/// One injection rule: fail the first `attempts_to_fail` attempts of the
+/// matching task.
+#[derive(Debug)]
+struct FaultRule {
+    /// Substring matched against the job name (`""` matches every job).
+    job_contains: String,
+    phase: Phase,
+    task_index: usize,
+    remaining: AtomicU32,
+}
+
+/// A set of failure-injection rules shared by a cluster.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    rules: Mutex<Vec<FaultRule>>,
+    injected: AtomicU32,
+}
+
+impl FaultPlan {
+    /// An empty plan (no failures).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a rule: the first `attempts` attempts of task `task_index` in
+    /// phase `phase` of any job whose name contains `job_contains` will
+    /// fail.
+    pub fn fail_task(&self, job_contains: &str, phase: Phase, task_index: usize, attempts: u32) {
+        self.rules.lock().push(FaultRule {
+            job_contains: job_contains.to_string(),
+            phase,
+            task_index,
+            remaining: AtomicU32::new(attempts),
+        });
+    }
+
+    /// Consulted by the runner for each task attempt; returns true when the
+    /// attempt must be treated as failed (and consumes one failure budget).
+    pub fn should_fail(&self, job: &str, phase: Phase, task_index: usize) -> bool {
+        let rules = self.rules.lock();
+        for rule in rules.iter() {
+            if rule.phase == phase
+                && rule.task_index == task_index
+                && (rule.job_contains.is_empty() || job.contains(&rule.job_contains))
+            {
+                // Atomically decrement if positive.
+                let mut cur = rule.remaining.load(Ordering::Relaxed);
+                while cur > 0 {
+                    match rule.remaining.compare_exchange_weak(
+                        cur,
+                        cur - 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            self.injected.fetch_add(1, Ordering::Relaxed);
+                            return true;
+                        }
+                        Err(now) => cur = now,
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Total failures injected so far.
+    pub fn injected_count(&self) -> u32 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Removes all rules.
+    pub fn clear(&self) {
+        self.rules.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fails() {
+        let p = FaultPlan::none();
+        assert!(!p.should_fail("job", Phase::Map, 0));
+        assert_eq!(p.injected_count(), 0);
+    }
+
+    #[test]
+    fn rule_fails_exactly_n_attempts() {
+        let p = FaultPlan::none();
+        p.fail_task("lu", Phase::Map, 2, 2);
+        assert!(p.should_fail("lu-job-3", Phase::Map, 2));
+        assert!(p.should_fail("lu-job-3", Phase::Map, 2));
+        assert!(!p.should_fail("lu-job-3", Phase::Map, 2), "budget exhausted");
+        assert_eq!(p.injected_count(), 2);
+    }
+
+    #[test]
+    fn rule_matches_job_phase_and_task() {
+        let p = FaultPlan::none();
+        p.fail_task("inv", Phase::Reduce, 1, 10);
+        assert!(!p.should_fail("inv", Phase::Map, 1), "wrong phase");
+        assert!(!p.should_fail("inv", Phase::Reduce, 0), "wrong task");
+        assert!(!p.should_fail("partition", Phase::Reduce, 1), "wrong job");
+        assert!(p.should_fail("final-inv", Phase::Reduce, 1));
+    }
+
+    #[test]
+    fn empty_job_pattern_matches_all_jobs() {
+        let p = FaultPlan::none();
+        p.fail_task("", Phase::Map, 0, 1);
+        assert!(p.should_fail("anything", Phase::Map, 0));
+    }
+
+    #[test]
+    fn clear_removes_rules() {
+        let p = FaultPlan::none();
+        p.fail_task("", Phase::Map, 0, 5);
+        p.clear();
+        assert!(!p.should_fail("x", Phase::Map, 0));
+    }
+
+    #[test]
+    fn concurrent_consumption_respects_budget() {
+        use std::sync::Arc;
+        let p = Arc::new(FaultPlan::none());
+        p.fail_task("", Phase::Map, 0, 100);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || {
+                    (0..50).filter(|_| p.should_fail("j", Phase::Map, 0)).count()
+                })
+            })
+            .collect();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 100, "exactly the budgeted failures fire");
+    }
+}

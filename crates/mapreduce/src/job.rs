@@ -1,0 +1,408 @@
+//! The MapReduce programming model: mappers, reducers, task contexts.
+//!
+//! The contract matches Hadoop's: a mapper consumes one input split and
+//! emits `(key, value)` pairs; the shuffle routes each key to a reduce
+//! partition (by a partitioner), sorts, and groups; a reducer consumes one
+//! key with all its values. Tasks may also perform side I/O against the
+//! DFS through their context — the paper's jobs lean on this heavily
+//! (Section 5.1: mapper inputs are small *control files*, and the real
+//! inputs/outputs are DFS files the tasks read and write directly).
+//!
+//! Every byte a task moves through its context is accounted into
+//! [`TaskStats`], which the scheduler prices into simulated time.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use crate::dfs::Dfs;
+use crate::error::Result;
+
+/// Measured work of one task attempt, priced by
+/// [`crate::simtime::CostModel`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TaskStats {
+    /// Measured compute time of the task body.
+    pub cpu: Duration,
+    /// Portion of `cpu` spent in arithmetic kernels (reported by the task
+    /// via `charge_kernel`); the remainder is byte-proportional work.
+    pub kernel: Duration,
+    /// Bytes read from the DFS.
+    pub read_bytes: u64,
+    /// Bytes written to the DFS.
+    pub write_bytes: u64,
+    /// Bytes emitted into the shuffle.
+    pub shuffle_bytes: u64,
+    /// Number of `(key, value)` pairs emitted.
+    pub emitted_pairs: u64,
+}
+
+impl TaskStats {
+    /// Component-wise sum.
+    pub fn merge(&self, other: &TaskStats) -> TaskStats {
+        TaskStats {
+            cpu: self.cpu + other.cpu,
+            kernel: self.kernel + other.kernel,
+            read_bytes: self.read_bytes + other.read_bytes,
+            write_bytes: self.write_bytes + other.write_bytes,
+            shuffle_bytes: self.shuffle_bytes + other.shuffle_bytes,
+            emitted_pairs: self.emitted_pairs + other.emitted_pairs,
+        }
+    }
+}
+
+/// Context handed to each map task: DFS access (accounted), identity, and
+/// the emit channel.
+pub struct MapContext<K, V> {
+    dfs: Arc<Dfs>,
+    task_index: usize,
+    num_tasks: usize,
+    stats: TaskStats,
+    emitted: Vec<(K, V)>,
+    kv_size: fn(&K, &V) -> u64,
+    counters: BTreeMap<String, u64>,
+}
+
+impl<K, V> MapContext<K, V> {
+    pub(crate) fn new(
+        dfs: Arc<Dfs>,
+        task_index: usize,
+        num_tasks: usize,
+        kv_size: fn(&K, &V) -> u64,
+    ) -> Self {
+        MapContext {
+            dfs,
+            task_index,
+            num_tasks,
+            stats: TaskStats::default(),
+            emitted: Vec::new(),
+            kv_size,
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// This task's index within the map wave (the paper's worker id `j`).
+    pub fn task_index(&self) -> usize {
+        self.task_index
+    }
+
+    /// Number of map tasks in this job.
+    pub fn num_tasks(&self) -> usize {
+        self.num_tasks
+    }
+
+    /// Emits a `(key, value)` pair into the shuffle.
+    pub fn emit(&mut self, key: K, value: V) {
+        self.stats.shuffle_bytes += (self.kv_size)(&key, &value);
+        self.stats.emitted_pairs += 1;
+        self.emitted.push((key, value));
+    }
+
+    /// Reads a DFS file, charging the bytes to this task.
+    pub fn read(&mut self, path: &str) -> Result<Bytes> {
+        let data = self.dfs.read(path)?;
+        self.stats.read_bytes += data.len() as u64;
+        Ok(data)
+    }
+
+    /// Writes a DFS file, charging the bytes to this task.
+    pub fn write(&mut self, path: &str, data: Bytes) {
+        self.stats.write_bytes += data.len() as u64;
+        self.dfs.write(path, data);
+    }
+
+    /// Lists DFS files under a directory (metadata operation, not charged).
+    pub fn list(&self, dir: &str) -> Vec<String> {
+        self.dfs.list(dir)
+    }
+
+    /// True when a DFS path exists (metadata operation, not charged).
+    pub fn exists(&self, path: &str) -> bool {
+        self.dfs.exists(path)
+    }
+
+    /// Charges extra compute to this task beyond its measured wall time
+    /// (rarely needed; provided for workloads that sleep or block).
+    pub fn charge_cpu(&mut self, d: Duration) {
+        self.stats.cpu += d;
+    }
+
+    /// Reports time spent in an arithmetic kernel. Kernel time is priced
+    /// with the cost model's `compute_scale`; unreported CPU is priced as
+    /// byte-proportional work (`codec_scale`).
+    pub fn charge_kernel(&mut self, d: Duration) {
+        self.stats.kernel += d;
+    }
+
+    /// Increments a named user counter (Hadoop's `Counter` facility);
+    /// counters aggregate across tasks into the job report.
+    pub fn increment(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_default() += by;
+    }
+
+    pub(crate) fn finish(
+        self,
+        measured: Duration,
+    ) -> (Vec<(K, V)>, TaskStats, BTreeMap<String, u64>) {
+        let mut stats = self.stats;
+        stats.cpu += measured;
+        (self.emitted, stats, self.counters)
+    }
+}
+
+/// Context handed to each reduce task.
+pub struct ReduceContext {
+    dfs: Arc<Dfs>,
+    partition: usize,
+    num_partitions: usize,
+    stats: TaskStats,
+    counters: BTreeMap<String, u64>,
+}
+
+impl ReduceContext {
+    pub(crate) fn new(dfs: Arc<Dfs>, partition: usize, num_partitions: usize) -> Self {
+        ReduceContext {
+            dfs,
+            partition,
+            num_partitions,
+            stats: TaskStats::default(),
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// This reducer's partition index.
+    pub fn partition(&self) -> usize {
+        self.partition
+    }
+
+    /// Number of reduce partitions in this job.
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    /// Reads a DFS file, charging the bytes to this task.
+    pub fn read(&mut self, path: &str) -> Result<Bytes> {
+        let data = self.dfs.read(path)?;
+        self.stats.read_bytes += data.len() as u64;
+        Ok(data)
+    }
+
+    /// Writes a DFS file, charging the bytes to this task.
+    pub fn write(&mut self, path: &str, data: Bytes) {
+        self.stats.write_bytes += data.len() as u64;
+        self.dfs.write(path, data);
+    }
+
+    /// Lists DFS files under a directory (metadata operation, not charged).
+    pub fn list(&self, dir: &str) -> Vec<String> {
+        self.dfs.list(dir)
+    }
+
+    /// True when a DFS path exists (metadata operation, not charged).
+    pub fn exists(&self, path: &str) -> bool {
+        self.dfs.exists(path)
+    }
+
+    /// Reports time spent in an arithmetic kernel (see
+    /// [`MapContext::charge_kernel`]).
+    pub fn charge_kernel(&mut self, d: Duration) {
+        self.stats.kernel += d;
+    }
+
+    /// Increments a named user counter (see [`MapContext::increment`]).
+    pub fn increment(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_default() += by;
+    }
+
+    pub(crate) fn finish(self, measured: Duration) -> (TaskStats, BTreeMap<String, u64>) {
+        let mut stats = self.stats;
+        stats.cpu += measured;
+        (stats, self.counters)
+    }
+}
+
+/// A map function: one instance processes every split, one split per task.
+///
+/// Implementations must be stateless across calls (Hadoop may run the same
+/// mapper object in any order, on any node, more than once under retry).
+pub trait Mapper: Send + Sync {
+    /// One input split (the paper's jobs use a small control integer).
+    type Input: Clone + Send + Sync;
+    /// Shuffle key.
+    type Key: Ord + Clone + Send + Sync;
+    /// Shuffle value.
+    type Value: Clone + Send + Sync;
+
+    /// Processes one split, emitting pairs and doing side DFS I/O.
+    fn map(
+        &self,
+        input: &Self::Input,
+        ctx: &mut MapContext<Self::Key, Self::Value>,
+    ) -> Result<()>;
+}
+
+/// A reduce function: called once per key with all the key's values.
+pub trait Reducer: Send + Sync {
+    /// Shuffle key (must match the mapper's).
+    type Key: Ord + Clone + Send + Sync;
+    /// Shuffle value (must match the mapper's).
+    type Value: Clone + Send + Sync;
+    /// Per-key output collected into the job report.
+    type Output: Send;
+
+    /// Processes one `(key, values)` group.
+    fn reduce(
+        &self,
+        key: &Self::Key,
+        values: &[Self::Value],
+        ctx: &mut ReduceContext,
+    ) -> Result<Self::Output>;
+}
+
+/// Job-level configuration.
+pub struct JobSpec<K, V = ()> {
+    /// Human-readable job name (appears in fault rules and errors).
+    pub name: String,
+    /// Number of reduce partitions (0 = map-only job).
+    pub num_reducers: usize,
+    /// Routes a key to a reduce partition. Defaults to a modulo hash; the
+    /// paper's jobs use the identity (`key j → reducer j`, Figure 5).
+    pub partitioner: fn(&K, usize) -> usize,
+    /// Optional combiner (Hadoop's map-side pre-aggregation): applied to
+    /// each map task's output per key before the shuffle, cutting shuffle
+    /// volume for associative reductions.
+    pub combiner: Option<fn(&K, &[V]) -> V>,
+}
+
+impl<K: std::hash::Hash, V> JobSpec<K, V> {
+    /// A job with the default hash partitioner and no combiner.
+    pub fn new(name: impl Into<String>, num_reducers: usize) -> Self {
+        JobSpec {
+            name: name.into(),
+            num_reducers,
+            partitioner: hash_partitioner::<K>,
+            combiner: None,
+        }
+    }
+}
+
+/// Default partitioner: `hash(key) mod partitions`.
+pub fn hash_partitioner<K: std::hash::Hash>(key: &K, partitions: usize) -> usize {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % partitions.max(1) as u64) as usize
+}
+
+/// The paper's control-flow partitioner: mapper `j` emits `(j, j)` and
+/// reducer `j` handles it (Figure 5).
+pub fn identity_partitioner(key: &usize, partitions: usize) -> usize {
+    key % partitions.max(1)
+}
+
+/// Default shuffle size estimate: the in-memory size of the pair.
+pub fn default_kv_size<K, V>(_k: &K, _v: &V) -> u64 {
+    (std::mem::size_of::<K>() + std::mem::size_of::<V>()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_context_accounts_io_and_emits() {
+        let dfs = Arc::new(Dfs::default());
+        dfs.write("in", Bytes::from(vec![1u8; 64]));
+        let mut ctx: MapContext<usize, usize> =
+            MapContext::new(Arc::clone(&dfs), 2, 4, default_kv_size);
+        assert_eq!(ctx.task_index(), 2);
+        assert_eq!(ctx.num_tasks(), 4);
+        let data = ctx.read("in").unwrap();
+        assert_eq!(data.len(), 64);
+        ctx.write("out", Bytes::from(vec![0u8; 32]));
+        ctx.emit(1, 7);
+        ctx.emit(2, 8);
+        assert!(ctx.exists("out"));
+        assert_eq!(ctx.list("").len(), 2);
+        ctx.increment("rows", 3);
+        ctx.increment("rows", 2);
+        let (pairs, stats, counters) = ctx.finish(Duration::from_millis(5));
+        assert_eq!(counters.get("rows"), Some(&5));
+        assert_eq!(pairs, vec![(1, 7), (2, 8)]);
+        assert_eq!(stats.read_bytes, 64);
+        assert_eq!(stats.write_bytes, 32);
+        assert_eq!(stats.emitted_pairs, 2);
+        assert_eq!(stats.shuffle_bytes, 32); // 2 pairs * 16 bytes
+        assert_eq!(stats.cpu, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn reduce_context_accounts_io() {
+        let dfs = Arc::new(Dfs::default());
+        dfs.write("x", Bytes::from(vec![0u8; 10]));
+        let mut ctx = ReduceContext::new(Arc::clone(&dfs), 1, 3);
+        assert_eq!(ctx.partition(), 1);
+        assert_eq!(ctx.num_partitions(), 3);
+        let _ = ctx.read("x").unwrap();
+        ctx.write("y", Bytes::from(vec![0u8; 20]));
+        let (stats, _counters) = ctx.finish(Duration::ZERO);
+        assert_eq!(stats.read_bytes, 10);
+        assert_eq!(stats.write_bytes, 20);
+    }
+
+    #[test]
+    fn charge_cpu_adds_to_measured() {
+        let dfs = Arc::new(Dfs::default());
+        let mut ctx: MapContext<usize, usize> = MapContext::new(dfs, 0, 1, default_kv_size);
+        ctx.charge_cpu(Duration::from_secs(1));
+        let (_, stats, _) = ctx.finish(Duration::from_secs(2));
+        assert_eq!(stats.cpu, Duration::from_secs(3));
+    }
+
+    #[test]
+    fn partitioners_route_in_range() {
+        for k in 0..100usize {
+            assert!(hash_partitioner(&k, 7) < 7);
+            assert_eq!(identity_partitioner(&k, 8), k % 8);
+        }
+        // Zero partitions clamps instead of dividing by zero.
+        assert_eq!(hash_partitioner(&1usize, 0), 0);
+        assert_eq!(identity_partitioner(&5, 0), 0);
+    }
+
+    #[test]
+    fn task_stats_merge() {
+        let a = TaskStats {
+            cpu: Duration::from_secs(1),
+            kernel: Duration::from_millis(500),
+            read_bytes: 10,
+            write_bytes: 20,
+            shuffle_bytes: 5,
+            emitted_pairs: 1,
+        };
+        let b = TaskStats {
+            cpu: Duration::from_secs(2),
+            kernel: Duration::from_millis(1500),
+            read_bytes: 1,
+            write_bytes: 2,
+            shuffle_bytes: 3,
+            emitted_pairs: 4,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.cpu, Duration::from_secs(3));
+        assert_eq!(m.kernel, Duration::from_secs(2));
+        assert_eq!(m.read_bytes, 11);
+        assert_eq!(m.write_bytes, 22);
+        assert_eq!(m.shuffle_bytes, 8);
+        assert_eq!(m.emitted_pairs, 5);
+    }
+
+    #[test]
+    fn missing_file_read_errors() {
+        let dfs = Arc::new(Dfs::default());
+        let mut ctx: MapContext<usize, usize> = MapContext::new(dfs, 0, 1, default_kv_size);
+        assert!(ctx.read("missing").is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! A from-scratch MapReduce framework modeled on Hadoop 1.x, built to host
+//! the HPDC 2014 matrix-inversion pipeline without any Hadoop ecosystem.
+//!
+//! The framework reproduces the pieces of Hadoop the paper's algorithm and
+//! evaluation depend on:
+//!
+//! * [`dfs::Dfs`] — an HDFS-like hierarchical file store with a replication
+//!   factor and atomic byte accounting (the quantities in the paper's
+//!   Tables 1–2);
+//! * [`job`] — the programming model: [`job::Mapper`] / [`job::Reducer`]
+//!   traits whose tasks communicate *only* through the DFS and the shuffle,
+//!   exactly the constraint that drives the paper's algorithm design;
+//! * [`runner`] — executes a job: map wave → shuffle → reduce wave. Tasks
+//!   run for real (in parallel via rayon), are assigned to *virtual
+//!   cluster nodes*, and the per-wave makespan is computed by a
+//!   list scheduler;
+//! * [`simtime::CostModel`] — converts measured per-task work (CPU time,
+//!   DFS bytes, shuffle bytes) into simulated cluster time, including the
+//!   constant MapReduce job-launch overhead that the paper's `nb` bound
+//!   value is tuned against (Section 5);
+//! * [`fault::FaultPlan`] — deterministic task-failure injection plus the
+//!   Hadoop retry policy, reproducing the Section 7.4 failure-recovery
+//!   experiment;
+//! * [`pipeline::Pipeline`] — accounting for a chain of jobs (the paper's
+//!   Figure 2 pipeline);
+//! * [`master`] — timed computation on the master node (the paper runs
+//!   `nb`-sized LU decompositions there).
+//!
+//! # Simulated time
+//!
+//! Everything numeric is computed for real; only the *reported running
+//! time* is simulated. Each task returns a [`job::TaskStats`]; the
+//! scheduler assigns tasks to `m0` virtual nodes and the cost model prices
+//! each node's work. This is what lets a laptop regenerate the shape of the
+//! paper's EC2 scaling results (Figures 6–8). See `DESIGN.md` for the
+//! substitution argument.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod dfs;
+pub mod error;
+pub mod fault;
+pub mod job;
+pub mod master;
+pub mod metrics;
+pub mod pipeline;
+pub mod runner;
+pub mod scheduler;
+pub mod simtime;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use dfs::Dfs;
+pub use error::{MrError, Result};
+pub use fault::{FaultPlan, Phase};
+pub use job::{JobSpec, MapContext, Mapper, ReduceContext, Reducer, TaskStats};
+pub use metrics::MetricsSnapshot;
+pub use pipeline::Pipeline;
+pub use runner::{run_job, run_map_only, JobReport};
+pub use simtime::CostModel;

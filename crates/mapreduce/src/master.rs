@@ -1,0 +1,54 @@
+//! Timed computation on the MapReduce master node.
+//!
+//! The paper decomposes blocks of order at most `nb` *on the master node*
+//! (Section 4.2): "we decompose such small matrices in the MapReduce master
+//! node using Algorithm 1". While one node computes, the rest of the
+//! cluster waits — which is why combining intermediate files on the master
+//! hurts (Section 6.1) and why `nb` is tuned so a master-side LU costs
+//! about one job launch (Section 5).
+//!
+//! [`run_on_master`] executes a closure, measures it, charges the scaled
+//! time to the cluster's simulated clock, and returns the result.
+
+use std::time::Instant;
+
+use crate::cluster::Cluster;
+
+/// Runs `f` on the master node, charging its measured (scaled) time to the
+/// cluster's simulated clock as serial master-side work.
+pub fn run_on_master<T>(cluster: &Cluster, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    let secs = cluster.config.cost.master_secs(start.elapsed());
+    cluster.metrics.add_master_secs(secs);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::simtime::CostModel;
+
+    #[test]
+    fn master_work_advances_the_clock() {
+        let mut cfg = ClusterConfig::medium(4);
+        cfg.cost = CostModel { master_compute_scale: 1000.0, ..CostModel::unit_for_tests() };
+        let cluster = Cluster::new(cfg);
+        let result = run_on_master(&cluster, || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            42
+        });
+        assert_eq!(result, 42);
+        let snap = cluster.metrics.snapshot();
+        assert!(snap.master_secs >= 5.0, "5 ms at scale 1000 is >= 5 s");
+        assert!((snap.sim_secs - snap.master_secs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn master_result_is_returned() {
+        let cluster = Cluster::medium(1);
+        let v = run_on_master(&cluster, || vec![1, 2, 3]);
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Cluster-wide execution metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// Live counters accumulated across jobs on one cluster.
+#[derive(Debug, Default)]
+pub struct ClusterMetrics {
+    jobs: AtomicU64,
+    map_tasks: AtomicU64,
+    reduce_tasks: AtomicU64,
+    task_failures: AtomicU64,
+    shuffle_bytes: AtomicU64,
+    sim_secs: Mutex<f64>,
+    master_secs: Mutex<f64>,
+}
+
+/// A point-in-time copy of [`ClusterMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct MetricsSnapshot {
+    /// MapReduce jobs launched.
+    pub jobs: u64,
+    /// Map task attempts that succeeded.
+    pub map_tasks: u64,
+    /// Reduce task attempts that succeeded.
+    pub reduce_tasks: u64,
+    /// Task attempts that failed (injected or user errors retried).
+    pub task_failures: u64,
+    /// Bytes moved through the shuffle.
+    pub shuffle_bytes: u64,
+    /// Total simulated wall-clock seconds (jobs + master work).
+    pub sim_secs: f64,
+    /// Simulated seconds spent computing on the master node.
+    pub master_secs: f64,
+}
+
+impl ClusterMetrics {
+    /// Records a launched job.
+    pub fn record_job(&self) {
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records completed map tasks.
+    pub fn record_map_tasks(&self, n: u64) {
+        self.map_tasks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records completed reduce tasks.
+    pub fn record_reduce_tasks(&self, n: u64) {
+        self.reduce_tasks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records failed task attempts.
+    pub fn record_failures(&self, n: u64) {
+        self.task_failures.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records shuffle volume.
+    pub fn record_shuffle_bytes(&self, n: u64) {
+        self.shuffle_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds simulated seconds to the cluster clock.
+    pub fn add_sim_secs(&self, secs: f64) {
+        *self.sim_secs.lock() += secs;
+    }
+
+    /// Adds simulated master-node compute seconds (also advances the
+    /// cluster clock).
+    pub fn add_master_secs(&self, secs: f64) {
+        *self.master_secs.lock() += secs;
+        self.add_sim_secs(secs);
+    }
+
+    /// Total simulated seconds so far.
+    pub fn sim_secs(&self) -> f64 {
+        *self.sim_secs.lock()
+    }
+
+    /// Snapshot of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            jobs: self.jobs.load(Ordering::Relaxed),
+            map_tasks: self.map_tasks.load(Ordering::Relaxed),
+            reduce_tasks: self.reduce_tasks.load(Ordering::Relaxed),
+            task_failures: self.task_failures.load(Ordering::Relaxed),
+            shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
+            sim_secs: *self.sim_secs.lock(),
+            master_secs: *self.master_secs.lock(),
+        }
+    }
+
+    /// Resets everything to zero.
+    pub fn reset(&self) {
+        self.jobs.store(0, Ordering::Relaxed);
+        self.map_tasks.store(0, Ordering::Relaxed);
+        self.reduce_tasks.store(0, Ordering::Relaxed);
+        self.task_failures.store(0, Ordering::Relaxed);
+        self.shuffle_bytes.store(0, Ordering::Relaxed);
+        *self.sim_secs.lock() = 0.0;
+        *self.master_secs.lock() = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = ClusterMetrics::default();
+        m.record_job();
+        m.record_job();
+        m.record_map_tasks(5);
+        m.record_reduce_tasks(3);
+        m.record_failures(1);
+        m.record_shuffle_bytes(100);
+        m.add_sim_secs(2.5);
+        m.add_master_secs(1.5);
+        let s = m.snapshot();
+        assert_eq!(s.jobs, 2);
+        assert_eq!(s.map_tasks, 5);
+        assert_eq!(s.reduce_tasks, 3);
+        assert_eq!(s.task_failures, 1);
+        assert_eq!(s.shuffle_bytes, 100);
+        assert!((s.sim_secs - 4.0).abs() < 1e-12, "master time advances the clock");
+        assert!((s.master_secs - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = ClusterMetrics::default();
+        m.record_job();
+        m.add_sim_secs(1.0);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let m = ClusterMetrics::default();
+        m.record_job();
+        let s = m.snapshot();
+        // serde round-trip sanity via the Debug representation.
+        let dbg = format!("{s:?}");
+        assert!(dbg.contains("jobs: 1"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Accounting for a chain of MapReduce jobs (the paper's Figure 2
+//! pipeline).
+//!
+//! The matrix-inversion pipeline is `partition → 2^⌈log2(n/nb)⌉ LU jobs →
+//! final inversion job`. [`Pipeline`] collects each job's
+//! [`JobReport`] and exposes the totals the evaluation plots.
+
+use crate::job::TaskStats;
+use crate::runner::JobReport;
+
+/// An ordered record of executed jobs.
+#[derive(Debug, Default, Clone)]
+pub struct Pipeline {
+    reports: Vec<JobReport>,
+}
+
+impl Pipeline {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        Pipeline::default()
+    }
+
+    /// Appends a completed job's report.
+    pub fn push(&mut self, report: JobReport) {
+        self.reports.push(report);
+    }
+
+    /// All job reports, in execution order.
+    pub fn reports(&self) -> &[JobReport] {
+        &self.reports
+    }
+
+    /// Number of jobs executed.
+    pub fn num_jobs(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Total simulated seconds across jobs (excludes master-node work,
+    /// which the cluster clock tracks separately).
+    pub fn total_sim_secs(&self) -> f64 {
+        self.reports.iter().map(|r| r.sim_secs).sum()
+    }
+
+    /// Total failed task attempts.
+    pub fn total_failures(&self) -> u32 {
+        self.reports.iter().map(|r| r.failures).sum()
+    }
+
+    /// Aggregate measured work of all successful attempts.
+    pub fn total_stats(&self) -> TaskStats {
+        self.reports.iter().fold(TaskStats::default(), |acc, r| acc.merge(&r.stats))
+    }
+
+    /// Total map tasks across jobs.
+    pub fn total_map_tasks(&self) -> usize {
+        self.reports.iter().map(|r| r.map_tasks).sum()
+    }
+
+    /// Total reduce tasks across jobs.
+    pub fn total_reduce_tasks(&self) -> usize {
+        self.reports.iter().map(|r| r.reduce_tasks).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(name: &str, secs: f64, failures: u32) -> JobReport {
+        JobReport {
+            name: name.into(),
+            map_tasks: 2,
+            reduce_tasks: 1,
+            failures,
+            sim_secs: secs,
+            stats: TaskStats { read_bytes: 10, ..TaskStats::default() },
+            ..JobReport::default()
+        }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut p = Pipeline::new();
+        assert_eq!(p.num_jobs(), 0);
+        assert_eq!(p.total_sim_secs(), 0.0);
+        p.push(report("a", 1.5, 0));
+        p.push(report("b", 2.5, 2));
+        assert_eq!(p.num_jobs(), 2);
+        assert!((p.total_sim_secs() - 4.0).abs() < 1e-12);
+        assert_eq!(p.total_failures(), 2);
+        assert_eq!(p.total_stats().read_bytes, 20);
+        assert_eq!(p.total_map_tasks(), 4);
+        assert_eq!(p.total_reduce_tasks(), 2);
+        assert_eq!(p.reports()[0].name, "a");
+    }
+}

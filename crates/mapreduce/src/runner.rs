@@ -1,0 +1,705 @@
+//! Job execution: map wave → shuffle → reduce wave.
+//!
+//! Tasks execute for real, in parallel, through rayon; the *simulated*
+//! duration of each wave comes from list-scheduling the measured per-task
+//! work onto the cluster's virtual nodes (see [`crate::scheduler`]). Task
+//! attempts that the [`crate::fault::FaultPlan`] kills are re-executed —
+//! the lost attempt's work is still charged to the schedule, so failures
+//! lengthen the simulated run exactly as the paper's Section 7.4
+//! failed-mapper experiment describes.
+//!
+//! Tasks must be deterministic and idempotent: a retried attempt re-runs
+//! the same body, and side writes to the DFS overwrite those of the failed
+//! attempt (the paper's tasks write worker-unique files, Section 5.2).
+
+use rayon::prelude::*;
+
+use crate::cluster::Cluster;
+use crate::error::{MrError, Result};
+use crate::fault::Phase;
+use crate::job::{
+    default_kv_size, JobSpec, MapContext, Mapper, ReduceContext, Reducer, TaskStats,
+};
+use crate::scheduler::schedule_wave_hetero;
+
+/// Accounting for one executed job.
+#[derive(Debug, Clone, Default)]
+pub struct JobReport {
+    /// Job name.
+    pub name: String,
+    /// Number of map tasks.
+    pub map_tasks: usize,
+    /// Number of reduce tasks.
+    pub reduce_tasks: usize,
+    /// Failed task attempts (map + reduce).
+    pub failures: u32,
+    /// Simulated seconds: launch + map wave + shuffle + reduce wave.
+    pub sim_secs: f64,
+    /// Simulated seconds of the map wave alone.
+    pub map_wave_secs: f64,
+    /// Simulated seconds of the shuffle alone.
+    pub shuffle_secs: f64,
+    /// Simulated seconds of the reduce wave alone.
+    pub reduce_wave_secs: f64,
+    /// Aggregate measured work across all successful attempts.
+    pub stats: TaskStats,
+    /// Aggregate measured work of failed (lost) attempts.
+    pub lost_stats: TaskStats,
+    /// Named user counters aggregated across successful tasks (the Hadoop
+    /// `Counter` facility).
+    pub user_counters: std::collections::BTreeMap<String, u64>,
+}
+
+/// Per-task execution result: attempts' stats (last one succeeded) plus the
+/// successful attempt's payload.
+struct TaskRun<T> {
+    attempt_stats: Vec<TaskStats>,
+    payload: T,
+}
+
+/// Runs one task body with the retry policy, returning every attempt's
+/// stats (failed attempts first) and the successful payload.
+fn run_with_retries<T>(
+    cluster: &Cluster,
+    job: &str,
+    phase: Phase,
+    task_index: usize,
+    mut body: impl FnMut() -> Result<(T, TaskStats)>,
+) -> Result<TaskRun<T>> {
+    let max_attempts = cluster.config.max_task_attempts.max(1);
+    let mut attempt_stats = Vec::new();
+    for _attempt in 0..max_attempts {
+        let (payload, stats) = match body() {
+            Ok(ok) => ok,
+            Err(MrError::UserTask { .. }) | Err(MrError::FileNotFound(_)) => {
+                // User-visible task error: charge nothing measurable (the
+                // body already failed) and retry like Hadoop would.
+                attempt_stats.push(TaskStats::default());
+                cluster.metrics.record_failures(1);
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if cluster.faults.should_fail(job, phase, task_index) {
+            // The attempt ran to completion but its node "died": the work
+            // is lost and charged, and the task is rescheduled.
+            attempt_stats.push(stats);
+            cluster.metrics.record_failures(1);
+            continue;
+        }
+        attempt_stats.push(stats);
+        return Ok(TaskRun { attempt_stats, payload });
+    }
+    Err(MrError::TaskFailed { job: job.to_string(), phase, task: task_index, attempts: max_attempts })
+}
+
+/// Builds the wave's task-duration list: round 0 attempts for every task in
+/// index order, then round 1 (retries), and so on — retries schedule after
+/// the first attempts, as in Hadoop.
+fn wave_durations(runs: &[Vec<TaskStats>], cluster: &Cluster) -> Vec<f64> {
+    let cost = &cluster.config.cost;
+    let max_rounds = runs.iter().map(Vec::len).max().unwrap_or(0);
+    let mut out = Vec::new();
+    for round in 0..max_rounds {
+        for attempts in runs {
+            if let Some(stats) = attempts.get(round) {
+                out.push(cost.task_secs(stats));
+            }
+        }
+    }
+    out
+}
+
+/// Executes a full map+shuffle+reduce job on the cluster.
+///
+/// Returns the reduce outputs (sorted by partition, then key) and the
+/// job report. Metrics and simulated time accumulate on the cluster.
+pub fn run_job<M, R>(
+    cluster: &Cluster,
+    spec: &JobSpec<M::Key, M::Value>,
+    mapper: &M,
+    reducer: &R,
+    inputs: &[M::Input],
+) -> Result<(Vec<(M::Key, R::Output)>, JobReport)>
+where
+    M: Mapper,
+    R: Reducer<Key = M::Key, Value = M::Value>,
+{
+    if spec.num_reducers == 0 {
+        return Err(MrError::InvalidJob(format!(
+            "job {:?} has 0 reducers; use run_map_only",
+            spec.name
+        )));
+    }
+    cluster.metrics.record_job();
+    let num_tasks = inputs.len();
+
+    // ---- Map wave -------------------------------------------------------
+    type MapPayload<M> = (
+        Vec<(<M as Mapper>::Key, <M as Mapper>::Value)>,
+        std::collections::BTreeMap<String, u64>,
+    );
+    let map_runs: Vec<TaskRun<MapPayload<M>>> = inputs
+        .par_iter()
+        .enumerate()
+        .map(|(idx, input)| {
+            run_with_retries(cluster, &spec.name, Phase::Map, idx, || {
+                let mut ctx = MapContext::new(
+                    cluster.dfs.clone(),
+                    idx,
+                    num_tasks,
+                    default_kv_size::<M::Key, M::Value>,
+                );
+                let start = std::time::Instant::now();
+                mapper.map(input, &mut ctx).map_err(|e| MrError::UserTask {
+                    job: spec.name.clone(),
+                    phase: Phase::Map,
+                    task: idx,
+                    message: e.to_string(),
+                })?;
+                let (mut pairs, mut stats, counters) = ctx.finish(start.elapsed());
+                // Map-side combine (Hadoop combiner): pre-aggregate this
+                // task's output per key, shrinking the shuffle.
+                if let Some(combine) = spec.combiner {
+                    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                    let before = pairs.len().max(1) as u64;
+                    let mut combined = Vec::new();
+                    let mut i = 0;
+                    while i < pairs.len() {
+                        let mut j = i + 1;
+                        while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+                            j += 1;
+                        }
+                        let values: Vec<M::Value> =
+                            pairs[i..j].iter().map(|(_, v)| v.clone()).collect();
+                        let merged = combine(&pairs[i].0, &values);
+                        combined.push((pairs[i].0.clone(), merged));
+                        i = j;
+                    }
+                    let after = combined.len() as u64;
+                    stats.shuffle_bytes = stats.shuffle_bytes * after / before;
+                    stats.emitted_pairs = after;
+                    pairs = combined;
+                }
+                Ok(((pairs, counters), stats))
+            })
+        })
+        .collect::<Result<_>>()?;
+    cluster.metrics.record_map_tasks(num_tasks as u64);
+
+    // ---- Shuffle ---------------------------------------------------------
+    let mut partitions: Vec<Vec<(M::Key, M::Value)>> = (0..spec.num_reducers).map(|_| Vec::new()).collect();
+    let mut shuffle_bytes = 0u64;
+    let mut map_stats_total = TaskStats::default();
+    let mut lost_stats = TaskStats::default();
+    let mut map_attempt_lists = Vec::with_capacity(map_runs.len());
+    let mut user_counters: std::collections::BTreeMap<String, u64> = Default::default();
+    for run in map_runs {
+        let (lost, ok) = run.attempt_stats.split_at(run.attempt_stats.len() - 1);
+        for s in lost {
+            lost_stats = lost_stats.merge(s);
+        }
+        map_stats_total = map_stats_total.merge(&ok[0]);
+        shuffle_bytes += ok[0].shuffle_bytes;
+        let (pairs, counters) = run.payload;
+        for (name, v) in counters {
+            *user_counters.entry(name).or_default() += v;
+        }
+        for (k, v) in pairs {
+            let p = (spec.partitioner)(&k, spec.num_reducers);
+            partitions[p].push((k, v));
+        }
+        map_attempt_lists.push(run.attempt_stats);
+    }
+    cluster.metrics.record_shuffle_bytes(shuffle_bytes);
+    // Sort each partition by key (the framework's sort phase).
+    for part in &mut partitions {
+        part.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    // ---- Reduce wave ------------------------------------------------------
+    type ReducePayload<M, R> = (
+        Vec<(<M as Mapper>::Key, <R as Reducer>::Output)>,
+        std::collections::BTreeMap<String, u64>,
+    );
+    let reduce_results: Vec<TaskRun<ReducePayload<M, R>>> = partitions
+        .par_iter()
+        .enumerate()
+        .map(|(p, pairs)| {
+            run_with_retries(cluster, &spec.name, Phase::Reduce, p, || {
+                let mut ctx = ReduceContext::new(cluster.dfs.clone(), p, spec.num_reducers);
+                let start = std::time::Instant::now();
+                let mut outputs = Vec::new();
+                let mut i = 0;
+                while i < pairs.len() {
+                    let key = &pairs[i].0;
+                    let mut j = i + 1;
+                    while j < pairs.len() && pairs[j].0 == *key {
+                        j += 1;
+                    }
+                    let values: Vec<M::Value> =
+                        pairs[i..j].iter().map(|(_, v)| v.clone()).collect();
+                    let out = reducer.reduce(key, &values, &mut ctx).map_err(|e| {
+                        MrError::UserTask {
+                            job: spec.name.clone(),
+                            phase: Phase::Reduce,
+                            task: p,
+                            message: e.to_string(),
+                        }
+                    })?;
+                    outputs.push((key.clone(), out));
+                    i = j;
+                }
+                let (stats, counters) = ctx.finish(start.elapsed());
+                Ok(((outputs, counters), stats))
+            })
+        })
+        .collect::<Result<_>>()?;
+    cluster.metrics.record_reduce_tasks(spec.num_reducers as u64);
+
+    let mut reduce_stats_total = TaskStats::default();
+    let mut reduce_attempt_lists = Vec::with_capacity(reduce_results.len());
+    let mut outputs = Vec::new();
+    for run in reduce_results {
+        let (lost, ok) = run.attempt_stats.split_at(run.attempt_stats.len() - 1);
+        for s in lost {
+            lost_stats = lost_stats.merge(s);
+        }
+        reduce_stats_total = reduce_stats_total.merge(&ok[0]);
+        let (outs, counters) = run.payload;
+        for (name, v) in counters {
+            *user_counters.entry(name).or_default() += v;
+        }
+        outputs.extend(outs);
+        reduce_attempt_lists.push(run.attempt_stats);
+    }
+
+    // ---- Simulated time ---------------------------------------------------
+    let cfg = &cluster.config;
+    let speeds = cfg.speeds();
+    let map_wave = schedule_wave_hetero(
+        &wave_durations(&map_attempt_lists, cluster),
+        &speeds,
+        cfg.slots_per_node,
+        cfg.speculative_execution,
+    );
+    let reduce_wave = schedule_wave_hetero(
+        &wave_durations(&reduce_attempt_lists, cluster),
+        &speeds,
+        cfg.slots_per_node,
+        cfg.speculative_execution,
+    );
+    let shuffle_secs = cfg.cost.shuffle_secs(shuffle_bytes, cfg.nodes);
+    let sim_secs =
+        cfg.cost.job_launch_secs + map_wave.makespan_secs + shuffle_secs + reduce_wave.makespan_secs;
+    cluster.metrics.add_sim_secs(sim_secs);
+
+    let report = JobReport {
+        name: spec.name.clone(),
+        map_tasks: num_tasks,
+        reduce_tasks: spec.num_reducers,
+        failures: (map_attempt_lists.iter().chain(&reduce_attempt_lists))
+            .map(|a| a.len() as u32 - 1)
+            .sum(),
+        sim_secs,
+        map_wave_secs: map_wave.makespan_secs,
+        shuffle_secs,
+        reduce_wave_secs: reduce_wave.makespan_secs,
+        stats: map_stats_total.merge(&reduce_stats_total),
+        lost_stats,
+        user_counters,
+    };
+    Ok((outputs, report))
+}
+
+/// Executes a map-only job (the paper's partitioning job, Section 5.2:
+/// "the mappers do all the work and the reduce function does nothing").
+pub fn run_map_only<M>(
+    cluster: &Cluster,
+    spec: &JobSpec<M::Key, M::Value>,
+    mapper: &M,
+    inputs: &[M::Input],
+) -> Result<JobReport>
+where
+    M: Mapper,
+{
+    cluster.metrics.record_job();
+    let num_tasks = inputs.len();
+    let map_runs: Vec<TaskRun<std::collections::BTreeMap<String, u64>>> = inputs
+        .par_iter()
+        .enumerate()
+        .map(|(idx, input)| {
+            run_with_retries(cluster, &spec.name, Phase::Map, idx, || {
+                let mut ctx = MapContext::new(
+                    cluster.dfs.clone(),
+                    idx,
+                    num_tasks,
+                    default_kv_size::<M::Key, M::Value>,
+                );
+                let start = std::time::Instant::now();
+                mapper.map(input, &mut ctx).map_err(|e| MrError::UserTask {
+                    job: spec.name.clone(),
+                    phase: Phase::Map,
+                    task: idx,
+                    message: e.to_string(),
+                })?;
+                let (_pairs, stats, counters) = ctx.finish(start.elapsed());
+                Ok((counters, stats))
+            })
+        })
+        .collect::<Result<_>>()?;
+    cluster.metrics.record_map_tasks(num_tasks as u64);
+
+    let mut stats_total = TaskStats::default();
+    let mut lost_stats = TaskStats::default();
+    let mut attempt_lists = Vec::with_capacity(map_runs.len());
+    let mut user_counters: std::collections::BTreeMap<String, u64> = Default::default();
+    for run in map_runs {
+        let (lost, ok) = run.attempt_stats.split_at(run.attempt_stats.len() - 1);
+        for s in lost {
+            lost_stats = lost_stats.merge(s);
+        }
+        stats_total = stats_total.merge(&ok[0]);
+        for (name, v) in run.payload {
+            *user_counters.entry(name).or_default() += v;
+        }
+        attempt_lists.push(run.attempt_stats);
+    }
+
+    let cfg = &cluster.config;
+    let wave = schedule_wave_hetero(
+        &wave_durations(&attempt_lists, cluster),
+        &cfg.speeds(),
+        cfg.slots_per_node,
+        cfg.speculative_execution,
+    );
+    let sim_secs = cfg.cost.job_launch_secs + wave.makespan_secs;
+    cluster.metrics.add_sim_secs(sim_secs);
+
+    Ok(JobReport {
+        name: spec.name.clone(),
+        map_tasks: num_tasks,
+        reduce_tasks: 0,
+        failures: attempt_lists.iter().map(|a| a.len() as u32 - 1).sum(),
+        sim_secs,
+        map_wave_secs: wave.makespan_secs,
+        shuffle_secs: 0.0,
+        reduce_wave_secs: 0.0,
+        stats: stats_total,
+        lost_stats,
+        user_counters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::job::identity_partitioner;
+    use crate::simtime::CostModel;
+    use bytes::Bytes;
+
+    /// Classic word count over in-DFS text files: exercises the whole
+    /// map/shuffle/reduce path with a non-trivial key space.
+    struct WcMapper;
+    impl Mapper for WcMapper {
+        type Input = String; // DFS path
+        type Key = String;
+        type Value = u64;
+        fn map(&self, input: &String, ctx: &mut MapContext<String, u64>) -> Result<()> {
+            let data = ctx.read(input)?;
+            let text = String::from_utf8_lossy(&data).to_string();
+            for word in text.split_whitespace() {
+                ctx.emit(word.to_string(), 1);
+            }
+            Ok(())
+        }
+    }
+    struct WcReducer;
+    impl Reducer for WcReducer {
+        type Key = String;
+        type Value = u64;
+        type Output = u64;
+        fn reduce(&self, _key: &String, values: &[u64], _ctx: &mut ReduceContext) -> Result<u64> {
+            Ok(values.iter().sum())
+        }
+    }
+
+    fn test_cluster(nodes: usize) -> Cluster {
+        let mut cfg = ClusterConfig::medium(nodes);
+        cfg.cost = CostModel::unit_for_tests();
+        Cluster::new(cfg)
+    }
+
+    #[test]
+    fn word_count_end_to_end() {
+        let cluster = test_cluster(4);
+        cluster.dfs.write("in/0", Bytes::from_static(b"a b a"));
+        cluster.dfs.write("in/1", Bytes::from_static(b"b c b a"));
+        let spec = JobSpec::new("wordcount", 3);
+        let inputs = vec!["in/0".to_string(), "in/1".to_string()];
+        let (out, report) = run_job(&cluster, &spec, &WcMapper, &WcReducer, &inputs).unwrap();
+        let mut counts: Vec<(String, u64)> = out;
+        counts.sort();
+        assert_eq!(
+            counts,
+            vec![("a".into(), 3), ("b".into(), 3), ("c".into(), 1)]
+        );
+        assert_eq!(report.map_tasks, 2);
+        assert_eq!(report.reduce_tasks, 3);
+        assert_eq!(report.failures, 0);
+        assert!(report.sim_secs > 0.0);
+        let snap = cluster.metrics.snapshot();
+        assert_eq!(snap.jobs, 1);
+        assert_eq!(snap.map_tasks, 2);
+        assert_eq!(snap.reduce_tasks, 3);
+    }
+
+    /// Control-file style job (the paper's pattern): mapper j writes file
+    /// OUT/j and emits (j, j); reducer j checks the file exists.
+    struct ControlMapper;
+    impl Mapper for ControlMapper {
+        type Input = usize;
+        type Key = usize;
+        type Value = usize;
+        fn map(&self, input: &usize, ctx: &mut MapContext<usize, usize>) -> Result<()> {
+            ctx.write(&format!("OUT/{input}"), Bytes::from(vec![0u8; 100]));
+            ctx.emit(*input, *input);
+            Ok(())
+        }
+    }
+    struct ControlReducer;
+    impl Reducer for ControlReducer {
+        type Key = usize;
+        type Value = usize;
+        type Output = usize;
+        fn reduce(&self, key: &usize, values: &[usize], ctx: &mut ReduceContext) -> Result<usize> {
+            assert_eq!(values, &[*key]);
+            assert_eq!(ctx.partition(), *key % ctx.num_partitions());
+            let data = ctx.read(&format!("OUT/{key}"))?;
+            Ok(data.len())
+        }
+    }
+
+    #[test]
+    fn control_file_pattern_with_identity_partitioner() {
+        let cluster = test_cluster(4);
+        let mut spec = JobSpec::new("control", 4);
+        spec.partitioner = identity_partitioner;
+        let inputs: Vec<usize> = (0..4).collect();
+        let (out, report) =
+            run_job(&cluster, &spec, &ControlMapper, &ControlReducer, &inputs).unwrap();
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|&(_, len)| len == 100));
+        // Unit cost model: each map task writes 100 bytes => 100 s/task, 4
+        // tasks on 4 nodes => 100 s map wave. Each reduce reads 100 bytes.
+        assert!((report.map_wave_secs - 100.0).abs() < 1.0);
+        assert!((report.reduce_wave_secs - 100.0).abs() < 1.0);
+        assert_eq!(report.stats.read_bytes, 400);
+        assert_eq!(report.stats.write_bytes, 400);
+    }
+
+    #[test]
+    fn map_only_job_runs_and_prices() {
+        let cluster = test_cluster(2);
+        let spec: JobSpec<usize, usize> = JobSpec::new("partition", 0);
+        let inputs: Vec<usize> = (0..4).collect();
+        let report = run_map_only(&cluster, &spec, &ControlMapper, &inputs).unwrap();
+        assert_eq!(report.map_tasks, 4);
+        assert_eq!(report.reduce_tasks, 0);
+        // 4 tasks x 100 write-seconds on 2 nodes => 200 s makespan.
+        assert!((report.map_wave_secs - 200.0).abs() < 1.0);
+        assert!(cluster.dfs.exists("OUT/3"));
+    }
+
+    #[test]
+    fn zero_reducers_rejected_by_run_job() {
+        let cluster = test_cluster(1);
+        let spec = JobSpec::new("bad", 0);
+        let err = run_job(&cluster, &spec, &ControlMapper, &ControlReducer, &[0]).unwrap_err();
+        assert!(matches!(err, MrError::InvalidJob(_)));
+    }
+
+    #[test]
+    fn injected_map_failure_retries_and_charges() {
+        let cluster = test_cluster(2);
+        cluster.faults.fail_task("control", Phase::Map, 1, 1);
+        let mut spec = JobSpec::new("control", 2);
+        spec.partitioner = identity_partitioner;
+        let inputs: Vec<usize> = vec![0, 1];
+        let (out, report) =
+            run_job(&cluster, &spec, &ControlMapper, &ControlReducer, &inputs).unwrap();
+        assert_eq!(out.len(), 2, "job still completes correctly");
+        assert_eq!(report.failures, 1);
+        assert_eq!(cluster.faults.injected_count(), 1);
+        assert_eq!(cluster.metrics.snapshot().task_failures, 1);
+        // Lost work is charged: the failed attempt wrote 100 bytes.
+        assert_eq!(report.lost_stats.write_bytes, 100);
+        // The retried attempt lengthens the map wave: 2 tasks fit 2 nodes
+        // in 100 s, the retry adds another 100 s on one node.
+        assert!((report.map_wave_secs - 200.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_the_job() {
+        let cluster = test_cluster(1);
+        cluster.faults.fail_task("control", Phase::Map, 0, 99);
+        let spec = JobSpec::new("control", 1);
+        let err = run_job(&cluster, &spec, &ControlMapper, &ControlReducer, &[0]).unwrap_err();
+        match err {
+            MrError::TaskFailed { phase, task, attempts, .. } => {
+                assert_eq!(phase, Phase::Map);
+                assert_eq!(task, 0);
+                assert_eq!(attempts, 4);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    /// A mapper that errors until the DFS contains a marker (simulating a
+    /// transient user error that a retry fixes).
+    struct FlakyMapper;
+    impl Mapper for FlakyMapper {
+        type Input = usize;
+        type Key = usize;
+        type Value = usize;
+        fn map(&self, input: &usize, ctx: &mut MapContext<usize, usize>) -> Result<()> {
+            let marker = format!("marker/{input}");
+            if !ctx.exists(&marker) {
+                ctx.write(&marker, Bytes::from_static(b"1"));
+                return Err(MrError::Other("transient".into()));
+            }
+            ctx.emit(*input, 1);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn user_error_is_retried() {
+        let cluster = test_cluster(1);
+        let spec: JobSpec<usize, usize> = JobSpec::new("flaky", 0);
+        // First attempt writes the marker and errors; the runner wraps the
+        // task body's error into UserTask and retries, and the retry
+        // succeeds because the marker now exists.
+        let report = run_map_only(&cluster, &spec, &FlakyMapper, &[7]).unwrap();
+        assert_eq!(report.failures, 1);
+    }
+
+    #[test]
+    fn reduce_failure_injection() {
+        let cluster = test_cluster(2);
+        cluster.faults.fail_task("control", Phase::Reduce, 0, 1);
+        let mut spec = JobSpec::new("control", 2);
+        spec.partitioner = identity_partitioner;
+        let (out, report) =
+            run_job(&cluster, &spec, &ControlMapper, &ControlReducer, &[0, 1]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(report.failures, 1);
+        assert!(report.reduce_wave_secs > report.map_wave_secs / 2.0);
+    }
+
+    #[test]
+    fn empty_input_job() {
+        let cluster = test_cluster(2);
+        let spec = JobSpec::new("empty", 1);
+        let (out, report) =
+            run_job(&cluster, &spec, &ControlMapper, &ControlReducer, &[]).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(report.map_tasks, 0);
+        // Unit model has no launch cost; only the (empty) reducer's
+        // microseconds of measured time remain.
+        assert!(report.sim_secs < 0.01);
+    }
+
+    #[test]
+    fn launch_overhead_is_charged_per_job() {
+        let mut cfg = ClusterConfig::medium(2);
+        cfg.cost = CostModel { job_launch_secs: 5.0, ..CostModel::unit_for_tests() };
+        let cluster = Cluster::new(cfg);
+        let spec: JobSpec<usize, usize> = JobSpec::new("a", 0);
+        let r1 = run_map_only(&cluster, &spec, &ControlMapper, &[0]).unwrap();
+        assert!(r1.sim_secs >= 5.0);
+        let before = cluster.sim_secs();
+        let _ = run_map_only(&cluster, &spec, &ControlMapper, &[1]).unwrap();
+        assert!(cluster.sim_secs() - before >= 5.0);
+    }
+}
+
+#[cfg(test)]
+mod combiner_tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::job::{JobSpec, MapContext, Mapper, ReduceContext, Reducer};
+    use crate::simtime::CostModel;
+    use bytes::Bytes;
+
+    struct WordMapper;
+    impl Mapper for WordMapper {
+        type Input = String;
+        type Key = String;
+        type Value = u64;
+        fn map(&self, input: &String, ctx: &mut MapContext<String, u64>) -> Result<()> {
+            let data = ctx.read(input)?;
+            for w in String::from_utf8_lossy(&data).split_whitespace() {
+                ctx.emit(w.to_string(), 1);
+                ctx.increment("words_seen", 1);
+            }
+            Ok(())
+        }
+    }
+    struct SumReducer;
+    impl Reducer for SumReducer {
+        type Key = String;
+        type Value = u64;
+        type Output = u64;
+        fn reduce(&self, _k: &String, values: &[u64], ctx: &mut ReduceContext) -> Result<u64> {
+            ctx.increment("keys_reduced", 1);
+            Ok(values.iter().sum())
+        }
+    }
+
+    fn cluster() -> Cluster {
+        let mut cfg = ClusterConfig::medium(2);
+        cfg.cost = CostModel::unit_for_tests();
+        Cluster::new(cfg)
+    }
+
+    fn run(with_combiner: bool) -> (Vec<(String, u64)>, JobReport) {
+        let cluster = cluster();
+        cluster.dfs.write("in/0", Bytes::from_static(b"a a a b"));
+        cluster.dfs.write("in/1", Bytes::from_static(b"a b b b"));
+        let mut spec = JobSpec::new("wc", 2);
+        if with_combiner {
+            spec.combiner = Some(|_k: &String, vs: &[u64]| vs.iter().sum());
+        }
+        let inputs = vec!["in/0".to_string(), "in/1".to_string()];
+        let (mut out, report) =
+            run_job(&cluster, &spec, &WordMapper, &SumReducer, &inputs).unwrap();
+        out.sort();
+        (out, report)
+    }
+
+    #[test]
+    fn combiner_preserves_results_and_shrinks_shuffle() {
+        let (plain_out, plain_report) = run(false);
+        let (comb_out, comb_report) = run(true);
+        assert_eq!(plain_out, comb_out, "combiner must not change answers");
+        assert_eq!(comb_out, vec![("a".to_string(), 4), ("b".to_string(), 4)]);
+        assert!(
+            comb_report.stats.shuffle_bytes < plain_report.stats.shuffle_bytes,
+            "combiner must reduce shuffle volume: {} vs {}",
+            comb_report.stats.shuffle_bytes,
+            plain_report.stats.shuffle_bytes
+        );
+        // 8 raw pairs become at most 2 per map task.
+        assert_eq!(plain_report.stats.emitted_pairs, 8);
+        assert!(comb_report.stats.emitted_pairs <= 4);
+    }
+
+    #[test]
+    fn user_counters_aggregate_across_phases() {
+        let (_, report) = run(true);
+        assert_eq!(report.user_counters.get("words_seen"), Some(&8));
+        assert_eq!(report.user_counters.get("keys_reduced"), Some(&2));
+    }
+}

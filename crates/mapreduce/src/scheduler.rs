@@ -1,0 +1,238 @@
+//! Virtual-node wave scheduling.
+//!
+//! A wave (all map tasks of a job, or all reduce tasks) is scheduled onto
+//! `m0` virtual nodes, each with a fixed number of task slots, using the
+//! greedy list scheduler Hadoop's JobTracker approximates: each task, in
+//! submission order, goes to the slot that frees earliest. The wave's
+//! simulated duration is the makespan.
+//!
+//! Failed attempts are charged too: a retry appears as an extra entry in
+//! the task list (scheduled after its failed attempt), so an injected
+//! failure stretches the makespan exactly the way the paper's Section 7.4
+//! failed-mapper run stretched from 5 to 8 hours.
+
+/// Result of scheduling one wave.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveSchedule {
+    /// Simulated seconds from wave start to last task completion.
+    pub makespan_secs: f64,
+    /// Per-slot busy time, for utilization diagnostics.
+    pub slot_busy_secs: Vec<f64>,
+    /// Node index each task (in input order) ran on.
+    pub placements: Vec<usize>,
+}
+
+impl WaveSchedule {
+    /// Fraction of slot-seconds actually used (1.0 = perfectly balanced).
+    pub fn utilization(&self) -> f64 {
+        if self.makespan_secs == 0.0 || self.slot_busy_secs.is_empty() {
+            return 1.0;
+        }
+        let busy: f64 = self.slot_busy_secs.iter().sum();
+        busy / (self.makespan_secs * self.slot_busy_secs.len() as f64)
+    }
+}
+
+/// Greedy list scheduling of `task_secs` (in submission order) onto
+/// `nodes * slots_per_node` slots; returns the makespan and placements.
+pub fn schedule_wave(task_secs: &[f64], nodes: usize, slots_per_node: usize) -> WaveSchedule {
+    schedule_wave_hetero(task_secs, &vec![1.0; nodes.max(1)], slots_per_node, false)
+}
+
+/// List scheduling on a *heterogeneous* cluster — `node_speeds[i]` scales
+/// node `i`'s execution rate (1.0 = nominal; the paper observes "the
+/// performance variance between different large EC2 instances is high",
+/// Section 7.4) — with optional Hadoop-style speculative execution.
+///
+/// Placement is *speed-blind*, like Hadoop's JobTracker: each task goes to
+/// the slot that frees earliest, slow or not — the scheduler cannot know a
+/// node is slow in advance. With `speculative` set, the makespan-defining
+/// straggler gets one backup attempt on the best other slot and the wave
+/// completes when the first copy does: Hadoop's mitigation for exactly
+/// this blindness.
+pub fn schedule_wave_hetero(
+    task_secs: &[f64],
+    node_speeds: &[f64],
+    slots_per_node: usize,
+    speculative: bool,
+) -> WaveSchedule {
+    let nodes = node_speeds.len().max(1);
+    let slots_per_node = slots_per_node.max(1);
+    let slot_count = nodes * slots_per_node;
+    let speed = |slot: usize| -> f64 {
+        let s = node_speeds.get(slot / slots_per_node).copied().unwrap_or(1.0);
+        if s > 0.0 {
+            s
+        } else {
+            1.0
+        }
+    };
+    let mut free_at = vec![0.0_f64; slot_count];
+    let mut placements = Vec::with_capacity(task_secs.len());
+    let mut completions = Vec::with_capacity(task_secs.len());
+    for &t in task_secs {
+        // Earliest-free slot (speed-blind; ties to the lowest index).
+        let (slot, _) = free_at
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
+            .expect("slot_count >= 1");
+        free_at[slot] += t / speed(slot);
+        placements.push(slot / slots_per_node);
+        completions.push((slot, free_at[slot], t));
+    }
+    let mut makespan = free_at.iter().fold(0.0_f64, |m, &v| m.max(v));
+
+    if speculative {
+        // One backup attempt for the task that defines the makespan: it
+        // may finish earlier on another (faster or idler) slot.
+        if let Some(&(slot, finish, t)) = completions
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        {
+            let alt = (0..slot_count)
+                .filter(|&s| s != slot)
+                // The backup starts once the alternative slot drains.
+                .map(|s| free_at[s] + t / speed(s))
+                .fold(f64::INFINITY, f64::min);
+            if alt < finish {
+                // The wave now ends at the earlier copy (or whatever other
+                // slot finishes last).
+                let others = free_at
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &f)| if s == slot { f - t / speed(s) } else { f })
+                    .fold(0.0_f64, f64::max);
+                makespan = others.max(alt).min(makespan);
+            }
+        }
+    }
+    WaveSchedule { makespan_secs: makespan, slot_busy_secs: free_at, placements }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_tasks_divide_evenly() {
+        let tasks = vec![1.0; 8];
+        let s = schedule_wave(&tasks, 4, 1);
+        assert!((s.makespan_secs - 2.0).abs() < 1e-12);
+        assert!((s.utilization() - 1.0).abs() < 1e-12);
+        // Round-robin placement across the 4 nodes.
+        assert_eq!(&s.placements[..4], &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_node_serializes() {
+        let tasks = vec![1.0, 2.0, 3.0];
+        let s = schedule_wave(&tasks, 1, 1);
+        assert!((s.makespan_secs - 6.0).abs() < 1e-12);
+        assert!(s.placements.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn more_nodes_than_tasks() {
+        let tasks = vec![5.0, 1.0];
+        let s = schedule_wave(&tasks, 10, 1);
+        assert!((s.makespan_secs - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn straggler_dominates_makespan() {
+        // 7 short tasks + 1 long submitted last: in submission order the
+        // long task lands on the node that freed earliest (busy 1s), so the
+        // makespan is 1 + 10.
+        let mut tasks = vec![1.0; 7];
+        tasks.push(10.0);
+        let s = schedule_wave(&tasks, 4, 1);
+        assert!((s.makespan_secs - 11.0).abs() < 1e-12);
+        assert!(s.utilization() < 0.5);
+        // Submitted first, the long task fully overlaps the short ones.
+        let mut tasks = vec![10.0];
+        tasks.extend(vec![1.0; 7]);
+        let s = schedule_wave(&tasks, 4, 1);
+        assert!((s.makespan_secs - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_extends_one_node() {
+        // A failed attempt + retry shows up as two 4.0 entries: on 2 nodes
+        // with 2 other 4.0 tasks, makespan doubles vs the clean run.
+        let clean = schedule_wave(&[4.0, 4.0], 2, 1);
+        let faulty = schedule_wave(&[4.0, 4.0, 4.0, 4.0], 2, 1);
+        assert!((clean.makespan_secs - 4.0).abs() < 1e-12);
+        assert!((faulty.makespan_secs - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slots_multiply_capacity() {
+        let tasks = vec![1.0; 8];
+        let s = schedule_wave(&tasks, 2, 4);
+        assert!((s.makespan_secs - 1.0).abs() < 1e-12);
+        assert_eq!(s.slot_busy_secs.len(), 8);
+    }
+
+    #[test]
+    fn empty_wave_is_zero() {
+        let s = schedule_wave(&[], 4, 1);
+        assert_eq!(s.makespan_secs, 0.0);
+        assert!((s.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_nodes_clamps_to_one() {
+        let s = schedule_wave(&[2.0], 0, 0);
+        assert!((s.makespan_secs - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slow_node_stretches_the_wave() {
+        // 4 equal tasks, node 3 at half speed: its task takes 2x.
+        let tasks = vec![4.0; 4];
+        let even = schedule_wave_hetero(&tasks, &[1.0; 4], 1, false);
+        assert!((even.makespan_secs - 4.0).abs() < 1e-12);
+        let skew = schedule_wave_hetero(&tasks, &[1.0, 1.0, 1.0, 0.5], 1, false);
+        assert!((skew.makespan_secs - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speculation_rescues_the_straggler() {
+        // Node 3 runs at 1/4 speed; without speculation the 4th task takes
+        // 16 s there. With speculation a backup lands on a fast node after
+        // it drains (4 s) and finishes at 8 s.
+        let tasks = vec![4.0; 4];
+        let speeds = [1.0, 1.0, 1.0, 0.25];
+        let off = schedule_wave_hetero(&tasks, &speeds, 1, false);
+        assert!((off.makespan_secs - 16.0).abs() < 1e-12);
+        let on = schedule_wave_hetero(&tasks, &speeds, 1, true);
+        assert!((on.makespan_secs - 8.0).abs() < 1e-12, "got {}", on.makespan_secs);
+    }
+
+    #[test]
+    fn speculation_is_noop_on_homogeneous_balanced_waves() {
+        let tasks = vec![1.0; 8];
+        let off = schedule_wave_hetero(&tasks, &[1.0; 4], 1, false);
+        let on = schedule_wave_hetero(&tasks, &[1.0; 4], 1, true);
+        assert_eq!(off.makespan_secs, on.makespan_secs);
+    }
+
+    #[test]
+    fn placement_is_speed_blind() {
+        // Hadoop cannot know node 0 is slow: the single task lands on the
+        // first free slot and eats the slowdown.
+        let s = schedule_wave_hetero(&[3.0], &[0.5, 2.0, 1.0], 1, false);
+        assert_eq!(s.placements, vec![0]);
+        assert!((s.makespan_secs - 6.0).abs() < 1e-12);
+        // ...and speculation rescues it on the fast node.
+        let s = schedule_wave_hetero(&[3.0], &[0.5, 2.0, 1.0], 1, true);
+        assert!((s.makespan_secs - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_speed_treated_as_nominal() {
+        let s = schedule_wave_hetero(&[1.0], &[0.0], 1, false);
+        assert!((s.makespan_secs - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,218 @@
+//! The cost model that converts measured task work into simulated cluster
+//! time.
+//!
+//! The paper's experiments run on Amazon EC2 *medium* instances (1 virtual
+//! core of 2007-era performance, Section 7.1) and, for the largest matrix,
+//! *large* instances (2 such cores, Section 7.4). Neither the hardware nor
+//! the cluster is available here, so tasks execute locally and the model
+//! prices their measured work as if it ran on those machines:
+//!
+//! ```text
+//! task_time  = cpu · compute_scale / cores
+//!            + read_bytes  / disk_read_bw
+//!            + write_bytes · replication / disk_write_bw
+//! wave_time  = makespan of list-scheduling task_times onto m0 nodes
+//! job_time   = job_launch + map_wave + shuffle_bytes/(net_bw·m0) + reduce_wave
+//! ```
+//!
+//! The `job_launch` constant is the overhead the paper's bound value `nb`
+//! is tuned against (Section 5: `nb` is chosen so a master-node LU costs
+//! about one job launch).
+
+use std::time::Duration;
+
+use crate::job::TaskStats;
+
+/// Prices measured task work in simulated seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Constant overhead to launch one MapReduce job, seconds.
+    pub job_launch_secs: f64,
+    /// Per-node disk read bandwidth, bytes/second.
+    pub disk_read_bw: f64,
+    /// Per-node disk write bandwidth, bytes/second.
+    pub disk_write_bw: f64,
+    /// Per-node network bandwidth, bytes/second (shuffle and replication
+    /// traffic).
+    pub net_bw: f64,
+    /// Multiplier applied to locally measured CPU seconds to model the
+    /// target machine (2007-era EC2 compute units are far slower than a
+    /// modern core).
+    pub compute_scale: f64,
+    /// Multiplier for *master-node* CPU seconds. The paper tunes `nb` so a
+    /// master-side LU costs about one job launch (Section 5) — its master
+    /// runs optimized native code while workers run naive Java — so the
+    /// master is typically priced faster than the workers.
+    pub master_compute_scale: f64,
+    /// Multiplier for the non-kernel portion of task CPU (serialization,
+    /// block assembly, data movement). Tasks report their arithmetic
+    /// kernels explicitly via `charge_kernel`; the rest of their measured
+    /// CPU is byte-proportional work that extrapolated models must scale
+    /// quadratically (with data volume), not cubically (with flops).
+    pub codec_scale: f64,
+    /// Physical cores per node sharing a task's compute.
+    pub cores_per_node: u32,
+    /// HDFS replication factor charged on writes.
+    pub replication: u32,
+}
+
+impl CostModel {
+    /// EC2 *medium* instance profile (Section 7.1): 1 virtual core with 2
+    /// EC2 compute units, ~60 MB/s disk and inter-node copy bandwidth
+    /// (Section 7.4 measures 60 MB/s between medium instances).
+    pub fn ec2_medium() -> Self {
+        CostModel {
+            job_launch_secs: 6.5,
+            disk_read_bw: 60e6,
+            disk_write_bw: 60e6,
+            net_bw: 60e6,
+            compute_scale: 16.0,
+            master_compute_scale: 0.25,
+            codec_scale: 16.0,
+            cores_per_node: 1,
+            replication: 3,
+        }
+    }
+
+    /// EC2 *large* instance profile (Section 7.4): two medium cores per
+    /// node, but slower observed copy bandwidth (30–60 MB/s; we take the
+    /// 45 MB/s midpoint, matching the paper's observation that large
+    /// instances copied data *slower* than medium ones).
+    pub fn ec2_large() -> Self {
+        CostModel {
+            job_launch_secs: 6.5,
+            disk_read_bw: 45e6,
+            disk_write_bw: 45e6,
+            net_bw: 45e6,
+            compute_scale: 16.0,
+            master_compute_scale: 0.25,
+            codec_scale: 16.0,
+            cores_per_node: 2,
+            replication: 3,
+        }
+    }
+
+    /// A unit-speed model for tests: 1 byte/second bandwidths and no
+    /// compute scaling make costs exactly predictable.
+    pub fn unit_for_tests() -> Self {
+        CostModel {
+            job_launch_secs: 0.0,
+            disk_read_bw: 1.0,
+            disk_write_bw: 1.0,
+            net_bw: 1.0,
+            compute_scale: 1.0,
+            master_compute_scale: 1.0,
+            codec_scale: 1.0,
+            cores_per_node: 1,
+            replication: 1,
+        }
+    }
+
+    /// Simulated seconds to execute one task on one node.
+    pub fn task_secs(&self, stats: &TaskStats) -> f64 {
+        let measured = stats.cpu.as_secs_f64();
+        // Arithmetic kernels (reported explicitly by the task) and the
+        // remaining byte-proportional work extrapolate differently.
+        let kernel = stats.kernel.as_secs_f64().min(measured);
+        let other = measured - kernel;
+        let cpu = (kernel * self.compute_scale + other * self.codec_scale)
+            / f64::from(self.cores_per_node);
+        let read = stats.read_bytes as f64 / self.disk_read_bw;
+        let write = stats.write_bytes as f64 * f64::from(self.replication) / self.disk_write_bw;
+        cpu + read + write
+    }
+
+    /// Simulated seconds for the shuffle of `bytes` across `m0` nodes:
+    /// every byte crosses the network once, and the cluster moves data at
+    /// `m0 · net_bw` in aggregate.
+    pub fn shuffle_secs(&self, bytes: u64, m0: usize) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        bytes as f64 / (self.net_bw * m0.max(1) as f64)
+    }
+
+    /// Simulated seconds for a point-to-point transfer of `bytes` over one
+    /// link (used by the ScaLAPACK baseline's broadcasts).
+    pub fn link_secs(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.net_bw
+    }
+
+    /// Scaled compute seconds for a measured duration on the master node.
+    pub fn master_secs(&self, cpu: Duration) -> f64 {
+        cpu.as_secs_f64() * self.master_compute_scale
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::ec2_medium()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cpu: f64, read: u64, write: u64) -> TaskStats {
+        TaskStats {
+            cpu: Duration::from_secs_f64(cpu),
+            // All CPU counts as kernel in these pricing tests.
+            kernel: Duration::from_secs_f64(cpu),
+            read_bytes: read,
+            write_bytes: write,
+            shuffle_bytes: 0,
+            emitted_pairs: 0,
+        }
+    }
+
+    #[test]
+    fn unit_model_prices_exactly() {
+        let m = CostModel::unit_for_tests();
+        let t = m.task_secs(&stats(2.0, 3, 5));
+        assert!((t - 10.0).abs() < 1e-12); // 2 cpu + 3 read + 5 write
+    }
+
+    #[test]
+    fn replication_multiplies_write_cost() {
+        let mut m = CostModel::unit_for_tests();
+        m.replication = 3;
+        let t = m.task_secs(&stats(0.0, 0, 10));
+        assert!((t - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cores_divide_compute() {
+        let mut m = CostModel::unit_for_tests();
+        m.cores_per_node = 4;
+        let t = m.task_secs(&stats(8.0, 0, 0));
+        assert!((t - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shuffle_scales_with_cluster_size() {
+        let m = CostModel::unit_for_tests();
+        assert!((m.shuffle_secs(100, 4) - 25.0).abs() < 1e-12);
+        assert_eq!(m.shuffle_secs(0, 4), 0.0);
+        assert!((m.shuffle_secs(10, 0) - 10.0).abs() < 1e-12); // clamps to 1 node
+    }
+
+    #[test]
+    fn ec2_profiles_are_sane() {
+        let med = CostModel::ec2_medium();
+        let large = CostModel::ec2_large();
+        assert_eq!(med.cores_per_node, 1);
+        assert_eq!(large.cores_per_node, 2);
+        assert!(large.net_bw < med.net_bw, "paper observed slower copies on large instances");
+        assert!(med.job_launch_secs > 0.0);
+        assert_eq!(CostModel::default(), med);
+    }
+
+    #[test]
+    fn master_secs_uses_master_scale() {
+        let mut m = CostModel::unit_for_tests();
+        m.compute_scale = 10.0;
+        m.master_compute_scale = 3.0;
+        assert!((m.master_secs(Duration::from_secs(2)) - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,292 @@
+//! Single-node LU decomposition with partial pivoting (Algorithm 1).
+//!
+//! On the master node the pipeline decomposes blocks of order at most `nb`
+//! with this routine; the distributed block method (Algorithm 2) lives in
+//! the core crate and calls back into this one at the recursion leaves.
+//!
+//! The factors are stored *in place of the input* exactly as the paper
+//! describes: the strict lower triangle holds `L` (whose unit diagonal is
+//! implicit) and the upper triangle, including the diagonal, holds `U`.
+//! Pivoting produces the permutation `P` (as a compact
+//! [`Permutation`] array) such that `P·A = L·U`.
+
+use crate::dense::Matrix;
+use crate::error::{MatrixError, Result};
+use crate::permutation::Permutation;
+
+/// Packed LU factors plus the pivot permutation: `P·A = L·U`.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    /// Packed factors: strict lower triangle is `L` (unit diagonal
+    /// implicit), upper triangle is `U`.
+    pub lu: Matrix,
+    /// Row permutation `P` with `P·A = L·U`.
+    pub perm: Permutation,
+}
+
+impl LuFactors {
+    /// Extracts the unit lower-triangular factor `L`.
+    pub fn unit_lower(&self) -> Matrix {
+        let n = self.lu.rows();
+        let mut l = Matrix::identity(n);
+        for i in 1..n {
+            for j in 0..i {
+                l[(i, j)] = self.lu[(i, j)];
+            }
+        }
+        l
+    }
+
+    /// Extracts the upper-triangular factor `U`.
+    pub fn upper(&self) -> Matrix {
+        let n = self.lu.rows();
+        let mut u = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                u[(i, j)] = self.lu[(i, j)];
+            }
+        }
+        u
+    }
+
+    /// Recomputes `L·U` (equals `P·A`); used by tests and accuracy checks.
+    pub fn reconstruct(&self) -> Matrix {
+        &self.unit_lower() * &self.upper()
+    }
+}
+
+/// Approximate flop count of an order-`n` LU decomposition
+/// (`n^3/3` multiplications plus `n^3/3` additions, Section 2).
+pub fn lu_flops(n: usize) -> u64 {
+    let n = n as u64;
+    2 * n * n * n / 3
+}
+
+/// LU-decomposes `a` with partial pivoting (Algorithm 1): returns packed
+/// factors and the permutation with `P·A = L·U`.
+///
+/// Returns [`MatrixError::Singular`] when an elimination step finds no pivot
+/// above the numerical threshold (the matrix has no inverse).
+pub fn lu_decompose(a: &Matrix) -> Result<LuFactors> {
+    let mut lu = a.clone();
+    let perm = lu_decompose_in_place(&mut lu)?;
+    Ok(LuFactors { lu, perm })
+}
+
+/// In-place variant of [`lu_decompose`]; `a` is overwritten with the packed
+/// factors.
+pub fn lu_decompose_in_place(a: &mut Matrix) -> Result<Permutation> {
+    let n = a.order()?;
+    let mut perm = Permutation::identity(n);
+    // Relative singularity threshold: pivots this far below the matrix
+    // magnitude are treated as zero.
+    let scale = a.as_slice().iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+    let tol = if scale == 0.0 { f64::MIN_POSITIVE } else { scale * f64::EPSILON * n as f64 };
+
+    for i in 0..n {
+        // Select the row with the maximum |[A]_ji| among rows i..n (line 3).
+        let mut pivot_row = i;
+        let mut pivot_val = a[(i, i)].abs();
+        for j in (i + 1)..n {
+            let v = a[(j, i)].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = j;
+            }
+        }
+        if pivot_val < tol {
+            return Err(MatrixError::Singular { step: i });
+        }
+        if pivot_row != i {
+            a.swap_rows(i, pivot_row);
+            perm.swap(i, pivot_row);
+        }
+
+        // Scale the column below the pivot (lines 6-8).
+        let inv_pivot = 1.0 / a[(i, i)];
+        for j in (i + 1)..n {
+            a[(j, i)] *= inv_pivot;
+        }
+
+        // Rank-1 update of the trailing submatrix (lines 9-13), done
+        // row-wise so both factors stream sequentially.
+        for j in (i + 1)..n {
+            let lji = a[(j, i)];
+            if lji == 0.0 {
+                continue;
+            }
+            // Split borrows: row i is strictly above row j here.
+            let (top, bottom) = a.as_mut_slice().split_at_mut(j * n);
+            let urow = &top[i * n..i * n + n];
+            let jrow = &mut bottom[..n];
+            for k in (i + 1)..n {
+                jrow[k] -= lji * urow[k];
+            }
+        }
+    }
+    Ok(perm)
+}
+
+/// LU decomposition *without* pivoting; used by the distributed method's
+/// analysis and by tests on diagonally dominant matrices where pivoting is
+/// unnecessary (Equation 3).
+pub fn lu_decompose_no_pivot(a: &Matrix) -> Result<LuFactors> {
+    let n = a.order()?;
+    let mut lu = a.clone();
+    let scale = a.as_slice().iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+    let tol = if scale == 0.0 { f64::MIN_POSITIVE } else { scale * f64::EPSILON * n as f64 };
+
+    for i in 0..n {
+        if lu[(i, i)].abs() < tol {
+            return Err(MatrixError::Singular { step: i });
+        }
+        let inv_pivot = 1.0 / lu[(i, i)];
+        for j in (i + 1)..n {
+            lu[(j, i)] *= inv_pivot;
+        }
+        for j in (i + 1)..n {
+            let lji = lu[(j, i)];
+            if lji == 0.0 {
+                continue;
+            }
+            let (top, bottom) = lu.as_mut_slice().split_at_mut(j * n);
+            let urow = &top[i * n..i * n + n];
+            let jrow = &mut bottom[..n];
+            for k in (i + 1)..n {
+                jrow[k] -= lji * urow[k];
+            }
+        }
+    }
+    Ok(LuFactors { lu, perm: Permutation::identity(n) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{random_matrix, random_well_conditioned};
+
+    #[test]
+    fn known_3x3_decomposition() {
+        let a = Matrix::from_rows(&[
+            &[2.0, 1.0, 1.0],
+            &[4.0, 3.0, 3.0],
+            &[8.0, 7.0, 9.0],
+        ])
+        .unwrap();
+        let f = lu_decompose(&a).unwrap();
+        let pa = f.perm.apply_rows(&a);
+        assert!(f.reconstruct().approx_eq(&pa, 1e-12));
+        // With partial pivoting the first pivot row must be the one with
+        // max |a_i0| = 8.
+        assert_eq!(f.perm.source_of(0), 2);
+    }
+
+    #[test]
+    fn pa_equals_lu_random() {
+        for seed in 0..5 {
+            let n = 20 + seed as usize * 13;
+            let a = random_matrix(n, n, seed);
+            let f = lu_decompose(&a).unwrap();
+            let pa = f.perm.apply_rows(&a);
+            assert!(
+                f.reconstruct().approx_eq(&pa, 1e-8),
+                "PA != LU for seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn factors_have_triangular_shape() {
+        let a = random_matrix(12, 12, 42);
+        let f = lu_decompose(&a).unwrap();
+        let l = f.unit_lower();
+        let u = f.upper();
+        for i in 0..12 {
+            assert_eq!(l[(i, i)], 1.0, "L must be unit diagonal");
+            for j in (i + 1)..12 {
+                assert_eq!(l[(i, j)], 0.0, "L must be lower triangular");
+            }
+            for j in 0..i {
+                assert_eq!(u[(i, j)], 0.0, "U must be upper triangular");
+            }
+        }
+    }
+
+    #[test]
+    fn pivoting_bounds_multipliers() {
+        // With partial pivoting every |l_ij| <= 1.
+        let a = random_matrix(30, 30, 7);
+        let f = lu_decompose(&a).unwrap();
+        let l = f.unit_lower();
+        for i in 0..30 {
+            for j in 0..i {
+                assert!(l[(i, j)].abs() <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        // Two identical rows.
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0],
+        ])
+        .unwrap();
+        assert!(matches!(lu_decompose(&a), Err(MatrixError::Singular { .. })));
+        let z = Matrix::zeros(4, 4);
+        assert!(lu_decompose(&z).is_err());
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let a = Matrix::zeros(3, 4);
+        assert!(lu_decompose(&a).is_err());
+        assert!(lu_decompose_no_pivot(&a).is_err());
+    }
+
+    #[test]
+    fn no_pivot_matches_pivoted_on_dominant_matrices() {
+        let a = random_well_conditioned(24, 3);
+        let piv = lu_decompose(&a).unwrap();
+        let nopiv = lu_decompose_no_pivot(&a).unwrap();
+        // Diagonally dominant: pivoting should be a no-op.
+        assert!(piv.perm.is_identity());
+        assert!(piv.lu.approx_eq(&nopiv.lu, 1e-9));
+        assert!(nopiv.reconstruct().approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn no_pivot_rejects_zero_leading_pivot() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!(lu_decompose_no_pivot(&a).is_err());
+        // ...while pivoting handles it fine.
+        assert!(lu_decompose(&a).is_ok());
+    }
+
+    #[test]
+    fn in_place_variant_matches() {
+        let a = random_matrix(16, 16, 9);
+        let f = lu_decompose(&a).unwrap();
+        let mut b = a.clone();
+        let p = lu_decompose_in_place(&mut b).unwrap();
+        assert_eq!(p, f.perm);
+        assert!(b.approx_eq(&f.lu, 0.0));
+    }
+
+    #[test]
+    fn order_one_matrix() {
+        let a = Matrix::from_rows(&[&[4.0]]).unwrap();
+        let f = lu_decompose(&a).unwrap();
+        assert_eq!(f.upper()[(0, 0)], 4.0);
+        assert!(f.perm.is_identity());
+    }
+
+    #[test]
+    fn flop_count_formula() {
+        assert_eq!(lu_flops(0), 0);
+        assert_eq!(lu_flops(3), 18);
+        assert_eq!(lu_flops(100), 2 * 100 * 100 * 100 / 3);
+    }
+}

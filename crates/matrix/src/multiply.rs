@@ -1,0 +1,387 @@
+//! Matrix-multiply kernels.
+//!
+//! The distributed algorithm multiplies matrices in two places: reducers
+//! compute `B = A4 - L2'·U2` during LU decomposition, and the final job
+//! computes `U^-1·L^-1`. Section 6.3 of the paper observes that with both
+//! operands row-major the inner loop of the naive kernel strides through the
+//! right operand column-wise — one potential TLB/cache miss per element — and
+//! fixes it by always storing `U` matrices *transposed*. The kernels here
+//! mirror that choice:
+//!
+//! * [`mul_ijk`] — Equation 7's i-j-k loop with column-strided reads of
+//!   the right operand (the paper's unoptimized layout);
+//! * [`mul_naive`] — i-k-j loop, cache-friendly without transposition;
+//! * [`mul_transposed`] — `A·B` given `Bᵀ`, both walked row-major;
+//! * [`mul_blocked`] — cache-blocked variant for large orders;
+//! * [`mul_parallel`] — rayon row-parallel kernel used when a single task
+//!   owns a large product;
+//! * [`sub_mul`] — fused `C - A·B` (the reducer update), avoiding a
+//!   temporary.
+
+use rayon::prelude::*;
+
+use crate::dense::Matrix;
+use crate::error::{MatrixError, Result};
+
+/// Floating-point operation count of an `m x k` by `k x n` product
+/// (one multiply and one add per inner step).
+pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * (m as u64) * (k as u64) * (n as u64)
+}
+
+fn check_mul(a: &Matrix, b: &Matrix, op: &'static str) -> Result<()> {
+    if a.cols() != b.rows() {
+        return Err(MatrixError::DimensionMismatch { op, lhs: a.shape(), rhs: b.shape() });
+    }
+    Ok(())
+}
+
+/// `A·B` with both operands row-major, i-k-j loop order (the inner loop
+/// streams one row of `b`). Cache-friendly without transposition; the
+/// general-purpose kernel.
+pub fn mul_naive(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    check_mul(a, b, "mul_naive")?;
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (p, &apv) in arow.iter().enumerate().take(k) {
+            let brow = b.row(p);
+            for j in 0..n {
+                crow[j] += apv * brow[j];
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// The paper's Equation 7 layout: `A·B` computed i-j-k with both operands
+/// row-major, so the inner loop reads `b` with stride `b.cols()` — "each
+/// read of an element from U2 will access a separate memory page,
+/// potentially generating a TLB miss and a cache miss" (Section 6.3).
+/// This is the unoptimized kernel the transposed-U storage replaces.
+pub fn mul_ijk(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    check_mul(a, b, "mul_ijk")?;
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    let b_data = b.as_slice();
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (j, cij) in crow.iter_mut().enumerate().take(n) {
+            let mut acc = 0.0;
+            for (p, &apv) in arow.iter().enumerate().take(k) {
+                acc += apv * b_data[p * n + j]; // stride-n access
+            }
+            *cij = acc;
+        }
+    }
+    Ok(c)
+}
+
+/// Fused `C := C - A·B` in the Equation 7 i-j-k order (the transpose-off
+/// ablation path of the pipeline's reducers).
+pub fn sub_mul_ijk(c: &mut Matrix, a: &Matrix, b: &Matrix) -> Result<()> {
+    check_mul(a, b, "sub_mul_ijk")?;
+    if c.shape() != (a.rows(), b.cols()) {
+        return Err(MatrixError::DimensionMismatch {
+            op: "sub_mul_ijk(output)",
+            lhs: c.shape(),
+            rhs: (a.rows(), b.cols()),
+        });
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let b_data = b.as_slice();
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (j, cij) in crow.iter_mut().enumerate().take(n) {
+            let mut acc = 0.0;
+            for (p, &apv) in arow.iter().enumerate().take(k) {
+                acc += apv * b_data[p * n + j];
+            }
+            *cij -= acc;
+        }
+    }
+    Ok(())
+}
+
+/// `A·B` where the caller supplies `Bᵀ` (the Section 6.3 layout).
+///
+/// Both operands are walked strictly row-major, so each inner product is two
+/// sequential scans — the access pattern the paper credits with a 2–3x
+/// speedup.
+pub fn mul_transposed(a: &Matrix, b_t: &Matrix) -> Result<Matrix> {
+    if a.cols() != b_t.cols() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "mul_transposed",
+            lhs: a.shape(),
+            rhs: b_t.shape(),
+        });
+    }
+    let (m, n) = (a.rows(), b_t.rows());
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for j in 0..n {
+            crow[j] = dot(arow, b_t.row(j));
+        }
+    }
+    Ok(c)
+}
+
+/// Cache-blocked `A·B` (both row-major) with `tile`-sized tiles.
+pub fn mul_blocked(a: &Matrix, b: &Matrix, tile: usize) -> Result<Matrix> {
+    check_mul(a, b, "mul_blocked")?;
+    assert!(tile > 0, "tile size must be positive");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for i0 in (0..m).step_by(tile) {
+        let i1 = (i0 + tile).min(m);
+        for p0 in (0..k).step_by(tile) {
+            let p1 = (p0 + tile).min(k);
+            for j0 in (0..n).step_by(tile) {
+                let j1 = (j0 + tile).min(n);
+                for i in i0..i1 {
+                    let arow = a.row(i);
+                    let crow = c.row_mut(i);
+                    for p in p0..p1 {
+                        let apv = arow[p];
+                        let brow = b.row(p);
+                        for j in j0..j1 {
+                            crow[j] += apv * brow[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Row-parallel `A·B` over rayon, using the transposed layout internally.
+///
+/// This is the kernel a *single* worker uses when it owns a large product;
+/// the distributed block-wrap partitioning lives a level above, in the core
+/// crate.
+pub fn mul_parallel(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    check_mul(a, b, "mul_parallel")?;
+    let b_t = b.transpose();
+    mul_parallel_transposed(a, &b_t)
+}
+
+/// Row-parallel `A·B` given `Bᵀ`.
+pub fn mul_parallel_transposed(a: &Matrix, b_t: &Matrix) -> Result<Matrix> {
+    if a.cols() != b_t.cols() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "mul_parallel_transposed",
+            lhs: a.shape(),
+            rhs: b_t.shape(),
+        });
+    }
+    let (m, n) = (a.rows(), b_t.rows());
+    let mut c = Matrix::zeros(m, n);
+    let a_data = a.as_slice();
+    let k = a.cols();
+    c.as_mut_slice()
+        .par_chunks_mut(n.max(1))
+        .enumerate()
+        .for_each(|(i, crow)| {
+            let arow = &a_data[i * k..(i + 1) * k];
+            for j in 0..n {
+                crow[j] = dot(arow, b_t.row(j));
+            }
+        });
+    let _ = m;
+    Ok(c)
+}
+
+/// Fused `C := C - A·B`, the reducer update `A4 - L2'·U2` (Algorithm 2
+/// line 9) without materializing the product.
+pub fn sub_mul(c: &mut Matrix, a: &Matrix, b: &Matrix) -> Result<()> {
+    check_mul(a, b, "sub_mul")?;
+    if c.shape() != (a.rows(), b.cols()) {
+        return Err(MatrixError::DimensionMismatch {
+            op: "sub_mul(output)",
+            lhs: c.shape(),
+            rhs: (a.rows(), b.cols()),
+        });
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (p, &apv) in arow.iter().enumerate().take(k) {
+            let brow = b.row(p);
+            for j in 0..n {
+                crow[j] -= apv * brow[j];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fused `C := C - A·B` given `Bᵀ` (Section 6.3 layout).
+pub fn sub_mul_transposed(c: &mut Matrix, a: &Matrix, b_t: &Matrix) -> Result<()> {
+    if a.cols() != b_t.cols() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "sub_mul_transposed",
+            lhs: a.shape(),
+            rhs: b_t.shape(),
+        });
+    }
+    if c.shape() != (a.rows(), b_t.rows()) {
+        return Err(MatrixError::DimensionMismatch {
+            op: "sub_mul_transposed(output)",
+            lhs: c.shape(),
+            rhs: (a.rows(), b_t.rows()),
+        });
+    }
+    let (m, n) = (a.rows(), b_t.rows());
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for j in 0..n {
+            crow[j] -= dot(arow, b_t.row(j));
+        }
+    }
+    let _ = m;
+    Ok(())
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    // Four-way unrolled accumulation: lets LLVM vectorize without
+    // reassociation flags and reduces rounding drift vs a single chain.
+    let chunks = a.len() / 4 * 4;
+    let mut s0 = 0.0;
+    let mut s1 = 0.0;
+    let mut s2 = 0.0;
+    let mut s3 = 0.0;
+    let mut i = 0;
+    while i < chunks {
+        s0 += a[i] * b[i];
+        s1 += a[i + 1] * b[i + 1];
+        s2 += a[i + 2] * b[i + 2];
+        s3 += a[i + 3] * b[i + 3];
+        i += 4;
+    }
+    let mut tail = 0.0;
+    while i < a.len() {
+        tail += a[i] * b[i];
+        i += 1;
+    }
+    (s0 + s1) + (s2 + s3) + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::random_matrix;
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn naive_small_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = mul_naive(&a, &b).unwrap();
+        let expect = Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap();
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = random_matrix(17, 17, 1);
+        let i = Matrix::identity(17);
+        assert!(mul_naive(&a, &i).unwrap().approx_eq(&a, TOL));
+        assert!(mul_naive(&i, &a).unwrap().approx_eq(&a, TOL));
+    }
+
+    #[test]
+    fn all_kernels_agree_rectangular() {
+        let a = random_matrix(13, 21, 2);
+        let b = random_matrix(21, 9, 3);
+        let reference = mul_naive(&a, &b).unwrap();
+        assert!(mul_ijk(&a, &b).unwrap().approx_eq(&reference, TOL));
+        assert!(mul_transposed(&a, &b.transpose()).unwrap().approx_eq(&reference, TOL));
+        assert!(mul_blocked(&a, &b, 4).unwrap().approx_eq(&reference, TOL));
+        assert!(mul_blocked(&a, &b, 64).unwrap().approx_eq(&reference, TOL));
+        assert!(mul_parallel(&a, &b).unwrap().approx_eq(&reference, TOL));
+        assert!(mul_parallel_transposed(&a, &b.transpose()).unwrap().approx_eq(&reference, TOL));
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(mul_naive(&a, &b).is_err());
+        assert!(mul_transposed(&a, &Matrix::zeros(2, 4)).is_err());
+        assert!(mul_blocked(&a, &b, 2).is_err());
+        assert!(mul_parallel(&a, &b).is_err());
+        let mut c = Matrix::zeros(2, 2);
+        assert!(sub_mul(&mut c, &a, &b).is_err());
+    }
+
+    #[test]
+    fn sub_mul_matches_explicit() {
+        let a = random_matrix(8, 6, 4);
+        let b = random_matrix(6, 10, 5);
+        let c0 = random_matrix(8, 10, 6);
+        let mut c = c0.clone();
+        sub_mul(&mut c, &a, &b).unwrap();
+        let expect = &c0 - &mul_naive(&a, &b).unwrap();
+        assert!(c.approx_eq(&expect, TOL));
+
+        let mut c2 = c0.clone();
+        sub_mul_transposed(&mut c2, &a, &b.transpose()).unwrap();
+        assert!(c2.approx_eq(&expect, TOL));
+
+        let mut c3 = c0.clone();
+        sub_mul_ijk(&mut c3, &a, &b).unwrap();
+        assert!(c3.approx_eq(&expect, TOL));
+        let mut bad = Matrix::zeros(3, 3);
+        assert!(sub_mul_ijk(&mut bad, &a, &b).is_err());
+        assert!(mul_ijk(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2)).is_err());
+    }
+
+    #[test]
+    fn sub_mul_output_shape_checked() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 2);
+        let mut c = Matrix::zeros(3, 2);
+        assert!(sub_mul(&mut c, &a, &b).is_err());
+        assert!(sub_mul_transposed(&mut c, &a, &b).is_err());
+    }
+
+    #[test]
+    fn gemm_flops_counts_two_per_madd() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+        assert_eq!(gemm_flops(0, 3, 4), 0);
+    }
+
+    #[test]
+    fn dot_handles_all_lengths() {
+        for len in 0..10 {
+            let a: Vec<f64> = (0..len).map(|i| i as f64).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i * 2) as f64).collect();
+            let expect: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot(&a, &b) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_products() {
+        let a = Matrix::zeros(0, 0);
+        let c = mul_naive(&a, &a).unwrap();
+        assert_eq!(c.shape(), (0, 0));
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 2);
+        let c = mul_naive(&a, &b).unwrap();
+        assert_eq!(c.shape(), (3, 2));
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

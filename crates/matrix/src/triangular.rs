@@ -1,0 +1,428 @@
+//! Triangular solves and inverses (Equation 4 and Equation 6).
+//!
+//! Two observations from the paper drive the API shape here:
+//!
+//! * each *column* of a lower-triangular inverse is independent of the other
+//!   columns (Section 4.3), so the final MapReduce job's mappers call
+//!   [`invert_lower_column`] on their interleaved column set;
+//! * each *row* of `L2'` and each *column* of `U2` in Equation 6 is
+//!   independent, so the LU pipeline's mappers call
+//!   [`solve_row_times_upper`] / [`solve_unit_lower_column`] per vector.
+//!
+//! Upper-triangular matrices are inverted through their transpose
+//! (a lower-triangular inverse followed by a transpose), matching the
+//! Section 5/6.3 implementation note.
+
+use crate::dense::Matrix;
+use crate::error::{MatrixError, Result};
+
+fn check_square(a: &Matrix, _op: &'static str) -> Result<usize> {
+    a.order()
+}
+
+fn check_nonzero_diag(a: &Matrix) -> Result<()> {
+    let n = a.rows();
+    for i in 0..n {
+        if a[(i, i)] == 0.0 {
+            return Err(MatrixError::Singular { step: i });
+        }
+    }
+    Ok(())
+}
+
+/// Approximate flop count of inverting an order-`n` triangular matrix
+/// (`n^3/3` multiplications plus `n^3/3` additions).
+pub fn tri_inv_flops(n: usize) -> u64 {
+    let n = n as u64;
+    2 * n * n * n / 3
+}
+
+/// Computes column `j` of `L^-1` by Equation 4.
+///
+/// Returns the column as a dense vector of length `n` (entries above the
+/// diagonal are zero). `l` may have any nonzero diagonal; for the
+/// pipeline's unit-lower factors the `1/[L]_ii` terms are exactly 1.
+pub fn invert_lower_column(l: &Matrix, j: usize) -> Result<Vec<f64>> {
+    let n = check_square(l, "invert_lower_column")?;
+    if j >= n {
+        return Err(MatrixError::OutOfBounds {
+            op: "invert_lower_column",
+            rows: (0, n),
+            cols: (j, j + 1),
+            shape: l.shape(),
+        });
+    }
+    check_nonzero_diag(l)?;
+    let mut col = vec![0.0; n];
+    col[j] = 1.0 / l[(j, j)];
+    for i in (j + 1)..n {
+        // [L^-1]_ij = -1/[L]_ii * sum_{k=j}^{i-1} [L]_ik [L^-1]_kj
+        let row = l.row(i);
+        let mut acc = 0.0;
+        for (k, &ck) in col.iter().enumerate().take(i).skip(j) {
+            acc += row[k] * ck;
+        }
+        col[i] = -acc / row[i];
+    }
+    Ok(col)
+}
+
+/// Inverts a lower-triangular matrix by Equation 4, column by column.
+pub fn invert_lower(l: &Matrix) -> Result<Matrix> {
+    let n = check_square(l, "invert_lower")?;
+    let mut inv = Matrix::zeros(n, n);
+    for j in 0..n {
+        let col = invert_lower_column(l, j)?;
+        for i in j..n {
+            inv[(i, j)] = col[i];
+        }
+    }
+    Ok(inv)
+}
+
+/// Inverts an upper-triangular matrix via its transpose: `U^-1 =
+/// ((U^T)^-1)^T` — the implementation detail the paper calls out in
+/// Section 4.1/6.3.
+pub fn invert_upper(u: &Matrix) -> Result<Matrix> {
+    let lt = u.transpose();
+    Ok(invert_lower(&lt)?.transpose())
+}
+
+/// Inverts an upper-triangular matrix *given in transposed storage*
+/// (i.e. the argument is `U^T`, a lower-triangular matrix), returning
+/// `U^-1` also in transposed storage (`(U^-1)^T`, lower-triangular).
+///
+/// With the Section 6.3 layout the final job never materializes a
+/// row-major `U` at all; everything stays in the transposed form.
+pub fn invert_upper_transposed(u_t: &Matrix) -> Result<Matrix> {
+    invert_lower(u_t)
+}
+
+/// Solves `L·x = b` by forward substitution (any nonzero diagonal).
+pub fn forward_substitution(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = check_square(l, "forward_substitution")?;
+    if b.len() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "forward_substitution",
+            lhs: l.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    check_nonzero_diag(l)?;
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let row = l.row(i);
+        let mut acc = b[i];
+        for (k, &xk) in x.iter().enumerate().take(i) {
+            acc -= row[k] * xk;
+        }
+        x[i] = acc / row[i];
+    }
+    Ok(x)
+}
+
+/// Solves `U·x = b` by back substitution (any nonzero diagonal).
+pub fn back_substitution(u: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = check_square(u, "back_substitution")?;
+    if b.len() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "back_substitution",
+            lhs: u.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    check_nonzero_diag(u)?;
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let row = u.row(i);
+        let mut acc = b[i];
+        for k in (i + 1)..n {
+            acc -= row[k] * x[k];
+        }
+        x[i] = acc / row[i];
+    }
+    Ok(x)
+}
+
+/// Computes one column of `U2` in Equation 6: solves `L1·x = a2_col` where
+/// `L1` is unit lower triangular (the `1/[L1]_ii` factors are 1).
+///
+/// This is the per-column kernel a `U2` mapper runs for each of its
+/// assigned columns of `A2`.
+pub fn solve_unit_lower_column(l1: &Matrix, a2_col: &[f64]) -> Result<Vec<f64>> {
+    let n = check_square(l1, "solve_unit_lower_column")?;
+    if a2_col.len() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "solve_unit_lower_column",
+            lhs: l1.shape(),
+            rhs: (a2_col.len(), 1),
+        });
+    }
+    let mut x = a2_col.to_vec();
+    for i in 0..n {
+        let row = l1.row(i);
+        let mut acc = x[i];
+        for (k, &xk) in x.iter().enumerate().take(i) {
+            acc -= row[k] * xk;
+        }
+        x[i] = acc; // unit diagonal: no division
+    }
+    Ok(x)
+}
+
+/// Computes one row of `L2'` in Equation 6: solves `x·U1 = a3_row`, i.e.
+/// `U1ᵀ·xᵀ = a3_rowᵀ`, a forward substitution against the transposed upper
+/// factor.
+///
+/// This is the per-row kernel an `L2'` mapper runs for each of its assigned
+/// rows of `A3`. `u1` is passed row-major (not transposed); the kernel
+/// walks it column-wise which is acceptable for `nb`-sized blocks, and the
+/// transposed-storage variant [`solve_row_times_upper_transposed`] is the
+/// Section 6.3 fast path.
+pub fn solve_row_times_upper(u1: &Matrix, a3_row: &[f64]) -> Result<Vec<f64>> {
+    let n = check_square(u1, "solve_row_times_upper")?;
+    if a3_row.len() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "solve_row_times_upper",
+            lhs: u1.shape(),
+            rhs: (1, a3_row.len()),
+        });
+    }
+    check_nonzero_diag(u1)?;
+    let mut x = vec![0.0; n];
+    for j in 0..n {
+        // x_j = (a_j - sum_{k<j} x_k * U1[k, j]) / U1[j, j]
+        let mut acc = a3_row[j];
+        for (k, &xk) in x.iter().enumerate().take(j) {
+            acc -= xk * u1[(k, j)];
+        }
+        x[j] = acc / u1[(j, j)];
+    }
+    Ok(x)
+}
+
+/// [`solve_row_times_upper`] with `U1` supplied in transposed storage
+/// (`u1_t = U1ᵀ`, lower triangular), so every access is row-major.
+pub fn solve_row_times_upper_transposed(u1_t: &Matrix, a3_row: &[f64]) -> Result<Vec<f64>> {
+    let n = check_square(u1_t, "solve_row_times_upper_transposed")?;
+    if a3_row.len() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "solve_row_times_upper_transposed",
+            lhs: u1_t.shape(),
+            rhs: (1, a3_row.len()),
+        });
+    }
+    check_nonzero_diag(u1_t)?;
+    let mut x = vec![0.0; n];
+    for j in 0..n {
+        let row = u1_t.row(j);
+        let mut acc = a3_row[j];
+        for (k, &xk) in x.iter().enumerate().take(j) {
+            acc -= xk * row[k];
+        }
+        x[j] = acc / row[j];
+    }
+    Ok(x)
+}
+
+/// Solves `L1·X = B` column-by-column (`X = L1^-1·B` for unit-lower `L1`):
+/// the matrix-level form of the `U2` computation.
+pub fn solve_unit_lower_system(l1: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let n = check_square(l1, "solve_unit_lower_system")?;
+    if b.rows() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "solve_unit_lower_system",
+            lhs: l1.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut x = Matrix::zeros(n, b.cols());
+    for j in 0..b.cols() {
+        let col = solve_unit_lower_column(l1, &b.col(j))?;
+        for i in 0..n {
+            x[(i, j)] = col[i];
+        }
+    }
+    Ok(x)
+}
+
+/// Solves `X·U1 = B` row-by-row (`X = B·U1^-1`): the matrix-level form of
+/// the `L2'` computation.
+pub fn solve_upper_system_right(u1: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let n = check_square(u1, "solve_upper_system_right")?;
+    if b.cols() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "solve_upper_system_right",
+            lhs: b.shape(),
+            rhs: u1.shape(),
+        });
+    }
+    let u1_t = u1.transpose();
+    let mut x = Matrix::zeros(b.rows(), n);
+    for i in 0..b.rows() {
+        let row = solve_row_times_upper_transposed(&u1_t, b.row(i))?;
+        x.row_mut(i).copy_from_slice(&row);
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::lu_decompose;
+    use crate::random::{random_matrix, random_unit_lower, random_upper};
+
+    const TOL: f64 = 1e-8;
+
+    #[test]
+    fn lower_inverse_identity_product() {
+        for seed in 0..4 {
+            let l = random_unit_lower(15 + seed as usize, seed);
+            let inv = invert_lower(&l).unwrap();
+            assert!((&l * &inv).approx_eq(&Matrix::identity(l.rows()), TOL));
+            assert!((&inv * &l).approx_eq(&Matrix::identity(l.rows()), TOL));
+        }
+    }
+
+    #[test]
+    fn lower_inverse_is_lower_triangular() {
+        let l = random_unit_lower(10, 5);
+        let inv = invert_lower(&l).unwrap();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                assert_eq!(inv[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn non_unit_lower_diagonal_handled() {
+        let l = Matrix::from_rows(&[&[2.0, 0.0], &[3.0, 4.0]]).unwrap();
+        let inv = invert_lower(&l).unwrap();
+        assert!((&l * &inv).approx_eq(&Matrix::identity(2), 1e-12));
+        assert!((inv[(0, 0)] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_inverse_via_transpose() {
+        for seed in 0..4 {
+            let u = random_upper(12 + seed as usize, seed + 10);
+            let inv = invert_upper(&u).unwrap();
+            assert!((&u * &inv).approx_eq(&Matrix::identity(u.rows()), TOL));
+        }
+    }
+
+    #[test]
+    fn upper_inverse_transposed_storage() {
+        let u = random_upper(14, 77);
+        let u_t = u.transpose();
+        let inv_t = invert_upper_transposed(&u_t).unwrap();
+        assert!(inv_t.transpose().approx_eq(&invert_upper(&u).unwrap(), 1e-10));
+    }
+
+    #[test]
+    fn singular_triangular_rejected() {
+        let mut l = random_unit_lower(5, 1);
+        l[(2, 2)] = 0.0;
+        assert!(invert_lower(&l).is_err());
+        assert!(invert_lower_column(&l, 0).is_err());
+        assert!(forward_substitution(&l, &[1.0; 5]).is_err());
+    }
+
+    #[test]
+    fn column_kernel_matches_full_inverse() {
+        let l = random_unit_lower(9, 3);
+        let inv = invert_lower(&l).unwrap();
+        for j in 0..9 {
+            let col = invert_lower_column(&l, j).unwrap();
+            for i in 0..9 {
+                assert!((col[i] - inv[(i, j)]).abs() < 1e-12);
+            }
+        }
+        assert!(invert_lower_column(&l, 9).is_err());
+    }
+
+    #[test]
+    fn forward_and_back_substitution() {
+        let l = random_unit_lower(8, 2);
+        let x_true: Vec<f64> = (0..8).map(|i| i as f64 - 3.5).collect();
+        let b = l.mul_vec(&x_true).unwrap();
+        let x = forward_substitution(&l, &b).unwrap();
+        for (a, b) in x.iter().zip(&x_true) {
+            assert!((a - b).abs() < TOL);
+        }
+
+        let u = random_upper(8, 4);
+        let b = u.mul_vec(&x_true).unwrap();
+        let x = back_substitution(&u, &b).unwrap();
+        for (a, b) in x.iter().zip(&x_true) {
+            assert!((a - b).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn substitution_validates_shapes() {
+        let l = random_unit_lower(4, 0);
+        assert!(forward_substitution(&l, &[0.0; 3]).is_err());
+        assert!(back_substitution(&l, &[0.0; 5]).is_err());
+        assert!(forward_substitution(&Matrix::zeros(2, 3), &[0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn eq6_u2_kernel_solves_l1_x_eq_a2() {
+        // U2 = L1^-1 A2, per column.
+        let l1 = random_unit_lower(10, 6);
+        let a2 = random_matrix(10, 7, 7);
+        let u2 = solve_unit_lower_system(&l1, &a2).unwrap();
+        assert!((&l1 * &u2).approx_eq(&a2, TOL));
+    }
+
+    #[test]
+    fn eq6_l2_kernel_solves_x_u1_eq_a3() {
+        // L2' U1 = A3, per row.
+        let u1 = random_upper(10, 8);
+        let a3 = random_matrix(6, 10, 9);
+        let l2 = solve_upper_system_right(&u1, &a3).unwrap();
+        assert!((&l2 * &u1).approx_eq(&a3, TOL));
+        // Row kernel agrees with the transposed-storage fast path.
+        let u1_t = u1.transpose();
+        for i in 0..6 {
+            let a = solve_row_times_upper(&u1, a3.row(i)).unwrap();
+            let b = solve_row_times_upper_transposed(&u1_t, a3.row(i)).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn eq6_consistency_with_lu_factors() {
+        // For PA = LU of a full matrix, the Eq. 6 kernels recover the
+        // U2/L2' blocks of the block decomposition.
+        let a = random_matrix(12, 12, 11);
+        let f = lu_decompose(&a).unwrap();
+        let l = f.unit_lower();
+        let u = f.upper();
+        let pa = f.perm.apply_rows(&a);
+
+        let k = 5;
+        let l1 = l.block(crate::block::BlockRange::new((0, k), (0, k))).unwrap();
+        let u1 = u.block(crate::block::BlockRange::new((0, k), (0, k))).unwrap();
+        let pa2 = pa.block(crate::block::BlockRange::new((0, k), (k, 12))).unwrap();
+        let pa3 = pa.block(crate::block::BlockRange::new((k, 12), (0, k))).unwrap();
+
+        let u2 = solve_unit_lower_system(&l1, &pa2).unwrap();
+        let expect_u2 = u.block(crate::block::BlockRange::new((0, k), (k, 12))).unwrap();
+        assert!(u2.approx_eq(&expect_u2, TOL));
+
+        let l2 = solve_upper_system_right(&u1, &pa3).unwrap();
+        let expect_l2 = l.block(crate::block::BlockRange::new((k, 12), (0, k))).unwrap();
+        assert!(l2.approx_eq(&expect_l2, TOL));
+    }
+
+    #[test]
+    fn flop_count_formula() {
+        assert_eq!(tri_inv_flops(0), 0);
+        assert_eq!(tri_inv_flops(6), 144);
+    }
+}

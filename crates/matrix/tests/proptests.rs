@@ -1,0 +1,147 @@
+//! Property-based tests on the linear-algebra substrate.
+
+use mrinv_matrix::block::{even_ranges, BlockRange};
+use mrinv_matrix::io::{decode_binary, decode_text, encode_binary, encode_text};
+use mrinv_matrix::lu::lu_decompose;
+use mrinv_matrix::multiply::{mul_blocked, mul_naive, mul_parallel, mul_transposed};
+use mrinv_matrix::norms::inversion_residual;
+use mrinv_matrix::random::{random_matrix, random_well_conditioned};
+use mrinv_matrix::triangular::{invert_lower, invert_upper};
+use mrinv_matrix::{Matrix, Permutation};
+use proptest::prelude::*;
+
+fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim, any::<u64>())
+        .prop_map(|(r, c, seed)| random_matrix(r, c, seed))
+}
+
+fn arb_perm(max_n: usize) -> impl Strategy<Value = Permutation> {
+    (1..=max_n, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut s: Vec<usize> = (0..n).collect();
+        s.shuffle(&mut rng);
+        Permutation::from_vec(s)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involutive(m in arb_matrix(24)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn binary_codec_round_trips(m in arb_matrix(24)) {
+        prop_assert_eq!(decode_binary(&encode_binary(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn text_codec_round_trips(m in arb_matrix(12)) {
+        prop_assert_eq!(decode_text(&encode_text(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn multiply_kernels_agree(
+        (m, k, n, s1, s2) in (1usize..20, 1usize..20, 1usize..20, any::<u64>(), any::<u64>())
+    ) {
+        let a = random_matrix(m, k, s1);
+        let b = random_matrix(k, n, s2);
+        let reference = mul_naive(&a, &b).unwrap();
+        prop_assert!(mul_transposed(&a, &b.transpose()).unwrap().approx_eq(&reference, 1e-10));
+        prop_assert!(mul_blocked(&a, &b, 5).unwrap().approx_eq(&reference, 1e-10));
+        prop_assert!(mul_parallel(&a, &b).unwrap().approx_eq(&reference, 1e-10));
+    }
+
+    #[test]
+    fn matmul_is_associative(
+        (n, s1, s2, s3) in (1usize..12, any::<u64>(), any::<u64>(), any::<u64>())
+    ) {
+        let a = random_matrix(n, n, s1);
+        let b = random_matrix(n, n, s2);
+        let c = random_matrix(n, n, s3);
+        let ab_c = &(&a * &b) * &c;
+        let a_bc = &a * &(&b * &c);
+        prop_assert!(ab_c.approx_eq(&a_bc, 1e-8));
+    }
+
+    #[test]
+    fn pa_equals_lu((n, seed) in (1usize..40, any::<u64>())) {
+        let a = random_well_conditioned(n, seed);
+        let f = lu_decompose(&a).unwrap();
+        let pa = f.perm.apply_rows(&a);
+        prop_assert!(f.reconstruct().approx_eq(&pa, 1e-7 * n as f64));
+    }
+
+    #[test]
+    fn full_inverse_via_lu_has_small_residual((n, seed) in (1usize..32, any::<u64>())) {
+        let a = random_well_conditioned(n, seed);
+        let f = lu_decompose(&a).unwrap();
+        let l_inv = invert_lower(&f.unit_lower()).unwrap();
+        let u_inv = invert_upper(&f.upper()).unwrap();
+        let a_inv = f.perm.apply_cols(&(&u_inv * &l_inv));
+        prop_assert!(inversion_residual(&a, &a_inv).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn permutation_inverse_composes_to_identity(p in arb_perm(40)) {
+        prop_assert!(p.compose(&p.inverse()).is_identity());
+        prop_assert!(p.inverse().compose(&p).is_identity());
+    }
+
+    #[test]
+    fn permutation_array_matches_dense((p, seed) in (arb_perm(16), any::<u64>())) {
+        let a = random_matrix(p.len(), p.len(), seed);
+        prop_assert_eq!(p.apply_rows(&a), &p.to_matrix() * &a);
+        prop_assert_eq!(p.apply_cols(&a), &a * &p.to_matrix());
+    }
+
+    #[test]
+    fn quadrant_split_round_trips((n, split_frac, seed) in (2usize..24, 0.0f64..1.0, any::<u64>())) {
+        let a = random_matrix(n, n, seed);
+        let split = ((n as f64 * split_frac) as usize).min(n);
+        let q = a.split_quadrants(split).unwrap();
+        prop_assert_eq!(Matrix::from_quadrants(&q).unwrap(), a);
+    }
+
+    #[test]
+    fn block_then_set_block_round_trips(
+        (n, r0, r1, c0, c1, seed) in
+            (4usize..20, 0usize..20, 0usize..20, 0usize..20, 0usize..20, any::<u64>())
+    ) {
+        let a = random_matrix(n, n, seed);
+        let (r0, r1) = (r0.min(n), r1.min(n));
+        let (c0, c1) = (c0.min(n), c1.min(n));
+        prop_assume!(r0 <= r1 && c0 <= c1);
+        let b = a.block(BlockRange::new((r0, r1), (c0, c1))).unwrap();
+        let mut copy = a.clone();
+        copy.set_block(r0, c0, &b).unwrap();
+        prop_assert_eq!(copy, a);
+    }
+
+    #[test]
+    fn even_ranges_partition_exactly((n, parts) in (0usize..500, 1usize..40)) {
+        let ranges = even_ranges(n, parts);
+        prop_assert_eq!(ranges.len(), parts);
+        let mut expect_start = 0;
+        for &(a, b) in &ranges {
+            prop_assert_eq!(a, expect_start);
+            prop_assert!(b >= a);
+            // Sizes differ by at most one.
+            prop_assert!(b - a <= n / parts + 1);
+            expect_start = b;
+        }
+        prop_assert_eq!(expect_start, n);
+    }
+
+    #[test]
+    fn vstack_of_stripes_rebuilds((n, cut, seed) in (2usize..20, 1usize..19, any::<u64>())) {
+        let a = random_matrix(n, n, seed);
+        let cut = cut.min(n - 1);
+        let parts = [a.row_stripe(0, cut).unwrap(), a.row_stripe(cut, n).unwrap()];
+        prop_assert_eq!(Matrix::vstack(&parts).unwrap(), a);
+    }
+}

@@ -1,0 +1,207 @@
+//! The `f1 × f2` process grid with block-cyclic data distribution.
+//!
+//! Section 7.5 of the paper configures ScaLAPACK with the process grid
+//! `f1 × f2` where `m0 = f1 × f2` and the factors are as close as
+//! possible, and distributes the matrix in 128 × 128 blocks assigned
+//! cyclically — block `(m1·f1 + i, m2·f2 + j)` to process `f2·j + i` in
+//! the paper's indexing. This module provides the ownership map and a
+//! per-process work tally.
+
+use mrinv_mapreduce::cluster::factor_pair;
+
+/// A block-cyclic process grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessGrid {
+    /// Grid rows.
+    pub f1: usize,
+    /// Grid columns.
+    pub f2: usize,
+    /// Square block size of the cyclic distribution.
+    pub block: usize,
+}
+
+impl ProcessGrid {
+    /// Builds the most-square grid for `m0` processes (the paper's choice:
+    /// no other factor of `m0` between `f1` and `f2`).
+    pub fn new(m0: usize, block: usize) -> Self {
+        assert!(block >= 1, "block size must be positive");
+        let (f1, f2) = factor_pair(m0);
+        ProcessGrid { f1, f2, block }
+    }
+
+    /// Number of processes.
+    pub fn size(&self) -> usize {
+        self.f1 * self.f2
+    }
+
+    /// Block row/column index of a matrix index.
+    pub fn block_of(&self, i: usize) -> usize {
+        i / self.block
+    }
+
+    /// Owning process of matrix block `(bi, bj)`.
+    pub fn owner(&self, bi: usize, bj: usize) -> usize {
+        let i = bi % self.f1;
+        let j = bj % self.f2;
+        self.f2 * i + j
+    }
+
+    /// Owning process of matrix element `(i, j)`.
+    pub fn owner_of_element(&self, i: usize, j: usize) -> usize {
+        self.owner(self.block_of(i), self.block_of(j))
+    }
+
+    /// The processes of the grid column owning block-column `bj`.
+    pub fn column_procs(&self, bj: usize) -> Vec<usize> {
+        let j = bj % self.f2;
+        (0..self.f1).map(|i| self.f2 * i + j).collect()
+    }
+
+    /// The processes of the grid row owning block-row `bi`.
+    pub fn row_procs(&self, bi: usize) -> Vec<usize> {
+        let i = bi % self.f1;
+        (0..self.f2).map(|j| self.f2 * i + j).collect()
+    }
+}
+
+/// Per-process flop counters plus communication volumes, filled by the
+/// baseline routines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkTally {
+    /// Floating-point operations charged to each process.
+    pub proc_flops: Vec<f64>,
+    /// Elements transferred per the *paper's* Table 1/2 model.
+    pub transfer_paper: f64,
+    /// Elements transferred per a realistic grid-broadcast model.
+    pub transfer_grid: f64,
+}
+
+impl WorkTally {
+    /// A zero tally for `m0` processes.
+    pub fn new(m0: usize) -> Self {
+        WorkTally { proc_flops: vec![0.0; m0.max(1)], transfer_paper: 0.0, transfer_grid: 0.0 }
+    }
+
+    /// Charges `flops` evenly across the given processes.
+    pub fn charge_even(&mut self, procs: &[usize], flops: f64) {
+        if procs.is_empty() {
+            return;
+        }
+        let share = flops / procs.len() as f64;
+        for &p in procs {
+            self.proc_flops[p] += share;
+        }
+    }
+
+    /// Charges `flops` to one process.
+    pub fn charge(&mut self, proc: usize, flops: f64) {
+        self.proc_flops[proc] += flops;
+    }
+
+    /// The busiest process's flops — the quantity that bounds the
+    /// parallel compute time.
+    pub fn max_proc_flops(&self) -> f64 {
+        self.proc_flops.iter().fold(0.0, |m, &v| m.max(v))
+    }
+
+    /// Total flops across processes.
+    pub fn total_flops(&self) -> f64 {
+        self.proc_flops.iter().sum()
+    }
+
+    /// Load balance: average/maximum per-process flops (1.0 = perfect).
+    pub fn balance(&self) -> f64 {
+        let max = self.max_proc_flops();
+        if max == 0.0 {
+            return 1.0;
+        }
+        self.total_flops() / (max * self.proc_flops.len() as f64)
+    }
+
+    /// Component-wise sum with another tally.
+    pub fn merge(&self, other: &WorkTally) -> WorkTally {
+        WorkTally {
+            proc_flops: self
+                .proc_flops
+                .iter()
+                .zip(&other.proc_flops)
+                .map(|(a, b)| a + b)
+                .collect(),
+            transfer_paper: self.transfer_paper + other.transfer_paper,
+            transfer_grid: self.transfer_grid + other.transfer_grid,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_factors_are_most_square() {
+        let g = ProcessGrid::new(64, 128);
+        assert_eq!((g.f1, g.f2), (8, 8));
+        assert_eq!(g.size(), 64);
+        let g = ProcessGrid::new(32, 16);
+        assert_eq!((g.f1, g.f2), (8, 4));
+    }
+
+    #[test]
+    fn ownership_is_cyclic_and_in_range() {
+        let g = ProcessGrid::new(6, 4); // 3 x 2
+        for bi in 0..10 {
+            for bj in 0..10 {
+                let o = g.owner(bi, bj);
+                assert!(o < 6);
+                assert_eq!(o, g.owner(bi + 3, bj)); // cycles in f1
+                assert_eq!(o, g.owner(bi, bj + 2)); // cycles in f2
+            }
+        }
+        assert_eq!(g.owner_of_element(0, 0), g.owner(0, 0));
+        assert_eq!(g.owner_of_element(4, 4), g.owner(1, 1));
+    }
+
+    #[test]
+    fn blocks_spread_evenly() {
+        // Over a full cycle every process owns the same number of blocks.
+        let g = ProcessGrid::new(12, 8);
+        let mut counts = vec![0; 12];
+        for bi in 0..g.f1 * 4 {
+            for bj in 0..g.f2 * 4 {
+                counts[g.owner(bi, bj)] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == counts[0]));
+    }
+
+    #[test]
+    fn row_and_column_procs() {
+        let g = ProcessGrid::new(6, 4); // f1=3, f2=2
+        assert_eq!(g.column_procs(0), vec![0, 2, 4]);
+        assert_eq!(g.column_procs(1), vec![1, 3, 5]);
+        assert_eq!(g.column_procs(2), g.column_procs(0));
+        assert_eq!(g.row_procs(0), vec![0, 1]);
+        assert_eq!(g.row_procs(1), vec![2, 3]);
+    }
+
+    #[test]
+    fn tally_charges_and_balances() {
+        let mut t = WorkTally::new(4);
+        t.charge_even(&[0, 1], 10.0);
+        t.charge(2, 5.0);
+        assert_eq!(t.proc_flops, vec![5.0, 5.0, 5.0, 0.0]);
+        assert_eq!(t.max_proc_flops(), 5.0);
+        assert_eq!(t.total_flops(), 15.0);
+        assert!((t.balance() - 0.75).abs() < 1e-12);
+        let zero = WorkTally::new(4);
+        assert_eq!(zero.balance(), 1.0);
+        let m = t.merge(&t);
+        assert_eq!(m.total_flops(), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_rejected() {
+        let _ = ProcessGrid::new(4, 0);
+    }
+}

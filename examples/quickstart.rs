@@ -1,0 +1,39 @@
+//! Quickstart: invert a matrix through the full MapReduce pipeline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a simulated 4-node cluster, partitions a 256 x 256 matrix into
+//! the Figure-4 DFS layout, runs the LU pipeline and the final inversion
+//! job, and verifies the paper's Section 7.2 accuracy criterion.
+
+use mrinv::{invert, InversionConfig};
+use mrinv_mapreduce::Cluster;
+use mrinv_matrix::norms::inversion_residual;
+use mrinv_matrix::random::random_well_conditioned;
+use mrinv_matrix::PAPER_ACCURACY;
+
+fn main() {
+    let n = 256;
+    let nb = 64; // bound value: blocks of order <= nb decompose on the master
+    let cluster = Cluster::medium(4);
+    let a = random_well_conditioned(n, 2024);
+
+    println!("inverting a {n}x{n} matrix on a simulated {}-node cluster...", cluster.nodes());
+    let out = invert(&cluster, &a, &InversionConfig::with_nb(nb)).expect("inversion");
+
+    let residual = inversion_residual(&a, &out.inverse).expect("residual");
+    println!("  MapReduce jobs executed : {}", out.report.jobs);
+    println!("  simulated running time  : {:.1} s", out.report.sim_secs);
+    println!("  DFS bytes written       : {}", out.report.dfs_bytes_written);
+    println!("  DFS bytes read          : {}", out.report.dfs_bytes_read);
+    println!("  max |I - A*A^-1|        : {residual:.3e}");
+    assert!(residual < PAPER_ACCURACY, "accuracy criterion violated");
+    println!("ok: residual is below the paper's 1e-5 threshold");
+
+    // The job count is exactly the precomputed schedule (Section 5):
+    // partition + (2^ceil(log2(n/nb)) - 1) LU jobs + final inversion.
+    assert_eq!(out.report.jobs, mrinv::schedule::total_jobs(n, nb));
+    println!("ok: pipeline executed the scheduled {} jobs", out.report.jobs);
+}

@@ -1,0 +1,122 @@
+//! Application-level integration tests mirroring the paper's Section 1
+//! motivations, plus property-based end-to-end inversion.
+
+use mrinv::{invert, InversionConfig};
+use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel};
+use mrinv_matrix::norms::{inversion_residual, vec_norm};
+use mrinv_matrix::random::{random_spd, random_well_conditioned};
+use mrinv_matrix::{Matrix, PAPER_ACCURACY};
+use proptest::prelude::*;
+
+fn unit_cluster(m0: usize) -> Cluster {
+    let mut cfg = ClusterConfig::medium(m0);
+    cfg.cost = CostModel::unit_for_tests();
+    Cluster::new(cfg)
+}
+
+fn mr_invert(a: &Matrix, nb: usize) -> Matrix {
+    let cluster = unit_cluster(4);
+    invert(&cluster, a, &InversionConfig::with_nb(nb)).unwrap().inverse
+}
+
+#[test]
+fn solves_linear_systems() {
+    // Ax = b via x = A^-1 b (Section 1).
+    let n = 48;
+    let a = random_well_conditioned(n, 31);
+    let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+    let b = a.mul_vec(&x_true).unwrap();
+    let inv = mr_invert(&a, 12);
+    let x = inv.mul_vec(&b).unwrap();
+    let err: Vec<f64> = x.iter().zip(&x_true).map(|(p, q)| p - q).collect();
+    assert!(vec_norm(&err) / vec_norm(&x_true) < 1e-9);
+}
+
+#[test]
+fn inverse_iteration_refines_an_eigenpair() {
+    // v <- normalize((A - mu I)^-1 v) (Section 1).
+    let n = 32;
+    let a = random_spd(n, 8);
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.3).cos()).collect();
+    let norm = vec_norm(&v);
+    v.iter_mut().for_each(|x| *x /= norm);
+
+    let rayleigh = |v: &[f64]| {
+        let av = a.mul_vec(v).unwrap();
+        v.iter().zip(&av).map(|(x, y)| x * y).sum::<f64>()
+            / v.iter().map(|x| x * x).sum::<f64>()
+    };
+    let mut mu = rayleigh(&v) * 1.02;
+    let mut res_norm = f64::INFINITY;
+    for _ in 0..10 {
+        let mut shifted = a.clone();
+        for i in 0..n {
+            shifted[(i, i)] -= mu;
+        }
+        let inv = mr_invert(&shifted, 8);
+        let w = inv.mul_vec(&v).unwrap();
+        let norm = vec_norm(&w);
+        v = w.into_iter().map(|x| x / norm).collect();
+        mu = rayleigh(&v);
+        let av = a.mul_vec(&v).unwrap();
+        let res: Vec<f64> = av.iter().zip(&v).map(|(x, y)| x - mu * y).collect();
+        res_norm = vec_norm(&res);
+        if res_norm < 1e-7 {
+            break;
+        }
+    }
+    assert!(res_norm < 1e-7, "eigenpair residual {res_norm}");
+}
+
+#[test]
+fn reconstructs_a_projected_image() {
+    // T = M S; S = M^-1 T (Section 1, computed tomography).
+    let n = 36;
+    let m = random_well_conditioned(n, 77);
+    let s_true: Vec<f64> = (0..n).map(|i| if i % 5 == 0 { 1.0 } else { 0.2 }).collect();
+    let t = m.mul_vec(&s_true).unwrap();
+    let s_rec = mr_invert(&m, 9).mul_vec(&t).unwrap();
+    let max_err = s_true
+        .iter()
+        .zip(&s_rec)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0_f64, f64::max);
+    assert!(max_err < 1e-9, "reconstruction error {max_err}");
+}
+
+#[test]
+fn double_inversion_returns_the_original() {
+    // (A^-1)^-1 == A, a strong end-to-end consistency check.
+    let a = random_well_conditioned(40, 55);
+    let inv = mr_invert(&a, 10);
+    let back = mr_invert(&inv, 10);
+    assert!(back.approx_eq(&a, 1e-7));
+}
+
+#[test]
+fn inverse_of_product_is_reversed_product_of_inverses() {
+    // (AB)^-1 == B^-1 A^-1.
+    let a = random_well_conditioned(32, 61);
+    let b = random_well_conditioned(32, 62);
+    let ab = &a * &b;
+    let lhs = mr_invert(&ab, 8);
+    let rhs = &mr_invert(&b, 8) * &mr_invert(&a, 8);
+    assert!(lhs.approx_eq(&rhs, 1e-7));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pipeline_inverts_arbitrary_well_conditioned_matrices(
+        (n, nb_frac, m0, seed) in (8usize..72, 2usize..6, 1usize..9, any::<u64>())
+    ) {
+        let nb = (n / nb_frac).max(2);
+        let cluster = unit_cluster(m0);
+        let a = random_well_conditioned(n, seed);
+        let out = invert(&cluster, &a, &InversionConfig::with_nb(nb)).unwrap();
+        let res = inversion_residual(&a, &out.inverse).unwrap();
+        prop_assert!(res < PAPER_ACCURACY, "n={n} nb={nb} m0={m0} residual={res}");
+        prop_assert_eq!(out.report.jobs, mrinv::schedule::total_jobs(n, nb));
+    }
+}

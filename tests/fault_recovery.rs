@@ -1,0 +1,111 @@
+//! Failure injection across every pipeline stage: the Section 7.4 fault
+//! tolerance claim — failed tasks are re-executed and the job still
+//! produces the correct result, at the cost of schedule time.
+
+use mrinv::{invert, InversionConfig};
+use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel, MrError, Phase};
+use mrinv_matrix::norms::inversion_residual;
+use mrinv_matrix::random::random_well_conditioned;
+use mrinv_matrix::PAPER_ACCURACY;
+
+fn cluster_with(compute_scale: f64) -> Cluster {
+    let mut cfg = ClusterConfig::medium(4);
+    cfg.cost = CostModel { compute_scale, ..CostModel::unit_for_tests() };
+    Cluster::new(cfg)
+}
+
+fn run(cluster: &Cluster) -> (mrinv::InverseOutput, f64) {
+    let a = random_well_conditioned(64, 42);
+    let out = invert(cluster, &a, &InversionConfig::with_nb(16)).unwrap();
+    let res = inversion_residual(&a, &out.inverse).unwrap();
+    (out, res)
+}
+
+#[test]
+fn every_stage_survives_a_single_failure() {
+    let stages: &[(&str, Phase)] = &[
+        ("partition", Phase::Map),
+        ("lu-level", Phase::Map),
+        ("lu-level", Phase::Reduce),
+        ("final-inverse", Phase::Map),
+        ("final-inverse", Phase::Reduce),
+    ];
+    for &(job, phase) in stages {
+        let cluster = cluster_with(1.0);
+        cluster.faults.fail_task(job, phase, 0, 1);
+        let (out, res) = run(&cluster);
+        assert!(res < PAPER_ACCURACY, "{job}/{phase:?}: residual {res}");
+        assert_eq!(out.report.task_failures, 1, "{job}/{phase:?}: failure must fire");
+        assert_eq!(cluster.faults.injected_count(), 1);
+    }
+}
+
+#[test]
+fn multiple_concurrent_failures_recover() {
+    let cluster = cluster_with(1.0);
+    cluster.faults.fail_task("lu-level", Phase::Map, 0, 2); // two attempts die
+    cluster.faults.fail_task("lu-level", Phase::Map, 1, 1);
+    cluster.faults.fail_task("final-inverse", Phase::Reduce, 2, 1);
+    let (out, res) = run(&cluster);
+    assert!(res < PAPER_ACCURACY, "residual {res}");
+    assert!(out.report.task_failures >= 4, "got {}", out.report.task_failures);
+}
+
+#[test]
+fn failures_stretch_the_simulated_schedule() {
+    // Compute-weighted model so lost work is visible (Section 7.4: the
+    // 5-hour run became 8 hours).
+    let clean = {
+        let cluster = cluster_with(1e4);
+        run(&cluster).0.report.sim_secs
+    };
+    let faulty = {
+        let cluster = cluster_with(1e4);
+        cluster.faults.fail_task("final-inverse", Phase::Map, 0, 1);
+        run(&cluster).0.report.sim_secs
+    };
+    assert!(faulty > clean, "lost attempt must lengthen the run: {clean} -> {faulty}");
+}
+
+#[test]
+fn retried_results_are_bit_identical() {
+    let a = random_well_conditioned(48, 7);
+    let cfg = InversionConfig::with_nb(12);
+    let clean = {
+        let cluster = cluster_with(1.0);
+        invert(&cluster, &a, &cfg).unwrap().inverse
+    };
+    let faulty = {
+        let cluster = cluster_with(1.0);
+        cluster.faults.fail_task("", Phase::Map, 1, 1); // any job, map task 1
+        cluster.faults.fail_task("", Phase::Reduce, 0, 1);
+        invert(&cluster, &a, &cfg).unwrap().inverse
+    };
+    assert!(clean.approx_eq(&faulty, 0.0), "deterministic retry must reproduce bits");
+}
+
+#[test]
+fn exhausted_retry_budget_fails_the_whole_inversion() {
+    let cluster = cluster_with(1.0);
+    // More failures than max_task_attempts (4).
+    cluster.faults.fail_task("lu-level", Phase::Map, 0, 100);
+    let a = random_well_conditioned(64, 42);
+    let err = invert(&cluster, &a, &InversionConfig::with_nb(16)).unwrap_err();
+    match err {
+        mrinv::CoreError::MapReduce(MrError::TaskFailed { phase, attempts, .. }) => {
+            assert_eq!(phase, Phase::Map);
+            assert_eq!(attempts, 4, "Hadoop-style retry budget");
+        }
+        other => panic!("expected TaskFailed, got {other:?}"),
+    }
+}
+
+#[test]
+fn failure_accounting_reaches_cluster_metrics() {
+    let cluster = cluster_with(1.0);
+    cluster.faults.fail_task("lu-level", Phase::Map, 0, 1);
+    let _ = run(&cluster);
+    let snap = cluster.metrics.snapshot();
+    assert_eq!(snap.task_failures, 1);
+    assert!(snap.jobs >= 5);
+}

@@ -1,0 +1,173 @@
+//! End-to-end integration: the full MapReduce inversion pipeline against
+//! the paper's correctness and structure claims.
+
+use mrinv::partition::{ingest_input, run_partition_job, PartitionPlan};
+use mrinv::source::MasterIo;
+use mrinv::{invert, lu, InversionConfig, Optimizations};
+use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel};
+use mrinv_matrix::norms::inversion_residual;
+use mrinv_matrix::random::{random_invertible, random_well_conditioned};
+use mrinv_matrix::{Matrix, PAPER_ACCURACY};
+
+fn unit_cluster(m0: usize) -> Cluster {
+    let mut cfg = ClusterConfig::medium(m0);
+    cfg.cost = CostModel::unit_for_tests();
+    Cluster::new(cfg)
+}
+
+#[test]
+fn inversion_accuracy_across_shapes() {
+    // n x nb x m0 grid, including odd orders and degenerate clusters.
+    for &(n, nb, m0) in &[
+        (64usize, 16usize, 4usize),
+        (64, 16, 1),
+        (64, 16, 16),
+        (96, 24, 6),
+        (100, 30, 5),
+        (33, 8, 3),
+        (128, 16, 8),
+    ] {
+        let cluster = unit_cluster(m0);
+        let a = random_well_conditioned(n, (n * m0) as u64);
+        let out = invert(&cluster, &a, &InversionConfig::with_nb(nb)).unwrap();
+        let res = inversion_residual(&a, &out.inverse).unwrap();
+        assert!(res < PAPER_ACCURACY, "n={n} nb={nb} m0={m0}: residual {res}");
+    }
+}
+
+#[test]
+fn pivoting_matrices_require_and_survive_row_swaps() {
+    // General random matrices force real pivoting through the pipeline.
+    for seed in 0..3 {
+        let cluster = unit_cluster(4);
+        let a = random_invertible(48, 1000 + seed);
+        let out = invert(&cluster, &a, &InversionConfig::with_nb(12)).unwrap();
+        let res = inversion_residual(&a, &out.inverse).unwrap();
+        assert!(res < 1e-6, "seed {seed}: residual {res}");
+    }
+}
+
+#[test]
+fn job_pipeline_length_matches_table3_structure() {
+    // Job count = 2^ceil(log2(n/nb)) + 1 on even splits (Table 3).
+    for &(n, nb, expect) in &[(64usize, 16usize, 5u64), (128, 16, 9), (256, 16, 17)] {
+        let cluster = unit_cluster(4);
+        let a = random_well_conditioned(n, n as u64);
+        let out = invert(&cluster, &a, &InversionConfig::with_nb(nb)).unwrap();
+        assert_eq!(out.report.jobs, expect, "n={n} nb={nb}");
+        assert_eq!(out.report.jobs, mrinv::schedule::total_jobs(n, nb));
+    }
+}
+
+#[test]
+fn partitioned_layout_reassembles_and_feeds_lu() {
+    let cluster = unit_cluster(4);
+    let a = random_invertible(64, 7);
+    let cfg = InversionConfig::with_nb(16);
+    let plan = PartitionPlan::new(64, &cluster, &cfg, "t/partition");
+    ingest_input(&cluster, &a, &plan).unwrap();
+    let (tree, report) = run_partition_job(&cluster, &plan).unwrap();
+    assert_eq!(report.map_tasks, 4);
+    let mut io = MasterIo::new(&cluster.dfs);
+    let back = mrinv::partition::read_back(&tree, &mut io).unwrap();
+    assert_eq!(back, a, "Figure 3/4 layout holds every element exactly once");
+}
+
+#[test]
+fn lu_stage_factors_reconstruct_pa() {
+    let cluster = unit_cluster(4);
+    let a = random_invertible(96, 13);
+    let out = lu(&cluster, &a, &InversionConfig::with_nb(24)).unwrap();
+    let pa = out.perm.apply_rows(&a);
+    let lu_prod = &out.l * &out.u;
+    assert!(lu_prod.approx_eq(&pa, 1e-7));
+    // Factor shapes.
+    for i in 0..96 {
+        assert_eq!(out.l[(i, i)], 1.0);
+        for j in (i + 1)..96 {
+            assert_eq!(out.l[(i, j)], 0.0);
+            assert_eq!(out.u[(j, i)], 0.0);
+        }
+    }
+}
+
+#[test]
+fn optimization_toggles_preserve_numerics_exactly() {
+    let a = random_invertible(48, 21);
+    let mut results: Vec<Matrix> = Vec::new();
+    for sep in [true, false] {
+        for wrap in [true, false] {
+            for tr in [true, false] {
+                let cluster = unit_cluster(4);
+                let mut cfg = InversionConfig::with_nb(12);
+                cfg.opts = Optimizations {
+                    separate_intermediate_files: sep,
+                    block_wrap: wrap,
+                    transpose_u: tr,
+                };
+                results.push(invert(&cluster, &a, &cfg).unwrap().inverse);
+            }
+        }
+    }
+    for r in &results[1..] {
+        assert!(
+            r.approx_eq(&results[0], 1e-9),
+            "optimizations must not change results beyond rounding"
+        );
+    }
+}
+
+#[test]
+fn dfs_retains_result_files_for_downstream_jobs() {
+    // The paper's motivation: the inverse stays in HDFS for the next
+    // MapReduce job in the workflow.
+    let cluster = unit_cluster(4);
+    let a = random_well_conditioned(32, 3);
+    let _ = invert(&cluster, &a, &InversionConfig::with_nb(8)).unwrap();
+    let result_files: Vec<String> = cluster
+        .dfs
+        .list("")
+        .into_iter()
+        .filter(|p| p.contains("/RESULT/"))
+        .collect();
+    assert!(!result_files.is_empty(), "RESULT files must remain in the DFS");
+    // And the factor forest too (separate intermediate files).
+    let l2_files = cluster.dfs.list("").into_iter().filter(|p| p.contains("/L2/")).count();
+    assert!(l2_files > 0, "factor stripes must remain in the DFS");
+}
+
+#[test]
+fn io_accounting_tracks_table1_scaling() {
+    // Measured LU-stage writes should scale like the Table 1 closed form
+    // (3/2 n^2 elements): roughly quadrupling when n doubles.
+    let run_writes = |n: usize| {
+        let cluster = unit_cluster(4);
+        let a = random_well_conditioned(n, n as u64);
+        let out = lu(&cluster, &a, &InversionConfig::with_nb(n / 4)).unwrap();
+        out.report.dfs_bytes_written as f64
+    };
+    let w64 = run_writes(64);
+    let w128 = run_writes(128);
+    let ratio = w128 / w64;
+    assert!(
+        (3.0..5.0).contains(&ratio),
+        "writes should scale ~quadratically with n, got ratio {ratio}"
+    );
+}
+
+#[test]
+fn simulated_time_decreases_with_more_nodes() {
+    // Strong scaling on a compute-weighted model (Figure 6's premise).
+    let mut cfg1 = ClusterConfig::medium(1);
+    cfg1.cost = CostModel { compute_scale: 1e4, job_launch_secs: 0.0, ..CostModel::ec2_medium() };
+    let mut cfg8 = cfg1.clone();
+    cfg8.nodes = 8;
+    let a = random_well_conditioned(128, 5);
+    let icfg = InversionConfig::with_nb(32);
+    let t1 = invert(&Cluster::new(cfg1), &a, &icfg).unwrap().report.sim_secs;
+    let t8 = invert(&Cluster::new(cfg8), &a, &icfg).unwrap().report.sim_secs;
+    assert!(
+        t8 < t1 / 2.0,
+        "8 nodes should be at least 2x faster than 1 on compute-bound work: {t1} vs {t8}"
+    );
+}
