@@ -15,9 +15,12 @@ fn bench_fig7(c: &mut Criterion) {
     let scale = 64;
     let a = m5.generate(scale);
     let nb = m5.nb(scale);
-    let variants: [(&str, fn(&mut Optimizations)); 4] = [
+    type Mutator = fn(&mut Optimizations);
+    let variants: [(&str, Mutator); 4] = [
         ("all_optimizations", |_| {}),
-        ("no_separate_files", |o| o.separate_intermediate_files = false),
+        ("no_separate_files", |o| {
+            o.separate_intermediate_files = false
+        }),
         ("no_block_wrap", |o| o.block_wrap = false),
         ("no_transposed_u", |o| o.transpose_u = false),
     ];

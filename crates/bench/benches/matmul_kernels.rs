@@ -2,7 +2,9 @@
 //! speeds multiplication 2-3x over the naive row-major x row-major layout.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mrinv_matrix::multiply::{mul_blocked, mul_ijk, mul_naive, mul_parallel_transposed, mul_transposed};
+use mrinv_matrix::multiply::{
+    mul_blocked, mul_ijk, mul_naive, mul_parallel_transposed, mul_transposed,
+};
 use mrinv_matrix::random::random_matrix;
 use std::hint::black_box;
 
@@ -25,9 +27,13 @@ fn bench_matmul(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("blocked_t64", n), &n, |bench, _| {
             bench.iter(|| mul_blocked(black_box(&a), black_box(&b), 64).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("parallel_transposed", n), &n, |bench, _| {
-            bench.iter(|| mul_parallel_transposed(black_box(&a), black_box(&b_t)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("parallel_transposed", n),
+            &n,
+            |bench, _| {
+                bench.iter(|| mul_parallel_transposed(black_box(&a), black_box(&b_t)).unwrap())
+            },
+        );
     }
     group.finish();
 }

@@ -22,8 +22,12 @@ fn bench_methods(c: &mut Criterion) {
     group.bench_function("block_lu_paper", |b| {
         b.iter(|| invert_block(black_box(&a), n / 8).unwrap())
     });
-    group.bench_function("qr_gram_schmidt", |b| b.iter(|| invert_qr(black_box(&a)).unwrap()));
-    group.bench_function("cholesky_spd", |b| b.iter(|| invert_spd(black_box(&spd)).unwrap()));
+    group.bench_function("qr_gram_schmidt", |b| {
+        b.iter(|| invert_qr(black_box(&a)).unwrap())
+    });
+    group.bench_function("cholesky_spd", |b| {
+        b.iter(|| invert_spd(black_box(&spd)).unwrap())
+    });
     group.finish();
 }
 

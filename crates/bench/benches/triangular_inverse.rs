@@ -24,9 +24,11 @@ fn bench_triangular(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("upper_row_major", n), &n, |b, _| {
             b.iter(|| invert_upper(black_box(&u)).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("upper_transposed_storage", n), &n, |b, _| {
-            b.iter(|| invert_upper_transposed(black_box(&u_t)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("upper_transposed_storage", n),
+            &n,
+            |b, _| b.iter(|| invert_upper_transposed(black_box(&u_t)).unwrap()),
+        );
     }
     group.finish();
 }

@@ -28,9 +28,12 @@
 //! every scale, and times are extrapolated back to paper scale (see
 //! `crates/bench/src/experiments.rs`).
 
-use mrinv_bench::experiments::{accuracy, fig6, fig7, fig8, nb_sweep, sec74, sec8_spark, section2_methods, stragglers, table1, table2, table3};
+use mrinv_bench::experiments::{
+    accuracy, fig6, fig7, fig8, nb_sweep, sec74, sec8_spark, section2_methods, stragglers, table1,
+    table2, table3,
+};
 use mrinv_bench::suite::SuiteMatrix;
-use mrinv_bench::write_csv;
+use mrinv_bench::{write_csv, write_results_file};
 
 #[derive(Debug)]
 struct Args {
@@ -41,8 +44,12 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { experiment: String::new(), scale: 32, nodes: vec![], with_scalapack: true };
+    let mut args = Args {
+        experiment: String::new(),
+        scale: 32,
+        nodes: vec![],
+        with_scalapack: true,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -53,7 +60,9 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| die("--scale needs a power-of-two integer"));
             }
             "--nodes" => {
-                let list = it.next().unwrap_or_else(|| die("--nodes needs a list like 4,16,64"));
+                let list = it
+                    .next()
+                    .unwrap_or_else(|| die("--nodes needs a list like 4,16,64"));
                 args.nodes = list
                     .split(',')
                     .map(|v| v.parse().unwrap_or_else(|_| die("bad --nodes entry")))
@@ -95,12 +104,20 @@ fn main() {
         other => die(&format!("unknown experiment {other:?}")),
     };
     if args.experiment == "all" {
-        for name in
-            [
-                "table3", "accuracy", "section2", "table1", "table2", "fig6", "fig7", "fig8",
-                "sec74", "nb-sweep", "spark", "stragglers",
-            ]
-        {
+        for name in [
+            "table3",
+            "accuracy",
+            "section2",
+            "table1",
+            "table2",
+            "fig6",
+            "fig7",
+            "fig8",
+            "sec74",
+            "nb-sweep",
+            "spark",
+            "stragglers",
+        ] {
             run(name);
         }
     } else {
@@ -215,18 +232,31 @@ fn run_table3(args: &Args) {
     for r in table3(args.scale) {
         println!(
             "{:>4} {:>8} {:>10.2} {:>9.0} {:>11.0} {:>6} {:>10}",
-            r.name, r.full_order, r.elements_billion, r.text_gb, r.binary_gb, r.jobs,
+            r.name,
+            r.full_order,
+            r.elements_billion,
+            r.text_gb,
+            r.binary_gb,
+            r.jobs,
             r.scaled_order
         );
         csv.push(format!(
             "{},{},{},{:.0},{:.0},{},{}",
-            r.name, r.full_order, r.elements_billion, r.text_gb, r.binary_gb, r.jobs,
+            r.name,
+            r.full_order,
+            r.elements_billion,
+            r.text_gb,
+            r.binary_gb,
+            r.jobs,
             r.scaled_order
         ));
     }
-    let path =
-        write_csv("table3", "name,order,elements_billion,text_gb,binary_gb,jobs,run_order", &csv)
-            .unwrap();
+    let path = write_csv(
+        "table3",
+        "name,order,elements_billion,text_gb,binary_gb,jobs,run_order",
+        &csv,
+    )
+    .unwrap();
     println!("(paper: jobs = 9 / 17 / 17 / 33 / 9)\n-> {path}");
 }
 
@@ -240,9 +270,15 @@ fn run_fig6(args: &Args) {
     let mut csv = Vec::new();
     for name in ["M1", "M2", "M3"] {
         let series: Vec<_> = points.iter().filter(|p| p.name == name).collect();
-        let base = series.first().map(|p| p.minutes * p.m0 as f64).unwrap_or(0.0);
+        let base = series
+            .first()
+            .map(|p| p.minutes * p.m0 as f64)
+            .unwrap_or(0.0);
         println!("  {name}:");
-        println!("    {:>6} {:>12} {:>12} {:>9}", "nodes", "minutes", "ideal", "t/ideal");
+        println!(
+            "    {:>6} {:>12} {:>12} {:>9}",
+            "nodes", "minutes", "ideal", "t/ideal"
+        );
         for p in &series {
             let ideal = base / p.m0 as f64;
             println!(
@@ -280,15 +316,21 @@ fn run_fig7(args: &Args) {
             r.m0, r.separate_files_ratio, r.block_wrap_ratio, r.transpose_ratio
         ));
     }
-    let path =
-        write_csv("fig7", "nodes,separate_files_ratio,block_wrap_ratio,transpose_ratio", &csv)
-            .unwrap();
+    let path = write_csv(
+        "fig7",
+        "nodes,separate_files_ratio,block_wrap_ratio,transpose_ratio",
+        &csv,
+    )
+    .unwrap();
     println!("(paper: separate-files and block-wrap up to ~1.3x; transposed U 2-3x)\n-> {path}");
 }
 
 fn run_fig8(args: &Args) {
     let nodes = nodes_or(args, &[4, 8, 16, 32, 64]);
-    println!("\n== Figure 8: T_ScaLAPACK / T_ours (scale 1/{}) ==", args.scale);
+    println!(
+        "\n== Figure 8: T_ScaLAPACK / T_ours (scale 1/{}) ==",
+        args.scale
+    );
     println!(
         "{:>4} {:>6} {:>9} {:>14} {:>16}",
         "mat", "nodes", "ratio", "ours (min)", "scalapack (min)"
@@ -304,20 +346,43 @@ fn run_fig8(args: &Args) {
             p.name, p.m0, p.ratio, p.ours_minutes, p.scalapack_minutes
         ));
     }
-    let path =
-        write_csv("fig8", "matrix,nodes,ratio,ours_minutes,scalapack_minutes", &csv).unwrap();
+    let path = write_csv(
+        "fig8",
+        "matrix,nodes,ratio,ours_minutes,scalapack_minutes",
+        &csv,
+    )
+    .unwrap();
     println!("(paper: <1 at small scale, approaches/exceeds 1 at larger n and m0)\n-> {path}");
 }
 
 fn run_sec74(args: &Args) {
-    println!("\n== Section 7.4/7.5: very large matrix M4 (scale 1/{}) ==", args.scale);
-    println!("{:>32} {:>9} {:>6} {:>9}", "run", "hours", "jobs", "failures");
+    println!(
+        "\n== Section 7.4/7.5: very large matrix M4 (scale 1/{}) ==",
+        args.scale
+    );
+    println!(
+        "{:>32} {:>9} {:>6} {:>9}",
+        "run", "hours", "jobs", "failures"
+    );
+    let result = sec74(args.scale, args.with_scalapack);
     let mut csv = Vec::new();
-    for o in sec74(args.scale, args.with_scalapack) {
-        println!("{:>32} {:>9.1} {:>6} {:>9}", o.label, o.hours, o.jobs, o.failures);
+    for o in &result.outcomes {
+        println!(
+            "{:>32} {:>9.1} {:>6} {:>9}",
+            o.label, o.hours, o.jobs, o.failures
+        );
         csv.push(format!("{},{},{},{}", o.label, o.hours, o.jobs, o.failures));
     }
     let path = write_csv("sec74", "run,hours,jobs,failures", &csv).unwrap();
+    let a = &result.failure_analytics;
+    println!(
+        "failure run (64-medium): {} retried attempt(s), {:.1} h of lost work, worst straggler ratio {:.2}",
+        a.retried_attempts,
+        a.lost_task_secs / 3600.0,
+        a.worst_straggler_ratio()
+    );
+    let trace_path = write_results_file("sec74_trace.json", &result.failure_trace_json).unwrap();
+    println!("failure-run timeline -> {trace_path} (open at ui.perfetto.dev or chrome://tracing)");
     println!("(paper: ours 5 h clean / 8 h with failure on 128-large, 15 h on 64-medium;");
     println!("        ScaLAPACK 8 h on 128-large, >48 h on 64-medium)\n-> {path}");
 }
@@ -336,7 +401,10 @@ fn run_section2(args: &Args) {
             "{:>18} {:>10.1} {:>12.2e} {:>14} {:>10}",
             r.method, r.wall_ms, r.residual, r.mr_jobs, r.scope
         );
-        csv.push(format!("{},{},{},{},{}", r.method, r.wall_ms, r.residual, r.mr_jobs, r.scope));
+        csv.push(format!(
+            "{},{},{},{},{}",
+            r.method, r.wall_ms, r.residual, r.mr_jobs, r.scope
+        ));
     }
     let path = write_csv("section2", "method,wall_ms,residual,mr_jobs,scope", &csv).unwrap();
     println!("(the paper's argument: GJ/QR need ~n sequential jobs; block LU needs 2^ceil(log2(n/nb)))\n-> {path}");
@@ -366,9 +434,15 @@ fn run_stragglers(args: &Args) {
             r.slow_factor, r.no_speculation_minutes, r.speculation_minutes
         ));
     }
-    let path =
-        write_csv("stragglers", "slow_factor,no_spec_minutes,spec_minutes", &csv).unwrap();
-    println!("(the paper notes high EC2 instance variance; speculation is Hadoop's answer)\n-> {path}");
+    let path = write_csv(
+        "stragglers",
+        "slow_factor,no_spec_minutes,spec_minutes",
+        &csv,
+    )
+    .unwrap();
+    println!(
+        "(the paper notes high EC2 instance variance; speculation is Hadoop's answer)\n-> {path}"
+    );
 }
 
 fn run_nb_sweep(args: &Args) {
@@ -398,15 +472,24 @@ fn run_spark(args: &Args) {
         "\n== Section 8 projection: Hadoop vs Spark-style in-memory pricing (scale 1/{}) ==",
         args.scale
     );
-    println!("{:>4} {:>6} {:>14} {:>14} {:>9}", "mat", "nodes", "hadoop (min)", "spark (min)", "speedup");
+    println!(
+        "{:>4} {:>6} {:>14} {:>14} {:>9}",
+        "mat", "nodes", "hadoop (min)", "spark (min)", "speedup"
+    );
     let mut csv = Vec::new();
     for p in sec8_spark(args.scale, &nodes) {
         println!(
             "{:>4} {:>6} {:>14.1} {:>14.1} {:>9.2}",
-            p.name, p.m0, p.hadoop_minutes, p.spark_minutes,
+            p.name,
+            p.m0,
+            p.hadoop_minutes,
+            p.spark_minutes,
             p.hadoop_minutes / p.spark_minutes
         );
-        csv.push(format!("{},{},{},{}", p.name, p.m0, p.hadoop_minutes, p.spark_minutes));
+        csv.push(format!(
+            "{},{},{},{}",
+            p.name, p.m0, p.hadoop_minutes, p.spark_minutes
+        ));
     }
     let path = write_csv("spark", "matrix,nodes,hadoop_minutes,spark_minutes", &csv).unwrap();
     println!("(the paper expects Spark to win by keeping intermediates in memory)\n-> {path}");

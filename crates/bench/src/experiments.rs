@@ -16,7 +16,10 @@ use mrinv::config::InversionConfig;
 use mrinv::partition::{ingest_input, run_partition_job, PartitionPlan};
 use mrinv::schedule;
 use mrinv::theory;
-use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel, Phase, Pipeline};
+use mrinv_mapreduce::tracelog;
+use mrinv_mapreduce::{
+    chrome_trace_json, Cluster, ClusterConfig, CostModel, Phase, Pipeline, PipelineAnalytics,
+};
 use mrinv_matrix::norms::inversion_residual;
 use mrinv_matrix::Matrix;
 use mrinv_scalapack::{ScalapackConfig, ScalapackRun};
@@ -165,7 +168,9 @@ pub const TIMING_REPEATS: usize = 3;
 
 /// Minimum simulated seconds over [`TIMING_REPEATS`] runs of `f`.
 pub fn min_sim_secs(mut f: impl FnMut() -> f64) -> f64 {
-    (0..TIMING_REPEATS).map(|_| f()).fold(f64::INFINITY, f64::min)
+    (0..TIMING_REPEATS)
+        .map(|_| f())
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// One Table 1 / Table 2 comparison row.
@@ -239,10 +244,17 @@ pub struct ScalingPoint {
 /// Figure 6: strong scalability of M1–M3 across node counts.
 pub fn fig6(scale: usize, node_counts: &[usize]) -> Vec<ScalingPoint> {
     let mut out = Vec::new();
-    for m in SUITE.iter().filter(|m| matches!(m.name, "M1" | "M2" | "M3")) {
+    for m in SUITE
+        .iter()
+        .filter(|m| matches!(m.name, "M1" | "M2" | "M3"))
+    {
         for &m0 in node_counts {
             let secs = min_sim_secs(|| run_suite_matrix(m, scale, m0).total_secs);
-            out.push(ScalingPoint { name: m.name, m0, minutes: secs / 60.0 });
+            out.push(ScalingPoint {
+                name: m.name,
+                m0,
+                minutes: secs / 60.0,
+            });
         }
     }
     out
@@ -308,7 +320,11 @@ pub struct VersusPoint {
 /// pricing.
 pub fn run_scalapack(m: &SuiteMatrix, scale: usize, m0: usize, large: bool) -> ScalapackRun {
     let a = m.generate(scale);
-    let cost = if large { extrapolated_cost_large(scale) } else { extrapolated_cost(scale) };
+    let cost = if large {
+        extrapolated_cost_large(scale)
+    } else {
+        extrapolated_cost(scale)
+    };
     let block = (128 / scale).max(4);
     mrinv_scalapack::invert(&a, m0, &cost, &ScalapackConfig { block_size: block })
         .expect("scalapack inversion")
@@ -317,7 +333,10 @@ pub fn run_scalapack(m: &SuiteMatrix, scale: usize, m0: usize, large: bool) -> S
 /// Figure 8: ratio of ScaLAPACK to our running time for M1–M3.
 pub fn fig8(scale: usize, node_counts: &[usize]) -> Vec<VersusPoint> {
     let mut out = Vec::new();
-    for m in SUITE.iter().filter(|m| matches!(m.name, "M1" | "M2" | "M3")) {
+    for m in SUITE
+        .iter()
+        .filter(|m| matches!(m.name, "M1" | "M2" | "M3"))
+    {
         for &m0 in node_counts {
             let ours = min_sim_secs(|| run_suite_matrix(m, scale, m0).total_secs);
             let scal = min_sim_secs(|| run_scalapack(m, scale, m0, false).report.sim_secs);
@@ -346,10 +365,25 @@ pub struct LargeMatrixOutcome {
     pub failures: u64,
 }
 
+/// Everything the Section 7.4 / 7.5 experiment produces: the outcome
+/// table plus the captured trace of the paper's headline failure scenario.
+#[derive(Debug, Clone)]
+pub struct Sec74Output {
+    /// One row per run (ours × shapes × clean/failure, plus ScaLAPACK).
+    pub outcomes: Vec<LargeMatrixOutcome>,
+    /// Chrome/Perfetto `trace_events` JSON of the 64-medium
+    /// mapper-failure run — the failed attempt, its retry, and the
+    /// stretched final map wave are all visible on the timeline.
+    pub failure_trace_json: String,
+    /// Straggler/lost-work analytics of that same run.
+    pub failure_analytics: PipelineAnalytics,
+}
+
 /// Section 7.4: the very large matrix M4 on both cluster shapes, with and
 /// without an injected mapper failure, plus the Section 7.5 ScaLAPACK
-/// comparison.
-pub fn sec74(scale: usize, with_scalapack: bool) -> Vec<LargeMatrixOutcome> {
+/// comparison. The 64-medium failure run executes with per-task tracing
+/// on and its timeline is returned alongside the outcome table.
+pub fn sec74(scale: usize, with_scalapack: bool) -> Sec74Output {
     let m4 = SuiteMatrix::by_name("M4").unwrap();
     let cfg = InversionConfig::with_nb(m4.nb(scale));
     let a = m4.generate(scale);
@@ -393,8 +427,12 @@ pub fn sec74(scale: usize, with_scalapack: bool) -> Vec<LargeMatrixOutcome> {
     // have one slot per node and the final job has exactly one task per
     // slot, so the retried mapper "does not restart until one of the other
     // mappers finishes" — the paper's Section 7.4 scenario, and the run
-    // visibly stretches.
-    let cluster = medium_cluster(64, scale);
+    // visibly stretches. This is the run worth looking at on a timeline,
+    // so it executes with per-task tracing enabled.
+    let mut ccfg = ClusterConfig::medium(64);
+    ccfg.cost = extrapolated_cost(scale);
+    ccfg.tracing = true;
+    let cluster = Cluster::new(ccfg);
     cluster.faults.fail_task("final-inverse", Phase::Map, 0, 1);
     let run = staged_invert(&cluster, &a, &cfg);
     out.push(LargeMatrixOutcome {
@@ -403,6 +441,9 @@ pub fn sec74(scale: usize, with_scalapack: bool) -> Vec<LargeMatrixOutcome> {
         jobs: run.jobs,
         failures: run.failures,
     });
+    let events = cluster.trace.events();
+    let failure_trace_json = chrome_trace_json(&events);
+    let failure_analytics = tracelog::analyze(&events, None);
 
     if with_scalapack {
         // Section 7.5: ScaLAPACK on the same two shapes (paper: 8 h on
@@ -422,7 +463,11 @@ pub fn sec74(scale: usize, with_scalapack: bool) -> Vec<LargeMatrixOutcome> {
             failures: 0,
         });
     }
-    out
+    Sec74Output {
+        outcomes: out,
+        failure_trace_json,
+        failure_analytics,
+    }
 }
 
 /// Section 7.2 accuracy check: max |(I − M·M^-1)_ij| for the suite.
@@ -489,7 +534,10 @@ mod tests {
         assert_eq!(c1.compute_scale, 16.0);
         assert_eq!(c32.compute_scale, 16.0 * 32.0f64.powi(3));
         assert_eq!(c32.disk_read_bw, c1.disk_read_bw / 1024.0);
-        assert_eq!(c32.job_launch_secs, c1.job_launch_secs, "launch is scale-free");
+        assert_eq!(
+            c32.job_launch_secs, c1.job_launch_secs,
+            "launch is scale-free"
+        );
     }
 
     #[test]
@@ -552,7 +600,11 @@ pub fn nb_sweep(scale: usize, m0: usize, nbs: &[usize]) -> Vec<NbSweepPoint> {
                 let cluster = medium_cluster(m0, scale);
                 staged_invert(&cluster, &a, &InversionConfig::with_nb(nb))
             };
-            NbSweepPoint { nb, jobs: run.jobs, minutes: secs / 60.0 }
+            NbSweepPoint {
+                nb,
+                jobs: run.jobs,
+                minutes: secs / 60.0,
+            }
         })
         .collect()
 }
@@ -646,15 +698,17 @@ pub fn section2_methods(n: usize, nb: usize) -> Vec<MethodRow> {
         let inv = f();
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         let residual = inversion_residual(target, &inv).unwrap();
-        out.push(MethodRow { method, wall_ms, residual, mr_jobs, scope });
+        out.push(MethodRow {
+            method,
+            wall_ms,
+            residual,
+            mr_jobs,
+            scope,
+        });
     };
-    push(
-        "gauss-jordan",
-        &a,
-        2 * n as u64,
-        "general",
-        &|| mrinv_matrix::gauss_jordan::invert_gauss_jordan(&a).unwrap(),
-    );
+    push("gauss-jordan", &a, 2 * n as u64, "general", &|| {
+        mrinv_matrix::gauss_jordan::invert_gauss_jordan(&a).unwrap()
+    });
     push(
         "block-lu (paper)",
         &a,

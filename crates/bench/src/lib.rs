@@ -26,6 +26,16 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<S
     Ok(path.display().to_string())
 }
 
+/// Writes an arbitrary text artifact (e.g. an exported trace) under
+/// `results/` and returns its path.
+pub fn write_results_file(name: &str, content: &str) -> std::io::Result<String> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, content)?;
+    Ok(path.display().to_string())
+}
+
 /// Formats a byte count as gigabytes with two decimals.
 pub fn gb(bytes: f64) -> String {
     format!("{:.2}", bytes / (1u64 << 30) as f64)

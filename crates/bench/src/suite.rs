@@ -25,22 +25,48 @@ pub struct SuiteMatrix {
 
 /// Table 3's five matrices.
 pub const SUITE: [SuiteMatrix; 5] = [
-    SuiteMatrix { name: "M1", full_order: 20480, seed: 101 },
-    SuiteMatrix { name: "M2", full_order: 32768, seed: 102 },
-    SuiteMatrix { name: "M3", full_order: 40960, seed: 103 },
-    SuiteMatrix { name: "M4", full_order: 102_400, seed: 104 },
-    SuiteMatrix { name: "M5", full_order: 16384, seed: 105 },
+    SuiteMatrix {
+        name: "M1",
+        full_order: 20480,
+        seed: 101,
+    },
+    SuiteMatrix {
+        name: "M2",
+        full_order: 32768,
+        seed: 102,
+    },
+    SuiteMatrix {
+        name: "M3",
+        full_order: 40960,
+        seed: 103,
+    },
+    SuiteMatrix {
+        name: "M4",
+        full_order: 102_400,
+        seed: 104,
+    },
+    SuiteMatrix {
+        name: "M5",
+        full_order: 16384,
+        seed: 105,
+    },
 ];
 
 impl SuiteMatrix {
     /// Looks a suite matrix up by name.
     pub fn by_name(name: &str) -> Option<SuiteMatrix> {
-        SUITE.iter().copied().find(|m| m.name.eq_ignore_ascii_case(name))
+        SUITE
+            .iter()
+            .copied()
+            .find(|m| m.name.eq_ignore_ascii_case(name))
     }
 
     /// Order at the given scale divisor.
     pub fn order(&self, scale: usize) -> usize {
-        assert!(scale >= 1 && self.full_order % scale == 0, "scale must divide the order");
+        assert!(
+            scale >= 1 && self.full_order % scale == 0,
+            "scale must divide the order"
+        );
         self.full_order / scale
     }
 

@@ -3,19 +3,29 @@
 //!
 //! ```text
 //! mrinv invert --input a.txt --output inv.txt [--nodes 4] [--nb 200]
+//!              [--trace-out trace.json] [--metrics-json metrics.json]
 //! mrinv lu     --input a.txt --l l.txt --u u.txt [--nodes 4] [--nb 200]
+//!              [--trace-out trace.json] [--metrics-json metrics.json]
 //! mrinv gen    --order 512 --output a.txt [--seed 42]
 //! ```
 //!
 //! Matrices use the text format of the paper's `a.txt` (a `rows cols`
 //! header line, then whitespace-separated values; see
-//! `mrinv_matrix::io`). `invert` prints the pipeline's job count,
-//! simulated time, and the Section 7.2 residual check.
+//! `mrinv_matrix::io`).
+//!
+//! The human-readable run summary goes to **stderr**; machine-readable
+//! output is opt-in: `--metrics-json` writes the [`mrinv::RunReport`]
+//! (including per-wave straggler analytics) as JSON, and `--trace-out`
+//! writes a Chrome/Perfetto `trace_events` file of the whole pipeline on
+//! the simulated clock — open it at `ui.perfetto.dev` or
+//! `chrome://tracing`. Either flag may be `-` for stdout. Passing either
+//! flag enables per-task tracing for the run (off otherwise, at zero
+//! cost).
 
 use std::process::exit;
 
-use mrinv::{invert, lu, InversionConfig};
-use mrinv_mapreduce::Cluster;
+use mrinv::{invert, lu, InversionConfig, RunReport};
+use mrinv_mapreduce::{chrome_trace_json, Cluster, ClusterConfig};
 use mrinv_matrix::io::{decode_text, encode_text};
 use mrinv_matrix::norms::inversion_residual;
 use mrinv_matrix::random::random_well_conditioned;
@@ -27,6 +37,8 @@ struct Opts {
     output: Option<String>,
     l_out: Option<String>,
     u_out: Option<String>,
+    trace_out: Option<String>,
+    metrics_json: Option<String>,
     nodes: usize,
     nb: usize,
     order: usize,
@@ -35,7 +47,7 @@ struct Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mrinv invert --input a.txt --output inv.txt [--nodes N] [--nb NB]\n  mrinv lu --input a.txt --l l.txt --u u.txt [--nodes N] [--nb NB]\n  mrinv gen --order N --output a.txt [--seed S]"
+        "usage:\n  mrinv invert --input a.txt --output inv.txt [--nodes N] [--nb NB] [--trace-out T.json] [--metrics-json M.json]\n  mrinv lu --input a.txt --l l.txt --u u.txt [--nodes N] [--nb NB] [--trace-out T.json] [--metrics-json M.json]\n  mrinv gen --order N --output a.txt [--seed S]"
     );
     exit(2)
 }
@@ -47,6 +59,8 @@ fn parse() -> Opts {
         output: None,
         l_out: None,
         u_out: None,
+        trace_out: None,
+        metrics_json: None,
         nodes: 4,
         nb: 200,
         order: 0,
@@ -61,6 +75,8 @@ fn parse() -> Opts {
             "--output" => opts.output = Some(val()),
             "--l" => opts.l_out = Some(val()),
             "--u" => opts.u_out = Some(val()),
+            "--trace-out" => opts.trace_out = Some(val()),
+            "--metrics-json" => opts.metrics_json = Some(val()),
             "--nodes" => opts.nodes = val().parse().unwrap_or_else(|_| usage()),
             "--nb" => opts.nb = val().parse().unwrap_or_else(|_| usage()),
             "--order" => opts.order = val().parse().unwrap_or_else(|_| usage()),
@@ -89,28 +105,78 @@ fn write_matrix(path: &str, m: &Matrix) {
     });
 }
 
+/// Writes `content` to `path`, or to stdout when `path` is `-`.
+fn write_output(path: &str, content: &str, what: &str) {
+    if path == "-" {
+        println!("{content}");
+    } else {
+        std::fs::write(path, content).unwrap_or_else(|e| {
+            eprintln!("mrinv: cannot write {what} to {path}: {e}");
+            exit(1)
+        });
+        eprintln!("mrinv: {what} -> {path}");
+    }
+}
+
+/// Builds the cluster, with per-task tracing on when any observability
+/// output was requested.
+fn build_cluster(opts: &Opts) -> Cluster {
+    let mut cfg = ClusterConfig::medium(opts.nodes);
+    cfg.tracing = opts.trace_out.is_some() || opts.metrics_json.is_some();
+    Cluster::new(cfg)
+}
+
+/// Emits the opt-in machine-readable outputs for a finished run.
+fn emit_observability(opts: &Opts, cluster: &Cluster, report: &RunReport) {
+    if let Some(path) = &opts.trace_out {
+        let json = chrome_trace_json(&cluster.trace.events());
+        write_output(path, &json, "chrome trace");
+    }
+    if let Some(path) = &opts.metrics_json {
+        let json = serde_json::to_string_pretty(report).unwrap_or_else(|e| {
+            eprintln!("mrinv: cannot serialize metrics: {e}");
+            exit(1)
+        });
+        write_output(path, &json, "metrics");
+    }
+    if let Some(analytics) = &report.analytics {
+        let ratio = analytics.worst_straggler_ratio();
+        if ratio > 1.0 {
+            eprintln!(
+                "  straggler ratio (max/median, worst wave): {ratio:.2}; \
+                 lost work from retries: {:.1} simulated s over {} retried attempts",
+                analytics.lost_task_secs, analytics.retried_attempts
+            );
+        }
+    }
+}
+
 fn main() {
     let opts = parse();
     match opts.command.as_str() {
         "gen" => {
-            let (Some(output), order) = (&opts.output, opts.order) else { usage() };
+            let (Some(output), order) = (&opts.output, opts.order) else {
+                usage()
+            };
             if order == 0 {
                 usage()
             }
             let a = random_well_conditioned(order, opts.seed);
             write_matrix(output, &a);
-            println!("wrote a well-conditioned {order}x{order} matrix to {output}");
+            eprintln!("wrote a well-conditioned {order}x{order} matrix to {output}");
         }
         "invert" => {
-            let (Some(input), Some(output)) = (&opts.input, &opts.output) else { usage() };
+            let (Some(input), Some(output)) = (&opts.input, &opts.output) else {
+                usage()
+            };
             let a = read_matrix(input);
-            let cluster = Cluster::medium(opts.nodes);
+            let cluster = build_cluster(&opts);
             let cfg = InversionConfig::with_nb(opts.nb.min(a.rows().max(1)));
             match invert(&cluster, &a, &cfg) {
                 Ok(out) => {
                     let res = inversion_residual(&a, &out.inverse).unwrap_or(f64::NAN);
                     write_matrix(output, &out.inverse);
-                    println!(
+                    eprintln!(
                         "inverted {}x{} on {} simulated nodes: {} jobs, {:.1} simulated s",
                         a.rows(),
                         a.cols(),
@@ -118,8 +184,9 @@ fn main() {
                         out.report.jobs,
                         out.report.sim_secs
                     );
-                    println!("max |I - A*A^-1| = {res:.3e} (paper threshold 1e-5)");
-                    if !(res < 1e-5) {
+                    eprintln!("max |I - A*A^-1| = {res:.3e} (paper threshold 1e-5)");
+                    emit_observability(&opts, &cluster, &out.report);
+                    if res.is_nan() || res >= 1e-5 {
                         eprintln!("mrinv: WARNING: residual exceeds the accuracy threshold");
                         exit(3);
                     }
@@ -136,19 +203,20 @@ fn main() {
                 usage()
             };
             let a = read_matrix(input);
-            let cluster = Cluster::medium(opts.nodes);
+            let cluster = build_cluster(&opts);
             let cfg = InversionConfig::with_nb(opts.nb.min(a.rows().max(1)));
             match lu(&cluster, &a, &cfg) {
                 Ok(out) => {
                     write_matrix(l_out, &out.l);
                     write_matrix(u_out, &out.u);
-                    println!(
+                    eprintln!(
                         "decomposed {}x{}: {} jobs; P stored implicitly (PA = LU), S = {:?}...",
                         a.rows(),
                         a.cols(),
                         out.report.jobs,
                         &out.perm.as_slice()[..out.perm.len().min(8)]
                     );
+                    emit_observability(&opts, &cluster, &out.report);
                 }
                 Err(e) => {
                     eprintln!("mrinv: decomposition failed: {e}");

@@ -22,7 +22,11 @@ pub struct Optimizations {
 
 impl Default for Optimizations {
     fn default() -> Self {
-        Optimizations { separate_intermediate_files: true, block_wrap: true, transpose_u: true }
+        Optimizations {
+            separate_intermediate_files: true,
+            block_wrap: true,
+            transpose_u: true,
+        }
     }
 }
 
@@ -56,7 +60,10 @@ pub struct InversionConfig {
 
 impl Default for InversionConfig {
     fn default() -> Self {
-        InversionConfig { nb: 200, opts: Optimizations::default() }
+        InversionConfig {
+            nb: 200,
+            opts: Optimizations::default(),
+        }
     }
 }
 
@@ -64,7 +71,10 @@ impl InversionConfig {
     /// Configuration with the given bound value and all optimizations on.
     pub fn with_nb(nb: usize) -> Self {
         assert!(nb >= 1, "bound value nb must be at least 1");
-        InversionConfig { nb, opts: Optimizations::default() }
+        InversionConfig {
+            nb,
+            opts: Optimizations::default(),
+        }
     }
 }
 

@@ -95,9 +95,9 @@ impl FactorRef {
     pub fn l_file_count(&self) -> u64 {
         match self {
             FactorRef::Leaf { .. } => 1,
-            FactorRef::Node { a1, l2_stripes, b, .. } => {
-                a1.l_file_count() + l2_stripes.len() as u64 + b.l_file_count()
-            }
+            FactorRef::Node {
+                a1, l2_stripes, b, ..
+            } => a1.l_file_count() + l2_stripes.len() as u64 + b.l_file_count(),
         }
     }
 
@@ -110,7 +110,14 @@ impl FactorRef {
                 check_shape(&m, (*n, *n), l_path)?;
                 Ok(m)
             }
-            FactorRef::Node { n, half, a1, l2_stripes, b, .. } => {
+            FactorRef::Node {
+                n,
+                half,
+                a1,
+                l2_stripes,
+                b,
+                ..
+            } => {
                 let mut l = Matrix::zeros(*n, *n);
                 l.set_block(0, 0, &a1.assemble_l(io)?)?;
                 let l2p = read_row_stripes(io, l2_stripes, *n - *half, *half)?;
@@ -125,12 +132,25 @@ impl FactorRef {
     /// Assembles the full upper factor `U` in row-major form.
     pub fn assemble_u(&self, io: &mut dyn BlockIo) -> Result<Matrix> {
         match self {
-            FactorRef::Leaf { u_path, n, transposed_u, .. } => {
+            FactorRef::Leaf {
+                u_path,
+                n,
+                transposed_u,
+                ..
+            } => {
                 let m = decode_binary(&io.read_bytes(u_path)?)?;
                 check_shape(&m, (*n, *n), u_path)?;
                 Ok(if *transposed_u { m.transpose() } else { m })
             }
-            FactorRef::Node { n, half, a1, u2_stripes, b, transposed_u, .. } => {
+            FactorRef::Node {
+                n,
+                half,
+                a1,
+                u2_stripes,
+                b,
+                transposed_u,
+                ..
+            } => {
                 let mut u = Matrix::zeros(*n, *n);
                 u.set_block(0, 0, &a1.assemble_u(io)?)?;
                 let u2 = read_col_stripes(io, u2_stripes, *half, *n - *half, *transposed_u)?;
@@ -145,12 +165,25 @@ impl FactorRef {
     /// path that never materializes a row-major `U`.
     pub fn assemble_u_t(&self, io: &mut dyn BlockIo) -> Result<Matrix> {
         match self {
-            FactorRef::Leaf { u_path, n, transposed_u, .. } => {
+            FactorRef::Leaf {
+                u_path,
+                n,
+                transposed_u,
+                ..
+            } => {
                 let m = decode_binary(&io.read_bytes(u_path)?)?;
                 check_shape(&m, (*n, *n), u_path)?;
                 Ok(if *transposed_u { m } else { m.transpose() })
             }
-            FactorRef::Node { n, half, a1, u2_stripes, b, transposed_u, .. } => {
+            FactorRef::Node {
+                n,
+                half,
+                a1,
+                u2_stripes,
+                b,
+                transposed_u,
+                ..
+            } => {
                 // Uᵀ = [[U1ᵀ, 0], [U2ᵀ, U3ᵀ]]
                 let mut ut = Matrix::zeros(*n, *n);
                 ut.set_block(0, 0, &a1.assemble_u_t(io)?)?;
@@ -172,7 +205,11 @@ impl FactorRef {
     /// extra write I/O differ.
     pub fn combine(&self, io: &mut dyn BlockIo, dir: &str, transpose_u: bool) -> Result<FactorRef> {
         let l = self.assemble_l(io)?;
-        let u = if transpose_u { self.assemble_u_t(io)? } else { self.assemble_u(io)? };
+        let u = if transpose_u {
+            self.assemble_u_t(io)?
+        } else {
+            self.assemble_u(io)?
+        };
         let l_path = format!("{dir}/l.bin");
         let u_path = format!("{dir}/u.bin");
         io.write_bytes(&l_path, encode_binary(&l));
@@ -249,6 +286,7 @@ mod tests {
 
     /// Stores a known (L, U, P) pair as a two-level FactorRef forest and
     /// checks assembly reproduces it.
+    #[allow(clippy::too_many_arguments)]
     fn build_node(
         dfs: &Dfs,
         l: &Matrix,
@@ -269,12 +307,20 @@ mod tests {
         io.write_bytes("f/a1/l", encode_binary(&l1));
         io.write_bytes(
             "f/a1/u",
-            encode_binary(&if transposed_u { u1.transpose() } else { u1.clone() }),
+            encode_binary(&if transposed_u {
+                u1.transpose()
+            } else {
+                u1.clone()
+            }),
         );
         io.write_bytes("f/b/l", encode_binary(&l3));
         io.write_bytes(
             "f/b/u",
-            encode_binary(&if transposed_u { u3.transpose() } else { u3.clone() }),
+            encode_binary(&if transposed_u {
+                u3.transpose()
+            } else {
+                u3.clone()
+            }),
         );
         // L2 stripes are stored pre-permutation: L2' = P2^-1 L2.
         let l2 = l.block(BlockRange::new((half, n), (0, half))).unwrap();
@@ -283,16 +329,26 @@ mod tests {
         for (k, (r0, r1)) in even_ranges(n - half, stripes).into_iter().enumerate() {
             let path = format!("f/l2/{k}");
             io.write_bytes(&path, encode_binary(&l2p.row_stripe(r0, r1).unwrap()));
-            l2_stripes.push(Stripe { path, range: (r0, r1) });
+            l2_stripes.push(Stripe {
+                path,
+                range: (r0, r1),
+            });
         }
         let u2 = u.block(BlockRange::new((0, half), (half, n))).unwrap();
         let mut u2_stripes = Vec::new();
         for (k, (c0, c1)) in even_ranges(n - half, stripes).into_iter().enumerate() {
             let path = format!("f/u2/{k}");
             let stripe = u2.col_stripe(c0, c1).unwrap();
-            let data = if transposed_u { stripe.transpose() } else { stripe };
+            let data = if transposed_u {
+                stripe.transpose()
+            } else {
+                stripe
+            };
             io.write_bytes(&path, encode_binary(&data));
-            u2_stripes.push(Stripe { path, range: (c0, c1) });
+            u2_stripes.push(Stripe {
+                path,
+                range: (c0, c1),
+            });
         }
         FactorRef::Node {
             n,
@@ -341,7 +397,10 @@ mod tests {
             assert_eq!(f.n(), n);
             assert!(f.assemble_l(&mut io).unwrap().approx_eq(&l, 1e-12));
             assert!(f.assemble_u(&mut io).unwrap().approx_eq(&u, 1e-12));
-            assert!(f.assemble_u_t(&mut io).unwrap().approx_eq(&u.transpose(), 1e-12));
+            assert!(f
+                .assemble_u_t(&mut io)
+                .unwrap()
+                .approx_eq(&u.transpose(), 1e-12));
             assert_eq!(f.perm(), Permutation::augment(&p1, &p2));
             assert_eq!(f.l_file_count(), 1 + 3 + 1);
         }
@@ -365,7 +424,10 @@ mod tests {
         };
         assert_eq!(f.assemble_l(&mut io).unwrap(), l);
         assert!(f.assemble_u(&mut io).unwrap().approx_eq(&u, 0.0));
-        assert!(f.assemble_u_t(&mut io).unwrap().approx_eq(&u.transpose(), 0.0));
+        assert!(f
+            .assemble_u_t(&mut io)
+            .unwrap()
+            .approx_eq(&u.transpose(), 0.0));
         assert_eq!(f.l_file_count(), 1);
     }
 
@@ -402,7 +464,10 @@ mod tests {
             perm: Permutation::identity(4),
             transposed_u: false,
         };
-        assert!(matches!(f.assemble_l(&mut io), Err(CoreError::Invariant(_))));
+        assert!(matches!(
+            f.assemble_l(&mut io),
+            Err(CoreError::Invariant(_))
+        ));
         assert!(f.assemble_u(&mut io).is_ok());
     }
 

@@ -13,7 +13,9 @@
 use mrinv_matrix::block::BlockRange;
 use mrinv_matrix::lu::lu_decompose;
 use mrinv_matrix::multiply::{mul_parallel, sub_mul};
-use mrinv_matrix::triangular::{invert_lower, invert_upper, solve_unit_lower_system, solve_upper_system_right};
+use mrinv_matrix::triangular::{
+    invert_lower, invert_upper, solve_unit_lower_system, solve_upper_system_right,
+};
 use mrinv_matrix::{Matrix, Permutation, Result};
 
 /// The result of a block LU decomposition: `P·A = L·U`.
@@ -34,7 +36,11 @@ pub fn block_lu(a: &Matrix, nb: usize) -> Result<BlockLu> {
     let n = a.order()?;
     if n <= nb {
         let f = lu_decompose(a)?;
-        return Ok(BlockLu { l: f.unit_lower(), u: f.upper(), perm: f.perm });
+        return Ok(BlockLu {
+            l: f.unit_lower(),
+            u: f.upper(),
+            perm: f.perm,
+        });
     }
     let half = n / 2;
     let q = a.split_quadrants(half)?;

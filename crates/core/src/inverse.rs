@@ -62,10 +62,16 @@ pub fn invert(cluster: &Cluster, a: &Matrix, cfg: &InversionConfig) -> Result<In
     let mut pipeline = Pipeline::new();
     let (tree, partition_report) = run_partition_job(cluster, &plan)?;
     pipeline.push(partition_report);
-    let factors = lu_decompose_mr(cluster, BlockView::Tree(tree), &plan, &cfg.opts, &mut pipeline)?;
+    let factors = lu_decompose_mr(
+        cluster,
+        BlockView::Tree(tree),
+        &plan,
+        &cfg.opts,
+        &mut pipeline,
+    )?;
     let inverse = invert_factors_mr(cluster, &factors, &plan, &cfg.opts, &mut pipeline)?;
 
-    let report = RunReport::from_deltas(
+    let mut report = RunReport::from_deltas(
         n,
         cluster.nodes(),
         cfg.nb,
@@ -74,6 +80,9 @@ pub fn invert(cluster: &Cluster, a: &Matrix, cfg: &InversionConfig) -> Result<In
         &dfs_before,
         &cluster.dfs.counters(),
     );
+    if cluster.trace.is_enabled() {
+        report.analytics = Some(pipeline.analytics(&cluster.trace));
+    }
     Ok(InverseOutput { inverse, report })
 }
 
@@ -96,9 +105,15 @@ pub fn lu(cluster: &Cluster, a: &Matrix, cfg: &InversionConfig) -> Result<LuOutp
     let mut pipeline = Pipeline::new();
     let (tree, partition_report) = run_partition_job(cluster, &plan)?;
     pipeline.push(partition_report);
-    let factors = lu_decompose_mr(cluster, BlockView::Tree(tree), &plan, &cfg.opts, &mut pipeline)?;
+    let factors = lu_decompose_mr(
+        cluster,
+        BlockView::Tree(tree),
+        &plan,
+        &cfg.opts,
+        &mut pipeline,
+    )?;
 
-    let report = RunReport::from_deltas(
+    let mut report = RunReport::from_deltas(
         n,
         cluster.nodes(),
         cfg.nb,
@@ -107,11 +122,19 @@ pub fn lu(cluster: &Cluster, a: &Matrix, cfg: &InversionConfig) -> Result<LuOutp
         &dfs_before,
         &cluster.dfs.counters(),
     );
+    if cluster.trace.is_enabled() {
+        report.analytics = Some(pipeline.analytics(&cluster.trace));
+    }
 
     let mut io = MasterIo::new(&cluster.dfs);
     let l = factors.assemble_l(&mut io)?;
     let u = factors.assemble_u(&mut io)?;
-    Ok(LuOutput { l, u, perm: factors.perm(), report })
+    Ok(LuOutput {
+        l,
+        u,
+        perm: factors.perm(),
+        report,
+    })
 }
 
 /// Low-level variant of [`invert`] for callers that already partitioned:
@@ -196,10 +219,52 @@ mod tests {
         assert_eq!(r.nodes, 4);
         assert!(r.sim_secs > 0.0);
         assert!(r.master_secs > 0.0);
-        assert!(r.dfs_bytes_written as f64 > (32.0 * 32.0) * 8.0, "at least the partition");
+        assert!(
+            r.dfs_bytes_written as f64 > (32.0 * 32.0) * 8.0,
+            "at least the partition"
+        );
         assert!(r.dfs_bytes_read > 0);
         assert_eq!(r.task_failures, 0);
         assert!((r.hours - r.sim_secs / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traced_run_reports_analytics_and_exports() {
+        let mut ccfg = ClusterConfig::medium(4);
+        ccfg.cost = CostModel::unit_for_tests();
+        ccfg.tracing = true;
+        let cluster = Cluster::new(ccfg);
+        let a = random_well_conditioned(32, 31);
+        let out = invert(&cluster, &a, &InversionConfig::with_nb(8)).unwrap();
+        let analytics = out.report.analytics.as_ref().expect("tracing enabled");
+        // Every job contributes at least its map wave.
+        assert!(analytics.waves.len() >= out.report.jobs as usize);
+        assert_eq!(analytics.retried_attempts, 0);
+        assert!(analytics.total_task_secs > 0.0);
+        assert!(analytics.worst_straggler_ratio() >= 1.0);
+        // The whole run exports as a valid Chrome trace with one process
+        // per pipeline job (plus the cluster/master process).
+        let events = cluster.trace.events();
+        let json = mrinv_mapreduce::chrome_trace_json(&events);
+        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let spans = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let job_pids: std::collections::BTreeSet<u64> = spans
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .filter_map(|e| e.get("pid").and_then(|p| p.as_u64()))
+            .filter(|&pid| pid > 0)
+            .collect();
+        assert_eq!(
+            job_pids.len() as u64,
+            out.report.jobs,
+            "one trace process per job"
+        );
+
+        // Without tracing, the identical run carries no analytics.
+        let plain = test_cluster(4);
+        let out2 = invert(&plain, &a, &InversionConfig::with_nb(8)).unwrap();
+        assert!(out2.report.analytics.is_none());
+        assert!(out2.inverse.approx_eq(&out.inverse, 0.0));
     }
 
     #[test]
@@ -208,7 +273,10 @@ mod tests {
         let a = random_well_conditioned(16, 9);
         let out1 = invert(&cluster, &a, &InversionConfig::with_nb(4)).unwrap();
         let out2 = invert(&cluster, &a, &InversionConfig::with_nb(4)).unwrap();
-        assert!(out1.inverse.approx_eq(&out2.inverse, 0.0), "same input, same output");
+        assert!(
+            out1.inverse.approx_eq(&out2.inverse, 0.0),
+            "same input, same output"
+        );
     }
 
     #[test]
@@ -216,7 +284,9 @@ mod tests {
         let a = random_invertible(24, 11);
         let reference = {
             let cluster = test_cluster(4);
-            invert(&cluster, &a, &InversionConfig::with_nb(6)).unwrap().inverse
+            invert(&cluster, &a, &InversionConfig::with_nb(6))
+                .unwrap()
+                .inverse
         };
         let mut cfg = InversionConfig::with_nb(6);
         cfg.opts = Optimizations::none();
@@ -230,7 +300,9 @@ mod tests {
         let a = random_well_conditioned(32, 13);
         let opt = {
             let cluster = test_cluster(4);
-            invert(&cluster, &a, &InversionConfig::with_nb(8)).unwrap().report
+            invert(&cluster, &a, &InversionConfig::with_nb(8))
+                .unwrap()
+                .report
         };
         let mut cfg = InversionConfig::with_nb(8);
         cfg.opts = Optimizations::none();
@@ -244,7 +316,10 @@ mod tests {
             unopt.dfs_bytes_read,
             opt.dfs_bytes_read
         );
-        assert!(unopt.dfs_bytes_written > opt.dfs_bytes_written, "combining writes more");
+        assert!(
+            unopt.dfs_bytes_written > opt.dfs_bytes_written,
+            "combining writes more"
+        );
     }
 
     #[test]

@@ -53,9 +53,9 @@ pub mod inverse;
 pub mod lu_mr;
 pub mod ops;
 pub mod partition;
-pub mod solve;
 pub mod report;
 pub mod schedule;
+pub mod solve;
 pub mod source;
 pub mod theory;
 pub mod tri_inv_mr;

@@ -16,17 +16,19 @@
 //! (Section 4.2), and `B` is never re-materialized: the next level reads it
 //! through [`MatrixSource`] descriptors (Section 5.2).
 
-use mrinv_mapreduce::job::{identity_partitioner, JobSpec, MapContext, Mapper, ReduceContext, Reducer};
+use mrinv_mapreduce::job::{
+    identity_partitioner, JobSpec, MapContext, Mapper, ReduceContext, Reducer,
+};
 use mrinv_mapreduce::master::run_on_master;
 use mrinv_mapreduce::runner::run_job;
 use mrinv_mapreduce::{Cluster, MrError, Pipeline};
 use mrinv_matrix::block::even_ranges;
 use mrinv_matrix::io::encode_binary;
 use mrinv_matrix::lu::lu_decompose;
+use mrinv_matrix::multiply::{sub_mul_ijk, sub_mul_transposed};
 use mrinv_matrix::triangular::{
     solve_row_times_upper, solve_row_times_upper_transposed, solve_unit_lower_column,
 };
-use mrinv_matrix::multiply::{sub_mul_ijk, sub_mul_transposed};
 use mrinv_matrix::Matrix;
 
 use crate::config::Optimizations;
@@ -119,14 +121,28 @@ pub fn lu_decompose_mr(
 
     // Internal node: resolve the quadrants.
     let (half, a1_view, a2, a3, a4) = match view {
-        BlockView::Tree(SourceTree::Split { half, a1, a2, a3, a4, .. }) => {
-            (half, BlockView::Tree(*a1), a2, a3, a4)
-        }
+        BlockView::Tree(SourceTree::Split {
+            half,
+            a1,
+            a2,
+            a3,
+            a4,
+            ..
+        }) => (half, BlockView::Tree(*a1), a2, a3, a4),
         BlockView::Tree(SourceTree::Leaf { .. }) => unreachable!("handled above"),
         BlockView::Source { source, dir: d } => {
             let half = n / 2;
             let [q1, q2, q3, q4] = source.quadrants(half, half)?;
-            (half, BlockView::Source { dir: format!("{d}/A1"), source: q1 }, q2, q3, q4)
+            (
+                half,
+                BlockView::Source {
+                    dir: format!("{d}/A1"),
+                    source: q1,
+                },
+                q2,
+                q3,
+                q4,
+            )
         }
     };
     let rest = n - half;
@@ -136,14 +152,16 @@ pub fn lu_decompose_mr(
     let p1 = a1_factors.perm();
 
     // Stripe and cell geometry for this level.
-    let l2_ranges: Vec<(usize, usize)> =
-        even_ranges(rest, plan.m_l).into_iter().filter(|r| r.0 < r.1).collect();
-    let u2_ranges: Vec<(usize, usize)> =
-        even_ranges(rest, plan.m_u).into_iter().filter(|r| r.0 < r.1).collect();
-    let cell_rows: Vec<(usize, usize)> =
-        even_ranges(rest, plan.grid.0).into_iter().collect();
-    let cell_cols: Vec<(usize, usize)> =
-        even_ranges(rest, plan.grid.1).into_iter().collect();
+    let l2_ranges: Vec<(usize, usize)> = even_ranges(rest, plan.m_l)
+        .into_iter()
+        .filter(|r| r.0 < r.1)
+        .collect();
+    let u2_ranges: Vec<(usize, usize)> = even_ranges(rest, plan.m_u)
+        .into_iter()
+        .filter(|r| r.0 < r.1)
+        .collect();
+    let cell_rows: Vec<(usize, usize)> = even_ranges(rest, plan.grid.0).into_iter().collect();
+    let cell_cols: Vec<(usize, usize)> = even_ranges(rest, plan.grid.1).into_iter().collect();
 
     let mut inputs = Vec::new();
     for (k, &range) in l2_ranges.iter().enumerate() {
@@ -166,12 +184,18 @@ pub fn lu_decompose_mr(
     let l2_stripes: Vec<Stripe> = l2_ranges
         .iter()
         .enumerate()
-        .map(|(k, &range)| Stripe { path: format!("{dir}/L2/L.{k}"), range })
+        .map(|(k, &range)| Stripe {
+            path: format!("{dir}/L2/L.{k}"),
+            range,
+        })
         .collect();
     let u2_stripes: Vec<Stripe> = u2_ranges
         .iter()
         .enumerate()
-        .map(|(k, &range)| Stripe { path: format!("{dir}/U2/U.{k}"), range })
+        .map(|(k, &range)| Stripe {
+            path: format!("{dir}/U2/U.{k}"),
+            range,
+        })
         .collect();
 
     let reducer = LuLevelReducer {
@@ -179,18 +203,27 @@ pub fn lu_decompose_mr(
         a4,
         l2_source: MatrixSource::new(
             (rest, half),
-            l2_stripes.iter().map(|s| Piece::new(s.path.clone(), s.range, (0, half))).collect(),
+            l2_stripes
+                .iter()
+                .map(|s| Piece::new(s.path.clone(), s.range, (0, half)))
+                .collect(),
         ),
         u2_source: if opts.transpose_u {
             // Transposed space: rows are U2's columns.
             MatrixSource::new(
                 (rest, half),
-                u2_stripes.iter().map(|s| Piece::new(s.path.clone(), s.range, (0, half))).collect(),
+                u2_stripes
+                    .iter()
+                    .map(|s| Piece::new(s.path.clone(), s.range, (0, half)))
+                    .collect(),
             )
         } else {
             MatrixSource::new(
                 (half, rest),
-                u2_stripes.iter().map(|s| Piece::new(s.path.clone(), (0, half), s.range)).collect(),
+                u2_stripes
+                    .iter()
+                    .map(|s| Piece::new(s.path.clone(), (0, half), s.range))
+                    .collect(),
             )
         },
         cell_rows: cell_rows.clone(),
@@ -224,7 +257,10 @@ pub fn lu_decompose_mr(
     // Decompose B (Algorithm 2 line 10).
     let b_factors = lu_decompose_mr(
         cluster,
-        BlockView::Source { dir: format!("{dir}/OUT"), source: b_source },
+        BlockView::Source {
+            dir: format!("{dir}/OUT"),
+            source: b_source,
+        },
         plan,
         opts,
         pipeline,
@@ -246,8 +282,9 @@ pub fn lu_decompose_mr(
         // Section 6.1 ablation: serially combine this level's factors on
         // the master while the cluster waits.
         let mut io = MasterIo::new(&cluster.dfs);
-        let combined =
-            run_on_master(cluster, || node.combine(&mut io, &format!("{dir}/COMBINED"), opts.transpose_u));
+        let combined = run_on_master(cluster, || {
+            node.combine(&mut io, &format!("{dir}/COMBINED"), opts.transpose_u)
+        });
         charge_master_io(cluster, &io);
         combined
     }
@@ -442,9 +479,14 @@ mod tests {
         ingest_input(&cluster, &a, &plan).unwrap();
         let (tree, _) = run_partition_job(&cluster, &plan).unwrap();
         let mut pipeline = Pipeline::new();
-        let factors =
-            lu_decompose_mr(&cluster, BlockView::Tree(tree), &plan, &icfg.opts, &mut pipeline)
-                .unwrap();
+        let factors = lu_decompose_mr(
+            &cluster,
+            BlockView::Tree(tree),
+            &plan,
+            &icfg.opts,
+            &mut pipeline,
+        )
+        .unwrap();
         (cluster, factors, pipeline, a)
     }
 
@@ -557,17 +599,26 @@ mod tests {
         let mut ccfg = ClusterConfig::medium(4);
         ccfg.cost = CostModel::unit_for_tests();
         let cluster = Cluster::new(ccfg);
-        cluster.faults.fail_task("lu-level", mrinv_mapreduce::Phase::Map, 0, 1);
-        cluster.faults.fail_task("lu-level", mrinv_mapreduce::Phase::Reduce, 1, 1);
+        cluster
+            .faults
+            .fail_task("lu-level", mrinv_mapreduce::Phase::Map, 0, 1);
+        cluster
+            .faults
+            .fail_task("lu-level", mrinv_mapreduce::Phase::Reduce, 1, 1);
         let icfg = InversionConfig::with_nb(8);
         let plan = PartitionPlan::new(32, &cluster, &icfg, "Root");
         let a = random_invertible(32, 17);
         ingest_input(&cluster, &a, &plan).unwrap();
         let (tree, _) = run_partition_job(&cluster, &plan).unwrap();
         let mut pipeline = Pipeline::new();
-        let factors =
-            lu_decompose_mr(&cluster, BlockView::Tree(tree), &plan, &icfg.opts, &mut pipeline)
-                .unwrap();
+        let factors = lu_decompose_mr(
+            &cluster,
+            BlockView::Tree(tree),
+            &plan,
+            &icfg.opts,
+            &mut pipeline,
+        )
+        .unwrap();
         assert!(pipeline.total_failures() >= 2);
         assert_pa_eq_lu(&cluster, &factors, &a, 1e-8);
     }

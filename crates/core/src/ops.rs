@@ -72,14 +72,17 @@ impl Mapper for MatmulMapper {
         }
         // Block wrap (Section 6.2): this task reads one row block of A and
         // one column block of B (staged transposed, Section 6.3).
-        let a_rows = decode_binary(&ctx.read(&format!("{}/A/R.{i}", self.dir))?)
-            .map_err(CoreError::from)?;
+        let a_rows =
+            decode_binary(&ctx.read(&format!("{}/A/R.{i}", self.dir))?).map_err(CoreError::from)?;
         let bt_rows = decode_binary(&ctx.read(&format!("{}/BT/R.{j}", self.dir))?)
             .map_err(CoreError::from)?;
         let kernel = std::time::Instant::now();
         let block = mul_transposed(&a_rows, &bt_rows).map_err(CoreError::from)?;
         ctx.charge_kernel(kernel.elapsed());
-        ctx.write(&format!("{}/OUT/C.{input}", self.dir), encode_binary(&block));
+        ctx.write(
+            &format!("{}/OUT/C.{input}", self.dir),
+            encode_binary(&block),
+        );
         Ok(())
     }
 }
@@ -107,7 +110,11 @@ pub fn matmul_mr(
     crate::lu_mr::charge_master_io(cluster, &io);
 
     let inputs: Vec<usize> = (0..f1 * f2).collect();
-    let mapper = MatmulMapper { dir: dir.clone(), row_ranges: row_ranges.clone(), col_ranges: col_ranges.clone() };
+    let mapper = MatmulMapper {
+        dir: dir.clone(),
+        row_ranges: row_ranges.clone(),
+        col_ranges: col_ranges.clone(),
+    };
     let spec: JobSpec<usize, usize> = JobSpec::new(format!("matmul:{dir}"), 0);
     let report = run_map_only(cluster, &spec, &mapper, &inputs)?;
     pipeline.push(report);
@@ -148,7 +155,10 @@ impl Mapper for TransposeMapper {
         }
         let stripe = decode_binary(&ctx.read(&format!("{}/A/R.{input}", self.dir))?)
             .map_err(CoreError::from)?;
-        ctx.write(&format!("{}/OUT/C.{input}", self.dir), encode_binary(&stripe.transpose()));
+        ctx.write(
+            &format!("{}/OUT/C.{input}", self.dir),
+            encode_binary(&stripe.transpose()),
+        );
         Ok(())
     }
 }
@@ -163,7 +173,10 @@ pub fn transpose_mr(cluster: &Cluster, a: &Matrix, pipeline: &mut Pipeline) -> R
     crate::lu_mr::charge_master_io(cluster, &io);
 
     let inputs: Vec<usize> = (0..m0).collect();
-    let mapper = TransposeMapper { dir: dir.clone(), row_ranges: row_ranges.clone() };
+    let mapper = TransposeMapper {
+        dir: dir.clone(),
+        row_ranges: row_ranges.clone(),
+    };
     let spec: JobSpec<usize, usize> = JobSpec::new(format!("transpose:{dir}"), 0);
     let report = run_map_only(cluster, &spec, &mapper, &inputs)?;
     pipeline.push(report);
@@ -205,8 +218,10 @@ impl Mapper for ScaleAddMapper {
         let b = decode_binary(&ctx.read(&format!("{}/B/R.{input}", self.dir))?)
             .map_err(CoreError::from)?;
         let mut out = Matrix::zeros(a.rows(), a.cols());
-        for (dst, (x, y)) in
-            out.as_mut_slice().iter_mut().zip(a.as_slice().iter().zip(b.as_slice()))
+        for (dst, (x, y)) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(a.as_slice().iter().zip(b.as_slice()))
         {
             *dst = self.alpha * x + self.beta * y;
         }
@@ -239,8 +254,12 @@ pub fn scale_add_mr(
     crate::lu_mr::charge_master_io(cluster, &io);
 
     let inputs: Vec<usize> = (0..m0).collect();
-    let mapper =
-        ScaleAddMapper { dir: dir.clone(), row_ranges: row_ranges.clone(), alpha, beta };
+    let mapper = ScaleAddMapper {
+        dir: dir.clone(),
+        row_ranges: row_ranges.clone(),
+        alpha,
+        beta,
+    };
     let spec: JobSpec<usize, usize> = JobSpec::new(format!("scale-add:{dir}"), 0);
     let report = run_map_only(cluster, &spec, &mapper, &inputs)?;
     pipeline.push(report);
@@ -271,7 +290,11 @@ mod tests {
 
     #[test]
     fn matmul_matches_local_kernel() {
-        for &(m, k, n, m0) in &[(24usize, 30usize, 18usize, 4usize), (16, 16, 16, 1), (33, 7, 21, 6)] {
+        for &(m, k, n, m0) in &[
+            (24usize, 30usize, 18usize, 4usize),
+            (16, 16, 16, 1),
+            (33, 7, 21, 6),
+        ] {
             let c = cluster(m0);
             let a = random_matrix(m, k, 1);
             let b = random_matrix(k, n, 2);

@@ -52,7 +52,12 @@ pub struct PartitionPlan {
 
 impl PartitionPlan {
     /// Builds the plan for a cluster and configuration.
-    pub fn new(n: usize, cluster: &Cluster, cfg: &InversionConfig, root: impl Into<String>) -> Self {
+    pub fn new(
+        n: usize,
+        cluster: &Cluster,
+        cfg: &InversionConfig,
+        root: impl Into<String>,
+    ) -> Self {
         let m0 = cluster.nodes().max(1);
         let half_workers = (m0 / 2).max(1);
         let grid = if cfg.opts.block_wrap {
@@ -165,7 +170,7 @@ fn enumerate_block(
     }
     if n <= plan.nb {
         // Leaf: single reader cell, row-sliced by writers.
-        push_cells(plan, &format!("{dir}"), r_off, c_off, n, n, &[(0, n)], &[(0, n)], out);
+        push_cells(plan, dir, r_off, c_off, n, n, &[(0, n)], &[(0, n)], out);
         return;
     }
     let half = n / 2;
@@ -174,14 +179,44 @@ fn enumerate_block(
     enumerate_block(plan, &format!("{dir}/A1"), r_off, c_off, half, out);
     // A2: column stripes for U2 mappers (rows 0..half, cols half..n).
     let a2_cols = even_ranges(rest, plan.m_u);
-    push_cells(plan, &format!("{dir}/A2"), r_off, c_off + half, half, rest, &[(0, half)], &a2_cols, out);
+    push_cells(
+        plan,
+        &format!("{dir}/A2"),
+        r_off,
+        c_off + half,
+        half,
+        rest,
+        &[(0, half)],
+        &a2_cols,
+        out,
+    );
     // A3: row stripes for L2' mappers (rows half..n, cols 0..half).
     let a3_rows = even_ranges(rest, plan.m_l);
-    push_cells(plan, &format!("{dir}/A3"), r_off + half, c_off, rest, half, &a3_rows, &[(0, half)], out);
+    push_cells(
+        plan,
+        &format!("{dir}/A3"),
+        r_off + half,
+        c_off,
+        rest,
+        half,
+        &a3_rows,
+        &[(0, half)],
+        out,
+    );
     // A4: grid cells for the reducers (rows half..n, cols half..n).
     let a4_rows = even_ranges(rest, plan.grid.0);
     let a4_cols = even_ranges(rest, plan.grid.1);
-    push_cells(plan, &format!("{dir}/A4"), r_off + half, c_off + half, rest, rest, &a4_rows, &a4_cols, out);
+    push_cells(
+        plan,
+        &format!("{dir}/A4"),
+        r_off + half,
+        c_off + half,
+        rest,
+        rest,
+        &a4_rows,
+        &a4_cols,
+        out,
+    );
 }
 
 /// Emits the (reader-cell × writer) pieces of one quadrant whose local
@@ -277,9 +312,28 @@ fn build_tree_node(
         dir: dir.to_string(),
         n,
         half,
-        a1: Box::new(build_tree_node(plan, &format!("{dir}/A1"), r_off, c_off, half, pieces)),
-        a2: collect_quadrant(pieces, &format!("{dir}/A2"), r_off, c_off + half, (half, rest)),
-        a3: collect_quadrant(pieces, &format!("{dir}/A3"), r_off + half, c_off, (rest, half)),
+        a1: Box::new(build_tree_node(
+            plan,
+            &format!("{dir}/A1"),
+            r_off,
+            c_off,
+            half,
+            pieces,
+        )),
+        a2: collect_quadrant(
+            pieces,
+            &format!("{dir}/A2"),
+            r_off,
+            c_off + half,
+            (half, rest),
+        ),
+        a3: collect_quadrant(
+            pieces,
+            &format!("{dir}/A3"),
+            r_off + half,
+            c_off,
+            (rest, half),
+        ),
         a4: collect_quadrant(
             pieces,
             &format!("{dir}/A4"),
@@ -359,7 +413,15 @@ pub fn run_partition_job(
 pub fn read_back(tree: &SourceTree, io: &mut MasterIo<'_>) -> Result<Matrix> {
     match tree {
         SourceTree::Leaf { source, .. } => source.read_all(io),
-        SourceTree::Split { n, half, a1, a2, a3, a4, .. } => {
+        SourceTree::Split {
+            n,
+            half,
+            a1,
+            a2,
+            a3,
+            a4,
+            ..
+        } => {
             let mut m = Matrix::zeros(*n, *n);
             m.set_block(0, 0, &read_back(a1, io)?)?;
             m.set_block(0, *half, &a2.read_all(io)?)?;
@@ -387,7 +449,12 @@ mod tests {
 
     #[test]
     fn partition_round_trips_the_matrix() {
-        for &(n, nb, m0) in &[(24usize, 6usize, 4usize), (31, 7, 3), (16, 16, 2), (40, 5, 8)] {
+        for &(n, nb, m0) in &[
+            (24usize, 6usize, 4usize),
+            (31, 7, 3),
+            (16, 16, 2),
+            (40, 5, 8),
+        ] {
             let (cluster, p) = plan(n, nb, m0, true);
             let a = random_matrix(n, n, n as u64);
             ingest_input(&cluster, &a, &p).unwrap();
@@ -428,7 +495,10 @@ mod tests {
                 }
             }
         }
-        assert!(cover.iter().all(|&v| v == 1), "every element in exactly one piece");
+        assert!(
+            cover.iter().all(|&v| v == 1),
+            "every element in exactly one piece"
+        );
     }
 
     #[test]
@@ -447,7 +517,15 @@ mod tests {
         let (_c, p) = plan(32, 8, 4, true);
         let tree = build_source_tree(&p);
         match &tree {
-            SourceTree::Split { n, half, a1, a2, a3, a4, .. } => {
+            SourceTree::Split {
+                n,
+                half,
+                a1,
+                a2,
+                a3,
+                a4,
+                ..
+            } => {
                 assert_eq!(*n, 32);
                 assert_eq!(*half, 16);
                 assert_eq!(a2.shape(), (16, 16));
@@ -493,12 +571,16 @@ mod tests {
         let a = random_matrix(n, n, 9);
         ingest_input(&cluster, &a, &p).unwrap();
         let (tree, _) = run_partition_job(&cluster, &p).unwrap();
-        let SourceTree::Split { a2, .. } = &tree else { panic!("expected split") };
+        let SourceTree::Split { a2, .. } = &tree else {
+            panic!("expected split")
+        };
         cluster.dfs.reset_counters();
         let mut io = MasterIo::new(&cluster.dfs);
         let stripe_cols = even_ranges(16, p.m_u)[0];
         let got = a2.read_cols(&mut io, stripe_cols.0, stripe_cols.1).unwrap();
-        let expect = a.block(BlockRange::new((0, 16), (16 + 0, 16 + stripe_cols.1))).unwrap();
+        let expect = a
+            .block(BlockRange::new((0, 16), (16, 16 + stripe_cols.1)))
+            .unwrap();
         assert_eq!(got, expect);
         // Bytes read ≈ the stripe, not all of A2.
         let a2_bytes = 16 * 16 * 8;

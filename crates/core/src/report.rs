@@ -1,11 +1,12 @@
 //! Per-run accounting returned by the public API.
 
 use mrinv_mapreduce::dfs::DfsCountersSnapshot;
-use mrinv_mapreduce::MetricsSnapshot;
+use mrinv_mapreduce::{MetricsSnapshot, PipelineAnalytics};
+use serde::{Deserialize, Serialize};
 
 /// Everything one inversion run measured, as deltas over the cluster's
 /// state when the run started.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunReport {
     /// Matrix order.
     pub n: usize,
@@ -31,6 +32,9 @@ pub struct RunReport {
     /// Simulated running time in hours (convenience for paper-style
     /// reporting).
     pub hours: f64,
+    /// Per-wave straggler/lost-work analytics, present when the cluster
+    /// ran with tracing enabled ([`mrinv_mapreduce::cluster::ClusterConfig::tracing`]).
+    pub analytics: Option<PipelineAnalytics>,
 }
 
 impl RunReport {
@@ -57,6 +61,7 @@ impl RunReport {
             dfs_bytes_read: dfs_after.bytes_read - dfs_before.bytes_read,
             shuffle_bytes: metrics_after.shuffle_bytes - metrics_before.shuffle_bytes,
             hours: sim_secs / 3600.0,
+            analytics: None,
         }
     }
 }
@@ -67,7 +72,11 @@ mod tests {
 
     #[test]
     fn deltas_subtract() {
-        let before = MetricsSnapshot { jobs: 2, sim_secs: 10.0, ..Default::default() };
+        let before = MetricsSnapshot {
+            jobs: 2,
+            sim_secs: 10.0,
+            ..Default::default()
+        };
         let after = MetricsSnapshot {
             jobs: 5,
             sim_secs: 7210.0,
@@ -76,9 +85,16 @@ mod tests {
             shuffle_bytes: 64,
             ..Default::default()
         };
-        let db = DfsCountersSnapshot { bytes_written: 100, bytes_read: 50, ..Default::default() };
-        let da =
-            DfsCountersSnapshot { bytes_written: 1100, bytes_read: 2050, ..Default::default() };
+        let db = DfsCountersSnapshot {
+            bytes_written: 100,
+            bytes_read: 50,
+            ..Default::default()
+        };
+        let da = DfsCountersSnapshot {
+            bytes_written: 1100,
+            bytes_read: 2050,
+            ..Default::default()
+        };
         let r = RunReport::from_deltas(64, 4, 8, &before, &after, &db, &da);
         assert_eq!(r.jobs, 3);
         assert!((r.sim_secs - 7200.0).abs() < 1e-9);
@@ -87,5 +103,32 @@ mod tests {
         assert_eq!(r.dfs_bytes_read, 2000);
         assert_eq!(r.task_failures, 1);
         assert_eq!(r.shuffle_bytes, 64);
+        assert!(r.analytics.is_none(), "no analytics without tracing");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = RunReport {
+            n: 64,
+            nodes: 4,
+            nb: 8,
+            jobs: 9,
+            sim_secs: 123.5,
+            master_secs: 10.25,
+            task_failures: 2,
+            dfs_bytes_written: 1 << 20,
+            dfs_bytes_read: 1 << 21,
+            shuffle_bytes: 4096,
+            hours: 123.5 / 3600.0,
+            analytics: None,
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"jobs\": 9"), "json {json}");
+        assert!(json.contains("\"analytics\": null"));
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n, report.n);
+        assert_eq!(back.jobs, report.jobs);
+        assert_eq!(back.sim_secs, report.sim_secs);
+        assert!(back.analytics.is_none());
     }
 }

@@ -115,7 +115,7 @@ mod tests {
         assert_eq!(recursion_depth(40960, 3200), 4); // M3
         assert_eq!(recursion_depth(102_400, 3200), 5); // M4
         assert_eq!(recursion_depth(16384, 3200), 3); // M5
-        // Scale 1/16 (this repo's default) preserves every depth.
+                                                     // Scale 1/16 (this repo's default) preserves every depth.
         assert_eq!(recursion_depth(1280, 200), 3);
         assert_eq!(recursion_depth(2048, 200), 4);
         assert_eq!(recursion_depth(2560, 200), 4);
@@ -148,8 +148,16 @@ mod tests {
         // 100000 halves to 3125 ≤ 3200 after 5 even splits.
         assert_eq!(lu_pipeline_jobs(100_000, 3200), 31);
         // Closed form agrees with the recursion on even suites.
-        for &(n, nb) in &[(20480usize, 3200usize), (32768, 3200), (102_400, 3200), (1280, 200)] {
-            assert_eq!(lu_pipeline_jobs(n, nb), (1u64 << recursion_depth(n, nb)) - 1);
+        for &(n, nb) in &[
+            (20480usize, 3200usize),
+            (32768, 3200),
+            (102_400, 3200),
+            (1280, 200),
+        ] {
+            assert_eq!(
+                lu_pipeline_jobs(n, nb),
+                (1u64 << recursion_depth(n, nb)) - 1
+            );
         }
     }
 
@@ -185,7 +193,13 @@ mod tests {
 
     #[test]
     fn plan_length_matches_total_jobs() {
-        for &(n, nb) in &[(1280usize, 200usize), (2048, 200), (6400, 200), (100, 50), (64, 200)] {
+        for &(n, nb) in &[
+            (1280usize, 200usize),
+            (2048, 200),
+            (6400, 200),
+            (100, 50),
+            (64, 200),
+        ] {
             assert_eq!(job_plan(n, nb).len() as u64, total_jobs(n, nb));
         }
     }

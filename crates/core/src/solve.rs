@@ -55,7 +55,10 @@ pub fn solve(
         let x = back_substitution(&out.u, &y)?;
         solutions.push(x);
     }
-    Ok(SolveOutput { solutions, report: out.report })
+    Ok(SolveOutput {
+        solutions,
+        report: out.report,
+    })
 }
 
 /// Computes `det(A)` via the distributed LU factorization:
@@ -111,8 +114,9 @@ mod tests {
         let c = cluster();
         let n = 48;
         let a = random_invertible(n, 3);
-        let xs: Vec<Vec<f64>> =
-            (0..3).map(|k| (0..n).map(|i| ((i + k) as f64 * 0.31).cos()).collect()).collect();
+        let xs: Vec<Vec<f64>> = (0..3)
+            .map(|k| (0..n).map(|i| ((i + k) as f64 * 0.31).cos()).collect())
+            .collect();
         let rhs: Vec<Vec<f64>> = xs.iter().map(|x| a.mul_vec(x).unwrap()).collect();
         let out = solve(&c, &a, &rhs, &InversionConfig::with_nb(12)).unwrap();
         for (got, want) in out.solutions.iter().zip(&xs) {
@@ -171,7 +175,10 @@ mod tests {
             skewed[(0, j)] *= 1e6;
         }
         let k_skew = condition_estimate(&c, &skewed, &cfg).unwrap();
-        assert!(k_skew > k * 100.0, "scaling must worsen conditioning: {k} -> {k_skew}");
+        assert!(
+            k_skew > k * 100.0,
+            "scaling must worsen conditioning: {k} -> {k_skew}"
+        );
     }
 
     #[test]

@@ -60,7 +60,11 @@ pub struct MasterIo<'a> {
 impl<'a> MasterIo<'a> {
     /// Wraps a DFS handle.
     pub fn new(dfs: &'a Dfs) -> Self {
-        MasterIo { dfs, bytes_read: 0, bytes_written: 0 }
+        MasterIo {
+            dfs,
+            bytes_read: 0,
+            bytes_written: 0,
+        }
     }
 }
 
@@ -93,7 +97,11 @@ pub struct Piece {
 impl Piece {
     /// Creates a piece descriptor.
     pub fn new(path: impl Into<String>, rows: (usize, usize), cols: (usize, usize)) -> Self {
-        Piece { path: path.into(), rows, cols }
+        Piece {
+            path: path.into(),
+            rows,
+            cols,
+        }
     }
 
     fn nrows(&self) -> usize {
@@ -120,7 +128,11 @@ impl MatrixSource {
     /// A source covering the full piece space `shape`, where the pieces'
     /// coordinates are already logical coordinates.
     pub fn new(shape: (usize, usize), pieces: Vec<Piece>) -> Self {
-        MatrixSource { pieces, origin: (0, 0), shape }
+        MatrixSource {
+            pieces,
+            origin: (0, 0),
+            shape,
+        }
     }
 
     /// Logical shape.
@@ -167,7 +179,11 @@ impl MatrixSource {
             })
             .cloned()
             .collect();
-        Ok(MatrixSource { pieces, origin, shape })
+        Ok(MatrixSource {
+            pieces,
+            origin,
+            shape,
+        })
     }
 
     /// Splits into the four Figure-1 quadrants at `(row_split, col_split)`.
@@ -219,7 +235,8 @@ impl MatrixSource {
                 )));
             }
             for r in r0..r1 {
-                let src_row = &block.row(r - piece.rows.0)[(c0 - piece.cols.0)..(c1 - piece.cols.0)];
+                let src_row =
+                    &block.row(r - piece.rows.0)[(c0 - piece.cols.0)..(c1 - piece.cols.0)];
                 let dst_row = &mut out.row_mut(r - tr.0)[(c0 - tc.0)..(c1 - tc.0)];
                 dst_row.copy_from_slice(src_row);
             }
@@ -253,7 +270,11 @@ pub fn write_piece(
     block: &Matrix,
 ) -> Piece {
     io.write_bytes(path, encode_binary(block));
-    Piece::new(path, (row0, row0 + block.rows()), (col0, col0 + block.cols()))
+    Piece::new(
+        path,
+        (row0, row0 + block.rows()),
+        (col0, col0 + block.cols()),
+    )
 }
 
 #[cfg(test)]
@@ -301,7 +322,11 @@ mod tests {
         dfs.reset_counters();
         let mut io = MasterIo::new(&dfs);
         let got = src.read_range(&mut io, (0, 10), (0, 10)).unwrap();
-        assert_eq!(got, m.block(mrinv_matrix::block::BlockRange::new((0, 10), (0, 10))).unwrap());
+        assert_eq!(
+            got,
+            m.block(mrinv_matrix::block::BlockRange::new((0, 10), (0, 10)))
+                .unwrap()
+        );
         assert_eq!(dfs.counters().reads, 1, "only one tile decoded");
     }
 
@@ -314,13 +339,16 @@ mod tests {
         assert_eq!(w.shape(), (8, 12));
         let mut io = MasterIo::new(&dfs);
         let got = w.read_all(&mut io).unwrap();
-        let expect = m.block(mrinv_matrix::block::BlockRange::new((4, 12), (2, 14))).unwrap();
+        let expect = m
+            .block(mrinv_matrix::block::BlockRange::new((4, 12), (2, 14)))
+            .unwrap();
         assert_eq!(got, expect);
         // Windows compose.
         let w2 = w.window((1, 5), (3, 7)).unwrap();
         let got2 = w2.read_all(&mut io).unwrap();
-        let expect2 =
-            m.block(mrinv_matrix::block::BlockRange::new((5, 9), (5, 9))).unwrap();
+        let expect2 = m
+            .block(mrinv_matrix::block::BlockRange::new((5, 9), (5, 9)))
+            .unwrap();
         assert_eq!(got2, expect2);
     }
 
@@ -345,8 +373,14 @@ mod tests {
         let m = random_matrix(9, 9, 5);
         let src = scatter(&dfs, &m, 3);
         let mut io = MasterIo::new(&dfs);
-        assert_eq!(src.read_rows(&mut io, 3, 6).unwrap(), m.row_stripe(3, 6).unwrap());
-        assert_eq!(src.read_cols(&mut io, 0, 2).unwrap(), m.col_stripe(0, 2).unwrap());
+        assert_eq!(
+            src.read_rows(&mut io, 3, 6).unwrap(),
+            m.row_stripe(3, 6).unwrap()
+        );
+        assert_eq!(
+            src.read_cols(&mut io, 0, 2).unwrap(),
+            m.col_stripe(0, 2).unwrap()
+        );
     }
 
     #[test]
@@ -368,7 +402,10 @@ mod tests {
         io.write_bytes("p", encode_binary(&m));
         // Descriptor claims the file covers 2x2 but it holds 4x4.
         let src = MatrixSource::new((4, 4), vec![Piece::new("p", (0, 2), (0, 2))]);
-        assert!(matches!(src.read_all(&mut io), Err(CoreError::Invariant(_))));
+        assert!(matches!(
+            src.read_all(&mut io),
+            Err(CoreError::Invariant(_))
+        ));
     }
 
     #[test]
@@ -376,7 +413,10 @@ mod tests {
         let dfs = Dfs::default();
         let src = MatrixSource::new((2, 2), vec![Piece::new("gone", (0, 2), (0, 2))]);
         let mut io = MasterIo::new(&dfs);
-        assert!(matches!(src.read_all(&mut io), Err(CoreError::MapReduce(_))));
+        assert!(matches!(
+            src.read_all(&mut io),
+            Err(CoreError::MapReduce(_))
+        ));
     }
 
     #[test]

@@ -156,7 +156,10 @@ mod tests {
         let scal = table1_scalapack(100, 4);
         assert_eq!(scal.writes, 1e4);
         assert!((scal.transfer - 2.0 / 3.0 * 4.0 * 1e4).abs() < 1e-9);
-        assert_eq!(scal.mults, ours.mults, "same arithmetic, different movement");
+        assert_eq!(
+            scal.mults, ours.mults,
+            "same arithmetic, different movement"
+        );
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! index headers ([`IndexedBlock`]).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use mrinv_mapreduce::job::{identity_partitioner, JobSpec, MapContext, Mapper, ReduceContext, Reducer};
+use mrinv_mapreduce::job::{
+    identity_partitioner, JobSpec, MapContext, Mapper, ReduceContext, Reducer,
+};
 use mrinv_mapreduce::runner::run_job;
 use mrinv_mapreduce::{Cluster, MrError, Pipeline};
 use mrinv_matrix::block::even_ranges;
@@ -60,14 +62,19 @@ pub fn decode_indexed(mut data: &[u8]) -> Result<IndexedBlock> {
     }
     let count = data.get_u64_le() as usize;
     if data.len() < count * 8 {
-        return Err(CoreError::Invariant("indexed block index list truncated".into()));
+        return Err(CoreError::Invariant(
+            "indexed block index list truncated".into(),
+        ));
     }
     let mut indices = Vec::with_capacity(count);
     for _ in 0..count {
         indices.push(data.get_u64_le());
     }
     let matrix = decode_binary(data)?;
-    Ok(IndexedBlock { indices, data: matrix })
+    Ok(IndexedBlock {
+        indices,
+        data: matrix,
+    })
 }
 
 /// Map-task input for the final job.
@@ -100,16 +107,16 @@ struct TriInvMapper {
 impl TriInvMapper {
     /// Splits this worker's interleaved vector indices by block, returning
     /// `(block_idx, indices)` for each non-empty block.
-    fn group_by_block(
-        indices: &[usize],
-        blocks: &[(usize, usize)],
-    ) -> Vec<(usize, Vec<usize>)> {
+    fn group_by_block(indices: &[usize], blocks: &[(usize, usize)]) -> Vec<(usize, Vec<usize>)> {
         blocks
             .iter()
             .enumerate()
             .filter_map(|(bi, &(b0, b1))| {
-                let in_block: Vec<usize> =
-                    indices.iter().copied().filter(|&i| i >= b0 && i < b1).collect();
+                let in_block: Vec<usize> = indices
+                    .iter()
+                    .copied()
+                    .filter(|&i| i >= b0 && i < b1)
+                    .collect();
                 if in_block.is_empty() {
                     None
                 } else {
@@ -158,9 +165,14 @@ impl Mapper for TriInvMapper {
                             }
                         }
                     }
-                    let block =
-                        IndexedBlock { indices: cols.iter().map(|&c| c as u64).collect(), data };
-                    ctx.write(&format!("{}/INV/L.{k}.{bi}", self.dir), encode_indexed(&block));
+                    let block = IndexedBlock {
+                        indices: cols.iter().map(|&c| c as u64).collect(),
+                        data,
+                    };
+                    ctx.write(
+                        &format!("{}/INV/L.{k}.{bi}", self.dir),
+                        encode_indexed(&block),
+                    );
                 }
             }
             InvTaskInput::URows { k } => {
@@ -193,9 +205,14 @@ impl Mapper for TriInvMapper {
                         let pos = my_rows.iter().position(|&r| r == i).unwrap();
                         data.row_mut(slot).copy_from_slice(&computed[pos]);
                     }
-                    let block =
-                        IndexedBlock { indices: rows.iter().map(|&r| r as u64).collect(), data };
-                    ctx.write(&format!("{}/INV/U.{k}.{bi}", self.dir), encode_indexed(&block));
+                    let block = IndexedBlock {
+                        indices: rows.iter().map(|&r| r as u64).collect(),
+                        data,
+                    };
+                    ctx.write(
+                        &format!("{}/INV/U.{k}.{bi}", self.dir),
+                        encode_indexed(&block),
+                    );
                 }
             }
         }
@@ -248,9 +265,11 @@ impl Reducer for TriInvReducer {
             if !ctx.exists(&path) {
                 continue; // that worker had no rows in this block
             }
-            let block = decode_indexed(&ctx.read(&path)?).map_err(CoreError::from)?;
+            let block = decode_indexed(&ctx.read(&path)?)?;
             for (slot, &i) in block.indices.iter().enumerate() {
-                u_rows.row_mut(i as usize - r0).copy_from_slice(block.data.row(slot));
+                u_rows
+                    .row_mut(i as usize - r0)
+                    .copy_from_slice(block.data.row(slot));
             }
         }
 
@@ -262,9 +281,11 @@ impl Reducer for TriInvReducer {
                 if !ctx.exists(&path) {
                     continue;
                 }
-                let block = decode_indexed(&ctx.read(&path)?).map_err(CoreError::from)?;
+                let block = decode_indexed(&ctx.read(&path)?)?;
                 for (slot, &j) in block.indices.iter().enumerate() {
-                    l_cols_t.row_mut(j as usize - c0).copy_from_slice(block.data.row(slot));
+                    l_cols_t
+                        .row_mut(j as usize - c0)
+                        .copy_from_slice(block.data.row(slot));
                 }
             }
             let kernel = std::time::Instant::now();
@@ -278,7 +299,7 @@ impl Reducer for TriInvReducer {
                 if !ctx.exists(&path) {
                     continue;
                 }
-                let block = decode_indexed(&ctx.read(&path)?).map_err(CoreError::from)?;
+                let block = decode_indexed(&ctx.read(&path)?)?;
                 for (slot, &j) in block.indices.iter().enumerate() {
                     for i in 0..self.n {
                         l_cols[(i, j as usize - c0)] = block.data[(i, slot)];
@@ -297,7 +318,10 @@ impl Reducer for TriInvReducer {
             indices: (c0..c1).map(|j| self.perm.source_of(j) as u64).collect(),
             data: product,
         };
-        ctx.write(&format!("{}/RESULT/A.{cell}.{r0}", self.dir), encode_indexed(&out));
+        ctx.write(
+            &format!("{}/RESULT/A.{cell}.{r0}", self.dir),
+            encode_indexed(&out),
+        );
         Ok(())
     }
 }
@@ -385,14 +409,20 @@ mod tests {
 
     #[test]
     fn indexed_block_round_trips() {
-        let b = IndexedBlock { indices: vec![3, 1, 4, 1], data: random_matrix(4, 7, 1) };
+        let b = IndexedBlock {
+            indices: vec![3, 1, 4, 1],
+            data: random_matrix(4, 7, 1),
+        };
         let back = decode_indexed(&encode_indexed(&b)).unwrap();
         assert_eq!(back, b);
     }
 
     #[test]
     fn indexed_block_rejects_corruption() {
-        let b = IndexedBlock { indices: vec![0, 1], data: random_matrix(2, 2, 2) };
+        let b = IndexedBlock {
+            indices: vec![0, 1],
+            data: random_matrix(2, 2, 2),
+        };
         let enc = encode_indexed(&b);
         assert!(decode_indexed(&enc[..4]).is_err());
         assert!(decode_indexed(&enc[..12]).is_err());
@@ -401,7 +431,10 @@ mod tests {
 
     #[test]
     fn empty_indexed_block() {
-        let b = IndexedBlock { indices: vec![], data: Matrix::zeros(0, 0) };
+        let b = IndexedBlock {
+            indices: vec![],
+            data: Matrix::zeros(0, 0),
+        };
         let back = decode_indexed(&encode_indexed(&b)).unwrap();
         assert!(back.indices.is_empty());
     }

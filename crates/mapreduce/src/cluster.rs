@@ -6,6 +6,7 @@ use crate::dfs::Dfs;
 use crate::fault::FaultPlan;
 use crate::metrics::ClusterMetrics;
 use crate::simtime::CostModel;
+use crate::tracelog::TraceLog;
 
 /// Static cluster shape and pricing.
 #[derive(Debug, Clone)]
@@ -24,6 +25,10 @@ pub struct ClusterConfig {
     /// Hadoop-style speculative execution: back up the wave's straggler
     /// task on another slot (on by default, as in Hadoop).
     pub speculative_execution: bool,
+    /// Record one [`crate::tracelog::TaskEvent`] per task attempt (off by
+    /// default: tracing costs one atomic load per event site when
+    /// disabled, and nothing else).
+    pub tracing: bool,
     /// Pricing of compute, disk, network, and job launches.
     pub cost: CostModel,
 }
@@ -37,6 +42,7 @@ impl ClusterConfig {
             max_task_attempts: 4,
             node_speeds: Vec::new(),
             speculative_execution: true,
+            tracing: false,
             cost: CostModel::ec2_medium(),
         }
     }
@@ -50,6 +56,7 @@ impl ClusterConfig {
             max_task_attempts: 4,
             node_speeds: Vec::new(),
             speculative_execution: true,
+            tracing: false,
             cost: CostModel::ec2_large(),
         }
     }
@@ -92,16 +99,24 @@ pub struct Cluster {
     pub metrics: ClusterMetrics,
     /// Failure-injection plan.
     pub faults: FaultPlan,
+    /// Per-task-attempt event log (recording only when enabled — via
+    /// [`ClusterConfig::tracing`] or [`crate::tracelog::TraceLog::enable`]).
+    pub trace: TraceLog,
 }
 
 impl Cluster {
     /// Creates a cluster with a fresh DFS.
     pub fn new(config: ClusterConfig) -> Self {
+        let trace = TraceLog::disabled();
+        if config.tracing {
+            trace.enable();
+        }
         Cluster {
             dfs: Arc::new(Dfs::new(config.cost.replication)),
             config,
             metrics: ClusterMetrics::default(),
             faults: FaultPlan::none(),
+            trace,
         }
     }
 

@@ -89,7 +89,11 @@ impl Dfs {
     /// Creates an empty DFS with the given replication factor.
     pub fn new(replication: u32) -> Self {
         assert!(replication >= 1, "replication factor must be at least 1");
-        Dfs { files: RwLock::new(BTreeMap::new()), counters: DfsCounters::default(), replication }
+        Dfs {
+            files: RwLock::new(BTreeMap::new()),
+            counters: DfsCounters::default(),
+            replication,
+        }
     }
 
     /// The configured replication factor.
@@ -100,7 +104,9 @@ impl Dfs {
     /// Writes (or overwrites) a file.
     pub fn write(&self, path: &str, data: Bytes) {
         let path = normalize_path(path);
-        self.counters.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.counters
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.counters.files_written.fetch_add(1, Ordering::Relaxed);
         self.files.write().insert(path, data);
     }
@@ -109,9 +115,13 @@ impl Dfs {
     pub fn read(&self, path: &str) -> Result<Bytes> {
         let path = normalize_path(path);
         let files = self.files.read();
-        let data =
-            files.get(&path).cloned().ok_or_else(|| MrError::FileNotFound(path.clone()))?;
-        self.counters.bytes_read.fetch_add(data.len() as u64, Ordering::Relaxed);
+        let data = files
+            .get(&path)
+            .cloned()
+            .ok_or_else(|| MrError::FileNotFound(path.clone()))?;
+        self.counters
+            .bytes_read
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.counters.reads.fetch_add(1, Ordering::Relaxed);
         Ok(data)
     }
@@ -151,8 +161,11 @@ impl Dfs {
     pub fn delete_dir(&self, dir: &str) -> usize {
         let prefix = format!("{}/", normalize_path(dir));
         let mut files = self.files.write();
-        let doomed: Vec<String> =
-            files.range(prefix.clone()..).take_while(|(k, _)| k.starts_with(&prefix)).map(|(k, _)| k.clone()).collect();
+        let doomed: Vec<String> = files
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(&prefix))
+            .map(|(k, _)| k.clone())
+            .collect();
         for k in &doomed {
             files.remove(k);
         }
@@ -216,7 +229,10 @@ mod tests {
     fn write_read_round_trip() {
         let dfs = Dfs::default();
         dfs.write("Root/a.txt", Bytes::from_static(b"hello"));
-        assert_eq!(dfs.read("Root/a.txt").unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(
+            dfs.read("Root/a.txt").unwrap(),
+            Bytes::from_static(b"hello")
+        );
         assert_eq!(dfs.len("Root/a.txt").unwrap(), 5);
         assert!(dfs.exists("Root/a.txt"));
         assert!(!dfs.exists("Root/b.txt"));
@@ -247,7 +263,10 @@ mod tests {
         dfs.write("Root/A2/z", Bytes::new());
         dfs.write("Other/w", Bytes::new());
         let l = dfs.list("Root/A1");
-        assert_eq!(l, vec!["Root/A1/sub/y".to_string(), "Root/A1/x".to_string()]);
+        assert_eq!(
+            l,
+            vec!["Root/A1/sub/y".to_string(), "Root/A1/x".to_string()]
+        );
         assert_eq!(dfs.list("Root").len(), 3);
         assert_eq!(dfs.list("").len(), 4);
         // Prefix must respect path boundaries: "Root/A1" must not match "Root/A10".

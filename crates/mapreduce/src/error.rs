@@ -44,10 +44,23 @@ impl fmt::Display for MrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MrError::FileNotFound(p) => write!(f, "DFS file not found: {p}"),
-            MrError::TaskFailed { job, phase, task, attempts } => {
-                write!(f, "{phase:?} task {task} of job {job:?} failed after {attempts} attempts")
+            MrError::TaskFailed {
+                job,
+                phase,
+                task,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "{phase:?} task {task} of job {job:?} failed after {attempts} attempts"
+                )
             }
-            MrError::UserTask { job, phase, task, message } => {
+            MrError::UserTask {
+                job,
+                phase,
+                task,
+                message,
+            } => {
                 write!(f, "{phase:?} task {task} of job {job:?} errored: {message}")
             }
             MrError::InvalidJob(msg) => write!(f, "invalid job: {msg}"),
@@ -64,8 +77,15 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(MrError::FileNotFound("x/y".into()).to_string().contains("x/y"));
-        let e = MrError::TaskFailed { job: "j".into(), phase: Phase::Map, task: 3, attempts: 4 };
+        assert!(MrError::FileNotFound("x/y".into())
+            .to_string()
+            .contains("x/y"));
+        let e = MrError::TaskFailed {
+            job: "j".into(),
+            phase: Phase::Map,
+            task: 3,
+            attempts: 4,
+        };
         assert!(e.to_string().contains("task 3"));
         assert!(e.to_string().contains("4 attempts"));
         let e = MrError::UserTask {
@@ -75,7 +95,9 @@ mod tests {
             message: "boom".into(),
         };
         assert!(e.to_string().contains("boom"));
-        assert!(MrError::InvalidJob("no inputs".into()).to_string().contains("no inputs"));
+        assert!(MrError::InvalidJob("no inputs".into())
+            .to_string()
+            .contains("no inputs"));
         assert!(MrError::Other("misc".into()).to_string().contains("misc"));
     }
 }

@@ -22,6 +22,27 @@ pub enum Phase {
     Reduce,
 }
 
+/// Why a task attempt was treated as failed — recorded into the trace
+/// log's [`crate::tracelog::TaskEvent::failure`] field so injected faults
+/// and retried user errors stay distinguishable in exported traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureCause {
+    /// The fault plan killed the attempt (its node "died").
+    Injected,
+    /// The task body returned a user-visible error and was retried.
+    UserError(String),
+}
+
+impl FailureCause {
+    /// Stable string label stored in trace events.
+    pub fn label(&self) -> String {
+        match self {
+            FailureCause::Injected => "injected-fault".to_string(),
+            FailureCause::UserError(msg) => format!("user-error: {msg}"),
+        }
+    }
+}
+
 /// One injection rule: fail the first `attempts_to_fail` attempts of the
 /// matching task.
 #[derive(Debug)]
@@ -116,7 +137,10 @@ mod tests {
         p.fail_task("lu", Phase::Map, 2, 2);
         assert!(p.should_fail("lu-job-3", Phase::Map, 2));
         assert!(p.should_fail("lu-job-3", Phase::Map, 2));
-        assert!(!p.should_fail("lu-job-3", Phase::Map, 2), "budget exhausted");
+        assert!(
+            !p.should_fail("lu-job-3", Phase::Map, 2),
+            "budget exhausted"
+        );
         assert_eq!(p.injected_count(), 2);
     }
 
@@ -154,7 +178,9 @@ mod tests {
             .map(|_| {
                 let p = Arc::clone(&p);
                 std::thread::spawn(move || {
-                    (0..50).filter(|_| p.should_fail("j", Phase::Map, 0)).count()
+                    (0..50)
+                        .filter(|_| p.should_fail("j", Phase::Map, 0))
+                        .count()
                 })
             })
             .collect();

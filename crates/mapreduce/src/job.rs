@@ -16,13 +16,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
+use serde::{Deserialize, Serialize};
 
 use crate::dfs::Dfs;
 use crate::error::Result;
 
 /// Measured work of one task attempt, priced by
 /// [`crate::simtime::CostModel`].
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct TaskStats {
     /// Measured compute time of the task body.
     pub cpu: Duration,
@@ -236,11 +237,7 @@ pub trait Mapper: Send + Sync {
     type Value: Clone + Send + Sync;
 
     /// Processes one split, emitting pairs and doing side DFS I/O.
-    fn map(
-        &self,
-        input: &Self::Input,
-        ctx: &mut MapContext<Self::Key, Self::Value>,
-    ) -> Result<()>;
+    fn map(&self, input: &Self::Input, ctx: &mut MapContext<Self::Key, Self::Value>) -> Result<()>;
 }
 
 /// A reduce function: called once per key with all the key's values.

@@ -24,7 +24,10 @@
 //! * [`pipeline::Pipeline`] — accounting for a chain of jobs (the paper's
 //!   Figure 2 pipeline);
 //! * [`master`] — timed computation on the master node (the paper runs
-//!   `nb`-sized LU decompositions there).
+//!   `nb`-sized LU decompositions there);
+//! * [`tracelog`] — one typed event per task attempt, with
+//!   Chrome/Perfetto trace export and per-wave straggler analytics
+//!   (off by default; see [`cluster::ClusterConfig::tracing`]).
 //!
 //! # Simulated time
 //!
@@ -48,13 +51,17 @@ pub mod pipeline;
 pub mod runner;
 pub mod scheduler;
 pub mod simtime;
+pub mod tracelog;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use dfs::Dfs;
 pub use error::{MrError, Result};
-pub use fault::{FaultPlan, Phase};
+pub use fault::{FailureCause, FaultPlan, Phase};
 pub use job::{JobSpec, MapContext, Mapper, ReduceContext, Reducer, TaskStats};
 pub use metrics::MetricsSnapshot;
 pub use pipeline::Pipeline;
 pub use runner::{run_job, run_map_only, JobReport};
 pub use simtime::CostModel;
+pub use tracelog::{
+    chrome_trace_json, PipelineAnalytics, TaskEvent, TraceLog, TracePhase, WaveAnalytics,
+};

@@ -13,14 +13,43 @@
 use std::time::Instant;
 
 use crate::cluster::Cluster;
+use crate::tracelog::{TaskEvent, TracePhase};
 
 /// Runs `f` on the master node, charging its measured (scaled) time to the
 /// cluster's simulated clock as serial master-side work.
 pub fn run_on_master<T>(cluster: &Cluster, f: impl FnOnce() -> T) -> T {
+    run_on_master_named(cluster, "master", f)
+}
+
+/// [`run_on_master`] with a label: the span appears in exported traces
+/// under `label` on the cluster's driver track, between job processes.
+pub fn run_on_master_named<T>(cluster: &Cluster, label: &str, f: impl FnOnce() -> T) -> T {
+    let sim_start = cluster.sim_secs();
     let start = Instant::now();
     let out = f();
-    let secs = cluster.config.cost.master_secs(start.elapsed());
+    let elapsed = start.elapsed();
+    let secs = cluster.config.cost.master_secs(elapsed);
     cluster.metrics.add_master_secs(secs);
+    if cluster.trace.is_enabled() {
+        cluster.trace.record(TaskEvent {
+            job: label.to_string(),
+            job_seq: None,
+            phase: TracePhase::Master,
+            task: 0,
+            attempt: 0,
+            node: None,
+            sim_start_secs: sim_start,
+            sim_end_secs: sim_start + secs,
+            cpu_secs: elapsed.as_secs_f64(),
+            kernel_secs: 0.0,
+            cpu_sim_secs: secs,
+            io_sim_secs: 0.0,
+            read_bytes: 0,
+            write_bytes: 0,
+            shuffle_bytes: 0,
+            failure: None,
+        });
+    }
     out
 }
 
@@ -33,7 +62,10 @@ mod tests {
     #[test]
     fn master_work_advances_the_clock() {
         let mut cfg = ClusterConfig::medium(4);
-        cfg.cost = CostModel { master_compute_scale: 1000.0, ..CostModel::unit_for_tests() };
+        cfg.cost = CostModel {
+            master_compute_scale: 1000.0,
+            ..CostModel::unit_for_tests()
+        };
         let cluster = Cluster::new(cfg);
         let result = run_on_master(&cluster, || {
             std::thread::sleep(std::time::Duration::from_millis(5));

@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Live counters accumulated across jobs on one cluster.
 #[derive(Debug, Default)]
@@ -18,7 +18,7 @@ pub struct ClusterMetrics {
 }
 
 /// A point-in-time copy of [`ClusterMetrics`].
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// MapReduce jobs launched.
     pub jobs: u64,
@@ -37,9 +37,10 @@ pub struct MetricsSnapshot {
 }
 
 impl ClusterMetrics {
-    /// Records a launched job.
-    pub fn record_job(&self) {
-        self.jobs.fetch_add(1, Ordering::Relaxed);
+    /// Records a launched job, returning its cluster-wide 0-based
+    /// sequence number (used as the job's trace identity).
+    pub fn record_job(&self) -> u64 {
+        self.jobs.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Records completed map tasks.
@@ -125,7 +126,10 @@ mod tests {
         assert_eq!(s.reduce_tasks, 3);
         assert_eq!(s.task_failures, 1);
         assert_eq!(s.shuffle_bytes, 100);
-        assert!((s.sim_secs - 4.0).abs() < 1e-12, "master time advances the clock");
+        assert!(
+            (s.sim_secs - 4.0).abs() < 1e-12,
+            "master time advances the clock"
+        );
         assert!((s.master_secs - 1.5).abs() < 1e-12);
     }
 
@@ -139,12 +143,18 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_serializes_to_json() {
+    fn snapshot_round_trips_through_json() {
         let m = ClusterMetrics::default();
         m.record_job();
+        m.record_map_tasks(7);
+        m.record_shuffle_bytes(4096);
+        m.add_sim_secs(12.25);
+        m.add_master_secs(0.75);
         let s = m.snapshot();
-        // serde round-trip sanity via the Debug representation.
-        let dbg = format!("{s:?}");
-        assert!(dbg.contains("jobs: 1"));
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"jobs\":1"), "json {json}");
+        assert!(json.contains("\"shuffle_bytes\":4096"));
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::job::TaskStats;
 use crate::runner::JobReport;
+use crate::tracelog::{self, PipelineAnalytics, TraceLog};
 
 /// An ordered record of executed jobs.
 #[derive(Debug, Default, Clone)]
@@ -48,7 +49,9 @@ impl Pipeline {
 
     /// Aggregate measured work of all successful attempts.
     pub fn total_stats(&self) -> TaskStats {
-        self.reports.iter().fold(TaskStats::default(), |acc, r| acc.merge(&r.stats))
+        self.reports
+            .iter()
+            .fold(TaskStats::default(), |acc, r| acc.merge(&r.stats))
     }
 
     /// Total map tasks across jobs.
@@ -59,6 +62,16 @@ impl Pipeline {
     /// Total reduce tasks across jobs.
     pub fn total_reduce_tasks(&self) -> usize {
         self.reports.iter().map(|r| r.reduce_tasks).sum()
+    }
+
+    /// Straggler/lost-work analytics for *this pipeline's* jobs, computed
+    /// from the cluster's trace log (events of unrelated jobs on the same
+    /// cluster are excluded via each report's `job_seq`). Empty when
+    /// tracing was disabled during the run.
+    pub fn analytics(&self, trace: &TraceLog) -> PipelineAnalytics {
+        let jobs: std::collections::BTreeSet<u64> =
+            self.reports.iter().map(|r| r.job_seq).collect();
+        tracelog::analyze(&trace.events(), Some(&jobs))
     }
 }
 
@@ -73,7 +86,10 @@ mod tests {
             reduce_tasks: 1,
             failures,
             sim_secs: secs,
-            stats: TaskStats { read_bytes: 10, ..TaskStats::default() },
+            stats: TaskStats {
+                read_bytes: 10,
+                ..TaskStats::default()
+            },
             ..JobReport::default()
         }
     }

@@ -13,20 +13,23 @@
 //! attempt (the paper's tasks write worker-unique files, Section 5.2).
 
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 use crate::cluster::Cluster;
 use crate::error::{MrError, Result};
-use crate::fault::Phase;
-use crate::job::{
-    default_kv_size, JobSpec, MapContext, Mapper, ReduceContext, Reducer, TaskStats,
-};
-use crate::scheduler::schedule_wave_hetero;
+use crate::fault::{FailureCause, Phase};
+use crate::job::{default_kv_size, JobSpec, MapContext, Mapper, ReduceContext, Reducer, TaskStats};
+use crate::scheduler::{schedule_wave_hetero, WaveSchedule};
+use crate::tracelog::{TaskEvent, TracePhase};
 
 /// Accounting for one executed job.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct JobReport {
     /// Job name.
     pub name: String,
+    /// Cluster-wide 0-based job sequence number (ties this report to its
+    /// trace events).
+    pub job_seq: u64,
     /// Number of map tasks.
     pub map_tasks: usize,
     /// Number of reduce tasks.
@@ -50,10 +53,12 @@ pub struct JobReport {
     pub user_counters: std::collections::BTreeMap<String, u64>,
 }
 
-/// Per-task execution result: attempts' stats (last one succeeded) plus the
-/// successful attempt's payload.
+/// Per-task execution result: attempts' stats (last one succeeded), each
+/// attempt's failure cause (`None` for the final, successful one), plus
+/// the successful attempt's payload.
 struct TaskRun<T> {
     attempt_stats: Vec<TaskStats>,
+    attempt_failures: Vec<Option<String>>,
     payload: T,
 }
 
@@ -68,13 +73,15 @@ fn run_with_retries<T>(
 ) -> Result<TaskRun<T>> {
     let max_attempts = cluster.config.max_task_attempts.max(1);
     let mut attempt_stats = Vec::new();
+    let mut attempt_failures = Vec::new();
     for _attempt in 0..max_attempts {
         let (payload, stats) = match body() {
             Ok(ok) => ok,
-            Err(MrError::UserTask { .. }) | Err(MrError::FileNotFound(_)) => {
+            Err(e @ MrError::UserTask { .. }) | Err(e @ MrError::FileNotFound(_)) => {
                 // User-visible task error: charge nothing measurable (the
                 // body already failed) and retry like Hadoop would.
                 attempt_stats.push(TaskStats::default());
+                attempt_failures.push(Some(FailureCause::UserError(e.to_string()).label()));
                 cluster.metrics.record_failures(1);
                 continue;
             }
@@ -84,13 +91,24 @@ fn run_with_retries<T>(
             // The attempt ran to completion but its node "died": the work
             // is lost and charged, and the task is rescheduled.
             attempt_stats.push(stats);
+            attempt_failures.push(Some(FailureCause::Injected.label()));
             cluster.metrics.record_failures(1);
             continue;
         }
         attempt_stats.push(stats);
-        return Ok(TaskRun { attempt_stats, payload });
+        attempt_failures.push(None);
+        return Ok(TaskRun {
+            attempt_stats,
+            attempt_failures,
+            payload,
+        });
     }
-    Err(MrError::TaskFailed { job: job.to_string(), phase, task: task_index, attempts: max_attempts })
+    Err(MrError::TaskFailed {
+        job: job.to_string(),
+        phase,
+        task: task_index,
+        attempts: max_attempts,
+    })
 }
 
 /// Builds the wave's task-duration list: round 0 attempts for every task in
@@ -110,10 +128,95 @@ fn wave_durations(runs: &[Vec<TaskStats>], cluster: &Cluster) -> Vec<f64> {
     out
 }
 
+/// Emits one trace event per task attempt of a scheduled wave: the flat
+/// scheduling order of [`wave_durations`] is walked again so attempt `i`
+/// picks up `schedule.placements[i]` / `schedule.intervals[i]`, offset to
+/// `base_secs` on the cluster clock.
+#[allow(clippy::too_many_arguments)]
+fn trace_wave(
+    cluster: &Cluster,
+    job: &str,
+    job_seq: u64,
+    phase: TracePhase,
+    stats_lists: &[Vec<TaskStats>],
+    failure_lists: &[Vec<Option<String>>],
+    schedule: &WaveSchedule,
+    base_secs: f64,
+) {
+    let cost = &cluster.config.cost;
+    let max_rounds = stats_lists.iter().map(Vec::len).max().unwrap_or(0);
+    let mut events = Vec::new();
+    let mut flat = 0usize;
+    for round in 0..max_rounds {
+        for (task, attempts) in stats_lists.iter().enumerate() {
+            let Some(stats) = attempts.get(round) else {
+                continue;
+            };
+            let (start, end) = schedule.intervals.get(flat).copied().unwrap_or((0.0, 0.0));
+            let (cpu_sim, io_sim) = cost.task_secs_split(stats);
+            events.push(TaskEvent {
+                job: job.to_string(),
+                job_seq: Some(job_seq),
+                phase,
+                task,
+                attempt: round as u32,
+                node: schedule.placements.get(flat).copied(),
+                sim_start_secs: base_secs + start,
+                sim_end_secs: base_secs + end,
+                cpu_secs: stats.cpu.as_secs_f64(),
+                kernel_secs: stats.kernel.as_secs_f64(),
+                cpu_sim_secs: cpu_sim,
+                io_sim_secs: io_sim,
+                read_bytes: stats.read_bytes,
+                write_bytes: stats.write_bytes,
+                shuffle_bytes: stats.shuffle_bytes,
+                failure: failure_lists
+                    .get(task)
+                    .and_then(|f| f.get(round))
+                    .cloned()
+                    .flatten(),
+            });
+            flat += 1;
+        }
+    }
+    cluster.trace.record_batch(events);
+}
+
+/// Emits a job-level span (launch or shuffle) on the driver track.
+fn trace_span(
+    cluster: &Cluster,
+    job: &str,
+    job_seq: u64,
+    phase: TracePhase,
+    start_secs: f64,
+    end_secs: f64,
+    shuffle_bytes: u64,
+) {
+    cluster.trace.record(TaskEvent {
+        job: job.to_string(),
+        job_seq: Some(job_seq),
+        phase,
+        task: 0,
+        attempt: 0,
+        node: None,
+        sim_start_secs: start_secs,
+        sim_end_secs: end_secs,
+        cpu_secs: 0.0,
+        kernel_secs: 0.0,
+        cpu_sim_secs: 0.0,
+        io_sim_secs: 0.0,
+        read_bytes: 0,
+        write_bytes: 0,
+        shuffle_bytes,
+        failure: None,
+    });
+}
+
 /// Executes a full map+shuffle+reduce job on the cluster.
 ///
 /// Returns the reduce outputs (sorted by partition, then key) and the
 /// job report. Metrics and simulated time accumulate on the cluster.
+#[allow(clippy::type_complexity)]
 pub fn run_job<M, R>(
     cluster: &Cluster,
     spec: &JobSpec<M::Key, M::Value>,
@@ -131,7 +234,10 @@ where
             spec.name
         )));
     }
-    cluster.metrics.record_job();
+    let job_seq = cluster.metrics.record_job();
+    // Jobs run one after another: the cluster clock at entry is this
+    // job's simulated start time (its trace events are offset from it).
+    let job_t0 = cluster.sim_secs();
     let num_tasks = inputs.len();
 
     // ---- Map wave -------------------------------------------------------
@@ -188,11 +294,13 @@ where
     cluster.metrics.record_map_tasks(num_tasks as u64);
 
     // ---- Shuffle ---------------------------------------------------------
-    let mut partitions: Vec<Vec<(M::Key, M::Value)>> = (0..spec.num_reducers).map(|_| Vec::new()).collect();
+    let mut partitions: Vec<Vec<(M::Key, M::Value)>> =
+        (0..spec.num_reducers).map(|_| Vec::new()).collect();
     let mut shuffle_bytes = 0u64;
     let mut map_stats_total = TaskStats::default();
     let mut lost_stats = TaskStats::default();
     let mut map_attempt_lists = Vec::with_capacity(map_runs.len());
+    let mut map_failure_lists = Vec::with_capacity(map_runs.len());
     let mut user_counters: std::collections::BTreeMap<String, u64> = Default::default();
     for run in map_runs {
         let (lost, ok) = run.attempt_stats.split_at(run.attempt_stats.len() - 1);
@@ -210,6 +318,7 @@ where
             partitions[p].push((k, v));
         }
         map_attempt_lists.push(run.attempt_stats);
+        map_failure_lists.push(run.attempt_failures);
     }
     cluster.metrics.record_shuffle_bytes(shuffle_bytes);
     // Sort each partition by key (the framework's sort phase).
@@ -239,14 +348,15 @@ where
                     }
                     let values: Vec<M::Value> =
                         pairs[i..j].iter().map(|(_, v)| v.clone()).collect();
-                    let out = reducer.reduce(key, &values, &mut ctx).map_err(|e| {
-                        MrError::UserTask {
-                            job: spec.name.clone(),
-                            phase: Phase::Reduce,
-                            task: p,
-                            message: e.to_string(),
-                        }
-                    })?;
+                    let out =
+                        reducer
+                            .reduce(key, &values, &mut ctx)
+                            .map_err(|e| MrError::UserTask {
+                                job: spec.name.clone(),
+                                phase: Phase::Reduce,
+                                task: p,
+                                message: e.to_string(),
+                            })?;
                     outputs.push((key.clone(), out));
                     i = j;
                 }
@@ -255,10 +365,13 @@ where
             })
         })
         .collect::<Result<_>>()?;
-    cluster.metrics.record_reduce_tasks(spec.num_reducers as u64);
+    cluster
+        .metrics
+        .record_reduce_tasks(spec.num_reducers as u64);
 
     let mut reduce_stats_total = TaskStats::default();
     let mut reduce_attempt_lists = Vec::with_capacity(reduce_results.len());
+    let mut reduce_failure_lists = Vec::with_capacity(reduce_results.len());
     let mut outputs = Vec::new();
     for run in reduce_results {
         let (lost, ok) = run.attempt_stats.split_at(run.attempt_stats.len() - 1);
@@ -272,6 +385,7 @@ where
         }
         outputs.extend(outs);
         reduce_attempt_lists.push(run.attempt_stats);
+        reduce_failure_lists.push(run.attempt_failures);
     }
 
     // ---- Simulated time ---------------------------------------------------
@@ -290,12 +404,60 @@ where
         cfg.speculative_execution,
     );
     let shuffle_secs = cfg.cost.shuffle_secs(shuffle_bytes, cfg.nodes);
-    let sim_secs =
-        cfg.cost.job_launch_secs + map_wave.makespan_secs + shuffle_secs + reduce_wave.makespan_secs;
+    let sim_secs = cfg.cost.job_launch_secs
+        + map_wave.makespan_secs
+        + shuffle_secs
+        + reduce_wave.makespan_secs;
     cluster.metrics.add_sim_secs(sim_secs);
+
+    // ---- Trace events -----------------------------------------------------
+    if cluster.trace.is_enabled() {
+        let launch_end = job_t0 + cfg.cost.job_launch_secs;
+        let map_end = launch_end + map_wave.makespan_secs;
+        let shuffle_end = map_end + shuffle_secs;
+        trace_span(
+            cluster,
+            &spec.name,
+            job_seq,
+            TracePhase::Launch,
+            job_t0,
+            launch_end,
+            0,
+        );
+        trace_wave(
+            cluster,
+            &spec.name,
+            job_seq,
+            TracePhase::Map,
+            &map_attempt_lists,
+            &map_failure_lists,
+            &map_wave,
+            launch_end,
+        );
+        trace_span(
+            cluster,
+            &spec.name,
+            job_seq,
+            TracePhase::Shuffle,
+            map_end,
+            shuffle_end,
+            shuffle_bytes,
+        );
+        trace_wave(
+            cluster,
+            &spec.name,
+            job_seq,
+            TracePhase::Reduce,
+            &reduce_attempt_lists,
+            &reduce_failure_lists,
+            &reduce_wave,
+            shuffle_end,
+        );
+    }
 
     let report = JobReport {
         name: spec.name.clone(),
+        job_seq,
         map_tasks: num_tasks,
         reduce_tasks: spec.num_reducers,
         failures: (map_attempt_lists.iter().chain(&reduce_attempt_lists))
@@ -323,7 +485,8 @@ pub fn run_map_only<M>(
 where
     M: Mapper,
 {
-    cluster.metrics.record_job();
+    let job_seq = cluster.metrics.record_job();
+    let job_t0 = cluster.sim_secs();
     let num_tasks = inputs.len();
     let map_runs: Vec<TaskRun<std::collections::BTreeMap<String, u64>>> = inputs
         .par_iter()
@@ -353,6 +516,7 @@ where
     let mut stats_total = TaskStats::default();
     let mut lost_stats = TaskStats::default();
     let mut attempt_lists = Vec::with_capacity(map_runs.len());
+    let mut failure_lists = Vec::with_capacity(map_runs.len());
     let mut user_counters: std::collections::BTreeMap<String, u64> = Default::default();
     for run in map_runs {
         let (lost, ok) = run.attempt_stats.split_at(run.attempt_stats.len() - 1);
@@ -364,6 +528,7 @@ where
             *user_counters.entry(name).or_default() += v;
         }
         attempt_lists.push(run.attempt_stats);
+        failure_lists.push(run.attempt_failures);
     }
 
     let cfg = &cluster.config;
@@ -376,8 +541,32 @@ where
     let sim_secs = cfg.cost.job_launch_secs + wave.makespan_secs;
     cluster.metrics.add_sim_secs(sim_secs);
 
+    if cluster.trace.is_enabled() {
+        let launch_end = job_t0 + cfg.cost.job_launch_secs;
+        trace_span(
+            cluster,
+            &spec.name,
+            job_seq,
+            TracePhase::Launch,
+            job_t0,
+            launch_end,
+            0,
+        );
+        trace_wave(
+            cluster,
+            &spec.name,
+            job_seq,
+            TracePhase::Map,
+            &attempt_lists,
+            &failure_lists,
+            &wave,
+            launch_end,
+        );
+    }
+
     Ok(JobReport {
         name: spec.name.clone(),
+        job_seq,
         map_tasks: num_tasks,
         reduce_tasks: 0,
         failures: attempt_lists.iter().map(|a| a.len() as u32 - 1).sum(),
@@ -547,7 +736,12 @@ mod tests {
         let spec = JobSpec::new("control", 1);
         let err = run_job(&cluster, &spec, &ControlMapper, &ControlReducer, &[0]).unwrap_err();
         match err {
-            MrError::TaskFailed { phase, task, attempts, .. } => {
+            MrError::TaskFailed {
+                phase,
+                task,
+                attempts,
+                ..
+            } => {
                 assert_eq!(phase, Phase::Map);
                 assert_eq!(task, 0);
                 assert_eq!(attempts, 4);
@@ -602,8 +796,7 @@ mod tests {
     fn empty_input_job() {
         let cluster = test_cluster(2);
         let spec = JobSpec::new("empty", 1);
-        let (out, report) =
-            run_job(&cluster, &spec, &ControlMapper, &ControlReducer, &[]).unwrap();
+        let (out, report) = run_job(&cluster, &spec, &ControlMapper, &ControlReducer, &[]).unwrap();
         assert!(out.is_empty());
         assert_eq!(report.map_tasks, 0);
         // Unit model has no launch cost; only the (empty) reducer's
@@ -614,7 +807,10 @@ mod tests {
     #[test]
     fn launch_overhead_is_charged_per_job() {
         let mut cfg = ClusterConfig::medium(2);
-        cfg.cost = CostModel { job_launch_secs: 5.0, ..CostModel::unit_for_tests() };
+        cfg.cost = CostModel {
+            job_launch_secs: 5.0,
+            ..CostModel::unit_for_tests()
+        };
         let cluster = Cluster::new(cfg);
         let spec: JobSpec<usize, usize> = JobSpec::new("a", 0);
         let r1 = run_map_only(&cluster, &spec, &ControlMapper, &[0]).unwrap();

@@ -20,6 +20,11 @@ pub struct WaveSchedule {
     pub slot_busy_secs: Vec<f64>,
     /// Node index each task (in input order) ran on.
     pub placements: Vec<usize>,
+    /// Simulated `(start, end)` of each task (in input order), relative
+    /// to the wave start — the placements the trace log renders as spans.
+    /// Speculative backup copies are not separately listed; intervals
+    /// reflect each task's primary placement.
+    pub intervals: Vec<(f64, f64)>,
 }
 
 impl WaveSchedule {
@@ -60,7 +65,10 @@ pub fn schedule_wave_hetero(
     let slots_per_node = slots_per_node.max(1);
     let slot_count = nodes * slots_per_node;
     let speed = |slot: usize| -> f64 {
-        let s = node_speeds.get(slot / slots_per_node).copied().unwrap_or(1.0);
+        let s = node_speeds
+            .get(slot / slots_per_node)
+            .copied()
+            .unwrap_or(1.0);
         if s > 0.0 {
             s
         } else {
@@ -69,6 +77,7 @@ pub fn schedule_wave_hetero(
     };
     let mut free_at = vec![0.0_f64; slot_count];
     let mut placements = Vec::with_capacity(task_secs.len());
+    let mut intervals = Vec::with_capacity(task_secs.len());
     let mut completions = Vec::with_capacity(task_secs.len());
     for &t in task_secs {
         // Earliest-free slot (speed-blind; ties to the lowest index).
@@ -77,8 +86,10 @@ pub fn schedule_wave_hetero(
             .enumerate()
             .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
             .expect("slot_count >= 1");
+        let start = free_at[slot];
         free_at[slot] += t / speed(slot);
         placements.push(slot / slots_per_node);
+        intervals.push((start, free_at[slot]));
         completions.push((slot, free_at[slot], t));
     }
     let mut makespan = free_at.iter().fold(0.0_f64, |m, &v| m.max(v));
@@ -107,7 +118,12 @@ pub fn schedule_wave_hetero(
             }
         }
     }
-    WaveSchedule { makespan_secs: makespan, slot_busy_secs: free_at, placements }
+    WaveSchedule {
+        makespan_secs: makespan,
+        slot_busy_secs: free_at,
+        placements,
+        intervals,
+    }
 }
 
 #[cfg(test)]
@@ -207,7 +223,11 @@ mod tests {
         let off = schedule_wave_hetero(&tasks, &speeds, 1, false);
         assert!((off.makespan_secs - 16.0).abs() < 1e-12);
         let on = schedule_wave_hetero(&tasks, &speeds, 1, true);
-        assert!((on.makespan_secs - 8.0).abs() < 1e-12, "got {}", on.makespan_secs);
+        assert!(
+            (on.makespan_secs - 8.0).abs() < 1e-12,
+            "got {}",
+            on.makespan_secs
+        );
     }
 
     #[test]
@@ -228,6 +248,35 @@ mod tests {
         // ...and speculation rescues it on the fast node.
         let s = schedule_wave_hetero(&[3.0], &[0.5, 2.0, 1.0], 1, true);
         assert!((s.makespan_secs - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intervals_match_placements_and_makespan() {
+        let tasks = vec![3.0, 1.0, 2.0, 4.0, 1.0];
+        let s = schedule_wave(&tasks, 2, 1);
+        assert_eq!(s.intervals.len(), tasks.len());
+        for (i, &(start, end)) in s.intervals.iter().enumerate() {
+            assert!(start >= 0.0 && end >= start);
+            assert!(end <= s.makespan_secs + 1e-12);
+            // Duration equals the task's cost at nominal speed.
+            assert!((end - start - tasks[i]).abs() < 1e-12);
+        }
+        // Tasks on the same node never overlap.
+        for i in 0..tasks.len() {
+            for j in (i + 1)..tasks.len() {
+                if s.placements[i] == s.placements[j] {
+                    let (a0, a1) = s.intervals[i];
+                    let (b0, b1) = s.intervals[j];
+                    assert!(a1 <= b0 + 1e-12 || b1 <= a0 + 1e-12, "overlap on node");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intervals_scale_with_node_speed() {
+        let s = schedule_wave_hetero(&[4.0], &[0.5], 1, false);
+        assert_eq!(s.intervals, vec![(0.0, 8.0)]);
     }
 
     #[test]

@@ -110,6 +110,13 @@ impl CostModel {
 
     /// Simulated seconds to execute one task on one node.
     pub fn task_secs(&self, stats: &TaskStats) -> f64 {
+        let (cpu, io) = self.task_secs_split(stats);
+        cpu + io
+    }
+
+    /// Simulated `(compute, io)` seconds for one task — the attribution
+    /// the trace log's CPU-vs-I/O skew analytics are built on.
+    pub fn task_secs_split(&self, stats: &TaskStats) -> (f64, f64) {
         let measured = stats.cpu.as_secs_f64();
         // Arithmetic kernels (reported explicitly by the task) and the
         // remaining byte-proportional work extrapolate differently.
@@ -119,7 +126,7 @@ impl CostModel {
             / f64::from(self.cores_per_node);
         let read = stats.read_bytes as f64 / self.disk_read_bw;
         let write = stats.write_bytes as f64 * f64::from(self.replication) / self.disk_write_bw;
-        cpu + read + write
+        (cpu, read + write)
     }
 
     /// Simulated seconds for the shuffle of `bytes` across `m0` nodes:
@@ -203,7 +210,10 @@ mod tests {
         let large = CostModel::ec2_large();
         assert_eq!(med.cores_per_node, 1);
         assert_eq!(large.cores_per_node, 2);
-        assert!(large.net_bw < med.net_bw, "paper observed slower copies on large instances");
+        assert!(
+            large.net_bw < med.net_bw,
+            "paper observed slower copies on large instances"
+        );
         assert!(med.job_launch_secs > 0.0);
         assert_eq!(CostModel::default(), med);
     }

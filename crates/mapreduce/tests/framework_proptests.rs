@@ -20,11 +20,7 @@ impl Mapper for WcMapper {
     type Input = String;
     type Key = String;
     type Value = u64;
-    fn map(
-        &self,
-        input: &String,
-        ctx: &mut MapContext<String, u64>,
-    ) -> Result<(), MrError> {
+    fn map(&self, input: &String, ctx: &mut MapContext<String, u64>) -> Result<(), MrError> {
         let data = ctx.read(input)?;
         for w in String::from_utf8_lossy(&data).split_whitespace() {
             ctx.emit(w.to_string(), 1);

@@ -139,7 +139,10 @@ impl Matrix {
         let bottom = q.a3.rows();
         let left = q.a1.cols();
         let right = q.a2.cols();
-        if q.a2.rows() != top || q.a4.rows() != bottom || q.a3.cols() != left || q.a4.cols() != right
+        if q.a2.rows() != top
+            || q.a4.rows() != bottom
+            || q.a3.cols() != left
+            || q.a4.cols() != right
         {
             return Err(MatrixError::DimensionMismatch {
                 op: "from_quadrants",
@@ -280,7 +283,10 @@ mod tests {
         assert!(Matrix::zeros(2, 3).split_quadrants(1).is_err());
         assert!(sample().split_quadrants(7).is_err());
         let q = sample().split_quadrants(2).unwrap();
-        let bad = Quadrants { a2: Matrix::zeros(3, 4), ..q };
+        let bad = Quadrants {
+            a2: Matrix::zeros(3, 4),
+            ..q
+        };
         assert!(Matrix::from_quadrants(&bad).is_err());
     }
 
@@ -316,7 +322,10 @@ mod tests {
     #[test]
     fn even_ranges_cover_everything() {
         assert_eq!(even_ranges(10, 4), vec![(0, 3), (3, 6), (6, 8), (8, 10)]);
-        assert_eq!(even_ranges(3, 5), vec![(0, 1), (1, 2), (2, 3), (3, 3), (3, 3)]);
+        assert_eq!(
+            even_ranges(3, 5),
+            vec![(0, 1), (1, 2), (2, 3), (3, 3), (3, 3)]
+        );
         let r = even_ranges(0, 3);
         assert!(r.iter().all(|&(a, b)| a == b));
     }

@@ -23,12 +23,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the identity matrix of order `n`.
@@ -71,7 +79,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: r, cols: c, data })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Builds an `n x n` matrix from a function of `(row, col)`.
@@ -126,7 +138,9 @@ impl Matrix {
         if self.is_square() {
             Ok(self.rows)
         } else {
-            Err(MatrixError::NotSquare { shape: self.shape() })
+            Err(MatrixError::NotSquare {
+                shape: self.shape(),
+            })
         }
     }
 
@@ -161,7 +175,9 @@ impl Matrix {
 
     /// Copy column `j` into a new vector.
     pub fn col(&self, j: usize) -> Vec<f64> {
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Iterate over rows as slices.
@@ -286,8 +302,17 @@ impl Add<&Matrix> for &Matrix {
 
     fn add(self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "matrix addition shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -295,9 +320,22 @@ impl Sub<&Matrix> for &Matrix {
     type Output = Matrix;
 
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix subtraction shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -306,7 +344,11 @@ impl Neg for &Matrix {
 
     fn neg(self) -> Matrix {
         let data = self.data.iter().map(|a| -a).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -440,7 +482,10 @@ mod tests {
     fn debug_format_is_bounded() {
         let m = Matrix::zeros(100, 100);
         let s = format!("{m:?}");
-        assert!(s.len() < 2500, "debug output should truncate large matrices");
+        assert!(
+            s.len() < 2500,
+            "debug output should truncate large matrices"
+        );
         assert!(s.contains("Matrix 100x100"));
     }
 }

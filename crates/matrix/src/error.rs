@@ -52,12 +52,24 @@ impl fmt::Display for MatrixError {
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
             MatrixError::NotSquare { shape } => {
-                write!(f, "operation requires a square matrix, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "operation requires a square matrix, got {}x{}",
+                    shape.0, shape.1
+                )
             }
             MatrixError::Singular { step } => {
-                write!(f, "matrix is singular (zero pivot at elimination step {step})")
+                write!(
+                    f,
+                    "matrix is singular (zero pivot at elimination step {step})"
+                )
             }
-            MatrixError::OutOfBounds { op, rows, cols, shape } => write!(
+            MatrixError::OutOfBounds {
+                op,
+                rows,
+                cols,
+                shape,
+            } => write!(
                 f,
                 "block out of bounds in {op}: rows {}..{} cols {}..{} of a {}x{} matrix",
                 rows.0, rows.1, cols.0, cols.1, shape.0, shape.1
@@ -75,7 +87,11 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = MatrixError::DimensionMismatch { op: "mul", lhs: (2, 3), rhs: (4, 5) };
+        let e = MatrixError::DimensionMismatch {
+            op: "mul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
         assert_eq!(e.to_string(), "dimension mismatch in mul: 2x3 vs 4x5");
 
         let e = MatrixError::NotSquare { shape: (2, 3) };
@@ -84,7 +100,12 @@ mod tests {
         let e = MatrixError::Singular { step: 7 };
         assert!(e.to_string().contains("step 7"));
 
-        let e = MatrixError::OutOfBounds { op: "block", rows: (0, 9), cols: (0, 2), shape: (4, 4) };
+        let e = MatrixError::OutOfBounds {
+            op: "block",
+            rows: (0, 9),
+            cols: (0, 2),
+            shape: (4, 4),
+        };
         assert!(e.to_string().contains("rows 0..9"));
 
         let e = MatrixError::Codec("truncated".into());

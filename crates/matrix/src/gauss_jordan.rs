@@ -20,7 +20,11 @@ pub fn invert_gauss_jordan(a: &Matrix) -> Result<Matrix> {
     let mut left = a.clone();
     let mut right = Matrix::identity(n);
     let scale = a.as_slice().iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
-    let tol = if scale == 0.0 { f64::MIN_POSITIVE } else { scale * f64::EPSILON * n as f64 };
+    let tol = if scale == 0.0 {
+        f64::MIN_POSITIVE
+    } else {
+        scale * f64::EPSILON * n as f64
+    };
 
     // Forward phase: reduce the left half to upper triangular with unit
     // diagonal (the first n steps of Equation 1).
@@ -119,9 +123,9 @@ mod tests {
         let a = random_invertible(32, 9);
         let gj = invert_gauss_jordan(&a).unwrap();
         let f = lu_decompose(&a).unwrap();
-        let via_lu = f
-            .perm
-            .apply_cols(&(&invert_upper(&f.upper()).unwrap() * &invert_lower(&f.unit_lower()).unwrap()));
+        let via_lu = f.perm.apply_cols(
+            &(&invert_upper(&f.upper()).unwrap() * &invert_lower(&f.unit_lower()).unwrap()),
+        );
         assert!(gj.approx_eq(&via_lu, 1e-8));
     }
 
@@ -152,6 +156,9 @@ mod tests {
     fn zero_pivot_column_requires_swap() {
         let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
         let inv = invert_gauss_jordan(&a).unwrap();
-        assert!(inv.approx_eq(&a, 1e-12), "permutation matrix is its own inverse");
+        assert!(
+            inv.approx_eq(&a, 1e-12),
+            "permutation matrix is its own inverse"
+        );
     }
 }

@@ -95,7 +95,9 @@ pub fn encode_text(m: &Matrix) -> String {
 /// Deserializes a matrix from the text format.
 pub fn decode_text(text: &str) -> Result<Matrix> {
     let mut lines = text.lines();
-    let header = lines.next().ok_or_else(|| MatrixError::Codec("empty text matrix".into()))?;
+    let header = lines
+        .next()
+        .ok_or_else(|| MatrixError::Codec("empty text matrix".into()))?;
     let mut parts = header.split_whitespace();
     let rows: usize = parts
         .next()
@@ -111,7 +113,9 @@ pub fn decode_text(text: &str) -> Result<Matrix> {
             continue;
         }
         if i >= rows {
-            return Err(MatrixError::Codec(format!("too many rows: expected {rows}")));
+            return Err(MatrixError::Codec(format!(
+                "too many rows: expected {rows}"
+            )));
         }
         for tok in line.split_whitespace() {
             let v: f64 = tok

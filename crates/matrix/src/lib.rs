@@ -35,12 +35,12 @@ pub mod error;
 pub mod gauss_jordan;
 pub mod io;
 pub mod lu;
-pub mod qr;
-pub mod refine;
 pub mod multiply;
 pub mod norms;
 pub mod permutation;
+pub mod qr;
 pub mod random;
+pub mod refine;
 pub mod triangular;
 
 pub use dense::Matrix;

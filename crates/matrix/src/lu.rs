@@ -81,7 +81,11 @@ pub fn lu_decompose_in_place(a: &mut Matrix) -> Result<Permutation> {
     // Relative singularity threshold: pivots this far below the matrix
     // magnitude are treated as zero.
     let scale = a.as_slice().iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
-    let tol = if scale == 0.0 { f64::MIN_POSITIVE } else { scale * f64::EPSILON * n as f64 };
+    let tol = if scale == 0.0 {
+        f64::MIN_POSITIVE
+    } else {
+        scale * f64::EPSILON * n as f64
+    };
 
     for i in 0..n {
         // Select the row with the maximum |[A]_ji| among rows i..n (line 3).
@@ -134,7 +138,11 @@ pub fn lu_decompose_no_pivot(a: &Matrix) -> Result<LuFactors> {
     let n = a.order()?;
     let mut lu = a.clone();
     let scale = a.as_slice().iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
-    let tol = if scale == 0.0 { f64::MIN_POSITIVE } else { scale * f64::EPSILON * n as f64 };
+    let tol = if scale == 0.0 {
+        f64::MIN_POSITIVE
+    } else {
+        scale * f64::EPSILON * n as f64
+    };
 
     for i in 0..n {
         if lu[(i, i)].abs() < tol {
@@ -157,7 +165,10 @@ pub fn lu_decompose_no_pivot(a: &Matrix) -> Result<LuFactors> {
             }
         }
     }
-    Ok(LuFactors { lu, perm: Permutation::identity(n) })
+    Ok(LuFactors {
+        lu,
+        perm: Permutation::identity(n),
+    })
 }
 
 #[cfg(test)]
@@ -167,12 +178,7 @@ mod tests {
 
     #[test]
     fn known_3x3_decomposition() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, 1.0],
-            &[4.0, 3.0, 3.0],
-            &[8.0, 7.0, 9.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, 3.0, 3.0], &[8.0, 7.0, 9.0]]).unwrap();
         let f = lu_decompose(&a).unwrap();
         let pa = f.perm.apply_rows(&a);
         assert!(f.reconstruct().approx_eq(&pa, 1e-12));
@@ -228,13 +234,11 @@ mod tests {
     #[test]
     fn singular_matrix_is_detected() {
         // Two identical rows.
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[1.0, 2.0, 3.0],
-            &[4.0, 5.0, 6.0],
-        ])
-        .unwrap();
-        assert!(matches!(lu_decompose(&a), Err(MatrixError::Singular { .. })));
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert!(matches!(
+            lu_decompose(&a),
+            Err(MatrixError::Singular { .. })
+        ));
         let z = Matrix::zeros(4, 4);
         assert!(lu_decompose(&z).is_err());
     }

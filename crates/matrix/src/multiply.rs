@@ -18,6 +18,10 @@
 //! * [`sub_mul`] — fused `C - A·B` (the reducer update), avoiding a
 //!   temporary.
 
+// The kernels below index rows explicitly so the access pattern under
+// discussion (row-major vs column-strided) stays visible in the code.
+#![allow(clippy::needless_range_loop)]
+
 use rayon::prelude::*;
 
 use crate::dense::Matrix;
@@ -31,7 +35,11 @@ pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
 
 fn check_mul(a: &Matrix, b: &Matrix, op: &'static str) -> Result<()> {
     if a.cols() != b.rows() {
-        return Err(MatrixError::DimensionMismatch { op, lhs: a.shape(), rhs: b.shape() });
+        return Err(MatrixError::DimensionMismatch {
+            op,
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
     }
     Ok(())
 }
@@ -307,11 +315,15 @@ mod tests {
         let b = random_matrix(21, 9, 3);
         let reference = mul_naive(&a, &b).unwrap();
         assert!(mul_ijk(&a, &b).unwrap().approx_eq(&reference, TOL));
-        assert!(mul_transposed(&a, &b.transpose()).unwrap().approx_eq(&reference, TOL));
+        assert!(mul_transposed(&a, &b.transpose())
+            .unwrap()
+            .approx_eq(&reference, TOL));
         assert!(mul_blocked(&a, &b, 4).unwrap().approx_eq(&reference, TOL));
         assert!(mul_blocked(&a, &b, 64).unwrap().approx_eq(&reference, TOL));
         assert!(mul_parallel(&a, &b).unwrap().approx_eq(&reference, TOL));
-        assert!(mul_parallel_transposed(&a, &b.transpose()).unwrap().approx_eq(&reference, TOL));
+        assert!(mul_parallel_transposed(&a, &b.transpose())
+            .unwrap()
+            .approx_eq(&reference, TOL));
     }
 
     #[test]

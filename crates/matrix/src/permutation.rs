@@ -20,7 +20,9 @@ pub struct Permutation {
 impl Permutation {
     /// The identity permutation on `n` elements.
     pub fn identity(n: usize) -> Self {
-        Permutation { s: (0..n).collect() }
+        Permutation {
+            s: (0..n).collect(),
+        }
     }
 
     /// Builds a permutation from an `S` array; panics (debug) if the array

@@ -33,7 +33,11 @@ pub fn qr_decompose(a: &Matrix) -> Result<QrFactors> {
     let mut q = Matrix::zeros(n, n);
     let mut r = Matrix::zeros(n, n);
     let scale = a.as_slice().iter().fold(0.0_f64, |m, &x| m.max(x.abs()));
-    let tol = if scale == 0.0 { f64::MIN_POSITIVE } else { scale * f64::EPSILON * n as f64 };
+    let tol = if scale == 0.0 {
+        f64::MIN_POSITIVE
+    } else {
+        scale * f64::EPSILON * n as f64
+    };
 
     for j in 0..n {
         // The sequential dependency: q_j needs every earlier q_k.

@@ -112,8 +112,13 @@ mod tests {
     fn well_conditioned_is_diagonally_dominant() {
         let m = random_well_conditioned(15, 2);
         for i in 0..15 {
-            let off: f64 =
-                m.row(i).iter().enumerate().filter(|&(j, _)| j != i).map(|(_, v)| v.abs()).sum();
+            let off: f64 = m
+                .row(i)
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, v)| v.abs())
+                .sum();
             assert!(m[(i, i)].abs() > off);
         }
     }

@@ -29,15 +29,14 @@ pub struct Refinement {
 
 /// Refines `x ≈ a^-1` with up to `max_steps` Newton–Schulz steps,
 /// stopping early once the residual reaches `target` or stops improving.
-pub fn refine_inverse(
-    a: &Matrix,
-    x: &Matrix,
-    max_steps: usize,
-    target: f64,
-) -> Result<Refinement> {
+pub fn refine_inverse(a: &Matrix, x: &Matrix, max_steps: usize, target: f64) -> Result<Refinement> {
     let n = a.order()?;
     if x.shape() != (n, n) {
-        return Err(MatrixError::DimensionMismatch { op: "refine", lhs: a.shape(), rhs: x.shape() });
+        return Err(MatrixError::DimensionMismatch {
+            op: "refine",
+            lhs: a.shape(),
+            rhs: x.shape(),
+        });
     }
     let mut current = x.clone();
     let mut history = vec![inversion_residual(a, &current)?];
@@ -62,7 +61,11 @@ pub fn refine_inverse(
         history.push(res);
         steps += 1;
     }
-    Ok(Refinement { inverse: current, residual_history: history, steps })
+    Ok(Refinement {
+        inverse: current,
+        residual_history: history,
+        steps,
+    })
 }
 
 #[cfg(test)]
@@ -74,8 +77,9 @@ mod tests {
 
     fn rough_inverse(a: &Matrix) -> Matrix {
         let f = lu_decompose(a).unwrap();
-        f.perm
-            .apply_cols(&(&invert_upper(&f.upper()).unwrap() * &invert_lower(&f.unit_lower()).unwrap()))
+        f.perm.apply_cols(
+            &(&invert_upper(&f.upper()).unwrap() * &invert_lower(&f.unit_lower()).unwrap()),
+        )
     }
 
     #[test]

@@ -317,7 +317,9 @@ mod tests {
         let u = random_upper(14, 77);
         let u_t = u.transpose();
         let inv_t = invert_upper_transposed(&u_t).unwrap();
-        assert!(inv_t.transpose().approx_eq(&invert_upper(&u).unwrap(), 1e-10));
+        assert!(inv_t
+            .transpose()
+            .approx_eq(&invert_upper(&u).unwrap(), 1e-10));
     }
 
     #[test]
@@ -406,17 +408,29 @@ mod tests {
         let pa = f.perm.apply_rows(&a);
 
         let k = 5;
-        let l1 = l.block(crate::block::BlockRange::new((0, k), (0, k))).unwrap();
-        let u1 = u.block(crate::block::BlockRange::new((0, k), (0, k))).unwrap();
-        let pa2 = pa.block(crate::block::BlockRange::new((0, k), (k, 12))).unwrap();
-        let pa3 = pa.block(crate::block::BlockRange::new((k, 12), (0, k))).unwrap();
+        let l1 = l
+            .block(crate::block::BlockRange::new((0, k), (0, k)))
+            .unwrap();
+        let u1 = u
+            .block(crate::block::BlockRange::new((0, k), (0, k)))
+            .unwrap();
+        let pa2 = pa
+            .block(crate::block::BlockRange::new((0, k), (k, 12)))
+            .unwrap();
+        let pa3 = pa
+            .block(crate::block::BlockRange::new((k, 12), (0, k)))
+            .unwrap();
 
         let u2 = solve_unit_lower_system(&l1, &pa2).unwrap();
-        let expect_u2 = u.block(crate::block::BlockRange::new((0, k), (k, 12))).unwrap();
+        let expect_u2 = u
+            .block(crate::block::BlockRange::new((0, k), (k, 12)))
+            .unwrap();
         assert!(u2.approx_eq(&expect_u2, TOL));
 
         let l2 = solve_upper_system_right(&u1, &pa3).unwrap();
-        let expect_l2 = l.block(crate::block::BlockRange::new((k, 12), (0, k))).unwrap();
+        let expect_l2 = l
+            .block(crate::block::BlockRange::new((k, 12), (0, k)))
+            .unwrap();
         assert!(l2.approx_eq(&expect_l2, TOL));
     }
 

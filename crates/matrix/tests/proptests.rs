@@ -11,8 +11,7 @@ use mrinv_matrix::{Matrix, Permutation};
 use proptest::prelude::*;
 
 fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_dim, 1..=max_dim, any::<u64>())
-        .prop_map(|(r, c, seed)| random_matrix(r, c, seed))
+    (1..=max_dim, 1..=max_dim, any::<u64>()).prop_map(|(r, c, seed)| random_matrix(r, c, seed))
 }
 
 fn arb_perm(max_n: usize) -> impl Strategy<Value = Permutation> {

@@ -68,8 +68,8 @@ pub fn price(
 
     // Disk: read the input once, write the result once, spread across m0.
     let n2_bytes = (n * n * 8) as f64;
-    let disk_secs = n2_bytes / (cost.disk_read_bw * m0 as f64)
-        + n2_bytes / (cost.disk_write_bw * m0 as f64);
+    let disk_secs =
+        n2_bytes / (cost.disk_read_bw * m0 as f64) + n2_bytes / (cost.disk_write_bw * m0 as f64);
 
     // Network: the paper-model volume at *single-link* bandwidth. The
     // right-looking factorization's panel broadcasts sit on the critical
@@ -141,9 +141,15 @@ mod tests {
         let t64 = secs(64);
         assert!(t64 < t4, "early scaling helps: {t4} -> {t64}");
         let t4096 = secs(4096);
-        assert!(t4096 > t64, "network eventually dominates: {t64} -> {t4096}");
+        assert!(
+            t4096 > t64,
+            "network eventually dominates: {t64} -> {t4096}"
+        );
         let speedup = t4 / t64;
-        assert!(speedup < 16.0, "16x nodes must yield sub-ideal {speedup:.1}x speedup");
+        assert!(
+            speedup < 16.0,
+            "16x nodes must yield sub-ideal {speedup:.1}x speedup"
+        );
     }
 
     #[test]

@@ -79,7 +79,11 @@ pub struct WorkTally {
 impl WorkTally {
     /// A zero tally for `m0` processes.
     pub fn new(m0: usize) -> Self {
-        WorkTally { proc_flops: vec![0.0; m0.max(1)], transfer_paper: 0.0, transfer_grid: 0.0 }
+        WorkTally {
+            proc_flops: vec![0.0; m0.max(1)],
+            transfer_paper: 0.0,
+            transfer_grid: 0.0,
+        }
     }
 
     /// Charges `flops` evenly across the given processes.
@@ -165,7 +169,7 @@ mod tests {
     fn blocks_spread_evenly() {
         // Over a full cycle every process owns the same number of blocks.
         let g = ProcessGrid::new(12, 8);
-        let mut counts = vec![0; 12];
+        let mut counts = [0; 12];
         for bi in 0..g.f1 * 4 {
             for bj in 0..g.f2 * 4 {
                 counts[g.owner(bi, bj)] += 1;

@@ -77,7 +77,10 @@ pub fn invert(
     let inv = pdgetri::pdgetri(&lu, &grid)?;
     let measured = start.elapsed();
     let report = cost::price(a.rows(), &grid, &lu.tally, &inv.tally, measured, cost_model);
-    Ok(ScalapackRun { inverse: inv.inverse, report })
+    Ok(ScalapackRun {
+        inverse: inv.inverse,
+        report,
+    })
 }
 
 /// Convenience check mirroring the paper's Section 7.2 accuracy metric.
@@ -94,16 +97,26 @@ mod tests {
     #[test]
     fn baseline_inverts_accurately() {
         let a = random_well_conditioned(48, 1);
-        let run = invert(&a, 4, &CostModel::ec2_medium(), &ScalapackConfig { block_size: 8 })
-            .unwrap();
+        let run = invert(
+            &a,
+            4,
+            &CostModel::ec2_medium(),
+            &ScalapackConfig { block_size: 8 },
+        )
+        .unwrap();
         assert!(residual(&a, &run).unwrap() < PAPER_ACCURACY);
     }
 
     #[test]
     fn baseline_matches_direct_inverse() {
         let a = random_invertible(40, 2);
-        let run =
-            invert(&a, 9, &CostModel::ec2_medium(), &ScalapackConfig { block_size: 8 }).unwrap();
+        let run = invert(
+            &a,
+            9,
+            &CostModel::ec2_medium(),
+            &ScalapackConfig { block_size: 8 },
+        )
+        .unwrap();
         let reference = mrinv_matrix::lu::lu_decompose(&a).unwrap();
         let l_inv = mrinv_matrix::triangular::invert_lower(&reference.unit_lower()).unwrap();
         let u_inv = mrinv_matrix::triangular::invert_upper(&reference.upper()).unwrap();
@@ -114,8 +127,13 @@ mod tests {
     #[test]
     fn report_is_populated() {
         let a = random_well_conditioned(32, 3);
-        let run = invert(&a, 4, &CostModel::ec2_medium(), &ScalapackConfig { block_size: 8 })
-            .unwrap();
+        let run = invert(
+            &a,
+            4,
+            &CostModel::ec2_medium(),
+            &ScalapackConfig { block_size: 8 },
+        )
+        .unwrap();
         let r = &run.report;
         assert_eq!(r.n, 32);
         assert_eq!(r.m0, 4);

@@ -42,7 +42,11 @@ pub fn pdgetrf(a: &Matrix, grid: &ProcessGrid) -> Result<PdgetrfOutput> {
     let mut perm = Permutation::identity(n);
     let mut tally = WorkTally::new(grid.size());
     let scale = a.as_slice().iter().fold(0.0_f64, |mx, &v| mx.max(v.abs()));
-    let tol = if scale == 0.0 { f64::MIN_POSITIVE } else { scale * f64::EPSILON * n as f64 };
+    let tol = if scale == 0.0 {
+        f64::MIN_POSITIVE
+    } else {
+        scale * f64::EPSILON * n as f64
+    };
 
     let mut k = 0;
     while k < n {
@@ -164,7 +168,11 @@ mod tests {
     fn blocked_factorization_reconstructs_pa() {
         for &(n, block) in &[(16usize, 4usize), (33, 8), (40, 7), (24, 24), (10, 64)] {
             let a = random_invertible(n, n as u64);
-            let grid = ProcessGrid { f1: 2, f2: 2, block };
+            let grid = ProcessGrid {
+                f1: 2,
+                f2: 2,
+                block,
+            };
             let out = pdgetrf(&a, &grid).unwrap();
             let pa = out.perm.apply_rows(&a);
             let lu = &out.l * &out.u;
@@ -175,7 +183,11 @@ mod tests {
     #[test]
     fn matches_unblocked_lu() {
         let a = random_invertible(30, 5);
-        let grid = ProcessGrid { f1: 2, f2: 2, block: 8 };
+        let grid = ProcessGrid {
+            f1: 2,
+            f2: 2,
+            block: 8,
+        };
         let ours = pdgetrf(&a, &grid).unwrap();
         let reference = lu_decompose(&a).unwrap();
         assert_eq!(ours.perm, reference.perm, "same pivot choices");
@@ -214,7 +226,10 @@ mod tests {
         let out = pdgetrf(&a, &grid).unwrap();
         let expect = 2.0 / 3.0 * (n as f64).powi(3);
         let got = out.tally.total_flops();
-        assert!((got - expect).abs() / expect < 0.3, "got {got}, expected ~{expect}");
+        assert!(
+            (got - expect).abs() / expect < 0.3,
+            "got {got}, expected ~{expect}"
+        );
     }
 
     #[test]
@@ -224,8 +239,14 @@ mod tests {
         // argument for ScaLAPACK at scale.
         let n = 64;
         let a = random_well_conditioned(n, 3);
-        let small = pdgetrf(&a, &ProcessGrid::new(4, 8)).unwrap().tally.balance();
-        let large = pdgetrf(&a, &ProcessGrid::new(64, 8)).unwrap().tally.balance();
+        let small = pdgetrf(&a, &ProcessGrid::new(4, 8))
+            .unwrap()
+            .tally
+            .balance();
+        let large = pdgetrf(&a, &ProcessGrid::new(64, 8))
+            .unwrap()
+            .tally
+            .balance();
         assert!(
             large < small,
             "balance should degrade: 4 nodes {small:.3} vs 64 nodes {large:.3}"

@@ -99,7 +99,10 @@ mod tests {
         let out = pdgetri(&f, &grid).unwrap();
         let expect = 4.0 / 3.0 * (n as f64).powi(3);
         let got = out.tally.total_flops();
-        assert!((got - expect).abs() / expect < 0.3, "got {got}, expected ~{expect}");
+        assert!(
+            (got - expect).abs() / expect < 0.3,
+            "got {got}, expected ~{expect}"
+        );
     }
 
     #[test]

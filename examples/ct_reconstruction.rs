@@ -57,9 +57,14 @@ fn projection_matrix(side: usize) -> Matrix {
         for x in 0..side as isize {
             let i = idx(x, y).unwrap();
             m[(i, i)] = 1.0;
-            for (dx, dy, w) in
-                [(-1, 0, 0.15), (1, 0, 0.15), (0, -1, 0.15), (0, 1, 0.15), (-1, -1, 0.05), (1, 1, 0.05)]
-            {
+            for (dx, dy, w) in [
+                (-1, 0, 0.15),
+                (1, 0, 0.15),
+                (0, -1, 0.15),
+                (0, 1, 0.15),
+                (-1, -1, 0.05),
+                (1, 1, 0.05),
+            ] {
                 if let Some(j) = idx(x + dx, y + dy) {
                     m[(i, j)] += w;
                 }
@@ -82,7 +87,10 @@ fn main() {
 
     println!("reconstructing a {side}x{side} image: inverting the {n}x{n} projection matrix...");
     let out = invert(&cluster, &m, &InversionConfig::with_nb(49)).expect("inversion");
-    println!("  {} MapReduce jobs, {:.1} simulated seconds", out.report.jobs, out.report.sim_secs);
+    println!(
+        "  {} MapReduce jobs, {:.1} simulated seconds",
+        out.report.jobs, out.report.sim_secs
+    );
 
     // Reconstruction: S = M^-1 * T.
     let s_rec = out.inverse.mul_vec(&t).expect("reconstruction");

@@ -20,7 +20,10 @@ use mrinv_matrix::random::random_well_conditioned;
 /// so a lost attempt visibly stretches the schedule.
 fn compute_bound_cluster() -> Cluster {
     let mut cfg = ClusterConfig::medium(4);
-    cfg.cost = CostModel { compute_scale: 2e5, ..CostModel::ec2_medium() };
+    cfg.cost = CostModel {
+        compute_scale: 2e5,
+        ..CostModel::ec2_medium()
+    };
     Cluster::new(cfg)
 }
 
@@ -40,15 +43,22 @@ fn main() {
     // Faulty run: kill the first attempt of a triangular-inversion mapper
     // (the paper's exact scenario) and of an LU-pipeline reducer.
     let faulty_cluster = compute_bound_cluster();
-    faulty_cluster.faults.fail_task("final-inverse", Phase::Map, 0, 1);
-    faulty_cluster.faults.fail_task("lu-level", Phase::Reduce, 1, 1);
+    faulty_cluster
+        .faults
+        .fail_task("final-inverse", Phase::Map, 0, 1);
+    faulty_cluster
+        .faults
+        .fail_task("lu-level", Phase::Reduce, 1, 1);
     let faulty = invert(&faulty_cluster, &a, &cfg).expect("faulty inversion");
     println!(
         "faulty run: {} jobs, {} failed attempts, {:.1} simulated s",
         faulty.report.jobs, faulty.report.task_failures, faulty.report.sim_secs
     );
 
-    assert_eq!(faulty.report.task_failures, 2, "both injected failures fired");
+    assert_eq!(
+        faulty.report.task_failures, 2,
+        "both injected failures fired"
+    );
     assert!(
         faulty.report.sim_secs > clean.report.sim_secs,
         "lost attempts must stretch the schedule"

@@ -70,7 +70,13 @@ fn main() {
         }
     }
 
-    assert!(converged, "inverse iteration failed to converge within 12 steps");
+    assert!(
+        converged,
+        "inverse iteration failed to converge within 12 steps"
+    );
     println!("ok: converged to eigenvalue {mu:.8}");
-    println!("({} MapReduce jobs total on the cluster)", cluster.metrics.snapshot().jobs);
+    println!(
+        "({} MapReduce jobs total on the cluster)",
+        cluster.metrics.snapshot().jobs
+    );
 }

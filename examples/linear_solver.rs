@@ -28,7 +28,10 @@ fn main() {
     println!("inverting the {n}x{n} system matrix once...");
     let out = invert(&cluster, &a, &InversionConfig::with_nb(48)).expect("inversion");
     let a_inv = &out.inverse;
-    println!("  {} MapReduce jobs, {:.1} simulated seconds", out.report.jobs, out.report.sim_secs);
+    println!(
+        "  {} MapReduce jobs, {:.1} simulated seconds",
+        out.report.jobs, out.report.sim_secs
+    );
 
     for (k, b) in rhs.iter().enumerate() {
         let x = a_inv.mul_vec(b).expect("dimensions");

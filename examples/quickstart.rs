@@ -20,13 +20,19 @@ fn main() {
     let cluster = Cluster::medium(4);
     let a = random_well_conditioned(n, 2024);
 
-    println!("inverting a {n}x{n} matrix on a simulated {}-node cluster...", cluster.nodes());
+    println!(
+        "inverting a {n}x{n} matrix on a simulated {}-node cluster...",
+        cluster.nodes()
+    );
     let out = invert(&cluster, &a, &InversionConfig::with_nb(nb)).expect("inversion");
 
     let residual = inversion_residual(&a, &out.inverse).expect("residual");
     println!("  MapReduce jobs executed : {}", out.report.jobs);
     println!("  simulated running time  : {:.1} s", out.report.sim_secs);
-    println!("  DFS bytes written       : {}", out.report.dfs_bytes_written);
+    println!(
+        "  DFS bytes written       : {}",
+        out.report.dfs_bytes_written
+    );
     println!("  DFS bytes read          : {}", out.report.dfs_bytes_read);
     println!("  max |I - A*A^-1|        : {residual:.3e}");
     assert!(residual < PAPER_ACCURACY, "accuracy criterion violated");
@@ -35,5 +41,8 @@ fn main() {
     // The job count is exactly the precomputed schedule (Section 5):
     // partition + (2^ceil(log2(n/nb)) - 1) LU jobs + final inversion.
     assert_eq!(out.report.jobs, mrinv::schedule::total_jobs(n, nb));
-    println!("ok: pipeline executed the scheduled {} jobs", out.report.jobs);
+    println!(
+        "ok: pipeline executed the scheduled {} jobs",
+        out.report.jobs
+    );
 }

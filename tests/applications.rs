@@ -16,7 +16,9 @@ fn unit_cluster(m0: usize) -> Cluster {
 
 fn mr_invert(a: &Matrix, nb: usize) -> Matrix {
     let cluster = unit_cluster(4);
-    invert(&cluster, a, &InversionConfig::with_nb(nb)).unwrap().inverse
+    invert(&cluster, a, &InversionConfig::with_nb(nb))
+        .unwrap()
+        .inverse
 }
 
 #[test]
@@ -43,8 +45,7 @@ fn inverse_iteration_refines_an_eigenpair() {
 
     let rayleigh = |v: &[f64]| {
         let av = a.mul_vec(v).unwrap();
-        v.iter().zip(&av).map(|(x, y)| x * y).sum::<f64>()
-            / v.iter().map(|x| x * x).sum::<f64>()
+        v.iter().zip(&av).map(|(x, y)| x * y).sum::<f64>() / v.iter().map(|x| x * x).sum::<f64>()
     };
     let mut mu = rayleigh(&v) * 1.02;
     let mut res_norm = f64::INFINITY;

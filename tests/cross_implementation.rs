@@ -18,8 +18,13 @@ fn unit_cluster(m0: usize) -> Cluster {
 }
 
 fn scalapack(a: &Matrix) -> ScalapackRun {
-    mrinv_scalapack::invert(a, 4, &CostModel::ec2_medium(), &ScalapackConfig { block_size: 8 })
-        .unwrap()
+    mrinv_scalapack::invert(
+        a,
+        4,
+        &CostModel::ec2_medium(),
+        &ScalapackConfig { block_size: 8 },
+    )
+    .unwrap()
 }
 
 #[test]
@@ -28,14 +33,19 @@ fn four_implementations_agree() {
         let a = random_invertible(56, seed);
         let mr = {
             let cluster = unit_cluster(4);
-            invert(&cluster, &a, &InversionConfig::with_nb(14)).unwrap().inverse
+            invert(&cluster, &a, &InversionConfig::with_nb(14))
+                .unwrap()
+                .inverse
         };
         let blocked = invert_block(&a, 14).unwrap();
         let single = invert_single_node(&a).unwrap();
         let scal = scalapack(&a).inverse;
 
         assert!(mr.approx_eq(&blocked, 1e-7), "MR vs block, seed {seed}");
-        assert!(mr.approx_eq(&single, 1e-7), "MR vs single-node, seed {seed}");
+        assert!(
+            mr.approx_eq(&single, 1e-7),
+            "MR vs single-node, seed {seed}"
+        );
         assert!(mr.approx_eq(&scal, 1e-7), "MR vs ScaLAPACK, seed {seed}");
     }
 }
@@ -75,7 +85,9 @@ fn agreement_holds_on_ill_conditioned_but_invertible_inputs() {
         }
     }
     let cluster = unit_cluster(4);
-    let mr = invert(&cluster, &a, &InversionConfig::with_nb(10)).unwrap().inverse;
+    let mr = invert(&cluster, &a, &InversionConfig::with_nb(10))
+        .unwrap()
+        .inverse;
     let single = invert_single_node(&a).unwrap();
     // Looser tolerance: conditioning amplifies rounding differently across
     // algorithms.
@@ -88,7 +100,9 @@ fn agreement_holds_on_ill_conditioned_but_invertible_inputs() {
 fn identity_inverts_to_identity_everywhere() {
     let a = Matrix::identity(32);
     let cluster = unit_cluster(4);
-    let mr = invert(&cluster, &a, &InversionConfig::with_nb(8)).unwrap().inverse;
+    let mr = invert(&cluster, &a, &InversionConfig::with_nb(8))
+        .unwrap()
+        .inverse;
     assert!(mr.approx_eq(&a, 1e-12));
     assert!(invert_block(&a, 8).unwrap().approx_eq(&a, 1e-12));
     assert!(scalapack(&a).inverse.approx_eq(&a, 1e-12));

@@ -10,7 +10,10 @@ use mrinv_matrix::PAPER_ACCURACY;
 
 fn cluster_with(compute_scale: f64) -> Cluster {
     let mut cfg = ClusterConfig::medium(4);
-    cfg.cost = CostModel { compute_scale, ..CostModel::unit_for_tests() };
+    cfg.cost = CostModel {
+        compute_scale,
+        ..CostModel::unit_for_tests()
+    };
     Cluster::new(cfg)
 }
 
@@ -35,7 +38,10 @@ fn every_stage_survives_a_single_failure() {
         cluster.faults.fail_task(job, phase, 0, 1);
         let (out, res) = run(&cluster);
         assert!(res < PAPER_ACCURACY, "{job}/{phase:?}: residual {res}");
-        assert_eq!(out.report.task_failures, 1, "{job}/{phase:?}: failure must fire");
+        assert_eq!(
+            out.report.task_failures, 1,
+            "{job}/{phase:?}: failure must fire"
+        );
         assert_eq!(cluster.faults.injected_count(), 1);
     }
 }
@@ -45,10 +51,16 @@ fn multiple_concurrent_failures_recover() {
     let cluster = cluster_with(1.0);
     cluster.faults.fail_task("lu-level", Phase::Map, 0, 2); // two attempts die
     cluster.faults.fail_task("lu-level", Phase::Map, 1, 1);
-    cluster.faults.fail_task("final-inverse", Phase::Reduce, 2, 1);
+    cluster
+        .faults
+        .fail_task("final-inverse", Phase::Reduce, 2, 1);
     let (out, res) = run(&cluster);
     assert!(res < PAPER_ACCURACY, "residual {res}");
-    assert!(out.report.task_failures >= 4, "got {}", out.report.task_failures);
+    assert!(
+        out.report.task_failures >= 4,
+        "got {}",
+        out.report.task_failures
+    );
 }
 
 #[test]
@@ -64,7 +76,10 @@ fn failures_stretch_the_simulated_schedule() {
         cluster.faults.fail_task("final-inverse", Phase::Map, 0, 1);
         run(&cluster).0.report.sim_secs
     };
-    assert!(faulty > clean, "lost attempt must lengthen the run: {clean} -> {faulty}");
+    assert!(
+        faulty > clean,
+        "lost attempt must lengthen the run: {clean} -> {faulty}"
+    );
 }
 
 #[test]
@@ -81,7 +96,10 @@ fn retried_results_are_bit_identical() {
         cluster.faults.fail_task("", Phase::Reduce, 0, 1);
         invert(&cluster, &a, &cfg).unwrap().inverse
     };
-    assert!(clean.approx_eq(&faulty, 0.0), "deterministic retry must reproduce bits");
+    assert!(
+        clean.approx_eq(&faulty, 0.0),
+        "deterministic retry must reproduce bits"
+    );
 }
 
 #[test]
@@ -92,7 +110,9 @@ fn exhausted_retry_budget_fails_the_whole_inversion() {
     let a = random_well_conditioned(64, 42);
     let err = invert(&cluster, &a, &InversionConfig::with_nb(16)).unwrap_err();
     match err {
-        mrinv::CoreError::MapReduce(MrError::TaskFailed { phase, attempts, .. }) => {
+        mrinv::CoreError::MapReduce(MrError::TaskFailed {
+            phase, attempts, ..
+        }) => {
             assert_eq!(phase, Phase::Map);
             assert_eq!(attempts, 4, "Hadoop-style retry budget");
         }

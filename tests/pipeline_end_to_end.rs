@@ -31,7 +31,10 @@ fn inversion_accuracy_across_shapes() {
         let a = random_well_conditioned(n, (n * m0) as u64);
         let out = invert(&cluster, &a, &InversionConfig::with_nb(nb)).unwrap();
         let res = inversion_residual(&a, &out.inverse).unwrap();
-        assert!(res < PAPER_ACCURACY, "n={n} nb={nb} m0={m0}: residual {res}");
+        assert!(
+            res < PAPER_ACCURACY,
+            "n={n} nb={nb} m0={m0}: residual {res}"
+        );
     }
 }
 
@@ -70,7 +73,10 @@ fn partitioned_layout_reassembles_and_feeds_lu() {
     assert_eq!(report.map_tasks, 4);
     let mut io = MasterIo::new(&cluster.dfs);
     let back = mrinv::partition::read_back(&tree, &mut io).unwrap();
-    assert_eq!(back, a, "Figure 3/4 layout holds every element exactly once");
+    assert_eq!(
+        back, a,
+        "Figure 3/4 layout holds every element exactly once"
+    );
 }
 
 #[test]
@@ -130,9 +136,17 @@ fn dfs_retains_result_files_for_downstream_jobs() {
         .into_iter()
         .filter(|p| p.contains("/RESULT/"))
         .collect();
-    assert!(!result_files.is_empty(), "RESULT files must remain in the DFS");
+    assert!(
+        !result_files.is_empty(),
+        "RESULT files must remain in the DFS"
+    );
     // And the factor forest too (separate intermediate files).
-    let l2_files = cluster.dfs.list("").into_iter().filter(|p| p.contains("/L2/")).count();
+    let l2_files = cluster
+        .dfs
+        .list("")
+        .into_iter()
+        .filter(|p| p.contains("/L2/"))
+        .count();
     assert!(l2_files > 0, "factor stripes must remain in the DFS");
 }
 
@@ -159,13 +173,23 @@ fn io_accounting_tracks_table1_scaling() {
 fn simulated_time_decreases_with_more_nodes() {
     // Strong scaling on a compute-weighted model (Figure 6's premise).
     let mut cfg1 = ClusterConfig::medium(1);
-    cfg1.cost = CostModel { compute_scale: 1e4, job_launch_secs: 0.0, ..CostModel::ec2_medium() };
+    cfg1.cost = CostModel {
+        compute_scale: 1e4,
+        job_launch_secs: 0.0,
+        ..CostModel::ec2_medium()
+    };
     let mut cfg8 = cfg1.clone();
     cfg8.nodes = 8;
     let a = random_well_conditioned(128, 5);
     let icfg = InversionConfig::with_nb(32);
-    let t1 = invert(&Cluster::new(cfg1), &a, &icfg).unwrap().report.sim_secs;
-    let t8 = invert(&Cluster::new(cfg8), &a, &icfg).unwrap().report.sim_secs;
+    let t1 = invert(&Cluster::new(cfg1), &a, &icfg)
+        .unwrap()
+        .report
+        .sim_secs;
+    let t8 = invert(&Cluster::new(cfg8), &a, &icfg)
+        .unwrap()
+        .report
+        .sim_secs;
     assert!(
         t8 < t1 / 2.0,
         "8 nodes should be at least 2x faster than 1 on compute-bound work: {t1} vs {t8}"

@@ -1,0 +1,555 @@
+//! Vendored offline stand-in for `proptest`.
+//!
+//! Deterministic property-based testing: strategies over ranges, tuples,
+//! collections, and a regex subset for strings, plus the `proptest!` /
+//! `prop_assert*` macro family. Cases are generated from a fixed-seed
+//! SplitMix64 stream so failures reproduce exactly across runs.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+// ---- RNG ---------------------------------------------------------------
+
+/// Deterministic SplitMix64 generator driving case generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---- Strategy core ------------------------------------------------------
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+// ---- any::<T>() ---------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, roughly symmetric values; full bit-pattern floats (NaN,
+        // infinities) are rarely what numeric property tests want.
+        (rng.unit_f64() - 0.5) * 2e6
+    }
+}
+
+/// Marker strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---- Regex-subset string strategies ------------------------------------
+
+/// `&'static str` acts as a string strategy over a regex subset:
+/// literals, `[a-z0-9_]` classes, `(...)` groups, and `{m}` / `{m,n}` /
+/// `?` / `*` / `+` repetition.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let ast = parse_regex(self);
+        let mut out = String::new();
+        gen_regex(&ast, rng, &mut out);
+        out
+    }
+}
+
+enum Re {
+    Seq(Vec<Re>),
+    Lit(char),
+    Class(Vec<(char, char)>),
+    Rep(Box<Re>, u32, u32),
+}
+
+fn parse_regex(pattern: &str) -> Re {
+    let chars: Vec<char> = pattern.chars().collect();
+    let (seq, used) = parse_seq(&chars, 0);
+    assert!(
+        used == chars.len(),
+        "unsupported regex {pattern:?} (stopped at {used})"
+    );
+    seq
+}
+
+fn parse_seq(chars: &[char], mut i: usize) -> (Re, usize) {
+    let mut items = Vec::new();
+    while i < chars.len() && chars[i] != ')' {
+        let atom;
+        match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unterminated char class")
+                    + i;
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                atom = Re::Class(ranges);
+                i = close + 1;
+            }
+            '(' => {
+                let (inner, next) = parse_seq(chars, i + 1);
+                assert!(chars.get(next) == Some(&')'), "unterminated group");
+                atom = inner;
+                i = next + 1;
+            }
+            '\\' => {
+                atom = Re::Lit(chars[i + 1]);
+                i += 2;
+            }
+            c => {
+                atom = Re::Lit(c);
+                i += 1;
+            }
+        }
+        // Optional repetition suffix.
+        match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated repetition")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (lo, hi) = match body.split_once(',') {
+                    Some((a, b)) => (a.parse().unwrap(), b.parse().unwrap()),
+                    None => {
+                        let n: u32 = body.parse().unwrap();
+                        (n, n)
+                    }
+                };
+                items.push(Re::Rep(Box::new(atom), lo, hi));
+                i = close + 1;
+            }
+            Some('?') => {
+                items.push(Re::Rep(Box::new(atom), 0, 1));
+                i += 1;
+            }
+            Some('*') => {
+                items.push(Re::Rep(Box::new(atom), 0, 8));
+                i += 1;
+            }
+            Some('+') => {
+                items.push(Re::Rep(Box::new(atom), 1, 8));
+                i += 1;
+            }
+            _ => items.push(atom),
+        }
+    }
+    (Re::Seq(items), i)
+}
+
+fn gen_regex(re: &Re, rng: &mut TestRng, out: &mut String) {
+    match re {
+        Re::Seq(items) => {
+            for item in items {
+                gen_regex(item, rng, out);
+            }
+        }
+        Re::Lit(c) => out.push(*c),
+        Re::Class(ranges) => {
+            let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+            let span = hi as u32 - lo as u32 + 1;
+            out.push(char::from_u32(lo as u32 + rng.below(span as u64) as u32).unwrap());
+        }
+        Re::Rep(inner, lo, hi) => {
+            let n = lo + rng.below((*hi - *lo + 1) as u64) as u32;
+            for _ in 0..n {
+                gen_regex(inner, rng, out);
+            }
+        }
+    }
+}
+
+// ---- Collections --------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Bound for collection sizes (mirrors proptest's `SizeRange` inputs).
+    pub trait SizeBound {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+    impl SizeBound for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+    impl SizeBound for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            *self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+        }
+    }
+    impl SizeBound for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `B`.
+    pub struct VecStrategy<S, B> {
+        element: S,
+        size: B,
+    }
+
+    pub fn vec<S: Strategy, B: SizeBound>(element: S, size: B) -> VecStrategy<S, B> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, B: SizeBound> Strategy for VecStrategy<S, B> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(..)` works.
+pub mod prop {
+    pub use crate::collection;
+}
+
+// ---- Runner -------------------------------------------------------------
+
+/// Per-test configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure — the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is retried.
+    Reject,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Drives `config.cases` generated inputs through the property `f`.
+///
+/// Panics (failing the enclosing `#[test]`) on the first violated
+/// assertion, reporting the case number and the generated input.
+pub fn run_cases<S: Strategy>(
+    config: ProptestConfig,
+    strategy: S,
+    f: impl Fn(S::Value) -> Result<(), TestCaseError>,
+) where
+    S::Value: Debug,
+{
+    let mut rng = TestRng::new(0x6d72_696e_7621); // fixed seed: reproducible runs
+    let mut rejects = 0u32;
+    let max_rejects = config.cases.saturating_mul(64).max(4096);
+    let mut case = 0u32;
+    while case < config.cases {
+        let value = strategy.generate(&mut rng);
+        let repr = format!("{value:?}");
+        match f(value) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "proptest: too many prop_assume! rejections ({rejects})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest case {case} failed: {msg}\n  input: {repr}");
+            }
+        }
+    }
+}
+
+// ---- Macros -------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $( $(#[$meta:meta])* fn $name:ident($pat:pat in $strat:expr) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases($cfg, $strat, |__value| {
+                    let $pat = __value;
+                    let __run = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __run()
+                });
+            }
+        )*
+    };
+    ( $( $(#[$meta:meta])* fn $name:ident($pat:pat in $strat:expr) $body:block )* ) => {
+        $crate::proptest! {
+            #![proptest_config(<$crate::ProptestConfig as ::std::default::Default>::default())]
+            $( $(#[$meta])* fn $name($pat in $strat) $body )*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("{} at {}:{}", format!($($fmt)+), file!(), line!()),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `left == right`\n  left: {:?}\n right: {:?} at {}:{}",
+                        __l,
+                        __r,
+                        file!(),
+                        line!(),
+                    )));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Everything a proptest suite conventionally imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let v = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (1usize..=4).generate(&mut rng);
+            assert!((1..=4).contains(&w));
+            let f = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..200 {
+            let s = "[a-e]{1,3}".generate(&mut rng);
+            assert!((1..=3).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='e').contains(&c)), "{s:?}");
+
+            let p = "([a-c]/){0,2}[a-z]{1,4}".generate(&mut rng);
+            let segments: Vec<&str> = p.split('/').collect();
+            assert!(segments.len() <= 3, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            let v = prop::collection::vec(any::<u8>(), 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_end_to_end((a, b) in (0usize..50, 0usize..50)) {
+            prop_assume!(a != 13);
+            prop_assert!(a + b >= a);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Vendored offline stand-in for `rayon`.
+//!
+//! Implements the slice-parallelism subset this workspace uses
+//! (`par_iter().enumerate().map(..).collect()`, `par_chunks_mut(..)
+//! .enumerate().for_each(..)`) on top of `std::thread::scope`. Items are
+//! split into one contiguous chunk per available core; results are
+//! reassembled in input order, so behavior is deterministic and
+//! order-preserving exactly like rayon's indexed parallel iterators.
+
+use std::num::NonZeroUsize;
+
+/// The glob-import surface, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator, ParallelSliceMut};
+}
+
+fn threads_for(len: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+/// Applies `f` to every item in parallel, preserving input order.
+fn par_map<I: Send, R: Send>(items: Vec<I>, f: impl Fn(I) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let threads = threads_for(n);
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Split into contiguous per-thread chunks; each thread returns its
+    // mapped chunk, and chunks are concatenated back in order.
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut items = items;
+    // Drain from the back to avoid shifting; reverse to restore order.
+    while !items.is_empty() {
+        let at = items.len().saturating_sub(chunk);
+        chunks.push(items.split_off(at));
+    }
+    chunks.reverse();
+    let f = &f;
+    let mut out: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut flat = Vec::with_capacity(n);
+    for c in &mut out {
+        flat.append(c);
+    }
+    flat
+}
+
+/// An eager "parallel iterator": adapters other than the final `map` /
+/// `for_each` stage are bookkeeping; the terminal stage fans out across
+/// scoped threads.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// `&collection → par_iter()` entry point (rayon's by-reference trait).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item yielded by the parallel iterator.
+    type Item: Send + 'a;
+    /// Creates the parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Adapter and terminal methods shared by all parallel iterators.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+
+    /// Consumes the iterator into its ordered item vector.
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> ParIter<(usize, Self::Item)> {
+        ParIter {
+            items: self.into_items().into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Maps items in parallel (eager; preserves order).
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: par_map(self.into_items(), f),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        par_map(self.into_items(), f);
+    }
+
+    /// Collects items into any `FromIterator` target (e.g. `Vec`,
+    /// `Result<Vec<_>, E>`).
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.into_items().into_iter().collect()
+    }
+
+    /// Sums the items.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.into_items().into_iter().sum()
+    }
+}
+
+impl<I: Send> ParallelIterator for ParIter<I> {
+    type Item = I;
+    fn into_items(self) -> Vec<I> {
+        self.items
+    }
+}
+
+/// `par_chunks_mut` entry point for mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits into mutable chunks of `size` processed in parallel.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(size.max(1)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_map_collect_result() {
+        let v = vec![1u64, 2, 3];
+        let ok: Result<Vec<u64>, String> = v
+            .par_iter()
+            .enumerate()
+            .map(|(i, &x)| Ok(i as u64 + x))
+            .collect();
+        assert_eq!(ok.unwrap(), vec![1, 3, 5]);
+        let err: Result<Vec<u64>, String> = v
+            .par_iter()
+            .enumerate()
+            .map(|(i, _)| {
+                if i == 1 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(0)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn chunks_mut_for_each_writes_in_place() {
+        let mut data = vec![0usize; 64];
+        data.par_chunks_mut(8).enumerate().for_each(|(i, chunk)| {
+            for c in chunk.iter_mut() {
+                *c = i;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i / 8);
+        }
+    }
+}
