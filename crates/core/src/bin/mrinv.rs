@@ -4,8 +4,10 @@
 //! ```text
 //! mrinv invert --input a.txt --output inv.txt [--nodes 4] [--nb 200]
 //!              [--trace-out trace.json] [--metrics-json metrics.json]
+//!              [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]
 //! mrinv lu     --input a.txt --l l.txt --u u.txt [--nodes 4] [--nb 200]
 //!              [--trace-out trace.json] [--metrics-json metrics.json]
+//!              [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]
 //! mrinv gen    --order 512 --output a.txt [--seed 42]
 //! ```
 //!
@@ -21,11 +23,17 @@
 //! `chrome://tracing`. Either flag may be `-` for stdout. Passing either
 //! flag enables per-task tracing for the run (off otherwise, at zero
 //! cost).
+//!
+//! `--checkpoint` records a job manifest under `--workdir` so a killed
+//! pipeline can be resumed with `--resume`. The DFS is in-memory, so the
+//! crash/resume demo is single-process: `--checkpoint --kill-after-job K
+//! --resume` kills the driver after K jobs and then resumes from the
+//! manifest in the same invocation.
 
 use std::process::exit;
 
-use mrinv::{invert, lu, InversionConfig, RunReport};
-use mrinv_mapreduce::{chrome_trace_json, Cluster, ClusterConfig};
+use mrinv::{invert_run, lu_run, Checkpoint, CoreError, InversionConfig, Result, RunId, RunReport};
+use mrinv_mapreduce::{chrome_trace_json, Cluster, ClusterConfig, MrError};
 use mrinv_matrix::io::{decode_text, encode_text};
 use mrinv_matrix::norms::inversion_residual;
 use mrinv_matrix::random::random_well_conditioned;
@@ -43,11 +51,31 @@ struct Opts {
     nb: usize,
     order: usize,
     seed: u64,
+    workdir: String,
+    checkpoint: bool,
+    resume: bool,
+    kill_after: Option<u64>,
+}
+
+impl Opts {
+    /// Checkpoint mode implied by the flags: `--resume` alone replays an
+    /// existing manifest; `--checkpoint` or `--kill-after-job` record one
+    /// (the kill implies recording so the single-process crash demo has a
+    /// manifest to come back to).
+    fn mode(&self) -> Checkpoint {
+        if self.resume && self.kill_after.is_none() {
+            Checkpoint::Resume
+        } else if self.checkpoint || self.kill_after.is_some() {
+            Checkpoint::Enabled
+        } else {
+            Checkpoint::Disabled
+        }
+    }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mrinv invert --input a.txt --output inv.txt [--nodes N] [--nb NB] [--trace-out T.json] [--metrics-json M.json]\n  mrinv lu --input a.txt --l l.txt --u u.txt [--nodes N] [--nb NB] [--trace-out T.json] [--metrics-json M.json]\n  mrinv gen --order N --output a.txt [--seed S]"
+        "usage:\n  mrinv invert --input a.txt --output inv.txt [--nodes N] [--nb NB] [--trace-out T.json] [--metrics-json M.json] [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]\n  mrinv lu --input a.txt --l l.txt --u u.txt [--nodes N] [--nb NB] [--trace-out T.json] [--metrics-json M.json] [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]\n  mrinv gen --order N --output a.txt [--seed S]"
     );
     exit(2)
 }
@@ -65,6 +93,10 @@ fn parse() -> Opts {
         nb: 200,
         order: 0,
         seed: 42,
+        workdir: "mrinv/cli".to_string(),
+        checkpoint: false,
+        resume: false,
+        kill_after: None,
     };
     let mut it = std::env::args().skip(1);
     opts.command = it.next().unwrap_or_else(|| usage());
@@ -81,6 +113,10 @@ fn parse() -> Opts {
             "--nb" => opts.nb = val().parse().unwrap_or_else(|_| usage()),
             "--order" => opts.order = val().parse().unwrap_or_else(|_| usage()),
             "--seed" => opts.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--workdir" => opts.workdir = val(),
+            "--checkpoint" => opts.checkpoint = true,
+            "--resume" => opts.resume = true,
+            "--kill-after-job" => opts.kill_after = Some(val().parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
     }
@@ -123,7 +159,38 @@ fn write_output(path: &str, content: &str, what: &str) {
 fn build_cluster(opts: &Opts) -> Cluster {
     let mut cfg = ClusterConfig::medium(opts.nodes);
     cfg.tracing = opts.trace_out.is_some() || opts.metrics_json.is_some();
-    Cluster::new(cfg)
+    let cluster = Cluster::new(cfg);
+    if let Some(k) = opts.kill_after {
+        cluster.faults.kill_driver_after(k);
+    }
+    cluster
+}
+
+/// Turns a driver kill into a resume when `--resume` was also given: the
+/// manifest left by the first attempt makes the retry a prefix restore.
+/// The kill knob fires once and disarms, so the retry runs to completion.
+fn retry_after_kill<T>(
+    result: Result<T>,
+    opts: &Opts,
+    retry: impl FnOnce() -> Result<T>,
+) -> Result<T> {
+    match result {
+        Err(CoreError::MapReduce(MrError::DriverKilled { after_jobs })) if opts.resume => {
+            eprintln!("mrinv: driver killed after {after_jobs} job(s); resuming from the manifest");
+            retry()
+        }
+        other => other,
+    }
+}
+
+/// One-line checkpoint-restore summary for resumed runs.
+fn report_restored(report: &RunReport) {
+    if report.restored_jobs > 0 {
+        eprintln!(
+            "  resumed from manifest: {} job(s) restored, {:.1} simulated s saved",
+            report.restored_jobs, report.restored_sim_secs
+        );
+    }
 }
 
 /// Emits the opt-in machine-readable outputs for a finished run.
@@ -172,7 +239,13 @@ fn main() {
             let a = read_matrix(input);
             let cluster = build_cluster(&opts);
             let cfg = InversionConfig::with_nb(opts.nb.min(a.rows().max(1)));
-            match invert(&cluster, &a, &cfg) {
+            let run = RunId::new(&opts.workdir);
+            let result = retry_after_kill(
+                invert_run(&cluster, &a, &cfg, &run, opts.mode()),
+                &opts,
+                || invert_run(&cluster, &a, &cfg, &run, Checkpoint::Resume),
+            );
+            match result {
                 Ok(out) => {
                     let res = inversion_residual(&a, &out.inverse).unwrap_or(f64::NAN);
                     write_matrix(output, &out.inverse);
@@ -184,6 +257,7 @@ fn main() {
                         out.report.jobs,
                         out.report.sim_secs
                     );
+                    report_restored(&out.report);
                     eprintln!("max |I - A*A^-1| = {res:.3e} (paper threshold 1e-5)");
                     emit_observability(&opts, &cluster, &out.report);
                     if res.is_nan() || res >= 1e-5 {
@@ -205,7 +279,12 @@ fn main() {
             let a = read_matrix(input);
             let cluster = build_cluster(&opts);
             let cfg = InversionConfig::with_nb(opts.nb.min(a.rows().max(1)));
-            match lu(&cluster, &a, &cfg) {
+            let run = RunId::new(&opts.workdir);
+            let result =
+                retry_after_kill(lu_run(&cluster, &a, &cfg, &run, opts.mode()), &opts, || {
+                    lu_run(&cluster, &a, &cfg, &run, Checkpoint::Resume)
+                });
+            match result {
                 Ok(out) => {
                     write_matrix(l_out, &out.l);
                     write_matrix(u_out, &out.u);
@@ -216,6 +295,7 @@ fn main() {
                         out.report.jobs,
                         &out.perm.as_slice()[..out.perm.len().min(8)]
                     );
+                    report_restored(&out.report);
                     emit_observability(&opts, &cluster, &out.report);
                 }
                 Err(e) => {

@@ -72,9 +72,13 @@ mod tests {
         assert!(matches!(m, CoreError::Matrix(_)));
         assert!(m.to_string().contains("singular"));
 
-        let mr: CoreError = MrError::FileNotFound("x".into()).into();
+        let nf = MrError::FileNotFound {
+            path: "x".into(),
+            nearest_parent: "/".into(),
+        };
+        let mr: CoreError = nf.clone().into();
         let back: MrError = mr.into();
-        assert_eq!(back, MrError::FileNotFound("x".into()));
+        assert_eq!(back, nf);
 
         let inv = CoreError::Invariant("bad".into());
         let as_mr: MrError = inv.into();

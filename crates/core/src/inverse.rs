@@ -1,12 +1,18 @@
 //! The public entry points: distributed matrix inversion and LU
-//! decomposition over a simulated MapReduce cluster.
+//! decomposition over a simulated MapReduce cluster, with optional
+//! checkpointed, resumable pipelines.
+//!
+//! Every run executes through a [`PipelineDriver`] addressed by a
+//! deterministic [`RunId`] (the DFS directory all of the run's files live
+//! under). [`invert`]/[`lu`] pick a fresh per-cluster directory and run
+//! without checkpointing; [`invert_run`]/[`lu_run`] let the caller pin the
+//! directory and choose a [`Checkpoint`] mode, which is what makes a run
+//! resumable after the driver dies between jobs.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use mrinv_mapreduce::{Cluster, Pipeline};
+use mrinv_mapreduce::{Cluster, Fingerprint, PipelineDriver, RunId};
 use mrinv_matrix::{Matrix, Permutation};
 
-use crate::config::InversionConfig;
+use crate::config::{InversionConfig, Optimizations};
 use crate::error::Result;
 use crate::factors::FactorRef;
 use crate::lu_mr::{lu_decompose_mr, BlockView};
@@ -15,10 +21,58 @@ use crate::report::RunReport;
 use crate::source::MasterIo;
 use crate::tri_inv_mr::invert_factors_mr;
 
-static JOB_COUNTER: AtomicUsize = AtomicUsize::new(0);
+/// How a run interacts with the checkpoint manifest at its [`RunId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Checkpoint {
+    /// No manifest: run every job (the paper's baseline behaviour).
+    Disabled,
+    /// Record a manifest entry after each completed job; any stale
+    /// manifest at the run directory is discarded first.
+    Enabled,
+    /// Replay the existing manifest: restore every recorded job whose
+    /// configuration still matches and whose outputs survive, re-run the
+    /// rest (checkpointing stays on for them). Errors if no manifest
+    /// exists.
+    Resume,
+}
 
-fn fresh_workdir() -> String {
-    format!("mrinv/job-{}", JOB_COUNTER.fetch_add(1, Ordering::Relaxed))
+/// Fingerprint of everything that determines the pipeline's job sequence:
+/// the partition geometry and the optimization toggles. Mixed into every
+/// manifest record so a resume against a changed configuration re-runs
+/// instead of restoring stale outputs.
+pub fn run_fingerprint(plan: &PartitionPlan, opts: &Optimizations) -> u64 {
+    Fingerprint::new()
+        .push_u64(plan.n as u64)
+        .push_u64(plan.nb as u64)
+        .push_u64(plan.m0 as u64)
+        .push_u64(plan.m_l as u64)
+        .push_u64(plan.m_u as u64)
+        .push_u64(plan.grid.0 as u64)
+        .push_u64(plan.grid.1 as u64)
+        .push_bytes(plan.root.as_bytes())
+        .push_u64(opts.separate_intermediate_files as u64)
+        .push_u64(opts.block_wrap as u64)
+        .push_u64(opts.transpose_u as u64)
+        .finish()
+}
+
+/// A per-cluster run directory for the convenience entry points: distinct
+/// across consecutive runs on the same cluster (the DFS file count only
+/// grows), deterministic given the cluster state.
+fn fresh_run_id(cluster: &Cluster) -> RunId {
+    RunId::new(format!("mrinv/run-{}", cluster.dfs.file_count()))
+}
+
+fn make_driver<'c>(
+    cluster: &'c Cluster,
+    run: &RunId,
+    mode: Checkpoint,
+) -> Result<PipelineDriver<'c>> {
+    Ok(match mode {
+        Checkpoint::Disabled => PipelineDriver::new(cluster, run.clone()),
+        Checkpoint::Enabled => PipelineDriver::checkpointed(cluster, run.clone()),
+        Checkpoint::Resume => PipelineDriver::resume(cluster, run.clone())?,
+    })
 }
 
 /// Result of a distributed LU decomposition, with assembled factors.
@@ -51,38 +105,38 @@ pub struct InverseOutput {
 /// writing `a` into the DFS, the upstream job's output in the paper's
 /// workflow — happens *before* the measured window.
 pub fn invert(cluster: &Cluster, a: &Matrix, cfg: &InversionConfig) -> Result<InverseOutput> {
+    let run = fresh_run_id(cluster);
+    invert_run(cluster, a, cfg, &run, Checkpoint::Disabled)
+}
+
+/// [`invert`] with a caller-chosen run directory and checkpoint mode.
+///
+/// With [`Checkpoint::Enabled`], a driver crash mid-pipeline (e.g. the
+/// [`mrinv_mapreduce::FaultPlan::kill_driver_after`] knob, surfacing as
+/// [`mrinv_mapreduce::MrError::DriverKilled`]) leaves a manifest behind;
+/// calling again with the *same* `run` and [`Checkpoint::Resume`] restores
+/// the completed prefix and re-runs only the remainder. The input must be
+/// ingested again (it happens before the measured window and is
+/// idempotent), and leaf LU decompositions re-run on the master either
+/// way — only MapReduce jobs are checkpointed.
+pub fn invert_run(
+    cluster: &Cluster,
+    a: &Matrix,
+    cfg: &InversionConfig,
+    run: &RunId,
+    mode: Checkpoint,
+) -> Result<InverseOutput> {
     let n = a.order()?;
-    let work = fresh_workdir();
-    let plan = PartitionPlan::new(n, cluster, cfg, work);
+    let plan = PartitionPlan::new(n, cluster, cfg, run.dir());
     ingest_input(cluster, a, &plan)?;
 
-    let metrics_before = cluster.metrics.snapshot();
-    let dfs_before = cluster.dfs.counters();
+    let mut driver = make_driver(cluster, run, mode)?;
+    driver.set_config_fingerprint(run_fingerprint(&plan, &cfg.opts));
+    let (tree, _) = run_partition_job(&mut driver, &plan)?;
+    let factors = lu_decompose_mr(&mut driver, BlockView::Tree(tree), &plan, &cfg.opts)?;
+    let inverse = invert_factors_mr(&mut driver, &factors, &plan, &cfg.opts)?;
 
-    let mut pipeline = Pipeline::new();
-    let (tree, partition_report) = run_partition_job(cluster, &plan)?;
-    pipeline.push(partition_report);
-    let factors = lu_decompose_mr(
-        cluster,
-        BlockView::Tree(tree),
-        &plan,
-        &cfg.opts,
-        &mut pipeline,
-    )?;
-    let inverse = invert_factors_mr(cluster, &factors, &plan, &cfg.opts, &mut pipeline)?;
-
-    let mut report = RunReport::from_deltas(
-        n,
-        cluster.nodes(),
-        cfg.nb,
-        &metrics_before,
-        &cluster.metrics.snapshot(),
-        &dfs_before,
-        &cluster.dfs.counters(),
-    );
-    if cluster.trace.is_enabled() {
-        report.analytics = Some(pipeline.analytics(&cluster.trace));
-    }
+    let report = driver.finish(n, cfg.nb);
     Ok(InverseOutput { inverse, report })
 }
 
@@ -94,37 +148,29 @@ pub fn invert(cluster: &Cluster, a: &Matrix, cfg: &InversionConfig) -> Result<In
 /// verification; the paper's downstream consumers read the files
 /// directly).
 pub fn lu(cluster: &Cluster, a: &Matrix, cfg: &InversionConfig) -> Result<LuOutput> {
+    let run = fresh_run_id(cluster);
+    lu_run(cluster, a, cfg, &run, Checkpoint::Disabled)
+}
+
+/// [`lu`] with a caller-chosen run directory and checkpoint mode (see
+/// [`invert_run`] for the crash/resume contract).
+pub fn lu_run(
+    cluster: &Cluster,
+    a: &Matrix,
+    cfg: &InversionConfig,
+    run: &RunId,
+    mode: Checkpoint,
+) -> Result<LuOutput> {
     let n = a.order()?;
-    let work = fresh_workdir();
-    let plan = PartitionPlan::new(n, cluster, cfg, work);
+    let plan = PartitionPlan::new(n, cluster, cfg, run.dir());
     ingest_input(cluster, a, &plan)?;
 
-    let metrics_before = cluster.metrics.snapshot();
-    let dfs_before = cluster.dfs.counters();
+    let mut driver = make_driver(cluster, run, mode)?;
+    driver.set_config_fingerprint(run_fingerprint(&plan, &cfg.opts));
+    let (tree, _) = run_partition_job(&mut driver, &plan)?;
+    let factors = lu_decompose_mr(&mut driver, BlockView::Tree(tree), &plan, &cfg.opts)?;
 
-    let mut pipeline = Pipeline::new();
-    let (tree, partition_report) = run_partition_job(cluster, &plan)?;
-    pipeline.push(partition_report);
-    let factors = lu_decompose_mr(
-        cluster,
-        BlockView::Tree(tree),
-        &plan,
-        &cfg.opts,
-        &mut pipeline,
-    )?;
-
-    let mut report = RunReport::from_deltas(
-        n,
-        cluster.nodes(),
-        cfg.nb,
-        &metrics_before,
-        &cluster.metrics.snapshot(),
-        &dfs_before,
-        &cluster.dfs.counters(),
-    );
-    if cluster.trace.is_enabled() {
-        report.analytics = Some(pipeline.analytics(&cluster.trace));
-    }
+    let report = driver.finish(n, cfg.nb);
 
     let mut io = MasterIo::new(&cluster.dfs);
     let l = factors.assemble_l(&mut io)?;
@@ -138,16 +184,16 @@ pub fn lu(cluster: &Cluster, a: &Matrix, cfg: &InversionConfig) -> Result<LuOutp
 }
 
 /// Low-level variant of [`invert`] for callers that already partitioned:
-/// decomposes and inverts, reusing the given plan and pipeline.
+/// decomposes and inverts, reusing the given plan through the caller's
+/// driver.
 pub fn invert_with_plan(
-    cluster: &Cluster,
+    driver: &mut PipelineDriver<'_>,
     plan: &PartitionPlan,
     tree: crate::partition::SourceTree,
     cfg: &InversionConfig,
-    pipeline: &mut Pipeline,
 ) -> Result<(Matrix, FactorRef)> {
-    let factors = lu_decompose_mr(cluster, BlockView::Tree(tree), plan, &cfg.opts, pipeline)?;
-    let inverse = invert_factors_mr(cluster, &factors, plan, &cfg.opts, pipeline)?;
+    let factors = lu_decompose_mr(driver, BlockView::Tree(tree), plan, &cfg.opts)?;
+    let inverse = invert_factors_mr(driver, &factors, plan, &cfg.opts)?;
     Ok((inverse, factors))
 }
 
@@ -226,6 +272,10 @@ mod tests {
         assert!(r.dfs_bytes_read > 0);
         assert_eq!(r.task_failures, 0);
         assert!((r.hours - r.sim_secs / 3600.0).abs() < 1e-12);
+        // A plain run restores nothing and names its workdir.
+        assert_eq!(r.restored_jobs, 0);
+        assert_eq!(r.restored_sim_secs, 0.0);
+        assert!(r.workdir.starts_with("mrinv/run-"), "workdir {}", r.workdir);
     }
 
     #[test]
@@ -277,6 +327,24 @@ mod tests {
             out1.inverse.approx_eq(&out2.inverse, 0.0),
             "same input, same output"
         );
+        assert_ne!(
+            out1.report.workdir, out2.report.workdir,
+            "consecutive runs get distinct directories"
+        );
+    }
+
+    #[test]
+    fn run_fingerprint_tracks_configuration() {
+        let cluster = test_cluster(4);
+        let cfg = InversionConfig::with_nb(8);
+        let plan = PartitionPlan::new(32, &cluster, &cfg, "Root");
+        let fp = run_fingerprint(&plan, &cfg.opts);
+        assert_eq!(fp, run_fingerprint(&plan, &cfg.opts), "deterministic");
+        let mut other_opts = cfg.opts;
+        other_opts.transpose_u = !other_opts.transpose_u;
+        assert_ne!(fp, run_fingerprint(&plan, &other_opts));
+        let other_plan = PartitionPlan::new(32, &cluster, &InversionConfig::with_nb(16), "Root");
+        assert_ne!(fp, run_fingerprint(&other_plan, &cfg.opts));
     }
 
     #[test]

@@ -62,5 +62,8 @@ pub mod tri_inv_mr;
 
 pub use config::{InversionConfig, Optimizations};
 pub use error::{CoreError, Result};
-pub use inverse::{invert, lu, InverseOutput, LuOutput};
+pub use inverse::{
+    invert, invert_run, lu, lu_run, run_fingerprint, Checkpoint, InverseOutput, LuOutput,
+};
+pub use mrinv_mapreduce::{PipelineDriver, RunId};
 pub use report::RunReport;

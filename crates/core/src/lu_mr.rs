@@ -21,7 +21,7 @@ use mrinv_mapreduce::job::{
 };
 use mrinv_mapreduce::master::run_on_master;
 use mrinv_mapreduce::runner::run_job;
-use mrinv_mapreduce::{Cluster, MrError, Pipeline};
+use mrinv_mapreduce::{Cluster, MrError, PipelineDriver};
 use mrinv_matrix::block::even_ranges;
 use mrinv_matrix::io::encode_binary;
 use mrinv_matrix::lu::lu_decompose;
@@ -76,16 +76,19 @@ pub(crate) fn charge_master_io(cluster: &Cluster, io: &MasterIo<'_>) {
     cluster.metrics.add_master_secs(secs);
 }
 
-/// Distributed block LU decomposition of the given block. Appends one
-/// [`mrinv_mapreduce::runner::JobReport`] per recursion node to `pipeline`
-/// and returns the factor descriptor.
+/// Distributed block LU decomposition of the given block. Sequences one
+/// MapReduce job per recursion node through the driver (each restorable
+/// from a checkpoint manifest on resume) and returns the factor
+/// descriptor. Leaf decompositions run on the master node and re-run
+/// deterministically on resume; only their (small) master time is
+/// re-charged.
 pub fn lu_decompose_mr(
-    cluster: &Cluster,
+    driver: &mut PipelineDriver<'_>,
     view: BlockView,
     plan: &PartitionPlan,
     opts: &Optimizations,
-    pipeline: &mut Pipeline,
 ) -> Result<FactorRef> {
+    let cluster = driver.cluster();
     let n = view.n();
     let dir = view.dir();
 
@@ -148,7 +151,7 @@ pub fn lu_decompose_mr(
     let rest = n - half;
 
     // Decompose A1 first (Algorithm 2 line 6).
-    let a1_factors = lu_decompose_mr(cluster, a1_view, plan, opts, pipeline)?;
+    let a1_factors = lu_decompose_mr(driver, a1_view, plan, opts)?;
     let p1 = a1_factors.perm();
 
     // Stripe and cell geometry for this level.
@@ -231,10 +234,12 @@ pub fn lu_decompose_mr(
         opts: *opts,
     };
 
-    let mut spec = JobSpec::new(format!("lu-level:{dir}"), num_cells);
-    spec.partitioner = identity_partitioner;
-    let (_outputs, report) = run_job(cluster, &spec, &mapper, &reducer, &inputs)?;
-    pipeline.push(report);
+    let spec = JobSpec::new(format!("lu-level:{dir}"))
+        .reducers(num_cells)
+        .partitioner(identity_partitioner);
+    driver.step(spec.fingerprint(), |c| {
+        run_job(c, &spec, &mapper, &reducer, &inputs).map(|(_outputs, report)| report)
+    })?;
 
     // B's descriptor (Section 5.2: metadata only, built on the master).
     let b_pieces: Vec<Piece> = cell_rows
@@ -256,14 +261,13 @@ pub fn lu_decompose_mr(
 
     // Decompose B (Algorithm 2 line 10).
     let b_factors = lu_decompose_mr(
-        cluster,
+        driver,
         BlockView::Source {
             dir: format!("{dir}/OUT"),
             source: b_source,
         },
         plan,
         opts,
-        pipeline,
     )?;
 
     let node = FactorRef::Node {
@@ -459,7 +463,8 @@ mod tests {
     use super::*;
     use crate::config::InversionConfig;
     use crate::partition::{ingest_input, run_partition_job};
-    use mrinv_mapreduce::{ClusterConfig, CostModel};
+    use mrinv_mapreduce::runner::JobReport;
+    use mrinv_mapreduce::{ClusterConfig, CostModel, RunId};
     use mrinv_matrix::random::random_invertible;
 
     fn run_lu(
@@ -468,7 +473,7 @@ mod tests {
         m0: usize,
         opts: Optimizations,
         seed: u64,
-    ) -> (Cluster, FactorRef, Pipeline, Matrix) {
+    ) -> (Cluster, FactorRef, Vec<JobReport>, Matrix) {
         let mut ccfg = ClusterConfig::medium(m0);
         ccfg.cost = CostModel::unit_for_tests();
         let cluster = Cluster::new(ccfg);
@@ -477,17 +482,13 @@ mod tests {
         let plan = PartitionPlan::new(n, &cluster, &icfg, "Root");
         let a = random_invertible(n, seed);
         ingest_input(&cluster, &a, &plan).unwrap();
-        let (tree, _) = run_partition_job(&cluster, &plan).unwrap();
-        let mut pipeline = Pipeline::new();
-        let factors = lu_decompose_mr(
-            &cluster,
-            BlockView::Tree(tree),
-            &plan,
-            &icfg.opts,
-            &mut pipeline,
-        )
-        .unwrap();
-        (cluster, factors, pipeline, a)
+        let mut driver = PipelineDriver::new(&cluster, RunId::new("Root"));
+        let (tree, _) = run_partition_job(&mut driver, &plan).unwrap();
+        let factors =
+            lu_decompose_mr(&mut driver, BlockView::Tree(tree), &plan, &icfg.opts).unwrap();
+        // Reports minus the partition job: the LU pipeline proper.
+        let reports = driver.reports()[1..].to_vec();
+        (cluster, factors, reports, a)
     }
 
     fn assert_pa_eq_lu(cluster: &Cluster, factors: &FactorRef, a: &Matrix, tol: f64) {
@@ -505,22 +506,22 @@ mod tests {
 
     #[test]
     fn one_level_decomposition_matches() {
-        let (cluster, factors, pipeline, a) = run_lu(16, 8, 4, Optimizations::all(), 1);
-        assert_eq!(pipeline.num_jobs(), 1, "one recursion node -> one MR job");
+        let (cluster, factors, reports, a) = run_lu(16, 8, 4, Optimizations::all(), 1);
+        assert_eq!(reports.len(), 1, "one recursion node -> one MR job");
         assert_pa_eq_lu(&cluster, &factors, &a, 1e-8);
     }
 
     #[test]
     fn two_level_decomposition_matches() {
-        let (cluster, factors, pipeline, a) = run_lu(32, 8, 4, Optimizations::all(), 2);
-        assert_eq!(pipeline.num_jobs(), 3, "depth 2 -> 3 MR jobs");
+        let (cluster, factors, reports, a) = run_lu(32, 8, 4, Optimizations::all(), 2);
+        assert_eq!(reports.len(), 3, "depth 2 -> 3 MR jobs");
         assert_pa_eq_lu(&cluster, &factors, &a, 1e-8);
     }
 
     #[test]
     fn three_level_decomposition_matches() {
-        let (cluster, factors, pipeline, a) = run_lu(64, 8, 4, Optimizations::all(), 3);
-        assert_eq!(pipeline.num_jobs(), 7);
+        let (cluster, factors, reports, a) = run_lu(64, 8, 4, Optimizations::all(), 3);
+        assert_eq!(reports.len(), 7);
         assert_pa_eq_lu(&cluster, &factors, &a, 1e-7);
     }
 
@@ -588,8 +589,8 @@ mod tests {
 
     #[test]
     fn leaf_only_decomposition_runs_no_jobs() {
-        let (cluster, factors, pipeline, a) = run_lu(8, 16, 2, Optimizations::all(), 13);
-        assert_eq!(pipeline.num_jobs(), 0);
+        let (cluster, factors, reports, a) = run_lu(8, 16, 2, Optimizations::all(), 13);
+        assert_eq!(reports.len(), 0);
         assert_pa_eq_lu(&cluster, &factors, &a, 1e-9);
         assert!(cluster.metrics.snapshot().master_secs > 0.0);
     }
@@ -609,17 +610,11 @@ mod tests {
         let plan = PartitionPlan::new(32, &cluster, &icfg, "Root");
         let a = random_invertible(32, 17);
         ingest_input(&cluster, &a, &plan).unwrap();
-        let (tree, _) = run_partition_job(&cluster, &plan).unwrap();
-        let mut pipeline = Pipeline::new();
-        let factors = lu_decompose_mr(
-            &cluster,
-            BlockView::Tree(tree),
-            &plan,
-            &icfg.opts,
-            &mut pipeline,
-        )
-        .unwrap();
-        assert!(pipeline.total_failures() >= 2);
+        let mut driver = PipelineDriver::new(&cluster, RunId::new("Root"));
+        let (tree, _) = run_partition_job(&mut driver, &plan).unwrap();
+        let factors =
+            lu_decompose_mr(&mut driver, BlockView::Tree(tree), &plan, &icfg.opts).unwrap();
+        assert!(driver.total_failures() >= 2);
         assert_pa_eq_lu(&cluster, &factors, &a, 1e-8);
     }
 }

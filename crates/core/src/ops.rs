@@ -12,12 +12,12 @@
 //!   row stripe);
 //! * [`scale_add_mr`] — element-wise `alpha·A + beta·B`.
 //!
-//! All three return the assembled result and push their job report onto
-//! the caller's pipeline.
+//! All three return the assembled result and sequence their job through
+//! the caller's [`PipelineDriver`].
 
 use mrinv_mapreduce::job::{JobSpec, MapContext, Mapper};
 use mrinv_mapreduce::runner::run_map_only;
-use mrinv_mapreduce::{Cluster, MrError, Pipeline};
+use mrinv_mapreduce::{Cluster, MrError, PipelineDriver};
 use mrinv_matrix::block::even_ranges;
 use mrinv_matrix::io::{decode_binary, encode_binary};
 use mrinv_matrix::multiply::mul_transposed;
@@ -88,12 +88,8 @@ impl Mapper for MatmulMapper {
 }
 
 /// Distributed `A·B` with the block-wrap layout on one map-only job.
-pub fn matmul_mr(
-    cluster: &Cluster,
-    a: &Matrix,
-    b: &Matrix,
-    pipeline: &mut Pipeline,
-) -> Result<Matrix> {
+pub fn matmul_mr(driver: &mut PipelineDriver<'_>, a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let cluster = driver.cluster();
     if a.cols() != b.rows() {
         return Err(CoreError::Invariant(format!(
             "matmul shapes {:?} x {:?} do not chain",
@@ -115,9 +111,10 @@ pub fn matmul_mr(
         row_ranges: row_ranges.clone(),
         col_ranges: col_ranges.clone(),
     };
-    let spec: JobSpec<usize, usize> = JobSpec::new(format!("matmul:{dir}"), 0);
-    let report = run_map_only(cluster, &spec, &mapper, &inputs)?;
-    pipeline.push(report);
+    let spec: JobSpec<usize, usize> = JobSpec::new(format!("matmul:{dir}"));
+    driver.step(spec.fingerprint(), |c| {
+        run_map_only(c, &spec, &mapper, &inputs)
+    })?;
 
     // Assemble (uncharged API convenience; blocks stay in the DFS).
     let mut out = Matrix::zeros(a.rows(), b.cols());
@@ -165,7 +162,8 @@ impl Mapper for TransposeMapper {
 
 /// Distributed transpose: each task transposes its row stripe, producing
 /// the corresponding *column* stripe of `Aᵀ`.
-pub fn transpose_mr(cluster: &Cluster, a: &Matrix, pipeline: &mut Pipeline) -> Result<Matrix> {
+pub fn transpose_mr(driver: &mut PipelineDriver<'_>, a: &Matrix) -> Result<Matrix> {
+    let cluster = driver.cluster();
     let dir = opdir(cluster, "transpose");
     let m0 = cluster.nodes().max(1);
     let mut io = MasterIo::new(&cluster.dfs);
@@ -177,9 +175,10 @@ pub fn transpose_mr(cluster: &Cluster, a: &Matrix, pipeline: &mut Pipeline) -> R
         dir: dir.clone(),
         row_ranges: row_ranges.clone(),
     };
-    let spec: JobSpec<usize, usize> = JobSpec::new(format!("transpose:{dir}"), 0);
-    let report = run_map_only(cluster, &spec, &mapper, &inputs)?;
-    pipeline.push(report);
+    let spec: JobSpec<usize, usize> = JobSpec::new(format!("transpose:{dir}"));
+    driver.step(spec.fingerprint(), |c| {
+        run_map_only(c, &spec, &mapper, &inputs)
+    })?;
 
     let mut out = Matrix::zeros(a.cols(), a.rows());
     for (k, &(r0, r1)) in row_ranges.iter().enumerate() {
@@ -232,13 +231,13 @@ impl Mapper for ScaleAddMapper {
 
 /// Distributed element-wise `alpha·A + beta·B`.
 pub fn scale_add_mr(
-    cluster: &Cluster,
+    driver: &mut PipelineDriver<'_>,
     a: &Matrix,
     b: &Matrix,
     alpha: f64,
     beta: f64,
-    pipeline: &mut Pipeline,
 ) -> Result<Matrix> {
+    let cluster = driver.cluster();
     if a.shape() != b.shape() {
         return Err(CoreError::Invariant(format!(
             "scale_add shapes differ: {:?} vs {:?}",
@@ -260,9 +259,10 @@ pub fn scale_add_mr(
         alpha,
         beta,
     };
-    let spec: JobSpec<usize, usize> = JobSpec::new(format!("scale-add:{dir}"), 0);
-    let report = run_map_only(cluster, &spec, &mapper, &inputs)?;
-    pipeline.push(report);
+    let spec: JobSpec<usize, usize> = JobSpec::new(format!("scale-add:{dir}"));
+    driver.step(spec.fingerprint(), |c| {
+        run_map_only(c, &spec, &mapper, &inputs)
+    })?;
 
     let mut out = Matrix::zeros(a.rows(), a.cols());
     for (k, &(r0, r1)) in row_ranges.iter().enumerate() {
@@ -278,7 +278,7 @@ pub fn scale_add_mr(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mrinv_mapreduce::{ClusterConfig, CostModel};
+    use mrinv_mapreduce::{ClusterConfig, CostModel, RunId};
     use mrinv_matrix::multiply::mul_naive;
     use mrinv_matrix::random::random_matrix;
 
@@ -286,6 +286,10 @@ mod tests {
         let mut cfg = ClusterConfig::medium(m0);
         cfg.cost = CostModel::unit_for_tests();
         Cluster::new(cfg)
+    }
+
+    fn driver(c: &Cluster) -> PipelineDriver<'_> {
+        PipelineDriver::new(c, RunId::new("mrops"))
     }
 
     #[test]
@@ -298,31 +302,31 @@ mod tests {
             let c = cluster(m0);
             let a = random_matrix(m, k, 1);
             let b = random_matrix(k, n, 2);
-            let mut p = Pipeline::new();
-            let got = matmul_mr(&c, &a, &b, &mut p).unwrap();
+            let mut d = driver(&c);
+            let got = matmul_mr(&mut d, &a, &b).unwrap();
             let expect = mul_naive(&a, &b).unwrap();
             assert!(got.approx_eq(&expect, 1e-10), "m={m} k={k} n={n} m0={m0}");
-            assert_eq!(p.num_jobs(), 1);
+            assert_eq!(d.num_jobs(), 1);
         }
     }
 
     #[test]
     fn matmul_rejects_mismatched_shapes() {
         let c = cluster(2);
-        let mut p = Pipeline::new();
-        assert!(matmul_mr(&c, &Matrix::zeros(2, 3), &Matrix::zeros(4, 2), &mut p).is_err());
+        let mut d = driver(&c);
+        assert!(matmul_mr(&mut d, &Matrix::zeros(2, 3), &Matrix::zeros(4, 2)).is_err());
     }
 
     #[test]
     fn transpose_round_trips() {
         let c = cluster(4);
         let a = random_matrix(19, 31, 3);
-        let mut p = Pipeline::new();
-        let t = transpose_mr(&c, &a, &mut p).unwrap();
+        let mut d = driver(&c);
+        let t = transpose_mr(&mut d, &a).unwrap();
         assert_eq!(t, a.transpose());
-        let back = transpose_mr(&c, &t, &mut p).unwrap();
+        let back = transpose_mr(&mut d, &t).unwrap();
         assert_eq!(back, a);
-        assert_eq!(p.num_jobs(), 2);
+        assert_eq!(d.num_jobs(), 2);
     }
 
     #[test]
@@ -330,15 +334,15 @@ mod tests {
         let c = cluster(3);
         let a = random_matrix(14, 9, 4);
         let b = random_matrix(14, 9, 5);
-        let mut p = Pipeline::new();
-        let got = scale_add_mr(&c, &a, &b, 2.0, -0.5, &mut p).unwrap();
+        let mut d = driver(&c);
+        let got = scale_add_mr(&mut d, &a, &b, 2.0, -0.5).unwrap();
         for i in 0..14 {
             for j in 0..9 {
                 let expect = 2.0 * a[(i, j)] - 0.5 * b[(i, j)];
                 assert!((got[(i, j)] - expect).abs() < 1e-12);
             }
         }
-        assert!(scale_add_mr(&c, &a, &Matrix::zeros(2, 2), 1.0, 1.0, &mut p).is_err());
+        assert!(scale_add_mr(&mut d, &a, &Matrix::zeros(2, 2), 1.0, 1.0).is_err());
     }
 
     #[test]
@@ -347,12 +351,12 @@ mod tests {
         let a = random_matrix(32, 32, 6);
         let b = random_matrix(32, 32, 7);
         let before = c.metrics.snapshot();
-        let mut p = Pipeline::new();
-        let _ = matmul_mr(&c, &a, &b, &mut p).unwrap();
+        let mut d = driver(&c);
+        let _ = matmul_mr(&mut d, &a, &b).unwrap();
         let after = c.metrics.snapshot();
         assert_eq!(after.jobs - before.jobs, 1);
         assert!(after.sim_secs > before.sim_secs);
-        assert!(p.total_stats().read_bytes > 0);
+        assert!(d.total_stats().read_bytes > 0);
     }
 
     #[test]
@@ -365,10 +369,10 @@ mod tests {
         let a = random_matrix(n, n, 8);
         let b = random_matrix(n, n, 9);
         c.dfs.reset_counters();
-        let mut p = Pipeline::new();
-        let _ = matmul_mr(&c, &a, &b, &mut p).unwrap();
+        let mut d = driver(&c);
+        let _ = matmul_mr(&mut d, &a, &b).unwrap();
         let (f1, f2) = c.config.block_wrap_factors();
-        let read_elements = p.total_stats().read_bytes as f64 / 8.0;
+        let read_elements = d.total_stats().read_bytes as f64 / 8.0;
         let bound = ((f1 + f2) as f64 + 1.0) * (n * n) as f64;
         assert!(
             read_elements <= bound,

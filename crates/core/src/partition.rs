@@ -21,7 +21,7 @@
 
 use mrinv_mapreduce::job::{JobSpec, MapContext, Mapper};
 use mrinv_mapreduce::runner::{run_map_only, JobReport};
-use mrinv_mapreduce::{Cluster, MrError};
+use mrinv_mapreduce::{Cluster, MrError, PipelineDriver};
 use mrinv_matrix::block::{even_ranges, BlockRange};
 use mrinv_matrix::io::{decode_binary, encode_binary};
 use mrinv_matrix::Matrix;
@@ -397,15 +397,20 @@ pub fn ingest_input(cluster: &Cluster, a: &Matrix, plan: &PartitionPlan) -> Resu
     Ok(())
 }
 
-/// Runs the partitioning job and returns the layout descriptor tree.
+/// Runs the partitioning job through the driver and returns the layout
+/// descriptor tree. On a resumed run the job is restored from the
+/// checkpoint manifest when its outputs survive; the tree is rebuilt
+/// either way (it is a pure function of the plan).
 pub fn run_partition_job(
-    cluster: &Cluster,
+    driver: &mut PipelineDriver<'_>,
     plan: &PartitionPlan,
 ) -> Result<(SourceTree, JobReport)> {
-    let spec: JobSpec<usize, usize> = JobSpec::new(format!("partition:{}", plan.root), 0);
+    let spec: JobSpec<usize, usize> = JobSpec::new(format!("partition:{}", plan.root));
     let inputs: Vec<usize> = (0..plan.m0).collect();
     let mapper = PartitionMapper { plan: plan.clone() };
-    let report = run_map_only(cluster, &spec, &mapper, &inputs)?;
+    let report = driver.step(spec.fingerprint(), |c| {
+        run_map_only(c, &spec, &mapper, &inputs)
+    })?;
     Ok((build_source_tree(plan), report))
 }
 
@@ -435,6 +440,7 @@ pub fn read_back(tree: &SourceTree, io: &mut MasterIo<'_>) -> Result<Matrix> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mrinv_mapreduce::RunId;
     use mrinv_matrix::random::random_matrix;
 
     fn plan(n: usize, nb: usize, m0: usize, block_wrap: bool) -> (Cluster, PartitionPlan) {
@@ -458,7 +464,8 @@ mod tests {
             let (cluster, p) = plan(n, nb, m0, true);
             let a = random_matrix(n, n, n as u64);
             ingest_input(&cluster, &a, &p).unwrap();
-            let (tree, report) = run_partition_job(&cluster, &p).unwrap();
+            let mut driver = PipelineDriver::new(&cluster, RunId::new("Root"));
+            let (tree, report) = run_partition_job(&mut driver, &p).unwrap();
             assert_eq!(report.map_tasks, m0);
             let mut io = MasterIo::new(&cluster.dfs);
             let back = read_back(&tree, &mut io).unwrap();
@@ -548,7 +555,8 @@ mod tests {
         let (cluster, p) = plan(8, 16, 4, true);
         let a = random_matrix(8, 8, 1);
         ingest_input(&cluster, &a, &p).unwrap();
-        let (tree, _) = run_partition_job(&cluster, &p).unwrap();
+        let mut driver = PipelineDriver::new(&cluster, RunId::new("Root"));
+        let (tree, _) = run_partition_job(&mut driver, &p).unwrap();
         assert!(matches!(tree, SourceTree::Leaf { n: 8, .. }));
         let mut io = MasterIo::new(&cluster.dfs);
         assert_eq!(read_back(&tree, &mut io).unwrap(), a);
@@ -570,7 +578,8 @@ mod tests {
         let (cluster, p) = plan(n, 8, 4, true);
         let a = random_matrix(n, n, 9);
         ingest_input(&cluster, &a, &p).unwrap();
-        let (tree, _) = run_partition_job(&cluster, &p).unwrap();
+        let mut driver = PipelineDriver::new(&cluster, RunId::new("Root"));
+        let (tree, _) = run_partition_job(&mut driver, &p).unwrap();
         let SourceTree::Split { a2, .. } = &tree else {
             panic!("expected split")
         };

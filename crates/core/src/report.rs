@@ -1,74 +1,17 @@
 //! Per-run accounting returned by the public API.
+//!
+//! The report type lives in the framework crate next to the
+//! [`mrinv_mapreduce::PipelineDriver`] that produces it
+//! ([`mrinv_mapreduce::PipelineDriver::finish`]); this module re-exports
+//! it under the historical `mrinv::report::RunReport` path.
 
-use mrinv_mapreduce::dfs::DfsCountersSnapshot;
-use mrinv_mapreduce::{MetricsSnapshot, PipelineAnalytics};
-use serde::{Deserialize, Serialize};
-
-/// Everything one inversion run measured, as deltas over the cluster's
-/// state when the run started.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct RunReport {
-    /// Matrix order.
-    pub n: usize,
-    /// Cluster size `m0`.
-    pub nodes: usize,
-    /// Bound value used.
-    pub nb: usize,
-    /// MapReduce jobs executed (partition + LU pipeline + final).
-    pub jobs: u64,
-    /// Total simulated seconds (job waves + shuffles + launches + master
-    /// work).
-    pub sim_secs: f64,
-    /// Simulated seconds of serial master-node work.
-    pub master_secs: f64,
-    /// Failed task attempts (all injected or transient).
-    pub task_failures: u64,
-    /// Logical DFS bytes written during the run.
-    pub dfs_bytes_written: u64,
-    /// Logical DFS bytes read during the run.
-    pub dfs_bytes_read: u64,
-    /// Bytes moved through shuffles.
-    pub shuffle_bytes: u64,
-    /// Simulated running time in hours (convenience for paper-style
-    /// reporting).
-    pub hours: f64,
-    /// Per-wave straggler/lost-work analytics, present when the cluster
-    /// ran with tracing enabled ([`mrinv_mapreduce::cluster::ClusterConfig::tracing`]).
-    pub analytics: Option<PipelineAnalytics>,
-}
-
-impl RunReport {
-    /// Builds a report from before/after snapshots.
-    pub fn from_deltas(
-        n: usize,
-        nodes: usize,
-        nb: usize,
-        metrics_before: &MetricsSnapshot,
-        metrics_after: &MetricsSnapshot,
-        dfs_before: &DfsCountersSnapshot,
-        dfs_after: &DfsCountersSnapshot,
-    ) -> Self {
-        let sim_secs = metrics_after.sim_secs - metrics_before.sim_secs;
-        RunReport {
-            n,
-            nodes,
-            nb,
-            jobs: metrics_after.jobs - metrics_before.jobs,
-            sim_secs,
-            master_secs: metrics_after.master_secs - metrics_before.master_secs,
-            task_failures: metrics_after.task_failures - metrics_before.task_failures,
-            dfs_bytes_written: dfs_after.bytes_written - dfs_before.bytes_written,
-            dfs_bytes_read: dfs_after.bytes_read - dfs_before.bytes_read,
-            shuffle_bytes: metrics_after.shuffle_bytes - metrics_before.shuffle_bytes,
-            hours: sim_secs / 3600.0,
-            analytics: None,
-        }
-    }
-}
+pub use mrinv_mapreduce::RunReport;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mrinv_mapreduce::dfs::DfsCountersSnapshot;
+    use mrinv_mapreduce::MetricsSnapshot;
 
     #[test]
     fn deltas_subtract() {
@@ -104,6 +47,8 @@ mod tests {
         assert_eq!(r.task_failures, 1);
         assert_eq!(r.shuffle_bytes, 64);
         assert!(r.analytics.is_none(), "no analytics without tracing");
+        assert_eq!(r.restored_jobs, 0, "deltas alone restore nothing");
+        assert_eq!(r.workdir, "", "workdir is stamped by the driver");
     }
 
     #[test]
@@ -120,15 +65,22 @@ mod tests {
             dfs_bytes_read: 1 << 21,
             shuffle_bytes: 4096,
             hours: 123.5 / 3600.0,
+            workdir: "mrinv/run-0".to_string(),
+            restored_jobs: 3,
+            restored_sim_secs: 41.25,
             analytics: None,
         };
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("\"jobs\": 9"), "json {json}");
         assert!(json.contains("\"analytics\": null"));
+        assert!(json.contains("\"restored_jobs\": 3"));
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.n, report.n);
         assert_eq!(back.jobs, report.jobs);
         assert_eq!(back.sim_secs, report.sim_secs);
+        assert_eq!(back.workdir, "mrinv/run-0");
+        assert_eq!(back.restored_jobs, 3);
+        assert_eq!(back.restored_sim_secs, 41.25);
         assert!(back.analytics.is_none());
     }
 }

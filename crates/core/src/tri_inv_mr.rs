@@ -20,7 +20,7 @@ use mrinv_mapreduce::job::{
     identity_partitioner, JobSpec, MapContext, Mapper, ReduceContext, Reducer,
 };
 use mrinv_mapreduce::runner::run_job;
-use mrinv_mapreduce::{Cluster, MrError, Pipeline};
+use mrinv_mapreduce::{MrError, PipelineDriver};
 use mrinv_matrix::block::even_ranges;
 use mrinv_matrix::io::{decode_binary, encode_binary};
 use mrinv_matrix::multiply::{mul_ijk, mul_transposed};
@@ -334,12 +334,12 @@ impl Reducer for TriInvReducer {
 /// assembly here is an API convenience and is not charged to the simulated
 /// clock.
 pub fn invert_factors_mr(
-    cluster: &Cluster,
+    driver: &mut PipelineDriver<'_>,
     factors: &FactorRef,
     plan: &PartitionPlan,
     opts: &Optimizations,
-    pipeline: &mut Pipeline,
 ) -> Result<Matrix> {
+    let cluster = driver.cluster();
     let n = factors.n();
     let dir = plan.root.clone();
     let row_blocks = even_ranges(n, plan.grid.0);
@@ -377,10 +377,12 @@ pub fn invert_factors_mr(
         opts: *opts,
     };
 
-    let mut spec = JobSpec::new(format!("final-inverse:{dir}"), num_cells);
-    spec.partitioner = identity_partitioner;
-    let (_out, report) = run_job(cluster, &spec, &mapper, &reducer, &inputs)?;
-    pipeline.push(report);
+    let spec = JobSpec::new(format!("final-inverse:{dir}"))
+        .reducers(num_cells)
+        .partitioner(identity_partitioner);
+    driver.step(spec.fingerprint(), |c| {
+        run_job(c, &spec, &mapper, &reducer, &inputs).map(|(_out, report)| report)
+    })?;
 
     // Assemble the final matrix from the RESULT files (uncharged).
     let mut result = Matrix::zeros(n, n);

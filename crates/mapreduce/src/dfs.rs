@@ -111,14 +111,23 @@ impl Dfs {
         self.files.write().insert(path, data);
     }
 
+    /// Writes (or overwrites) a file *without* touching the I/O counters.
+    ///
+    /// Reserved for framework metadata (the checkpoint manifest): driver
+    /// bookkeeping must stay invisible to byte accounting so a
+    /// checkpoint-enabled run reports the same I/O as a plain one.
+    pub fn write_uncounted(&self, path: &str, data: Bytes) {
+        self.files.write().insert(normalize_path(path), data);
+    }
+
     /// Reads a file; cheap (`Bytes` is reference-counted).
     pub fn read(&self, path: &str) -> Result<Bytes> {
         let path = normalize_path(path);
         let files = self.files.read();
-        let data = files
-            .get(&path)
-            .cloned()
-            .ok_or_else(|| MrError::FileNotFound(path.clone()))?;
+        let data = match files.get(&path) {
+            Some(d) => d.clone(),
+            None => return Err(self.not_found(&files, path)),
+        };
         self.counters
             .bytes_read
             .fetch_add(data.len() as u64, Ordering::Relaxed);
@@ -134,11 +143,35 @@ impl Dfs {
     /// Size in bytes of `path`.
     pub fn len(&self, path: &str) -> Result<u64> {
         let path = normalize_path(path);
-        self.files
-            .read()
-            .get(&path)
-            .map(|d| d.len() as u64)
-            .ok_or(MrError::FileNotFound(path))
+        let files = self.files.read();
+        match files.get(&path) {
+            Some(d) => Ok(d.len() as u64),
+            None => Err(self.not_found(&files, path)),
+        }
+    }
+
+    /// Builds the diagnosable not-found error: walks the path's ancestors
+    /// (deepest first) and reports the first one that exists as a
+    /// directory, or `/` when no component of the path exists.
+    fn not_found(&self, files: &BTreeMap<String, Bytes>, path: String) -> MrError {
+        let mut nearest_parent = "/".to_string();
+        let mut ancestor = path.as_str();
+        while let Some(idx) = ancestor.rfind('/') {
+            ancestor = &ancestor[..idx];
+            let prefix = format!("{ancestor}/");
+            let dir_exists = files
+                .range(prefix.clone()..)
+                .next()
+                .is_some_and(|(k, _)| k.starts_with(&prefix));
+            if dir_exists {
+                nearest_parent = ancestor.to_string();
+                break;
+            }
+        }
+        MrError::FileNotFound {
+            path,
+            nearest_parent,
+        }
     }
 
     /// True when the store holds no files.
@@ -251,8 +284,51 @@ mod tests {
     #[test]
     fn missing_file_is_an_error() {
         let dfs = Dfs::default();
-        assert!(matches!(dfs.read("nope"), Err(MrError::FileNotFound(_))));
+        assert!(matches!(
+            dfs.read("nope"),
+            Err(MrError::FileNotFound { .. })
+        ));
         assert!(dfs.len("nope").is_err());
+    }
+
+    #[test]
+    fn not_found_reports_nearest_existing_parent() {
+        let dfs = Dfs::default();
+        dfs.write("run/L2/L.0", Bytes::from_static(b"1"));
+        // Missing file in an existing directory: parent is that directory.
+        match dfs.read("run/L2/L.7") {
+            Err(MrError::FileNotFound {
+                path,
+                nearest_parent,
+            }) => {
+                assert_eq!(path, "run/L2/L.7");
+                assert_eq!(nearest_parent, "run/L2");
+            }
+            other => panic!("expected FileNotFound, got {other:?}"),
+        }
+        // Missing subtree: the deepest ancestor that exists wins.
+        match dfs.len("run/U2/U.0") {
+            Err(MrError::FileNotFound { nearest_parent, .. }) => {
+                assert_eq!(nearest_parent, "run");
+            }
+            other => panic!("expected FileNotFound, got {other:?}"),
+        }
+        // Nothing on the path exists at all.
+        match dfs.read("other/x/y") {
+            Err(MrError::FileNotFound { nearest_parent, .. }) => {
+                assert_eq!(nearest_parent, "/");
+            }
+            other => panic!("expected FileNotFound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uncounted_writes_skip_accounting() {
+        let dfs = Dfs::default();
+        dfs.write_uncounted("run/_manifest", Bytes::from_static(b"{}"));
+        assert!(dfs.exists("run/_manifest"));
+        assert_eq!(dfs.counters(), DfsCountersSnapshot::default());
+        assert_eq!(dfs.file_count(), 1);
     }
 
     #[test]

@@ -1,0 +1,672 @@
+//! The pipeline driver: job sequencing, run-level accounting, and
+//! checkpoint/resume.
+//!
+//! The paper's fault-tolerance story (Sections 6.6, 7.4) stops at
+//! task-level re-execution: Hadoop retries a killed task, but if the
+//! *driver* dies between jobs the whole `2^⌈log2(n/nb)⌉ + 1`-job pipeline
+//! restarts from scratch. [`PipelineDriver`] closes that gap the way the
+//! paper's Spark-based successors do with lineage/checkpoint recovery:
+//!
+//! * every job runs through [`PipelineDriver::step`], which owns the
+//!   sequencing and collects the per-job [`JobReport`]s (replacing the
+//!   hand-threaded `Pipeline::push` accounting);
+//! * with checkpointing enabled, the driver appends a [`ManifestRecord`]
+//!   — job name, sequence number, fingerprint, output paths, and the full
+//!   report — to a `_manifest` file in the run directory after each
+//!   completed job;
+//! * [`PipelineDriver::resume`] replays the manifest: each recorded job
+//!   whose fingerprint matches and whose outputs all still exist in the
+//!   DFS is *restored* (its report re-enters the accounting, nothing
+//!   re-executes); the first mismatch truncates the stale manifest tail
+//!   and execution resumes from there.
+//!
+//! Restored jobs do not advance the cluster clock — the resumed run's
+//! [`RunReport::sim_secs`] prices only what actually re-ran, while
+//! [`RunReport::restored_sim_secs`] reports what the checkpoint saved.
+//! The manifest itself is written through [`Dfs::write_uncounted`] and
+//! verified through uncharged metadata operations, so a
+//! checkpoint-enabled run reports byte-for-byte the same I/O as a plain
+//! one.
+//!
+//! [`Dfs::write_uncounted`]: crate::dfs::Dfs::write_uncounted
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::Cluster;
+use crate::dfs::{normalize_path, DfsCountersSnapshot};
+use crate::error::{MrError, Result};
+use crate::job::TaskStats;
+use crate::metrics::MetricsSnapshot;
+use crate::runner::JobReport;
+use crate::tracelog::{self, PipelineAnalytics, TraceLog};
+
+/// Incremental [FNV-1a] hasher producing fingerprints that are stable
+/// across processes and runs (unlike `DefaultHasher`, whose keys are
+/// randomized per process) — the property the checkpoint manifest needs
+/// to recognize its own records after a driver restart.
+///
+/// [FNV-1a]: http://www.isthe.com/chongo/tech/comp/fnv/
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// Starts a fingerprint at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Mixes raw bytes into the fingerprint.
+    pub fn push_bytes(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+        self
+    }
+
+    /// Mixes one integer (little-endian) into the fingerprint.
+    pub fn push_u64(self, v: u64) -> Self {
+        self.push_bytes(&v.to_le_bytes())
+    }
+
+    /// The accumulated 64-bit fingerprint.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+/// A deterministic, caller-visible run directory in the DFS.
+///
+/// Every file a pipeline produces lives under this directory, and the
+/// checkpoint manifest sits beside them at `<dir>/_manifest` — so the
+/// *same* `RunId` passed to a fresh run and to a resume addresses the
+/// same state (the property the old `fresh_workdir()` global counter
+/// could not provide).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunId {
+    dir: String,
+}
+
+impl RunId {
+    /// A run rooted at the given DFS directory (normalized).
+    pub fn new(dir: impl Into<String>) -> Self {
+        let dir = normalize_path(&dir.into());
+        assert!(!dir.is_empty(), "a run directory cannot be the DFS root");
+        RunId { dir }
+    }
+
+    /// The run's root directory.
+    pub fn dir(&self) -> &str {
+        &self.dir
+    }
+
+    /// Where this run's checkpoint manifest lives.
+    pub fn manifest_path(&self) -> String {
+        format!("{}/_manifest", self.dir)
+    }
+}
+
+/// One completed job as recorded in the checkpoint manifest (one JSON
+/// object per line of the `_manifest` file).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ManifestRecord {
+    /// Job name (from its report; informational).
+    pub name: String,
+    /// Position of the job within the pipeline (0-based).
+    pub seq: u64,
+    /// Mixed fingerprint of the run configuration, the job spec, and
+    /// `seq`; a resume only restores a record whose fingerprint matches
+    /// what the driver is about to run.
+    pub fingerprint: u64,
+    /// DFS paths this job created, verified to still exist on resume.
+    pub outputs: Vec<String>,
+    /// The job's full report, restored into the resumed accounting.
+    pub report: JobReport,
+}
+
+/// Everything one pipeline run measured, as deltas over the cluster's
+/// state when the driver was created.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Matrix order (or problem size).
+    pub n: usize,
+    /// Cluster size `m0`.
+    pub nodes: usize,
+    /// Bound value used.
+    pub nb: usize,
+    /// MapReduce jobs executed (partition + LU pipeline + final). On a
+    /// resumed run this counts only the jobs that actually re-ran; see
+    /// [`RunReport::restored_jobs`].
+    pub jobs: u64,
+    /// Total simulated seconds (job waves + shuffles + launches + master
+    /// work).
+    pub sim_secs: f64,
+    /// Simulated seconds of serial master-node work.
+    pub master_secs: f64,
+    /// Failed task attempts (all injected or transient).
+    pub task_failures: u64,
+    /// Logical DFS bytes written during the run.
+    pub dfs_bytes_written: u64,
+    /// Logical DFS bytes read during the run.
+    pub dfs_bytes_read: u64,
+    /// Bytes moved through shuffles.
+    pub shuffle_bytes: u64,
+    /// Simulated running time in hours (convenience for paper-style
+    /// reporting).
+    pub hours: f64,
+    /// The run's DFS directory ([`RunId::dir`]).
+    pub workdir: String,
+    /// Jobs restored from the checkpoint manifest instead of re-executed
+    /// (0 for a run that was not resumed).
+    pub restored_jobs: u64,
+    /// Simulated seconds the restored jobs originally cost — the work the
+    /// checkpoint saved (not included in [`RunReport::sim_secs`]).
+    pub restored_sim_secs: f64,
+    /// Per-wave straggler/lost-work analytics, present when the cluster
+    /// ran with tracing enabled ([`crate::cluster::ClusterConfig::tracing`]).
+    pub analytics: Option<PipelineAnalytics>,
+}
+
+impl RunReport {
+    /// Builds a report from before/after snapshots.
+    pub fn from_deltas(
+        n: usize,
+        nodes: usize,
+        nb: usize,
+        metrics_before: &MetricsSnapshot,
+        metrics_after: &MetricsSnapshot,
+        dfs_before: &DfsCountersSnapshot,
+        dfs_after: &DfsCountersSnapshot,
+    ) -> Self {
+        let sim_secs = metrics_after.sim_secs - metrics_before.sim_secs;
+        RunReport {
+            n,
+            nodes,
+            nb,
+            jobs: metrics_after.jobs - metrics_before.jobs,
+            sim_secs,
+            master_secs: metrics_after.master_secs - metrics_before.master_secs,
+            task_failures: metrics_after.task_failures - metrics_before.task_failures,
+            dfs_bytes_written: dfs_after.bytes_written - dfs_before.bytes_written,
+            dfs_bytes_read: dfs_after.bytes_read - dfs_before.bytes_read,
+            shuffle_bytes: metrics_after.shuffle_bytes - metrics_before.shuffle_bytes,
+            hours: sim_secs / 3600.0,
+            workdir: String::new(),
+            restored_jobs: 0,
+            restored_sim_secs: 0.0,
+            analytics: None,
+        }
+    }
+}
+
+/// Owns the sequencing and accounting of one pipeline run.
+///
+/// Create one with [`PipelineDriver::new`] (plain run),
+/// [`PipelineDriver::checkpointed`] (record a manifest), or
+/// [`PipelineDriver::resume`] (replay an existing manifest), then funnel
+/// every job through [`PipelineDriver::step`] and close the run with
+/// [`PipelineDriver::finish`].
+#[derive(Debug)]
+pub struct PipelineDriver<'c> {
+    cluster: &'c Cluster,
+    run: RunId,
+    /// Append a manifest record after each completed job.
+    checkpoint: bool,
+    /// Loaded (resume) or accumulated (checkpoint) manifest records.
+    manifest: Vec<ManifestRecord>,
+    /// Next manifest record eligible for replay.
+    replay_pos: usize,
+    /// Still replaying the loaded manifest prefix.
+    replaying: bool,
+    /// Configuration fingerprint mixed into every record.
+    config_fingerprint: u64,
+    reports: Vec<JobReport>,
+    restored_jobs: u64,
+    restored_sim_secs: f64,
+    metrics_start: MetricsSnapshot,
+    dfs_start: DfsCountersSnapshot,
+}
+
+impl<'c> PipelineDriver<'c> {
+    /// A plain driver: sequencing and accounting, no manifest.
+    pub fn new(cluster: &'c Cluster, run: RunId) -> Self {
+        Self::build(cluster, run, false, Vec::new())
+    }
+
+    /// A checkpointing driver: each completed job appends a record to the
+    /// run's `_manifest`. Any stale manifest at this `RunId` is discarded
+    /// first (this constructor *starts over*; use
+    /// [`PipelineDriver::resume`] to continue).
+    pub fn checkpointed(cluster: &'c Cluster, run: RunId) -> Self {
+        cluster.dfs.delete(&run.manifest_path());
+        Self::build(cluster, run, true, Vec::new())
+    }
+
+    /// Resumes a checkpointed run: loads the manifest at
+    /// [`RunId::manifest_path`] and replays it — each subsequent
+    /// [`PipelineDriver::step`] whose fingerprint matches the next record
+    /// and whose recorded outputs all still exist is restored without
+    /// re-executing. Checkpointing stays enabled for the jobs that do run.
+    ///
+    /// Errors with a diagnosable [`MrError::FileNotFound`] when no
+    /// manifest exists at this `RunId`. A torn final line (the driver
+    /// died mid-append) is ignored; everything before it replays.
+    pub fn resume(cluster: &'c Cluster, run: RunId) -> Result<Self> {
+        let data = cluster.dfs.read(&run.manifest_path())?;
+        let text = std::str::from_utf8(&data)
+            .map_err(|e| MrError::Other(format!("manifest is not UTF-8: {e}")))?;
+        let mut manifest = Vec::new();
+        for line in text.lines() {
+            match serde_json::from_str::<ManifestRecord>(line) {
+                Ok(record) => manifest.push(record),
+                Err(_) => break,
+            }
+        }
+        Ok(Self::build(cluster, run, true, manifest))
+    }
+
+    fn build(
+        cluster: &'c Cluster,
+        run: RunId,
+        checkpoint: bool,
+        manifest: Vec<ManifestRecord>,
+    ) -> Self {
+        PipelineDriver {
+            // Snapshots are taken *after* the manifest read so replay
+            // bookkeeping never leaks into the run's I/O deltas.
+            metrics_start: cluster.metrics.snapshot(),
+            dfs_start: cluster.dfs.counters(),
+            replaying: !manifest.is_empty(),
+            cluster,
+            run,
+            checkpoint,
+            manifest,
+            replay_pos: 0,
+            config_fingerprint: 0,
+            reports: Vec::new(),
+            restored_jobs: 0,
+            restored_sim_secs: 0.0,
+        }
+    }
+
+    /// Mixes a fingerprint of the run's configuration (partition plan,
+    /// optimization toggles, ...) into every manifest record, so a resume
+    /// against a changed configuration re-runs instead of restoring.
+    pub fn set_config_fingerprint(&mut self, fingerprint: u64) {
+        self.config_fingerprint = fingerprint;
+    }
+
+    /// The cluster this driver runs on. The returned reference carries
+    /// the cluster's own lifetime, not the driver borrow, so callers can
+    /// hold it across further `&mut self` calls.
+    pub fn cluster(&self) -> &'c Cluster {
+        self.cluster
+    }
+
+    /// The run this driver addresses.
+    pub fn run(&self) -> &RunId {
+        &self.run
+    }
+
+    /// Runs (or restores) the pipeline's next job.
+    ///
+    /// `spec_fingerprint` identifies the job definition (see
+    /// [`crate::job::JobSpec::fingerprint`]); `job` executes it and
+    /// returns its report. During a resume replay, a matching manifest
+    /// record whose outputs all exist short-circuits `job` entirely and
+    /// restores the recorded report (without advancing the cluster
+    /// clock). Otherwise the job runs; with checkpointing enabled its
+    /// record — including the set of DFS paths it created — is appended
+    /// to the manifest *before* the armed driver-kill knob (if any) can
+    /// fire, mirroring a driver that dies between jobs.
+    pub fn step(
+        &mut self,
+        spec_fingerprint: u64,
+        job: impl FnOnce(&'c Cluster) -> Result<JobReport>,
+    ) -> Result<JobReport> {
+        let seq = self.reports.len() as u64;
+        let fingerprint = Fingerprint::new()
+            .push_u64(self.config_fingerprint)
+            .push_u64(spec_fingerprint)
+            .push_u64(seq)
+            .finish();
+
+        if self.replaying {
+            if let Some(record) = self.manifest.get(self.replay_pos) {
+                let intact = record.fingerprint == fingerprint
+                    && record.outputs.iter().all(|p| self.cluster.dfs.exists(p));
+                if intact {
+                    let report = record.report.clone();
+                    self.replay_pos += 1;
+                    self.restored_jobs += 1;
+                    self.restored_sim_secs += report.sim_secs;
+                    self.reports.push(report.clone());
+                    return Ok(report);
+                }
+            }
+            // First mismatch (or manifest exhausted): drop the stale tail
+            // and fall through to real execution from here on.
+            self.replaying = false;
+            self.manifest.truncate(self.replay_pos);
+            if self.checkpoint {
+                self.rewrite_manifest();
+            }
+        }
+
+        let before: Option<std::collections::BTreeSet<String>> = self
+            .checkpoint
+            .then(|| self.cluster.dfs.list("").into_iter().collect());
+        let report = job(self.cluster)?;
+        if let Some(before) = before {
+            let outputs: Vec<String> = self
+                .cluster
+                .dfs
+                .list("")
+                .into_iter()
+                .filter(|p| !before.contains(p))
+                .collect();
+            self.manifest.push(ManifestRecord {
+                name: report.name.clone(),
+                seq,
+                fingerprint,
+                outputs,
+                report: report.clone(),
+            });
+            self.rewrite_manifest();
+        }
+        self.reports.push(report.clone());
+
+        if self.cluster.faults.driver_job_completed() {
+            return Err(MrError::DriverKilled {
+                after_jobs: self.reports.len() as u64,
+            });
+        }
+        Ok(report)
+    }
+
+    fn rewrite_manifest(&self) {
+        let mut buf = String::new();
+        for record in &self.manifest {
+            buf.push_str(&serde_json::to_string(record).expect("manifest record serializes"));
+            buf.push('\n');
+        }
+        self.cluster
+            .dfs
+            .write_uncounted(&self.run.manifest_path(), Bytes::from(buf));
+    }
+
+    /// Closes the run: a [`RunReport`] of the deltas since the driver was
+    /// created, stamped with the run directory and restore accounting,
+    /// with per-wave analytics attached when the cluster traces.
+    pub fn finish(&self, n: usize, nb: usize) -> RunReport {
+        let mut report = RunReport::from_deltas(
+            n,
+            self.cluster.nodes(),
+            nb,
+            &self.metrics_start,
+            &self.cluster.metrics.snapshot(),
+            &self.dfs_start,
+            &self.cluster.dfs.counters(),
+        );
+        report.workdir = self.run.dir().to_string();
+        report.restored_jobs = self.restored_jobs;
+        report.restored_sim_secs = self.restored_sim_secs;
+        if self.cluster.trace.is_enabled() {
+            report.analytics = Some(self.analytics(&self.cluster.trace));
+        }
+        report
+    }
+
+    /// All job reports, in pipeline order (restored ones included).
+    pub fn reports(&self) -> &[JobReport] {
+        &self.reports
+    }
+
+    /// Number of jobs sequenced so far (restored ones included).
+    pub fn num_jobs(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Jobs restored from the manifest instead of re-executed.
+    pub fn restored_jobs(&self) -> u64 {
+        self.restored_jobs
+    }
+
+    /// Simulated seconds the restored jobs originally cost.
+    pub fn restored_sim_secs(&self) -> f64 {
+        self.restored_sim_secs
+    }
+
+    /// Total simulated seconds across jobs (excludes master-node work,
+    /// which the cluster clock tracks separately; includes restored
+    /// jobs' recorded times).
+    pub fn total_sim_secs(&self) -> f64 {
+        self.reports.iter().map(|r| r.sim_secs).sum()
+    }
+
+    /// Total failed task attempts.
+    pub fn total_failures(&self) -> u32 {
+        self.reports.iter().map(|r| r.failures).sum()
+    }
+
+    /// Aggregate measured work of all successful attempts.
+    pub fn total_stats(&self) -> TaskStats {
+        self.reports
+            .iter()
+            .fold(TaskStats::default(), |acc, r| acc.merge(&r.stats))
+    }
+
+    /// Total map tasks across jobs.
+    pub fn total_map_tasks(&self) -> usize {
+        self.reports.iter().map(|r| r.map_tasks).sum()
+    }
+
+    /// Total reduce tasks across jobs.
+    pub fn total_reduce_tasks(&self) -> usize {
+        self.reports.iter().map(|r| r.reduce_tasks).sum()
+    }
+
+    /// Straggler/lost-work analytics for *this run's* jobs, computed from
+    /// the cluster's trace log (events of unrelated jobs on the same
+    /// cluster are excluded via each report's `job_seq`). Empty when
+    /// tracing was disabled during the run.
+    pub fn analytics(&self, trace: &TraceLog) -> PipelineAnalytics {
+        let jobs: std::collections::BTreeSet<u64> =
+            self.reports.iter().map(|r| r.job_seq).collect();
+        tracelog::analyze(&trace.events(), Some(&jobs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(name: &str, secs: f64, failures: u32) -> JobReport {
+        JobReport {
+            name: name.into(),
+            map_tasks: 2,
+            reduce_tasks: 1,
+            failures,
+            sim_secs: secs,
+            stats: TaskStats {
+                read_bytes: 10,
+                ..TaskStats::default()
+            },
+            ..JobReport::default()
+        }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let cluster = Cluster::medium(1);
+        let mut d = PipelineDriver::new(&cluster, RunId::new("t"));
+        assert_eq!(d.num_jobs(), 0);
+        assert_eq!(d.total_sim_secs(), 0.0);
+        d.step(0, |_| Ok(report("a", 1.5, 0))).unwrap();
+        d.step(0, |_| Ok(report("b", 2.5, 2))).unwrap();
+        assert_eq!(d.num_jobs(), 2);
+        assert!((d.total_sim_secs() - 4.0).abs() < 1e-12);
+        assert_eq!(d.total_failures(), 2);
+        assert_eq!(d.total_stats().read_bytes, 20);
+        assert_eq!(d.total_map_tasks(), 4);
+        assert_eq!(d.total_reduce_tasks(), 2);
+        assert_eq!(d.reports()[0].name, "a");
+        assert_eq!(d.restored_jobs(), 0);
+    }
+
+    #[test]
+    fn run_ids_normalize_and_locate_the_manifest() {
+        let run = RunId::new("/bench//run-1/");
+        assert_eq!(run.dir(), "bench/run-1");
+        assert_eq!(run.manifest_path(), "bench/run-1/_manifest");
+    }
+
+    #[test]
+    #[should_panic(expected = "run directory")]
+    fn empty_run_id_rejected() {
+        let _ = RunId::new("//");
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_order_sensitive() {
+        let a = Fingerprint::new().push_u64(1).push_u64(2).finish();
+        let b = Fingerprint::new().push_u64(1).push_u64(2).finish();
+        let c = Fingerprint::new().push_u64(2).push_u64(1).finish();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(
+            Fingerprint::new().push_bytes(b"ab").finish(),
+            Fingerprint::new().push_bytes(b"ba").finish()
+        );
+    }
+
+    /// A synthetic two-job pipeline: each job writes one DFS file. Kills
+    /// the driver after job 1, resumes, and checks job 1 is restored
+    /// while job 2 runs.
+    #[test]
+    fn checkpoint_kill_resume_restores_the_prefix() {
+        let cluster = Cluster::medium(1);
+        let run = RunId::new("ckpt");
+        let step1 = |c: &Cluster| {
+            c.dfs.write("ckpt/one.bin", Bytes::from_static(b"one"));
+            Ok(report("one", 5.0, 0))
+        };
+        let step2 = |c: &Cluster| {
+            c.dfs.write("ckpt/two.bin", Bytes::from_static(b"two"));
+            Ok(report("two", 7.0, 0))
+        };
+
+        cluster.faults.kill_driver_after(1);
+        let mut d = PipelineDriver::checkpointed(&cluster, run.clone());
+        d.set_config_fingerprint(42);
+        let err = d.step(11, step1).unwrap_err();
+        assert_eq!(err, MrError::DriverKilled { after_jobs: 1 });
+        assert!(cluster.dfs.exists(&run.manifest_path()));
+
+        let mut d = PipelineDriver::resume(&cluster, run.clone()).unwrap();
+        d.set_config_fingerprint(42);
+        let restored = d.step(11, |_| panic!("must not re-run")).unwrap();
+        assert_eq!(restored.name, "one");
+        assert_eq!(d.restored_jobs(), 1);
+        assert_eq!(d.restored_sim_secs(), 5.0);
+        d.step(12, step2).unwrap();
+        assert_eq!(d.num_jobs(), 2);
+
+        let r = d.finish(8, 2);
+        assert_eq!(r.restored_jobs, 1);
+        assert_eq!(r.restored_sim_secs, 5.0);
+        assert_eq!(r.workdir, "ckpt");
+    }
+
+    #[test]
+    fn resume_reruns_on_fingerprint_mismatch_or_missing_output() {
+        let cluster = Cluster::medium(1);
+        let run = RunId::new("mismatch");
+        let mut d = PipelineDriver::checkpointed(&cluster, run.clone());
+        d.step(1, |c| {
+            c.dfs.write("mismatch/a", Bytes::from_static(b"a"));
+            Ok(report("a", 1.0, 0))
+        })
+        .unwrap();
+
+        // Different spec fingerprint: the record must not be restored.
+        let mut d2 = PipelineDriver::resume(&cluster, run.clone()).unwrap();
+        let mut reran = false;
+        d2.step(2, |_| {
+            reran = true;
+            Ok(report("a'", 1.0, 0))
+        })
+        .unwrap();
+        assert!(reran, "changed spec must re-run");
+        assert_eq!(d2.restored_jobs(), 0);
+
+        // Matching fingerprint but a deleted output: re-run too. Fresh run
+        // directory so the recorded output diff actually contains the file.
+        let run2 = RunId::new("missing-out");
+        let mut d3 = PipelineDriver::checkpointed(&cluster, run2.clone());
+        d3.step(1, |c| {
+            c.dfs.write("missing-out/a", Bytes::from_static(b"a"));
+            Ok(report("a", 1.0, 0))
+        })
+        .unwrap();
+        cluster.dfs.delete("missing-out/a");
+        let mut d4 = PipelineDriver::resume(&cluster, run2).unwrap();
+        let mut reran = false;
+        d4.step(1, |c| {
+            reran = true;
+            c.dfs.write("missing-out/a", Bytes::from_static(b"a"));
+            Ok(report("a", 1.0, 0))
+        })
+        .unwrap();
+        assert!(reran, "missing output must re-run");
+    }
+
+    #[test]
+    fn resume_without_a_manifest_is_a_not_found_error() {
+        let cluster = Cluster::medium(1);
+        match PipelineDriver::resume(&cluster, RunId::new("never-ran")) {
+            Err(MrError::FileNotFound { path, .. }) => {
+                assert_eq!(path, "never-ran/_manifest");
+            }
+            other => panic!("expected FileNotFound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn manifest_stays_out_of_io_accounting() {
+        let cluster = Cluster::medium(1);
+        let before = cluster.dfs.counters();
+        let mut d = PipelineDriver::checkpointed(&cluster, RunId::new("quiet"));
+        d.step(0, |_| Ok(report("a", 1.0, 0))).unwrap();
+        assert!(cluster.dfs.exists("quiet/_manifest"));
+        assert_eq!(
+            cluster.dfs.counters(),
+            before,
+            "checkpointing must not perturb byte accounting"
+        );
+    }
+
+    #[test]
+    fn torn_manifest_tail_is_ignored() {
+        let cluster = Cluster::medium(1);
+        let run = RunId::new("torn");
+        let mut d = PipelineDriver::checkpointed(&cluster, run.clone());
+        d.step(9, |_| Ok(report("a", 2.0, 0))).unwrap();
+        // Simulate a crash mid-append: garbage after the valid record.
+        let mut data = cluster.dfs.read(&run.manifest_path()).unwrap().to_vec();
+        data.extend_from_slice(b"{\"name\":\"tr");
+        cluster
+            .dfs
+            .write_uncounted(&run.manifest_path(), Bytes::from(data));
+        let mut d2 = PipelineDriver::resume(&cluster, run).unwrap();
+        let r = d2.step(9, |_| panic!("valid prefix must restore")).unwrap();
+        assert_eq!(r.name, "a");
+    }
+}

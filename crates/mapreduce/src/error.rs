@@ -10,8 +10,28 @@ pub type Result<T> = std::result::Result<T, MrError>;
 /// Errors produced by the MapReduce framework.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MrError {
-    /// A DFS path was not found.
-    FileNotFound(String),
+    /// A DFS path was not found. Carries the normalized path plus the
+    /// deepest ancestor directory that *does* exist, so a resume
+    /// verification failure (or any stale-path bug) is diagnosable from
+    /// the message alone: a wrong run directory shows `nearest_parent`
+    /// close to the root, while a missing single output shows its intact
+    /// parent.
+    FileNotFound {
+        /// The normalized path that was requested.
+        path: String,
+        /// Deepest existing ancestor directory (`/` when no component of
+        /// the path exists).
+        nearest_parent: String,
+    },
+    /// The pipeline driver was killed by the fault plan
+    /// ([`crate::fault::FaultPlan::kill_driver_after`]) after completing
+    /// the given number of jobs — the simulated analogue of the driver
+    /// process dying between jobs.
+    DriverKilled {
+        /// Jobs the driver completed (and, if checkpointing, recorded in
+        /// the manifest) before dying.
+        after_jobs: u64,
+    },
     /// A task exhausted its retry budget.
     TaskFailed {
         /// Job name.
@@ -43,7 +63,21 @@ pub enum MrError {
 impl fmt::Display for MrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MrError::FileNotFound(p) => write!(f, "DFS file not found: {p}"),
+            MrError::FileNotFound {
+                path,
+                nearest_parent,
+            } => {
+                write!(
+                    f,
+                    "DFS file not found: {path} (nearest existing parent: {nearest_parent})"
+                )
+            }
+            MrError::DriverKilled { after_jobs } => {
+                write!(
+                    f,
+                    "pipeline driver killed by fault plan after {after_jobs} completed job(s)"
+                )
+            }
             MrError::TaskFailed {
                 job,
                 phase,
@@ -77,9 +111,14 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(MrError::FileNotFound("x/y".into())
-            .to_string()
-            .contains("x/y"));
+        let nf = MrError::FileNotFound {
+            path: "x/y/z.bin".into(),
+            nearest_parent: "x".into(),
+        };
+        assert!(nf.to_string().contains("x/y/z.bin"));
+        assert!(nf.to_string().contains("nearest existing parent: x"));
+        let killed = MrError::DriverKilled { after_jobs: 3 };
+        assert!(killed.to_string().contains("after 3 completed job(s)"));
         let e = MrError::TaskFailed {
             job: "j".into(),
             phase: Phase::Map,

@@ -59,6 +59,10 @@ struct FaultRule {
 pub struct FaultPlan {
     rules: Mutex<Vec<FaultRule>>,
     injected: AtomicU32,
+    /// One-shot driver-crash countdown: `Some(k)` kills the pipeline
+    /// driver after its k-th completed job (then disarms, so a resumed
+    /// pipeline is not re-killed).
+    kill_driver_after: Mutex<Option<u64>>,
 }
 
 impl FaultPlan {
@@ -114,9 +118,34 @@ impl FaultPlan {
         self.injected.load(Ordering::Relaxed)
     }
 
-    /// Removes all rules.
+    /// Arms the driver-crash knob: the pipeline driver dies (with
+    /// [`crate::error::MrError::DriverKilled`]) right after completing its
+    /// `jobs`-th job — the between-jobs driver failure the paper's
+    /// task-level fault tolerance (§7.4) cannot recover from. The knob is
+    /// one-shot: it disarms when it fires, so the resumed run proceeds.
+    pub fn kill_driver_after(&self, jobs: u64) {
+        *self.kill_driver_after.lock() = Some(jobs);
+    }
+
+    /// Consulted by the driver after each completed job; returns true
+    /// exactly once, when the armed countdown reaches zero.
+    pub fn driver_job_completed(&self) -> bool {
+        let mut armed = self.kill_driver_after.lock();
+        if let Some(remaining) = *armed {
+            let remaining = remaining.saturating_sub(1);
+            if remaining == 0 {
+                *armed = None;
+                return true;
+            }
+            *armed = Some(remaining);
+        }
+        false
+    }
+
+    /// Removes all rules and disarms the driver-crash knob.
     pub fn clear(&self) {
         self.rules.lock().clear();
+        *self.kill_driver_after.lock() = None;
     }
 }
 
@@ -165,8 +194,22 @@ mod tests {
     fn clear_removes_rules() {
         let p = FaultPlan::none();
         p.fail_task("", Phase::Map, 0, 5);
+        p.kill_driver_after(1);
         p.clear();
         assert!(!p.should_fail("x", Phase::Map, 0));
+        assert!(!p.driver_job_completed(), "clear disarms the kill knob");
+    }
+
+    #[test]
+    fn driver_kill_fires_once_at_the_countdown() {
+        let p = FaultPlan::none();
+        assert!(!p.driver_job_completed(), "unarmed plan never kills");
+        p.kill_driver_after(3);
+        assert!(!p.driver_job_completed());
+        assert!(!p.driver_job_completed());
+        assert!(p.driver_job_completed(), "fires after the third job");
+        assert!(!p.driver_job_completed(), "one-shot: disarmed after firing");
+        assert!(!p.driver_job_completed());
     }
 
     #[test]

@@ -258,30 +258,83 @@ pub trait Reducer: Send + Sync {
     ) -> Result<Self::Output>;
 }
 
-/// Job-level configuration.
+/// Job-level configuration, built fluently:
+///
+/// ```
+/// use mrinv_mapreduce::job::{identity_partitioner, JobSpec};
+///
+/// let spec: JobSpec<usize, u64> = JobSpec::new("wordcount")
+///     .reducers(4)
+///     .partitioner(identity_partitioner)
+///     .combiner(|_k, vs| vs.iter().sum());
+/// assert_eq!(spec.name(), "wordcount");
+/// assert_eq!(spec.num_reducers(), 4);
+/// ```
 pub struct JobSpec<K, V = ()> {
-    /// Human-readable job name (appears in fault rules and errors).
-    pub name: String,
-    /// Number of reduce partitions (0 = map-only job).
-    pub num_reducers: usize,
-    /// Routes a key to a reduce partition. Defaults to a modulo hash; the
-    /// paper's jobs use the identity (`key j → reducer j`, Figure 5).
-    pub partitioner: fn(&K, usize) -> usize,
-    /// Optional combiner (Hadoop's map-side pre-aggregation): applied to
-    /// each map task's output per key before the shuffle, cutting shuffle
-    /// volume for associative reductions.
-    pub combiner: Option<fn(&K, &[V]) -> V>,
+    pub(crate) name: String,
+    pub(crate) num_reducers: usize,
+    pub(crate) partitioner: fn(&K, usize) -> usize,
+    pub(crate) combiner: Option<fn(&K, &[V]) -> V>,
 }
 
 impl<K: std::hash::Hash, V> JobSpec<K, V> {
-    /// A job with the default hash partitioner and no combiner.
-    pub fn new(name: impl Into<String>, num_reducers: usize) -> Self {
+    /// A map-only job (no reducers) with the default hash partitioner and
+    /// no combiner; extend with the builder methods.
+    pub fn new(name: impl Into<String>) -> Self {
         JobSpec {
             name: name.into(),
-            num_reducers,
+            num_reducers: 0,
             partitioner: hash_partitioner::<K>,
             combiner: None,
         }
+    }
+
+    /// Sets the number of reduce partitions (0 = map-only job).
+    pub fn reducers(mut self, num_reducers: usize) -> Self {
+        self.num_reducers = num_reducers;
+        self
+    }
+
+    /// Routes a key to a reduce partition. Defaults to a modulo hash; the
+    /// paper's jobs use the identity (`key j → reducer j`, Figure 5).
+    pub fn partitioner(mut self, f: fn(&K, usize) -> usize) -> Self {
+        self.partitioner = f;
+        self
+    }
+
+    /// Attaches a combiner (Hadoop's map-side pre-aggregation): applied to
+    /// each map task's output per key before the shuffle, cutting shuffle
+    /// volume for associative reductions.
+    pub fn combiner(mut self, f: fn(&K, &[V]) -> V) -> Self {
+        self.combiner = Some(f);
+        self
+    }
+}
+
+impl<K, V> JobSpec<K, V> {
+    /// Human-readable job name (appears in fault rules and errors).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of reduce partitions (0 = map-only job).
+    pub fn num_reducers(&self) -> usize {
+        self.num_reducers
+    }
+
+    /// Stable fingerprint of this spec, identical across processes and
+    /// runs (unlike `DefaultHasher`). The checkpoint manifest records it
+    /// so [`crate::driver::PipelineDriver::resume`] can tell whether a
+    /// manifest entry was produced by the same job definition. Function
+    /// pointers (partitioner, combiner body) cannot be hashed portably;
+    /// the fingerprint covers the name, the reducer count, and whether a
+    /// combiner is attached.
+    pub fn fingerprint(&self) -> u64 {
+        crate::driver::Fingerprint::new()
+            .push_bytes(self.name.as_bytes())
+            .push_u64(self.num_reducers as u64)
+            .push_u64(self.combiner.is_some() as u64)
+            .finish()
     }
 }
 
@@ -394,6 +447,20 @@ mod tests {
         assert_eq!(m.write_bytes, 22);
         assert_eq!(m.shuffle_bytes, 8);
         assert_eq!(m.emitted_pairs, 5);
+    }
+
+    #[test]
+    fn spec_fingerprints_are_stable_and_discriminating() {
+        let a: JobSpec<usize, usize> = JobSpec::new("wc").reducers(2);
+        let b: JobSpec<usize, usize> = JobSpec::new("wc").reducers(2);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same spec, same print");
+        let more_reducers: JobSpec<usize, usize> = JobSpec::new("wc").reducers(3);
+        assert_ne!(a.fingerprint(), more_reducers.fingerprint());
+        let other_name: JobSpec<usize, usize> = JobSpec::new("wc2").reducers(2);
+        assert_ne!(a.fingerprint(), other_name.fingerprint());
+        let combined: JobSpec<usize, usize> =
+            JobSpec::new("wc").reducers(2).combiner(|_k, vs| vs[0]);
+        assert_ne!(a.fingerprint(), combined.fingerprint());
     }
 
     #[test]

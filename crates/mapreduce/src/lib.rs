@@ -21,8 +21,9 @@
 //! * [`fault::FaultPlan`] — deterministic task-failure injection plus the
 //!   Hadoop retry policy, reproducing the Section 7.4 failure-recovery
 //!   experiment;
-//! * [`pipeline::Pipeline`] — accounting for a chain of jobs (the paper's
-//!   Figure 2 pipeline);
+//! * [`driver::PipelineDriver`] — owns job sequencing and accounting for a
+//!   chain of jobs (the paper's Figure 2 pipeline), with optional
+//!   checkpoint manifests and crash/resume recovery;
 //! * [`master`] — timed computation on the master node (the paper runs
 //!   `nb`-sized LU decompositions there);
 //! * [`tracelog`] — one typed event per task attempt, with
@@ -42,12 +43,12 @@
 
 pub mod cluster;
 pub mod dfs;
+pub mod driver;
 pub mod error;
 pub mod fault;
 pub mod job;
 pub mod master;
 pub mod metrics;
-pub mod pipeline;
 pub mod runner;
 pub mod scheduler;
 pub mod simtime;
@@ -55,11 +56,11 @@ pub mod tracelog;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use dfs::Dfs;
+pub use driver::{Fingerprint, ManifestRecord, PipelineDriver, RunId, RunReport};
 pub use error::{MrError, Result};
 pub use fault::{FailureCause, FaultPlan, Phase};
 pub use job::{JobSpec, MapContext, Mapper, ReduceContext, Reducer, TaskStats};
 pub use metrics::MetricsSnapshot;
-pub use pipeline::Pipeline;
 pub use runner::{run_job, run_map_only, JobReport};
 pub use simtime::CostModel;
 pub use tracelog::{

@@ -77,7 +77,7 @@ fn run_with_retries<T>(
     for _attempt in 0..max_attempts {
         let (payload, stats) = match body() {
             Ok(ok) => ok,
-            Err(e @ MrError::UserTask { .. }) | Err(e @ MrError::FileNotFound(_)) => {
+            Err(e @ MrError::UserTask { .. }) | Err(e @ MrError::FileNotFound { .. }) => {
                 // User-visible task error: charge nothing measurable (the
                 // body already failed) and retry like Hadoop would.
                 attempt_stats.push(TaskStats::default());
@@ -625,7 +625,7 @@ mod tests {
         let cluster = test_cluster(4);
         cluster.dfs.write("in/0", Bytes::from_static(b"a b a"));
         cluster.dfs.write("in/1", Bytes::from_static(b"b c b a"));
-        let spec = JobSpec::new("wordcount", 3);
+        let spec = JobSpec::new("wordcount").reducers(3);
         let inputs = vec!["in/0".to_string(), "in/1".to_string()];
         let (out, report) = run_job(&cluster, &spec, &WcMapper, &WcReducer, &inputs).unwrap();
         let mut counts: Vec<(String, u64)> = out;
@@ -673,8 +673,9 @@ mod tests {
     #[test]
     fn control_file_pattern_with_identity_partitioner() {
         let cluster = test_cluster(4);
-        let mut spec = JobSpec::new("control", 4);
-        spec.partitioner = identity_partitioner;
+        let spec = JobSpec::new("control")
+            .reducers(4)
+            .partitioner(identity_partitioner);
         let inputs: Vec<usize> = (0..4).collect();
         let (out, report) =
             run_job(&cluster, &spec, &ControlMapper, &ControlReducer, &inputs).unwrap();
@@ -691,7 +692,7 @@ mod tests {
     #[test]
     fn map_only_job_runs_and_prices() {
         let cluster = test_cluster(2);
-        let spec: JobSpec<usize, usize> = JobSpec::new("partition", 0);
+        let spec: JobSpec<usize, usize> = JobSpec::new("partition");
         let inputs: Vec<usize> = (0..4).collect();
         let report = run_map_only(&cluster, &spec, &ControlMapper, &inputs).unwrap();
         assert_eq!(report.map_tasks, 4);
@@ -704,7 +705,7 @@ mod tests {
     #[test]
     fn zero_reducers_rejected_by_run_job() {
         let cluster = test_cluster(1);
-        let spec = JobSpec::new("bad", 0);
+        let spec = JobSpec::new("bad");
         let err = run_job(&cluster, &spec, &ControlMapper, &ControlReducer, &[0]).unwrap_err();
         assert!(matches!(err, MrError::InvalidJob(_)));
     }
@@ -713,8 +714,9 @@ mod tests {
     fn injected_map_failure_retries_and_charges() {
         let cluster = test_cluster(2);
         cluster.faults.fail_task("control", Phase::Map, 1, 1);
-        let mut spec = JobSpec::new("control", 2);
-        spec.partitioner = identity_partitioner;
+        let spec = JobSpec::new("control")
+            .reducers(2)
+            .partitioner(identity_partitioner);
         let inputs: Vec<usize> = vec![0, 1];
         let (out, report) =
             run_job(&cluster, &spec, &ControlMapper, &ControlReducer, &inputs).unwrap();
@@ -733,7 +735,7 @@ mod tests {
     fn exhausted_retries_fail_the_job() {
         let cluster = test_cluster(1);
         cluster.faults.fail_task("control", Phase::Map, 0, 99);
-        let spec = JobSpec::new("control", 1);
+        let spec = JobSpec::new("control").reducers(1);
         let err = run_job(&cluster, &spec, &ControlMapper, &ControlReducer, &[0]).unwrap_err();
         match err {
             MrError::TaskFailed {
@@ -771,7 +773,7 @@ mod tests {
     #[test]
     fn user_error_is_retried() {
         let cluster = test_cluster(1);
-        let spec: JobSpec<usize, usize> = JobSpec::new("flaky", 0);
+        let spec: JobSpec<usize, usize> = JobSpec::new("flaky");
         // First attempt writes the marker and errors; the runner wraps the
         // task body's error into UserTask and retries, and the retry
         // succeeds because the marker now exists.
@@ -783,8 +785,9 @@ mod tests {
     fn reduce_failure_injection() {
         let cluster = test_cluster(2);
         cluster.faults.fail_task("control", Phase::Reduce, 0, 1);
-        let mut spec = JobSpec::new("control", 2);
-        spec.partitioner = identity_partitioner;
+        let spec = JobSpec::new("control")
+            .reducers(2)
+            .partitioner(identity_partitioner);
         let (out, report) =
             run_job(&cluster, &spec, &ControlMapper, &ControlReducer, &[0, 1]).unwrap();
         assert_eq!(out.len(), 2);
@@ -795,7 +798,7 @@ mod tests {
     #[test]
     fn empty_input_job() {
         let cluster = test_cluster(2);
-        let spec = JobSpec::new("empty", 1);
+        let spec = JobSpec::new("empty").reducers(1);
         let (out, report) = run_job(&cluster, &spec, &ControlMapper, &ControlReducer, &[]).unwrap();
         assert!(out.is_empty());
         assert_eq!(report.map_tasks, 0);
@@ -812,7 +815,7 @@ mod tests {
             ..CostModel::unit_for_tests()
         };
         let cluster = Cluster::new(cfg);
-        let spec: JobSpec<usize, usize> = JobSpec::new("a", 0);
+        let spec: JobSpec<usize, usize> = JobSpec::new("a");
         let r1 = run_map_only(&cluster, &spec, &ControlMapper, &[0]).unwrap();
         assert!(r1.sim_secs >= 5.0);
         let before = cluster.sim_secs();
@@ -864,9 +867,9 @@ mod combiner_tests {
         let cluster = cluster();
         cluster.dfs.write("in/0", Bytes::from_static(b"a a a b"));
         cluster.dfs.write("in/1", Bytes::from_static(b"a b b b"));
-        let mut spec = JobSpec::new("wc", 2);
+        let mut spec = JobSpec::new("wc").reducers(2);
         if with_combiner {
-            spec.combiner = Some(|_k: &String, vs: &[u64]| vs.iter().sum());
+            spec = spec.combiner(|_k: &String, vs: &[u64]| vs.iter().sum());
         }
         let inputs = vec!["in/0".to_string(), "in/1".to_string()];
         let (mut out, report) =

@@ -62,7 +62,7 @@ proptest! {
             cluster.dfs.write(&path, Bytes::from(d.clone()));
             inputs.push(path);
         }
-        let spec = JobSpec::new("wc", reducers);
+        let spec = JobSpec::new("wc").reducers(reducers);
         let (out, report) = run_job(&cluster, &spec, &WcMapper, &WcReducer, &inputs).unwrap();
 
         let mut expect: HashMap<String, u64> = HashMap::new();
@@ -93,7 +93,7 @@ proptest! {
                 cluster.dfs.write(&path, Bytes::from(d.clone()));
                 inputs.push(path);
             }
-            let spec = JobSpec::new("wc", 3);
+            let spec = JobSpec::new("wc").reducers(3);
             let (mut out, _) = run_job(&cluster, &spec, &WcMapper, &WcReducer, &inputs).unwrap();
             out.sort();
             out
@@ -153,7 +153,7 @@ proptest! {
         }
         let cluster = unit_cluster(m0);
         let inputs: Vec<usize> = (0..n_inputs).collect();
-        let spec: JobSpec<usize, usize> = JobSpec::new("touch", 0);
+        let spec: JobSpec<usize, usize> = JobSpec::new("touch");
         let report = run_map_only(&cluster, &spec, &Touch, &inputs).unwrap();
         prop_assert_eq!(report.map_tasks, n_inputs);
         for i in 0..n_inputs {

@@ -7,7 +7,7 @@ use mrinv_mapreduce::job::{JobSpec, MapContext, Mapper, ReduceContext, Reducer};
 use mrinv_mapreduce::master::run_on_master_named;
 use mrinv_mapreduce::runner::{run_job, run_map_only};
 use mrinv_mapreduce::tracelog::{analyze, chrome_trace_json, TracePhase};
-use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel, MrError, Phase, Pipeline};
+use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel, MrError, Phase, PipelineDriver, RunId};
 
 struct WriteMapper;
 impl Mapper for WriteMapper {
@@ -48,7 +48,7 @@ fn traced_cluster(nodes: usize) -> Cluster {
 #[test]
 fn clean_job_emits_one_event_per_attempt_plus_job_spans() {
     let cluster = traced_cluster(4);
-    let spec = JobSpec::new("trace-me", 2);
+    let spec = JobSpec::new("trace-me").reducers(2);
     let inputs: Vec<usize> = (0..6).collect();
     let (_, report) = run_job(&cluster, &spec, &WriteMapper, &CountReducer, &inputs).unwrap();
 
@@ -82,9 +82,9 @@ fn clean_job_emits_one_event_per_attempt_plus_job_spans() {
 #[test]
 fn consecutive_jobs_get_distinct_sequence_numbers_and_offsets() {
     let cluster = traced_cluster(2);
-    let spec: JobSpec<usize, usize> = JobSpec::new("first", 0);
+    let spec: JobSpec<usize, usize> = JobSpec::new("first");
     let r1 = run_map_only(&cluster, &spec, &WriteMapper, &[0, 1]).unwrap();
-    let spec2: JobSpec<usize, usize> = JobSpec::new("second", 0);
+    let spec2: JobSpec<usize, usize> = JobSpec::new("second");
     let r2 = run_map_only(&cluster, &spec2, &WriteMapper, &[2, 3]).unwrap();
     assert_eq!(r1.job_seq + 1, r2.job_seq);
 
@@ -112,7 +112,7 @@ fn injected_fault_shows_as_distinct_failed_attempt_with_lost_work() {
         if with_fault {
             cluster.faults.fail_task("faulty", Phase::Map, 1, 1);
         }
-        let spec = JobSpec::new("faulty", 2);
+        let spec = JobSpec::new("faulty").reducers(2);
         let (_, report) = run_job(&cluster, &spec, &WriteMapper, &CountReducer, &[0, 1]).unwrap();
         (cluster, report)
     };
@@ -163,17 +163,20 @@ fn injected_fault_shows_as_distinct_failed_attempt_with_lost_work() {
 #[test]
 fn pipeline_analytics_are_scoped_to_its_jobs() {
     let cluster = traced_cluster(2);
-    let mut pipeline = Pipeline::new();
+    let mut driver = PipelineDriver::new(&cluster, RunId::new("mine-run"));
 
-    let spec: JobSpec<usize, usize> = JobSpec::new("mine", 0);
-    let report = run_map_only(&cluster, &spec, &WriteMapper, &[0, 1, 2]).unwrap();
-    pipeline.push(report);
+    let spec: JobSpec<usize, usize> = JobSpec::new("mine");
+    driver
+        .step(spec.fingerprint(), |c| {
+            run_map_only(c, &spec, &WriteMapper, &[0, 1, 2])
+        })
+        .unwrap();
 
     // An unrelated job on the same cluster must not leak in.
-    let other: JobSpec<usize, usize> = JobSpec::new("other", 0);
+    let other: JobSpec<usize, usize> = JobSpec::new("other");
     run_map_only(&cluster, &other, &WriteMapper, &[7]).unwrap();
 
-    let analytics = pipeline.analytics(&cluster.trace);
+    let analytics = driver.analytics(&cluster.trace);
     assert_eq!(analytics.waves.len(), 1);
     assert_eq!(analytics.waves[0].job, "mine");
     assert_eq!(analytics.waves[0].tasks, 3);
@@ -187,7 +190,7 @@ fn pipeline_analytics_are_scoped_to_its_jobs() {
 #[test]
 fn chrome_export_of_a_real_run_parses_and_spans_match() {
     let cluster = traced_cluster(3);
-    let spec = JobSpec::new("export-job", 2);
+    let spec = JobSpec::new("export-job").reducers(2);
     run_job(&cluster, &spec, &WriteMapper, &CountReducer, &[0, 1, 2, 3]).unwrap();
     run_on_master_named(&cluster, "master-lu", || 1 + 1);
 
@@ -221,7 +224,7 @@ fn tracing_disabled_records_nothing_and_reports_are_identical() {
         cfg.cost = CostModel::unit_for_tests();
         cfg.tracing = tracing;
         let cluster = Cluster::new(cfg);
-        let spec = JobSpec::new("job", 2);
+        let spec = JobSpec::new("job").reducers(2);
         let (out, report) =
             run_job(&cluster, &spec, &WriteMapper, &CountReducer, &[0, 1, 2]).unwrap();
         (cluster, out, report)
@@ -260,7 +263,7 @@ fn user_errors_are_traced_with_their_message() {
         }
     }
     let cluster = traced_cluster(1);
-    let spec: JobSpec<usize, usize> = JobSpec::new("flaky", 0);
+    let spec: JobSpec<usize, usize> = JobSpec::new("flaky");
     run_map_only(&cluster, &spec, &FailOnce, &[5]).unwrap();
     let events = cluster.trace.events();
     let failed: Vec<_> = events.iter().filter(|e| e.failure.is_some()).collect();

@@ -3,8 +3,8 @@
 //! The paper's notation `[A][x1...x2][y1...y2]` denotes the block bounded by
 //! rows `x1..x2` and columns `y1..y2` (begin inclusive, end exclusive,
 //! Section 2). The recursive LU method of Figure 1 splits a square matrix
-//! into quadrants `A1..A4`; [`split_quadrants`] and [`Quadrants`] implement
-//! exactly that split.
+//! into quadrants `A1..A4`; [`Matrix::split_quadrants`] and [`Quadrants`]
+//! implement exactly that split.
 
 use crate::dense::Matrix;
 use crate::error::{MatrixError, Result};

@@ -3,7 +3,7 @@
 
 use mrinv::partition::{ingest_input, run_partition_job, PartitionPlan};
 use mrinv::source::MasterIo;
-use mrinv::{invert, lu, InversionConfig, Optimizations};
+use mrinv::{invert, lu, InversionConfig, Optimizations, PipelineDriver, RunId};
 use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel};
 use mrinv_matrix::norms::inversion_residual;
 use mrinv_matrix::random::{random_invertible, random_well_conditioned};
@@ -69,7 +69,8 @@ fn partitioned_layout_reassembles_and_feeds_lu() {
     let cfg = InversionConfig::with_nb(16);
     let plan = PartitionPlan::new(64, &cluster, &cfg, "t/partition");
     ingest_input(&cluster, &a, &plan).unwrap();
-    let (tree, report) = run_partition_job(&cluster, &plan).unwrap();
+    let mut driver = PipelineDriver::new(&cluster, RunId::new("t"));
+    let (tree, report) = run_partition_job(&mut driver, &plan).unwrap();
     assert_eq!(report.map_tasks, 4);
     let mut io = MasterIo::new(&cluster.dfs);
     let back = mrinv::partition::read_back(&tree, &mut io).unwrap();

@@ -1,0 +1,168 @@
+//! Crash/resume acceptance: a checkpointed pipeline killed after *any*
+//! job prefix resumes from the manifest to a bit-identical inverse, with
+//! exactly the killed prefix restored and only the remainder re-executed.
+
+use mrinv::{invert, invert_run, Checkpoint, CoreError, InversionConfig, RunId};
+use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel, ManifestRecord, MrError};
+use mrinv_matrix::random::random_well_conditioned;
+use proptest::prelude::*;
+
+fn unit_cluster(m0: usize) -> Cluster {
+    let mut cfg = ClusterConfig::medium(m0);
+    cfg.cost = CostModel::unit_for_tests();
+    Cluster::new(cfg)
+}
+
+/// Kills a checkpointed inversion after `k` jobs, resumes it on the same
+/// cluster, and returns the resumed output.
+fn kill_and_resume(
+    a: &mrinv_matrix::Matrix,
+    cfg: &InversionConfig,
+    k: u64,
+) -> mrinv::InverseOutput {
+    let cluster = unit_cluster(4);
+    cluster.faults.kill_driver_after(k);
+    let run = RunId::new("accept/resume");
+    let err = invert_run(&cluster, a, cfg, &run, Checkpoint::Enabled).unwrap_err();
+    assert_eq!(
+        err,
+        CoreError::MapReduce(MrError::DriverKilled { after_jobs: k }),
+        "kill after {k}"
+    );
+    invert_run(&cluster, a, cfg, &run, Checkpoint::Resume).unwrap()
+}
+
+#[test]
+fn every_kill_point_resumes_bit_identically() {
+    // The acceptance pipeline: n = 64, nb = 4 -> four LU levels, 17 jobs.
+    let (n, nb) = (64, 4);
+    let a = random_well_conditioned(n, 17);
+    let cfg = InversionConfig::with_nb(nb);
+    let baseline = invert(&unit_cluster(4), &a, &cfg).unwrap();
+    let total = baseline.report.jobs;
+    assert_eq!(total, 17);
+    assert_eq!(total, mrinv::schedule::total_jobs(n, nb));
+
+    for k in 1..=total {
+        let out = kill_and_resume(&a, &cfg, k);
+        assert_eq!(
+            out.inverse.max_abs_diff(&baseline.inverse).unwrap(),
+            0.0,
+            "kill after {k}: the recovered inverse must be bit-identical"
+        );
+        assert_eq!(out.report.restored_jobs, k, "kill after {k}");
+        assert_eq!(out.report.jobs, total - k, "kill after {k}");
+        assert!(
+            k == total || out.report.sim_secs > 0.0,
+            "kill after {k}: the remainder runs on the cluster"
+        );
+        assert!(out.report.restored_sim_secs > 0.0, "kill after {k}");
+    }
+}
+
+#[test]
+fn checkpointing_changes_nothing_about_an_uninterrupted_run() {
+    let a = random_well_conditioned(48, 7);
+    let cfg = InversionConfig::with_nb(12);
+    let run = RunId::new("equiv");
+    let off = invert_run(&unit_cluster(4), &a, &cfg, &run, Checkpoint::Disabled).unwrap();
+    let on = invert_run(&unit_cluster(4), &a, &cfg, &run, Checkpoint::Enabled).unwrap();
+
+    assert_eq!(on.inverse.max_abs_diff(&off.inverse).unwrap(), 0.0);
+    // Report for report on every deterministic field (simulated times are
+    // derived from measured CPU and may differ between any two runs; the
+    // manifest itself is written outside the I/O accounting).
+    assert_eq!(on.report.n, off.report.n);
+    assert_eq!(on.report.nodes, off.report.nodes);
+    assert_eq!(on.report.nb, off.report.nb);
+    assert_eq!(on.report.jobs, off.report.jobs);
+    assert_eq!(on.report.task_failures, off.report.task_failures);
+    assert_eq!(on.report.dfs_bytes_written, off.report.dfs_bytes_written);
+    assert_eq!(on.report.dfs_bytes_read, off.report.dfs_bytes_read);
+    assert_eq!(on.report.shuffle_bytes, off.report.shuffle_bytes);
+    assert_eq!(on.report.workdir, off.report.workdir);
+    assert_eq!(on.report.restored_jobs, 0);
+    assert_eq!(off.report.restored_jobs, 0);
+}
+
+#[test]
+fn resume_without_a_manifest_names_the_missing_path() {
+    let cluster = unit_cluster(4);
+    let a = random_well_conditioned(16, 3);
+    let cfg = InversionConfig::with_nb(4);
+    let run = RunId::new("never-ran");
+    let err = invert_run(&cluster, &a, &cfg, &run, Checkpoint::Resume).unwrap_err();
+    match err {
+        CoreError::MapReduce(MrError::FileNotFound {
+            path,
+            nearest_parent,
+        }) => {
+            assert_eq!(path, "never-ran/_manifest");
+            // The ingest (which precedes the driver) populated the run
+            // directory, so the diagnostic pins the failure to the
+            // manifest file rather than a missing workdir.
+            assert_eq!(nearest_parent, "never-ran");
+        }
+        other => panic!("expected FileNotFound for the manifest, got {other:?}"),
+    }
+}
+
+#[test]
+fn a_deleted_output_forces_rerun_from_that_job() {
+    let a = random_well_conditioned(32, 11);
+    let cfg = InversionConfig::with_nb(8);
+    let baseline = invert(&unit_cluster(4), &a, &cfg).unwrap();
+
+    let cluster = unit_cluster(4);
+    let run = RunId::new("damaged");
+    let full = invert_run(&cluster, &a, &cfg, &run, Checkpoint::Enabled).unwrap();
+    assert_eq!(full.report.jobs, 5);
+
+    // Damage a recorded output of the third job (seq 2): replay must stop
+    // there and re-execute the rest, overwriting the stale tail outputs.
+    let manifest = cluster.dfs.read(&run.manifest_path()).unwrap();
+    let records: Vec<ManifestRecord> = std::str::from_utf8(&manifest)
+        .unwrap()
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(records.len(), 5);
+    let victim = records[2]
+        .outputs
+        .first()
+        .expect("an LU job records its DFS outputs")
+        .clone();
+    assert!(cluster.dfs.delete(&victim));
+
+    let out = invert_run(&cluster, &a, &cfg, &run, Checkpoint::Resume).unwrap();
+    assert_eq!(
+        out.report.restored_jobs, 2,
+        "only the jobs before the damaged one restore"
+    );
+    assert_eq!(out.report.jobs, 3);
+    assert_eq!(out.inverse.max_abs_diff(&baseline.inverse).unwrap(), 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any (shape, seed, kill point) recovers bit-identically with
+    /// exactly `k` jobs skipped.
+    #[test]
+    fn sampled_kill_points_recover(
+        (shape, seed, k_pick) in (0usize..3, 0u64..1_000, 0u64..1_000)
+    ) {
+        let (n, nb) = [(16, 4), (32, 8), (48, 8)][shape];
+        let total = mrinv::schedule::total_jobs(n, nb);
+        let k = k_pick % total + 1;
+        let a = random_well_conditioned(n, seed);
+        let cfg = InversionConfig::with_nb(nb);
+        let baseline = invert(&unit_cluster(4), &a, &cfg).unwrap();
+        prop_assert_eq!(baseline.report.jobs, total);
+
+        let out = kill_and_resume(&a, &cfg, k);
+        prop_assert_eq!(out.inverse.max_abs_diff(&baseline.inverse).unwrap(), 0.0);
+        prop_assert_eq!(out.report.restored_jobs, k);
+        prop_assert_eq!(out.report.jobs, total - k);
+    }
+}
