@@ -236,7 +236,8 @@ pub fn lu_decompose_mr(
 
     let spec = JobSpec::new(format!("lu-level:{dir}"))
         .reducers(num_cells)
-        .partitioner(identity_partitioner);
+        .partitioner(identity_partitioner)
+        .shuffle_sized();
     driver.step(spec.fingerprint(), |c| {
         run_job(c, &spec, &mapper, &reducer, &inputs).map(|(_outputs, report)| report)
     })?;

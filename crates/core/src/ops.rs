@@ -111,7 +111,7 @@ pub fn matmul_mr(driver: &mut PipelineDriver<'_>, a: &Matrix, b: &Matrix) -> Res
         row_ranges: row_ranges.clone(),
         col_ranges: col_ranges.clone(),
     };
-    let spec: JobSpec<usize, usize> = JobSpec::new(format!("matmul:{dir}"));
+    let spec: JobSpec<usize, usize> = JobSpec::new(format!("matmul:{dir}")).shuffle_sized();
     driver.step(spec.fingerprint(), |c| {
         run_map_only(c, &spec, &mapper, &inputs)
     })?;
@@ -175,7 +175,7 @@ pub fn transpose_mr(driver: &mut PipelineDriver<'_>, a: &Matrix) -> Result<Matri
         dir: dir.clone(),
         row_ranges: row_ranges.clone(),
     };
-    let spec: JobSpec<usize, usize> = JobSpec::new(format!("transpose:{dir}"));
+    let spec: JobSpec<usize, usize> = JobSpec::new(format!("transpose:{dir}")).shuffle_sized();
     driver.step(spec.fingerprint(), |c| {
         run_map_only(c, &spec, &mapper, &inputs)
     })?;
@@ -259,7 +259,7 @@ pub fn scale_add_mr(
         alpha,
         beta,
     };
-    let spec: JobSpec<usize, usize> = JobSpec::new(format!("scale-add:{dir}"));
+    let spec: JobSpec<usize, usize> = JobSpec::new(format!("scale-add:{dir}")).shuffle_sized();
     driver.step(spec.fingerprint(), |c| {
         run_map_only(c, &spec, &mapper, &inputs)
     })?;

@@ -405,7 +405,8 @@ pub fn run_partition_job(
     driver: &mut PipelineDriver<'_>,
     plan: &PartitionPlan,
 ) -> Result<(SourceTree, JobReport)> {
-    let spec: JobSpec<usize, usize> = JobSpec::new(format!("partition:{}", plan.root));
+    let spec: JobSpec<usize, usize> =
+        JobSpec::new(format!("partition:{}", plan.root)).shuffle_sized();
     let inputs: Vec<usize> = (0..plan.m0).collect();
     let mapper = PartitionMapper { plan: plan.clone() };
     let report = driver.step(spec.fingerprint(), |c| {

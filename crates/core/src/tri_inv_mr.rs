@@ -379,7 +379,8 @@ pub fn invert_factors_mr(
 
     let spec = JobSpec::new(format!("final-inverse:{dir}"))
         .reducers(num_cells)
-        .partitioner(identity_partitioner);
+        .partitioner(identity_partitioner)
+        .shuffle_sized();
     driver.step(spec.fingerprint(), |c| {
         run_job(c, &spec, &mapper, &reducer, &inputs).map(|(_out, report)| report)
     })?;

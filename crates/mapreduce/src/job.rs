@@ -34,10 +34,15 @@ pub struct TaskStats {
     pub read_bytes: u64,
     /// Bytes written to the DFS.
     pub write_bytes: u64,
-    /// Bytes emitted into the shuffle.
+    /// Bytes emitted into the shuffle (post-combine when a combiner runs).
     pub shuffle_bytes: u64,
-    /// Number of `(key, value)` pairs emitted.
+    /// Number of `(key, value)` pairs emitted by the task body, *before*
+    /// any combiner shrinks them.
     pub emitted_pairs: u64,
+    /// Pairs fed into the map-side combiner (0 when no combiner runs).
+    pub combine_input_pairs: u64,
+    /// Pairs surviving the map-side combiner (0 when no combiner runs).
+    pub combine_output_pairs: u64,
 }
 
 impl TaskStats {
@@ -50,7 +55,16 @@ impl TaskStats {
             write_bytes: self.write_bytes + other.write_bytes,
             shuffle_bytes: self.shuffle_bytes + other.shuffle_bytes,
             emitted_pairs: self.emitted_pairs + other.emitted_pairs,
+            combine_input_pairs: self.combine_input_pairs + other.combine_input_pairs,
+            combine_output_pairs: self.combine_output_pairs + other.combine_output_pairs,
         }
+    }
+
+    /// Total bytes crossing the network under the theory module's model:
+    /// every DFS read plus everything pushed through the shuffle
+    /// (`theory.rs` Tables 1–2 count all DFS reads as network transfer).
+    pub fn transfer_bytes(&self) -> u64 {
+        self.read_bytes + self.shuffle_bytes
     }
 }
 
@@ -275,6 +289,7 @@ pub struct JobSpec<K, V = ()> {
     pub(crate) num_reducers: usize,
     pub(crate) partitioner: fn(&K, usize) -> usize,
     pub(crate) combiner: Option<fn(&K, &[V]) -> V>,
+    pub(crate) kv_size: fn(&K, &V) -> u64,
 }
 
 impl<K: std::hash::Hash, V> JobSpec<K, V> {
@@ -286,6 +301,7 @@ impl<K: std::hash::Hash, V> JobSpec<K, V> {
             num_reducers: 0,
             partitioner: hash_partitioner::<K>,
             combiner: None,
+            kv_size: default_kv_size::<K, V>,
         }
     }
 
@@ -307,6 +323,25 @@ impl<K: std::hash::Hash, V> JobSpec<K, V> {
     /// volume for associative reductions.
     pub fn combiner(mut self, f: fn(&K, &[V]) -> V) -> Self {
         self.combiner = Some(f);
+        self
+    }
+
+    /// Sets the function that prices a shuffled `(key, value)` pair in
+    /// bytes. Defaults to [`default_kv_size`] (the pair's shallow
+    /// in-memory size), which undercounts heap-backed payloads — prefer
+    /// [`JobSpec::shuffle_sized`] when the key/value types implement
+    /// [`ShuffleSize`].
+    pub fn kv_size(mut self, f: fn(&K, &V) -> u64) -> Self {
+        self.kv_size = f;
+        self
+    }
+}
+
+impl<K: ShuffleSize, V: ShuffleSize> JobSpec<K, V> {
+    /// Prices shuffled pairs with their deep [`ShuffleSize`] — the size a
+    /// real framework would serialize and move, heap payloads included.
+    pub fn shuffle_sized(mut self) -> Self {
+        self.kv_size = shuffle_size_kv::<K, V>;
         self
     }
 }
@@ -353,8 +388,85 @@ pub fn identity_partitioner(key: &usize, partitions: usize) -> usize {
 }
 
 /// Default shuffle size estimate: the in-memory size of the pair.
+///
+/// Shallow only — a `Vec<f64>` counts as its 24-byte header, not its
+/// elements. Jobs shuffling heap-backed payloads should wire
+/// [`ShuffleSize`] through [`JobSpec::shuffle_sized`] (or a custom
+/// [`JobSpec::kv_size`]) so the byte counters match what a real
+/// framework would serialize.
 pub fn default_kv_size<K, V>(_k: &K, _v: &V) -> u64 {
     (std::mem::size_of::<K>() + std::mem::size_of::<V>()) as u64
+}
+
+/// Deep serialized size of a shuffled key or value, in bytes.
+///
+/// The contract is the wire size Hadoop would move for the payload:
+/// fixed-width scalars count their width, variable-length containers
+/// count a u64 length prefix plus their elements. This is what the
+/// shuffle-byte counters must charge for Tables 1–2 to be checkable
+/// against `theory.rs`.
+pub trait ShuffleSize {
+    /// Serialized size of `self` in bytes.
+    fn shuffle_size(&self) -> u64;
+}
+
+macro_rules! shuffle_size_fixed {
+    ($($t:ty),* $(,)?) => {
+        $(impl ShuffleSize for $t {
+            fn shuffle_size(&self) -> u64 {
+                std::mem::size_of::<$t>() as u64
+            }
+        })*
+    };
+}
+
+shuffle_size_fixed!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char);
+
+impl ShuffleSize for () {
+    fn shuffle_size(&self) -> u64 {
+        0
+    }
+}
+
+impl ShuffleSize for String {
+    fn shuffle_size(&self) -> u64 {
+        8 + self.len() as u64
+    }
+}
+
+impl ShuffleSize for &str {
+    fn shuffle_size(&self) -> u64 {
+        8 + self.len() as u64
+    }
+}
+
+impl<T: ShuffleSize> ShuffleSize for Vec<T> {
+    fn shuffle_size(&self) -> u64 {
+        8 + self.iter().map(ShuffleSize::shuffle_size).sum::<u64>()
+    }
+}
+
+impl<T: ShuffleSize> ShuffleSize for Option<T> {
+    fn shuffle_size(&self) -> u64 {
+        1 + self.as_ref().map_or(0, ShuffleSize::shuffle_size)
+    }
+}
+
+impl<A: ShuffleSize, B: ShuffleSize> ShuffleSize for (A, B) {
+    fn shuffle_size(&self) -> u64 {
+        self.0.shuffle_size() + self.1.shuffle_size()
+    }
+}
+
+impl<A: ShuffleSize, B: ShuffleSize, C: ShuffleSize> ShuffleSize for (A, B, C) {
+    fn shuffle_size(&self) -> u64 {
+        self.0.shuffle_size() + self.1.shuffle_size() + self.2.shuffle_size()
+    }
+}
+
+/// [`JobSpec::kv_size`]-shaped adapter over [`ShuffleSize`].
+pub fn shuffle_size_kv<K: ShuffleSize, V: ShuffleSize>(k: &K, v: &V) -> u64 {
+    k.shuffle_size() + v.shuffle_size()
 }
 
 #[cfg(test)]
@@ -431,6 +543,8 @@ mod tests {
             write_bytes: 20,
             shuffle_bytes: 5,
             emitted_pairs: 1,
+            combine_input_pairs: 6,
+            combine_output_pairs: 2,
         };
         let b = TaskStats {
             cpu: Duration::from_secs(2),
@@ -439,6 +553,8 @@ mod tests {
             write_bytes: 2,
             shuffle_bytes: 3,
             emitted_pairs: 4,
+            combine_input_pairs: 4,
+            combine_output_pairs: 3,
         };
         let m = a.merge(&b);
         assert_eq!(m.cpu, Duration::from_secs(3));
@@ -447,6 +563,43 @@ mod tests {
         assert_eq!(m.write_bytes, 22);
         assert_eq!(m.shuffle_bytes, 8);
         assert_eq!(m.emitted_pairs, 5);
+        assert_eq!(m.combine_input_pairs, 10);
+        assert_eq!(m.combine_output_pairs, 5);
+        assert_eq!(m.transfer_bytes(), 11 + 8);
+    }
+
+    #[test]
+    fn shuffle_size_counts_heap_payloads() {
+        // The motivating bug: a block of n*n doubles must charge >= 8*n*n
+        // bytes, where default_kv_size charged only the Vec header.
+        let n = 16usize;
+        let block: Vec<f64> = vec![1.0; n * n];
+        assert!(block.shuffle_size() >= (8 * n * n) as u64);
+        assert_eq!(default_kv_size(&0usize, &block), 32, "shallow: 8 + 24");
+        assert!(shuffle_size_kv(&0usize, &block) >= (8 * n * n) as u64);
+
+        assert_eq!(7u64.shuffle_size(), 8);
+        assert_eq!(true.shuffle_size(), 1);
+        assert_eq!(().shuffle_size(), 0);
+        assert_eq!("abc".to_string().shuffle_size(), 11);
+        assert_eq!("abc".shuffle_size(), 11);
+        assert_eq!((1u32, 2u64).shuffle_size(), 12);
+        assert_eq!((1u8, 2u8, 3u8).shuffle_size(), 3);
+        assert_eq!(Some(1.0f64).shuffle_size(), 9);
+        assert_eq!(None::<f64>.shuffle_size(), 1);
+        let nested: Vec<Vec<u8>> = vec![vec![0; 3], vec![0; 5]];
+        assert_eq!(nested.shuffle_size(), 8 + (8 + 3) + (8 + 5));
+    }
+
+    #[test]
+    fn shuffle_sized_spec_prices_deep_bytes() {
+        let spec: JobSpec<usize, Vec<f64>> = JobSpec::new("blocks").shuffle_sized();
+        let block = vec![0.0f64; 9];
+        assert_eq!((spec.kv_size)(&3usize, &block), 8 + 8 + 72);
+        // fingerprint ignores the kv_size hook (fn pointers are not
+        // portable), so resume manifests stay bit-identical.
+        let plain: JobSpec<usize, Vec<f64>> = JobSpec::new("blocks");
+        assert_eq!(spec.fingerprint(), plain.fingerprint());
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   run for real (in parallel via rayon), are assigned to *virtual
 //!   cluster nodes*, and the per-wave makespan is computed by a
 //!   list scheduler;
+//! * [`shuffle`] — the data path between the waves: map-side per-reducer
+//!   buckets, a reducer-parallel merge-and-sort, and zero-copy grouped
+//!   value slices for the reducers;
 //! * [`simtime::CostModel`] — converts measured per-task work (CPU time,
 //!   DFS bytes, shuffle bytes) into simulated cluster time, including the
 //!   constant MapReduce job-launch overhead that the paper's `nb` bound
@@ -51,6 +54,7 @@ pub mod master;
 pub mod metrics;
 pub mod runner;
 pub mod scheduler;
+pub mod shuffle;
 pub mod simtime;
 pub mod tracelog;
 
@@ -59,9 +63,10 @@ pub use dfs::Dfs;
 pub use driver::{Fingerprint, ManifestRecord, PipelineDriver, RunId, RunReport};
 pub use error::{MrError, Result};
 pub use fault::{FailureCause, FaultPlan, Phase};
-pub use job::{JobSpec, MapContext, Mapper, ReduceContext, Reducer, TaskStats};
+pub use job::{JobSpec, MapContext, Mapper, ReduceContext, Reducer, ShuffleSize, TaskStats};
 pub use metrics::MetricsSnapshot;
 pub use runner::{run_job, run_map_only, JobReport};
+pub use shuffle::ReducerInput;
 pub use simtime::CostModel;
 pub use tracelog::{
     chrome_trace_json, PipelineAnalytics, TaskEvent, TraceLog, TracePhase, WaveAnalytics,

@@ -18,8 +18,9 @@ use serde::{Deserialize, Serialize};
 use crate::cluster::Cluster;
 use crate::error::{MrError, Result};
 use crate::fault::{FailureCause, Phase};
-use crate::job::{default_kv_size, JobSpec, MapContext, Mapper, ReduceContext, Reducer, TaskStats};
+use crate::job::{JobSpec, MapContext, Mapper, ReduceContext, Reducer, TaskStats};
 use crate::scheduler::{schedule_wave_hetero, WaveSchedule};
+use crate::shuffle::{parallel_shuffle, partition_pairs, ReducerInput};
 use crate::tracelog::{TaskEvent, TracePhase};
 
 /// Accounting for one executed job.
@@ -241,8 +242,11 @@ where
     let num_tasks = inputs.len();
 
     // ---- Map wave -------------------------------------------------------
+    // Each map task returns its output already split into one bucket per
+    // reduce partition, so the post-wave shuffle merges buckets instead of
+    // routing individual pairs.
     type MapPayload<M> = (
-        Vec<(<M as Mapper>::Key, <M as Mapper>::Value)>,
+        Vec<Vec<(<M as Mapper>::Key, <M as Mapper>::Value)>>,
         std::collections::BTreeMap<String, u64>,
     );
     let map_runs: Vec<TaskRun<MapPayload<M>>> = inputs
@@ -250,12 +254,7 @@ where
         .enumerate()
         .map(|(idx, input)| {
             run_with_retries(cluster, &spec.name, Phase::Map, idx, || {
-                let mut ctx = MapContext::new(
-                    cluster.dfs.clone(),
-                    idx,
-                    num_tasks,
-                    default_kv_size::<M::Key, M::Value>,
-                );
+                let mut ctx = MapContext::new(cluster.dfs.clone(), idx, num_tasks, spec.kv_size);
                 let start = std::time::Instant::now();
                 mapper.map(input, &mut ctx).map_err(|e| MrError::UserTask {
                     job: spec.name.clone(),
@@ -266,36 +265,40 @@ where
                 let (mut pairs, mut stats, counters) = ctx.finish(start.elapsed());
                 // Map-side combine (Hadoop combiner): pre-aggregate this
                 // task's output per key, shrinking the shuffle.
+                // `emitted_pairs` keeps the pre-combine count; the combine
+                // counters record the shrink, and the shuffled bytes are
+                // re-priced exactly from the surviving pairs (a count
+                // ratio would misprice variable-size values).
                 if let Some(combine) = spec.combiner {
                     pairs.sort_by(|a, b| a.0.cmp(&b.0));
-                    let before = pairs.len().max(1) as u64;
+                    stats.combine_input_pairs = pairs.len() as u64;
+                    let (keys, values): (Vec<M::Key>, Vec<M::Value>) = pairs.into_iter().unzip();
                     let mut combined = Vec::new();
+                    let mut combined_bytes = 0u64;
                     let mut i = 0;
-                    while i < pairs.len() {
+                    while i < keys.len() {
                         let mut j = i + 1;
-                        while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+                        while j < keys.len() && keys[j] == keys[i] {
                             j += 1;
                         }
-                        let values: Vec<M::Value> =
-                            pairs[i..j].iter().map(|(_, v)| v.clone()).collect();
-                        let merged = combine(&pairs[i].0, &values);
-                        combined.push((pairs[i].0.clone(), merged));
+                        let merged = combine(&keys[i], &values[i..j]);
+                        combined_bytes += (spec.kv_size)(&keys[i], &merged);
+                        combined.push((keys[i].clone(), merged));
                         i = j;
                     }
-                    let after = combined.len() as u64;
-                    stats.shuffle_bytes = stats.shuffle_bytes * after / before;
-                    stats.emitted_pairs = after;
+                    stats.combine_output_pairs = combined.len() as u64;
+                    stats.shuffle_bytes = combined_bytes;
                     pairs = combined;
                 }
-                Ok(((pairs, counters), stats))
+                let buckets = partition_pairs(pairs, spec.partitioner, spec.num_reducers);
+                Ok(((buckets, counters), stats))
             })
         })
         .collect::<Result<_>>()?;
     cluster.metrics.record_map_tasks(num_tasks as u64);
 
     // ---- Shuffle ---------------------------------------------------------
-    let mut partitions: Vec<Vec<(M::Key, M::Value)>> =
-        (0..spec.num_reducers).map(|_| Vec::new()).collect();
+    let mut task_buckets: Vec<Vec<Vec<(M::Key, M::Value)>>> = Vec::with_capacity(map_runs.len());
     let mut shuffle_bytes = 0u64;
     let mut map_stats_total = TaskStats::default();
     let mut lost_stats = TaskStats::default();
@@ -309,48 +312,40 @@ where
         }
         map_stats_total = map_stats_total.merge(&ok[0]);
         shuffle_bytes += ok[0].shuffle_bytes;
-        let (pairs, counters) = run.payload;
+        let (buckets, counters) = run.payload;
         for (name, v) in counters {
             *user_counters.entry(name).or_default() += v;
         }
-        for (k, v) in pairs {
-            let p = (spec.partitioner)(&k, spec.num_reducers);
-            partitions[p].push((k, v));
-        }
+        task_buckets.push(buckets);
         map_attempt_lists.push(run.attempt_stats);
         map_failure_lists.push(run.attempt_failures);
     }
     cluster.metrics.record_shuffle_bytes(shuffle_bytes);
-    // Sort each partition by key (the framework's sort phase).
-    for part in &mut partitions {
-        part.sort_by(|a, b| a.0.cmp(&b.0));
-    }
+    // Merge + sort each partition's buckets, one rayon work item per
+    // reducer; bit-identical to the old single-threaded stable sort (see
+    // crate::shuffle).
+    let reducer_inputs: Vec<ReducerInput<M::Key, M::Value>> =
+        parallel_shuffle(task_buckets, spec.num_reducers);
 
     // ---- Reduce wave ------------------------------------------------------
     type ReducePayload<M, R> = (
         Vec<(<M as Mapper>::Key, <R as Reducer>::Output)>,
         std::collections::BTreeMap<String, u64>,
     );
-    let reduce_results: Vec<TaskRun<ReducePayload<M, R>>> = partitions
+    let reduce_results: Vec<TaskRun<ReducePayload<M, R>>> = reducer_inputs
         .par_iter()
         .enumerate()
-        .map(|(p, pairs)| {
+        .map(|(p, input)| {
             run_with_retries(cluster, &spec.name, Phase::Reduce, p, || {
                 let mut ctx = ReduceContext::new(cluster.dfs.clone(), p, spec.num_reducers);
                 let start = std::time::Instant::now();
                 let mut outputs = Vec::new();
-                let mut i = 0;
-                while i < pairs.len() {
-                    let key = &pairs[i].0;
-                    let mut j = i + 1;
-                    while j < pairs.len() && pairs[j].0 == *key {
-                        j += 1;
-                    }
-                    let values: Vec<M::Value> =
-                        pairs[i..j].iter().map(|(_, v)| v.clone()).collect();
+                // Each group's values are a contiguous slice borrowed from
+                // the sorted run — nothing is cloned on the way in.
+                for (key, values) in input.groups() {
                     let out =
                         reducer
-                            .reduce(key, &values, &mut ctx)
+                            .reduce(key, values, &mut ctx)
                             .map_err(|e| MrError::UserTask {
                                 job: spec.name.clone(),
                                 phase: Phase::Reduce,
@@ -358,7 +353,6 @@ where
                                 message: e.to_string(),
                             })?;
                     outputs.push((key.clone(), out));
-                    i = j;
                 }
                 let (stats, counters) = ctx.finish(start.elapsed());
                 Ok(((outputs, counters), stats))
@@ -493,12 +487,7 @@ where
         .enumerate()
         .map(|(idx, input)| {
             run_with_retries(cluster, &spec.name, Phase::Map, idx, || {
-                let mut ctx = MapContext::new(
-                    cluster.dfs.clone(),
-                    idx,
-                    num_tasks,
-                    default_kv_size::<M::Key, M::Value>,
-                );
+                let mut ctx = MapContext::new(cluster.dfs.clone(), idx, num_tasks, spec.kv_size);
                 let start = std::time::Instant::now();
                 mapper.map(input, &mut ctx).map_err(|e| MrError::UserTask {
                     job: spec.name.clone(),
@@ -890,9 +879,66 @@ mod combiner_tests {
             comb_report.stats.shuffle_bytes,
             plain_report.stats.shuffle_bytes
         );
-        // 8 raw pairs become at most 2 per map task.
+        // emitted_pairs is the pre-combine count either way; the combine
+        // counters record the shrink (8 raw pairs, at most 2 per map task).
         assert_eq!(plain_report.stats.emitted_pairs, 8);
-        assert!(comb_report.stats.emitted_pairs <= 4);
+        assert_eq!(plain_report.stats.combine_input_pairs, 0);
+        assert_eq!(plain_report.stats.combine_output_pairs, 0);
+        assert_eq!(comb_report.stats.emitted_pairs, 8);
+        assert_eq!(comb_report.stats.combine_input_pairs, 8);
+        assert!(comb_report.stats.combine_output_pairs <= 4);
+    }
+
+    /// Combining values of *different sizes* must re-price the shuffle from
+    /// the surviving pairs, not rescale by pair count.
+    struct VarMapper;
+    impl Mapper for VarMapper {
+        type Input = usize;
+        type Key = usize;
+        type Value = Vec<u64>;
+        fn map(&self, _input: &usize, ctx: &mut MapContext<usize, Vec<u64>>) -> Result<()> {
+            // Key 0: one huge value and one tiny value; key 1: one tiny.
+            ctx.emit(0, vec![7; 100]);
+            ctx.emit(0, vec![1]);
+            ctx.emit(1, vec![2]);
+            Ok(())
+        }
+    }
+    struct FirstReducer;
+    impl Reducer for FirstReducer {
+        type Key = usize;
+        type Value = Vec<u64>;
+        type Output = u64;
+        fn reduce(&self, _k: &usize, values: &[Vec<u64>], _ctx: &mut ReduceContext) -> Result<u64> {
+            Ok(values[0].len() as u64)
+        }
+    }
+
+    #[test]
+    fn combiner_reprices_bytes_exactly_for_varying_value_sizes() {
+        use crate::job::{identity_partitioner, shuffle_size_kv};
+        let cluster = cluster();
+        let spec: JobSpec<usize, Vec<u64>> = JobSpec::new("var")
+            .reducers(2)
+            .partitioner(identity_partitioner)
+            .shuffle_sized()
+            // Keep the shorter of the two runs per key: survivors are the
+            // two 1-element values, so the exact cost is computable.
+            .combiner(|_k, vs: &[Vec<u64>]| vs.iter().min_by_key(|v| v.len()).unwrap().clone());
+        let (out, report) = run_job(&cluster, &spec, &VarMapper, &FirstReducer, &[0]).unwrap();
+        assert_eq!(out, vec![(0, 1), (1, 1)]);
+        // Survivors: (0, [1]) and (1, [2]) => 2 * (8 key + 8 len + 8 elem).
+        let expect = 2 * shuffle_size_kv(&0usize, &vec![0u64; 1]);
+        assert_eq!(report.stats.shuffle_bytes, expect);
+        // The old count-ratio formula would have charged a third of the
+        // raw bytes (3 pairs -> 2), vastly overcounting the surviving
+        // 1-element values next to the dropped 100-element one.
+        let raw = shuffle_size_kv(&0usize, &vec![0u64; 100])
+            + 2 * shuffle_size_kv(&0usize, &vec![0u64; 1]);
+        assert!(report.stats.shuffle_bytes < raw * 2 / 3);
+        assert_eq!(report.stats.emitted_pairs, 3);
+        assert_eq!(report.stats.combine_input_pairs, 3);
+        assert_eq!(report.stats.combine_output_pairs, 2);
     }
 
     #[test]

@@ -101,20 +101,27 @@ pub fn schedule_wave_hetero(
             .iter()
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
         {
-            let alt = (0..slot_count)
-                .filter(|&s| s != slot)
-                // The backup starts once the alternative slot drains.
-                .map(|s| free_at[s] + t / speed(s))
-                .fold(f64::INFINITY, f64::min);
-            if alt < finish {
-                // The wave now ends at the earlier copy (or whatever other
-                // slot finishes last).
-                let others = free_at
-                    .iter()
-                    .enumerate()
-                    .map(|(s, &f)| if s == slot { f - t / speed(s) } else { f })
-                    .fold(0.0_f64, f64::max);
-                makespan = others.max(alt).min(makespan);
+            // The backup starts once the alternative slot drains; pick the
+            // slot where the copy would finish earliest.
+            let backup = (0..slot_count).filter(|&s| s != slot).min_by(|&a, &b| {
+                (free_at[a] + t / speed(a))
+                    .partial_cmp(&(free_at[b] + t / speed(b)))
+                    .unwrap()
+                    .then(a.cmp(&b))
+            });
+            if let Some(backup) = backup {
+                let alt = free_at[backup] + t / speed(backup);
+                if alt < finish {
+                    // The straggler's copy is cancelled the moment the
+                    // backup completes: its slot is busy only until `alt`,
+                    // and the backup slot is charged for the copy it ran.
+                    // (The straggler is the last task on its slot — it
+                    // defines the makespan — so truncating `free_at` is
+                    // exactly the cancelled copy's tail.)
+                    free_at[slot] = alt;
+                    free_at[backup] = alt;
+                    makespan = free_at.iter().fold(0.0_f64, |m, &v| m.max(v));
+                }
             }
         }
     }
@@ -236,6 +243,37 @@ mod tests {
         let off = schedule_wave_hetero(&tasks, &[1.0; 4], 1, false);
         let on = schedule_wave_hetero(&tasks, &[1.0; 4], 1, true);
         assert_eq!(off.makespan_secs, on.makespan_secs);
+    }
+
+    #[test]
+    fn speculation_keeps_utilization_physical() {
+        // Busy slot-seconds can never exceed makespan x slots: the
+        // cancelled straggler copy stops being charged past the backup's
+        // completion, and the backup slot is charged for the copy it ran.
+        let cases: Vec<(Vec<f64>, Vec<f64>)> = vec![
+            (vec![3.0], vec![0.5, 2.0, 1.0]),
+            (vec![4.0; 4], vec![1.0, 1.0, 1.0, 0.25]),
+            (vec![2.0, 5.0, 1.0, 7.0, 3.0], vec![0.25, 1.0, 4.0]),
+            (vec![1.0; 8], vec![1.0; 4]),
+        ];
+        for (tasks, speeds) in cases {
+            let s = schedule_wave_hetero(&tasks, &speeds, 1, true);
+            assert!(
+                s.utilization() <= 1.0 + 1e-12,
+                "utilization {} > 1 for tasks {tasks:?} on speeds {speeds:?}",
+                s.utilization()
+            );
+            for &busy in &s.slot_busy_secs {
+                assert!(busy <= s.makespan_secs + 1e-12, "slot busy past makespan");
+            }
+        }
+        // The speed-blind single-task case: the straggler's slot and the
+        // backup's slot are each busy exactly until the backup completes.
+        let s = schedule_wave_hetero(&[3.0], &[0.5, 2.0, 1.0], 1, true);
+        assert!((s.makespan_secs - 1.5).abs() < 1e-12);
+        assert!((s.slot_busy_secs[0] - 1.5).abs() < 1e-12, "cancelled copy");
+        assert!((s.slot_busy_secs[1] - 1.5).abs() < 1e-12, "backup charged");
+        assert_eq!(s.slot_busy_secs[2], 0.0);
     }
 
     #[test]

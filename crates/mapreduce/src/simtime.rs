@@ -170,6 +170,8 @@ mod tests {
             write_bytes: write,
             shuffle_bytes: 0,
             emitted_pairs: 0,
+            combine_input_pairs: 0,
+            combine_output_pairs: 0,
         }
     }
 

@@ -1,9 +1,12 @@
 //! Property-based tests on the MapReduce framework itself.
 
 use bytes::Bytes;
-use mrinv_mapreduce::job::{JobSpec, MapContext, Mapper, ReduceContext, Reducer};
+use mrinv_mapreduce::job::{
+    hash_partitioner, identity_partitioner, JobSpec, MapContext, Mapper, ReduceContext, Reducer,
+};
 use mrinv_mapreduce::runner::{run_job, run_map_only};
 use mrinv_mapreduce::scheduler::schedule_wave;
+use mrinv_mapreduce::shuffle::{parallel_shuffle, partition_pairs, reference_shuffle};
 use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel, MrError, Phase};
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -133,6 +136,38 @@ proptest! {
             prop_assert_eq!(got.as_ref(), &data[..]);
         }
         prop_assert_eq!(cluster.dfs.file_count(), expect.len());
+    }
+
+    /// The parallel shuffle must be bit-identical to the single-threaded
+    /// reference: same partition for every key, and for equal keys the
+    /// exact value order the old push-then-stable-sort loop produced
+    /// (map-task order, then emission order). Values carry their
+    /// (task, emission) provenance so any reordering is visible.
+    #[test]
+    fn parallel_shuffle_matches_reference(
+        (task_keys, reducers, hashed) in (
+            prop::collection::vec(prop::collection::vec(0usize..12, 0..40), 1..10),
+            1usize..8,
+            any::<bool>(),
+        )
+    ) {
+        let partitioner = if hashed { hash_partitioner::<usize> } else { identity_partitioner };
+        let tasks: Vec<Vec<(usize, (usize, usize))>> = task_keys
+            .iter()
+            .enumerate()
+            .map(|(t, keys)| keys.iter().enumerate().map(|(i, &k)| (k, (t, i))).collect())
+            .collect();
+        let expect = reference_shuffle(tasks.clone(), partitioner, reducers);
+        let buckets = tasks
+            .into_iter()
+            .map(|pairs| partition_pairs(pairs, partitioner, reducers))
+            .collect();
+        let got = parallel_shuffle(buckets, reducers);
+        prop_assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert_eq!(g.keys(), e.keys());
+            prop_assert_eq!(g.values(), e.values());
+        }
     }
 
     #[test]

@@ -11,13 +11,22 @@ use std::num::NonZeroUsize;
 
 /// The glob-import surface, mirroring `rayon::prelude::*`.
 pub mod prelude {
-    pub use crate::{IntoParallelRefIterator, ParallelIterator, ParallelSliceMut};
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSliceMut,
+    };
 }
 
 fn threads_for(len: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
+    // Like rayon, RAYON_NUM_THREADS overrides the detected parallelism.
+    let cores = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
     cores.min(len).max(1)
 }
 
@@ -62,6 +71,23 @@ fn par_map<I: Send, R: Send>(items: Vec<I>, f: impl Fn(I) -> R + Sync) -> Vec<R>
 /// scoped threads.
 pub struct ParIter<I> {
     items: Vec<I>,
+}
+
+/// `collection → into_par_iter()` entry point (rayon's by-value trait):
+/// items are moved into the iterator, so the terminal stage can consume
+/// them without cloning.
+pub trait IntoParallelIterator {
+    /// Item yielded by the parallel iterator.
+    type Item: Send;
+    /// Creates the owning parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
 }
 
 /// `&collection → par_iter()` entry point (rayon's by-reference trait).
@@ -153,6 +179,13 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_moves_items() {
+        let v: Vec<Vec<u64>> = (0..100).map(|i| vec![i; 4]).collect();
+        let out: Vec<u64> = v.into_par_iter().map(|c| c.into_iter().sum()).collect();
+        assert_eq!(out, (0..100).map(|i| i * 4).collect::<Vec<_>>());
+    }
 
     #[test]
     fn map_collect_preserves_order() {
