@@ -465,6 +465,212 @@ pub fn sec74(scale: usize, with_scalapack: bool) -> Sec74Output {
     }
 }
 
+/// Everything the Section 7.4 node-death experiment produces.
+#[derive(Debug, Clone)]
+pub struct Sec74NodeOutput {
+    /// clean / degraded / node-death outcome rows.
+    pub outcomes: Vec<LargeMatrixOutcome>,
+    /// Node killed mid-run in the third run.
+    pub victim: usize,
+    /// Simulated second the victim died.
+    pub t_kill_secs: f64,
+    /// In-flight attempts the death killed (death-run trace).
+    pub node_lost: usize,
+    /// *Completed* map outputs the death destroyed, forcing re-execution
+    /// (Hadoop keeps map output on the mapper's local disk).
+    pub output_lost: usize,
+    /// Attempts the task timeout evicted from the degraded node.
+    pub timeouts: usize,
+    /// NodeDeath markers on the death-run timeline.
+    pub death_markers: usize,
+    /// Fraction of the death run's map tasks that ran data-local.
+    pub data_local_fraction: f64,
+    /// max |clean − death| over the inverse (0.0 ⇒ bit-identical).
+    pub max_abs_diff: f64,
+    /// Chrome/Perfetto timeline of the death run: the timeout eviction,
+    /// the node-death marker, and the re-executed map outputs.
+    pub death_trace_json: String,
+    /// Straggler/lost-work analytics of the death run.
+    pub death_analytics: PipelineAnalytics,
+}
+
+/// Section 7.4, node-granularity variant: the paper kills *worker
+/// daemons* mid-run and reports the 5 h inversion stretching to 8 h while
+/// still finishing correctly. This experiment reproduces that at the node
+/// level on M4 / 64 medium instances: a whole node dies mid-wave, its
+/// in-flight attempts and its *completed* map outputs are lost and
+/// re-executed, and a degraded (slow) node is evicted by the task
+/// timeout along the way.
+pub fn sec74_node(scale: usize) -> Sec74NodeOutput {
+    let m4 = SuiteMatrix::by_name("M4").unwrap();
+    node_death_experiment(&m4, scale, 64)
+}
+
+/// The [`sec74_node`] machinery, parameterized so tests can run it on a
+/// small matrix and cluster.
+///
+/// Unlike the other experiments this one is priced on bytes alone
+/// (compute scales zeroed): compute pricing multiplies *measured wall
+/// time*, which jitters between runs, and the timeout calibration plus
+/// the bit-identity comparison need the three schedules to be exactly
+/// reproducible. Byte counts are. Three runs:
+///
+/// 1. **clean** — calibrates the task timeout (comfortably above the
+///    longest healthy attempt, including a worst-case fully-remote read)
+///    and pins the reference inverse;
+/// 2. **degraded** — the last node runs slow enough that the final map
+///    wave's task on it blows the timeout and is re-executed elsewhere;
+///    its timeline picks the death's victim and instant: a healthy node
+///    that finished a map task in a shuffling job's wave that keeps
+///    running long after (so the death provably destroys a *finished*
+///    map output, not just an in-flight attempt);
+/// 3. **node-death** — the degraded run plus `kill_node(victim, t_kill)`.
+pub fn node_death_experiment(m: &SuiteMatrix, scale: usize, m0: usize) -> Sec74NodeOutput {
+    use mrinv_mapreduce::tracelog::TracePhase;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    let cfg = InversionConfig::with_nb(m.nb(scale));
+    let a = m.generate(scale);
+    let cost = CostModel {
+        compute_scale: 0.0,
+        master_compute_scale: 0.0,
+        codec_scale: 0.0,
+        ..extrapolated_cost(scale)
+    };
+    let cluster_with = |speeds: Vec<f64>, timeout: Option<f64>| {
+        let mut ccfg = ClusterConfig::medium(m0);
+        ccfg.cost = cost.clone();
+        ccfg.tracing = true;
+        ccfg.node_speeds = speeds;
+        ccfg.task_timeout_secs = timeout;
+        Cluster::new(ccfg)
+    };
+    let dur = |e: &mrinv_mapreduce::TaskEvent| e.sim_end_secs - e.sim_start_secs;
+
+    // Run 1: clean.
+    let cluster = cluster_with(vec![], None);
+    let clean = staged_invert(&cluster, &a, &cfg);
+    let clean_events = cluster.trace.events();
+    let d_max = clean_events
+        .iter()
+        .filter(|e| matches!(e.phase, TracePhase::Map | TracePhase::Reduce))
+        .map(&dur)
+        .fold(0.0f64, f64::max);
+    // No healthy attempt may ever trip the timeout, in any of the three
+    // runs. Placement shifts between runs, so an attempt that was
+    // data-local in the clean run may read its whole input over the
+    // network elsewhere — charging at most read_bytes/net_bw on top, and
+    // read_bytes/disk_read_bw is already inside the nominal duration.
+    // Scale the clean maximum by that worst case, plus 50% headroom.
+    let timeout = 1.5 * d_max * (1.0 + cost.disk_read_bw / cost.net_bw);
+    // Slow factor tuned against the *final* job's map tasks (one per
+    // node, so round 1 provably hands the slow node one): at nominal
+    // speed they fit the timeout, on the slow node they take twice it.
+    let last_map_job = clean_events
+        .iter()
+        .filter(|e| e.phase == TracePhase::Map)
+        .filter_map(|e| e.job_seq)
+        .max()
+        .expect("the pipeline ran map tasks");
+    let final_map_nominal = clean_events
+        .iter()
+        .filter(|e| e.phase == TracePhase::Map && e.job_seq == Some(last_map_job))
+        .map(dur)
+        .fold(0.0f64, f64::max);
+    let slow = (final_map_nominal / (2.0 * timeout)).min(0.5);
+    let mut speeds = vec![1.0; m0];
+    speeds[m0 - 1] = slow;
+
+    // Run 2: degraded — timeout evictions, no death.
+    let cluster = cluster_with(speeds.clone(), Some(timeout));
+    let degraded = staged_invert(&cluster, &a, &cfg);
+    let base_events = cluster.trace.events();
+
+    // Victim: among map waves of shuffling jobs (map-only side files are
+    // replicated DFS writes and survive a death), the healthy node whose
+    // last completed map attempt leaves the biggest gap to the wave's
+    // end. Killing it mid-gap destroys a finished map output.
+    let shuffling_jobs: BTreeSet<u64> = base_events
+        .iter()
+        .filter(|e| e.phase == TracePhase::Reduce)
+        .filter_map(|e| e.job_seq)
+        .collect();
+    let mut best: Option<(f64, usize, f64)> = None; // (gap, victim, t_kill)
+    for &job in &shuffling_jobs {
+        let wave: Vec<_> = base_events
+            .iter()
+            .filter(|e| e.phase == TracePhase::Map && e.job_seq == Some(job))
+            .collect();
+        let wave_end = wave.iter().map(|e| e.sim_end_secs).fold(0.0f64, f64::max);
+        let mut last_ok: BTreeMap<usize, f64> = BTreeMap::new();
+        for e in &wave {
+            if let (None, Some(n)) = (&e.failure, e.node) {
+                let v = last_ok.entry(n).or_insert(0.0);
+                *v = v.max(e.sim_end_secs);
+            }
+        }
+        for (&node, &end) in &last_ok {
+            // Keep the slow node alive — it is why the wave drags on.
+            if node == m0 - 1 {
+                continue;
+            }
+            let gap = wave_end - end;
+            if best.as_ref().is_none_or(|b| gap > b.0) {
+                best = Some((gap, node, end + 0.5 * gap));
+            }
+        }
+    }
+    let (_, victim, t_kill) = best.expect("a shuffling job's map wave has an early finisher");
+
+    // Run 3: the same degraded cluster, with the victim dying mid-wave.
+    let cluster = cluster_with(speeds, Some(timeout));
+    cluster.faults.kill_node(victim, t_kill);
+    let death = staged_invert(&cluster, &a, &cfg);
+    let snap = cluster.metrics.snapshot();
+    let events = cluster.trace.events();
+    let failures_starting = |prefix: &str| {
+        events
+            .iter()
+            .filter(|e| e.failure.as_deref().is_some_and(|f| f.starts_with(prefix)))
+            .count()
+    };
+    let classified = snap.data_local_map_tasks + snap.remote_map_tasks;
+
+    let row = |label: &str, run: &StagedRun| LargeMatrixOutcome {
+        label: label.into(),
+        hours: run.total_secs / 3600.0,
+        jobs: run.jobs,
+        failures: run.failures,
+    };
+    Sec74NodeOutput {
+        outcomes: vec![
+            row(&format!("ours/{m0}-medium/clean"), &clean),
+            row(&format!("ours/{m0}-medium/slow-node+timeout"), &degraded),
+            row(&format!("ours/{m0}-medium/node-death"), &death),
+        ],
+        victim,
+        t_kill_secs: t_kill,
+        node_lost: failures_starting("node-lost"),
+        output_lost: failures_starting("map-output-lost"),
+        timeouts: failures_starting("timeout"),
+        death_markers: events
+            .iter()
+            .filter(|e| e.phase == TracePhase::NodeDeath)
+            .count(),
+        data_local_fraction: if classified == 0 {
+            1.0
+        } else {
+            snap.data_local_map_tasks as f64 / classified as f64
+        },
+        max_abs_diff: death
+            .inverse
+            .max_abs_diff(&clean.inverse)
+            .expect("same shape"),
+        death_trace_json: chrome_trace_json(&events),
+        death_analytics: tracelog::analyze(&events, None),
+    }
+}
+
 /// Section 7.2 accuracy check: max |(I − M·M^-1)_ij| for the suite.
 pub fn accuracy(scale: usize, m0: usize) -> Vec<(String, f64)> {
     SUITE
@@ -545,6 +751,39 @@ mod tests {
         assert!(run.lu_secs > 0.0 && run.inv_secs > 0.0);
         assert!(run.lu_bytes_written > 0 && run.inv_bytes_written > 0);
         assert!((run.total_secs - (run.lu_secs + run.inv_secs)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_death_experiment_loses_completed_maps_and_recovers() {
+        let m5 = SuiteMatrix::by_name("M5").unwrap();
+        // Tiny but multi-round: scale 64 -> n = 256, nb = 50 on 4 nodes.
+        let out = node_death_experiment(&m5, 64, 4);
+        assert_eq!(
+            out.max_abs_diff, 0.0,
+            "the death run must reproduce the clean bits"
+        );
+        assert!(
+            out.output_lost >= 1,
+            "the death must destroy a completed map output: {out:?}"
+        );
+        assert!(out.death_markers >= 1, "the death is a trace marker");
+        assert!(
+            out.timeouts >= 1,
+            "the slow node must trip the task timeout: {out:?}"
+        );
+        let hours = |needle: &str| {
+            out.outcomes
+                .iter()
+                .find(|o| o.label.contains(needle))
+                .unwrap()
+                .hours
+        };
+        assert!(
+            hours("node-death") > hours("clean"),
+            "lost work stretches the makespan"
+        );
+        assert!((0.0..=1.0).contains(&out.data_local_fraction));
+        assert!(out.death_trace_json.contains("traceEvents"));
     }
 
     #[test]

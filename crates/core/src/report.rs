@@ -47,6 +47,11 @@ mod tests {
         assert_eq!(r.task_failures, 1);
         assert_eq!(r.shuffle_bytes, 64);
         assert!(r.analytics.is_none(), "no analytics without tracing");
+        assert_eq!(
+            r.data_local_fraction, 1.0,
+            "no map tasks means vacuously local"
+        );
+        assert_eq!(r.remote_read_bytes, 0);
         assert_eq!(r.restored_jobs, 0, "deltas alone restore nothing");
         assert_eq!(r.workdir, "", "workdir is stamped by the driver");
     }
@@ -68,12 +73,15 @@ mod tests {
             workdir: "mrinv/run-0".to_string(),
             restored_jobs: 3,
             restored_sim_secs: 41.25,
+            data_local_fraction: 0.75,
+            remote_read_bytes: 2048,
             analytics: None,
         };
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("\"jobs\": 9"), "json {json}");
         assert!(json.contains("\"analytics\": null"));
         assert!(json.contains("\"restored_jobs\": 3"));
+        assert!(json.contains("\"data_local_fraction\": 0.75"));
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.n, report.n);
         assert_eq!(back.jobs, report.jobs);

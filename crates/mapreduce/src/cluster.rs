@@ -29,6 +29,16 @@ pub struct ClusterConfig {
     /// default: tracing costs one atomic load per event site when
     /// disabled, and nothing else).
     pub tracing: bool,
+    /// Declare a task attempt dead once its simulated duration exceeds
+    /// this many seconds (Hadoop's `mapred.task.timeout`). `None` (the
+    /// default) disables timeouts. Timed-out attempts are retried on
+    /// another node with capped exponential backoff.
+    pub task_timeout_secs: Option<f64>,
+    /// First retry-after-timeout backoff delay, seconds (doubles per
+    /// consecutive timeout of the same task).
+    pub retry_backoff_base_secs: f64,
+    /// Upper bound on the timeout-retry backoff delay, seconds.
+    pub retry_backoff_cap_secs: f64,
     /// Pricing of compute, disk, network, and job launches.
     pub cost: CostModel,
 }
@@ -43,6 +53,9 @@ impl ClusterConfig {
             node_speeds: Vec::new(),
             speculative_execution: true,
             tracing: false,
+            task_timeout_secs: None,
+            retry_backoff_base_secs: 1.0,
+            retry_backoff_cap_secs: 60.0,
             cost: CostModel::ec2_medium(),
         }
     }
@@ -57,6 +70,9 @@ impl ClusterConfig {
             node_speeds: Vec::new(),
             speculative_execution: true,
             tracing: false,
+            task_timeout_secs: None,
+            retry_backoff_base_secs: 1.0,
+            retry_backoff_cap_secs: 60.0,
             cost: CostModel::ec2_large(),
         }
     }
@@ -112,7 +128,9 @@ impl Cluster {
             trace.enable();
         }
         Cluster {
-            dfs: Arc::new(Dfs::new(config.cost.replication)),
+            // Blocks are placed across the cluster's own nodes, so a node
+            // death can take DFS replicas down with it.
+            dfs: Arc::new(Dfs::with_nodes(config.cost.replication, config.nodes)),
             config,
             metrics: ClusterMetrics::default(),
             faults: FaultPlan::none(),
@@ -172,6 +190,8 @@ mod tests {
         assert_eq!(c.config.slots_per_node, 1);
         assert_eq!(c.config.block_wrap_factors(), (4, 4));
         assert_eq!(c.dfs.replication(), 3);
+        assert_eq!(c.dfs.nodes(), 16, "DFS places blocks across m0 nodes");
+        assert_eq!(c.config.task_timeout_secs, None, "timeouts off by default");
         assert_eq!(c.sim_secs(), 0.0);
 
         let l = Cluster::new(ClusterConfig::large(128));

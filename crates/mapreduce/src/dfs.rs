@@ -12,8 +12,19 @@
 //! Replication is tracked as metadata: the store keeps one copy, but the
 //! cost model charges `replication` disk writes per logical write, like a
 //! real HDFS pipeline would.
+//!
+//! # Block placement and failure domains
+//!
+//! Each file is assigned `replication` *home nodes* at write time, chosen
+//! deterministically from a stable hash of its normalized path (so reruns
+//! place blocks identically). [`Dfs::kill_node`] marks a virtual node dead:
+//! its replicas stop counting, [`Dfs::locations`] reports only survivors,
+//! and a read whose replicas are all on dead nodes fails with
+//! [`MrError::AllReplicasLost`] — the HDFS behavior behind the paper's
+//! Section 7.4 node-failure experiment. Namenode metadata (`exists`,
+//! `len`, `list`) survives node deaths; only block *data* is lost.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
@@ -47,6 +58,13 @@ pub struct DfsCountersSnapshot {
     pub reads: u64,
 }
 
+/// One stored file: its bytes plus the home nodes holding its replicas.
+#[derive(Debug, Clone)]
+struct Block {
+    data: Bytes,
+    homes: Vec<usize>,
+}
+
 /// The in-memory distributed file system.
 ///
 /// ```
@@ -61,9 +79,11 @@ pub struct DfsCountersSnapshot {
 /// ```
 #[derive(Debug)]
 pub struct Dfs {
-    files: RwLock<BTreeMap<String, Bytes>>,
+    files: RwLock<BTreeMap<String, Block>>,
     counters: DfsCounters,
     replication: u32,
+    nodes: usize,
+    dead: RwLock<BTreeSet<usize>>,
 }
 
 impl Default for Dfs {
@@ -72,33 +92,107 @@ impl Default for Dfs {
     }
 }
 
-/// Normalizes a path: strips leading/trailing `/` and collapses repeats, so
-/// `"/Root//A1/"` and `"Root/A1"` address the same file.
+/// Normalizes a path: strips leading/trailing `/`, collapses repeated
+/// separators, resolves `.` segments, and folds `..` onto the previous
+/// segment (clamped at the root), so `"/Root//A1/"`, `"Root/./A1"` and
+/// `"Root/x/../A1"` all address the same file.
 pub fn normalize_path(path: &str) -> String {
-    let mut out = String::with_capacity(path.len());
-    for seg in path.split('/').filter(|s| !s.is_empty()) {
-        if !out.is_empty() {
-            out.push('/');
+    let mut segs: Vec<&str> = Vec::new();
+    for seg in path.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                // Above the root there is nothing to pop: `..` clamps.
+                segs.pop();
+            }
+            s => segs.push(s),
         }
-        out.push_str(seg);
     }
-    out
+    segs.join("/")
+}
+
+/// Stable FNV-1a hash of a path — the deterministic seed for block
+/// placement (reruns must place blocks on the same home nodes).
+fn placement_hash(path: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 impl Dfs {
-    /// Creates an empty DFS with the given replication factor.
+    /// Creates an empty DFS with the given replication factor, with as many
+    /// placement nodes as replicas (every file lives everywhere).
     pub fn new(replication: u32) -> Self {
+        Self::with_nodes(replication, replication as usize)
+    }
+
+    /// Creates an empty DFS with `replication` replicas per file placed
+    /// across `nodes` virtual nodes.
+    pub fn with_nodes(replication: u32, nodes: usize) -> Self {
         assert!(replication >= 1, "replication factor must be at least 1");
         Dfs {
             files: RwLock::new(BTreeMap::new()),
             counters: DfsCounters::default(),
             replication,
+            nodes: nodes.max(1),
+            dead: RwLock::new(BTreeSet::new()),
         }
     }
 
     /// The configured replication factor.
     pub fn replication(&self) -> u32 {
         self.replication
+    }
+
+    /// Number of virtual nodes blocks are placed across.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Picks the home nodes for `path`: walk the node ring from a stable
+    /// hash of the path, taking the first `replication` live nodes (like
+    /// HDFS, new writes avoid nodes already known dead). Returns an empty
+    /// set when every node is dead.
+    fn place(&self, path: &str) -> Vec<usize> {
+        let dead = self.dead.read();
+        let start = (placement_hash(path) % self.nodes as u64) as usize;
+        let mut homes = Vec::with_capacity(self.replication as usize);
+        for i in 0..self.nodes {
+            let node = (start + i) % self.nodes;
+            if !dead.contains(&node) {
+                homes.push(node);
+                if homes.len() == self.replication as usize {
+                    break;
+                }
+            }
+        }
+        homes
+    }
+
+    /// Marks a virtual node dead: its replicas stop counting toward
+    /// availability and future writes avoid it.
+    pub fn kill_node(&self, node: usize) {
+        self.dead.write().insert(node);
+    }
+
+    /// Nodes currently holding a surviving replica of `path` (empty for
+    /// unknown paths or when every home node is dead).
+    pub fn locations(&self, path: &str) -> Vec<usize> {
+        let path = normalize_path(path);
+        let files = self.files.read();
+        let Some(block) = files.get(&path) else {
+            return Vec::new();
+        };
+        let dead = self.dead.read();
+        block
+            .homes
+            .iter()
+            .copied()
+            .filter(|n| !dead.contains(n))
+            .collect()
     }
 
     /// Writes (or overwrites) a file.
@@ -108,7 +202,8 @@ impl Dfs {
             .bytes_written
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.counters.files_written.fetch_add(1, Ordering::Relaxed);
-        self.files.write().insert(path, data);
+        let homes = self.place(&path);
+        self.files.write().insert(path, Block { data, homes });
     }
 
     /// Writes (or overwrites) a file *without* touching the I/O counters.
@@ -117,17 +212,33 @@ impl Dfs {
     /// bookkeeping must stay invisible to byte accounting so a
     /// checkpoint-enabled run reports the same I/O as a plain one.
     pub fn write_uncounted(&self, path: &str, data: Bytes) {
-        self.files.write().insert(normalize_path(path), data);
+        let path = normalize_path(path);
+        let homes = self.place(&path);
+        self.files.write().insert(path, Block { data, homes });
     }
 
     /// Reads a file; cheap (`Bytes` is reference-counted).
+    ///
+    /// Fails with [`MrError::AllReplicasLost`] when every home node of the
+    /// block is dead — the data existed but no replica survives.
     pub fn read(&self, path: &str) -> Result<Bytes> {
         let path = normalize_path(path);
         let files = self.files.read();
-        let data = match files.get(&path) {
-            Some(d) => d.clone(),
+        let block = match files.get(&path) {
+            Some(b) => b,
             None => return Err(self.not_found(&files, path)),
         };
+        {
+            let dead = self.dead.read();
+            if block.homes.iter().all(|n| dead.contains(n)) {
+                return Err(MrError::AllReplicasLost {
+                    path,
+                    homes: block.homes.clone(),
+                });
+            }
+        }
+        let data = block.data.clone();
+        drop(files);
         self.counters
             .bytes_read
             .fetch_add(data.len() as u64, Ordering::Relaxed);
@@ -141,11 +252,14 @@ impl Dfs {
     }
 
     /// Size in bytes of `path`.
+    ///
+    /// Like `exists`, this is namenode metadata: it stays readable even
+    /// when every replica of the block is lost.
     pub fn len(&self, path: &str) -> Result<u64> {
         let path = normalize_path(path);
         let files = self.files.read();
         match files.get(&path) {
-            Some(d) => Ok(d.len() as u64),
+            Some(b) => Ok(b.data.len() as u64),
             None => Err(self.not_found(&files, path)),
         }
     }
@@ -153,7 +267,7 @@ impl Dfs {
     /// Builds the diagnosable not-found error: walks the path's ancestors
     /// (deepest first) and reports the first one that exists as a
     /// directory, or `/` when no component of the path exists.
-    fn not_found(&self, files: &BTreeMap<String, Bytes>, path: String) -> MrError {
+    fn not_found(&self, files: &BTreeMap<String, Block>, path: String) -> MrError {
         let mut nearest_parent = "/".to_string();
         let mut ancestor = path.as_str();
         while let Some(idx) = ancestor.rfind('/') {
@@ -190,10 +304,17 @@ impl Dfs {
     }
 
     /// Deletes every file under the directory `dir`; returns how many were
-    /// removed.
+    /// removed. Like `list` and `dir_size`, `""` addresses the root: it
+    /// clears the whole store.
     pub fn delete_dir(&self, dir: &str) -> usize {
-        let prefix = format!("{}/", normalize_path(dir));
+        let norm = normalize_path(dir);
         let mut files = self.files.write();
+        if norm.is_empty() {
+            let n = files.len();
+            files.clear();
+            return n;
+        }
+        let prefix = format!("{norm}/");
         let doomed: Vec<String> = files
             .range(prefix.clone()..)
             .take_while(|(k, _)| k.starts_with(&prefix))
@@ -225,13 +346,13 @@ impl Dfs {
         let norm = normalize_path(dir);
         let files = self.files.read();
         if norm.is_empty() {
-            return files.values().map(|d| d.len() as u64).sum();
+            return files.values().map(|b| b.data.len() as u64).sum();
         }
         let prefix = format!("{norm}/");
         files
             .range(prefix.clone()..)
             .take_while(|(k, _)| k.starts_with(&prefix))
-            .map(|(_, d)| d.len() as u64)
+            .map(|(_, b)| b.data.len() as u64)
             .sum()
     }
 
@@ -279,6 +400,16 @@ mod tests {
         assert_eq!(dfs.read("Root/A1//x/").unwrap(), Bytes::from_static(b"1"));
         assert_eq!(normalize_path("//a///b/"), "a/b");
         assert_eq!(normalize_path(""), "");
+        // `.` segments resolve: "run/./x" and "run/x" are the same file.
+        assert_eq!(normalize_path("run/./x"), "run/x");
+        assert_eq!(normalize_path("./run/x/."), "run/x");
+        assert!(dfs.exists("Root/./A1/x"));
+        // `..` pops the previous segment, clamped at the root.
+        assert_eq!(normalize_path("run/sub/../x"), "run/x");
+        assert_eq!(normalize_path("../x"), "x");
+        assert_eq!(normalize_path("a/../../x"), "x");
+        assert_eq!(normalize_path("a/b/.."), "a");
+        assert!(dfs.exists("Root/other/../A1/x"));
     }
 
     #[test]
@@ -361,6 +492,77 @@ mod tests {
         assert_eq!(dfs.delete_dir("d"), 1);
         assert_eq!(dfs.file_count(), 1);
         assert!(!dfs.is_empty());
+    }
+
+    #[test]
+    fn delete_dir_of_root_clears_the_store() {
+        // `""` means the root for list/dir_size; delete_dir must agree
+        // (it used to build the prefix "/" and silently delete nothing).
+        let dfs = Dfs::default();
+        dfs.write("d/a", Bytes::from_static(b"1"));
+        dfs.write("e/c", Bytes::from_static(b"3"));
+        dfs.write("top", Bytes::from_static(b"4"));
+        assert_eq!(dfs.list("").len(), 3);
+        assert_eq!(dfs.delete_dir(""), 3);
+        assert!(dfs.is_empty());
+        assert_eq!(dfs.delete_dir("/"), 0, "idempotent on the empty store");
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_spreads_replicas() {
+        let dfs = Dfs::with_nodes(3, 8);
+        dfs.write("Root/A1/x", Bytes::from_static(b"1"));
+        let homes = dfs.locations("Root/A1/x");
+        assert_eq!(homes.len(), 3, "replication-many distinct homes");
+        assert!(homes.iter().all(|&n| n < 8));
+        let mut dedup = homes.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3, "homes are distinct nodes");
+        // Same path in a fresh store: identical placement.
+        let other = Dfs::with_nodes(3, 8);
+        other.write("/Root/A1//x", Bytes::from_static(b"2"));
+        assert_eq!(other.locations("Root/A1/x"), homes);
+        // Unknown paths have no locations.
+        assert!(dfs.locations("nope").is_empty());
+    }
+
+    #[test]
+    fn node_death_invalidates_replicas() {
+        let dfs = Dfs::with_nodes(2, 4);
+        dfs.write("f", Bytes::from_static(b"data"));
+        let homes = dfs.locations("f");
+        assert_eq!(homes.len(), 2);
+        dfs.kill_node(homes[0]);
+        assert_eq!(dfs.locations("f"), vec![homes[1]]);
+        assert_eq!(dfs.read("f").unwrap(), Bytes::from_static(b"data"));
+        dfs.kill_node(homes[1]);
+        assert!(dfs.locations("f").is_empty());
+        match dfs.read("f") {
+            Err(MrError::AllReplicasLost { path, homes: h }) => {
+                assert_eq!(path, "f");
+                assert_eq!(h, homes);
+            }
+            other => panic!("expected AllReplicasLost, got {other:?}"),
+        }
+        // Metadata survives: the namenode still knows the file.
+        assert!(dfs.exists("f"));
+        assert_eq!(dfs.len("f").unwrap(), 4);
+        // New writes avoid dead nodes and are readable again.
+        dfs.write("f", Bytes::from_static(b"fresh"));
+        assert!(dfs.locations("f").iter().all(|n| !homes.contains(n)));
+        assert_eq!(dfs.read("f").unwrap(), Bytes::from_static(b"fresh"));
+    }
+
+    #[test]
+    fn all_nodes_dead_means_new_writes_are_lost_too() {
+        let dfs = Dfs::with_nodes(1, 1);
+        dfs.kill_node(0);
+        dfs.write("f", Bytes::from_static(b"x"));
+        assert!(dfs.locations("f").is_empty());
+        assert!(matches!(
+            dfs.read("f"),
+            Err(MrError::AllReplicasLost { .. })
+        ));
     }
 
     #[test]

@@ -169,6 +169,12 @@ pub struct RunReport {
     /// Simulated seconds the restored jobs originally cost — the work the
     /// checkpoint saved (not included in [`RunReport::sim_secs`]).
     pub restored_sim_secs: f64,
+    /// Fraction of map tasks whose successful attempt ran on a node
+    /// holding a replica of all its input (1.0 when the run scheduled no
+    /// map tasks, or none of them read DFS input).
+    pub data_local_fraction: f64,
+    /// Input bytes map tasks pulled from replicas on other nodes.
+    pub remote_read_bytes: u64,
     /// Per-wave straggler/lost-work analytics, present when the cluster
     /// ran with tracing enabled ([`crate::cluster::ClusterConfig::tracing`]).
     pub analytics: Option<PipelineAnalytics>,
@@ -186,6 +192,8 @@ impl RunReport {
         dfs_after: &DfsCountersSnapshot,
     ) -> Self {
         let sim_secs = metrics_after.sim_secs - metrics_before.sim_secs;
+        let local = metrics_after.data_local_map_tasks - metrics_before.data_local_map_tasks;
+        let remote = metrics_after.remote_map_tasks - metrics_before.remote_map_tasks;
         RunReport {
             n,
             nodes,
@@ -201,6 +209,12 @@ impl RunReport {
             workdir: String::new(),
             restored_jobs: 0,
             restored_sim_secs: 0.0,
+            data_local_fraction: if local + remote == 0 {
+                1.0
+            } else {
+                local as f64 / (local + remote) as f64
+            },
+            remote_read_bytes: metrics_after.remote_read_bytes - metrics_before.remote_read_bytes,
             analytics: None,
         }
     }
@@ -331,6 +345,14 @@ impl<'c> PipelineDriver<'c> {
         spec_fingerprint: u64,
         job: impl FnOnce(&'c Cluster) -> Result<JobReport>,
     ) -> Result<JobReport> {
+        // An armed kill-after-0 means the driver dies before *any* job
+        // completes — checked on entry so not even a manifest replay (let
+        // alone a real job) happens first.
+        if self.cluster.faults.driver_kill_now() {
+            return Err(MrError::DriverKilled {
+                after_jobs: self.reports.len() as u64,
+            });
+        }
         let seq = self.reports.len() as u64;
         let fingerprint = Fingerprint::new()
             .push_u64(self.config_fingerprint)
@@ -626,6 +648,21 @@ mod tests {
         })
         .unwrap();
         assert!(reran, "missing output must re-run");
+    }
+
+    /// Regression: `kill_driver_after(0)` used to be a silent no-op (the
+    /// post-job decrement never saw the already-zero counter); it must
+    /// kill the driver before any job completes.
+    #[test]
+    fn kill_driver_after_zero_fires_before_the_first_job() {
+        let cluster = Cluster::medium(1);
+        cluster.faults.kill_driver_after(0);
+        let mut d = PipelineDriver::new(&cluster, RunId::new("kill0"));
+        let err = d.step(0, |_| panic!("no job may run")).unwrap_err();
+        assert_eq!(err, MrError::DriverKilled { after_jobs: 0 });
+        // The knob is consumed: after clearing, the pipeline proceeds.
+        d.step(0, |_| Ok(report("a", 1.0, 0))).unwrap();
+        assert_eq!(d.num_jobs(), 1);
     }
 
     #[test]

@@ -23,6 +23,16 @@ pub enum MrError {
         /// the path exists).
         nearest_parent: String,
     },
+    /// A file's data is unrecoverable: every node holding one of its
+    /// replicas died ([`crate::dfs::Dfs::kill_node`]). Unlike
+    /// [`MrError::FileNotFound`], the file *was* written — this is a
+    /// failure-domain loss, not a missing path, and it is not retryable.
+    AllReplicasLost {
+        /// The normalized path whose block is gone.
+        path: String,
+        /// The (now all dead) home nodes the block was placed on.
+        homes: Vec<usize>,
+    },
     /// The pipeline driver was killed by the fault plan
     /// ([`crate::fault::FaultPlan::kill_driver_after`]) after completing
     /// the given number of jobs — the simulated analogue of the driver
@@ -72,6 +82,12 @@ impl fmt::Display for MrError {
                     "DFS file not found: {path} (nearest existing parent: {nearest_parent})"
                 )
             }
+            MrError::AllReplicasLost { path, homes } => {
+                write!(
+                    f,
+                    "all replicas of {path} lost: home node(s) {homes:?} are dead"
+                )
+            }
             MrError::DriverKilled { after_jobs } => {
                 write!(
                     f,
@@ -117,6 +133,12 @@ mod tests {
         };
         assert!(nf.to_string().contains("x/y/z.bin"));
         assert!(nf.to_string().contains("nearest existing parent: x"));
+        let lost = MrError::AllReplicasLost {
+            path: "run/L2/L.0".into(),
+            homes: vec![1, 4],
+        };
+        assert!(lost.to_string().contains("run/L2/L.0"));
+        assert!(lost.to_string().contains("[1, 4]"));
         let killed = MrError::DriverKilled { after_jobs: 3 };
         assert!(killed.to_string().contains("after 3 completed job(s)"));
         let e = MrError::TaskFailed {

@@ -23,14 +23,29 @@ pub enum Phase {
 }
 
 /// Why a task attempt was treated as failed — recorded into the trace
-/// log's [`crate::tracelog::TaskEvent::failure`] field so injected faults
-/// and retried user errors stay distinguishable in exported traces.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// log's [`crate::tracelog::TaskEvent::failure`] field so injected faults,
+/// retried user errors, node deaths, and timeouts stay distinguishable in
+/// exported traces.
+#[derive(Debug, Clone, PartialEq)]
 pub enum FailureCause {
     /// The fault plan killed the attempt (its node "died").
     Injected,
     /// The task body returned a user-visible error and was retried.
     UserError(String),
+    /// The attempt was running on a node when [`FaultPlan::kill_node`]
+    /// killed it mid-wave.
+    NodeLost(usize),
+    /// The attempt had *completed* on the node that died, but its map
+    /// output lived only on that node's local disk (Hadoop semantics: map
+    /// output is not in the DFS) and the task had to re-execute.
+    OutputLost(usize),
+    /// The attempt exceeded the cluster's task timeout
+    /// ([`crate::cluster::ClusterConfig::task_timeout_secs`]) and was
+    /// declared dead.
+    TimedOut {
+        /// The timeout that was exceeded, seconds.
+        limit_secs: f64,
+    },
 }
 
 impl FailureCause {
@@ -39,8 +54,22 @@ impl FailureCause {
         match self {
             FailureCause::Injected => "injected-fault".to_string(),
             FailureCause::UserError(msg) => format!("user-error: {msg}"),
+            FailureCause::NodeLost(node) => format!("node-lost: node {node}"),
+            FailureCause::OutputLost(node) => format!("map-output-lost: node {node}"),
+            FailureCause::TimedOut { limit_secs } => {
+                format!("timeout: exceeded {limit_secs}s")
+            }
         }
     }
+}
+
+/// A scheduled node death: node `node` dies `after_secs` onto the
+/// simulated clock. `fired` flips once the runner has applied it.
+#[derive(Debug, Clone)]
+struct NodeDeath {
+    node: usize,
+    after_secs: f64,
+    fired: bool,
 }
 
 /// One injection rule: fail the first `attempts_to_fail` attempts of the
@@ -61,8 +90,11 @@ pub struct FaultPlan {
     injected: AtomicU32,
     /// One-shot driver-crash countdown: `Some(k)` kills the pipeline
     /// driver after its k-th completed job (then disarms, so a resumed
-    /// pipeline is not re-killed).
+    /// pipeline is not re-killed). `Some(0)` kills *before* any job
+    /// completes.
     kill_driver_after: Mutex<Option<u64>>,
+    /// Scheduled whole-node deaths ([`FaultPlan::kill_node`]).
+    node_deaths: Mutex<Vec<NodeDeath>>,
 }
 
 impl FaultPlan {
@@ -121,10 +153,26 @@ impl FaultPlan {
     /// Arms the driver-crash knob: the pipeline driver dies (with
     /// [`crate::error::MrError::DriverKilled`]) right after completing its
     /// `jobs`-th job — the between-jobs driver failure the paper's
-    /// task-level fault tolerance (§7.4) cannot recover from. The knob is
-    /// one-shot: it disarms when it fires, so the resumed run proceeds.
+    /// task-level fault tolerance (§7.4) cannot recover from. `jobs = 0`
+    /// kills the driver *before any job completes* (its next `step` dies
+    /// on entry, running nothing). The knob is one-shot: it disarms when
+    /// it fires, so the resumed run proceeds.
     pub fn kill_driver_after(&self, jobs: u64) {
         *self.kill_driver_after.lock() = Some(jobs);
+    }
+
+    /// Consulted by the driver *before* running a job; returns true exactly
+    /// once, when the knob was armed with `kill_driver_after(0)`.
+    ///
+    /// This is what makes 0 distinguishable from 1: a zero countdown fires
+    /// here, on step entry, instead of waiting for a completed job.
+    pub fn driver_kill_now(&self) -> bool {
+        let mut armed = self.kill_driver_after.lock();
+        if *armed == Some(0) {
+            *armed = None;
+            return true;
+        }
+        false
     }
 
     /// Consulted by the driver after each completed job; returns true
@@ -142,10 +190,60 @@ impl FaultPlan {
         false
     }
 
-    /// Removes all rules and disarms the driver-crash knob.
+    /// Schedules the death of virtual node `node` at `after_secs` on the
+    /// simulated clock. When the runner's clock passes that instant the
+    /// node is removed from service: its in-flight attempts fail
+    /// ([`FailureCause::NodeLost`]), map outputs it hosted are lost and
+    /// re-executed ([`FailureCause::OutputLost`]), and its DFS replicas
+    /// are invalidated ([`crate::dfs::Dfs::kill_node`]).
+    pub fn kill_node(&self, node: usize, after_secs: f64) {
+        self.node_deaths.lock().push(NodeDeath {
+            node,
+            after_secs,
+            fired: false,
+        });
+    }
+
+    /// Deaths scheduled at or before `now_secs` that have not fired yet;
+    /// marks them fired. The runner applies each exactly once.
+    pub fn deaths_due(&self, now_secs: f64) -> Vec<(usize, f64)> {
+        let mut deaths = self.node_deaths.lock();
+        let mut due = Vec::new();
+        for d in deaths.iter_mut() {
+            if !d.fired && d.after_secs <= now_secs {
+                d.fired = true;
+                due.push((d.node, d.after_secs));
+            }
+        }
+        due
+    }
+
+    /// The earliest death that has not fired yet, as `(node, after_secs)`.
+    pub fn pending_death(&self) -> Option<(usize, f64)> {
+        self.node_deaths
+            .lock()
+            .iter()
+            .filter(|d| !d.fired)
+            .min_by(|a, b| a.after_secs.total_cmp(&b.after_secs))
+            .map(|d| (d.node, d.after_secs))
+    }
+
+    /// Nodes whose scheduled death has already fired.
+    pub fn dead_nodes(&self) -> std::collections::BTreeSet<usize> {
+        self.node_deaths
+            .lock()
+            .iter()
+            .filter(|d| d.fired)
+            .map(|d| d.node)
+            .collect()
+    }
+
+    /// Removes all rules, unfired node deaths, and the driver-crash knob.
+    /// Fired deaths are history — the node stays dead.
     pub fn clear(&self) {
         self.rules.lock().clear();
         *self.kill_driver_after.lock() = None;
+        self.node_deaths.lock().retain(|d| d.fired);
     }
 }
 
@@ -210,6 +308,61 @@ mod tests {
         assert!(p.driver_job_completed(), "fires after the third job");
         assert!(!p.driver_job_completed(), "one-shot: disarmed after firing");
         assert!(!p.driver_job_completed());
+    }
+
+    #[test]
+    fn driver_kill_zero_fires_before_any_job() {
+        // kill_driver_after(0) used to be indistinguishable from (1): the
+        // saturating countdown fired after the first completed job either
+        // way. 0 now means "die before any job completes".
+        let p = FaultPlan::none();
+        p.kill_driver_after(0);
+        assert!(p.driver_kill_now(), "0 fires on step entry");
+        assert!(!p.driver_kill_now(), "one-shot");
+        assert!(!p.driver_job_completed(), "disarmed: never fires again");
+
+        let p = FaultPlan::none();
+        p.kill_driver_after(1);
+        assert!(!p.driver_kill_now(), "1 does not fire before the job");
+        assert!(p.driver_job_completed(), "1 fires after the first job");
+
+        let p = FaultPlan::none();
+        p.kill_driver_after(2);
+        assert!(!p.driver_kill_now());
+        assert!(!p.driver_job_completed());
+        assert!(!p.driver_kill_now());
+        assert!(p.driver_job_completed(), "2 fires after the second job");
+    }
+
+    #[test]
+    fn node_deaths_fire_once_and_survive_clear() {
+        let p = FaultPlan::none();
+        p.kill_node(3, 100.0);
+        p.kill_node(1, 50.0);
+        assert_eq!(p.pending_death(), Some((1, 50.0)), "earliest unfired");
+        assert!(p.dead_nodes().is_empty());
+        assert!(p.deaths_due(49.9).is_empty());
+        assert_eq!(p.deaths_due(60.0), vec![(1, 50.0)]);
+        assert!(p.deaths_due(60.0).is_empty(), "fired deaths do not repeat");
+        assert_eq!(p.dead_nodes().into_iter().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(p.pending_death(), Some((3, 100.0)));
+        // clear drops the unfired death but keeps node 1 dead.
+        p.clear();
+        assert_eq!(p.pending_death(), None);
+        assert_eq!(p.dead_nodes().into_iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn failure_cause_labels_are_stable() {
+        assert_eq!(FailureCause::NodeLost(5).label(), "node-lost: node 5");
+        assert_eq!(
+            FailureCause::OutputLost(2).label(),
+            "map-output-lost: node 2"
+        );
+        assert_eq!(
+            FailureCause::TimedOut { limit_secs: 30.0 }.label(),
+            "timeout: exceeded 30s"
+        );
     }
 
     #[test]

@@ -78,6 +78,7 @@ pub struct MapContext<K, V> {
     emitted: Vec<(K, V)>,
     kv_size: fn(&K, &V) -> u64,
     counters: BTreeMap<String, u64>,
+    reads: Vec<(String, u64)>,
 }
 
 impl<K, V> MapContext<K, V> {
@@ -95,6 +96,7 @@ impl<K, V> MapContext<K, V> {
             emitted: Vec::new(),
             kv_size,
             counters: BTreeMap::new(),
+            reads: Vec::new(),
         }
     }
 
@@ -115,10 +117,14 @@ impl<K, V> MapContext<K, V> {
         self.emitted.push((key, value));
     }
 
-    /// Reads a DFS file, charging the bytes to this task.
+    /// Reads a DFS file, charging the bytes to this task. The read is also
+    /// recorded (normalized path + size) so the scheduler can place this
+    /// task near the block's replicas and price non-local reads.
     pub fn read(&mut self, path: &str) -> Result<Bytes> {
         let data = self.dfs.read(path)?;
         self.stats.read_bytes += data.len() as u64;
+        self.reads
+            .push((crate::dfs::normalize_path(path), data.len() as u64));
         Ok(data)
     }
 
@@ -136,6 +142,12 @@ impl<K, V> MapContext<K, V> {
     /// True when a DFS path exists (metadata operation, not charged).
     pub fn exists(&self, path: &str) -> bool {
         self.dfs.exists(path)
+    }
+
+    /// Drains the recorded `(path, bytes)` reads — consumed by the runner
+    /// to drive locality-aware scheduling of the successful attempt.
+    pub(crate) fn take_reads(&mut self) -> Vec<(String, u64)> {
+        std::mem::take(&mut self.reads)
     }
 
     /// Charges extra compute to this task beyond its measured wall time

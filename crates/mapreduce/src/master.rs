@@ -47,6 +47,7 @@ pub fn run_on_master_named<T>(cluster: &Cluster, label: &str, f: impl FnOnce() -
             read_bytes: 0,
             write_bytes: 0,
             shuffle_bytes: 0,
+            remote_read_bytes: 0,
             failure: None,
         });
     }

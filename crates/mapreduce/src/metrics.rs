@@ -13,6 +13,9 @@ pub struct ClusterMetrics {
     reduce_tasks: AtomicU64,
     task_failures: AtomicU64,
     shuffle_bytes: AtomicU64,
+    data_local_map_tasks: AtomicU64,
+    remote_map_tasks: AtomicU64,
+    remote_read_bytes: AtomicU64,
     sim_secs: Mutex<f64>,
     master_secs: Mutex<f64>,
 }
@@ -30,6 +33,13 @@ pub struct MetricsSnapshot {
     pub task_failures: u64,
     /// Bytes moved through the shuffle.
     pub shuffle_bytes: u64,
+    /// Map tasks whose successful attempt read all input from replicas on
+    /// its own node (tasks that read nothing count as local).
+    pub data_local_map_tasks: u64,
+    /// Map tasks whose successful attempt pulled input over the network.
+    pub remote_map_tasks: u64,
+    /// Input bytes map tasks pulled from replicas on other nodes.
+    pub remote_read_bytes: u64,
     /// Total simulated wall-clock seconds (jobs + master work).
     pub sim_secs: f64,
     /// Simulated seconds spent computing on the master node.
@@ -63,6 +73,17 @@ impl ClusterMetrics {
         self.shuffle_bytes.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one map wave's placement quality: how many tasks ran
+    /// data-local vs remote, and the bytes the remote ones pulled across
+    /// the network.
+    pub fn record_map_locality(&self, local: u64, remote: u64, remote_bytes: u64) {
+        self.data_local_map_tasks
+            .fetch_add(local, Ordering::Relaxed);
+        self.remote_map_tasks.fetch_add(remote, Ordering::Relaxed);
+        self.remote_read_bytes
+            .fetch_add(remote_bytes, Ordering::Relaxed);
+    }
+
     /// Adds simulated seconds to the cluster clock.
     pub fn add_sim_secs(&self, secs: f64) {
         *self.sim_secs.lock() += secs;
@@ -88,6 +109,9 @@ impl ClusterMetrics {
             reduce_tasks: self.reduce_tasks.load(Ordering::Relaxed),
             task_failures: self.task_failures.load(Ordering::Relaxed),
             shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
+            data_local_map_tasks: self.data_local_map_tasks.load(Ordering::Relaxed),
+            remote_map_tasks: self.remote_map_tasks.load(Ordering::Relaxed),
+            remote_read_bytes: self.remote_read_bytes.load(Ordering::Relaxed),
             sim_secs: *self.sim_secs.lock(),
             master_secs: *self.master_secs.lock(),
         }
@@ -100,6 +124,9 @@ impl ClusterMetrics {
         self.reduce_tasks.store(0, Ordering::Relaxed);
         self.task_failures.store(0, Ordering::Relaxed);
         self.shuffle_bytes.store(0, Ordering::Relaxed);
+        self.data_local_map_tasks.store(0, Ordering::Relaxed);
+        self.remote_map_tasks.store(0, Ordering::Relaxed);
+        self.remote_read_bytes.store(0, Ordering::Relaxed);
         *self.sim_secs.lock() = 0.0;
         *self.master_secs.lock() = 0.0;
     }
@@ -118,6 +145,7 @@ mod tests {
         m.record_reduce_tasks(3);
         m.record_failures(1);
         m.record_shuffle_bytes(100);
+        m.record_map_locality(4, 1, 64);
         m.add_sim_secs(2.5);
         m.add_master_secs(1.5);
         let s = m.snapshot();
@@ -126,6 +154,9 @@ mod tests {
         assert_eq!(s.reduce_tasks, 3);
         assert_eq!(s.task_failures, 1);
         assert_eq!(s.shuffle_bytes, 100);
+        assert_eq!(s.data_local_map_tasks, 4);
+        assert_eq!(s.remote_map_tasks, 1);
+        assert_eq!(s.remote_read_bytes, 64);
         assert!(
             (s.sim_secs - 4.0).abs() < 1e-12,
             "master time advances the clock"

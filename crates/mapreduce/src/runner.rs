@@ -1,12 +1,23 @@
 //! Job execution: map wave → shuffle → reduce wave.
 //!
 //! Tasks execute for real, in parallel, through rayon; the *simulated*
-//! duration of each wave comes from list-scheduling the measured per-task
-//! work onto the cluster's virtual nodes (see [`crate::scheduler`]). Task
-//! attempts that the [`crate::fault::FaultPlan`] kills are re-executed —
-//! the lost attempt's work is still charged to the schedule, so failures
-//! lengthen the simulated run exactly as the paper's Section 7.4
-//! failed-mapper experiment describes.
+//! duration of each wave comes from replaying the measured per-task work
+//! through the fault- and locality-aware wave planner (see
+//! [`crate::scheduler::plan_wave`]). The planner places each map task
+//! preferentially on a node holding a DFS replica of its input (charging
+//! one network crossing otherwise), re-executes attempts lost to injected
+//! faults, node deaths, and task timeouts, and charges every lost attempt
+//! to the schedule — so failures lengthen the simulated run exactly as the
+//! paper's Section 7.4 failed-mapper experiment describes.
+//!
+//! Mid-run whole-node deaths ([`crate::fault::FaultPlan::kill_node`])
+//! follow Hadoop 1.x semantics: a map task's output lives on its node's
+//! local disk (not in the DFS), so completed map tasks on a node that dies
+//! before the shuffle lose their output and re-execute; reduce outputs and
+//! map-only side files are replicated DFS writes and survive. When the
+//! cluster clock passes a scheduled death the node's DFS replicas are
+//! invalidated too — subsequent reads of files whose every replica lived
+//! there fail the job with [`MrError::AllReplicasLost`].
 //!
 //! Tasks must be deterministic and idempotent: a retried attempt re-runs
 //! the same body, and side writes to the DFS overwrite those of the failed
@@ -19,7 +30,7 @@ use crate::cluster::Cluster;
 use crate::error::{MrError, Result};
 use crate::fault::{FailureCause, Phase};
 use crate::job::{JobSpec, MapContext, Mapper, ReduceContext, Reducer, TaskStats};
-use crate::scheduler::{schedule_wave_hetero, WaveSchedule};
+use crate::scheduler::{plan_wave, AttemptOutcome, PlannedTask, WaveFaults, WavePlan};
 use crate::shuffle::{parallel_shuffle, partition_pairs, ReducerInput};
 use crate::tracelog::{TaskEvent, TracePhase};
 
@@ -35,7 +46,9 @@ pub struct JobReport {
     pub map_tasks: usize,
     /// Number of reduce tasks.
     pub reduce_tasks: usize,
-    /// Failed task attempts (map + reduce).
+    /// Failed task attempts (map + reduce), counting both body-level
+    /// failures (injected faults, user errors) and simulation-level ones
+    /// (node losses, lost map outputs, timeouts).
     pub failures: u32,
     /// Simulated seconds: launch + map wave + shuffle + reduce wave.
     pub sim_secs: f64,
@@ -54,17 +67,21 @@ pub struct JobReport {
     pub user_counters: std::collections::BTreeMap<String, u64>,
 }
 
-/// Per-task execution result: attempts' stats (last one succeeded), each
-/// attempt's failure cause (`None` for the final, successful one), plus
-/// the successful attempt's payload.
+/// Per-task execution result: the *body chain* — each executed attempt's
+/// stats and failure cause (`None` marks the successful one) — plus the
+/// successful attempt's payload. `payload: None` means the task exhausted
+/// its attempt budget; the wave is still planned and traced before the job
+/// fails.
 struct TaskRun<T> {
     attempt_stats: Vec<TaskStats>,
     attempt_failures: Vec<Option<String>>,
-    payload: T,
+    payload: Option<T>,
 }
 
-/// Runs one task body with the retry policy, returning every attempt's
-/// stats (failed attempts first) and the successful payload.
+/// Runs one task body with the retry policy, returning the body chain.
+/// Exhausting the attempt budget is NOT an error here — the failed chain
+/// comes back with `payload: None` so the wave planner can still place,
+/// price, and trace the doomed attempts before the job fails.
 fn run_with_retries<T>(
     cluster: &Cluster,
     job: &str,
@@ -101,69 +118,215 @@ fn run_with_retries<T>(
         return Ok(TaskRun {
             attempt_stats,
             attempt_failures,
-            payload,
+            payload: Some(payload),
         });
     }
-    Err(MrError::TaskFailed {
-        job: job.to_string(),
-        phase,
-        task: task_index,
-        attempts: max_attempts,
+    Ok(TaskRun {
+        attempt_stats,
+        attempt_failures,
+        payload: None,
     })
 }
 
-/// Builds the wave's task-duration list: round 0 attempts for every task in
-/// index order, then round 1 (retries), and so on — retries schedule after
-/// the first attempts, as in Hadoop.
-fn wave_durations(runs: &[Vec<TaskStats>], cluster: &Cluster) -> Vec<f64> {
+/// Applies every scheduled node death whose instant the cluster clock has
+/// passed: the node's DFS replicas are invalidated and (when tracing) an
+/// instantaneous [`TracePhase::NodeDeath`] marker is recorded at the death
+/// time. Called on job entry — so a prior job's death is visible to this
+/// job's reads and placement — and after the clock advances on job exit.
+fn fire_due_deaths(cluster: &Cluster) {
+    let now = cluster.sim_secs();
+    for (node, at) in cluster.faults.deaths_due(now) {
+        cluster.dfs.kill_node(node);
+        if cluster.trace.is_enabled() {
+            cluster.trace.record(TaskEvent {
+                job: "cluster".to_string(),
+                job_seq: None,
+                phase: TracePhase::NodeDeath,
+                task: node,
+                attempt: 0,
+                node: Some(node),
+                sim_start_secs: at,
+                sim_end_secs: at,
+                cpu_secs: 0.0,
+                kernel_secs: 0.0,
+                cpu_sim_secs: 0.0,
+                io_sim_secs: 0.0,
+                read_bytes: 0,
+                write_bytes: 0,
+                shuffle_bytes: 0,
+                remote_read_bytes: 0,
+                failure: None,
+            });
+        }
+    }
+}
+
+/// Builds the planner's task descriptions for one wave: each executed
+/// attempt priced at nominal speed, with the successful attempt's recorded
+/// DFS reads resolved to surviving replica locations (locality input).
+fn planned_wave_tasks(
+    cluster: &Cluster,
+    stats_lists: &[Vec<TaskStats>],
+    succeeded: &[bool],
+    reads: Option<&[Vec<(String, u64)>]>,
+) -> Vec<PlannedTask> {
     let cost = &cluster.config.cost;
-    let max_rounds = runs.iter().map(Vec::len).max().unwrap_or(0);
-    let mut out = Vec::new();
-    for round in 0..max_rounds {
-        for attempts in runs {
-            if let Some(stats) = attempts.get(round) {
-                out.push(cost.task_secs(stats));
+    stats_lists
+        .iter()
+        .enumerate()
+        .map(|(task, stats)| {
+            let ok = succeeded[task];
+            let split = if ok { stats.len() - 1 } else { stats.len() };
+            PlannedTask {
+                failed_secs: stats[..split].iter().map(|s| cost.task_secs(s)).collect(),
+                success_secs: if ok {
+                    cost.task_secs(&stats[split])
+                } else {
+                    0.0
+                },
+                reads: reads
+                    .and_then(|r| r.get(task))
+                    .map(|list| {
+                        list.iter()
+                            .map(|(path, bytes)| (*bytes, cluster.dfs.locations(path)))
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            }
+        })
+        .collect()
+}
+
+/// Plans one wave against the cluster's current fault state. Two-pass
+/// death handling: the wave is planned fault-free first, and only if the
+/// next scheduled death lands inside its makespan is it re-planned with
+/// the death injected mid-wave.
+fn plan_with_faults(
+    cluster: &Cluster,
+    tasks: &[PlannedTask],
+    wave_start_secs: f64,
+    lose_completed_outputs: bool,
+) -> WavePlan {
+    let cfg = &cluster.config;
+    let speeds = cfg.speeds();
+    let mut faults = WaveFaults {
+        dead_nodes: cluster.faults.dead_nodes(),
+        node_death: None,
+        lose_completed_outputs,
+        timeout_secs: cfg.task_timeout_secs,
+        backoff_base_secs: cfg.retry_backoff_base_secs,
+        backoff_cap_secs: cfg.retry_backoff_cap_secs,
+        max_attempts: cfg.max_task_attempts.max(1),
+        net_bw: cfg.cost.net_bw,
+    };
+    let plan = plan_wave(
+        tasks,
+        &speeds,
+        cfg.slots_per_node,
+        cfg.speculative_execution,
+        &faults,
+    );
+    if let Some((node, at)) = cluster.faults.pending_death() {
+        let rel = (at - wave_start_secs).max(0.0);
+        if rel < plan.makespan_secs {
+            faults.node_death = Some((node, rel));
+            return plan_wave(
+                tasks,
+                &speeds,
+                cfg.slots_per_node,
+                cfg.speculative_execution,
+                &faults,
+            );
+        }
+    }
+    plan
+}
+
+/// Simulation-level failures in a plan — attempts lost to node deaths,
+/// lost map outputs, or timeouts (body-level failures are counted by
+/// [`run_with_retries`] as they happen).
+fn sim_level_failures(plan: &WavePlan) -> u64 {
+    plan.attempts
+        .iter()
+        .flatten()
+        .filter(|a| {
+            matches!(
+                a.outcome,
+                AttemptOutcome::NodeLost(_)
+                    | AttemptOutcome::OutputLost(_)
+                    | AttemptOutcome::TimedOut { .. }
+            )
+        })
+        .count() as u64
+}
+
+/// Measured work of every non-successful planned attempt (each one re-ran
+/// or discarded its chain entry's body).
+fn lost_stats_of(plan: &WavePlan, stats_lists: &[Vec<TaskStats>]) -> TaskStats {
+    let mut lost = TaskStats::default();
+    for (task, list) in plan.attempts.iter().enumerate() {
+        for a in list {
+            if a.outcome == AttemptOutcome::Success {
+                continue;
+            }
+            if let Some(stats) = stats_lists[task].get(a.chain) {
+                lost = lost.merge(stats);
             }
         }
     }
-    out
+    lost
 }
 
-/// Emits one trace event per task attempt of a scheduled wave: the flat
-/// scheduling order of [`wave_durations`] is walked again so attempt `i`
-/// picks up `schedule.placements[i]` / `schedule.intervals[i]`, offset to
-/// `base_secs` on the cluster clock.
+/// The first task a planned wave could not complete (attempt budget
+/// exhausted at either the body or the simulation level).
+fn first_failed_task(plan: &WavePlan) -> Option<usize> {
+    plan.failed_tasks.iter().map(|&(t, _)| t).min()
+}
+
+/// Emits one trace event per planned attempt of a wave, offset to
+/// `base_secs` on the cluster clock. Each attempt carries the measured
+/// stats of the body-chain entry it executed, its planned placement and
+/// interval, its remote-read bytes, and its failure cause (body failures
+/// keep their recorded label; node losses, lost outputs, and timeouts get
+/// [`FailureCause`] labels).
 #[allow(clippy::too_many_arguments)]
-fn trace_wave(
+fn trace_plan(
     cluster: &Cluster,
     job: &str,
     job_seq: u64,
     phase: TracePhase,
     stats_lists: &[Vec<TaskStats>],
     failure_lists: &[Vec<Option<String>>],
-    schedule: &WaveSchedule,
+    plan: &WavePlan,
     base_secs: f64,
 ) {
     let cost = &cluster.config.cost;
-    let max_rounds = stats_lists.iter().map(Vec::len).max().unwrap_or(0);
     let mut events = Vec::new();
-    let mut flat = 0usize;
-    for round in 0..max_rounds {
-        for (task, attempts) in stats_lists.iter().enumerate() {
-            let Some(stats) = attempts.get(round) else {
-                continue;
+    for (task, attempts) in plan.attempts.iter().enumerate() {
+        for (attempt_no, a) in attempts.iter().enumerate() {
+            let stats = stats_lists[task].get(a.chain).copied().unwrap_or_default();
+            let failure = match &a.outcome {
+                AttemptOutcome::Success => None,
+                AttemptOutcome::BodyFailed => failure_lists[task].get(a.chain).cloned().flatten(),
+                AttemptOutcome::NodeLost(n) => Some(FailureCause::NodeLost(*n).label()),
+                AttemptOutcome::OutputLost(n) => Some(FailureCause::OutputLost(*n).label()),
+                AttemptOutcome::TimedOut { limit_secs } => Some(
+                    FailureCause::TimedOut {
+                        limit_secs: *limit_secs,
+                    }
+                    .label(),
+                ),
             };
-            let (start, end) = schedule.intervals.get(flat).copied().unwrap_or((0.0, 0.0));
-            let (cpu_sim, io_sim) = cost.task_secs_split(stats);
+            let (cpu_sim, io_sim) = cost.task_secs_split(&stats);
             events.push(TaskEvent {
                 job: job.to_string(),
                 job_seq: Some(job_seq),
                 phase,
                 task,
-                attempt: round as u32,
-                node: schedule.placements.get(flat).copied(),
-                sim_start_secs: base_secs + start,
-                sim_end_secs: base_secs + end,
+                attempt: attempt_no as u32,
+                node: Some(a.node),
+                sim_start_secs: base_secs + a.start,
+                sim_end_secs: base_secs + a.end,
                 cpu_secs: stats.cpu.as_secs_f64(),
                 kernel_secs: stats.kernel.as_secs_f64(),
                 cpu_sim_secs: cpu_sim,
@@ -171,13 +334,9 @@ fn trace_wave(
                 read_bytes: stats.read_bytes,
                 write_bytes: stats.write_bytes,
                 shuffle_bytes: stats.shuffle_bytes,
-                failure: failure_lists
-                    .get(task)
-                    .and_then(|f| f.get(round))
-                    .cloned()
-                    .flatten(),
+                remote_read_bytes: a.remote_bytes,
+                failure,
             });
-            flat += 1;
         }
     }
     cluster.trace.record_batch(events);
@@ -209,8 +368,24 @@ fn trace_span(
         read_bytes: 0,
         write_bytes: 0,
         shuffle_bytes,
+        remote_read_bytes: 0,
         failure: None,
     });
+}
+
+/// Wraps a task-body error for the retry loop: replica loss is fatal (a
+/// retry re-reads the same dead replicas), everything else is a retryable
+/// user error.
+fn wrap_task_error(job: &str, phase: Phase, task: usize, e: MrError) -> MrError {
+    match e {
+        fatal @ MrError::AllReplicasLost { .. } => fatal,
+        e => MrError::UserTask {
+            job: job.to_string(),
+            phase,
+            task,
+            message: e.to_string(),
+        },
+    }
 }
 
 /// Executes a full map+shuffle+reduce job on the cluster.
@@ -235,19 +410,25 @@ where
             spec.name
         )));
     }
+    // Deaths scheduled before this job's start take effect now, so the map
+    // wave sees the dead node's replicas as lost.
+    fire_due_deaths(cluster);
     let job_seq = cluster.metrics.record_job();
     // Jobs run one after another: the cluster clock at entry is this
     // job's simulated start time (its trace events are offset from it).
     let job_t0 = cluster.sim_secs();
     let num_tasks = inputs.len();
+    let cfg = &cluster.config;
 
     // ---- Map wave -------------------------------------------------------
     // Each map task returns its output already split into one bucket per
     // reduce partition, so the post-wave shuffle merges buckets instead of
-    // routing individual pairs.
+    // routing individual pairs. The recorded DFS reads ride along to drive
+    // locality-aware placement.
     type MapPayload<M> = (
         Vec<Vec<(<M as Mapper>::Key, <M as Mapper>::Value)>>,
         std::collections::BTreeMap<String, u64>,
+        Vec<(String, u64)>,
     );
     let map_runs: Vec<TaskRun<MapPayload<M>>> = inputs
         .par_iter()
@@ -256,12 +437,10 @@ where
             run_with_retries(cluster, &spec.name, Phase::Map, idx, || {
                 let mut ctx = MapContext::new(cluster.dfs.clone(), idx, num_tasks, spec.kv_size);
                 let start = std::time::Instant::now();
-                mapper.map(input, &mut ctx).map_err(|e| MrError::UserTask {
-                    job: spec.name.clone(),
-                    phase: Phase::Map,
-                    task: idx,
-                    message: e.to_string(),
-                })?;
+                mapper
+                    .map(input, &mut ctx)
+                    .map_err(|e| wrap_task_error(&spec.name, Phase::Map, idx, e))?;
+                let reads = ctx.take_reads();
                 let (mut pairs, mut stats, counters) = ctx.finish(start.elapsed());
                 // Map-side combine (Hadoop combiner): pre-aggregate this
                 // task's output per key, shrinking the shuffle.
@@ -291,34 +470,95 @@ where
                     pairs = combined;
                 }
                 let buckets = partition_pairs(pairs, spec.partitioner, spec.num_reducers);
-                Ok(((buckets, counters), stats))
+                Ok(((buckets, counters, reads), stats))
             })
         })
         .collect::<Result<_>>()?;
+
+    // ---- Map wave accounting ---------------------------------------------
+    let mut map_stats_lists = Vec::with_capacity(map_runs.len());
+    let mut map_failure_lists = Vec::with_capacity(map_runs.len());
+    let mut map_succeeded = Vec::with_capacity(map_runs.len());
+    let mut map_reads = Vec::with_capacity(map_runs.len());
+    let mut map_payloads = Vec::with_capacity(map_runs.len());
+    for run in map_runs {
+        map_succeeded.push(run.payload.is_some());
+        let (buckets, counters, reads) = match run.payload {
+            Some((b, c, r)) => (Some(b), Some(c), r),
+            None => (None, None, Vec::new()),
+        };
+        map_reads.push(reads);
+        map_payloads.push((buckets, counters));
+        map_stats_lists.push(run.attempt_stats);
+        map_failure_lists.push(run.attempt_failures);
+    }
+    let map_tasks_planned =
+        planned_wave_tasks(cluster, &map_stats_lists, &map_succeeded, Some(&map_reads));
+    // The wave's map outputs are node-local (Hadoop): a node dying before
+    // the shuffle takes its completed tasks' outputs with it.
+    let launch_end = job_t0 + cfg.cost.job_launch_secs;
+    let map_plan = plan_with_faults(cluster, &map_tasks_planned, launch_end, true);
+    cluster
+        .metrics
+        .record_failures(sim_level_failures(&map_plan));
+    let mut lost_stats = lost_stats_of(&map_plan, &map_stats_lists);
+
+    if let Some(task) = first_failed_task(&map_plan) {
+        // The map wave could not complete: charge what ran, trace it, and
+        // fail the job with the Hadoop diagnostics.
+        let sim_secs = cfg.cost.job_launch_secs + map_plan.makespan_secs;
+        cluster.metrics.add_sim_secs(sim_secs);
+        if cluster.trace.is_enabled() {
+            trace_span(
+                cluster,
+                &spec.name,
+                job_seq,
+                TracePhase::Launch,
+                job_t0,
+                launch_end,
+                0,
+            );
+            trace_plan(
+                cluster,
+                &spec.name,
+                job_seq,
+                TracePhase::Map,
+                &map_stats_lists,
+                &map_failure_lists,
+                &map_plan,
+                launch_end,
+            );
+        }
+        fire_due_deaths(cluster);
+        return Err(MrError::TaskFailed {
+            job: spec.name.clone(),
+            phase: Phase::Map,
+            task,
+            attempts: cfg.max_task_attempts.max(1),
+        });
+    }
     cluster.metrics.record_map_tasks(num_tasks as u64);
+    cluster.metrics.record_map_locality(
+        map_plan.data_local_tasks as u64,
+        (num_tasks - map_plan.data_local_tasks) as u64,
+        map_plan.remote_read_bytes,
+    );
 
     // ---- Shuffle ---------------------------------------------------------
-    let mut task_buckets: Vec<Vec<Vec<(M::Key, M::Value)>>> = Vec::with_capacity(map_runs.len());
+    let mut task_buckets: Vec<Vec<Vec<(M::Key, M::Value)>>> = Vec::with_capacity(num_tasks);
     let mut shuffle_bytes = 0u64;
     let mut map_stats_total = TaskStats::default();
-    let mut lost_stats = TaskStats::default();
-    let mut map_attempt_lists = Vec::with_capacity(map_runs.len());
-    let mut map_failure_lists = Vec::with_capacity(map_runs.len());
     let mut user_counters: std::collections::BTreeMap<String, u64> = Default::default();
-    for run in map_runs {
-        let (lost, ok) = run.attempt_stats.split_at(run.attempt_stats.len() - 1);
-        for s in lost {
-            lost_stats = lost_stats.merge(s);
-        }
-        map_stats_total = map_stats_total.merge(&ok[0]);
-        shuffle_bytes += ok[0].shuffle_bytes;
-        let (buckets, counters) = run.payload;
-        for (name, v) in counters {
+    for (task, (buckets, counters)) in map_payloads.into_iter().enumerate() {
+        let ok_stats = map_stats_lists[task]
+            .last()
+            .expect("successful task has at least one attempt");
+        map_stats_total = map_stats_total.merge(ok_stats);
+        shuffle_bytes += ok_stats.shuffle_bytes;
+        for (name, v) in counters.expect("map wave succeeded") {
             *user_counters.entry(name).or_default() += v;
         }
-        task_buckets.push(buckets);
-        map_attempt_lists.push(run.attempt_stats);
-        map_failure_lists.push(run.attempt_failures);
+        task_buckets.push(buckets.expect("map wave succeeded"));
     }
     cluster.metrics.record_shuffle_bytes(shuffle_bytes);
     // Merge + sort each partition's buckets, one rayon work item per
@@ -343,15 +583,9 @@ where
                 // Each group's values are a contiguous slice borrowed from
                 // the sorted run — nothing is cloned on the way in.
                 for (key, values) in input.groups() {
-                    let out =
-                        reducer
-                            .reduce(key, values, &mut ctx)
-                            .map_err(|e| MrError::UserTask {
-                                job: spec.name.clone(),
-                                phase: Phase::Reduce,
-                                task: p,
-                                message: e.to_string(),
-                            })?;
+                    let out = reducer
+                        .reduce(key, values, &mut ctx)
+                        .map_err(|e| wrap_task_error(&spec.name, Phase::Reduce, p, e))?;
                     outputs.push((key.clone(), out));
                 }
                 let (stats, counters) = ctx.finish(start.elapsed());
@@ -359,56 +593,40 @@ where
             })
         })
         .collect::<Result<_>>()?;
-    cluster
-        .metrics
-        .record_reduce_tasks(spec.num_reducers as u64);
 
-    let mut reduce_stats_total = TaskStats::default();
-    let mut reduce_attempt_lists = Vec::with_capacity(reduce_results.len());
+    let mut reduce_stats_lists = Vec::with_capacity(reduce_results.len());
     let mut reduce_failure_lists = Vec::with_capacity(reduce_results.len());
-    let mut outputs = Vec::new();
+    let mut reduce_succeeded = Vec::with_capacity(reduce_results.len());
+    let mut reduce_payloads = Vec::with_capacity(reduce_results.len());
     for run in reduce_results {
-        let (lost, ok) = run.attempt_stats.split_at(run.attempt_stats.len() - 1);
-        for s in lost {
-            lost_stats = lost_stats.merge(s);
-        }
-        reduce_stats_total = reduce_stats_total.merge(&ok[0]);
-        let (outs, counters) = run.payload;
-        for (name, v) in counters {
-            *user_counters.entry(name).or_default() += v;
-        }
-        outputs.extend(outs);
-        reduce_attempt_lists.push(run.attempt_stats);
+        reduce_succeeded.push(run.payload.is_some());
+        reduce_payloads.push(run.payload);
+        reduce_stats_lists.push(run.attempt_stats);
         reduce_failure_lists.push(run.attempt_failures);
     }
+    let reduce_tasks_planned =
+        planned_wave_tasks(cluster, &reduce_stats_lists, &reduce_succeeded, None);
 
     // ---- Simulated time ---------------------------------------------------
-    let cfg = &cluster.config;
-    let speeds = cfg.speeds();
-    let map_wave = schedule_wave_hetero(
-        &wave_durations(&map_attempt_lists, cluster),
-        &speeds,
-        cfg.slots_per_node,
-        cfg.speculative_execution,
-    );
-    let reduce_wave = schedule_wave_hetero(
-        &wave_durations(&reduce_attempt_lists, cluster),
-        &speeds,
-        cfg.slots_per_node,
-        cfg.speculative_execution,
-    );
     let shuffle_secs = cfg.cost.shuffle_secs(shuffle_bytes, cfg.nodes);
+    let map_end = launch_end + map_plan.makespan_secs;
+    let shuffle_end = map_end + shuffle_secs;
+    // Reduce outputs are DFS writes (replicated), so a death during the
+    // reduce wave does not lose completed reduce tasks — and the shuffle
+    // already moved the map outputs off their nodes.
+    let reduce_plan = plan_with_faults(cluster, &reduce_tasks_planned, shuffle_end, false);
+    cluster
+        .metrics
+        .record_failures(sim_level_failures(&reduce_plan));
+    lost_stats = lost_stats.merge(&lost_stats_of(&reduce_plan, &reduce_stats_lists));
     let sim_secs = cfg.cost.job_launch_secs
-        + map_wave.makespan_secs
+        + map_plan.makespan_secs
         + shuffle_secs
-        + reduce_wave.makespan_secs;
+        + reduce_plan.makespan_secs;
     cluster.metrics.add_sim_secs(sim_secs);
 
     // ---- Trace events -----------------------------------------------------
     if cluster.trace.is_enabled() {
-        let launch_end = job_t0 + cfg.cost.job_launch_secs;
-        let map_end = launch_end + map_wave.makespan_secs;
-        let shuffle_end = map_end + shuffle_secs;
         trace_span(
             cluster,
             &spec.name,
@@ -418,14 +636,14 @@ where
             launch_end,
             0,
         );
-        trace_wave(
+        trace_plan(
             cluster,
             &spec.name,
             job_seq,
             TracePhase::Map,
-            &map_attempt_lists,
+            &map_stats_lists,
             &map_failure_lists,
-            &map_wave,
+            &map_plan,
             launch_end,
         );
         trace_span(
@@ -437,16 +655,44 @@ where
             shuffle_end,
             shuffle_bytes,
         );
-        trace_wave(
+        trace_plan(
             cluster,
             &spec.name,
             job_seq,
             TracePhase::Reduce,
-            &reduce_attempt_lists,
+            &reduce_stats_lists,
             &reduce_failure_lists,
-            &reduce_wave,
+            &reduce_plan,
             shuffle_end,
         );
+    }
+    fire_due_deaths(cluster);
+
+    if let Some(task) = first_failed_task(&reduce_plan) {
+        return Err(MrError::TaskFailed {
+            job: spec.name.clone(),
+            phase: Phase::Reduce,
+            task,
+            attempts: cfg.max_task_attempts.max(1),
+        });
+    }
+    cluster
+        .metrics
+        .record_reduce_tasks(spec.num_reducers as u64);
+
+    let mut reduce_stats_total = TaskStats::default();
+    let mut outputs = Vec::new();
+    for (task, payload) in reduce_payloads.into_iter().enumerate() {
+        let (outs, counters) = payload.expect("reduce wave succeeded");
+        reduce_stats_total = reduce_stats_total.merge(
+            reduce_stats_lists[task]
+                .last()
+                .expect("successful task has at least one attempt"),
+        );
+        for (name, v) in counters {
+            *user_counters.entry(name).or_default() += v;
+        }
+        outputs.extend(outs);
     }
 
     let report = JobReport {
@@ -454,13 +700,11 @@ where
         job_seq,
         map_tasks: num_tasks,
         reduce_tasks: spec.num_reducers,
-        failures: (map_attempt_lists.iter().chain(&reduce_attempt_lists))
-            .map(|a| a.len() as u32 - 1)
-            .sum(),
+        failures: map_plan.extra_attempts() + reduce_plan.extra_attempts(),
         sim_secs,
-        map_wave_secs: map_wave.makespan_secs,
+        map_wave_secs: map_plan.makespan_secs,
         shuffle_secs,
-        reduce_wave_secs: reduce_wave.makespan_secs,
+        reduce_wave_secs: reduce_plan.makespan_secs,
         stats: map_stats_total.merge(&reduce_stats_total),
         lost_stats,
         user_counters,
@@ -479,59 +723,54 @@ pub fn run_map_only<M>(
 where
     M: Mapper,
 {
+    fire_due_deaths(cluster);
     let job_seq = cluster.metrics.record_job();
     let job_t0 = cluster.sim_secs();
     let num_tasks = inputs.len();
-    let map_runs: Vec<TaskRun<std::collections::BTreeMap<String, u64>>> = inputs
+    let cfg = &cluster.config;
+    type MapOnlyPayload = (std::collections::BTreeMap<String, u64>, Vec<(String, u64)>);
+    let map_runs: Vec<TaskRun<MapOnlyPayload>> = inputs
         .par_iter()
         .enumerate()
         .map(|(idx, input)| {
             run_with_retries(cluster, &spec.name, Phase::Map, idx, || {
                 let mut ctx = MapContext::new(cluster.dfs.clone(), idx, num_tasks, spec.kv_size);
                 let start = std::time::Instant::now();
-                mapper.map(input, &mut ctx).map_err(|e| MrError::UserTask {
-                    job: spec.name.clone(),
-                    phase: Phase::Map,
-                    task: idx,
-                    message: e.to_string(),
-                })?;
+                mapper
+                    .map(input, &mut ctx)
+                    .map_err(|e| wrap_task_error(&spec.name, Phase::Map, idx, e))?;
+                let reads = ctx.take_reads();
                 let (_pairs, stats, counters) = ctx.finish(start.elapsed());
-                Ok((counters, stats))
+                Ok(((counters, reads), stats))
             })
         })
         .collect::<Result<_>>()?;
-    cluster.metrics.record_map_tasks(num_tasks as u64);
 
-    let mut stats_total = TaskStats::default();
-    let mut lost_stats = TaskStats::default();
-    let mut attempt_lists = Vec::with_capacity(map_runs.len());
+    let mut stats_lists = Vec::with_capacity(map_runs.len());
     let mut failure_lists = Vec::with_capacity(map_runs.len());
-    let mut user_counters: std::collections::BTreeMap<String, u64> = Default::default();
+    let mut succeeded = Vec::with_capacity(map_runs.len());
+    let mut reads_lists = Vec::with_capacity(map_runs.len());
+    let mut counters_list = Vec::with_capacity(map_runs.len());
     for run in map_runs {
-        let (lost, ok) = run.attempt_stats.split_at(run.attempt_stats.len() - 1);
-        for s in lost {
-            lost_stats = lost_stats.merge(s);
-        }
-        stats_total = stats_total.merge(&ok[0]);
-        for (name, v) in run.payload {
-            *user_counters.entry(name).or_default() += v;
-        }
-        attempt_lists.push(run.attempt_stats);
+        succeeded.push(run.payload.is_some());
+        let (counters, reads) = run.payload.unwrap_or_default();
+        counters_list.push(counters);
+        reads_lists.push(reads);
+        stats_lists.push(run.attempt_stats);
         failure_lists.push(run.attempt_failures);
     }
+    let tasks_planned = planned_wave_tasks(cluster, &stats_lists, &succeeded, Some(&reads_lists));
+    let launch_end = job_t0 + cfg.cost.job_launch_secs;
+    // Map-only outputs are DFS side files (replicated): a mid-wave death
+    // re-runs only in-flight attempts, not completed ones.
+    let plan = plan_with_faults(cluster, &tasks_planned, launch_end, false);
+    cluster.metrics.record_failures(sim_level_failures(&plan));
+    let lost_stats = lost_stats_of(&plan, &stats_lists);
 
-    let cfg = &cluster.config;
-    let wave = schedule_wave_hetero(
-        &wave_durations(&attempt_lists, cluster),
-        &cfg.speeds(),
-        cfg.slots_per_node,
-        cfg.speculative_execution,
-    );
-    let sim_secs = cfg.cost.job_launch_secs + wave.makespan_secs;
+    let sim_secs = cfg.cost.job_launch_secs + plan.makespan_secs;
     cluster.metrics.add_sim_secs(sim_secs);
 
     if cluster.trace.is_enabled() {
-        let launch_end = job_t0 + cfg.cost.job_launch_secs;
         trace_span(
             cluster,
             &spec.name,
@@ -541,16 +780,45 @@ where
             launch_end,
             0,
         );
-        trace_wave(
+        trace_plan(
             cluster,
             &spec.name,
             job_seq,
             TracePhase::Map,
-            &attempt_lists,
+            &stats_lists,
             &failure_lists,
-            &wave,
+            &plan,
             launch_end,
         );
+    }
+    fire_due_deaths(cluster);
+
+    if let Some(task) = first_failed_task(&plan) {
+        return Err(MrError::TaskFailed {
+            job: spec.name.clone(),
+            phase: Phase::Map,
+            task,
+            attempts: cfg.max_task_attempts.max(1),
+        });
+    }
+    cluster.metrics.record_map_tasks(num_tasks as u64);
+    cluster.metrics.record_map_locality(
+        plan.data_local_tasks as u64,
+        (num_tasks - plan.data_local_tasks) as u64,
+        plan.remote_read_bytes,
+    );
+
+    let mut stats_total = TaskStats::default();
+    let mut user_counters: std::collections::BTreeMap<String, u64> = Default::default();
+    for (task, counters) in counters_list.into_iter().enumerate() {
+        stats_total = stats_total.merge(
+            stats_lists[task]
+                .last()
+                .expect("successful task has at least one attempt"),
+        );
+        for (name, v) in counters {
+            *user_counters.entry(name).or_default() += v;
+        }
     }
 
     Ok(JobReport {
@@ -558,9 +826,9 @@ where
         job_seq,
         map_tasks: num_tasks,
         reduce_tasks: 0,
-        failures: attempt_lists.iter().map(|a| a.len() as u32 - 1).sum(),
+        failures: plan.extra_attempts(),
         sim_secs,
-        map_wave_secs: wave.makespan_secs,
+        map_wave_secs: plan.makespan_secs,
         shuffle_secs: 0.0,
         reduce_wave_secs: 0.0,
         stats: stats_total,
@@ -631,6 +899,11 @@ mod tests {
         assert_eq!(snap.jobs, 1);
         assert_eq!(snap.map_tasks, 2);
         assert_eq!(snap.reduce_tasks, 3);
+        assert_eq!(
+            snap.data_local_map_tasks + snap.remote_map_tasks,
+            2,
+            "every map task is classified for locality"
+        );
     }
 
     /// Control-file style job (the paper's pattern): mapper j writes file
@@ -810,6 +1083,243 @@ mod tests {
         let before = cluster.sim_secs();
         let _ = run_map_only(&cluster, &spec, &ControlMapper, &[1]).unwrap();
         assert!(cluster.sim_secs() - before >= 5.0);
+    }
+}
+
+#[cfg(test)]
+mod fault_domain_tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::job::identity_partitioner;
+    use crate::simtime::CostModel;
+    use bytes::Bytes;
+
+    struct ControlMapper;
+    impl Mapper for ControlMapper {
+        type Input = usize;
+        type Key = usize;
+        type Value = usize;
+        fn map(&self, input: &usize, ctx: &mut MapContext<usize, usize>) -> Result<()> {
+            ctx.write(&format!("OUT/{input}"), Bytes::from(vec![0u8; 100]));
+            ctx.emit(*input, *input);
+            Ok(())
+        }
+    }
+    struct ControlReducer;
+    impl Reducer for ControlReducer {
+        type Key = usize;
+        type Value = usize;
+        type Output = usize;
+        fn reduce(&self, key: &usize, _values: &[usize], ctx: &mut ReduceContext) -> Result<usize> {
+            Ok(ctx.read(&format!("OUT/{key}"))?.len())
+        }
+    }
+    /// Reads one input file per task (drives locality + replica-loss
+    /// paths).
+    struct ReadMapper;
+    impl Mapper for ReadMapper {
+        type Input = String;
+        type Key = usize;
+        type Value = usize;
+        fn map(&self, input: &String, ctx: &mut MapContext<usize, usize>) -> Result<()> {
+            let data = ctx.read(input)?;
+            ctx.emit(ctx.task_index(), data.len());
+            Ok(())
+        }
+    }
+
+    fn test_cluster(nodes: usize) -> Cluster {
+        let mut cfg = ClusterConfig::medium(nodes);
+        cfg.cost = CostModel::unit_for_tests();
+        cfg.tracing = true;
+        Cluster::new(cfg)
+    }
+
+    #[test]
+    fn mid_wave_node_death_reexecutes_and_stretches_the_wave() {
+        let cluster = test_cluster(2);
+        // 4 tasks of 100 s on 2 nodes: fault-free makespan 200. Node 1
+        // dies at t=150 (mid second round): its in-flight attempt is lost
+        // and re-runs on node 0, stretching the wave to 300.
+        cluster.faults.kill_node(1, 150.0);
+        let spec: JobSpec<usize, usize> = JobSpec::new("partition");
+        let report =
+            run_map_only(&cluster, &spec, &ControlMapper, &(0..4).collect::<Vec<_>>()).unwrap();
+        assert_eq!(report.failures, 1, "one attempt lost to the death");
+        assert!(
+            (report.map_wave_secs - 300.0).abs() < 1.0,
+            "lost work stretches the wave: {}",
+            report.map_wave_secs
+        );
+        assert_eq!(cluster.metrics.snapshot().task_failures, 1);
+        let events = cluster.trace.events();
+        let lost: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.failure
+                    .as_deref()
+                    .is_some_and(|f| f.starts_with("node-lost"))
+            })
+            .collect();
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost[0].node, Some(1));
+        assert!(
+            events
+                .iter()
+                .any(|e| e.phase == TracePhase::NodeDeath && e.task == 1),
+            "the death itself is a trace marker"
+        );
+        // The death fired when the clock passed it: node 1's replicas are
+        // gone, and files homed exclusively there are unreadable.
+        assert!(cluster.faults.dead_nodes().contains(&1));
+        let lost_files = (0..4)
+            .filter(|j| {
+                matches!(
+                    cluster.dfs.read(&format!("OUT/{j}")),
+                    Err(MrError::AllReplicasLost { .. })
+                )
+            })
+            .count();
+        assert_eq!(
+            lost_files,
+            (0..4)
+                .filter(|j| cluster.dfs.locations(&format!("OUT/{j}")).is_empty())
+                .count()
+        );
+    }
+
+    #[test]
+    fn map_outputs_on_a_dead_node_are_lost_and_reexecuted() {
+        let cluster = test_cluster(2);
+        // Full map+reduce job, 4 map tasks of 100 s on 2 nodes. Node 1
+        // dies at t=150: its completed round-1 map task loses its
+        // node-local output (OutputLost) AND its in-flight round-2 attempt
+        // dies (NodeLost) — both re-execute on node 0: 200 + 200 = 400.
+        cluster.faults.kill_node(1, 150.0);
+        let spec = JobSpec::new("control")
+            .reducers(1)
+            .partitioner(identity_partitioner);
+        let inputs: Vec<usize> = (0..4).collect();
+        let (out, report) =
+            run_job(&cluster, &spec, &ControlMapper, &ControlReducer, &inputs).unwrap();
+        assert_eq!(out.len(), 4, "job completes despite the death");
+        assert_eq!(report.failures, 2, "one NodeLost + one OutputLost");
+        assert!(
+            (report.map_wave_secs - 400.0).abs() < 1.0,
+            "both re-executions serialize on the survivor: {}",
+            report.map_wave_secs
+        );
+        let events = cluster.trace.events();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e
+                    .failure
+                    .as_deref()
+                    .is_some_and(|f| f.starts_with("map-output-lost")))
+                .count(),
+            1
+        );
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e
+                    .failure
+                    .as_deref()
+                    .is_some_and(|f| f.starts_with("node-lost")))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn timeouts_kill_slow_attempts_and_retry_elsewhere() {
+        let mut cfg = ClusterConfig::medium(2);
+        cfg.cost = CostModel::unit_for_tests();
+        cfg.tracing = true;
+        // Node 1 is 10x slow: a 100 s task takes 1000 s there, tripping
+        // the 150 s timeout; node 0 at full speed stays under it.
+        cfg.node_speeds = vec![1.0, 0.1];
+        cfg.task_timeout_secs = Some(150.0);
+        cfg.retry_backoff_base_secs = 2.0;
+        let cluster = Cluster::new(cfg);
+        let spec: JobSpec<usize, usize> = JobSpec::new("partition");
+        let report = run_map_only(&cluster, &spec, &ControlMapper, &[0, 1]).unwrap();
+        assert_eq!(report.failures, 1, "one timed-out attempt");
+        // Node 0: task 0 (0-100); node 1: task 1 cut at 150; retry (with
+        // 2 s backoff, avoiding node 1) on node 0: 152-252.
+        assert!(
+            (report.map_wave_secs - 252.0).abs() < 1.0,
+            "timeout + backoff + re-run: {}",
+            report.map_wave_secs
+        );
+        let events = cluster.trace.events();
+        let timed_out: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.failure
+                    .as_deref()
+                    .is_some_and(|f| f.starts_with("timeout"))
+            })
+            .collect();
+        assert_eq!(timed_out.len(), 1);
+        assert_eq!(timed_out[0].node, Some(1));
+        let retry = events
+            .iter()
+            .find(|e| e.phase == TracePhase::Map && e.task == timed_out[0].task && e.attempt == 1)
+            .expect("retry traced");
+        assert_eq!(retry.node, Some(0), "retry avoids the timed-out node");
+        assert!(retry.failure.is_none());
+    }
+
+    #[test]
+    fn reads_from_a_dead_nodes_replicas_fail_the_job_fatally() {
+        let cluster = test_cluster(2);
+        cluster.dfs.write("in/solo", Bytes::from_static(b"payload"));
+        let homes = cluster.dfs.locations("in/solo");
+        // Kill every node holding a replica *before* the job runs.
+        for n in homes {
+            cluster.faults.kill_node(n, 0.0);
+        }
+        // Force the deaths to fire on job entry (clock is already at 0).
+        let spec: JobSpec<usize, usize> = JobSpec::new("reader");
+        let err = run_map_only(&cluster, &spec, &ReadMapper, &["in/solo".to_string()]).unwrap_err();
+        assert!(
+            matches!(err, MrError::AllReplicasLost { .. }),
+            "replica loss is fatal, not retried: {err:?}"
+        );
+        assert_eq!(
+            cluster.metrics.snapshot().task_failures,
+            0,
+            "no retry budget burned on a deterministic loss"
+        );
+    }
+
+    #[test]
+    fn map_locality_is_recorded_in_metrics() {
+        let cluster = test_cluster(4);
+        let inputs: Vec<String> = (0..4)
+            .map(|i| {
+                let path = format!("in/{i}");
+                cluster.dfs.write(&path, Bytes::from(vec![7u8; 50]));
+                path
+            })
+            .collect();
+        let spec: JobSpec<usize, usize> = JobSpec::new("reader");
+        run_map_only(&cluster, &spec, &ReadMapper, &inputs).unwrap();
+        let snap = cluster.metrics.snapshot();
+        assert_eq!(
+            snap.data_local_map_tasks + snap.remote_map_tasks,
+            4,
+            "every task classified"
+        );
+        assert!(
+            snap.data_local_map_tasks >= 1,
+            "free slots everywhere: at least the first task runs on its replica"
+        );
+        // Remote bytes are consistent with the classification: each remote
+        // task pulled its 50-byte input across the network.
+        assert_eq!(snap.remote_read_bytes, snap.remote_map_tasks * 50);
     }
 }
 

@@ -10,6 +10,16 @@
 //! the task list (scheduled after its failed attempt), so an injected
 //! failure stretches the makespan exactly the way the paper's Section 7.4
 //! failed-mapper run stretched from 5 to 8 hours.
+//!
+//! [`plan_wave`] is the full model: on top of the same greedy list
+//! scheduling it adds data locality (tasks prefer slots on nodes holding a
+//! replica of their input; remote reads pay a network crossing),
+//! mid-wave node death (in-flight attempts are lost; completed map
+//! outputs hosted on the dead node are lost too and re-executed), and
+//! task timeouts with capped exponential backoff. With none of those in
+//! play it reduces exactly to [`schedule_wave_hetero`].
+
+use std::collections::BTreeSet;
 
 /// Result of scheduling one wave.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,6 +140,447 @@ pub fn schedule_wave_hetero(
         slot_busy_secs: free_at,
         placements,
         intervals,
+    }
+}
+
+/// One task's measured attempt chain and input locality for [`plan_wave`].
+///
+/// The *body chain* is what actually executed: `failed_secs` holds the
+/// nominal-speed durations of body-level failures (injected faults, user
+/// errors) in order, and `success_secs` the successful body. The planner
+/// replays this chain, possibly inserting extra simulation-level attempts
+/// (node losses, timeouts) that re-run the current chain entry.
+#[derive(Debug, Clone, Default)]
+pub struct PlannedTask {
+    /// Nominal-speed durations of body-failed attempts, in order.
+    pub failed_secs: Vec<f64>,
+    /// Nominal-speed duration of the successful body. For a task whose
+    /// body exhausted every attempt this is unused (the chain never
+    /// reaches success).
+    pub success_secs: f64,
+    /// Input blocks read by the successful body: `(bytes, nodes holding a
+    /// surviving replica)`. An empty replica list means every copy is
+    /// remote (or lost — the body-level read error handles that case).
+    pub reads: Vec<(u64, Vec<usize>)>,
+}
+
+/// Fault environment and retry policy for one wave of [`plan_wave`].
+#[derive(Debug, Clone, Default)]
+pub struct WaveFaults {
+    /// Nodes already dead when the wave starts: no attempt is placed there.
+    pub dead_nodes: BTreeSet<usize>,
+    /// A node dying mid-wave: `(node, seconds after wave start)`. Attempts
+    /// in flight on it at that instant fail with
+    /// [`AttemptOutcome::NodeLost`]; nothing starts there afterward.
+    pub node_death: Option<(usize, f64)>,
+    /// Map outputs are node-local (Hadoop: not in the DFS), so a mid-wave
+    /// death also voids *completed* tasks on the dying node
+    /// ([`AttemptOutcome::OutputLost`]) and re-executes them. False for
+    /// reduce waves and map-only jobs, whose outputs are replicated DFS
+    /// writes.
+    pub lose_completed_outputs: bool,
+    /// Kill attempts whose duration exceeds this bound, seconds.
+    pub timeout_secs: Option<f64>,
+    /// First timeout-retry backoff delay, seconds.
+    pub backoff_base_secs: f64,
+    /// Upper bound on the backoff delay, seconds.
+    pub backoff_cap_secs: f64,
+    /// Attempt budget per task (counting simulation-level retries).
+    pub max_attempts: u32,
+    /// Network bandwidth charged on remote reads, bytes/second.
+    pub net_bw: f64,
+}
+
+/// Why a planned attempt ended the way it did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttemptOutcome {
+    /// Ran to completion and its output was used.
+    Success,
+    /// The body itself failed (injected fault or user error) and the chain
+    /// advanced to its next measured attempt.
+    BodyFailed,
+    /// The node died while the attempt was running.
+    NodeLost(usize),
+    /// The attempt completed, but the node died later in the wave and its
+    /// node-local map output went with it.
+    OutputLost(usize),
+    /// The attempt overran the task timeout and was declared dead.
+    TimedOut {
+        /// The timeout it exceeded, seconds.
+        limit_secs: f64,
+    },
+}
+
+/// One scheduled attempt of one task in a [`WavePlan`].
+#[derive(Debug, Clone)]
+pub struct PlannedAttempt {
+    /// Node the attempt ran on.
+    pub node: usize,
+    /// Slot (global index, `node * slots_per_node + local`).
+    pub slot: usize,
+    /// Start, seconds from wave start.
+    pub start: f64,
+    /// End (completion, death, or timeout cut), seconds from wave start.
+    pub end: f64,
+    /// Index into the task's body chain this attempt executed
+    /// (`failed_secs` first, then the successful body).
+    pub chain: usize,
+    /// Input bytes this attempt pulled from other nodes' replicas.
+    pub remote_bytes: u64,
+    /// How the attempt ended.
+    pub outcome: AttemptOutcome,
+}
+
+/// Result of [`plan_wave`]: the schedule plus per-attempt provenance.
+#[derive(Debug, Clone, Default)]
+pub struct WavePlan {
+    /// Simulated seconds from wave start to last completion.
+    pub makespan_secs: f64,
+    /// Per-slot busy time, for utilization diagnostics.
+    pub slot_busy_secs: Vec<f64>,
+    /// Every attempt of every task, `attempts[task]` in execution order.
+    pub attempts: Vec<Vec<PlannedAttempt>>,
+    /// Tasks whose successful attempt read all its input locally (tasks
+    /// that read nothing count as local).
+    pub data_local_tasks: usize,
+    /// Input bytes pulled across the network by all attempts.
+    pub remote_read_bytes: u64,
+    /// Tasks that ran out of attempt budget: `(task, attempts started)`.
+    pub failed_tasks: Vec<(usize, u32)>,
+}
+
+impl WavePlan {
+    /// Attempts beyond each task's first — the retry count the job report
+    /// surfaces.
+    pub fn extra_attempts(&self) -> u32 {
+        self.attempts
+            .iter()
+            .map(|a| a.len().saturating_sub(1) as u32)
+            .sum()
+    }
+}
+
+/// Full wave planning: greedy list scheduling with data locality, node
+/// death, and task timeouts.
+///
+/// Tasks are scheduled in index order, retries as soon as their failed
+/// attempt releases them (node losses re-queue at the death instant;
+/// timeouts re-queue after a capped exponential backoff that also avoids
+/// the node that timed out). Slot choice is by earliest start, with
+/// node-local slots preferred among equals — Hadoop's locality tier —
+/// and remote placements charged one network crossing for the non-local
+/// bytes. With no faults, no timeout, and no reads this is exactly
+/// [`schedule_wave_hetero`] (including speculative execution, which is
+/// applied only to fault-free waves).
+pub fn plan_wave(
+    tasks: &[PlannedTask],
+    node_speeds: &[f64],
+    slots_per_node: usize,
+    speculative: bool,
+    faults: &WaveFaults,
+) -> WavePlan {
+    let nodes = node_speeds.len().max(1);
+    let slots_per_node = slots_per_node.max(1);
+    let slot_count = nodes * slots_per_node;
+    let speed = |slot: usize| -> f64 {
+        let s = node_speeds
+            .get(slot / slots_per_node)
+            .copied()
+            .unwrap_or(1.0);
+        if s > 0.0 {
+            s
+        } else {
+            1.0
+        }
+    };
+    let max_attempts = faults.max_attempts.max(1);
+    let death = faults.node_death;
+
+    // Bytes task `t` would pull over the network when run on `node`.
+    let remote_bytes_on = |task: &PlannedTask, node: usize| -> u64 {
+        task.reads
+            .iter()
+            .filter(|(_, homes)| !homes.contains(&node))
+            .map(|(b, _)| *b)
+            .sum()
+    };
+    let chain_secs = |task: &PlannedTask, chain: usize| -> f64 {
+        task.failed_secs
+            .get(chain)
+            .copied()
+            .unwrap_or(task.success_secs)
+    };
+
+    /// A task waiting to run (first attempt or retry).
+    struct Pending {
+        ready: f64,
+        seq: u64,
+        task: usize,
+        attempt_no: u32,
+        chain: usize,
+        timeout_retries: u32,
+        avoid: Vec<usize>,
+    }
+
+    let mut pending: Vec<Pending> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, _)| Pending {
+            ready: 0.0,
+            seq: i as u64,
+            task: i,
+            attempt_no: 0,
+            chain: 0,
+            timeout_retries: 0,
+            avoid: Vec::new(),
+        })
+        .collect();
+    let mut next_seq = tasks.len() as u64;
+    let mut free_at = vec![0.0_f64; slot_count];
+    let mut attempts: Vec<Vec<PlannedAttempt>> = vec![Vec::new(); tasks.len()];
+    let mut failed_tasks: Vec<(usize, u32)> = Vec::new();
+    let mut remote_read_bytes = 0u64;
+    let mut any_timeout = false;
+
+    loop {
+        while !pending.is_empty() {
+            // Dispatch in (ready, submission) order — the same task order
+            // as the simple scheduler when nothing is delayed.
+            let idx = pending
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.ready.total_cmp(&b.1.ready).then(a.1.seq.cmp(&b.1.seq)))
+                .map(|(i, _)| i)
+                .expect("pending non-empty");
+            let e = pending.swap_remove(idx);
+            if e.attempt_no >= max_attempts {
+                failed_tasks.push((e.task, e.attempt_no));
+                continue;
+            }
+            let t = &tasks[e.task];
+
+            // A slot is usable when its node is alive at the attempt's
+            // start; returns the start time.
+            let usable = |slot: usize, avoid: &[usize]| -> Option<f64> {
+                let node = slot / slots_per_node;
+                if faults.dead_nodes.contains(&node) || avoid.contains(&node) {
+                    return None;
+                }
+                let start = free_at[slot].max(e.ready);
+                if let Some((dn, tk)) = death {
+                    if node == dn && start >= tk {
+                        return None;
+                    }
+                }
+                Some(start)
+            };
+            // Earliest start wins; among equal starts, a node holding a
+            // replica of the task's input (no remote bytes) beats a remote
+            // one, then the lowest slot index — Hadoop's locality tier.
+            let choose = |avoid: &[usize]| -> Option<(usize, f64)> {
+                (0..slot_count)
+                    .filter_map(|s| usable(s, avoid).map(|start| (s, start)))
+                    .min_by(|a, b| {
+                        let tier = |&(s, _): &(usize, f64)| -> u8 {
+                            u8::from(remote_bytes_on(t, s / slots_per_node) > 0)
+                        };
+                        a.1.total_cmp(&b.1)
+                            .then(tier(a).cmp(&tier(b)))
+                            .then(a.0.cmp(&b.0))
+                    })
+            };
+            // Prefer honoring the avoid set; a cluster with no alternative
+            // reuses the avoided node rather than deadlocking.
+            let picked = choose(&e.avoid).or_else(|| choose(&[]));
+            let Some((slot, start)) = picked else {
+                // Every live node is gone — the task cannot run at all.
+                failed_tasks.push((e.task, e.attempt_no));
+                continue;
+            };
+            let node = slot / slots_per_node;
+            let rb = remote_bytes_on(t, node);
+            let mut dur = chain_secs(t, e.chain) / speed(slot);
+            if rb > 0 && faults.net_bw > 0.0 {
+                // Remote input crosses the network at full bandwidth — a
+                // slow *CPU* does not slow the wire down.
+                dur += rb as f64 / faults.net_bw;
+            }
+            remote_read_bytes += rb;
+            let natural_end = start + dur;
+
+            // The attempt is cut short by whichever comes first: the task
+            // timeout or the node's death.
+            let timeout_cut = faults
+                .timeout_secs
+                .filter(|&lim| dur > lim)
+                .map(|lim| start + lim);
+            let death_cut = death
+                .filter(|&(dn, tk)| node == dn && natural_end > tk)
+                .map(|(_, tk)| tk);
+            let (end, outcome) = match (timeout_cut, death_cut) {
+                (Some(tc), Some(dc)) if dc <= tc => (dc, AttemptOutcome::NodeLost(node)),
+                (Some(tc), _) => (
+                    tc,
+                    AttemptOutcome::TimedOut {
+                        limit_secs: faults.timeout_secs.unwrap_or(0.0),
+                    },
+                ),
+                (None, Some(dc)) => (dc, AttemptOutcome::NodeLost(node)),
+                (None, None) => {
+                    if e.chain < t.failed_secs.len() {
+                        (natural_end, AttemptOutcome::BodyFailed)
+                    } else {
+                        (natural_end, AttemptOutcome::Success)
+                    }
+                }
+            };
+
+            free_at[slot] = end;
+            attempts[e.task].push(PlannedAttempt {
+                node,
+                slot,
+                start,
+                end,
+                chain: e.chain,
+                remote_bytes: rb,
+                outcome: outcome.clone(),
+            });
+
+            match outcome {
+                AttemptOutcome::Success => {}
+                AttemptOutcome::BodyFailed => pending.push(Pending {
+                    ready: end,
+                    seq: next_seq,
+                    task: e.task,
+                    attempt_no: e.attempt_no + 1,
+                    chain: e.chain + 1,
+                    timeout_retries: e.timeout_retries,
+                    avoid: e.avoid,
+                }),
+                AttemptOutcome::NodeLost(_) | AttemptOutcome::OutputLost(_) => {
+                    pending.push(Pending {
+                        ready: end,
+                        seq: next_seq,
+                        task: e.task,
+                        attempt_no: e.attempt_no + 1,
+                        chain: e.chain,
+                        timeout_retries: e.timeout_retries,
+                        avoid: e.avoid,
+                    })
+                }
+                AttemptOutcome::TimedOut { .. } => {
+                    any_timeout = true;
+                    let backoff = (faults.backoff_base_secs
+                        * 2f64.powi(e.timeout_retries.min(30) as i32))
+                    .min(faults.backoff_cap_secs)
+                    .max(0.0);
+                    let mut avoid = e.avoid;
+                    if !avoid.contains(&node) {
+                        avoid.push(node);
+                    }
+                    pending.push(Pending {
+                        ready: end + backoff,
+                        seq: next_seq,
+                        task: e.task,
+                        attempt_no: e.attempt_no + 1,
+                        chain: e.chain,
+                        timeout_retries: e.timeout_retries + 1,
+                        avoid,
+                    });
+                }
+            }
+            next_seq += 1;
+        }
+
+        // Hadoop semantics for a mid-wave death: map output lives on the
+        // mapper's local disk, so tasks that *completed* on the dying node
+        // before it died lose their output and re-execute. One extra round
+        // suffices — nothing can start on the dead node after the death
+        // instant, so the second pass creates no new losses.
+        let Some((dn, tk)) = death else { break };
+        if !faults.lose_completed_outputs {
+            break;
+        }
+        let mut converted = 0;
+        for (task, list) in attempts.iter_mut().enumerate() {
+            let attempt_no = list.len() as u32;
+            let Some(last) = list.last_mut() else {
+                continue;
+            };
+            if last.outcome == AttemptOutcome::Success && last.node == dn && last.end <= tk {
+                last.outcome = AttemptOutcome::OutputLost(dn);
+                pending.push(Pending {
+                    ready: tk,
+                    seq: next_seq,
+                    task,
+                    attempt_no,
+                    chain: last.chain,
+                    timeout_retries: 0,
+                    avoid: Vec::new(),
+                });
+                next_seq += 1;
+                converted += 1;
+            }
+        }
+        if converted == 0 {
+            break;
+        }
+    }
+
+    let mut makespan = free_at.iter().fold(0.0_f64, |m, &v| m.max(v));
+
+    // Speculative execution, exactly as in `schedule_wave_hetero` — only
+    // for waves untouched by deaths or timeouts (Hadoop suspends backups
+    // for tasks already being re-executed for failure).
+    if speculative && death.is_none() && !any_timeout && failed_tasks.is_empty() {
+        let straggler = attempts
+            .iter()
+            .enumerate()
+            .flat_map(|(task, list)| list.iter().map(move |a| (task, a)))
+            .max_by(|a, b| a.1.end.total_cmp(&b.1.end));
+        if let Some((task, a)) = straggler {
+            let (slot, finish) = (a.slot, a.end);
+            let nominal = chain_secs(&tasks[task], a.chain);
+            // When the backup copy would finish: the alternative slot
+            // drains, then runs the same body — paying its own network
+            // crossing if the task's input is not local there.
+            let alt_finish = |s: usize| -> f64 {
+                let rb = remote_bytes_on(&tasks[task], s / slots_per_node);
+                let mut d = nominal / speed(s);
+                if rb > 0 && faults.net_bw > 0.0 {
+                    d += rb as f64 / faults.net_bw;
+                }
+                free_at[s] + d
+            };
+            let backup = (0..slot_count)
+                .filter(|&s| s != slot && !faults.dead_nodes.contains(&(s / slots_per_node)))
+                .min_by(|&x, &y| alt_finish(x).total_cmp(&alt_finish(y)).then(x.cmp(&y)));
+            if let Some(backup) = backup {
+                let alt = alt_finish(backup);
+                if alt < finish {
+                    free_at[slot] = alt;
+                    free_at[backup] = alt;
+                    makespan = free_at.iter().fold(0.0_f64, |m, &v| m.max(v));
+                }
+            }
+        }
+    }
+
+    let data_local_tasks = attempts
+        .iter()
+        .filter(|list| {
+            list.last()
+                .is_some_and(|a| a.outcome == AttemptOutcome::Success && a.remote_bytes == 0)
+        })
+        .count();
+
+    WavePlan {
+        makespan_secs: makespan,
+        slot_busy_secs: free_at,
+        attempts,
+        data_local_tasks,
+        remote_read_bytes,
+        failed_tasks,
     }
 }
 
@@ -321,5 +772,212 @@ mod tests {
     fn zero_speed_treated_as_nominal() {
         let s = schedule_wave_hetero(&[1.0], &[0.0], 1, false);
         assert!((s.makespan_secs - 1.0).abs() < 1e-12);
+    }
+
+    // ---- plan_wave ------------------------------------------------------
+
+    fn simple_tasks(secs: &[f64]) -> Vec<PlannedTask> {
+        secs.iter()
+            .map(|&s| PlannedTask {
+                success_secs: s,
+                ..Default::default()
+            })
+            .collect()
+    }
+
+    fn no_faults(max_attempts: u32) -> WaveFaults {
+        WaveFaults {
+            max_attempts,
+            net_bw: 1.0,
+            backoff_base_secs: 1.0,
+            backoff_cap_secs: 60.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn plan_reduces_to_simple_scheduler_without_faults() {
+        let shapes: Vec<(Vec<f64>, Vec<f64>, usize, bool)> = vec![
+            (vec![1.0; 8], vec![1.0; 4], 1, false),
+            (vec![3.0, 1.0, 2.0, 4.0, 1.0], vec![1.0; 2], 1, false),
+            (vec![4.0; 4], vec![1.0, 1.0, 1.0, 0.25], 1, true),
+            (vec![2.0, 5.0, 1.0, 7.0, 3.0], vec![0.25, 1.0, 4.0], 1, true),
+            (vec![1.0; 8], vec![1.0; 2], 4, false),
+        ];
+        for (secs, speeds, slots, spec) in shapes {
+            let old = schedule_wave_hetero(&secs, &speeds, slots, spec);
+            let new = plan_wave(&simple_tasks(&secs), &speeds, slots, spec, &no_faults(4));
+            assert!(
+                (old.makespan_secs - new.makespan_secs).abs() < 1e-12,
+                "makespan mismatch for {secs:?} on {speeds:?}: {} vs {}",
+                old.makespan_secs,
+                new.makespan_secs
+            );
+            for (task, &node) in old.placements.iter().enumerate() {
+                assert_eq!(new.attempts[task][0].node, node, "placement of {task}");
+            }
+            assert_eq!(new.data_local_tasks, secs.len(), "no reads => all local");
+            assert_eq!(new.failed_tasks, vec![]);
+        }
+    }
+
+    #[test]
+    fn plan_replays_body_failures_like_the_flat_list() {
+        // 2 tasks on 2 nodes, task 1 fails once: 100 + retry 100 = 200,
+        // matching the runner's pinned injected-fault test.
+        let mut tasks = simple_tasks(&[100.0, 100.0]);
+        tasks[1].failed_secs = vec![100.0];
+        let p = plan_wave(&tasks, &[1.0; 2], 1, true, &no_faults(4));
+        assert!(
+            (p.makespan_secs - 200.0).abs() < 1e-9,
+            "{}",
+            p.makespan_secs
+        );
+        assert_eq!(p.attempts[1].len(), 2);
+        assert_eq!(p.attempts[1][0].outcome, AttemptOutcome::BodyFailed);
+        assert_eq!(p.attempts[1][1].outcome, AttemptOutcome::Success);
+        assert!(p.attempts[1][1].start >= p.attempts[1][0].end - 1e-12);
+        assert_eq!(p.extra_attempts(), 1);
+    }
+
+    #[test]
+    fn locality_prefers_replica_holding_nodes() {
+        // Two equal tasks, two nodes. Task 0's input lives on node 1 only:
+        // with free slots everywhere it must pick node 1, not node 0.
+        let mut tasks = simple_tasks(&[10.0, 10.0]);
+        tasks[0].reads = vec![(100, vec![1])];
+        tasks[1].reads = vec![(100, vec![0])];
+        let p = plan_wave(&tasks, &[1.0; 2], 1, false, &no_faults(4));
+        assert_eq!(p.attempts[0][0].node, 1);
+        assert_eq!(p.attempts[1][0].node, 0);
+        assert_eq!(p.data_local_tasks, 2);
+        assert_eq!(p.remote_read_bytes, 0);
+        assert!((p.makespan_secs - 10.0).abs() < 1e-12, "no network charge");
+    }
+
+    #[test]
+    fn remote_reads_charge_the_network() {
+        // One task whose 50-byte input lives on node 1, but node 1 is dead
+        // from the start: it runs remote on node 0 and pays 50/net_bw.
+        let mut tasks = simple_tasks(&[10.0]);
+        tasks[0].reads = vec![(50, vec![1])];
+        let mut faults = no_faults(4);
+        faults.net_bw = 10.0;
+        faults.dead_nodes.insert(1);
+        let p = plan_wave(&tasks, &[1.0; 2], 1, false, &faults);
+        assert_eq!(p.attempts[0][0].node, 0);
+        assert_eq!(p.remote_read_bytes, 50);
+        assert_eq!(p.data_local_tasks, 0);
+        assert!((p.makespan_secs - 15.0).abs() < 1e-12, "10 + 50/10");
+    }
+
+    #[test]
+    fn mid_wave_death_kills_in_flight_attempts() {
+        // 2 nodes, 2 tasks of 100 s; node 1 dies at t=40. Task 1's attempt
+        // is lost at 40 and re-runs on node 0 from 100 to 200.
+        let tasks = simple_tasks(&[100.0, 100.0]);
+        let mut faults = no_faults(4);
+        faults.node_death = Some((1, 40.0));
+        let p = plan_wave(&tasks, &[1.0; 2], 1, false, &faults);
+        assert_eq!(p.attempts[1][0].outcome, AttemptOutcome::NodeLost(1));
+        assert!((p.attempts[1][0].end - 40.0).abs() < 1e-12, "cut at death");
+        let retry = &p.attempts[1][1];
+        assert_eq!(retry.outcome, AttemptOutcome::Success);
+        assert_eq!(retry.node, 0, "retry lands on the surviving node");
+        assert!((p.makespan_secs - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mid_wave_death_loses_completed_map_outputs() {
+        // 2 nodes, 4 tasks of 10 s => two rounds. Node 1 finishes task 1
+        // at 10, then dies at 15 while running task 3: task 3 is NodeLost
+        // *and* task 1's completed map output dies with the node
+        // (OutputLost) — both re-execute on node 0.
+        let tasks = simple_tasks(&[10.0; 4]);
+        let mut faults = no_faults(4);
+        faults.node_death = Some((1, 15.0));
+        faults.lose_completed_outputs = true;
+        let p = plan_wave(&tasks, &[1.0; 2], 1, false, &faults);
+        assert_eq!(p.attempts[1][0].outcome, AttemptOutcome::OutputLost(1));
+        assert_eq!(p.attempts[1][1].outcome, AttemptOutcome::Success);
+        assert_eq!(p.attempts[1][1].node, 0);
+        assert_eq!(p.attempts[3][0].outcome, AttemptOutcome::NodeLost(1));
+        assert_eq!(p.attempts[3][1].outcome, AttemptOutcome::Success);
+        // Node 0 serializes tasks 0, 2, then the two re-executions.
+        assert!(
+            (p.makespan_secs - 40.0).abs() < 1e-12,
+            "{}",
+            p.makespan_secs
+        );
+        // Without the Hadoop map-output rule the completed task survives.
+        faults.lose_completed_outputs = false;
+        let p = plan_wave(&tasks, &[1.0; 2], 1, false, &faults);
+        assert_eq!(p.attempts[1].len(), 1);
+        assert!((p.makespan_secs - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeouts_retry_elsewhere_with_backoff() {
+        // Node 1 runs at 1/10 speed: a 10 s task becomes 100 s there,
+        // tripping the 50 s timeout. The retry avoids node 1 and runs on
+        // node 0 after the backoff.
+        let tasks = simple_tasks(&[10.0, 10.0]);
+        let mut faults = no_faults(4);
+        faults.timeout_secs = Some(50.0);
+        faults.backoff_base_secs = 2.0;
+        let p = plan_wave(&tasks, &[1.0, 0.1], 1, false, &faults);
+        let slow = &p.attempts[1][0];
+        assert_eq!(slow.node, 1);
+        assert_eq!(slow.outcome, AttemptOutcome::TimedOut { limit_secs: 50.0 });
+        assert!((slow.end - 50.0).abs() < 1e-12, "cut at the timeout");
+        let retry = &p.attempts[1][1];
+        assert_eq!(retry.node, 0, "retry avoids the timed-out node");
+        assert!(
+            retry.start >= 52.0 - 1e-12,
+            "backoff delays the retry: {}",
+            retry.start
+        );
+        assert_eq!(retry.outcome, AttemptOutcome::Success);
+    }
+
+    #[test]
+    fn timeout_exhaustion_fails_the_task() {
+        // One single slow node: every attempt times out; with the avoid
+        // set unsatisfiable the scheduler reuses the node, and the attempt
+        // budget runs out.
+        let tasks = simple_tasks(&[10.0]);
+        let mut faults = no_faults(3);
+        faults.timeout_secs = Some(5.0);
+        let p = plan_wave(&tasks, &[0.1], 1, false, &faults);
+        assert_eq!(p.failed_tasks, vec![(0, 3)]);
+        assert_eq!(p.attempts[0].len(), 3);
+        assert!(p.attempts[0]
+            .iter()
+            .all(|a| matches!(a.outcome, AttemptOutcome::TimedOut { .. })));
+    }
+
+    #[test]
+    fn dead_from_start_nodes_are_never_used() {
+        let tasks = simple_tasks(&[1.0; 4]);
+        let mut faults = no_faults(4);
+        faults.dead_nodes.insert(0);
+        faults.dead_nodes.insert(2);
+        let p = plan_wave(&tasks, &[1.0; 4], 1, false, &faults);
+        for list in &p.attempts {
+            for a in list {
+                assert!(a.node == 1 || a.node == 3);
+            }
+        }
+        assert!((p.makespan_secs - 2.0).abs() < 1e-12, "two live nodes");
+    }
+
+    #[test]
+    fn all_nodes_dead_fails_every_task() {
+        let tasks = simple_tasks(&[1.0; 2]);
+        let mut faults = no_faults(4);
+        faults.dead_nodes.insert(0);
+        let p = plan_wave(&tasks, &[1.0], 1, false, &faults);
+        assert_eq!(p.failed_tasks.len(), 2);
+        assert!(p.attempts.iter().all(Vec::is_empty));
     }
 }

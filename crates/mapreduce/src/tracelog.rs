@@ -46,6 +46,10 @@ pub enum TracePhase {
     Reduce,
     /// A computation on the master node (between jobs).
     Master,
+    /// A virtual node dying ([`crate::fault::FaultPlan::kill_node`]): an
+    /// instantaneous cluster-level marker whose `task` field is the node
+    /// index.
+    NodeDeath,
 }
 
 impl TracePhase {
@@ -57,6 +61,7 @@ impl TracePhase {
             TracePhase::Shuffle => "shuffle",
             TracePhase::Reduce => "reduce",
             TracePhase::Master => "master",
+            TracePhase::NodeDeath => "node-death",
         }
     }
 }
@@ -97,6 +102,9 @@ pub struct TaskEvent {
     pub write_bytes: u64,
     /// Bytes emitted into the shuffle by this attempt.
     pub shuffle_bytes: u64,
+    /// Input bytes this attempt pulled from DFS replicas on *other* nodes
+    /// (0 for data-local attempts; priced as one network crossing).
+    pub remote_read_bytes: u64,
     /// Why the attempt failed (`None` for successful attempts). Injected
     /// faults and retried user errors carry distinct labels — see
     /// [`crate::fault::FailureCause`].
@@ -294,6 +302,7 @@ pub fn chrome_trace_json(events: &[TaskEvent]) -> String {
             (None, TracePhase::Launch) => "launch".to_string(),
             (None, TracePhase::Shuffle) => "shuffle".to_string(),
             (None, TracePhase::Master) => format!("master: {}", event.job),
+            (None, TracePhase::NodeDeath) => format!("node-{} death", event.task),
             (None, phase) if event.attempt > 0 => {
                 format!("{}-{} #{}", phase.label(), event.task, event.attempt)
             }
@@ -308,6 +317,7 @@ pub fn chrome_trace_json(events: &[TaskEvent]) -> String {
             ("read_bytes".into(), u(event.read_bytes)),
             ("write_bytes".into(), u(event.write_bytes)),
             ("shuffle_bytes".into(), u(event.shuffle_bytes)),
+            ("remote_read_bytes".into(), u(event.remote_read_bytes)),
             ("attempt".into(), u(event.attempt as u64)),
         ];
         if let Some(cause) = &event.failure {
@@ -540,6 +550,7 @@ mod tests {
             read_bytes: 100,
             write_bytes: 50,
             shuffle_bytes: 10,
+            remote_read_bytes: 0,
             failure: None,
         }
     }

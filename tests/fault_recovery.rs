@@ -2,7 +2,7 @@
 //! tolerance claim — failed tasks are re-executed and the job still
 //! produces the correct result, at the cost of schedule time.
 
-use mrinv::{invert, InversionConfig};
+use mrinv::{invert, invert_run, Checkpoint, InversionConfig, RunId};
 use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel, MrError, Phase};
 use mrinv_matrix::norms::inversion_residual;
 use mrinv_matrix::random::random_well_conditioned;
@@ -118,6 +118,56 @@ fn exhausted_retry_budget_fails_the_whole_inversion() {
         }
         other => panic!("expected TaskFailed, got {other:?}"),
     }
+}
+
+/// A job whose task always fails burns its whole retry budget, fails the
+/// pipeline cleanly with [`MrError::TaskFailed`], leaves every doomed
+/// attempt in the trace log — and once the fault clears, the checkpoint
+/// manifest resumes past the completed prefix to the correct inverse.
+#[test]
+fn permanent_fault_fails_cleanly_and_resumes_once_cleared() {
+    let mut cfg_cluster = ClusterConfig::medium(4);
+    cfg_cluster.cost = CostModel::unit_for_tests();
+    cfg_cluster.tracing = true;
+    let cluster = Cluster::new(cfg_cluster);
+    cluster.faults.fail_task("lu-level", Phase::Map, 0, 100);
+
+    let a = random_well_conditioned(64, 42);
+    let cfg = InversionConfig::with_nb(16);
+    let run = RunId::new("perm-fault");
+    let err = invert_run(&cluster, &a, &cfg, &run, Checkpoint::Enabled).unwrap_err();
+    match err {
+        mrinv::CoreError::MapReduce(MrError::TaskFailed {
+            phase,
+            task,
+            attempts,
+            ..
+        }) => {
+            assert_eq!(phase, Phase::Map);
+            assert_eq!(task, 0);
+            assert_eq!(attempts, 4);
+        }
+        other => panic!("expected TaskFailed, got {other:?}"),
+    }
+    // Every doomed attempt is in the trace log, attributed to the fault.
+    let injected = cluster
+        .trace
+        .events()
+        .iter()
+        .filter(|e| e.failure.as_deref() == Some("injected-fault"))
+        .count();
+    assert_eq!(injected, 4, "all four burned attempts are traced");
+
+    // Clear the fault: the manifest restores the completed prefix and the
+    // re-run converges to the same bits as an undisturbed inversion.
+    cluster.faults.clear();
+    let out = invert_run(&cluster, &a, &cfg, &run, Checkpoint::Resume).unwrap();
+    assert!(
+        out.report.restored_jobs >= 1,
+        "the jobs before the faulty one restore from the manifest"
+    );
+    let baseline = invert(&cluster_with(1.0), &a, &cfg).unwrap();
+    assert_eq!(out.inverse.max_abs_diff(&baseline.inverse).unwrap(), 0.0);
 }
 
 #[test]
