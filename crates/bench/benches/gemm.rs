@@ -1,0 +1,136 @@
+//! GEMM engine bench: the PR 5 kernel ladder, naive → blocked (tiled,
+//! unpacked) → packed (register-blocked microkernel + packed panels),
+//! serial and rayon-parallel, at orders 64 / 128 / 256 / 512.
+//!
+//! Besides the criterion groups, the bench takes wall-clock samples
+//! (best of 3) of every backend at every order and writes GFLOP/s plus
+//! the packed-vs-naive speedup to `BENCH_pr5.json` at the repository
+//! root, so the measured win is recorded alongside the code.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrinv_matrix::kernel::{
+    gemm_flops, gemm_with, notrans, Blocked, GemmBackend, Naive, Packed, Strided,
+};
+use mrinv_matrix::random::random_matrix;
+use mrinv_matrix::Matrix;
+use std::hint::black_box;
+use std::time::Instant;
+
+const ORDERS: [usize; 4] = [64, 128, 256, 512];
+
+fn ladder() -> Vec<(&'static str, Box<dyn GemmBackend>)> {
+    vec![
+        ("naive", Box::new(Naive)),
+        ("strided_eq7", Box::new(Strided)),
+        ("blocked_t64", Box::new(Blocked { tile: 64 })),
+        ("packed_serial", Box::new(Packed { parallel: false })),
+        ("packed_parallel", Box::new(Packed { parallel: true })),
+    ]
+}
+
+fn run(backend: &dyn GemmBackend, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    gemm_with(backend, 1.0, notrans(a), notrans(b), 0.0, c).unwrap();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10);
+    for &n in &ORDERS {
+        let a = random_matrix(n, n, 1);
+        let b = random_matrix(n, n, 2);
+        let mut out = Matrix::zeros(n, n);
+        for (name, backend) in ladder() {
+            // The O(n^3) reference kernels dominate bench time at 512;
+            // cap them at 256 in the criterion groups (the JSON sample
+            // below still measures every rung at every order).
+            if n > 256 && matches!(name, "naive" | "strided_eq7") {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |bench, _| {
+                bench.iter(|| run(backend.as_ref(), black_box(&a), black_box(&b), &mut out))
+            });
+        }
+    }
+    group.finish();
+
+    write_sample();
+}
+
+/// Wall-clock sample of the full ladder (best of 3 per point), saved to
+/// `BENCH_pr5.json`.
+fn write_sample() {
+    fn best3(mut f: impl FnMut()) -> f64 {
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut entries = Vec::new();
+    let mut speedup_512 = 0.0;
+    for &n in &ORDERS {
+        let a = random_matrix(n, n, 1);
+        let b = random_matrix(n, n, 2);
+        let mut out = Matrix::zeros(n, n);
+        let flops = gemm_flops(n, n, n) as f64;
+        let mut naive_secs = f64::NAN;
+        let mut kernels = Vec::new();
+        for (name, backend) in ladder() {
+            let secs = best3(|| run(backend.as_ref(), black_box(&a), black_box(&b), &mut out));
+            if name == "naive" {
+                naive_secs = secs;
+            }
+            if name == "packed_serial" && n == 512 {
+                speedup_512 = naive_secs / secs;
+            }
+            kernels.push(format!(
+                concat!(
+                    "      {{ \"kernel\": \"{}\", \"secs\": {:.6}, ",
+                    "\"gflops\": {:.3}, \"speedup_vs_naive\": {:.3} }}"
+                ),
+                name,
+                secs,
+                flops / secs / 1e9,
+                naive_secs / secs
+            ));
+        }
+        entries.push(format!(
+            "    {{\n      \"n\": {},\n      \"kernels\": [\n{}\n      ]\n    }}",
+            n,
+            kernels
+                .iter()
+                .map(|k| format!("  {k}"))
+                .collect::<Vec<_>>()
+                .join(",\n")
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"gemm\",\n",
+            "  \"cores\": {},\n",
+            "  \"packed_serial_speedup_vs_naive_at_512\": {:.3},\n",
+            "  \"orders\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        cores,
+        speedup_512,
+        entries.join(",\n")
+    );
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_pr5.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        println!(
+            "gemm sample on {cores} cores: packed-serial {speedup_512:.2}x vs naive at 512 -> BENCH_pr5.json"
+        );
+    }
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

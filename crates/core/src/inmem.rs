@@ -11,12 +11,22 @@
 //!   intermediates in memory; this module is exactly that dataflow).
 
 use mrinv_matrix::block::BlockRange;
+use mrinv_matrix::kernel::{gemm, notrans, trans};
 use mrinv_matrix::lu::lu_decompose;
-use mrinv_matrix::multiply::{mul_parallel, sub_mul};
 use mrinv_matrix::triangular::{
     invert_lower, invert_upper, solve_unit_lower_system, solve_upper_system_right,
 };
 use mrinv_matrix::{Matrix, Permutation, Result};
+
+/// `U^-1 · L^-1` with `L^-1` packed transposed (both operands then stream
+/// row-major — the Section 6.3 layout, preserved bit-for-bit from the old
+/// `mul_parallel` under the Naive backend).
+fn mul_inverse_factors(u_inv: &Matrix, l_inv: &Matrix) -> Result<Matrix> {
+    let l_inv_t = l_inv.transpose();
+    let mut c = Matrix::zeros(u_inv.rows(), l_inv.cols());
+    gemm(1.0, notrans(u_inv), trans(&l_inv_t), 0.0, &mut c)?;
+    Ok(c)
+}
 
 /// The result of a block LU decomposition: `P·A = L·U`.
 #[derive(Debug, Clone)]
@@ -54,7 +64,7 @@ pub fn block_lu(a: &Matrix, nb: usize) -> Result<BlockLu> {
 
     // B = A4 - L2' U2
     let mut b = q.a4;
-    sub_mul(&mut b, &l2p, &u2)?;
+    gemm(-1.0, notrans(&l2p), notrans(&u2), 1.0, &mut b)?;
 
     // (L3, U3, P2) = BlockLUDecom(B)
     let bottom = block_lu(&b, nb)?;
@@ -91,7 +101,7 @@ pub fn invert_block(a: &Matrix, nb: usize) -> Result<Matrix> {
     let f = block_lu(a, nb)?;
     let l_inv = invert_lower(&f.l)?;
     let u_inv = invert_upper(&f.u)?;
-    Ok(f.perm.apply_cols(&mul_parallel(&u_inv, &l_inv)?))
+    Ok(f.perm.apply_cols(&mul_inverse_factors(&u_inv, &l_inv)?))
 }
 
 /// Single-node baseline: classical LU (Algorithm 1) plus triangular
@@ -100,7 +110,7 @@ pub fn invert_single_node(a: &Matrix) -> Result<Matrix> {
     let f = lu_decompose(a)?;
     let l_inv = invert_lower(&f.unit_lower())?;
     let u_inv = invert_upper(&f.upper())?;
-    Ok(f.perm.apply_cols(&mul_parallel(&u_inv, &l_inv)?))
+    Ok(f.perm.apply_cols(&mul_inverse_factors(&u_inv, &l_inv)?))
 }
 
 /// Extracts the `A1` quadrant factors from a full decomposition, for tests

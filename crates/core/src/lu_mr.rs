@@ -24,8 +24,8 @@ use mrinv_mapreduce::runner::run_job;
 use mrinv_mapreduce::{Cluster, MrError, PipelineDriver};
 use mrinv_matrix::block::even_ranges;
 use mrinv_matrix::io::encode_binary;
+use mrinv_matrix::kernel::{gemm, gemm_with, notrans, trans, Strided};
 use mrinv_matrix::lu::lu_decompose;
-use mrinv_matrix::multiply::{sub_mul_ijk, sub_mul_transposed};
 use mrinv_matrix::triangular::{
     solve_row_times_upper, solve_row_times_upper_transposed, solve_unit_lower_column,
 };
@@ -444,14 +444,25 @@ impl Reducer for LuLevelReducer {
         if self.opts.transpose_u {
             let u2t_rows = self.u2_source.read_rows(ctx, cc.0, cc.1)?;
             let kernel = std::time::Instant::now();
-            sub_mul_transposed(&mut b, &l2_rows, &u2t_rows).map_err(CoreError::from)?;
+            gemm(-1.0, notrans(&l2_rows), trans(&u2t_rows), 1.0, &mut b)
+                .map_err(CoreError::from)?;
             ctx.charge_kernel(kernel.elapsed());
         } else {
             // Ablation path: row-major U2, Equation 7's column-striding
-            // inner loop (the access pattern Section 6.3 eliminates).
+            // inner loop (the access pattern Section 6.3 eliminates) —
+            // pinned to the Strided backend so the ablation measures that
+            // exact loop order regardless of the process-wide backend.
             let u2_cols = self.u2_source.read_cols(ctx, cc.0, cc.1)?;
             let kernel = std::time::Instant::now();
-            sub_mul_ijk(&mut b, &l2_rows, &u2_cols).map_err(CoreError::from)?;
+            gemm_with(
+                &Strided,
+                -1.0,
+                notrans(&l2_rows),
+                notrans(&u2_cols),
+                1.0,
+                &mut b,
+            )
+            .map_err(CoreError::from)?;
             ctx.charge_kernel(kernel.elapsed());
         }
         ctx.write(&format!("{}/OUT/A.{cell}", self.dir), encode_binary(&b));

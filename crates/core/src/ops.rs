@@ -20,7 +20,7 @@ use mrinv_mapreduce::runner::run_map_only;
 use mrinv_mapreduce::{Cluster, MrError, PipelineDriver};
 use mrinv_matrix::block::even_ranges;
 use mrinv_matrix::io::{decode_binary, encode_binary};
-use mrinv_matrix::multiply::mul_transposed;
+use mrinv_matrix::kernel::{gemm, notrans, trans};
 use mrinv_matrix::Matrix;
 
 use crate::error::{CoreError, Result};
@@ -77,7 +77,8 @@ impl Mapper for MatmulMapper {
         let bt_rows = decode_binary(&ctx.read(&format!("{}/BT/R.{j}", self.dir))?)
             .map_err(CoreError::from)?;
         let kernel = std::time::Instant::now();
-        let block = mul_transposed(&a_rows, &bt_rows).map_err(CoreError::from)?;
+        let mut block = Matrix::zeros(a_rows.rows(), bt_rows.rows());
+        gemm(1.0, notrans(&a_rows), trans(&bt_rows), 0.0, &mut block).map_err(CoreError::from)?;
         ctx.charge_kernel(kernel.elapsed());
         ctx.write(
             &format!("{}/OUT/C.{input}", self.dir),
@@ -279,7 +280,7 @@ pub fn scale_add_mr(
 mod tests {
     use super::*;
     use mrinv_mapreduce::{ClusterConfig, CostModel, RunId};
-    use mrinv_matrix::multiply::mul_naive;
+    use mrinv_matrix::kernel;
     use mrinv_matrix::random::random_matrix;
 
     fn cluster(m0: usize) -> Cluster {
@@ -304,7 +305,7 @@ mod tests {
             let b = random_matrix(k, n, 2);
             let mut d = driver(&c);
             let got = matmul_mr(&mut d, &a, &b).unwrap();
-            let expect = mul_naive(&a, &b).unwrap();
+            let expect = kernel::mul(notrans(&a), notrans(&b)).unwrap();
             assert!(got.approx_eq(&expect, 1e-10), "m={m} k={k} n={n} m0={m0}");
             assert_eq!(d.num_jobs(), 1);
         }

@@ -23,8 +23,8 @@ use mrinv_mapreduce::runner::run_job;
 use mrinv_mapreduce::{MrError, PipelineDriver};
 use mrinv_matrix::block::even_ranges;
 use mrinv_matrix::io::{decode_binary, encode_binary};
-use mrinv_matrix::multiply::{mul_ijk, mul_transposed};
-use mrinv_matrix::triangular::{invert_lower_column, solve_row_times_upper};
+use mrinv_matrix::kernel::{gemm, gemm_with, notrans, trans, Diag, Side, Strided, Uplo};
+use mrinv_matrix::triangular::{solve_row_times_upper, trsm};
 use mrinv_matrix::{Matrix, Permutation};
 
 use crate::config::Optimizations;
@@ -104,6 +104,21 @@ struct TriInvMapper {
     num_cells: usize,
 }
 
+/// Computes the selected columns of `T^-1` for lower-triangular `T` by
+/// solving `T·X = [e_{j0} e_{j1} ...]` in one batched [`trsm`] call. The
+/// blocked solve turns the trailing updates into GEMM; under the unblocked
+/// reference backend each column comes out bit-identical to the old
+/// per-column `invert_lower_column` loop.
+fn invert_lower_columns(t: &Matrix, cols: &[usize]) -> mrinv_matrix::Result<Matrix> {
+    let n = t.rows();
+    let mut x = Matrix::zeros(n, cols.len());
+    for (slot, &j) in cols.iter().enumerate() {
+        x[(j, slot)] = 1.0;
+    }
+    trsm(Side::Left, Uplo::Lower, Diag::NonUnit, 1.0, t, &mut x)?;
+    Ok(x)
+}
+
 impl TriInvMapper {
     /// Splits this worker's interleaved vector indices by block, returning
     /// `(block_idx, indices)` for each non-empty block.
@@ -141,12 +156,10 @@ impl Mapper for TriInvMapper {
             InvTaskInput::LCols { k } => {
                 let l = self.factors.assemble_l(ctx)?;
                 let my_cols: Vec<usize> = (k..self.n).step_by(self.m_l).collect();
-                // Compute each column once, then scatter into per-cell files.
-                let mut computed: Vec<(usize, Vec<f64>)> = Vec::with_capacity(my_cols.len());
+                // Solve all of this worker's columns in one batched trsm,
+                // then scatter into per-cell files.
                 let kernel = std::time::Instant::now();
-                for &j in &my_cols {
-                    computed.push((j, invert_lower_column(&l, j).map_err(CoreError::from)?));
-                }
+                let computed = invert_lower_columns(&l, &my_cols).map_err(CoreError::from)?;
                 ctx.charge_kernel(kernel.elapsed());
                 for (bi, cols) in Self::group_by_block(&my_cols, &self.col_blocks) {
                     let mut data = if self.opts.transpose_u {
@@ -156,9 +169,10 @@ impl Mapper for TriInvMapper {
                         Matrix::zeros(self.n, cols.len())
                     };
                     for (slot, &j) in cols.iter().enumerate() {
-                        let col = &computed.iter().find(|(cj, _)| *cj == j).unwrap().1;
+                        let pos = my_cols.iter().position(|&c| c == j).unwrap();
+                        let col = computed.col(pos);
                         if self.opts.transpose_u {
-                            data.row_mut(slot).copy_from_slice(col);
+                            data.row_mut(slot).copy_from_slice(&col);
                         } else {
                             for i in 0..self.n {
                                 data[(i, slot)] = col[i];
@@ -183,8 +197,9 @@ impl Mapper for TriInvMapper {
                     // lower-triangular matrix we store directly.
                     let ut = self.factors.assemble_u_t(ctx)?;
                     let kernel = std::time::Instant::now();
-                    for &i in &my_rows {
-                        computed.push(invert_lower_column(&ut, i).map_err(CoreError::from)?);
+                    let solved = invert_lower_columns(&ut, &my_rows).map_err(CoreError::from)?;
+                    for pos in 0..my_rows.len() {
+                        computed.push(solved.col(pos));
                     }
                     ctx.charge_kernel(kernel.elapsed());
                 } else {
@@ -289,7 +304,8 @@ impl Reducer for TriInvReducer {
                 }
             }
             let kernel = std::time::Instant::now();
-            let p = mul_transposed(&u_rows, &l_cols_t).map_err(CoreError::from)?;
+            let mut p = Matrix::zeros(u_rows.rows(), l_cols_t.rows());
+            gemm(1.0, notrans(&u_rows), trans(&l_cols_t), 0.0, &mut p).map_err(CoreError::from)?;
             ctx.charge_kernel(kernel.elapsed());
             p
         } else {
@@ -306,9 +322,19 @@ impl Reducer for TriInvReducer {
                     }
                 }
             }
-            // Ablation path: Equation 7's column-striding product.
+            // Ablation path: Equation 7's column-striding product, pinned
+            // to the Strided backend so it measures that exact loop order.
             let kernel = std::time::Instant::now();
-            let p = mul_ijk(&u_rows, &l_cols).map_err(CoreError::from)?;
+            let mut p = Matrix::zeros(u_rows.rows(), l_cols.cols());
+            gemm_with(
+                &Strided,
+                1.0,
+                notrans(&u_rows),
+                notrans(&l_cols),
+                0.0,
+                &mut p,
+            )
+            .map_err(CoreError::from)?;
             ctx.charge_kernel(kernel.elapsed());
             p
         };

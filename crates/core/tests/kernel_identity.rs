@@ -1,0 +1,136 @@
+//! Pins the end-to-end pipeline's numerics and job identities across the
+//! kernel-engine refactor.
+//!
+//! * Under the `Naive` reference backend the full distributed inverse must
+//!   be **bit-identical** to the pre-engine implementation — pinned here as
+//!   FNV-1a hashes of the result's f64 bit patterns, captured from the seed
+//!   code before any call site moved onto `kernel::gemm`/`trsm`.
+//! * Under the default `Packed` engine the same inverse must agree within a
+//!   documented forward-error tolerance (the engine only reassociates
+//!   sums; for this n=64 / nb=4 problem the observed deviation is ~1e-13,
+//!   bounded here at 1e-10).
+//! * The checkpoint manifest's job fingerprints must not move: a PR 2
+//!   `Checkpoint::Resume` of a pre-refactor run has to keep restoring
+//!   every job. Fingerprints cover job name, reducer count, combiner
+//!   presence, config fingerprint, and sequence number.
+
+use mrinv::config::{InversionConfig, Optimizations};
+use mrinv::inverse::{invert, invert_run, Checkpoint};
+use mrinv_mapreduce::driver::ManifestRecord;
+use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel, RunId};
+use mrinv_matrix::kernel::{set_global_backend, BackendKind};
+use mrinv_matrix::random::random_invertible;
+use mrinv_matrix::Matrix;
+
+fn test_cluster() -> Cluster {
+    let mut ccfg = ClusterConfig::medium(4);
+    ccfg.cost = CostModel::unit_for_tests();
+    Cluster::new(ccfg)
+}
+
+fn hash_matrix(m: &Matrix) -> u64 {
+    // FNV-1a over the f64 bit patterns, row-major.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &v in m.as_slice() {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Seed hash of the n=64 / nb=4 inverse with default optimizations.
+const SEED_HASH_DEFAULT: u64 = 0x083f29d7de9d9bc8;
+/// Seed hash of the same run with `Optimizations::none()` (Eq-7 ablation).
+const SEED_HASH_ABLATION: u64 = 0x6f01fcbbdbe02363;
+
+/// Both backend-sensitive checks live in one test because the backend is
+/// process-global; parallel test threads must not flip it mid-run.
+#[test]
+fn e2e_inverse_is_pinned_per_backend() {
+    let a = random_invertible(64, 42);
+    let cfg = InversionConfig::with_nb(4);
+    let mut cfg_ablation = InversionConfig::with_nb(4);
+    cfg_ablation.opts = Optimizations::none();
+
+    // Reference backend: bit-identical to the seed implementation.
+    let prev = set_global_backend(BackendKind::Naive);
+    let cluster = test_cluster();
+    let naive = invert(&cluster, &a, &cfg).unwrap().inverse;
+    assert_eq!(
+        hash_matrix(&naive),
+        SEED_HASH_DEFAULT,
+        "Naive-backend pipeline no longer reproduces the seed bits"
+    );
+    let ablation = invert(&cluster, &a, &cfg_ablation).unwrap().inverse;
+    assert_eq!(
+        hash_matrix(&ablation),
+        SEED_HASH_ABLATION,
+        "Eq-7 ablation path no longer reproduces the seed bits"
+    );
+
+    // Engine backend: same result within the documented tolerance.
+    set_global_backend(BackendKind::Packed);
+    let cluster = test_cluster();
+    let packed = invert(&cluster, &a, &cfg).unwrap().inverse;
+    let diff = packed.max_abs_diff(&naive).unwrap();
+    assert!(
+        diff <= 1e-10,
+        "packed engine deviates from reference by {diff:e}"
+    );
+
+    set_global_backend(prev);
+}
+
+/// `(job name, manifest fingerprint)` for every job of the pinned run, in
+/// pipeline order. Captured before the kernel refactor; a change here
+/// means pre-refactor checkpoints stop resuming.
+const SEED_MANIFEST: &[(&str, u64)] = &[
+    ("partition:pinned-run", 0x9bc452f09fe22368),
+    ("lu-level:pinned-run/A1/A1/A1", 0xb591558bbaea81dd),
+    ("lu-level:pinned-run/A1/A1", 0x75af17ecc531f2ab),
+    ("lu-level:pinned-run/A1/A1/OUT", 0x14109f0c9dfb8929),
+    ("lu-level:pinned-run/A1", 0x0f035968fac91d1f),
+    ("lu-level:pinned-run/A1/OUT/A1", 0xadd3fce053aa2707),
+    ("lu-level:pinned-run/A1/OUT", 0x5109cec5f1e6bacb),
+    ("lu-level:pinned-run/A1/OUT/OUT", 0x8f9feb5d39dea870),
+    ("lu-level:pinned-run", 0xb9b6010ebba336ff),
+    ("lu-level:pinned-run/OUT/A1/A1", 0x918561deadd0a316),
+    ("lu-level:pinned-run/OUT/A1", 0x1bf376089df80a2d),
+    ("lu-level:pinned-run/OUT/A1/OUT", 0x82b1979b677f76b9),
+    ("lu-level:pinned-run/OUT", 0x6d08f9b0014145f2),
+    ("lu-level:pinned-run/OUT/OUT/A1", 0xe23788bdf7a79be2),
+    ("lu-level:pinned-run/OUT/OUT", 0x027186ed5ffe1018),
+    ("lu-level:pinned-run/OUT/OUT/OUT", 0x54488ecd01fb1eb0),
+    ("final-inverse:pinned-run", 0x0889afe6b1b8f4d8),
+];
+
+#[test]
+fn job_spec_fingerprints_are_unchanged() {
+    let cluster = test_cluster();
+    let a = random_invertible(64, 42);
+    let cfg = InversionConfig::with_nb(4);
+    let run = RunId::new("pinned-run");
+    invert_run(&cluster, &a, &cfg, &run, Checkpoint::Enabled).unwrap();
+
+    let data = cluster.dfs.read(&run.manifest_path()).unwrap();
+    let text = std::str::from_utf8(&data).unwrap();
+    let got: Vec<(String, u64)> = text
+        .lines()
+        .map(|l| {
+            let r: ManifestRecord = serde_json::from_str(l).unwrap();
+            (r.name, r.fingerprint)
+        })
+        .collect();
+    for (name, fp) in &got {
+        println!("(\"{name}\", {fp:#018x}),");
+    }
+    assert_eq!(
+        got.iter()
+            .map(|(n, f)| (n.as_str(), *f))
+            .collect::<Vec<_>>(),
+        SEED_MANIFEST,
+        "job spec fingerprints moved; pre-refactor checkpoints would not resume"
+    );
+}

@@ -10,7 +10,7 @@
 
 use crate::dense::Matrix;
 use crate::error::{MatrixError, Result};
-use crate::multiply::mul_transposed;
+use crate::kernel::{self, notrans, trans};
 use crate::triangular::invert_lower;
 
 /// Cholesky-factorizes an SPD matrix: returns lower-triangular `G` with
@@ -45,9 +45,9 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix> {
 pub fn invert_spd(a: &Matrix) -> Result<Matrix> {
     let g = cholesky(a)?;
     let g_inv = invert_lower(&g)?;
-    // A^-1 = (G^-1)ᵀ (G^-1): both operands walked row-major via the
-    // transposed kernel (Section 6.3's trick applies here too).
-    mul_transposed(&g_inv.transpose(), &g_inv.transpose())
+    // A^-1 = (G^-1)ᵀ (G^-1): the Op::Trans operand is packed row-major by
+    // the engine, so no transpose is materialized.
+    kernel::mul(trans(&g_inv), notrans(&g_inv))
 }
 
 /// Approximate flop count of an order-`n` Cholesky factorization
@@ -68,7 +68,7 @@ mod tests {
         for &n in &[1usize, 4, 17, 40] {
             let a = random_spd(n, n as u64);
             let g = cholesky(&a).unwrap();
-            let ggt = mul_transposed(&g, &g).unwrap();
+            let ggt = kernel::mul(notrans(&g), trans(&g)).unwrap();
             assert!(ggt.approx_eq(&a, 1e-7 * n as f64), "n={n}");
             for i in 0..n {
                 assert!(g[(i, i)] > 0.0);

@@ -355,10 +355,15 @@ impl Neg for &Matrix {
 impl Mul<&Matrix> for &Matrix {
     type Output = Matrix;
 
-    /// Convenience operator; delegates to the naive kernel. Hot paths should
-    /// call the kernels in [`crate::multiply`] directly.
+    /// Convenience operator; delegates to [`crate::kernel::gemm`] through
+    /// the process-wide backend. Hot paths with transposed operands or
+    /// accumulation should call `gemm` directly.
     fn mul(self, rhs: &Matrix) -> Matrix {
-        crate::multiply::mul_naive(self, rhs).expect("matrix multiplication shape mismatch")
+        use crate::kernel::{gemm, notrans};
+        let mut c = Matrix::zeros(self.rows(), rhs.cols());
+        gemm(1.0, notrans(self), notrans(rhs), 0.0, &mut c)
+            .expect("matrix multiplication shape mismatch");
+        c
     }
 }
 

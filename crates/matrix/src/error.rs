@@ -39,6 +39,14 @@ pub enum MatrixError {
         /// Matrix shape.
         shape: (usize, usize),
     },
+    /// A tuning or shape parameter is outside its valid range (e.g. a
+    /// zero tile size).
+    InvalidParameter {
+        /// Description of the operation that rejected the parameter.
+        op: &'static str,
+        /// What was wrong with the value.
+        what: &'static str,
+    },
     /// A serialized matrix could not be decoded.
     Codec(String),
 }
@@ -74,6 +82,9 @@ impl fmt::Display for MatrixError {
                 "block out of bounds in {op}: rows {}..{} cols {}..{} of a {}x{} matrix",
                 rows.0, rows.1, cols.0, cols.1, shape.0, shape.1
             ),
+            MatrixError::InvalidParameter { op, what } => {
+                write!(f, "invalid parameter in {op}: {what}")
+            }
             MatrixError::Codec(msg) => write!(f, "matrix codec error: {msg}"),
         }
     }

@@ -1,0 +1,121 @@
+//! Right-looking blocked LU with partial pivoting (LAPACK `dgetrf`
+//! structure): factor an `nb`-wide column panel unblocked, solve the
+//! matching row panel with [`trsm`](super::trsm), then rank-`nb` update
+//! the trailing submatrix with one GEMM — which is where the packed
+//! engine turns the `O(n^3)` of the factorization into level-3 work.
+//!
+//! Pivot choices match the unblocked Algorithm 1 exactly (each column is
+//! fully updated before its pivot search, whether the updates arrived as
+//! rank-1 steps or as one GEMM), so the permutation is the same; the
+//! factor values differ only by the summation order of the trailing
+//! updates.
+
+use super::{gemm_with, notrans, trsm_with, Diag, GemmBackend, MatrixError, Result, Side, Uplo};
+use crate::block::BlockRange;
+use crate::dense::Matrix;
+use crate::lu::LuFactors;
+use crate::permutation::Permutation;
+
+/// Blocked variant of [`crate::lu::lu_decompose`]: same packed-factor
+/// layout and singularity threshold, trailing updates through `backend`.
+pub fn lu_blocked(a: &Matrix, nb: usize, backend: &dyn GemmBackend) -> Result<LuFactors> {
+    let mut lu = a.clone();
+    let perm = lu_blocked_in_place(&mut lu, nb, backend)?;
+    Ok(LuFactors { lu, perm })
+}
+
+/// In-place blocked LU: overwrites `a` with the packed factors and
+/// returns the pivot permutation (`P·A = L·U`).
+pub fn lu_blocked_in_place(
+    a: &mut Matrix,
+    nb: usize,
+    backend: &dyn GemmBackend,
+) -> Result<Permutation> {
+    if nb == 0 {
+        return Err(MatrixError::InvalidParameter {
+            op: "lu_blocked",
+            what: "panel width must be positive, got 0",
+        });
+    }
+    let n = a.order()?;
+    let mut perm = Permutation::identity(n);
+    // Same relative singularity threshold as the unblocked routine.
+    let scale = a.as_slice().iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+    let tol = if scale == 0.0 {
+        f64::MIN_POSITIVE
+    } else {
+        scale * f64::EPSILON * n as f64
+    };
+
+    for k0 in (0..n).step_by(nb) {
+        let k1 = (k0 + nb).min(n);
+
+        // Panel factorization over full rows: swapping whole rows applies
+        // the interchanges to the already-factored left columns and the
+        // not-yet-updated right columns in the same motion, but the rank-1
+        // elimination below touches only the panel's own columns — the
+        // trailing block waits for the GEMM.
+        for i in k0..k1 {
+            let mut pivot_row = i;
+            let mut pivot_val = a[(i, i)].abs();
+            for j in (i + 1)..n {
+                let v = a[(j, i)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = j;
+                }
+            }
+            if pivot_val < tol {
+                return Err(MatrixError::Singular { step: i });
+            }
+            if pivot_row != i {
+                a.swap_rows(i, pivot_row);
+                perm.swap(i, pivot_row);
+            }
+
+            let inv_pivot = 1.0 / a[(i, i)];
+            for j in (i + 1)..n {
+                a[(j, i)] *= inv_pivot;
+            }
+            let ncols = a.cols();
+            for j in (i + 1)..n {
+                let lji = a[(j, i)];
+                if lji == 0.0 {
+                    continue;
+                }
+                let (top, bottom) = a.as_mut_slice().split_at_mut(j * ncols);
+                let urow = &top[i * ncols..i * ncols + ncols];
+                let jrow = &mut bottom[..ncols];
+                for k in (i + 1)..k1 {
+                    jrow[k] -= lji * urow[k];
+                }
+            }
+        }
+
+        if k1 == n {
+            break;
+        }
+
+        // U12 := L11^-1 · A12 (unit lower solve against the panel's
+        // in-place factor; trsm only reads the lower triangle).
+        let l11 = a.block(BlockRange::new((k0, k1), (k0, k1)))?;
+        let mut u12 = a.block(BlockRange::new((k0, k1), (k1, n)))?;
+        trsm_with(
+            backend,
+            Side::Left,
+            Uplo::Lower,
+            Diag::Unit,
+            1.0,
+            &l11,
+            &mut u12,
+        )?;
+        a.set_block(k0, k1, &u12)?;
+
+        // A22 -= L21 · U12: the rank-nb trailing update, all level-3.
+        let l21 = a.block(BlockRange::new((k1, n), (k0, k1)))?;
+        let mut a22 = a.block(BlockRange::new((k1, n), (k1, n)))?;
+        gemm_with(backend, -1.0, notrans(&l21), notrans(&u12), 1.0, &mut a22)?;
+        a.set_block(k1, k1, &a22)?;
+    }
+    Ok(perm)
+}

@@ -1,0 +1,378 @@
+//! BLAS-3-style dense kernel engine: one `gemm` entry point, packed
+//! cache-blocked execution, blocked TRSM, and a right-looking blocked LU.
+//!
+//! The paper's single-node baseline (ScaLAPACK on tuned BLAS) spends its
+//! time in exactly three level-3 kernels — GEMM, TRSM, and the LU panel
+//! update — and the distributed pipeline's map/reduce tasks bottom out in
+//! the same operations. This module replaces the nine overlapping naive
+//! triple-loop entry points that used to live in [`crate::multiply`] with
+//! a single surface:
+//!
+//! * [`gemm`] — `C := alpha * op(A) * op(B) + beta * C` with
+//!   [`Op::NoTrans`]/[`Op::Trans`] per operand;
+//! * [`trsm`] — `B := alpha * T^-1 * B` (left) or `alpha * B * T^-1`
+//!   (right) for triangular `T`, all [`Side`]/[`Uplo`]/[`Diag`] cases;
+//! * [`lu_blocked`] — right-looking blocked LU whose trailing updates are
+//!   the two kernels above.
+//!
+//! Execution strategy is pluggable through [`GemmBackend`]:
+//!
+//! * [`Packed`] — the real engine: panels of `A` and `B` are packed into
+//!   contiguous, register-block-sized buffers, the MC/KC/NC loop nest
+//!   keeps them L1/L2-resident, an MR×NR register-tiled microkernel does
+//!   the flops (with an AVX2+FMA path selected at runtime on x86-64), and
+//!   rayon parallelizes over macro-tile rows;
+//! * [`Naive`] — the reference loop orders the seed pipeline used
+//!   (i-k-j row-streaming, and the Section 6.3 unrolled-dot form when the
+//!   right operand is supplied transposed). Differential tests pin the
+//!   Packed backend against this one, and the end-to-end Naive pipeline
+//!   is bit-identical to the pre-engine implementation;
+//! * [`Blocked`] — the cache-tiled (but unpacked) middle rung, kept for
+//!   benchmarks to show where packing itself matters;
+//! * [`Strided`] — Equation 7's i-j-k loop with a column-strided read of
+//!   the right operand: the paper's *unoptimized* kernel, preserved as an
+//!   explicit backend so the Section 6.3 ablation stays honest.
+//!
+//! The process-wide default backend is [`Packed`]; set the
+//! `MRINV_GEMM_BACKEND` environment variable to `naive`, `strided`,
+//! `blocked`, `packed`, or `packed-serial` to A/B the whole pipeline
+//! against another engine without recompiling.
+
+// The reference backends index rows explicitly so the access pattern under
+// discussion (row-major vs column-strided) stays visible in the code.
+#![allow(clippy::needless_range_loop)]
+
+mod lu;
+mod naive;
+mod packed;
+mod trsm;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::dense::Matrix;
+use crate::error::{MatrixError, Result};
+
+pub use lu::{lu_blocked, lu_blocked_in_place};
+pub use naive::dot;
+pub use trsm::{trsm, trsm_with};
+
+/// Transposition state of a GEMM operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Use the operand as stored.
+    NoTrans,
+    /// Use the operand's transpose.
+    Trans,
+}
+
+impl Op {
+    /// Wraps a matrix reference with this transposition state:
+    /// `Op::Trans.of(&u_t)` reads as "the transpose of `u_t`".
+    pub fn of(self, mat: &Matrix) -> OpRef<'_> {
+        OpRef { op: self, mat }
+    }
+}
+
+/// A borrowed GEMM operand together with its transposition state.
+#[derive(Clone, Copy)]
+pub struct OpRef<'a> {
+    /// How the operand participates in the product.
+    pub op: Op,
+    /// The underlying storage.
+    pub mat: &'a Matrix,
+}
+
+impl OpRef<'_> {
+    /// Logical row count (after applying `op`).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        match self.op {
+            Op::NoTrans => self.mat.rows(),
+            Op::Trans => self.mat.cols(),
+        }
+    }
+
+    /// Logical column count (after applying `op`).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        match self.op {
+            Op::NoTrans => self.mat.cols(),
+            Op::Trans => self.mat.rows(),
+        }
+    }
+
+    /// Logical element `(i, j)` (after applying `op`).
+    #[inline]
+    pub(crate) fn at(&self, i: usize, j: usize) -> f64 {
+        match self.op {
+            Op::NoTrans => self.mat[(i, j)],
+            Op::Trans => self.mat[(j, i)],
+        }
+    }
+}
+
+/// `op(A)` with `op = NoTrans`: the operand as stored.
+pub fn notrans(mat: &Matrix) -> OpRef<'_> {
+    Op::NoTrans.of(mat)
+}
+
+/// `op(A)` with `op = Trans`: the operand's transpose.
+pub fn trans(mat: &Matrix) -> OpRef<'_> {
+    Op::Trans.of(mat)
+}
+
+/// Which side of `B` the triangular operand of [`trsm`] sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Solve `T · X = alpha · B` (overwrites `B` with `X`).
+    Left,
+    /// Solve `X · T = alpha · B` (overwrites `B` with `X`).
+    Right,
+}
+
+/// Which triangle of the [`trsm`] operand holds the data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Uplo {
+    /// Lower triangular.
+    Lower,
+    /// Upper triangular.
+    Upper,
+}
+
+/// Whether the triangular operand has an implicit unit diagonal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Diag {
+    /// Diagonal entries are implicitly 1 and never read.
+    Unit,
+    /// Diagonal entries are read (and must be nonzero).
+    NonUnit,
+}
+
+/// A GEMM execution strategy.
+///
+/// Implementations must compute `C := alpha * op(A) * op(B) + beta * C`
+/// exactly per their documented summation order; shape validation is done
+/// by the caller ([`gemm_with`]) before dispatch.
+pub trait GemmBackend: Sync {
+    /// Computes `C := alpha * op(A) * op(B) + beta * C`. Shapes are
+    /// already validated: `a.rows() == c.rows()`, `b.cols() == c.cols()`,
+    /// `a.cols() == b.rows()`.
+    fn gemm_checked(
+        &self,
+        alpha: f64,
+        a: OpRef<'_>,
+        b: OpRef<'_>,
+        beta: f64,
+        c: &mut Matrix,
+    ) -> Result<()>;
+
+    /// Backend name (for diagnostics and bench labels).
+    fn name(&self) -> &'static str;
+
+    /// Block size [`trsm`] should use when driven by this backend, or
+    /// `None` for the unblocked reference solve.
+    fn trsm_block(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Reference backend: the seed pipeline's loop orders.
+///
+/// * `(NoTrans, NoTrans)` — i-k-j with the inner loop streaming one row
+///   of `B` (the old `mul_naive`/`sub_mul` order);
+/// * `(NoTrans, Trans)` — four-way unrolled dot products over rows of `A`
+///   and rows of the stored (transposed) `B` — the Section 6.3 layout
+///   (the old `mul_transposed`/`sub_mul_transposed` order).
+///
+/// The end-to-end pipeline under this backend is bit-identical to the
+/// pre-engine implementation.
+pub struct Naive;
+
+/// Equation 7 ablation backend: i-j-k with a stride-`n` read of the right
+/// operand — "each read of an element from U2 will access a separate
+/// memory page" (Section 6.3). Kept so the transpose-off ablation keeps
+/// timing the access pattern the paper eliminates.
+pub struct Strided;
+
+/// Cache-tiled backend without packing: the old `mul_blocked` kernel.
+pub struct Blocked {
+    /// Tile edge length; must be positive.
+    pub tile: usize,
+}
+
+/// The packed, register-blocked engine (see module docs).
+pub struct Packed {
+    /// Parallelize over macro-tile rows with rayon. Small products stay
+    /// serial regardless (thread spawn would dominate).
+    pub parallel: bool,
+}
+
+/// Selector for the process-wide default backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// [`Naive`].
+    Naive,
+    /// [`Strided`].
+    Strided,
+    /// [`Blocked`] with the default tile.
+    Blocked,
+    /// [`Packed`] with rayon enabled.
+    Packed,
+    /// [`Packed`] restricted to one thread.
+    PackedSerial,
+}
+
+impl BackendKind {
+    fn as_backend(self) -> &'static dyn GemmBackend {
+        match self {
+            BackendKind::Naive => &Naive,
+            BackendKind::Strided => &Strided,
+            BackendKind::Blocked => &Blocked { tile: 64 },
+            BackendKind::Packed => &Packed { parallel: true },
+            BackendKind::PackedSerial => &Packed { parallel: false },
+        }
+    }
+
+    fn from_env() -> BackendKind {
+        match std::env::var("MRINV_GEMM_BACKEND").as_deref() {
+            Ok("naive") => BackendKind::Naive,
+            Ok("strided") | Ok("eq7") => BackendKind::Strided,
+            Ok("blocked") => BackendKind::Blocked,
+            Ok("packed-serial") => BackendKind::PackedSerial,
+            // Unrecognized values fall through to the tuned default.
+            _ => BackendKind::Packed,
+        }
+    }
+
+    fn encode(self) -> u8 {
+        match self {
+            BackendKind::Naive => 1,
+            BackendKind::Strided => 2,
+            BackendKind::Blocked => 3,
+            BackendKind::Packed => 4,
+            BackendKind::PackedSerial => 5,
+        }
+    }
+
+    fn decode(v: u8) -> Option<BackendKind> {
+        match v {
+            1 => Some(BackendKind::Naive),
+            2 => Some(BackendKind::Strided),
+            3 => Some(BackendKind::Blocked),
+            4 => Some(BackendKind::Packed),
+            5 => Some(BackendKind::PackedSerial),
+            _ => None,
+        }
+    }
+}
+
+/// 0 = uninitialized (read `MRINV_GEMM_BACKEND` on first use).
+static GLOBAL_BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// The process-wide default backend used by [`gemm`] and [`trsm`].
+///
+/// Initialized lazily from `MRINV_GEMM_BACKEND` (default: [`Packed`]).
+pub fn global_backend() -> BackendKind {
+    match BackendKind::decode(GLOBAL_BACKEND.load(Ordering::Relaxed)) {
+        Some(kind) => kind,
+        None => {
+            let kind = BackendKind::from_env();
+            GLOBAL_BACKEND.store(kind.encode(), Ordering::Relaxed);
+            kind
+        }
+    }
+}
+
+/// Overrides the process-wide default backend, returning the previous
+/// selection. Intended for differential tests and A/B debugging; racing
+/// concurrent `gemm` calls see either backend.
+pub fn set_global_backend(kind: BackendKind) -> BackendKind {
+    let prev = global_backend();
+    GLOBAL_BACKEND.store(kind.encode(), Ordering::Relaxed);
+    prev
+}
+
+fn check_gemm(a: &OpRef<'_>, b: &OpRef<'_>, c: &Matrix) -> Result<()> {
+    if a.cols() != b.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "gemm",
+            lhs: (a.rows(), a.cols()),
+            rhs: (b.rows(), b.cols()),
+        });
+    }
+    if c.shape() != (a.rows(), b.cols()) {
+        return Err(MatrixError::DimensionMismatch {
+            op: "gemm(output)",
+            lhs: c.shape(),
+            rhs: (a.rows(), b.cols()),
+        });
+    }
+    Ok(())
+}
+
+/// `C := alpha * op(A) * op(B) + beta * C` through the process-wide
+/// default backend (see [`global_backend`]).
+///
+/// `beta == 0.0` overwrites `C` without reading it (NaNs in `C` do not
+/// propagate), matching BLAS convention.
+///
+/// ```
+/// use mrinv_matrix::kernel::{gemm, notrans, trans};
+/// use mrinv_matrix::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+/// let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+/// let mut c = Matrix::zeros(2, 2);
+/// gemm(1.0, notrans(&a), notrans(&b), 0.0, &mut c).unwrap();
+/// assert_eq!(c[(0, 0)], 19.0);
+/// // A·Bᵀ of the same data, accumulated on top:
+/// gemm(1.0, notrans(&a), trans(&b), 1.0, &mut c).unwrap();
+/// ```
+pub fn gemm(alpha: f64, a: OpRef<'_>, b: OpRef<'_>, beta: f64, c: &mut Matrix) -> Result<()> {
+    gemm_with(global_backend().as_backend(), alpha, a, b, beta, c)
+}
+
+/// [`gemm`] through an explicit backend.
+pub fn gemm_with(
+    backend: &dyn GemmBackend,
+    alpha: f64,
+    a: OpRef<'_>,
+    b: OpRef<'_>,
+    beta: f64,
+    c: &mut Matrix,
+) -> Result<()> {
+    check_gemm(&a, &b, c)?;
+    backend.gemm_checked(alpha, a, b, beta, c)
+}
+
+/// Allocating convenience: `op(A) * op(B)` through the default backend.
+pub fn mul(a: OpRef<'_>, b: OpRef<'_>) -> Result<Matrix> {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm(1.0, a, b, 0.0, &mut c)?;
+    Ok(c)
+}
+
+/// Scales `c` by `beta` in place, treating `beta == 0.0` as overwrite.
+pub(crate) fn scale_by_beta(c: &mut Matrix, beta: f64) {
+    if beta == 1.0 {
+        return;
+    }
+    if beta == 0.0 {
+        for v in c.as_mut_slice() {
+            *v = 0.0;
+        }
+    } else {
+        for v in c.as_mut_slice() {
+            *v *= beta;
+        }
+    }
+}
+
+/// Floating-point operation count of an `m x k` by `k x n` product
+/// (one multiply and one add per inner step).
+pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * (m as u64) * (k as u64) * (n as u64)
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,294 @@
+//! The packed, cache-blocked GEMM engine.
+//!
+//! Standard BLIS-style structure with three levels of blocking:
+//!
+//! ```text
+//! for jc in 0..n step NC          // B macro-panel   (L3 / whole matrix)
+//!   for pc in 0..k step KC        // pack B[pc.., jc..] into NR-wide panels (L2)
+//!     for ic in 0..m step MC      // pack A[ic.., pc..] into MR-tall panels (L1)
+//!       for jr in 0..nc step NR   // micro-panel of packed B
+//!         for ir in 0..mc step MR // micro-panel of packed A
+//!           MR x NR register-tiled microkernel over kc
+//! ```
+//!
+//! Packing rewrites both operands so the microkernel reads two contiguous
+//! streams (`MR` A-values and `NR` B-values per k-step) regardless of the
+//! original layout or transposition — the transposed operand costs one
+//! strided pass during packing, `O(m·k)`, instead of a strided access in
+//! the `O(m·k·n)` inner loop. Edge tiles are zero-padded in the packed
+//! buffers, so the microkernel never branches on ragged shapes.
+//!
+//! The microkernel keeps an `MR x NR = 4 x 8` f64 accumulator block in
+//! registers (8 YMM registers under AVX2) and is compiled twice: once
+//! portably and once with `#[target_feature(enable = "avx2", "fma")]`;
+//! the FMA variant is selected per-call by cached CPUID detection.
+//!
+//! `beta` is applied to `C` once up front; the k-blocks then accumulate
+//! with `+=`, and `alpha` is folded into the accumulator write-out.
+//!
+//! With `parallel = true`, macro-rows of `C` (MC rows each) are
+//! distributed over rayon: each worker packs its own A block and owns a
+//! disjoint `MC x n` row slice of `C`, so no synchronization is needed.
+//! Products too small to amortize thread spawn stay serial.
+
+use rayon::prelude::*;
+
+use super::{scale_by_beta, GemmBackend, Op, OpRef, Result};
+use crate::dense::Matrix;
+
+/// Microkernel tile height (rows of C per register block).
+const MR: usize = 4;
+/// Microkernel tile width (columns of C per register block).
+const NR: usize = 8;
+/// Macro-block rows: an MC x KC slab of packed A sized for L2.
+const MC: usize = 64;
+/// Macro-block depth: KC x NR panels of packed B sized for L1 reuse.
+const KC: usize = 256;
+/// Macro-block columns: the outermost panel width.
+const NC: usize = 4096;
+
+/// Serial/parallel crossover, in multiply-adds. The vendored rayon spawns
+/// threads per call, so small products must not pay that cost.
+const PAR_MIN_MADDS: usize = 1 << 21;
+
+#[cfg(target_arch = "x86_64")]
+mod cpu {
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    /// 0 = unknown, 1 = no, 2 = yes.
+    static AVX2_FMA: AtomicU8 = AtomicU8::new(0);
+
+    pub fn avx2_fma_available() -> bool {
+        match AVX2_FMA.load(Ordering::Relaxed) {
+            2 => true,
+            1 => false,
+            _ => {
+                let yes = std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma");
+                AVX2_FMA.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
+                yes
+            }
+        }
+    }
+}
+
+/// The microkernel body: accumulates an MR x NR block over `kc` steps.
+///
+/// `ap` is `kc` groups of MR contiguous A values; `bp` is `kc` groups of
+/// NR contiguous B values. `chunks_exact` gives LLVM compile-time-known
+/// slice lengths, so the 32 accumulators stay in registers with no
+/// bounds checks in the loop.
+#[inline(always)]
+fn micro_body(ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]) {
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        for r in 0..MR {
+            let ar = a[r];
+            for (j, accj) in acc[r].iter_mut().enumerate() {
+                *accj += ar * b[j];
+            }
+        }
+    }
+}
+
+/// Portable instantiation (baseline target features, SSE2 on x86-64).
+fn micro_generic(ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]) {
+    micro_body(ap, bp, acc);
+}
+
+/// AVX2+FMA instantiation: same body, compiled with 256-bit registers and
+/// fused multiply-add available, which is what lets the 4x8 accumulator
+/// block live entirely in YMM registers.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+fn micro_avx2(ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]) {
+    micro_body(ap, bp, acc);
+}
+
+#[inline]
+fn micro_dispatch(ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]) {
+    #[cfg(target_arch = "x86_64")]
+    if cpu::avx2_fma_available() {
+        // SAFETY: calling a #[target_feature(avx2,fma)] function is sound
+        // because the cached is_x86_feature_detected! probe above confirmed
+        // the CPU supports both features at runtime.
+        unsafe { micro_avx2(ap, bp, acc) };
+        return;
+    }
+    micro_generic(ap, bp, acc);
+}
+
+/// Packs the `mc x kc` block of `op(A)` with top-left logical corner
+/// `(ic, pc)` into MR-row panels: panel `r` holds logical rows
+/// `ic + r*MR ..`, laid out k-major (`kc` groups of MR values). Rows past
+/// `mc` are zero-padded.
+fn pack_a(a: OpRef<'_>, ic: usize, mc: usize, pc: usize, kc: usize, buf: &mut [f64]) {
+    debug_assert_eq!(buf.len(), mc.div_ceil(MR) * MR * kc);
+    for (panel, chunk) in buf.chunks_exact_mut(MR * kc).enumerate() {
+        let r0 = ic + panel * MR;
+        let live = MR.min(ic + mc - r0);
+        match a.op {
+            Op::NoTrans => {
+                // Rows of the stored matrix stream; writes stride by MR.
+                for r in 0..live {
+                    let row = &a.mat.row(r0 + r)[pc..pc + kc];
+                    for (p, &v) in row.iter().enumerate() {
+                        chunk[p * MR + r] = v;
+                    }
+                }
+            }
+            Op::Trans => {
+                // Logical row r is stored column r: for each stored row p,
+                // both the read (row[r0..]) and the write (p*MR..) are
+                // contiguous.
+                for p in 0..kc {
+                    let row = &a.mat.row(pc + p)[r0..r0 + live];
+                    chunk[p * MR..p * MR + live].copy_from_slice(row);
+                }
+            }
+        }
+        if live < MR {
+            for p in 0..kc {
+                for r in live..MR {
+                    chunk[p * MR + r] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `kc x nc` block of `op(B)` with top-left logical corner
+/// `(pc, jc)` into NR-column panels, k-major (`kc` groups of NR values).
+/// Columns past `nc` are zero-padded.
+fn pack_b(b: OpRef<'_>, pc: usize, kc: usize, jc: usize, nc: usize, buf: &mut [f64]) {
+    debug_assert_eq!(buf.len(), nc.div_ceil(NR) * NR * kc);
+    for (panel, chunk) in buf.chunks_exact_mut(NR * kc).enumerate() {
+        let j0 = jc + panel * NR;
+        let live = NR.min(jc + nc - j0);
+        match b.op {
+            Op::NoTrans => {
+                for p in 0..kc {
+                    let row = &b.mat.row(pc + p)[j0..j0 + live];
+                    chunk[p * NR..p * NR + live].copy_from_slice(row);
+                }
+            }
+            Op::Trans => {
+                // Logical column j is stored row j: stream it, scattering
+                // with stride NR.
+                for j in 0..live {
+                    let row = &b.mat.row(j0 + j)[pc..pc + kc];
+                    for (p, &v) in row.iter().enumerate() {
+                        chunk[p * NR + j] = v;
+                    }
+                }
+            }
+        }
+        if live < NR {
+            for p in 0..kc {
+                for j in live..NR {
+                    chunk[p * NR + j] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Runs the two inner register-tile loops for one packed (A block, B panel)
+/// pair, writing `alpha * acc` into the `mc x nc` slab of C starting at
+/// row offset 0 of `c_rows` (a borrowed `mc x c_stride` row slice) and
+/// column `jc`.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    abuf: &[f64],
+    bbuf: &[f64],
+    kc: usize,
+    mc: usize,
+    nc: usize,
+    jc: usize,
+    alpha: f64,
+    c_rows: &mut [f64],
+    c_stride: usize,
+) {
+    for (bpanel, bchunk) in bbuf.chunks_exact(NR * kc).enumerate() {
+        let j0 = bpanel * NR;
+        let jw = NR.min(nc - j0);
+        for (apanel, achunk) in abuf.chunks_exact(MR * kc).enumerate() {
+            let i0 = apanel * MR;
+            let iw = MR.min(mc - i0);
+            let mut acc = [[0.0; NR]; MR];
+            micro_dispatch(achunk, bchunk, &mut acc);
+            for r in 0..iw {
+                let crow = &mut c_rows[(i0 + r) * c_stride + jc + j0..][..jw];
+                for (cv, av) in crow.iter_mut().zip(acc[r].iter()) {
+                    *cv += alpha * av;
+                }
+            }
+        }
+    }
+}
+
+impl GemmBackend for super::Packed {
+    fn gemm_checked(
+        &self,
+        alpha: f64,
+        a: OpRef<'_>,
+        b: OpRef<'_>,
+        beta: f64,
+        c: &mut Matrix,
+    ) -> Result<()> {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        scale_by_beta(c, beta);
+        if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+            return Ok(());
+        }
+
+        let parallel = self.parallel && m > MC && m * k * n >= PAR_MIN_MADDS;
+        let mut bbuf = vec![0.0; n.min(NC).div_ceil(NR) * NR * k.min(KC)];
+
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                let blen = nc.div_ceil(NR) * NR * kc;
+                pack_b(b, pc, kc, jc, nc, &mut bbuf[..blen]);
+                let bpanel = &bbuf[..blen];
+
+                if parallel {
+                    // Disjoint MC-row slabs of C per worker; each packs its
+                    // own A block.
+                    c.as_mut_slice()
+                        .par_chunks_mut(MC * n)
+                        .enumerate()
+                        .for_each(|(blk, c_rows)| {
+                            let ic = blk * MC;
+                            let mc = MC.min(m - ic);
+                            let mut abuf = vec![0.0; mc.div_ceil(MR) * MR * kc];
+                            pack_a(a, ic, mc, pc, kc, &mut abuf);
+                            macro_kernel(&abuf, bpanel, kc, mc, nc, jc, alpha, c_rows, n);
+                        });
+                } else {
+                    let mut abuf = vec![0.0; MC.min(m).div_ceil(MR) * MR * kc];
+                    for ic in (0..m).step_by(MC) {
+                        let mc = MC.min(m - ic);
+                        let alen = mc.div_ceil(MR) * MR * kc;
+                        pack_a(a, ic, mc, pc, kc, &mut abuf[..alen]);
+                        let c_rows = &mut c.as_mut_slice()[ic * n..(ic + mc) * n];
+                        macro_kernel(&abuf[..alen], bpanel, kc, mc, nc, jc, alpha, c_rows, n);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        if self.parallel {
+            "packed"
+        } else {
+            "packed-serial"
+        }
+    }
+
+    fn trsm_block(&self) -> Option<usize> {
+        Some(MC)
+    }
+}

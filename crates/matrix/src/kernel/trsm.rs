@@ -1,0 +1,288 @@
+//! Triangular solve with multiple right-hand sides (BLAS `dtrsm`).
+//!
+//! `trsm(side, uplo, diag, alpha, T, B)` overwrites `B` with the solution
+//! `X` of `T · X = alpha · B` ([`Side::Left`]) or `X · T = alpha · B`
+//! ([`Side::Right`]).
+//!
+//! Small systems use unblocked forward/back substitution whose summation
+//! order is bit-identical to the per-vector kernels the pipeline mappers
+//! used before this module existed ([`crate::triangular`]); when the
+//! active backend advertises a block size ([`GemmBackend::trsm_block`]),
+//! larger systems are solved a diagonal block at a time with the trailing
+//! update delegated to GEMM, which is where the packed engine's
+//! throughput shows up.
+
+use super::{gemm_with, notrans, Diag, GemmBackend, MatrixError, Result, Side, Uplo};
+use crate::block::BlockRange;
+use crate::dense::Matrix;
+
+fn check_trsm(side: Side, t: &Matrix, b: &Matrix) -> Result<usize> {
+    let n = t.order()?;
+    let need = match side {
+        Side::Left => b.rows(),
+        Side::Right => b.cols(),
+    };
+    if need != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "trsm",
+            lhs: t.shape(),
+            rhs: b.shape(),
+        });
+    }
+    Ok(n)
+}
+
+fn check_diag(t: &Matrix, diag: Diag) -> Result<()> {
+    if diag == Diag::NonUnit {
+        let n = t.rows();
+        for i in 0..n {
+            if t[(i, i)] == 0.0 {
+                return Err(MatrixError::Singular { step: i });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solves `T · X = B` / `X · T = B` in place through the process-wide
+/// default backend (`alpha` is applied to `B` first).
+///
+/// `T` is read only on the triangle selected by `uplo` (plus the diagonal
+/// when `diag` is [`Diag::NonUnit`]); the opposite triangle may hold
+/// anything — packed LU factors can be used directly.
+pub fn trsm(
+    side: Side,
+    uplo: Uplo,
+    diag: Diag,
+    alpha: f64,
+    t: &Matrix,
+    b: &mut Matrix,
+) -> Result<()> {
+    trsm_with(
+        super::global_backend().as_backend(),
+        side,
+        uplo,
+        diag,
+        alpha,
+        t,
+        b,
+    )
+}
+
+/// [`trsm`] through an explicit backend.
+pub fn trsm_with(
+    backend: &dyn GemmBackend,
+    side: Side,
+    uplo: Uplo,
+    diag: Diag,
+    alpha: f64,
+    t: &Matrix,
+    b: &mut Matrix,
+) -> Result<()> {
+    let n = check_trsm(side, t, b)?;
+    check_diag(t, diag)?;
+    if alpha != 1.0 {
+        for v in b.as_mut_slice() {
+            *v *= alpha;
+        }
+    }
+    match backend.trsm_block() {
+        Some(nb) if n > nb => blocked(backend, side, uplo, diag, nb, t, b),
+        _ => {
+            unblocked(side, uplo, diag, t, b);
+            Ok(())
+        }
+    }
+}
+
+/// Diagonal-block recursion: solve an `nb`-wide stripe unblocked, then
+/// clear its coupling to the remaining stripes with one GEMM.
+fn blocked(
+    backend: &dyn GemmBackend,
+    side: Side,
+    uplo: Uplo,
+    diag: Diag,
+    nb: usize,
+    t: &Matrix,
+    b: &mut Matrix,
+) -> Result<()> {
+    let n = t.rows();
+    // Iterate diagonal blocks in dependency order: forward for the
+    // triangle whose solve starts at index 0, backward otherwise.
+    let forward = matches!(
+        (side, uplo),
+        (Side::Left, Uplo::Lower) | (Side::Right, Uplo::Upper)
+    );
+    let starts: Vec<usize> = (0..n).step_by(nb).collect();
+    let order: Box<dyn Iterator<Item = usize>> = if forward {
+        Box::new(starts.into_iter())
+    } else {
+        Box::new(starts.into_iter().rev())
+    };
+
+    for k0 in order {
+        let k1 = (k0 + nb).min(n);
+        let tkk = t.block(BlockRange::new((k0, k1), (k0, k1)))?;
+        match side {
+            Side::Left => {
+                let mut xk = b.row_stripe(k0, k1)?;
+                unblocked(side, uplo, diag, &tkk, &mut xk);
+                // Remaining rows: B_r -= T[r, k] · X_k.
+                let (r0, r1) = if forward { (k1, n) } else { (0, k0) };
+                if r0 < r1 {
+                    let trk = t.block(BlockRange::new((r0, r1), (k0, k1)))?;
+                    let mut br = b.row_stripe(r0, r1)?;
+                    gemm_with(backend, -1.0, notrans(&trk), notrans(&xk), 1.0, &mut br)?;
+                    b.set_block(r0, 0, &br)?;
+                }
+                b.set_block(k0, 0, &xk)?;
+            }
+            Side::Right => {
+                let mut xk = b.col_stripe(k0, k1)?;
+                unblocked(side, uplo, diag, &tkk, &mut xk);
+                // Remaining columns: B_r -= X_k · T[k, r].
+                let (r0, r1) = if forward { (k1, n) } else { (0, k0) };
+                if r0 < r1 {
+                    let tkr = t.block(BlockRange::new((k0, k1), (r0, r1)))?;
+                    let mut br = b.col_stripe(r0, r1)?;
+                    gemm_with(backend, -1.0, notrans(&xk), notrans(&tkr), 1.0, &mut br)?;
+                    b.set_block(0, r0, &br)?;
+                }
+                b.set_block(0, k0, &xk)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn unblocked(side: Side, uplo: Uplo, diag: Diag, t: &Matrix, b: &mut Matrix) {
+    match side {
+        Side::Left => {
+            // Column-at-a-time substitution, like the pipeline's
+            // per-column mapper kernels: gather the (strided) column,
+            // solve it contiguously, scatter back.
+            let n = t.rows();
+            let cols = b.cols();
+            let mut x = vec![0.0; n];
+            for j in 0..cols {
+                for i in 0..n {
+                    x[i] = b[(i, j)];
+                }
+                match uplo {
+                    Uplo::Lower => solve_lower_col(t, diag, &mut x),
+                    Uplo::Upper => solve_upper_col(t, diag, &mut x),
+                }
+                for i in 0..n {
+                    b[(i, j)] = x[i];
+                }
+            }
+        }
+        Side::Right => {
+            // Row-at-a-time: X·T = B row i is Tᵀ·xᵀ = bᵀ, a substitution
+            // against the transposed factor. Transposing T once keeps every
+            // inner access row-major (the Section 6.3 trick; this is
+            // exactly the old `solve_upper_system_right` arithmetic).
+            let t_t = t.transpose();
+            let rows = b.rows();
+            for i in 0..rows {
+                let x = b.row_mut(i);
+                match uplo {
+                    // Right-solve against upper T == lower solve against Tᵀ.
+                    Uplo::Upper => solve_lower_row_transposed(&t_t, diag, x),
+                    Uplo::Lower => solve_upper_row_transposed(&t_t, diag, x),
+                }
+            }
+        }
+    }
+}
+
+/// Forward substitution `T·x = b` in place (lower triangle).
+///
+/// An exact-`+0.0` prefix of the RHS is skipped rather than divided: the
+/// corresponding solution entries are exactly `+0.0`, and dividing would
+/// turn them into `-0.0` under a negative diagonal. The pipeline solves
+/// unit-basis columns constantly (triangular inversion), and the skip both
+/// preserves the seed kernels' bit pattern above the diagonal and restores
+/// their `O((n-j)^2)` cost per inverse column.
+fn solve_lower_col(t: &Matrix, diag: Diag, x: &mut [f64]) {
+    let n = x.len();
+    let mut start = 0;
+    while start < n && x[start].to_bits() == 0 {
+        start += 1;
+    }
+    for i in start..n {
+        let row = t.row(i);
+        let mut acc = x[i];
+        for (k, &xk) in x.iter().enumerate().take(i).skip(start) {
+            acc -= row[k] * xk;
+        }
+        x[i] = match diag {
+            Diag::Unit => acc,
+            Diag::NonUnit => acc / row[i],
+        };
+    }
+}
+
+/// Back substitution `T·x = b` in place (upper triangle), with the
+/// mirrored trailing-zero skip.
+fn solve_upper_col(t: &Matrix, diag: Diag, x: &mut [f64]) {
+    let n = x.len();
+    let mut end = n;
+    while end > 0 && x[end - 1].to_bits() == 0 {
+        end -= 1;
+    }
+    for i in (0..end).rev() {
+        let row = t.row(i);
+        let mut acc = x[i];
+        for k in (i + 1)..end {
+            acc -= row[k] * x[k];
+        }
+        x[i] = match diag {
+            Diag::Unit => acc,
+            Diag::NonUnit => acc / row[i],
+        };
+    }
+}
+
+/// Solves `x · T = b` for upper-triangular `T` given `t_t = Tᵀ` (lower
+/// triangular), overwriting `x` (which holds `b` on entry). This is the
+/// old `solve_row_times_upper_transposed` summation order.
+fn solve_lower_row_transposed(t_t: &Matrix, diag: Diag, x: &mut [f64]) {
+    let n = x.len();
+    let mut start = 0;
+    while start < n && x[start].to_bits() == 0 {
+        start += 1;
+    }
+    for j in start..n {
+        let row = t_t.row(j);
+        let mut acc = x[j];
+        for (k, &xk) in x.iter().enumerate().take(j).skip(start) {
+            acc -= xk * row[k];
+        }
+        x[j] = match diag {
+            Diag::Unit => acc,
+            Diag::NonUnit => acc / row[j],
+        };
+    }
+}
+
+/// Solves `x · T = b` for lower-triangular `T` given `t_t = Tᵀ` (upper
+/// triangular), overwriting `x`.
+fn solve_upper_row_transposed(t_t: &Matrix, diag: Diag, x: &mut [f64]) {
+    let n = x.len();
+    let mut end = n;
+    while end > 0 && x[end - 1].to_bits() == 0 {
+        end -= 1;
+    }
+    for j in (0..end).rev() {
+        let row = t_t.row(j);
+        let mut acc = x[j];
+        for k in (j + 1)..end {
+            acc -= x[k] * row[k];
+        }
+        x[j] = match diag {
+            Diag::Unit => acc,
+            Diag::NonUnit => acc / row[j],
+        };
+    }
+}

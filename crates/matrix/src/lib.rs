@@ -9,9 +9,10 @@
 //!   at most `nb`;
 //! * [`triangular`] — inverses of unit-lower and upper triangular matrices
 //!   (Equation 4) and forward/back substitution;
-//! * [`multiply`] — matrix-multiply kernels: naive, transposed-B
-//!   (the Section 6.3 memory-locality optimization), blocked, and
-//!   rayon-parallel;
+//! * [`kernel`] — the BLAS-3 engine: one `gemm` entry point over pluggable
+//!   backends (packed cache-blocked default, bit-exact naive reference,
+//!   Equation 7 strided ablation), blocked TRSM, and blocked LU;
+//! * [`multiply`] — deprecated shims over [`kernel`] kept for one release;
 //! * [`permutation`] — the compact `S`-array representation of the pivot
 //!   permutation matrix `P`;
 //! * [`random`] — seeded random test-matrix generation (Section 7.1);
@@ -34,6 +35,7 @@ pub mod dense;
 pub mod error;
 pub mod gauss_jordan;
 pub mod io;
+pub mod kernel;
 pub mod lu;
 pub mod multiply;
 pub mod norms;

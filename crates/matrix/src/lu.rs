@@ -73,10 +73,33 @@ pub fn lu_decompose(a: &Matrix) -> Result<LuFactors> {
     Ok(LuFactors { lu, perm })
 }
 
+/// Matrix order at or above which [`lu_decompose_in_place`] switches to
+/// the kernel engine's blocked factorization (when the packed backend is
+/// active). Below it the classic rank-1 loop wins and — more importantly —
+/// stays bit-identical to the seed implementation, which the distributed
+/// pipeline's `nb`-sized leaf decompositions rely on.
+const BLOCKED_LU_MIN_ORDER: usize = 128;
+
 /// In-place variant of [`lu_decompose`]; `a` is overwritten with the packed
 /// factors.
+///
+/// Orders ≥ 128 are factored with the blocked right-looking algorithm
+/// ([`crate::kernel::lu_blocked_in_place`]) when the process-wide GEMM
+/// backend is the packed engine; pivot choices are identical either way,
+/// factor values differ only in the trailing updates' summation order.
 pub fn lu_decompose_in_place(a: &mut Matrix) -> Result<Permutation> {
+    use crate::kernel::{self, BackendKind};
     let n = a.order()?;
+    if n >= BLOCKED_LU_MIN_ORDER {
+        let kind = kernel::global_backend();
+        if matches!(kind, BackendKind::Packed | BackendKind::PackedSerial) {
+            let backend: &dyn kernel::GemmBackend = match kind {
+                BackendKind::PackedSerial => &kernel::Packed { parallel: false },
+                _ => &kernel::Packed { parallel: true },
+            };
+            return kernel::lu_blocked_in_place(a, 64, backend);
+        }
+    }
     let mut perm = Permutation::identity(n);
     // Relative singularity threshold: pivots this far below the matrix
     // magnitude are treated as zero.

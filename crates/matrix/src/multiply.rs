@@ -1,293 +1,112 @@
-//! Matrix-multiply kernels.
+//! Deprecated matrix-multiply entry points.
 //!
-//! The distributed algorithm multiplies matrices in two places: reducers
-//! compute `B = A4 - L2'·U2` during LU decomposition, and the final job
-//! computes `U^-1·L^-1`. Section 6.3 of the paper observes that with both
-//! operands row-major the inner loop of the naive kernel strides through the
-//! right operand column-wise — one potential TLB/cache miss per element — and
-//! fixes it by always storing `U` matrices *transposed*. The kernels here
-//! mirror that choice:
+//! Everything here is a thin shim over [`crate::kernel`], kept for one
+//! release so downstream code migrates at its own pace. The nine loop
+//! variants this module used to implement collapsed into the single
+//! BLAS-3-style surface `gemm(alpha, op(A), op(B), beta, C)` with
+//! explicit [`Op`](crate::kernel::Op) transposition states and pluggable
+//! execution backends; see the [`crate::kernel`] docs for the mapping.
 //!
-//! * [`mul_ijk`] — Equation 7's i-j-k loop with column-strided reads of
-//!   the right operand (the paper's unoptimized layout);
-//! * [`mul_naive`] — i-k-j loop, cache-friendly without transposition;
-//! * [`mul_transposed`] — `A·B` given `Bᵀ`, both walked row-major;
-//! * [`mul_blocked`] — cache-blocked variant for large orders;
-//! * [`mul_parallel`] — rayon row-parallel kernel used when a single task
-//!   owns a large product;
-//! * [`sub_mul`] — fused `C - A·B` (the reducer update), avoiding a
-//!   temporary.
-
-// The kernels below index rows explicitly so the access pattern under
-// discussion (row-major vs column-strided) stays visible in the code.
-#![allow(clippy::needless_range_loop)]
-
-use rayon::prelude::*;
+//! The shims delegate to the backend that reproduces each legacy kernel's
+//! exact summation order, so results are bit-identical to the old code.
 
 use crate::dense::Matrix;
-use crate::error::{MatrixError, Result};
+use crate::error::Result;
+use crate::kernel::{gemm_with, notrans, trans, Blocked, Naive, Packed, Strided};
 
-/// Floating-point operation count of an `m x k` by `k x n` product
-/// (one multiply and one add per inner step).
-pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
-    2 * (m as u64) * (k as u64) * (n as u64)
-}
+pub use crate::kernel::gemm_flops;
 
-fn check_mul(a: &Matrix, b: &Matrix, op: &'static str) -> Result<()> {
-    if a.cols() != b.rows() {
-        return Err(MatrixError::DimensionMismatch {
-            op,
-            lhs: a.shape(),
-            rhs: b.shape(),
-        });
-    }
-    Ok(())
-}
-
-/// `A·B` with both operands row-major, i-k-j loop order (the inner loop
-/// streams one row of `b`). Cache-friendly without transposition; the
-/// general-purpose kernel.
+/// `A·B` with both operands row-major, i-k-j loop order.
+#[deprecated(since = "0.6.0", note = "use kernel::gemm with the Naive backend")]
 pub fn mul_naive(a: &Matrix, b: &Matrix) -> Result<Matrix> {
-    check_mul(a, b, "mul_naive")?;
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut c = Matrix::zeros(m, n);
-    for i in 0..m {
-        let arow = a.row(i);
-        let crow = c.row_mut(i);
-        for (p, &apv) in arow.iter().enumerate().take(k) {
-            let brow = b.row(p);
-            for j in 0..n {
-                crow[j] += apv * brow[j];
-            }
-        }
-    }
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm_with(&Naive, 1.0, notrans(a), notrans(b), 0.0, &mut c)?;
     Ok(c)
 }
 
-/// The paper's Equation 7 layout: `A·B` computed i-j-k with both operands
-/// row-major, so the inner loop reads `b` with stride `b.cols()` — "each
-/// read of an element from U2 will access a separate memory page,
-/// potentially generating a TLB miss and a cache miss" (Section 6.3).
-/// This is the unoptimized kernel the transposed-U storage replaces.
+/// The paper's Equation 7 layout: i-j-k with stride-`n` reads of `b`.
+#[deprecated(since = "0.6.0", note = "use kernel::gemm with the Strided backend")]
 pub fn mul_ijk(a: &Matrix, b: &Matrix) -> Result<Matrix> {
-    check_mul(a, b, "mul_ijk")?;
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut c = Matrix::zeros(m, n);
-    let b_data = b.as_slice();
-    for i in 0..m {
-        let arow = a.row(i);
-        let crow = c.row_mut(i);
-        for (j, cij) in crow.iter_mut().enumerate().take(n) {
-            let mut acc = 0.0;
-            for (p, &apv) in arow.iter().enumerate().take(k) {
-                acc += apv * b_data[p * n + j]; // stride-n access
-            }
-            *cij = acc;
-        }
-    }
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm_with(&Strided, 1.0, notrans(a), notrans(b), 0.0, &mut c)?;
     Ok(c)
 }
 
-/// Fused `C := C - A·B` in the Equation 7 i-j-k order (the transpose-off
-/// ablation path of the pipeline's reducers).
+/// Fused `C := C - A·B` in the Equation 7 i-j-k order.
+#[deprecated(since = "0.6.0", note = "use kernel::gemm with the Strided backend")]
 pub fn sub_mul_ijk(c: &mut Matrix, a: &Matrix, b: &Matrix) -> Result<()> {
-    check_mul(a, b, "sub_mul_ijk")?;
-    if c.shape() != (a.rows(), b.cols()) {
-        return Err(MatrixError::DimensionMismatch {
-            op: "sub_mul_ijk(output)",
-            lhs: c.shape(),
-            rhs: (a.rows(), b.cols()),
-        });
-    }
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let b_data = b.as_slice();
-    for i in 0..m {
-        let arow = a.row(i);
-        let crow = c.row_mut(i);
-        for (j, cij) in crow.iter_mut().enumerate().take(n) {
-            let mut acc = 0.0;
-            for (p, &apv) in arow.iter().enumerate().take(k) {
-                acc += apv * b_data[p * n + j];
-            }
-            *cij -= acc;
-        }
-    }
-    Ok(())
+    gemm_with(&Strided, -1.0, notrans(a), notrans(b), 1.0, c)
 }
 
 /// `A·B` where the caller supplies `Bᵀ` (the Section 6.3 layout).
-///
-/// Both operands are walked strictly row-major, so each inner product is two
-/// sequential scans — the access pattern the paper credits with a 2–3x
-/// speedup.
+#[deprecated(since = "0.6.0", note = "use kernel::gemm with Op::Trans on B")]
 pub fn mul_transposed(a: &Matrix, b_t: &Matrix) -> Result<Matrix> {
-    if a.cols() != b_t.cols() {
-        return Err(MatrixError::DimensionMismatch {
-            op: "mul_transposed",
-            lhs: a.shape(),
-            rhs: b_t.shape(),
-        });
-    }
-    let (m, n) = (a.rows(), b_t.rows());
-    let mut c = Matrix::zeros(m, n);
-    for i in 0..m {
-        let arow = a.row(i);
-        let crow = c.row_mut(i);
-        for j in 0..n {
-            crow[j] = dot(arow, b_t.row(j));
-        }
-    }
+    let mut c = Matrix::zeros(a.rows(), b_t.rows());
+    gemm_with(&Naive, 1.0, notrans(a), trans(b_t), 0.0, &mut c)?;
     Ok(c)
 }
 
 /// Cache-blocked `A·B` (both row-major) with `tile`-sized tiles.
-pub fn mul_blocked(a: &Matrix, b: &Matrix, tile: usize) -> Result<Matrix> {
-    check_mul(a, b, "mul_blocked")?;
-    assert!(tile > 0, "tile size must be positive");
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut c = Matrix::zeros(m, n);
-    for i0 in (0..m).step_by(tile) {
-        let i1 = (i0 + tile).min(m);
-        for p0 in (0..k).step_by(tile) {
-            let p1 = (p0 + tile).min(k);
-            for j0 in (0..n).step_by(tile) {
-                let j1 = (j0 + tile).min(n);
-                for i in i0..i1 {
-                    let arow = a.row(i);
-                    let crow = c.row_mut(i);
-                    for p in p0..p1 {
-                        let apv = arow[p];
-                        let brow = b.row(p);
-                        for j in j0..j1 {
-                            crow[j] += apv * brow[j];
-                        }
-                    }
-                }
-            }
-        }
-    }
-    Ok(c)
-}
-
-/// Row-parallel `A·B` over rayon, using the transposed layout internally.
 ///
-/// This is the kernel a *single* worker uses when it owns a large product;
-/// the distributed block-wrap partitioning lives a level above, in the core
-/// crate.
-pub fn mul_parallel(a: &Matrix, b: &Matrix) -> Result<Matrix> {
-    check_mul(a, b, "mul_parallel")?;
-    let b_t = b.transpose();
-    mul_parallel_transposed(a, &b_t)
-}
-
-/// Row-parallel `A·B` given `Bᵀ`.
-pub fn mul_parallel_transposed(a: &Matrix, b_t: &Matrix) -> Result<Matrix> {
-    if a.cols() != b_t.cols() {
-        return Err(MatrixError::DimensionMismatch {
-            op: "mul_parallel_transposed",
-            lhs: a.shape(),
-            rhs: b_t.shape(),
-        });
-    }
-    let (m, n) = (a.rows(), b_t.rows());
-    let mut c = Matrix::zeros(m, n);
-    let a_data = a.as_slice();
-    let k = a.cols();
-    c.as_mut_slice()
-        .par_chunks_mut(n.max(1))
-        .enumerate()
-        .for_each(|(i, crow)| {
-            let arow = &a_data[i * k..(i + 1) * k];
-            for j in 0..n {
-                crow[j] = dot(arow, b_t.row(j));
-            }
-        });
-    let _ = m;
+/// `tile == 0` is rejected with
+/// [`MatrixError::InvalidParameter`](crate::error::MatrixError).
+#[deprecated(since = "0.6.0", note = "use kernel::gemm with the Blocked backend")]
+pub fn mul_blocked(a: &Matrix, b: &Matrix, tile: usize) -> Result<Matrix> {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm_with(&Blocked { tile }, 1.0, notrans(a), notrans(b), 0.0, &mut c)?;
     Ok(c)
 }
 
-/// Fused `C := C - A·B`, the reducer update `A4 - L2'·U2` (Algorithm 2
-/// line 9) without materializing the product.
+/// Parallel `A·B` (now the packed engine with rayon enabled).
+#[deprecated(
+    since = "0.6.0",
+    note = "use kernel::gemm (Packed backend is the default)"
+)]
+pub fn mul_parallel(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm_with(
+        &Packed { parallel: true },
+        1.0,
+        notrans(a),
+        notrans(b),
+        0.0,
+        &mut c,
+    )?;
+    Ok(c)
+}
+
+/// Parallel `A·B` given `Bᵀ`.
+#[deprecated(since = "0.6.0", note = "use kernel::gemm with Op::Trans on B")]
+pub fn mul_parallel_transposed(a: &Matrix, b_t: &Matrix) -> Result<Matrix> {
+    let mut c = Matrix::zeros(a.rows(), b_t.rows());
+    gemm_with(
+        &Packed { parallel: true },
+        1.0,
+        notrans(a),
+        trans(b_t),
+        0.0,
+        &mut c,
+    )?;
+    Ok(c)
+}
+
+/// Fused `C := C - A·B`, the reducer update `A4 - L2'·U2`.
+#[deprecated(since = "0.6.0", note = "use kernel::gemm with alpha = -1, beta = 1")]
 pub fn sub_mul(c: &mut Matrix, a: &Matrix, b: &Matrix) -> Result<()> {
-    check_mul(a, b, "sub_mul")?;
-    if c.shape() != (a.rows(), b.cols()) {
-        return Err(MatrixError::DimensionMismatch {
-            op: "sub_mul(output)",
-            lhs: c.shape(),
-            rhs: (a.rows(), b.cols()),
-        });
-    }
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    for i in 0..m {
-        let arow = a.row(i);
-        let crow = c.row_mut(i);
-        for (p, &apv) in arow.iter().enumerate().take(k) {
-            let brow = b.row(p);
-            for j in 0..n {
-                crow[j] -= apv * brow[j];
-            }
-        }
-    }
-    Ok(())
+    gemm_with(&Naive, -1.0, notrans(a), notrans(b), 1.0, c)
 }
 
 /// Fused `C := C - A·B` given `Bᵀ` (Section 6.3 layout).
+#[deprecated(since = "0.6.0", note = "use kernel::gemm with Op::Trans on B")]
 pub fn sub_mul_transposed(c: &mut Matrix, a: &Matrix, b_t: &Matrix) -> Result<()> {
-    if a.cols() != b_t.cols() {
-        return Err(MatrixError::DimensionMismatch {
-            op: "sub_mul_transposed",
-            lhs: a.shape(),
-            rhs: b_t.shape(),
-        });
-    }
-    if c.shape() != (a.rows(), b_t.rows()) {
-        return Err(MatrixError::DimensionMismatch {
-            op: "sub_mul_transposed(output)",
-            lhs: c.shape(),
-            rhs: (a.rows(), b_t.rows()),
-        });
-    }
-    let (m, n) = (a.rows(), b_t.rows());
-    for i in 0..m {
-        let arow = a.row(i);
-        let crow = c.row_mut(i);
-        for j in 0..n {
-            crow[j] -= dot(arow, b_t.row(j));
-        }
-    }
-    let _ = m;
-    Ok(())
-}
-
-#[inline]
-fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    // Four-way unrolled accumulation: lets LLVM vectorize without
-    // reassociation flags and reduces rounding drift vs a single chain.
-    let chunks = a.len() / 4 * 4;
-    let mut s0 = 0.0;
-    let mut s1 = 0.0;
-    let mut s2 = 0.0;
-    let mut s3 = 0.0;
-    let mut i = 0;
-    while i < chunks {
-        s0 += a[i] * b[i];
-        s1 += a[i + 1] * b[i + 1];
-        s2 += a[i + 2] * b[i + 2];
-        s3 += a[i + 3] * b[i + 3];
-        i += 4;
-    }
-    let mut tail = 0.0;
-    while i < a.len() {
-        tail += a[i] * b[i];
-        i += 1;
-    }
-    (s0 + s1) + (s2 + s3) + tail
+    gemm_with(&Naive, -1.0, notrans(a), trans(b_t), 1.0, c)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::error::MatrixError;
     use crate::random::random_matrix;
 
     const TOL: f64 = 1e-9;
@@ -299,14 +118,6 @@ mod tests {
         let c = mul_naive(&a, &b).unwrap();
         let expect = Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap();
         assert_eq!(c, expect);
-    }
-
-    #[test]
-    fn identity_is_neutral() {
-        let a = random_matrix(17, 17, 1);
-        let i = Matrix::identity(17);
-        assert!(mul_naive(&a, &i).unwrap().approx_eq(&a, TOL));
-        assert!(mul_naive(&i, &a).unwrap().approx_eq(&a, TOL));
     }
 
     #[test]
@@ -327,6 +138,17 @@ mod tests {
     }
 
     #[test]
+    fn blocked_rejects_zero_tile() {
+        // Regression: tile = 0 used to assert (and before that, loop
+        // forever); it is now a typed error.
+        let a = random_matrix(3, 3, 8);
+        assert!(matches!(
+            mul_blocked(&a, &a, 0),
+            Err(MatrixError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
     fn shape_mismatch_is_rejected() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(4, 2);
@@ -336,6 +158,7 @@ mod tests {
         assert!(mul_parallel(&a, &b).is_err());
         let mut c = Matrix::zeros(2, 2);
         assert!(sub_mul(&mut c, &a, &b).is_err());
+        assert!(sub_mul_transposed(&mut c, &a, &Matrix::zeros(2, 4)).is_err());
     }
 
     #[test]
@@ -366,23 +189,12 @@ mod tests {
         let b = Matrix::zeros(2, 2);
         let mut c = Matrix::zeros(3, 2);
         assert!(sub_mul(&mut c, &a, &b).is_err());
-        assert!(sub_mul_transposed(&mut c, &a, &b).is_err());
     }
 
     #[test]
     fn gemm_flops_counts_two_per_madd() {
         assert_eq!(gemm_flops(2, 3, 4), 48);
         assert_eq!(gemm_flops(0, 3, 4), 0);
-    }
-
-    #[test]
-    fn dot_handles_all_lengths() {
-        for len in 0..10 {
-            let a: Vec<f64> = (0..len).map(|i| i as f64).collect();
-            let b: Vec<f64> = (0..len).map(|i| (i * 2) as f64).collect();
-            let expect: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
-            assert!((dot(&a, &b) - expect).abs() < 1e-12);
-        }
     }
 
     #[test]

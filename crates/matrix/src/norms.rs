@@ -2,7 +2,7 @@
 
 use crate::dense::Matrix;
 use crate::error::Result;
-use crate::multiply::mul_parallel;
+use crate::kernel::{self, notrans};
 
 impl Matrix {
     /// Maximum absolute element (`max_{ij} |a_ij|`).
@@ -43,7 +43,7 @@ pub fn vec_norm(v: &[f64]) -> f64 {
 /// `I_n - M·M_inv`. The paper verifies this is below `1e-5` for its suite.
 pub fn inversion_residual(m: &Matrix, m_inv: &Matrix) -> Result<f64> {
     let n = m.order()?;
-    let prod = mul_parallel(m, m_inv)?;
+    let prod = kernel::mul(notrans(m), notrans(m_inv))?;
     let residual = &Matrix::identity(n) - &prod;
     Ok(residual.max_norm())
 }

@@ -85,7 +85,18 @@ pub fn random_upper(n: usize, seed: u64) -> Matrix {
 /// application examples (e.g. covariance-style systems).
 pub fn random_spd(n: usize, seed: u64) -> Matrix {
     let b = random_matrix(n, n, seed);
-    let mut m = crate::multiply::mul_transposed(&b, &b).expect("square product");
+    // Naive backend: generated matrices must stay bit-identical across
+    // kernel changes (seeded generators feed pinned end-to-end hashes).
+    let mut m = Matrix::zeros(n, n);
+    crate::kernel::gemm_with(
+        &crate::kernel::Naive,
+        1.0,
+        crate::kernel::notrans(&b),
+        crate::kernel::trans(&b),
+        0.0,
+        &mut m,
+    )
+    .expect("square product");
     for i in 0..n {
         m[(i, i)] += n as f64;
     }

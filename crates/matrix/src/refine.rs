@@ -13,7 +13,7 @@
 
 use crate::dense::Matrix;
 use crate::error::{MatrixError, Result};
-use crate::multiply::mul_parallel;
+use crate::kernel::{self, notrans};
 use crate::norms::inversion_residual;
 
 /// Outcome of a refinement run.
@@ -47,12 +47,12 @@ pub fn refine_inverse(a: &Matrix, x: &Matrix, max_steps: usize, target: f64) -> 
             break;
         }
         // X' = X(2I - AX)
-        let ax = mul_parallel(a, &current)?;
+        let ax = kernel::mul(notrans(a), notrans(&current))?;
         let mut two_i_minus_ax = -&ax;
         for i in 0..n {
             two_i_minus_ax[(i, i)] += 2.0;
         }
-        let next = mul_parallel(&current, &two_i_minus_ax)?;
+        let next = kernel::mul(notrans(&current), notrans(&two_i_minus_ax))?;
         let res = inversion_residual(a, &next)?;
         if !res.is_finite() || res >= last {
             break; // divergence or stagnation: keep the best iterate

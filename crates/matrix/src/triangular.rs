@@ -15,6 +15,9 @@
 
 use crate::dense::Matrix;
 use crate::error::{MatrixError, Result};
+use crate::kernel::{Diag, Side, Uplo};
+
+pub use crate::kernel::{trsm, trsm_with};
 
 fn check_square(a: &Matrix, _op: &'static str) -> Result<usize> {
     a.order()
@@ -225,44 +228,19 @@ pub fn solve_row_times_upper_transposed(u1_t: &Matrix, a3_row: &[f64]) -> Result
     Ok(x)
 }
 
-/// Solves `L1·X = B` column-by-column (`X = L1^-1·B` for unit-lower `L1`):
-/// the matrix-level form of the `U2` computation.
+/// Solves `L1·X = B` (`X = L1^-1·B` for unit-lower `L1`): the matrix-level
+/// form of the `U2` computation. Thin wrapper over [`trsm`].
 pub fn solve_unit_lower_system(l1: &Matrix, b: &Matrix) -> Result<Matrix> {
-    let n = check_square(l1, "solve_unit_lower_system")?;
-    if b.rows() != n {
-        return Err(MatrixError::DimensionMismatch {
-            op: "solve_unit_lower_system",
-            lhs: l1.shape(),
-            rhs: b.shape(),
-        });
-    }
-    let mut x = Matrix::zeros(n, b.cols());
-    for j in 0..b.cols() {
-        let col = solve_unit_lower_column(l1, &b.col(j))?;
-        for i in 0..n {
-            x[(i, j)] = col[i];
-        }
-    }
+    let mut x = b.clone();
+    trsm(Side::Left, Uplo::Lower, Diag::Unit, 1.0, l1, &mut x)?;
     Ok(x)
 }
 
-/// Solves `X·U1 = B` row-by-row (`X = B·U1^-1`): the matrix-level form of
-/// the `L2'` computation.
+/// Solves `X·U1 = B` (`X = B·U1^-1`): the matrix-level form of the `L2'`
+/// computation. Thin wrapper over [`trsm`].
 pub fn solve_upper_system_right(u1: &Matrix, b: &Matrix) -> Result<Matrix> {
-    let n = check_square(u1, "solve_upper_system_right")?;
-    if b.cols() != n {
-        return Err(MatrixError::DimensionMismatch {
-            op: "solve_upper_system_right",
-            lhs: b.shape(),
-            rhs: u1.shape(),
-        });
-    }
-    let u1_t = u1.transpose();
-    let mut x = Matrix::zeros(b.rows(), n);
-    for i in 0..b.rows() {
-        let row = solve_row_times_upper_transposed(&u1_t, b.row(i))?;
-        x.row_mut(i).copy_from_slice(&row);
-    }
+    let mut x = b.clone();
+    trsm(Side::Right, Uplo::Upper, Diag::NonUnit, 1.0, u1, &mut x)?;
     Ok(x)
 }
 

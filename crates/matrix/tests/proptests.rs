@@ -2,8 +2,10 @@
 
 use mrinv_matrix::block::{even_ranges, BlockRange};
 use mrinv_matrix::io::{decode_binary, decode_text, encode_binary, encode_text};
+use mrinv_matrix::kernel::{
+    gemm_with, trsm_with, Blocked, Diag, GemmBackend, Naive, Op, Packed, Side, Strided, Uplo,
+};
 use mrinv_matrix::lu::lu_decompose;
-use mrinv_matrix::multiply::{mul_blocked, mul_naive, mul_parallel, mul_transposed};
 use mrinv_matrix::norms::inversion_residual;
 use mrinv_matrix::random::{random_matrix, random_well_conditioned};
 use mrinv_matrix::triangular::{invert_lower, invert_upper};
@@ -44,15 +46,89 @@ proptest! {
     }
 
     #[test]
-    fn multiply_kernels_agree(
-        (m, k, n, s1, s2) in (1usize..20, 1usize..20, 1usize..20, any::<u64>(), any::<u64>())
+    fn gemm_backends_agree_differentially(
+        (m, k, n, s1, s2, s3, ta, tb, alpha, beta) in (
+            1usize..48, 1usize..48, 1usize..48,
+            any::<u64>(), any::<u64>(), any::<u64>(),
+            any::<bool>(), any::<bool>(),
+            -2.0f64..2.0, -2.0f64..2.0,
+        )
     ) {
-        let a = random_matrix(m, k, s1);
-        let b = random_matrix(k, n, s2);
-        let reference = mul_naive(&a, &b).unwrap();
-        prop_assert!(mul_transposed(&a, &b.transpose()).unwrap().approx_eq(&reference, 1e-10));
-        prop_assert!(mul_blocked(&a, &b, 5).unwrap().approx_eq(&reference, 1e-10));
-        prop_assert!(mul_parallel(&a, &b).unwrap().approx_eq(&reference, 1e-10));
+        // Storage shape depends on the requested op; logical product is
+        // always (m x k) · (k x n).
+        let a = random_matrix(if ta { k } else { m }, if ta { m } else { k }, s1);
+        let b = random_matrix(if tb { n } else { k }, if tb { k } else { n }, s2);
+        let c0 = random_matrix(m, n, s3);
+        let op = |t: bool| if t { Op::Trans } else { Op::NoTrans };
+
+        let mut reference = c0.clone();
+        gemm_with(&Naive, alpha, op(ta).of(&a), op(tb).of(&b), beta, &mut reference).unwrap();
+
+        // Forward-error bound: each element is a length-k dot (error
+        // ~ k·eps per unit of summed magnitude) plus the scaled original.
+        // Entries are O(1), so the summed magnitude is O(|alpha|·k + |beta|).
+        let tol = 32.0 * f64::EPSILON * (k as f64 + 2.0)
+            * (alpha.abs() * k as f64 + beta.abs() + 1.0);
+
+        let backends: [&dyn GemmBackend; 5] = [
+            &Strided,
+            &Blocked { tile: 5 },
+            &Blocked { tile: 64 },
+            &Packed { parallel: false },
+            &Packed { parallel: true },
+        ];
+        for backend in backends {
+            let mut c = c0.clone();
+            gemm_with(backend, alpha, op(ta).of(&a), op(tb).of(&b), beta, &mut c).unwrap();
+            for (got, want) in c.as_slice().iter().zip(reference.as_slice()) {
+                prop_assert!(
+                    (got - want).abs() <= tol,
+                    "{} deviates from naive: {got} vs {want} (tol {tol}, m={m} k={k} n={n} \
+                     ta={ta} tb={tb} alpha={alpha} beta={beta})",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_backends_agree_differentially(
+        (n, w, seed, left, lower, unit, alpha) in (
+            1usize..60, 1usize..24, any::<u64>(), any::<bool>(), any::<bool>(),
+            any::<bool>(), -2.0f64..2.0,
+        )
+    ) {
+        // Diagonally dominant triangle keeps the solve well conditioned so
+        // the blocked and unblocked paths stay within a tight bound.
+        let mut t = random_matrix(n, n, seed);
+        for i in 0..n {
+            for j in 0..n {
+                let keep = if lower { j <= i } else { j >= i };
+                if !keep {
+                    t[(i, j)] = 0.0;
+                }
+            }
+            t[(i, i)] = 3.0 + t[(i, i)].abs();
+        }
+        let b = if left {
+            random_matrix(n, w, seed ^ 1)
+        } else {
+            random_matrix(w, n, seed ^ 1)
+        };
+        let side = if left { Side::Left } else { Side::Right };
+        let uplo = if lower { Uplo::Lower } else { Uplo::Upper };
+        let diag = if unit { Diag::Unit } else { Diag::NonUnit };
+
+        let mut reference = b.clone();
+        trsm_with(&Naive, side, uplo, diag, alpha, &t, &mut reference).unwrap();
+        let mut x = b.clone();
+        trsm_with(&Packed { parallel: false }, side, uplo, diag, alpha, &t, &mut x).unwrap();
+
+        let tol = 1e-11 * (n as f64) * (alpha.abs() + 1.0);
+        prop_assert!(
+            x.approx_eq(&reference, tol),
+            "blocked trsm deviates: n={n} w={w} left={left} lower={lower} unit={unit}"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use mrinv_matrix::dense::Matrix;
 use mrinv_matrix::error::Result;
-use mrinv_matrix::multiply::mul_parallel;
+use mrinv_matrix::kernel::{gemm, notrans, trans};
 use mrinv_matrix::triangular::{invert_lower, invert_upper};
 
 use crate::grid::{ProcessGrid, WorkTally};
@@ -44,7 +44,14 @@ pub fn pdgetri(factors: &PdgetrfOutput, grid: &ProcessGrid) -> Result<PdgetriOut
     // Product U^-1 L^-1 exploiting triangularity: element (i, j) needs the
     // overlap max(i, j)..n, ~ n^3/3 multiply-adds in total; charge by
     // output column, cyclically.
-    let product = mul_parallel(&u_inv, &l_inv)?;
+    let product = {
+        // L^-1 streamed transposed so both operands read row-major (the
+        // same layout the MapReduce final job uses).
+        let l_inv_t = l_inv.transpose();
+        let mut p = Matrix::zeros(u_inv.rows(), l_inv.cols());
+        gemm(1.0, notrans(&u_inv), trans(&l_inv_t), 0.0, &mut p)?;
+        p
+    };
     for j in 0..n {
         let mut col_flops = 0.0;
         for i in 0..n {
