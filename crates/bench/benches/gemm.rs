@@ -3,30 +3,20 @@
 //! serial and rayon-parallel, at orders 64 / 128 / 256 / 512.
 //!
 //! Besides the criterion groups, the bench takes wall-clock samples
-//! (best of 3) of every backend at every order and writes GFLOP/s plus
-//! the packed-vs-naive speedup to `BENCH_pr5.json` at the repository
-//! root, so the measured win is recorded alongside the code.
+//! (best of 3, via `mrinv_bench::micro`) of every backend at every order
+//! and writes a `mrinv-bench/v1` baseline to `BENCH_pr5.json` at the
+//! repository root. `repro bench-check` regression-gates the tracked
+//! metric against that committed file.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mrinv_matrix::kernel::{
-    gemm_flops, gemm_with, notrans, Blocked, GemmBackend, Naive, Packed, Strided,
-};
+use mrinv_bench::micro::{gemm_ladder, gemm_packed_serial_speedup, measure_gemm_order};
+use mrinv_bench::schema::{baseline_path, BenchFile};
+use mrinv_matrix::kernel::{gemm_with, notrans, GemmBackend};
 use mrinv_matrix::random::random_matrix;
 use mrinv_matrix::Matrix;
 use std::hint::black_box;
-use std::time::Instant;
 
 const ORDERS: [usize; 4] = [64, 128, 256, 512];
-
-fn ladder() -> Vec<(&'static str, Box<dyn GemmBackend>)> {
-    vec![
-        ("naive", Box::new(Naive)),
-        ("strided_eq7", Box::new(Strided)),
-        ("blocked_t64", Box::new(Blocked { tile: 64 })),
-        ("packed_serial", Box::new(Packed { parallel: false })),
-        ("packed_parallel", Box::new(Packed { parallel: true })),
-    ]
-}
 
 fn run(backend: &dyn GemmBackend, a: &Matrix, b: &Matrix, c: &mut Matrix) {
     gemm_with(backend, 1.0, notrans(a), notrans(b), 0.0, c).unwrap();
@@ -39,7 +29,7 @@ fn bench_gemm(c: &mut Criterion) {
         let a = random_matrix(n, n, 1);
         let b = random_matrix(n, n, 2);
         let mut out = Matrix::zeros(n, n);
-        for (name, backend) in ladder() {
+        for (name, backend) in gemm_ladder() {
             // The O(n^3) reference kernels dominate bench time at 512;
             // cap them at 256 in the criterion groups (the JSON sample
             // below still measures every rung at every order).
@@ -56,78 +46,72 @@ fn bench_gemm(c: &mut Criterion) {
     write_sample();
 }
 
-/// Wall-clock sample of the full ladder (best of 3 per point), saved to
-/// `BENCH_pr5.json`.
-fn write_sample() {
-    fn best3(mut f: impl FnMut()) -> f64 {
-        (0..3)
-            .map(|_| {
-                let t0 = Instant::now();
-                f();
-                t0.elapsed().as_secs_f64()
-            })
-            .fold(f64::INFINITY, f64::min)
-    }
+#[derive(serde::Serialize)]
+struct KernelDetail {
+    kernel: String,
+    secs: f64,
+    gflops: f64,
+    speedup_vs_naive: f64,
+}
 
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut entries = Vec::new();
-    let mut speedup_512 = 0.0;
+#[derive(serde::Serialize)]
+struct OrderDetail {
+    n: usize,
+    kernels: Vec<KernelDetail>,
+}
+
+#[derive(serde::Serialize)]
+struct GemmDetail {
+    orders: Vec<OrderDetail>,
+}
+
+/// Wall-clock sample of the full ladder (best of 3 per point), saved as
+/// a `mrinv-bench/v1` file to `BENCH_pr5.json`.
+fn write_sample() {
+    let mut file = BenchFile::new("gemm");
+    let mut orders = Vec::new();
     for &n in &ORDERS {
-        let a = random_matrix(n, n, 1);
-        let b = random_matrix(n, n, 2);
-        let mut out = Matrix::zeros(n, n);
-        let flops = gemm_flops(n, n, n) as f64;
-        let mut naive_secs = f64::NAN;
-        let mut kernels = Vec::new();
-        for (name, backend) in ladder() {
-            let secs = best3(|| run(backend.as_ref(), black_box(&a), black_box(&b), &mut out));
-            if name == "naive" {
-                naive_secs = secs;
-            }
-            if name == "packed_serial" && n == 512 {
-                speedup_512 = naive_secs / secs;
-            }
-            kernels.push(format!(
-                concat!(
-                    "      {{ \"kernel\": \"{}\", \"secs\": {:.6}, ",
-                    "\"gflops\": {:.3}, \"speedup_vs_naive\": {:.3} }}"
-                ),
-                name,
-                secs,
-                flops / secs / 1e9,
-                naive_secs / secs
-            ));
+        let points = measure_gemm_order(n);
+        for p in &points {
+            file.push_metric(
+                &format!("{}_gflops_at_{n}", p.kernel),
+                p.gflops,
+                "gflops",
+                false,
+            );
         }
-        entries.push(format!(
-            "    {{\n      \"n\": {},\n      \"kernels\": [\n{}\n      ]\n    }}",
+        orders.push(OrderDetail {
             n,
-            kernels
+            kernels: points
                 .iter()
-                .map(|k| format!("  {k}"))
-                .collect::<Vec<_>>()
-                .join(",\n")
-        ));
+                .map(|p| KernelDetail {
+                    kernel: p.kernel.to_string(),
+                    secs: p.secs,
+                    gflops: p.gflops,
+                    speedup_vs_naive: p.speedup_vs_naive,
+                })
+                .collect(),
+        });
     }
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"gemm\",\n",
-            "  \"cores\": {},\n",
-            "  \"packed_serial_speedup_vs_naive_at_512\": {:.3},\n",
-            "  \"orders\": [\n{}\n  ]\n",
-            "}}\n"
-        ),
-        cores,
+    // The tracked metric is re-measured through the very same function
+    // `repro bench-check` calls, so baseline and gate price identical
+    // code (the ladder loop above interleaves the rungs differently).
+    let speedup_512 = gemm_packed_serial_speedup(512);
+    file.push_metric(
+        "packed_serial_speedup_vs_naive_at_512",
         speedup_512,
-        entries.join(",\n")
+        "ratio",
+        true,
     );
-    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let path = std::path::Path::new(root).join("BENCH_pr5.json");
-    if let Err(e) = std::fs::write(&path, &json) {
+    file.detail = serde_json::to_value(&GemmDetail { orders });
+
+    let path = baseline_path("BENCH_pr5.json");
+    if let Err(e) = file.save(&path) {
         eprintln!("could not write {}: {e}", path.display());
     } else {
         println!(
-            "gemm sample on {cores} cores: packed-serial {speedup_512:.2}x vs naive at 512 -> BENCH_pr5.json"
+            "gemm sample on {} cores: packed-serial {speedup_512:.2}x vs naive at 512 -> BENCH_pr5.json",
+            file.cores
         );
     }
 }

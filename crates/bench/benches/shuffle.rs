@@ -4,106 +4,24 @@
 //! emitted pair, then a `v.clone()` of every group's values before each
 //! reduce call).
 //!
-//! Two workloads:
+//! Two workloads (see `mrinv_bench::micro`):
 //! * `control` — tiny `u64` pairs, isolating the shuffle's sort
 //!   parallelism (wins only with >1 core);
 //! * `blocks` — `Vec<u64>` payloads, where the old path's per-group value
 //!   cloning costs real wall-clock on any core count.
 //!
-//! Besides the criterion groups, the bench takes one wall-clock sample of
-//! each path (best of 3) and writes the comparison to `BENCH_pr3.json` at
-//! the repository root, so the measured speedup is recorded alongside the
-//! code that produced it.
+//! Besides the criterion groups, the bench samples each path (best of 3)
+//! and writes a `mrinv-bench/v1` baseline to `BENCH_pr3.json` at the
+//! repository root. `repro bench-check` regression-gates the tracked
+//! `blocks_speedup` metric against that committed file.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mrinv_mapreduce::job::hash_partitioner;
-use mrinv_mapreduce::shuffle::{parallel_shuffle, partition_pairs, reference_shuffle};
+use mrinv_bench::micro::{
+    block_outputs, consume_blocks, consume_u64, control_outputs, measure_shuffle, shuffle_new_path,
+    shuffle_old_path, BLOCK_LEN, BLOCK_PAIRS, CONTROL_PAIRS, SHUFFLE_REDUCERS, SHUFFLE_TASKS,
+};
+use mrinv_bench::schema::{baseline_path, BenchFile};
 use std::hint::black_box;
-use std::time::Instant;
-
-const TASKS: usize = 32;
-const REDUCERS: usize = 16;
-const CONTROL_PAIRS: usize = 20_000;
-const BLOCK_PAIRS: usize = 2_000;
-const BLOCK_LEN: usize = 32;
-
-/// Scatters keys across the space so the per-reducer sorts see unordered
-/// input.
-fn scatter(t: u64, i: u64) -> u64 {
-    (t + i).wrapping_mul(2654435761) % 4096
-}
-
-fn control_outputs() -> Vec<Vec<(u64, u64)>> {
-    (0..TASKS as u64)
-        .map(|t| {
-            (0..CONTROL_PAIRS as u64)
-                .map(|i| (scatter(t, i), t * 1_000_000 + i))
-                .collect()
-        })
-        .collect()
-}
-
-fn block_outputs() -> Vec<Vec<(u64, Vec<u64>)>> {
-    (0..TASKS as u64)
-        .map(|t| {
-            (0..BLOCK_PAIRS as u64)
-                .map(|i| (scatter(t, i), vec![t * 1_000_000 + i; BLOCK_LEN]))
-                .collect()
-        })
-        .collect()
-}
-
-/// The pre-PR data path: one thread routes every pair and sorts every
-/// partition, then each group's values are cloned into a fresh `Vec`
-/// before being consumed — exactly the old runner's reduce loop.
-fn old_path<V: Clone>(tasks: &[Vec<(u64, V)>], consume: impl Fn(&[V]) -> u64) -> u64 {
-    let sorted = reference_shuffle(tasks.to_vec(), hash_partitioner::<u64>, REDUCERS);
-    let mut acc = 0u64;
-    for part in &sorted {
-        let keys = part.keys();
-        let vals = part.values();
-        let mut i = 0;
-        while i < keys.len() {
-            let mut j = i + 1;
-            while j < keys.len() && keys[j] == keys[i] {
-                j += 1;
-            }
-            let group: Vec<V> = vals[i..j].to_vec();
-            acc = acc.wrapping_add(consume(&group));
-            i = j;
-        }
-    }
-    acc
-}
-
-/// The new data path: pairs are pre-bucketed per reducer (as the map
-/// tasks now do), merged and sorted one rayon work item per reducer, and
-/// each group is consumed as a borrowed slice — no value is cloned.
-fn new_path<V: Clone + Send>(tasks: &[Vec<(u64, V)>], consume: impl Fn(&[V]) -> u64) -> u64 {
-    let buckets = tasks
-        .iter()
-        .cloned()
-        .map(|pairs| partition_pairs(pairs, hash_partitioner::<u64>, REDUCERS))
-        .collect();
-    let sorted = parallel_shuffle(buckets, REDUCERS);
-    let mut acc = 0u64;
-    for part in &sorted {
-        for (_key, group) in part.groups() {
-            acc = acc.wrapping_add(consume(group));
-        }
-    }
-    acc
-}
-
-fn consume_u64(vs: &[u64]) -> u64 {
-    vs.iter().fold(0u64, |a, &v| a.wrapping_add(v))
-}
-
-fn consume_blocks(vs: &[Vec<u64>]) -> u64 {
-    vs.iter()
-        .map(|b| b.iter().fold(0u64, |a, &v| a.wrapping_add(v)))
-        .fold(0u64, |a, v| a.wrapping_add(v))
-}
 
 fn bench_shuffle(c: &mut Criterion) {
     let control = control_outputs();
@@ -111,84 +29,80 @@ fn bench_shuffle(c: &mut Criterion) {
     let mut group = c.benchmark_group("shuffle");
     group.sample_size(10);
     group.bench_function("control/old_single_thread", |b| {
-        b.iter(|| old_path(black_box(&control), consume_u64))
+        b.iter(|| shuffle_old_path(black_box(&control), consume_u64))
     });
     group.bench_function("control/new_parallel", |b| {
-        b.iter(|| new_path(black_box(&control), consume_u64))
+        b.iter(|| shuffle_new_path(black_box(&control), consume_u64))
     });
     group.bench_function("blocks/old_clone_groups", |b| {
-        b.iter(|| old_path(black_box(&blocks), consume_blocks))
+        b.iter(|| shuffle_old_path(black_box(&blocks), consume_blocks))
     });
     group.bench_function("blocks/new_borrowed_groups", |b| {
-        b.iter(|| new_path(black_box(&blocks), consume_blocks))
+        b.iter(|| shuffle_new_path(black_box(&blocks), consume_blocks))
     });
     group.finish();
 
-    write_sample(&control, &blocks);
+    write_sample();
 }
 
-/// One wall-clock sample per path and workload (best of 3), saved to
-/// `BENCH_pr3.json`.
-fn write_sample(control: &[Vec<(u64, u64)>], blocks: &[Vec<(u64, Vec<u64>)>]) {
-    fn best3(f: impl Fn() -> u64) -> f64 {
-        (0..3)
-            .map(|_| {
-                let t0 = Instant::now();
-                black_box(f());
-                t0.elapsed().as_secs_f64()
-            })
-            .fold(f64::INFINITY, f64::min)
-    }
-    let control_old = best3(|| old_path(control, consume_u64));
-    let control_new = best3(|| new_path(control, consume_u64));
-    let blocks_old = best3(|| old_path(blocks, consume_blocks));
-    let blocks_new = best3(|| new_path(blocks, consume_blocks));
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"shuffle\",\n",
-            "  \"tasks\": {tasks},\n",
-            "  \"reducers\": {reducers},\n",
-            "  \"cores\": {cores},\n",
-            "  \"control\": {{\n",
-            "    \"pairs_per_task\": {cp},\n",
-            "    \"old_single_thread_secs\": {co:.6},\n",
-            "    \"new_parallel_secs\": {cn:.6},\n",
-            "    \"speedup\": {cs:.3}\n",
-            "  }},\n",
-            "  \"blocks\": {{\n",
-            "    \"pairs_per_task\": {bp},\n",
-            "    \"block_len\": {bl},\n",
-            "    \"old_clone_groups_secs\": {bo:.6},\n",
-            "    \"new_borrowed_groups_secs\": {bn:.6},\n",
-            "    \"speedup\": {bs:.3}\n",
-            "  }}\n",
-            "}}\n"
-        ),
-        tasks = TASKS,
-        reducers = REDUCERS,
-        cores = cores,
-        cp = CONTROL_PAIRS,
-        co = control_old,
-        cn = control_new,
-        cs = control_old / control_new,
-        bp = BLOCK_PAIRS,
-        bl = BLOCK_LEN,
-        bo = blocks_old,
-        bn = blocks_new,
-        bs = blocks_old / blocks_new,
-    );
-    // Repo root: two levels above this crate's manifest dir.
-    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let path = std::path::Path::new(root).join("BENCH_pr3.json");
-    if let Err(e) = std::fs::write(&path, &json) {
+#[derive(serde::Serialize)]
+struct ControlDetail {
+    pairs_per_task: usize,
+    old_single_thread_secs: f64,
+    new_parallel_secs: f64,
+}
+
+#[derive(serde::Serialize)]
+struct BlocksDetail {
+    pairs_per_task: usize,
+    block_len: usize,
+    old_clone_groups_secs: f64,
+    new_borrowed_groups_secs: f64,
+}
+
+#[derive(serde::Serialize)]
+struct ShuffleDetail {
+    tasks: usize,
+    reducers: usize,
+    control: ControlDetail,
+    blocks: BlocksDetail,
+}
+
+/// One wall-clock sample per path and workload (best of 3), saved as a
+/// `mrinv-bench/v1` file to `BENCH_pr3.json`.
+fn write_sample() {
+    let s = measure_shuffle();
+    let mut file = BenchFile::new("shuffle");
+    // The control speedup needs >1 core, so it is recorded but not
+    // regression-tracked; the blocks speedup (clone avoidance) holds on
+    // any core count and gates `repro bench-check`.
+    file.push_metric("control_speedup", s.control_speedup(), "ratio", false);
+    file.push_metric("blocks_speedup", s.blocks_speedup(), "ratio", true);
+    file.detail = serde_json::to_value(&ShuffleDetail {
+        tasks: SHUFFLE_TASKS,
+        reducers: SHUFFLE_REDUCERS,
+        control: ControlDetail {
+            pairs_per_task: CONTROL_PAIRS,
+            old_single_thread_secs: s.control_old,
+            new_parallel_secs: s.control_new,
+        },
+        blocks: BlocksDetail {
+            pairs_per_task: BLOCK_PAIRS,
+            block_len: BLOCK_LEN,
+            old_clone_groups_secs: s.blocks_old,
+            new_borrowed_groups_secs: s.blocks_new,
+        },
+    });
+
+    let path = baseline_path("BENCH_pr3.json");
+    if let Err(e) = file.save(&path) {
         eprintln!("could not write {}: {e}", path.display());
     } else {
         println!(
-            "shuffle sample on {cores} cores: control {:.2}x, blocks {:.2}x -> BENCH_pr3.json",
-            control_old / control_new,
-            blocks_old / blocks_new
+            "shuffle sample on {} cores: control {:.2}x, blocks {:.2}x -> BENCH_pr3.json",
+            file.cores,
+            s.control_speedup(),
+            s.blocks_speedup()
         );
     }
 }

@@ -26,7 +26,13 @@
 //!   resume     driver-crash recovery: kill a checkpointed pipeline after
 //!              every job prefix, resume from the manifest, report saved
 //!              vs redone simulated time
-//!   all        everything above
+//!   obs-check  quick observability gate: a traced n=64/nb=4 inversion
+//!              must export valid Prometheus text and a cost-model audit
+//!              whose residuals stay under the pinned threshold
+//!   bench-check regression gate: re-measures every tracked metric of the
+//!              committed BENCH_*.json baselines and fails if one lost
+//!              more than 15%
+//!   all        everything above except the two check gates
 //! ```
 //!
 //! Results print as aligned tables and also land in `results/<exp>.csv`.
@@ -39,8 +45,9 @@ use mrinv_bench::experiments::{
     accuracy, fig6, fig7, fig8, nb_sweep, resume_recovery, sec74, sec74_node, sec8_spark,
     section2_methods, stragglers, table1, table2, table3,
 };
+use mrinv_bench::schema::{baseline_path, check_regression, BenchFile, REGRESSION_TOLERANCE};
 use mrinv_bench::suite::SuiteMatrix;
-use mrinv_bench::{write_csv, write_results_file};
+use mrinv_bench::{micro, write_csv, write_results_file};
 
 #[derive(Debug)]
 struct Args {
@@ -83,7 +90,7 @@ fn parse_args() -> Args {
         }
     }
     if args.experiment.is_empty() {
-        die("usage: repro <table1|table2|table3|fig6|fig7|fig8|sec74|sec74-node|accuracy|nb-sweep|spark|resume|all> [--scale S] [--nodes a,b,c] [--no-scalapack]");
+        die("usage: repro <table1|table2|table3|fig6|fig7|fig8|sec74|sec74-node|accuracy|nb-sweep|spark|resume|obs-check|bench-check|all> [--scale S] [--nodes a,b,c] [--no-scalapack]");
     }
     args
 }
@@ -110,6 +117,8 @@ fn main() {
         "section2" => run_section2(&args),
         "stragglers" => run_stragglers(&args),
         "resume" => run_resume(&args),
+        "obs-check" => run_obs_check(&args),
+        "bench-check" => run_bench_check(&args),
         other => die(&format!("unknown experiment {other:?}")),
     };
     if args.experiment == "all" {
@@ -596,6 +605,142 @@ fn run_resume(args: &Args) {
         "(every resumed inverse bit-identical to the uninterrupted run: {})\n-> {path}",
         if identical { "yes" } else { "NO" }
     );
+}
+
+/// Quick observability gate (the CI fixture): a traced n=64/nb=4
+/// inversion on 4 medium nodes must produce parseable Prometheus text
+/// containing the task-latency histograms and kernel series, and a
+/// cost-model audit whose residuals stay under the pinned threshold.
+fn run_obs_check(_args: &Args) {
+    use mrinv_mapreduce::{Cluster, ClusterConfig};
+
+    println!("\n== Observability gate: n=64 nb=4 inversion, Prometheus + cost-model audit ==");
+    let mut cfg = ClusterConfig::medium(4);
+    cfg.tracing = true;
+    cfg.observability = true;
+    let cluster = Cluster::new(cfg);
+    mrinv_matrix::kernel::perf::reset();
+    mrinv_matrix::kernel::perf::set_enabled(true);
+    let a = mrinv_matrix::random::random_well_conditioned(64, 42);
+    let out = mrinv::invert(&cluster, &a, &mrinv::InversionConfig::with_nb(4))
+        .unwrap_or_else(|e| die(&format!("obs-check inversion failed: {e}")));
+    mrinv_matrix::kernel::perf::set_enabled(false);
+
+    let mut failed = false;
+    let text = mrinv::obs::full_snapshot(&cluster).prometheus_text();
+    match mrinv_mapreduce::obs::validate_prometheus_text(&text) {
+        Ok(()) => println!("prometheus text: {} lines, valid", text.lines().count()),
+        Err(e) => {
+            println!("prometheus text INVALID: {e}");
+            failed = true;
+        }
+    }
+    for needle in [
+        "mrinv_task_run_seconds_bucket{",
+        "mrinv_kernel_gflops{backend=",
+        "mrinv_job_seconds_count{",
+    ] {
+        if !text.contains(needle) {
+            println!("prometheus text MISSING expected series {needle:?}");
+            failed = true;
+        }
+    }
+    let path = write_results_file("obs_check.prom", &text).unwrap();
+    println!("-> {path}");
+
+    match &out.report.audit {
+        Some(audit) => {
+            println!(
+                "cost audit: {} task(s), max |residual| {:.4} (threshold {:.2}), {} flagged, structure {}",
+                audit.tasks,
+                audit.max_abs_residual,
+                audit.threshold,
+                audit.flagged.len(),
+                if audit.structure_ok { "ok" } else { "BROKEN" }
+            );
+            if !audit.within_threshold || !audit.structure_ok || audit.tasks == 0 {
+                for s in &audit.stages {
+                    println!(
+                        "  stage {}: ratio {:.3} (band [{}, {}]) {}",
+                        s.stage,
+                        s.ratio,
+                        s.band_lo,
+                        s.band_hi,
+                        if s.within_band { "ok" } else { "OFF" }
+                    );
+                }
+                failed = true;
+            }
+        }
+        None => {
+            println!("cost audit MISSING (tracing was on, audit should attach)");
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("repro: obs-check FAILED");
+        std::process::exit(1);
+    }
+    println!("obs-check passed");
+}
+
+/// Bench regression gate: re-measures every tracked metric of the
+/// committed `BENCH_*.json` baselines with the shared `micro`
+/// measurement code and fails when one lost more than
+/// [`REGRESSION_TOLERANCE`].
+fn run_bench_check(_args: &Args) {
+    println!(
+        "\n== Bench regression gate: tracked metrics vs committed baselines (tolerance {:.0}%) ==",
+        REGRESSION_TOLERANCE * 100.0
+    );
+    println!(
+        "{:>44} {:>10} {:>10} {:>7} {:>8}",
+        "metric", "baseline", "current", "ratio", "verdict"
+    );
+    let mut failed = false;
+    for name in ["BENCH_pr3.json", "BENCH_pr5.json"] {
+        let file = match BenchFile::load(&baseline_path(name)) {
+            Ok(f) => f,
+            Err(e) => {
+                println!("{name}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        for m in file.tracked() {
+            let current = match (file.bench.as_str(), m.id.as_str()) {
+                ("shuffle", "blocks_speedup") => micro::measure_shuffle().blocks_speedup(),
+                ("gemm", "packed_serial_speedup_vs_naive_at_512") => {
+                    micro::gemm_packed_serial_speedup(512)
+                }
+                _ => {
+                    println!(
+                        "{:>44} {:>10.3} {:>10} {:>7} {:>8}",
+                        m.id, m.value, "?", "?", "UNKNOWN"
+                    );
+                    failed = true;
+                    continue;
+                }
+            };
+            let check = check_regression(m, current);
+            println!(
+                "{:>44} {:>10.3} {:>10.3} {:>7.3} {:>8}",
+                check.id,
+                check.baseline,
+                check.current,
+                check.ratio,
+                if check.ok { "ok" } else { "REGRESSED" }
+            );
+            failed |= !check.ok;
+        }
+    }
+    if failed {
+        eprintln!(
+            "repro: bench-check FAILED (if the loss is intended, regenerate the baselines with `cargo bench --bench shuffle --bench gemm`)"
+        );
+        std::process::exit(1);
+    }
+    println!("bench-check passed");
 }
 
 fn run_accuracy(args: &Args) {

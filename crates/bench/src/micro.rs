@@ -1,0 +1,291 @@
+//! Shared wall-clock microbench measurements.
+//!
+//! The Criterion benches (`benches/gemm.rs`, `benches/shuffle.rs`) and
+//! the `repro bench-check` regression gate must price *exactly* the same
+//! code paths, or the committed baselines and the check would drift
+//! apart. Both call into this module: the workload builders, the
+//! old-vs-new data paths, and the best-of-3 sampler live here once.
+
+use mrinv_mapreduce::job::hash_partitioner;
+use mrinv_mapreduce::shuffle::{parallel_shuffle, partition_pairs, reference_shuffle};
+use mrinv_matrix::kernel::{
+    gemm_flops, gemm_with, notrans, Blocked, GemmBackend, Naive, Packed, Strided,
+};
+use mrinv_matrix::random::random_matrix;
+use mrinv_matrix::Matrix;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-3 wall-clock of `f`, in seconds.
+pub fn best3(mut f: impl FnMut()) -> f64 {
+    (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+// ---------------------------------------------------------------------
+// GEMM ladder
+// ---------------------------------------------------------------------
+
+/// The kernel ladder benched by `benches/gemm.rs`, worst to best.
+pub fn gemm_ladder() -> Vec<(&'static str, Box<dyn GemmBackend>)> {
+    vec![
+        ("naive", Box::new(Naive)),
+        ("strided_eq7", Box::new(Strided)),
+        ("blocked_t64", Box::new(Blocked { tile: 64 })),
+        ("packed_serial", Box::new(Packed { parallel: false })),
+        ("packed_parallel", Box::new(Packed { parallel: true })),
+    ]
+}
+
+/// One kernel's sample at one order.
+#[derive(Debug, Clone)]
+pub struct GemmPoint {
+    /// Ladder rung name.
+    pub kernel: &'static str,
+    /// Best-of-3 seconds for one `n x n x n` GEMM.
+    pub secs: f64,
+    /// Effective GFLOP/s.
+    pub gflops: f64,
+    /// Speedup over the `naive` rung at the same order.
+    pub speedup_vs_naive: f64,
+}
+
+/// The full ladder sampled at one order (best of 3 per rung).
+pub fn measure_gemm_order(n: usize) -> Vec<GemmPoint> {
+    let a = random_matrix(n, n, 1);
+    let b = random_matrix(n, n, 2);
+    let mut out = Matrix::zeros(n, n);
+    let flops = gemm_flops(n, n, n) as f64;
+    let mut naive_secs = f64::NAN;
+    let mut points = Vec::new();
+    for (name, backend) in gemm_ladder() {
+        let secs = best3(|| {
+            gemm_with(
+                backend.as_ref(),
+                1.0,
+                notrans(black_box(&a)),
+                notrans(black_box(&b)),
+                0.0,
+                &mut out,
+            )
+            .unwrap()
+        });
+        if name == "naive" {
+            naive_secs = secs;
+        }
+        points.push(GemmPoint {
+            kernel: name,
+            secs,
+            gflops: flops / secs / 1e9,
+            speedup_vs_naive: naive_secs / secs,
+        });
+    }
+    points
+}
+
+/// The tracked GEMM metric: packed-serial speedup over naive at order
+/// `n` (best of 3 each, same buffers).
+pub fn gemm_packed_serial_speedup(n: usize) -> f64 {
+    let a = random_matrix(n, n, 1);
+    let b = random_matrix(n, n, 2);
+    let mut out = Matrix::zeros(n, n);
+    let mut time = |backend: &dyn GemmBackend| {
+        best3(|| {
+            gemm_with(
+                backend,
+                1.0,
+                notrans(black_box(&a)),
+                notrans(black_box(&b)),
+                0.0,
+                &mut out,
+            )
+            .unwrap()
+        })
+    };
+    let naive = time(&Naive);
+    let packed = time(&Packed { parallel: false });
+    naive / packed
+}
+
+// ---------------------------------------------------------------------
+// Shuffle data paths
+// ---------------------------------------------------------------------
+
+/// Map-task count of the shuffle workloads.
+pub const SHUFFLE_TASKS: usize = 32;
+/// Reducer count of the shuffle workloads.
+pub const SHUFFLE_REDUCERS: usize = 16;
+/// Pairs per task in the `control` workload.
+pub const CONTROL_PAIRS: usize = 20_000;
+/// Pairs per task in the `blocks` workload.
+pub const BLOCK_PAIRS: usize = 2_000;
+/// Payload length in the `blocks` workload.
+pub const BLOCK_LEN: usize = 32;
+
+/// Scatters keys across the space so the per-reducer sorts see unordered
+/// input.
+fn scatter(t: u64, i: u64) -> u64 {
+    (t + i).wrapping_mul(2654435761) % 4096
+}
+
+/// The `control` workload: tiny `u64` pairs, isolating the shuffle's
+/// sort parallelism.
+pub fn control_outputs() -> Vec<Vec<(u64, u64)>> {
+    (0..SHUFFLE_TASKS as u64)
+        .map(|t| {
+            (0..CONTROL_PAIRS as u64)
+                .map(|i| (scatter(t, i), t * 1_000_000 + i))
+                .collect()
+        })
+        .collect()
+}
+
+/// The `blocks` workload: `Vec<u64>` payloads, where per-group value
+/// cloning costs real wall-clock on any core count.
+pub fn block_outputs() -> Vec<Vec<(u64, Vec<u64>)>> {
+    (0..SHUFFLE_TASKS as u64)
+        .map(|t| {
+            (0..BLOCK_PAIRS as u64)
+                .map(|i| (scatter(t, i), vec![t * 1_000_000 + i; BLOCK_LEN]))
+                .collect()
+        })
+        .collect()
+}
+
+/// The pre-PR-3 data path: one thread routes every pair and sorts every
+/// partition, then each group's values are cloned into a fresh `Vec`
+/// before being consumed — exactly the old runner's reduce loop.
+pub fn shuffle_old_path<V: Clone>(tasks: &[Vec<(u64, V)>], consume: impl Fn(&[V]) -> u64) -> u64 {
+    let sorted = reference_shuffle(tasks.to_vec(), hash_partitioner::<u64>, SHUFFLE_REDUCERS);
+    let mut acc = 0u64;
+    for part in &sorted {
+        let keys = part.keys();
+        let vals = part.values();
+        let mut i = 0;
+        while i < keys.len() {
+            let mut j = i + 1;
+            while j < keys.len() && keys[j] == keys[i] {
+                j += 1;
+            }
+            let group: Vec<V> = vals[i..j].to_vec();
+            acc = acc.wrapping_add(consume(&group));
+            i = j;
+        }
+    }
+    acc
+}
+
+/// The current data path: pairs are pre-bucketed per reducer (as the map
+/// tasks now do), merged and sorted one rayon work item per reducer, and
+/// each group is consumed as a borrowed slice — no value is cloned.
+pub fn shuffle_new_path<V: Clone + Send>(
+    tasks: &[Vec<(u64, V)>],
+    consume: impl Fn(&[V]) -> u64,
+) -> u64 {
+    let buckets = tasks
+        .iter()
+        .cloned()
+        .map(|pairs| partition_pairs(pairs, hash_partitioner::<u64>, SHUFFLE_REDUCERS))
+        .collect();
+    let sorted = parallel_shuffle(buckets, SHUFFLE_REDUCERS);
+    let mut acc = 0u64;
+    for part in &sorted {
+        for (_key, group) in part.groups() {
+            acc = acc.wrapping_add(consume(group));
+        }
+    }
+    acc
+}
+
+/// Group consumer for the `control` workload.
+pub fn consume_u64(vs: &[u64]) -> u64 {
+    vs.iter().fold(0u64, |a, &v| a.wrapping_add(v))
+}
+
+/// Group consumer for the `blocks` workload.
+pub fn consume_blocks(vs: &[Vec<u64>]) -> u64 {
+    vs.iter()
+        .map(|b| b.iter().fold(0u64, |a, &v| a.wrapping_add(v)))
+        .fold(0u64, |a, v| a.wrapping_add(v))
+}
+
+/// Best-of-3 seconds for old and new paths on both shuffle workloads.
+#[derive(Debug, Clone)]
+pub struct ShuffleSample {
+    /// `control`, old single-thread path.
+    pub control_old: f64,
+    /// `control`, new parallel path.
+    pub control_new: f64,
+    /// `blocks`, old clone-groups path.
+    pub blocks_old: f64,
+    /// `blocks`, new borrowed-groups path.
+    pub blocks_new: f64,
+}
+
+impl ShuffleSample {
+    /// Speedup of the new path on the `control` workload (core-count
+    /// dependent — not regression-tracked).
+    pub fn control_speedup(&self) -> f64 {
+        self.control_old / self.control_new
+    }
+
+    /// Speedup of the new path on the `blocks` workload (clone
+    /// avoidance — holds on any core count, regression-tracked).
+    pub fn blocks_speedup(&self) -> f64 {
+        self.blocks_old / self.blocks_new
+    }
+}
+
+/// Samples both shuffle paths on both workloads (best of 3 each).
+pub fn measure_shuffle() -> ShuffleSample {
+    let control = control_outputs();
+    let blocks = block_outputs();
+    ShuffleSample {
+        control_old: best3(|| {
+            black_box(shuffle_old_path(&control, consume_u64));
+        }),
+        control_new: best3(|| {
+            black_box(shuffle_new_path(&control, consume_u64));
+        }),
+        blocks_old: best3(|| {
+            black_box(shuffle_old_path(&blocks, consume_blocks));
+        }),
+        blocks_new: best3(|| {
+            black_box(shuffle_new_path(&blocks, consume_blocks));
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_shuffle_paths_agree() {
+        let control = control_outputs();
+        let blocks = block_outputs();
+        assert_eq!(
+            shuffle_old_path(&control, consume_u64),
+            shuffle_new_path(&control, consume_u64)
+        );
+        assert_eq!(
+            shuffle_old_path(&blocks, consume_blocks),
+            shuffle_new_path(&blocks, consume_blocks)
+        );
+    }
+
+    #[test]
+    fn gemm_ladder_measures_every_rung() {
+        let points = measure_gemm_order(32);
+        assert_eq!(points.len(), gemm_ladder().len());
+        assert!((points[0].speedup_vs_naive - 1.0).abs() < 1e-12);
+        for p in &points {
+            assert!(p.secs > 0.0 && p.gflops > 0.0, "{p:?}");
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The unified `BENCH_*.json` schema (`mrinv-bench/v1`).
+//!
+//! The committed bench baselines started life as two ad-hoc JSON shapes
+//! (the PR 3 shuffle sample and the PR 5 GEMM ladder had nothing in
+//! common). This module gives every baseline file the same envelope:
+//!
+//! ```json
+//! {
+//!   "schema": "mrinv-bench/v1",
+//!   "bench": "gemm",
+//!   "cores": 8,
+//!   "metrics": [
+//!     { "id": "packed_serial_speedup_vs_naive_at_512", "value": 3.4,
+//!       "unit": "ratio", "higher_is_better": true, "tracked": true }
+//!   ],
+//!   "detail": { ... }
+//! }
+//! ```
+//!
+//! `metrics` is the flat, machine-checkable summary; `tracked` marks the
+//! regression-gated ones (`repro bench-check` re-measures those and fails
+//! when the fresh value falls more than [`REGRESSION_TOLERANCE`] below
+//! the committed baseline). `detail` carries the bench's full
+//! per-point payload — whatever shape it likes — for humans and plots.
+//!
+//! Tracked metrics should be machine-relative **ratios** (speedup of one
+//! code path over another measured in the same process), not absolute
+//! seconds: ratios survive a hardware change; wall-clock does not.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// Current schema identifier, stored in every file's `schema` field.
+pub const SCHEMA: &str = "mrinv-bench/v1";
+
+/// Allowed relative regression before `repro bench-check` fails: a
+/// tracked metric may lose up to 15% against its committed baseline.
+pub const REGRESSION_TOLERANCE: f64 = 0.15;
+
+/// One scalar summary metric of a bench run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchMetric {
+    /// Stable identifier, e.g. `packed_serial_speedup_vs_naive_at_512`.
+    pub id: String,
+    /// The measured value.
+    pub value: f64,
+    /// Unit label (`ratio`, `gflops`, `secs`, ...) — informational.
+    pub unit: String,
+    /// Direction of improvement (drives the regression comparison).
+    pub higher_is_better: bool,
+    /// Whether `repro bench-check` gates on this metric.
+    pub tracked: bool,
+}
+
+/// A whole `BENCH_*.json` file: envelope + metrics + free-form detail.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchFile {
+    /// Schema identifier; must equal [`SCHEMA`].
+    pub schema: String,
+    /// Bench name (`shuffle`, `gemm`, ...).
+    pub bench: String,
+    /// Core count of the machine the sample was taken on.
+    pub cores: usize,
+    /// Flat scalar summary, regression-checkable.
+    pub metrics: Vec<BenchMetric>,
+    /// Bench-specific full payload (per-order tables etc.).
+    pub detail: serde_json::Value,
+}
+
+impl BenchFile {
+    /// An empty file for `bench` stamped with the current schema and the
+    /// machine's core count.
+    pub fn new(bench: &str) -> Self {
+        BenchFile {
+            schema: SCHEMA.to_string(),
+            bench: bench.to_string(),
+            cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            metrics: Vec::new(),
+            detail: serde_json::Value::Null,
+        }
+    }
+
+    /// Appends one metric.
+    pub fn push_metric(&mut self, id: &str, value: f64, unit: &str, tracked: bool) {
+        self.metrics.push(BenchMetric {
+            id: id.to_string(),
+            value,
+            unit: unit.to_string(),
+            // Every metric this harness records so far improves upward
+            // (speedups, GFLOP/s); a future lower-is-better one can flip
+            // the field after pushing.
+            higher_is_better: true,
+            tracked,
+        });
+    }
+
+    /// Looks up a metric by id.
+    pub fn metric(&self, id: &str) -> Option<&BenchMetric> {
+        self.metrics.iter().find(|m| m.id == id)
+    }
+
+    /// The regression-gated metrics.
+    pub fn tracked(&self) -> impl Iterator<Item = &BenchMetric> {
+        self.metrics.iter().filter(|m| m.tracked)
+    }
+
+    /// Serializes to pretty JSON (trailing newline included).
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("bench file serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Writes the file to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads and validates a baseline file: parse errors and schema
+    /// mismatches (including pre-v1 ad-hoc files, which lack the
+    /// `schema` field entirely) are reported as one readable string.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let file: BenchFile = serde_json::from_str(&text).map_err(|e| {
+            format!(
+                "{} does not parse as {SCHEMA} (regenerate with `cargo bench`): {e}",
+                path.display()
+            )
+        })?;
+        if file.schema != SCHEMA {
+            return Err(format!(
+                "{}: schema {:?}, expected {SCHEMA:?} (regenerate with `cargo bench`)",
+                path.display(),
+                file.schema
+            ));
+        }
+        Ok(file)
+    }
+}
+
+/// Absolute path of a `BENCH_*.json` baseline at the repository root.
+pub fn baseline_path(name: &str) -> PathBuf {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join(name)
+}
+
+/// Verdict of one tracked metric against its baseline.
+#[derive(Debug, Clone)]
+pub struct RegressionCheck {
+    /// Metric id.
+    pub id: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// `current / baseline` (improvement direction normalized so that
+    /// `>= 1 - REGRESSION_TOLERANCE` passes).
+    pub ratio: f64,
+    /// Whether the metric is within tolerance.
+    pub ok: bool,
+}
+
+/// Compares a fresh measurement against a baseline metric.
+pub fn check_regression(m: &BenchMetric, current: f64) -> RegressionCheck {
+    let ratio = if m.higher_is_better {
+        current / m.value
+    } else {
+        m.value / current
+    };
+    RegressionCheck {
+        id: m.id.clone(),
+        baseline: m.value,
+        current,
+        ratio,
+        ok: ratio >= 1.0 - REGRESSION_TOLERANCE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_validates() {
+        let mut f = BenchFile::new("gemm");
+        f.push_metric("speedup", 3.0, "ratio", true);
+        f.detail = serde_json::to_value(&vec![64usize, 128]);
+        let json = f.to_json();
+        let back: BenchFile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema, SCHEMA);
+        assert_eq!(back.bench, "gemm");
+        assert_eq!(back.tracked().count(), 1);
+        assert_eq!(back.metric("speedup").unwrap().value, 3.0);
+    }
+
+    #[test]
+    fn old_adhoc_files_fail_cleanly() {
+        let dir = std::env::temp_dir().join("mrinv-bench-schema-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("old.json");
+        std::fs::write(&path, r#"{"bench": "shuffle", "tasks": 32}"#).unwrap();
+        let err = BenchFile::load(&path).unwrap_err();
+        assert!(err.contains("regenerate"), "err: {err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn regression_check_direction() {
+        let m = BenchMetric {
+            id: "s".into(),
+            value: 2.0,
+            unit: "ratio".into(),
+            higher_is_better: true,
+            tracked: true,
+        };
+        assert!(check_regression(&m, 2.0).ok);
+        assert!(check_regression(&m, 1.8).ok, "within 15%");
+        assert!(!check_regression(&m, 1.6).ok, "20% down fails");
+        let lower = BenchMetric {
+            higher_is_better: false,
+            ..m
+        };
+        assert!(check_regression(&lower, 2.2).ok);
+        assert!(!check_regression(&lower, 2.6).ok);
+    }
+}

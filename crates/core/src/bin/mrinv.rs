@@ -4,9 +4,11 @@
 //! ```text
 //! mrinv invert --input a.txt --output inv.txt [--nodes 4] [--nb 200]
 //!              [--trace-out trace.json] [--metrics-json metrics.json]
+//!              [--metrics-prom metrics.prom] [--progress]
 //!              [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]
 //! mrinv lu     --input a.txt --l l.txt --u u.txt [--nodes 4] [--nb 200]
 //!              [--trace-out trace.json] [--metrics-json metrics.json]
+//!              [--metrics-prom metrics.prom] [--progress]
 //!              [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]
 //! mrinv gen    --order 512 --output a.txt [--seed 42]
 //! ```
@@ -17,12 +19,17 @@
 //!
 //! The human-readable run summary goes to **stderr**; machine-readable
 //! output is opt-in: `--metrics-json` writes the [`mrinv::RunReport`]
-//! (including per-wave straggler analytics) as JSON, and `--trace-out`
-//! writes a Chrome/Perfetto `trace_events` file of the whole pipeline on
-//! the simulated clock — open it at `ui.perfetto.dev` or
-//! `chrome://tracing`. Either flag may be `-` for stdout. Passing either
-//! flag enables per-task tracing for the run (off otherwise, at zero
-//! cost).
+//! (including per-wave straggler analytics and the cost-model audit) as
+//! JSON, `--metrics-prom` writes the labeled metric registry (task
+//! latency histograms, per-node utilization, kernel GFLOP/s) in
+//! Prometheus text exposition format, and `--trace-out` writes a
+//! Chrome/Perfetto `trace_events` file of the whole pipeline on the
+//! simulated clock — open it at `ui.perfetto.dev` or `chrome://tracing`.
+//! Any of these flags may be `-` for stdout. Passing any of them enables
+//! per-task tracing and the labeled registry for the run (off otherwise,
+//! at zero cost); `--metrics-prom` and `--metrics-json` also turn on the
+//! kernel engine's per-backend perf counters. `--progress` prints a live
+//! one-line jobs/ETA meter to stderr while the pipeline runs.
 //!
 //! `--checkpoint` records a job manifest under `--workdir` so a killed
 //! pipeline can be resumed with `--resume`. The DFS is in-memory, so the
@@ -47,6 +54,8 @@ struct Opts {
     u_out: Option<String>,
     trace_out: Option<String>,
     metrics_json: Option<String>,
+    metrics_prom: Option<String>,
+    progress: bool,
     nodes: usize,
     nb: usize,
     order: usize,
@@ -75,7 +84,7 @@ impl Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mrinv invert --input a.txt --output inv.txt [--nodes N] [--nb NB] [--trace-out T.json] [--metrics-json M.json] [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]\n  mrinv lu --input a.txt --l l.txt --u u.txt [--nodes N] [--nb NB] [--trace-out T.json] [--metrics-json M.json] [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]\n  mrinv gen --order N --output a.txt [--seed S]"
+        "usage:\n  mrinv invert --input a.txt --output inv.txt [--nodes N] [--nb NB] [--trace-out T.json] [--metrics-json M.json] [--metrics-prom M.prom] [--progress] [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]\n  mrinv lu --input a.txt --l l.txt --u u.txt [--nodes N] [--nb NB] [--trace-out T.json] [--metrics-json M.json] [--metrics-prom M.prom] [--progress] [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]\n  mrinv gen --order N --output a.txt [--seed S]"
     );
     exit(2)
 }
@@ -89,6 +98,8 @@ fn parse() -> Opts {
         u_out: None,
         trace_out: None,
         metrics_json: None,
+        metrics_prom: None,
+        progress: false,
         nodes: 4,
         nb: 200,
         order: 0,
@@ -109,6 +120,8 @@ fn parse() -> Opts {
             "--u" => opts.u_out = Some(val()),
             "--trace-out" => opts.trace_out = Some(val()),
             "--metrics-json" => opts.metrics_json = Some(val()),
+            "--metrics-prom" => opts.metrics_prom = Some(val()),
+            "--progress" => opts.progress = true,
             "--nodes" => opts.nodes = val().parse().unwrap_or_else(|_| usage()),
             "--nb" => opts.nb = val().parse().unwrap_or_else(|_| usage()),
             "--order" => opts.order = val().parse().unwrap_or_else(|_| usage()),
@@ -154,11 +167,19 @@ fn write_output(path: &str, content: &str, what: &str) {
     }
 }
 
-/// Builds the cluster, with per-task tracing on when any observability
-/// output was requested.
+/// Builds the cluster, with per-task tracing and the labeled metric
+/// registry on when any observability output was requested. Metrics
+/// output also enables the kernel engine's per-backend perf counters
+/// (process-wide, so the exported GFLOP/s covers the real GEMM work).
 fn build_cluster(opts: &Opts) -> Cluster {
+    let wants_metrics = opts.metrics_json.is_some() || opts.metrics_prom.is_some();
     let mut cfg = ClusterConfig::medium(opts.nodes);
-    cfg.tracing = opts.trace_out.is_some() || opts.metrics_json.is_some();
+    cfg.tracing = opts.trace_out.is_some() || wants_metrics;
+    cfg.observability = wants_metrics;
+    cfg.progress = opts.progress;
+    if wants_metrics {
+        mrinv_matrix::kernel::perf::set_enabled(true);
+    }
     let cluster = Cluster::new(cfg);
     if let Some(k) = opts.kill_after {
         cluster.faults.kill_driver_after(k);
@@ -205,6 +226,26 @@ fn emit_observability(opts: &Opts, cluster: &Cluster, report: &RunReport) {
             exit(1)
         });
         write_output(path, &json, "metrics");
+    }
+    if let Some(path) = &opts.metrics_prom {
+        let text = mrinv::obs::full_snapshot(cluster).prometheus_text();
+        write_output(path, &text, "prometheus metrics");
+    }
+    if let Some(audit) = &report.audit {
+        eprintln!(
+            "  cost model: {} task(s) audited, max |residual| {:.4} (mean {:.4}), \
+             {} flagged over {:.0}% threshold{}",
+            audit.tasks,
+            audit.max_abs_residual,
+            audit.mean_abs_residual,
+            audit.flagged.len(),
+            audit.threshold * 100.0,
+            if audit.within_threshold {
+                ""
+            } else {
+                " [MODEL DRIFT]"
+            }
+        );
     }
     if let Some(analytics) = &report.analytics {
         let ratio = analytics.worst_straggler_ratio();

@@ -130,13 +130,27 @@ pub fn invert_run(
     let plan = PartitionPlan::new(n, cluster, cfg, run.dir());
     ingest_input(cluster, a, &plan)?;
 
+    let planned_jobs = crate::schedule::total_jobs(n, cfg.nb);
     let mut driver = make_driver(cluster, run, mode)?;
     driver.set_config_fingerprint(run_fingerprint(&plan, &cfg.opts));
+    if cluster.config.progress {
+        driver.enable_progress(planned_jobs);
+    }
     let (tree, _) = run_partition_job(&mut driver, &plan)?;
     let factors = lu_decompose_mr(&mut driver, BlockView::Tree(tree), &plan, &cfg.opts)?;
     let inverse = invert_factors_mr(&mut driver, &factors, &plan, &cfg.opts)?;
 
-    let report = driver.finish(n, cfg.nb);
+    let mut report = driver.finish(n, cfg.nb);
+    if cluster.trace.is_enabled() {
+        report.audit = Some(crate::audit::cost_audit(
+            cluster,
+            driver.reports(),
+            planned_jobs,
+            n,
+            cfg.nb,
+            report.dfs_bytes_written,
+        ));
+    }
     Ok(InverseOutput { inverse, report })
 }
 
@@ -165,12 +179,27 @@ pub fn lu_run(
     let plan = PartitionPlan::new(n, cluster, cfg, run.dir());
     ingest_input(cluster, a, &plan)?;
 
+    // Partition + LU pipeline: everything but the final inversion job.
+    let planned_jobs = crate::schedule::total_jobs(n, cfg.nb) - 1;
     let mut driver = make_driver(cluster, run, mode)?;
     driver.set_config_fingerprint(run_fingerprint(&plan, &cfg.opts));
+    if cluster.config.progress {
+        driver.enable_progress(planned_jobs);
+    }
     let (tree, _) = run_partition_job(&mut driver, &plan)?;
     let factors = lu_decompose_mr(&mut driver, BlockView::Tree(tree), &plan, &cfg.opts)?;
 
-    let report = driver.finish(n, cfg.nb);
+    let mut report = driver.finish(n, cfg.nb);
+    if cluster.trace.is_enabled() {
+        report.audit = Some(crate::audit::cost_audit(
+            cluster,
+            driver.reports(),
+            planned_jobs,
+            n,
+            cfg.nb,
+            report.dfs_bytes_written,
+        ));
+    }
 
     let mut io = MasterIo::new(&cluster.dfs);
     let l = factors.assemble_l(&mut io)?;

@@ -32,6 +32,8 @@
 //! | Triangular inverses + product (Eq. 4) | 1 | [`tri_inv_mr`] |
 //!
 //! Supporting pieces: [`schedule`] (the precomputed pipeline shape),
+//! [`audit`] (the cost-model audit: predicted-vs-priced task residuals),
+//! [`obs`] (the exportable metrics snapshot, registry + kernel perf),
 //! [`source`] (descriptor-based submatrix storage, Section 5.2),
 //! [`factors`] (the separate-files factor forest, Section 6.1),
 //! [`theory`] (the closed forms of Tables 1–2), [`inmem`] (the same
@@ -45,12 +47,14 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod config;
 pub mod error;
 pub mod factors;
 pub mod inmem;
 pub mod inverse;
 pub mod lu_mr;
+pub mod obs;
 pub mod ops;
 pub mod partition;
 pub mod report;

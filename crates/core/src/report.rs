@@ -76,6 +76,7 @@ mod tests {
             data_local_fraction: 0.75,
             remote_read_bytes: 2048,
             analytics: None,
+            audit: None,
         };
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("\"jobs\": 9"), "json {json}");

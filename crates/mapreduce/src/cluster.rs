@@ -29,6 +29,16 @@ pub struct ClusterConfig {
     /// default: tracing costs one atomic load per event site when
     /// disabled, and nothing else).
     pub tracing: bool,
+    /// Record labeled metrics (per-job/wave/node latency histograms,
+    /// utilization, failure classes) in the cluster's
+    /// [`crate::obs::Registry`]. Off by default with the same contract as
+    /// [`ClusterConfig::tracing`]: one relaxed atomic load per disabled
+    /// recording site.
+    pub observability: bool,
+    /// Print a live progress line to stderr as the pipeline driver steps
+    /// through jobs (jobs done, simulated seconds, model-predicted ETA).
+    /// Off by default.
+    pub progress: bool,
     /// Declare a task attempt dead once its simulated duration exceeds
     /// this many seconds (Hadoop's `mapred.task.timeout`). `None` (the
     /// default) disables timeouts. Timed-out attempts are retried on
@@ -53,6 +63,8 @@ impl ClusterConfig {
             node_speeds: Vec::new(),
             speculative_execution: true,
             tracing: false,
+            observability: false,
+            progress: false,
             task_timeout_secs: None,
             retry_backoff_base_secs: 1.0,
             retry_backoff_cap_secs: 60.0,
@@ -70,6 +82,8 @@ impl ClusterConfig {
             node_speeds: Vec::new(),
             speculative_execution: true,
             tracing: false,
+            observability: false,
+            progress: false,
             task_timeout_secs: None,
             retry_backoff_base_secs: 1.0,
             retry_backoff_cap_secs: 60.0,
@@ -127,12 +141,16 @@ impl Cluster {
         if config.tracing {
             trace.enable();
         }
+        let metrics = ClusterMetrics::default();
+        if config.observability {
+            metrics.obs().set_enabled(true);
+        }
         Cluster {
             // Blocks are placed across the cluster's own nodes, so a node
             // death can take DFS replicas down with it.
             dfs: Arc::new(Dfs::with_nodes(config.cost.replication, config.nodes)),
             config,
-            metrics: ClusterMetrics::default(),
+            metrics,
             faults: FaultPlan::none(),
             trace,
         }
@@ -151,6 +169,27 @@ impl Cluster {
     /// Total simulated seconds so far.
     pub fn sim_secs(&self) -> f64 {
         self.metrics.sim_secs()
+    }
+
+    /// Full observability snapshot: every registry series plus the DFS
+    /// byte counters and the replica-hit (data-local read) ratio bridged
+    /// in as series, ready for Prometheus/JSON export.
+    pub fn obs_snapshot(&self) -> crate::obs::ObsSnapshot {
+        let mut snap = self.metrics.obs().snapshot();
+        self.dfs.obs_series(&mut snap);
+        let m = self.metrics.snapshot();
+        let total = m.data_local_map_tasks + m.remote_map_tasks;
+        let ratio = if total == 0 {
+            1.0
+        } else {
+            m.data_local_map_tasks as f64 / total as f64
+        };
+        snap.push_gauge(
+            "mrinv_dfs_replica_hit_ratio",
+            crate::obs::Labels::new(),
+            ratio,
+        );
+        snap
     }
 }
 

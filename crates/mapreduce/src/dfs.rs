@@ -366,6 +366,23 @@ impl Dfs {
         }
     }
 
+    /// Bridges the DFS counters into an observability snapshot as
+    /// cluster-global series (the DFS hot path itself stays
+    /// registry-free: these atomics are always on and cost what they
+    /// always did).
+    pub fn obs_series(&self, snap: &mut crate::obs::ObsSnapshot) {
+        let c = self.counters();
+        let none = crate::obs::Labels::new();
+        snap.push_counter("mrinv_dfs_write_bytes_total", none.clone(), c.bytes_written);
+        snap.push_counter("mrinv_dfs_read_bytes_total", none.clone(), c.bytes_read);
+        snap.push_counter(
+            "mrinv_dfs_files_written_total",
+            none.clone(),
+            c.files_written,
+        );
+        snap.push_counter("mrinv_dfs_reads_total", none, c.reads);
+    }
+
     /// Resets the I/O counters (e.g. between experiments on a shared DFS).
     pub fn reset_counters(&self) {
         self.counters.bytes_written.store(0, Ordering::Relaxed);

@@ -178,6 +178,10 @@ pub struct RunReport {
     /// Per-wave straggler/lost-work analytics, present when the cluster
     /// ran with tracing enabled ([`crate::cluster::ClusterConfig::tracing`]).
     pub analytics: Option<PipelineAnalytics>,
+    /// Cost-model audit: predicted-vs-priced residuals per task and
+    /// closed-form stage checks (see [`crate::obs::CostAudit`]). Attached
+    /// by pipelines that run with tracing enabled; `None` otherwise.
+    pub audit: Option<crate::obs::CostAudit>,
 }
 
 impl RunReport {
@@ -216,6 +220,7 @@ impl RunReport {
             },
             remote_read_bytes: metrics_after.remote_read_bytes - metrics_before.remote_read_bytes,
             analytics: None,
+            audit: None,
         }
     }
 }
@@ -246,6 +251,9 @@ pub struct PipelineDriver<'c> {
     restored_sim_secs: f64,
     metrics_start: MetricsSnapshot,
     dfs_start: DfsCountersSnapshot,
+    /// Expected total jobs when the live stderr progress line is on
+    /// (see [`PipelineDriver::enable_progress`]).
+    progress_total: Option<u64>,
 }
 
 impl<'c> PipelineDriver<'c> {
@@ -307,6 +315,38 @@ impl<'c> PipelineDriver<'c> {
             reports: Vec::new(),
             restored_jobs: 0,
             restored_sim_secs: 0.0,
+            progress_total: None,
+        }
+    }
+
+    /// Turns on the live stderr progress line: after each sequenced job
+    /// the driver prints jobs done out of `total_jobs`, the simulated
+    /// clock, and a model-predicted ETA extrapolated from the mean
+    /// simulated job time so far. Pipelines enable this when
+    /// [`crate::cluster::ClusterConfig::progress`] is set.
+    pub fn enable_progress(&mut self, total_jobs: u64) {
+        self.progress_total = Some(total_jobs.max(1));
+    }
+
+    /// Prints one progress line (carriage-return refreshed; newline on the
+    /// final job).
+    fn print_progress(&self) {
+        let Some(total) = self.progress_total else {
+            return;
+        };
+        let done = self.reports.len() as u64;
+        let sim = self.total_sim_secs() + self.cluster.metrics.snapshot().master_secs;
+        let name = self.reports.last().map(|r| r.name.as_str()).unwrap_or("");
+        let eta = if done == 0 {
+            f64::NAN
+        } else {
+            sim / done as f64 * total.saturating_sub(done) as f64
+        };
+        let total = total.max(done);
+        if done >= total {
+            eprintln!("\r[mrinv] jobs {done}/{total} ({name}) sim {sim:.2}s done        ");
+        } else {
+            eprint!("\r[mrinv] jobs {done}/{total} ({name}) sim {sim:.2}s eta {eta:.2}s    ");
         }
     }
 
@@ -370,6 +410,7 @@ impl<'c> PipelineDriver<'c> {
                     self.restored_jobs += 1;
                     self.restored_sim_secs += report.sim_secs;
                     self.reports.push(report.clone());
+                    self.print_progress();
                     return Ok(report);
                 }
             }
@@ -404,6 +445,7 @@ impl<'c> PipelineDriver<'c> {
             self.rewrite_manifest();
         }
         self.reports.push(report.clone());
+        self.print_progress();
 
         if self.cluster.faults.driver_job_completed() {
             return Err(MrError::DriverKilled {

@@ -61,6 +61,19 @@ impl FailureCause {
             }
         }
     }
+
+    /// Bounded-cardinality failure class, used as the `task_kind` label
+    /// on failure-counter series (no node index or message payload, so
+    /// the label set stays small).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            FailureCause::Injected => "injected",
+            FailureCause::UserError(_) => "user-error",
+            FailureCause::NodeLost(_) => "node-lost",
+            FailureCause::OutputLost(_) => "output-lost",
+            FailureCause::TimedOut { .. } => "timeout",
+        }
+    }
 }
 
 /// A scheduled node death: node `node` dies `after_secs` onto the

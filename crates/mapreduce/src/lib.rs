@@ -31,7 +31,11 @@
 //!   `nb`-sized LU decompositions there);
 //! * [`tracelog`] — one typed event per task attempt, with
 //!   Chrome/Perfetto trace export and per-wave straggler analytics
-//!   (off by default; see [`cluster::ClusterConfig::tracing`]).
+//!   (off by default; see [`cluster::ClusterConfig::tracing`]);
+//! * [`obs`] — the labeled metric registry (counters, gauges, log-bucketed
+//!   histograms keyed by `{job, wave, node, task-kind, gemm-backend}`),
+//!   Prometheus/JSON export, and the cost-model audit report types
+//!   (off by default; see [`cluster::ClusterConfig::observability`]).
 //!
 //! # Simulated time
 //!
@@ -52,6 +56,7 @@ pub mod fault;
 pub mod job;
 pub mod master;
 pub mod metrics;
+pub mod obs;
 pub mod runner;
 pub mod scheduler;
 pub mod shuffle;
@@ -65,6 +70,7 @@ pub use error::{MrError, Result};
 pub use fault::{FailureCause, FaultPlan, Phase};
 pub use job::{JobSpec, MapContext, Mapper, ReduceContext, Reducer, ShuffleSize, TaskStats};
 pub use metrics::MetricsSnapshot;
+pub use obs::{CostAudit, Labels, ObsSnapshot, Registry};
 pub use runner::{run_job, run_map_only, JobReport};
 pub use shuffle::ReducerInput;
 pub use simtime::CostModel;

@@ -30,6 +30,14 @@ pub fn run_on_master_named<T>(cluster: &Cluster, label: &str, f: impl FnOnce() -
     let elapsed = start.elapsed();
     let secs = cluster.config.cost.master_secs(elapsed);
     cluster.metrics.add_master_secs(secs);
+    let obs = cluster.metrics.obs();
+    if obs.is_enabled() {
+        obs.histogram(
+            "mrinv_master_call_seconds",
+            &crate::obs::Labels::new().task_kind(label),
+        )
+        .observe(secs);
+    }
     if cluster.trace.is_enabled() {
         cluster.trace.record(TaskEvent {
             job: label.to_string(),

@@ -1,23 +1,65 @@
 //! Cluster-wide execution metrics.
+//!
+//! [`ClusterMetrics`] is now a thin always-on view over the labeled
+//! [`Registry`]: the ten classic cluster-global
+//! counters are registered as unlabeled series (cached `Arc` handles, so
+//! the hot path is handle atomics only — no map lookup, no lock), and
+//! [`MetricsSnapshot`] remains the flat compatibility view every existing
+//! caller reads. The simulated-time accumulators that used to live behind
+//! `Mutex<f64>` are [`Gauge`]s over `AtomicU64` f64 bit patterns, making
+//! the whole metrics path lock-free.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-/// Live counters accumulated across jobs on one cluster.
-#[derive(Debug, Default)]
+use crate::obs::{Counter, Gauge, Labels, Registry};
+
+/// Live counters accumulated across jobs on one cluster, plus the labeled
+/// observability registry the rich per-job/per-node series live in.
+#[derive(Debug)]
 pub struct ClusterMetrics {
-    jobs: AtomicU64,
-    map_tasks: AtomicU64,
-    reduce_tasks: AtomicU64,
-    task_failures: AtomicU64,
-    shuffle_bytes: AtomicU64,
-    data_local_map_tasks: AtomicU64,
-    remote_map_tasks: AtomicU64,
-    remote_read_bytes: AtomicU64,
-    sim_secs: Mutex<f64>,
-    master_secs: Mutex<f64>,
+    obs: Registry,
+    jobs: Arc<Counter>,
+    map_tasks: Arc<Counter>,
+    reduce_tasks: Arc<Counter>,
+    task_failures: Arc<Counter>,
+    shuffle_bytes: Arc<Counter>,
+    data_local_map_tasks: Arc<Counter>,
+    remote_map_tasks: Arc<Counter>,
+    remote_read_bytes: Arc<Counter>,
+    sim_secs: Arc<Gauge>,
+    master_secs: Arc<Gauge>,
+}
+
+impl Default for ClusterMetrics {
+    fn default() -> Self {
+        let obs = Registry::default();
+        let none = Labels::new();
+        let jobs = obs.counter("mrinv_jobs_total", &none);
+        let map_tasks = obs.counter("mrinv_map_tasks_total", &none);
+        let reduce_tasks = obs.counter("mrinv_reduce_tasks_total", &none);
+        let task_failures = obs.counter("mrinv_task_failures_total", &none);
+        let shuffle_bytes = obs.counter("mrinv_shuffle_bytes_total", &none);
+        let data_local_map_tasks = obs.counter("mrinv_data_local_map_tasks_total", &none);
+        let remote_map_tasks = obs.counter("mrinv_remote_map_tasks_total", &none);
+        let remote_read_bytes = obs.counter("mrinv_remote_read_bytes_total", &none);
+        let sim_secs = obs.gauge("mrinv_sim_seconds", &none);
+        let master_secs = obs.gauge("mrinv_master_seconds", &none);
+        ClusterMetrics {
+            obs,
+            jobs,
+            map_tasks,
+            reduce_tasks,
+            task_failures,
+            shuffle_bytes,
+            data_local_map_tasks,
+            remote_map_tasks,
+            remote_read_bytes,
+            sim_secs,
+            master_secs,
+        }
+    }
 }
 
 /// A point-in-time copy of [`ClusterMetrics`].
@@ -47,88 +89,86 @@ pub struct MetricsSnapshot {
 }
 
 impl ClusterMetrics {
+    /// The labeled observability registry behind these counters. Labeled
+    /// recording sites must check [`Registry::is_enabled`] first; the
+    /// always-on counters below bypass the gate by construction.
+    pub fn obs(&self) -> &Registry {
+        &self.obs
+    }
+
     /// Records a launched job, returning its cluster-wide 0-based
     /// sequence number (used as the job's trace identity).
     pub fn record_job(&self) -> u64 {
-        self.jobs.fetch_add(1, Ordering::Relaxed)
+        self.jobs.fetch_add(1)
     }
 
     /// Records completed map tasks.
     pub fn record_map_tasks(&self, n: u64) {
-        self.map_tasks.fetch_add(n, Ordering::Relaxed);
+        self.map_tasks.add(n);
     }
 
     /// Records completed reduce tasks.
     pub fn record_reduce_tasks(&self, n: u64) {
-        self.reduce_tasks.fetch_add(n, Ordering::Relaxed);
+        self.reduce_tasks.add(n);
     }
 
     /// Records failed task attempts.
     pub fn record_failures(&self, n: u64) {
-        self.task_failures.fetch_add(n, Ordering::Relaxed);
+        self.task_failures.add(n);
     }
 
     /// Records shuffle volume.
     pub fn record_shuffle_bytes(&self, n: u64) {
-        self.shuffle_bytes.fetch_add(n, Ordering::Relaxed);
+        self.shuffle_bytes.add(n);
     }
 
     /// Records one map wave's placement quality: how many tasks ran
     /// data-local vs remote, and the bytes the remote ones pulled across
     /// the network.
     pub fn record_map_locality(&self, local: u64, remote: u64, remote_bytes: u64) {
-        self.data_local_map_tasks
-            .fetch_add(local, Ordering::Relaxed);
-        self.remote_map_tasks.fetch_add(remote, Ordering::Relaxed);
-        self.remote_read_bytes
-            .fetch_add(remote_bytes, Ordering::Relaxed);
+        self.data_local_map_tasks.add(local);
+        self.remote_map_tasks.add(remote);
+        self.remote_read_bytes.add(remote_bytes);
     }
 
-    /// Adds simulated seconds to the cluster clock.
+    /// Adds simulated seconds to the cluster clock (lock-free: a CAS loop
+    /// over the f64 bit pattern).
     pub fn add_sim_secs(&self, secs: f64) {
-        *self.sim_secs.lock() += secs;
+        self.sim_secs.add(secs);
     }
 
     /// Adds simulated master-node compute seconds (also advances the
     /// cluster clock).
     pub fn add_master_secs(&self, secs: f64) {
-        *self.master_secs.lock() += secs;
+        self.master_secs.add(secs);
         self.add_sim_secs(secs);
     }
 
     /// Total simulated seconds so far.
     pub fn sim_secs(&self) -> f64 {
-        *self.sim_secs.lock()
+        self.sim_secs.get()
     }
 
     /// Snapshot of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            jobs: self.jobs.load(Ordering::Relaxed),
-            map_tasks: self.map_tasks.load(Ordering::Relaxed),
-            reduce_tasks: self.reduce_tasks.load(Ordering::Relaxed),
-            task_failures: self.task_failures.load(Ordering::Relaxed),
-            shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
-            data_local_map_tasks: self.data_local_map_tasks.load(Ordering::Relaxed),
-            remote_map_tasks: self.remote_map_tasks.load(Ordering::Relaxed),
-            remote_read_bytes: self.remote_read_bytes.load(Ordering::Relaxed),
-            sim_secs: *self.sim_secs.lock(),
-            master_secs: *self.master_secs.lock(),
+            jobs: self.jobs.get(),
+            map_tasks: self.map_tasks.get(),
+            reduce_tasks: self.reduce_tasks.get(),
+            task_failures: self.task_failures.get(),
+            shuffle_bytes: self.shuffle_bytes.get(),
+            data_local_map_tasks: self.data_local_map_tasks.get(),
+            remote_map_tasks: self.remote_map_tasks.get(),
+            remote_read_bytes: self.remote_read_bytes.get(),
+            sim_secs: self.sim_secs.get(),
+            master_secs: self.master_secs.get(),
         }
     }
 
-    /// Resets everything to zero.
+    /// Resets everything to zero — the compatibility counters and every
+    /// labeled series in the registry (registrations stay live).
     pub fn reset(&self) {
-        self.jobs.store(0, Ordering::Relaxed);
-        self.map_tasks.store(0, Ordering::Relaxed);
-        self.reduce_tasks.store(0, Ordering::Relaxed);
-        self.task_failures.store(0, Ordering::Relaxed);
-        self.shuffle_bytes.store(0, Ordering::Relaxed);
-        self.data_local_map_tasks.store(0, Ordering::Relaxed);
-        self.remote_map_tasks.store(0, Ordering::Relaxed);
-        self.remote_read_bytes.store(0, Ordering::Relaxed);
-        *self.sim_secs.lock() = 0.0;
-        *self.master_secs.lock() = 0.0;
+        self.obs.reset();
     }
 }
 
@@ -187,5 +227,27 @@ mod tests {
         assert!(json.contains("\"shuffle_bytes\":4096"));
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn core_counters_appear_in_the_registry_snapshot() {
+        let m = ClusterMetrics::default();
+        m.record_job();
+        m.add_master_secs(2.0);
+        let obs = m.obs().snapshot();
+        let jobs = obs
+            .counters
+            .iter()
+            .find(|c| c.name == "mrinv_jobs_total")
+            .expect("core counter registered");
+        assert_eq!(jobs.value, 1);
+        let sim = obs
+            .gauges
+            .iter()
+            .find(|g| g.name == "mrinv_sim_seconds")
+            .expect("sim clock registered");
+        assert!((sim.value - 2.0).abs() < 1e-12);
+        // Labeled recording stays off until somebody opts in.
+        assert!(!m.obs().is_enabled());
     }
 }

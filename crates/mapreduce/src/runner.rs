@@ -30,6 +30,7 @@ use crate::cluster::Cluster;
 use crate::error::{MrError, Result};
 use crate::fault::{FailureCause, Phase};
 use crate::job::{JobSpec, MapContext, Mapper, ReduceContext, Reducer, TaskStats};
+use crate::obs::Labels;
 use crate::scheduler::{plan_wave, AttemptOutcome, PlannedTask, WaveFaults, WavePlan};
 use crate::shuffle::{parallel_shuffle, partition_pairs, ReducerInput};
 use crate::tracelog::{TaskEvent, TracePhase};
@@ -78,6 +79,131 @@ struct TaskRun<T> {
     payload: Option<T>,
 }
 
+/// Prometheus `wave` label value for a phase.
+fn wave_label(phase: Phase) -> &'static str {
+    match phase {
+        Phase::Map => "map",
+        Phase::Reduce => "reduce",
+    }
+}
+
+/// Counts one body-level task failure in the labeled registry, classed by
+/// [`FailureCause::kind_label`]. Body failures (injected faults, user
+/// errors) are recorded here as they happen; simulation-level failures
+/// (node losses, lost outputs, timeouts) are recorded per plan by
+/// [`record_wave_obs`] — the two sets are disjoint, so the series never
+/// double-counts a failure.
+fn record_body_failure_obs(cluster: &Cluster, job: &str, phase: Phase, cause: &FailureCause) {
+    let obs = cluster.metrics.obs();
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.counter(
+        "mrinv_task_failures_total",
+        &Labels::new()
+            .job(job)
+            .wave(wave_label(phase))
+            .task_kind(cause.kind_label()),
+    )
+    .add(1);
+}
+
+/// Records one wave's planned schedule into the labeled registry: per-task
+/// run/wait latency histograms, retry and remote-read counters, failure
+/// classes for simulation-level losses, and per-node busy-time/attempt
+/// series (utilization inputs). Handles are resolved once per wave; the
+/// per-attempt loop touches only atomics.
+fn record_wave_obs(cluster: &Cluster, job: &str, phase: Phase, plan: &WavePlan) {
+    let obs = cluster.metrics.obs();
+    if !obs.is_enabled() {
+        return;
+    }
+    let wave = wave_label(phase);
+    let job_wave = Labels::new().job(job).wave(wave);
+    let run_h = obs.histogram("mrinv_task_run_seconds", &job_wave);
+    let wait_h = obs.histogram("mrinv_task_wait_seconds", &job_wave);
+    let attempts_c = obs.counter("mrinv_task_attempts_total", &job_wave);
+    let nodes = cluster.config.nodes.max(1);
+    let mut node_attempts = vec![0u64; nodes];
+    let mut sim_failures: std::collections::BTreeMap<&'static str, u64> = Default::default();
+    for attempts in &plan.attempts {
+        let mut first = true;
+        for a in attempts {
+            attempts_c.add(1);
+            run_h.observe(a.end - a.start);
+            if first {
+                // Wait = time from wave start until the task's first
+                // attempt is placed on a slot.
+                wait_h.observe(a.start);
+                first = false;
+            }
+            if let Some(n) = node_attempts.get_mut(a.node) {
+                *n += 1;
+            }
+            let kind = match &a.outcome {
+                AttemptOutcome::Success | AttemptOutcome::BodyFailed => None,
+                AttemptOutcome::NodeLost(n) => Some(FailureCause::NodeLost(*n).kind_label()),
+                AttemptOutcome::OutputLost(n) => Some(FailureCause::OutputLost(*n).kind_label()),
+                AttemptOutcome::TimedOut { limit_secs } => Some(
+                    FailureCause::TimedOut {
+                        limit_secs: *limit_secs,
+                    }
+                    .kind_label(),
+                ),
+            };
+            if let Some(kind) = kind {
+                *sim_failures.entry(kind).or_default() += 1;
+            }
+        }
+    }
+    for (kind, count) in sim_failures {
+        obs.counter(
+            "mrinv_task_failures_total",
+            &Labels::new().job(job).wave(wave).task_kind(kind),
+        )
+        .add(count);
+    }
+    let retries = plan.extra_attempts();
+    if retries > 0 {
+        obs.counter("mrinv_task_retries_total", &job_wave)
+            .add(retries as u64);
+    }
+    if plan.remote_read_bytes > 0 {
+        obs.counter("mrinv_wave_remote_read_bytes_total", &job_wave)
+            .add(plan.remote_read_bytes);
+    }
+    for (node, (busy, attempts)) in plan
+        .node_busy_secs(nodes)
+        .into_iter()
+        .zip(node_attempts)
+        .enumerate()
+    {
+        if attempts == 0 {
+            continue;
+        }
+        let node_labels = Labels::new().node(node);
+        obs.gauge("mrinv_node_busy_seconds", &node_labels).add(busy);
+        obs.counter("mrinv_node_attempts_total", &node_labels)
+            .add(attempts);
+    }
+}
+
+/// Records job-level series (total simulated seconds, shuffle bytes) for
+/// one completed job.
+fn record_job_obs(cluster: &Cluster, job: &str, sim_secs: f64, shuffle_bytes: u64) {
+    let obs = cluster.metrics.obs();
+    if !obs.is_enabled() {
+        return;
+    }
+    let labels = Labels::new().job(job);
+    obs.histogram("mrinv_job_seconds", &labels)
+        .observe(sim_secs);
+    if shuffle_bytes > 0 {
+        obs.counter("mrinv_job_shuffle_bytes_total", &labels)
+            .add(shuffle_bytes);
+    }
+}
+
 /// Runs one task body with the retry policy, returning the body chain.
 /// Exhausting the attempt budget is NOT an error here — the failed chain
 /// comes back with `payload: None` so the wave planner can still place,
@@ -98,8 +224,10 @@ fn run_with_retries<T>(
             Err(e @ MrError::UserTask { .. }) | Err(e @ MrError::FileNotFound { .. }) => {
                 // User-visible task error: charge nothing measurable (the
                 // body already failed) and retry like Hadoop would.
+                let cause = FailureCause::UserError(e.to_string());
+                record_body_failure_obs(cluster, job, phase, &cause);
                 attempt_stats.push(TaskStats::default());
-                attempt_failures.push(Some(FailureCause::UserError(e.to_string()).label()));
+                attempt_failures.push(Some(cause.label()));
                 cluster.metrics.record_failures(1);
                 continue;
             }
@@ -108,6 +236,7 @@ fn run_with_retries<T>(
         if cluster.faults.should_fail(job, phase, task_index) {
             // The attempt ran to completion but its node "died": the work
             // is lost and charged, and the task is rescheduled.
+            record_body_failure_obs(cluster, job, phase, &FailureCause::Injected);
             attempt_stats.push(stats);
             attempt_failures.push(Some(FailureCause::Injected.label()));
             cluster.metrics.record_failures(1);
@@ -508,6 +637,7 @@ where
         // fail the job with the Hadoop diagnostics.
         let sim_secs = cfg.cost.job_launch_secs + map_plan.makespan_secs;
         cluster.metrics.add_sim_secs(sim_secs);
+        record_wave_obs(cluster, &spec.name, Phase::Map, &map_plan);
         if cluster.trace.is_enabled() {
             trace_span(
                 cluster,
@@ -624,6 +754,9 @@ where
         + shuffle_secs
         + reduce_plan.makespan_secs;
     cluster.metrics.add_sim_secs(sim_secs);
+    record_wave_obs(cluster, &spec.name, Phase::Map, &map_plan);
+    record_wave_obs(cluster, &spec.name, Phase::Reduce, &reduce_plan);
+    record_job_obs(cluster, &spec.name, sim_secs, shuffle_bytes);
 
     // ---- Trace events -----------------------------------------------------
     if cluster.trace.is_enabled() {
@@ -769,6 +902,8 @@ where
 
     let sim_secs = cfg.cost.job_launch_secs + plan.makespan_secs;
     cluster.metrics.add_sim_secs(sim_secs);
+    record_wave_obs(cluster, &spec.name, Phase::Map, &plan);
+    record_job_obs(cluster, &spec.name, sim_secs, 0);
 
     if cluster.trace.is_enabled() {
         trace_span(

@@ -258,6 +258,21 @@ impl WavePlan {
             .map(|a| a.len().saturating_sub(1) as u32)
             .sum()
     }
+
+    /// Busy simulated seconds per node: every attempt's occupancy summed
+    /// onto the node it ran on — the per-node utilization series the
+    /// observability registry records.
+    pub fn node_busy_secs(&self, nodes: usize) -> Vec<f64> {
+        let mut busy = vec![0.0; nodes.max(1)];
+        for attempts in &self.attempts {
+            for a in attempts {
+                if a.node < busy.len() {
+                    busy[a.node] += a.end - a.start;
+                }
+            }
+        }
+        busy
+    }
 }
 
 /// Full wave planning: greedy list scheduling with data locality, node

@@ -1,0 +1,155 @@
+//! Property tests for the labeled observability registry: determinism
+//! (the same operation sequence always yields the same snapshot and the
+//! same Prometheus text), histogram-merge associativity, and the
+//! label-cardinality cap.
+
+use mrinv_mapreduce::obs::{
+    bucket_bound, validate_prometheus_text, Histogram, Labels, Registry, HIST_BUCKETS,
+};
+use proptest::prelude::*;
+
+/// One registry operation, replayable onto any registry.
+#[derive(Debug, Clone)]
+enum Op {
+    Count { name: usize, label: usize, n: u64 },
+    Gauge { name: usize, label: usize, v: f64 },
+    Observe { name: usize, label: usize, v: f64 },
+}
+
+const NAMES: [&str; 3] = ["ops_total", "queue_depth", "latency_seconds"];
+
+fn label(i: usize) -> Labels {
+    match i % 4 {
+        0 => Labels::new(),
+        1 => Labels::new().job("lu-level:0"),
+        2 => Labels::new().job("final-inverse").wave("map"),
+        _ => Labels::new().node(3).task_kind("gemm").backend("packed"),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // (kind, name, label, count payload, float payload) flattened into
+    // the three variants — the vendored proptest has no `prop_oneof`.
+    (0..3usize, 0..3usize, 0..4usize, 1..1000u64, 1e-9..1e6f64).prop_map(
+        |(kind, name, label, n, v)| match kind {
+            0 => Op::Count { name, label, n },
+            1 => Op::Gauge {
+                name,
+                label,
+                v: v - 5e5,
+            },
+            _ => Op::Observe { name, label, v },
+        },
+    )
+}
+
+fn replay(ops: &[Op]) -> Registry {
+    let r = Registry::default();
+    r.set_enabled(true);
+    for op in ops {
+        match *op {
+            Op::Count { name, label: l, n } => r.counter(NAMES[name], &label(l)).add(n),
+            Op::Gauge { name, label: l, v } => r.gauge(NAMES[name], &label(l)).add(v),
+            Op::Observe { name, label: l, v } => r.histogram(NAMES[name], &label(l)).observe(v),
+        }
+    }
+    r
+}
+
+proptest! {
+    /// Replaying the same op sequence onto two fresh registries yields
+    /// byte-identical snapshots (series order included) and
+    /// byte-identical, valid Prometheus text.
+    #[test]
+    fn identical_op_sequences_snapshot_identically(ops in prop::collection::vec(op_strategy(), 0..64)) {
+        let a = replay(&ops).snapshot();
+        let b = replay(&ops).snapshot();
+        prop_assert_eq!(a.to_json(), b.to_json());
+        let ta = a.prometheus_text();
+        prop_assert_eq!(&ta, &b.prometheus_text());
+        validate_prometheus_text(&ta).map_err(TestCaseError::fail)?;
+    }
+
+    /// Histogram merge is associative and order-insensitive: merging
+    /// three observation sets in either grouping gives the same counts,
+    /// sum, and quantiles.
+    #[test]
+    fn histogram_merge_is_associative(
+        (xs, ys, zs) in (
+            prop::collection::vec(1e-9..1e6f64, 0..32),
+            prop::collection::vec(1e-9..1e6f64, 0..32),
+            prop::collection::vec(1e-9..1e6f64, 0..32),
+        )
+    ) {
+        let snap = |vals: &[f64]| {
+            let h = Histogram::default();
+            for &v in vals {
+                h.observe(v);
+            }
+            h.snapshot()
+        };
+        let (x, y, z) = (snap(&xs), snap(&ys), snap(&zs));
+
+        // (x + y) + z
+        let mut left = x.clone();
+        left.merge(&y);
+        left.merge(&z);
+        // x + (y + z)
+        let mut yz = y.clone();
+        yz.merge(&z);
+        let mut right = x.clone();
+        right.merge(&yz);
+
+        prop_assert_eq!(&left.counts, &right.counts);
+        prop_assert_eq!(left.count, right.count);
+        prop_assert!((left.sum - right.sum).abs() <= 1e-9 * left.sum.abs().max(1.0));
+        prop_assert_eq!(left.p50(), right.p50());
+        prop_assert_eq!(left.p95(), right.p95());
+        prop_assert_eq!(left.p99(), right.p99());
+
+        // Merging everything must equal observing everything on one
+        // histogram (bucket counts are exact, independent of grouping).
+        let mut all = Vec::new();
+        all.extend_from_slice(&xs);
+        all.extend_from_slice(&ys);
+        all.extend_from_slice(&zs);
+        prop_assert_eq!(&left.counts, &snap(&all).counts);
+    }
+
+    /// The registry never holds more than `max_series` series no matter
+    /// how many distinct (name, labels) keys are requested; every
+    /// rejected creation increments `dropped_series`, and handles for
+    /// existing series keep working at the cap.
+    #[test]
+    fn label_cardinality_is_bounded((cap, extra) in (1..12usize, 0..40usize)) {
+        let r = Registry::new(cap);
+        r.set_enabled(true);
+        let total = cap + extra;
+        for i in 0..total {
+            r.counter(&format!("series_{i}_total"), &Labels::new()).add(1);
+        }
+        prop_assert!(r.series_count() <= cap);
+        prop_assert_eq!(r.dropped_series(), extra as u64);
+        // Re-requesting an existing series is not a new creation: it
+        // still resolves to the live handle and drops nothing further.
+        r.counter("series_0_total", &Labels::new()).add(1);
+        prop_assert_eq!(r.dropped_series(), extra as u64);
+        let snap = r.snapshot();
+        let first = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "series_0_total")
+            .expect("first series survives the cap");
+        prop_assert_eq!(first.value, 2);
+    }
+}
+
+/// The log-spaced bucket ladder is strictly increasing and ends at +inf,
+/// so every observation lands in exactly one cumulative prefix.
+#[test]
+fn bucket_ladder_is_monotone() {
+    for i in 1..HIST_BUCKETS {
+        assert!(bucket_bound(i) > bucket_bound(i - 1));
+    }
+    assert!(bucket_bound(HIST_BUCKETS - 1).is_infinite());
+}

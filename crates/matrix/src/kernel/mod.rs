@@ -45,6 +45,7 @@
 mod lu;
 mod naive;
 mod packed;
+pub mod perf;
 mod trsm;
 
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -342,7 +343,14 @@ pub fn gemm_with(
     c: &mut Matrix,
 ) -> Result<()> {
     check_gemm(&a, &b, c)?;
-    backend.gemm_checked(alpha, a, b, beta, c)
+    if !perf::is_enabled() {
+        return backend.gemm_checked(alpha, a, b, beta, c);
+    }
+    let flops = gemm_flops(a.rows(), a.cols(), b.cols());
+    let t0 = std::time::Instant::now();
+    let out = backend.gemm_checked(alpha, a, b, beta, c);
+    perf::record_gemm(backend.name(), flops, t0.elapsed());
+    out
 }
 
 /// Allocating convenience: `op(A) * op(B)` through the default backend.

@@ -243,13 +243,21 @@ impl GemmBackend for super::Packed {
 
         let parallel = self.parallel && m > MC && m * k * n >= PAR_MIN_MADDS;
         let mut bbuf = vec![0.0; n.min(NC).div_ceil(NR) * NR * k.min(KC)];
+        // Kernel perf counters want the packing/microkernel time split;
+        // resolve the gate once so disabled runs never read a clock.
+        let perf_on = super::perf::is_enabled();
+        let name = self.name();
 
         for jc in (0..n).step_by(NC) {
             let nc = NC.min(n - jc);
             for pc in (0..k).step_by(KC) {
                 let kc = KC.min(k - pc);
                 let blen = nc.div_ceil(NR) * NR * kc;
+                let tb = perf_on.then(std::time::Instant::now);
                 pack_b(b, pc, kc, jc, nc, &mut bbuf[..blen]);
+                if let Some(tb) = tb {
+                    super::perf::record_pack(name, tb.elapsed());
+                }
                 let bpanel = &bbuf[..blen];
 
                 if parallel {
@@ -262,7 +270,11 @@ impl GemmBackend for super::Packed {
                             let ic = blk * MC;
                             let mc = MC.min(m - ic);
                             let mut abuf = vec![0.0; mc.div_ceil(MR) * MR * kc];
+                            let ta = perf_on.then(std::time::Instant::now);
                             pack_a(a, ic, mc, pc, kc, &mut abuf);
+                            if let Some(ta) = ta {
+                                super::perf::record_pack(name, ta.elapsed());
+                            }
                             macro_kernel(&abuf, bpanel, kc, mc, nc, jc, alpha, c_rows, n);
                         });
                 } else {
@@ -270,7 +282,11 @@ impl GemmBackend for super::Packed {
                     for ic in (0..m).step_by(MC) {
                         let mc = MC.min(m - ic);
                         let alen = mc.div_ceil(MR) * MR * kc;
+                        let ta = perf_on.then(std::time::Instant::now);
                         pack_a(a, ic, mc, pc, kc, &mut abuf[..alen]);
+                        if let Some(ta) = ta {
+                            super::perf::record_pack(name, ta.elapsed());
+                        }
                         let c_rows = &mut c.as_mut_slice()[ic * n..(ic + mc) * n];
                         macro_kernel(&abuf[..alen], bpanel, kc, mc, nc, jc, alpha, c_rows, n);
                     }

@@ -1,0 +1,189 @@
+//! Per-backend kernel performance counters: calls, FLOPs, wall time, and
+//! the packing-vs-microkernel time split.
+//!
+//! Off by default with the tracelog contract: every recording site is
+//! gated on one relaxed [`AtomicBool`] load ([`is_enabled`]), and nothing
+//! else runs when disabled — no `Instant::now`, no atomics. When enabled,
+//! [`super::gemm_with`] times each call and credits `2·m·k·n` FLOPs to the
+//! executing backend's slot, and the packed engine separately accumulates
+//! the nanoseconds its workers spend in `pack_a`/`pack_b` — so a
+//! [`snapshot`] exposes effective GFLOP/s per backend and how much of the
+//! kernel's time went to data movement rather than the microkernel.
+//!
+//! Counters are process-wide (the kernel engine has no per-cluster state)
+//! and use only `std` atomics, keeping this crate dependency-free.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Slot order for [`slot_index`]: the five [`super::GemmBackend::name`]
+/// values plus a catch-all for out-of-tree backends.
+const BACKEND_NAMES: [&str; 6] = [
+    "naive",
+    "strided",
+    "blocked",
+    "packed",
+    "packed-serial",
+    "other",
+];
+
+struct Slot {
+    calls: AtomicU64,
+    flops: AtomicU64,
+    nanos: AtomicU64,
+    pack_nanos: AtomicU64,
+}
+
+impl Slot {
+    const fn new() -> Slot {
+        Slot {
+            calls: AtomicU64::new(0),
+            flops: AtomicU64::new(0),
+            nanos: AtomicU64::new(0),
+            pack_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SLOTS: [Slot; 6] = [const { Slot::new() }; 6];
+
+fn slot_index(backend: &str) -> usize {
+    BACKEND_NAMES
+        .iter()
+        .position(|&n| n == backend)
+        .unwrap_or(BACKEND_NAMES.len() - 1)
+}
+
+/// Turns recording on or off (process-wide).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether kernel perf counters are recording. One relaxed load — this is
+/// the whole disabled-path cost, and recording sites must check it before
+/// reading any clock.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Credits one GEMM call of `flops` floating-point operations taking
+/// `elapsed` to `backend`'s slot. No-op when disabled.
+pub fn record_gemm(backend: &str, flops: u64, elapsed: Duration) {
+    if !is_enabled() {
+        return;
+    }
+    let slot = &SLOTS[slot_index(backend)];
+    slot.calls.fetch_add(1, Ordering::Relaxed);
+    slot.flops.fetch_add(flops, Ordering::Relaxed);
+    slot.nanos
+        .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// Accumulates packing time onto `backend`'s slot (summed across rayon
+/// workers, so it can exceed the call's wall time on parallel backends).
+/// No-op when disabled.
+pub fn record_pack(backend: &str, elapsed: Duration) {
+    if !is_enabled() {
+        return;
+    }
+    SLOTS[slot_index(backend)]
+        .pack_nanos
+        .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// One backend's accumulated counters, as read by [`snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendPerf {
+    /// Backend name ([`super::GemmBackend::name`], or `"other"`).
+    pub backend: &'static str,
+    /// GEMM calls recorded.
+    pub calls: u64,
+    /// Floating-point operations credited (`2·m·k·n` per call).
+    pub flops: u64,
+    /// Wall-clock seconds inside [`super::gemm_with`].
+    pub secs: f64,
+    /// Worker seconds spent packing operand panels (0 for backends that
+    /// do not pack).
+    pub pack_secs: f64,
+}
+
+impl BackendPerf {
+    /// Effective throughput in GFLOP/s (0 when no time was recorded).
+    pub fn gflops(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.flops as f64 / self.secs / 1e9
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Counters of every backend that recorded at least one call, in the
+/// fixed backend-name order (naive, strided, blocked, packed,
+/// packed-serial, other).
+pub fn snapshot() -> Vec<BackendPerf> {
+    BACKEND_NAMES
+        .iter()
+        .zip(SLOTS.iter())
+        .filter_map(|(&backend, slot)| {
+            let calls = slot.calls.load(Ordering::Relaxed);
+            if calls == 0 {
+                return None;
+            }
+            Some(BackendPerf {
+                backend,
+                calls,
+                flops: slot.flops.load(Ordering::Relaxed),
+                secs: slot.nanos.load(Ordering::Relaxed) as f64 / 1e9,
+                pack_secs: slot.pack_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            })
+        })
+        .collect()
+}
+
+/// Zeroes every slot (the enabled flag is untouched).
+pub fn reset() {
+    for slot in &SLOTS {
+        slot.calls.store(0, Ordering::Relaxed);
+        slot.flops.store(0, Ordering::Relaxed);
+        slot.nanos.store(0, Ordering::Relaxed);
+        slot.pack_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialized via the global flag: these tests mutate process-wide
+    /// state, so they run in one test to avoid interleaving.
+    #[test]
+    fn disabled_records_nothing_and_enabled_accumulates() {
+        reset();
+        assert!(!is_enabled());
+        record_gemm("packed", 1000, Duration::from_millis(1));
+        assert!(snapshot().is_empty(), "disabled recording must be a no-op");
+
+        set_enabled(true);
+        record_gemm("packed", 2_000_000_000, Duration::from_secs(1));
+        record_gemm("packed", 2_000_000_000, Duration::from_secs(1));
+        record_pack("packed", Duration::from_millis(250));
+        record_gemm("made-up-backend", 10, Duration::from_millis(1));
+        set_enabled(false);
+
+        let snap = snapshot();
+        let packed = snap.iter().find(|p| p.backend == "packed").unwrap();
+        assert_eq!(packed.calls, 2);
+        assert_eq!(packed.flops, 4_000_000_000);
+        assert!((packed.secs - 2.0).abs() < 1e-9);
+        assert!((packed.pack_secs - 0.25).abs() < 1e-9);
+        assert!((packed.gflops() - 2.0).abs() < 1e-9);
+        let other = snap.iter().find(|p| p.backend == "other").unwrap();
+        assert_eq!(other.calls, 1);
+
+        reset();
+        assert!(snapshot().is_empty());
+    }
+}

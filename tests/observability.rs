@@ -1,0 +1,163 @@
+//! End-to-end observability: the canonical n=64/nb=4 inversion with the
+//! labeled registry, kernel perf counters, and cost-model audit on —
+//! and the guarantee that turning them all off changes nothing about
+//! the run itself.
+
+use mrinv::obs::full_snapshot;
+use mrinv::InversionConfig;
+use mrinv_mapreduce::{Cluster, ClusterConfig};
+use mrinv_matrix::kernel;
+use mrinv_matrix::random::random_well_conditioned;
+
+fn cluster(observed: bool) -> Cluster {
+    let mut cfg = ClusterConfig::medium(4);
+    cfg.tracing = observed;
+    cfg.observability = observed;
+    Cluster::new(cfg)
+}
+
+/// The acceptance run: a full traced inversion must export a Prometheus
+/// snapshot with per-job task-latency histograms and per-backend kernel
+/// GFLOP/s, plus a cost-model audit whose residuals stay under the
+/// pinned threshold.
+#[test]
+fn traced_run_exports_prometheus_and_clean_audit() {
+    kernel::perf::reset();
+    kernel::perf::set_enabled(true);
+    let cl = cluster(true);
+    let a = random_well_conditioned(64, 42);
+    let out = mrinv::invert(&cl, &a, &InversionConfig::with_nb(4)).unwrap();
+    kernel::perf::set_enabled(false);
+
+    let snap = full_snapshot(&cl);
+    let text = snap.prometheus_text();
+    mrinv_mapreduce::obs::validate_prometheus_text(&text).unwrap();
+
+    // Per-job task-latency histograms, labeled by job and wave.
+    assert!(
+        text.contains("mrinv_task_run_seconds_bucket{job=\"lu-level:"),
+        "missing lu-level task latency histogram"
+    );
+    assert!(
+        text.contains("mrinv_task_run_seconds_bucket{job=\"final-inverse:"),
+        "missing final-inverse task latency histogram"
+    );
+    assert!(text.contains("mrinv_task_wait_seconds_bucket{"));
+    // Per-backend kernel perf: the pipeline's GEMM work runs on the
+    // packed engine.
+    assert!(
+        text.contains("mrinv_kernel_gflops{backend=\"packed"),
+        "missing packed-backend kernel GFLOP/s:\n{}",
+        text.lines()
+            .filter(|l| l.contains("kernel"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(text.contains("mrinv_kernel_flops_total{backend="));
+    // Node utilization and DFS bridges.
+    assert!(text.contains("mrinv_node_busy_seconds{node="));
+    assert!(text.contains("mrinv_dfs_replica_hit_ratio"));
+
+    // The cost-model audit: attached, structurally sound, and within the
+    // pinned residual threshold on a homogeneous cluster.
+    let audit = out
+        .report
+        .audit
+        .as_ref()
+        .expect("traced run attaches audit");
+    assert!(audit.structure_ok);
+    assert!(audit.tasks > 0);
+    assert!(
+        audit.max_abs_residual < audit.threshold,
+        "max residual {} over pinned threshold {}",
+        audit.max_abs_residual,
+        audit.threshold
+    );
+    assert!(audit.within_threshold);
+    assert!(audit.per_job.iter().any(|j| j.job.starts_with("lu-level:")));
+
+    // The audit serializes with the report (the CLI's --metrics-json).
+    let json = serde_json::to_string(&out.report).unwrap();
+    assert!(json.contains("max_abs_residual"));
+}
+
+/// With every observability feature off, the run must be exactly the
+/// seed's run: same inverse bits, same report numbers, no audit, and an
+/// empty registry.
+#[test]
+fn disabled_observability_leaves_the_run_bit_identical() {
+    let a = random_well_conditioned(64, 43);
+
+    let off = cluster(false);
+    let out_off = mrinv::invert(&off, &a, &InversionConfig::with_nb(4)).unwrap();
+
+    let on = cluster(true);
+    let out_on = mrinv::invert(&on, &a, &InversionConfig::with_nb(4)).unwrap();
+
+    assert_eq!(
+        out_off.inverse.as_slice(),
+        out_on.inverse.as_slice(),
+        "observability must not perturb the arithmetic"
+    );
+    // Deterministic report fields must match exactly. (Simulated time is
+    // priced from *measured* CPU seconds, so sim_secs legitimately
+    // differs between any two runs, observed or not.)
+    assert_eq!(out_off.report.jobs, out_on.report.jobs);
+    assert_eq!(out_off.report.n, out_on.report.n);
+    assert_eq!(
+        out_off.report.dfs_bytes_written,
+        out_on.report.dfs_bytes_written
+    );
+    assert_eq!(out_off.report.dfs_bytes_read, out_on.report.dfs_bytes_read);
+    assert_eq!(out_off.report.shuffle_bytes, out_on.report.shuffle_bytes);
+    assert_eq!(out_off.report.task_failures, out_on.report.task_failures);
+
+    assert!(out_off.report.audit.is_none(), "no audit without tracing");
+    assert!(out_on.report.audit.is_some());
+
+    // The ten classic cluster counters are always-on unlabeled series by
+    // construction; with observability off nothing *labeled* may appear,
+    // and no histograms at all.
+    let snap_off = off.metrics.obs().snapshot();
+    assert!(snap_off.histograms.is_empty());
+    assert!(snap_off
+        .counters
+        .iter()
+        .all(|c| c.labels == mrinv_mapreduce::obs::Labels::new()));
+    assert!(snap_off
+        .gauges
+        .iter()
+        .all(|g| g.labels == mrinv_mapreduce::obs::Labels::new()));
+    let snap_on = on.metrics.obs().snapshot();
+    assert!(!snap_on.histograms.is_empty());
+}
+
+/// Two identical observed runs produce the same metric *structure*:
+/// identical task-latency series (name + labels, in snapshot order)
+/// with identical observation counts, and identical per-job attempt
+/// counters. Only the priced durations inside the buckets vary, because
+/// the simulated clock derives from measured CPU time.
+#[test]
+fn identical_runs_snapshot_identical_structure() {
+    let a = random_well_conditioned(64, 44);
+    let run = || {
+        let cl = cluster(true);
+        mrinv::invert(&cl, &a, &InversionConfig::with_nb(4)).unwrap();
+        let snap = cl.metrics.obs().snapshot();
+        let attempts: Vec<_> = snap
+            .counters
+            .iter()
+            .filter(|c| c.name == "mrinv_task_attempts_total")
+            .map(|c| (c.labels.clone(), c.value))
+            .collect();
+        let run_counts: Vec<_> = snap
+            .histograms
+            .iter()
+            .filter(|h| h.name == "mrinv_task_run_seconds")
+            .map(|h| (h.labels.clone(), h.hist.count))
+            .collect();
+        assert!(!attempts.is_empty() && !run_counts.is_empty());
+        (attempts, run_counts)
+    };
+    assert_eq!(run(), run());
+}
