@@ -3,15 +3,23 @@
 //!
 //! ```text
 //! mrinv invert --input a.txt --output inv.txt [--nodes 4] [--nb 200]
+//!              [--backend in-process|tcp:<n>]
 //!              [--trace-out trace.json] [--metrics-json metrics.json]
 //!              [--metrics-prom metrics.prom] [--progress]
 //!              [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]
 //! mrinv lu     --input a.txt --l l.txt --u u.txt [--nodes 4] [--nb 200]
+//!              [--backend in-process|tcp:<n>]
 //!              [--trace-out trace.json] [--metrics-json metrics.json]
 //!              [--metrics-prom metrics.prom] [--progress]
 //!              [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]
 //! mrinv gen    --order 512 --output a.txt [--seed 42]
 //! ```
+//!
+//! `--backend tcp:<n>` runs every task attempt in one of `n` real
+//! `mrinv-worker` processes (spawned next to this binary) instead of
+//! in-process threads; task descriptors and DFS traffic travel over
+//! loopback TCP, and a worker that dies mid-attempt is replaced and the
+//! attempt retried. Results are bit-identical across backends.
 //!
 //! Matrices use the text format of the paper's `a.txt` (a `rows cols`
 //! header line, then whitespace-separated values; see
@@ -38,9 +46,12 @@
 //! manifest in the same invocation.
 
 use std::process::exit;
+use std::sync::Arc;
 
 use mrinv::{invert_run, lu_run, Checkpoint, CoreError, InversionConfig, Result, RunId, RunReport};
-use mrinv_mapreduce::{chrome_trace_json, Cluster, ClusterConfig, MrError};
+use mrinv_mapreduce::{
+    chrome_trace_json, Cluster, ClusterConfig, MrError, TcpWorkers, TcpWorkersConfig,
+};
 use mrinv_matrix::io::{decode_text, encode_text};
 use mrinv_matrix::norms::inversion_residual;
 use mrinv_matrix::random::random_well_conditioned;
@@ -64,6 +75,16 @@ struct Opts {
     checkpoint: bool,
     resume: bool,
     kill_after: Option<u64>,
+    backend: Backend,
+}
+
+/// Execution backend selection (`--backend`).
+enum Backend {
+    /// Task attempts run on threads inside this process (default).
+    InProcess,
+    /// Task attempts ship to `n` spawned `mrinv-worker` processes over
+    /// TCP (`--backend tcp:<n>`).
+    Tcp(usize),
 }
 
 impl Opts {
@@ -84,7 +105,7 @@ impl Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mrinv invert --input a.txt --output inv.txt [--nodes N] [--nb NB] [--trace-out T.json] [--metrics-json M.json] [--metrics-prom M.prom] [--progress] [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]\n  mrinv lu --input a.txt --l l.txt --u u.txt [--nodes N] [--nb NB] [--trace-out T.json] [--metrics-json M.json] [--metrics-prom M.prom] [--progress] [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]\n  mrinv gen --order N --output a.txt [--seed S]"
+        "usage:\n  mrinv invert --input a.txt --output inv.txt [--nodes N] [--nb NB] [--backend in-process|tcp:W] [--trace-out T.json] [--metrics-json M.json] [--metrics-prom M.prom] [--progress] [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]\n  mrinv lu --input a.txt --l l.txt --u u.txt [--nodes N] [--nb NB] [--backend in-process|tcp:W] [--trace-out T.json] [--metrics-json M.json] [--metrics-prom M.prom] [--progress] [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]\n  mrinv gen --order N --output a.txt [--seed S]"
     );
     exit(2)
 }
@@ -108,6 +129,7 @@ fn parse() -> Opts {
         checkpoint: false,
         resume: false,
         kill_after: None,
+        backend: Backend::InProcess,
     };
     let mut it = std::env::args().skip(1);
     opts.command = it.next().unwrap_or_else(|| usage());
@@ -130,6 +152,16 @@ fn parse() -> Opts {
             "--checkpoint" => opts.checkpoint = true,
             "--resume" => opts.resume = true,
             "--kill-after-job" => opts.kill_after = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--backend" => {
+                let v = val();
+                opts.backend = match v.as_str() {
+                    "in-process" => Backend::InProcess,
+                    tcp if tcp.starts_with("tcp:") => {
+                        Backend::Tcp(tcp[4..].parse().unwrap_or_else(|_| usage()))
+                    }
+                    _ => usage(),
+                };
+            }
             _ => usage(),
         }
     }
@@ -180,7 +212,29 @@ fn build_cluster(opts: &Opts) -> Cluster {
     if wants_metrics {
         mrinv_matrix::kernel::perf::set_enabled(true);
     }
-    let cluster = Cluster::new(cfg);
+    let mut cluster = Cluster::new(cfg);
+    if let Backend::Tcp(workers) = opts.backend {
+        if workers == 0 {
+            eprintln!("mrinv: --backend tcp:<n> needs at least one worker");
+            exit(2);
+        }
+        // The worker binary ships alongside this one.
+        let worker_bin = std::env::current_exe()
+            .map(|p| p.with_file_name("mrinv-worker"))
+            .unwrap_or_else(|e| {
+                eprintln!("mrinv: cannot locate mrinv-worker: {e}");
+                exit(1)
+            });
+        let backend =
+            TcpWorkers::spawn(TcpWorkersConfig::new(workers, worker_bin)).unwrap_or_else(|e| {
+                eprintln!("mrinv: cannot start tcp workers: {e}");
+                exit(1)
+            });
+        backend.attach_dfs(cluster.dfs.clone());
+        cluster.set_backend(Arc::new(backend));
+        cluster.set_registry(Arc::new(mrinv::exec_registry()));
+        eprintln!("mrinv: tcp backend up with {workers} worker process(es)");
+    }
     if let Some(k) = opts.kill_after {
         cluster.faults.kill_driver_after(k);
     }

@@ -1,9 +1,11 @@
 //! Inversion configuration: the bound value `nb` and the Section 6
 //! optimization toggles.
 
+use serde::{Deserialize, Serialize};
+
 /// The three implementation optimizations of Section 6, individually
 /// toggleable so the Figure 7 ablations can disable each one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Optimizations {
     /// Section 6.1: keep intermediate `L`/`U` results in separate files.
     /// When disabled, the master node serially combines each level's

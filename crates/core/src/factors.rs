@@ -19,13 +19,14 @@
 
 use mrinv_matrix::io::{decode_binary, encode_binary};
 use mrinv_matrix::{Matrix, Permutation};
+use serde::{de_field, DeError, Deserialize, Serialize, Value};
 
 use crate::error::{CoreError, Result};
 use crate::source::BlockIo;
 
 /// A striped file holding rows `range.0..range.1` of a block (for `L2'`),
 /// or columns of a block (for `U2`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Stripe {
     /// DFS path of the binary block.
     pub path: String,
@@ -221,6 +222,73 @@ impl FactorRef {
             perm: self.perm(),
             transposed_u: transpose_u,
         })
+    }
+}
+
+// Manual serde: the vendored derive cannot handle data-carrying enum
+// variants, and `Permutation` (a foreign type) ships inline as its
+// `S`-array so no orphan impl is needed.
+impl Serialize for FactorRef {
+    fn to_value(&self) -> Value {
+        match self {
+            FactorRef::Leaf {
+                n,
+                l_path,
+                u_path,
+                perm,
+                transposed_u,
+            } => Value::Object(vec![
+                ("kind".to_string(), Value::String("leaf".to_string())),
+                ("n".to_string(), n.to_value()),
+                ("l_path".to_string(), l_path.to_value()),
+                ("u_path".to_string(), u_path.to_value()),
+                ("perm".to_string(), perm.as_slice().to_value()),
+                ("transposed_u".to_string(), transposed_u.to_value()),
+            ]),
+            FactorRef::Node {
+                n,
+                half,
+                a1,
+                l2_stripes,
+                u2_stripes,
+                b,
+                transposed_u,
+            } => Value::Object(vec![
+                ("kind".to_string(), Value::String("node".to_string())),
+                ("n".to_string(), n.to_value()),
+                ("half".to_string(), half.to_value()),
+                ("a1".to_string(), a1.to_value()),
+                ("l2_stripes".to_string(), l2_stripes.to_value()),
+                ("u2_stripes".to_string(), u2_stripes.to_value()),
+                ("b".to_string(), b.to_value()),
+                ("transposed_u".to_string(), transposed_u.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for FactorRef {
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        let kind: String = de_field(v, "kind")?;
+        match kind.as_str() {
+            "leaf" => Ok(FactorRef::Leaf {
+                n: de_field(v, "n")?,
+                l_path: de_field(v, "l_path")?,
+                u_path: de_field(v, "u_path")?,
+                perm: Permutation::from_vec(de_field(v, "perm")?),
+                transposed_u: de_field(v, "transposed_u")?,
+            }),
+            "node" => Ok(FactorRef::Node {
+                n: de_field(v, "n")?,
+                half: de_field(v, "half")?,
+                a1: Box::new(de_field(v, "a1")?),
+                l2_stripes: de_field(v, "l2_stripes")?,
+                u2_stripes: de_field(v, "u2_stripes")?,
+                b: Box::new(de_field(v, "b")?),
+                transposed_u: de_field(v, "transposed_u")?,
+            }),
+            other => Err(DeError(format!("unknown FactorRef kind {other:?}"))),
+        }
     }
 }
 

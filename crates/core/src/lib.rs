@@ -57,6 +57,7 @@ pub mod lu_mr;
 pub mod obs;
 pub mod ops;
 pub mod partition;
+pub mod remote;
 pub mod report;
 pub mod schedule;
 pub mod solve;
@@ -70,4 +71,5 @@ pub use inverse::{
     invert, invert_run, lu, lu_run, run_fingerprint, Checkpoint, InverseOutput, LuOutput,
 };
 pub use mrinv_mapreduce::{PipelineDriver, RunId};
+pub use remote::exec_registry;
 pub use report::RunReport;

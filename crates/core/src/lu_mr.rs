@@ -21,7 +21,7 @@ use mrinv_mapreduce::job::{
 };
 use mrinv_mapreduce::master::run_on_master;
 use mrinv_mapreduce::runner::run_job;
-use mrinv_mapreduce::{Cluster, MrError, PipelineDriver};
+use mrinv_mapreduce::{Cluster, MrError, PipelineDriver, TaskRegistry};
 use mrinv_matrix::block::even_ranges;
 use mrinv_matrix::io::encode_binary;
 use mrinv_matrix::kernel::{gemm, gemm_with, notrans, trans, Strided};
@@ -30,12 +30,19 @@ use mrinv_matrix::triangular::{
     solve_row_times_upper, solve_row_times_upper_transposed, solve_unit_lower_column,
 };
 use mrinv_matrix::Matrix;
+use serde::{de_field, DeError, Deserialize, Serialize, Value};
 
 use crate::config::Optimizations;
 use crate::error::{CoreError, Result};
 use crate::factors::{FactorRef, Stripe};
 use crate::partition::{PartitionPlan, SourceTree};
 use crate::source::{BlockIo, MasterIo, MatrixSource, Piece};
+
+/// Registers this module's remote task family (see
+/// [`crate::remote::exec_registry`]).
+pub(crate) fn register(r: &mut TaskRegistry) {
+    r.register::<LuLevelMapper, LuLevelReducer>("lu-level");
+}
 
 /// A block to decompose: either a materialized partition subtree (the input
 /// side) or a descriptor-only source (a `B` submatrix).
@@ -237,7 +244,8 @@ pub fn lu_decompose_mr(
     let spec = JobSpec::new(format!("lu-level:{dir}"))
         .reducers(num_cells)
         .partitioner(identity_partitioner)
-        .shuffle_sized();
+        .shuffle_sized()
+        .remote("lu-level");
     driver.step(spec.fingerprint(), |c| {
         run_job(c, &spec, &mapper, &reducer, &inputs).map(|(_outputs, report)| report)
     })?;
@@ -315,6 +323,42 @@ pub enum LuTaskInput {
     },
 }
 
+// Manual serde: the vendored derive cannot handle data-carrying enum
+// variants.
+impl Serialize for LuTaskInput {
+    fn to_value(&self) -> Value {
+        match self {
+            LuTaskInput::L2Stripe { k, rows } => Value::Object(vec![
+                ("kind".to_string(), Value::String("l2".to_string())),
+                ("k".to_string(), k.to_value()),
+                ("range".to_string(), rows.to_value()),
+            ]),
+            LuTaskInput::U2Stripe { k, cols } => Value::Object(vec![
+                ("kind".to_string(), Value::String("u2".to_string())),
+                ("k".to_string(), k.to_value()),
+                ("range".to_string(), cols.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for LuTaskInput {
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        let kind: String = de_field(v, "kind")?;
+        match kind.as_str() {
+            "l2" => Ok(LuTaskInput::L2Stripe {
+                k: de_field(v, "k")?,
+                rows: de_field(v, "range")?,
+            }),
+            "u2" => Ok(LuTaskInput::U2Stripe {
+                k: de_field(v, "k")?,
+                cols: de_field(v, "range")?,
+            }),
+            other => Err(DeError(format!("unknown LuTaskInput kind {other:?}"))),
+        }
+    }
+}
+
 struct LuLevelMapper {
     dir: String,
     a1: FactorRef,
@@ -323,6 +367,36 @@ struct LuLevelMapper {
     a3: MatrixSource,
     opts: Optimizations,
     num_cells: usize,
+}
+
+// Manual serde: `Permutation` is foreign, so `p1` ships inline as its
+// `S`-array.
+impl Serialize for LuLevelMapper {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("dir".to_string(), self.dir.to_value()),
+            ("a1".to_string(), self.a1.to_value()),
+            ("p1".to_string(), self.p1.as_slice().to_value()),
+            ("a2".to_string(), self.a2.to_value()),
+            ("a3".to_string(), self.a3.to_value()),
+            ("opts".to_string(), self.opts.to_value()),
+            ("num_cells".to_string(), self.num_cells.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for LuLevelMapper {
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        Ok(LuLevelMapper {
+            dir: de_field(v, "dir")?,
+            a1: de_field(v, "a1")?,
+            p1: mrinv_matrix::Permutation::from_vec(de_field(v, "p1")?),
+            a2: de_field(v, "a2")?,
+            a3: de_field(v, "a3")?,
+            opts: de_field(v, "opts")?,
+            num_cells: de_field(v, "num_cells")?,
+        })
+    }
 }
 
 impl Mapper for LuLevelMapper {
@@ -408,6 +482,7 @@ impl Mapper for LuLevelMapper {
     }
 }
 
+#[derive(Serialize, Deserialize)]
 struct LuLevelReducer {
     dir: String,
     a4: MatrixSource,

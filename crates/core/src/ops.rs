@@ -17,14 +17,24 @@
 
 use mrinv_mapreduce::job::{JobSpec, MapContext, Mapper};
 use mrinv_mapreduce::runner::run_map_only;
-use mrinv_mapreduce::{Cluster, MrError, PipelineDriver};
+use mrinv_mapreduce::{Cluster, MrError, PipelineDriver, TaskRegistry};
 use mrinv_matrix::block::even_ranges;
 use mrinv_matrix::io::{decode_binary, encode_binary};
 use mrinv_matrix::kernel::{gemm, notrans, trans};
 use mrinv_matrix::Matrix;
 
+use serde::{Deserialize, Serialize};
+
 use crate::error::{CoreError, Result};
 use crate::source::{BlockIo, MasterIo};
+
+/// Registers this module's remote task families (see
+/// [`crate::remote::exec_registry`]).
+pub(crate) fn register(r: &mut TaskRegistry) {
+    r.register_map_only::<MatmulMapper>("matmul");
+    r.register_map_only::<TransposeMapper>("transpose");
+    r.register_map_only::<ScaleAddMapper>("scale-add");
+}
 
 fn stage_row_blocks(
     io: &mut MasterIo<'_>,
@@ -47,6 +57,7 @@ fn opdir(cluster: &Cluster, op: &str) -> String {
     format!("mrops/{op}-{}", cluster.dfs.file_count())
 }
 
+#[derive(Serialize, Deserialize)]
 struct MatmulMapper {
     dir: String,
     row_ranges: Vec<(usize, usize)>,
@@ -112,7 +123,9 @@ pub fn matmul_mr(driver: &mut PipelineDriver<'_>, a: &Matrix, b: &Matrix) -> Res
         row_ranges: row_ranges.clone(),
         col_ranges: col_ranges.clone(),
     };
-    let spec: JobSpec<usize, usize> = JobSpec::new(format!("matmul:{dir}")).shuffle_sized();
+    let spec: JobSpec<usize, usize> = JobSpec::new(format!("matmul:{dir}"))
+        .shuffle_sized()
+        .remote("matmul");
     driver.step(spec.fingerprint(), |c| {
         run_map_only(c, &spec, &mapper, &inputs)
     })?;
@@ -132,6 +145,7 @@ pub fn matmul_mr(driver: &mut PipelineDriver<'_>, a: &Matrix, b: &Matrix) -> Res
     Ok(out)
 }
 
+#[derive(Serialize, Deserialize)]
 struct TransposeMapper {
     dir: String,
     row_ranges: Vec<(usize, usize)>,
@@ -176,7 +190,9 @@ pub fn transpose_mr(driver: &mut PipelineDriver<'_>, a: &Matrix) -> Result<Matri
         dir: dir.clone(),
         row_ranges: row_ranges.clone(),
     };
-    let spec: JobSpec<usize, usize> = JobSpec::new(format!("transpose:{dir}")).shuffle_sized();
+    let spec: JobSpec<usize, usize> = JobSpec::new(format!("transpose:{dir}"))
+        .shuffle_sized()
+        .remote("transpose");
     driver.step(spec.fingerprint(), |c| {
         run_map_only(c, &spec, &mapper, &inputs)
     })?;
@@ -192,6 +208,7 @@ pub fn transpose_mr(driver: &mut PipelineDriver<'_>, a: &Matrix) -> Result<Matri
     Ok(out)
 }
 
+#[derive(Serialize, Deserialize)]
 struct ScaleAddMapper {
     dir: String,
     row_ranges: Vec<(usize, usize)>,
@@ -260,7 +277,9 @@ pub fn scale_add_mr(
         alpha,
         beta,
     };
-    let spec: JobSpec<usize, usize> = JobSpec::new(format!("scale-add:{dir}")).shuffle_sized();
+    let spec: JobSpec<usize, usize> = JobSpec::new(format!("scale-add:{dir}"))
+        .shuffle_sized()
+        .remote("scale-add");
     driver.step(spec.fingerprint(), |c| {
         run_map_only(c, &spec, &mapper, &inputs)
     })?;

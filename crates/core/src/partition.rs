@@ -21,17 +21,18 @@
 
 use mrinv_mapreduce::job::{JobSpec, MapContext, Mapper};
 use mrinv_mapreduce::runner::{run_map_only, JobReport};
-use mrinv_mapreduce::{Cluster, MrError, PipelineDriver};
+use mrinv_mapreduce::{Cluster, MrError, PipelineDriver, TaskRegistry};
 use mrinv_matrix::block::{even_ranges, BlockRange};
 use mrinv_matrix::io::{decode_binary, encode_binary};
 use mrinv_matrix::Matrix;
+use serde::{Deserialize, Serialize};
 
 use crate::config::InversionConfig;
 use crate::error::{CoreError, Result};
 use crate::source::{BlockIo, MasterIo, MatrixSource, Piece};
 
 /// Static geometry of one inversion's data layout.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PartitionPlan {
     /// Matrix order.
     pub n: usize,
@@ -346,8 +347,15 @@ fn build_tree_node(
 
 /// The partitioning mapper: worker `j` reads its consecutive input rows and
 /// writes every planned piece it owns.
+#[derive(Serialize, Deserialize)]
 pub struct PartitionMapper {
     plan: PartitionPlan,
+}
+
+/// Registers this module's remote task family (see
+/// [`crate::remote::exec_registry`]).
+pub(crate) fn register(r: &mut TaskRegistry) {
+    r.register_map_only::<PartitionMapper>("partition");
 }
 
 impl Mapper for PartitionMapper {
@@ -405,8 +413,9 @@ pub fn run_partition_job(
     driver: &mut PipelineDriver<'_>,
     plan: &PartitionPlan,
 ) -> Result<(SourceTree, JobReport)> {
-    let spec: JobSpec<usize, usize> =
-        JobSpec::new(format!("partition:{}", plan.root)).shuffle_sized();
+    let spec: JobSpec<usize, usize> = JobSpec::new(format!("partition:{}", plan.root))
+        .shuffle_sized()
+        .remote("partition");
     let inputs: Vec<usize> = (0..plan.m0).collect();
     let mapper = PartitionMapper { plan: plan.clone() };
     let report = driver.step(spec.fingerprint(), |c| {

@@ -71,6 +71,7 @@ mod tests {
             shuffle_bytes: 4096,
             hours: 123.5 / 3600.0,
             workdir: "mrinv/run-0".to_string(),
+            backend: "in-process".to_string(),
             restored_jobs: 3,
             restored_sim_secs: 41.25,
             data_local_fraction: 0.75,

@@ -18,6 +18,7 @@ use mrinv_mapreduce::job::{MapContext, ReduceContext};
 use mrinv_mapreduce::{Dfs, MrError};
 use mrinv_matrix::io::{decode_binary, encode_binary};
 use mrinv_matrix::Matrix;
+use serde::{Deserialize, Serialize};
 
 use crate::error::{CoreError, Result};
 
@@ -83,7 +84,7 @@ impl BlockIo for MasterIo<'_> {
 /// One stored rectangle of a logical matrix: the file at `path` holds the
 /// dense block covering rows `rows.0..rows.1` and columns `cols.0..cols.1`
 /// of the *piece coordinate space*.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Piece {
     /// DFS path of the binary-encoded block.
     pub path: String,
@@ -115,7 +116,7 @@ impl Piece {
 
 /// A logical `rows x cols` matrix backed by DFS pieces, with an optional
 /// window (for descriptor-only quadrants of `B`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MatrixSource {
     pieces: Vec<Piece>,
     /// Window origin in piece space.

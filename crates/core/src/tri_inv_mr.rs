@@ -20,12 +20,13 @@ use mrinv_mapreduce::job::{
     identity_partitioner, JobSpec, MapContext, Mapper, ReduceContext, Reducer,
 };
 use mrinv_mapreduce::runner::run_job;
-use mrinv_mapreduce::{MrError, PipelineDriver};
+use mrinv_mapreduce::{MrError, PipelineDriver, TaskRegistry};
 use mrinv_matrix::block::even_ranges;
 use mrinv_matrix::io::{decode_binary, encode_binary};
 use mrinv_matrix::kernel::{gemm, gemm_with, notrans, trans, Diag, Side, Strided, Uplo};
 use mrinv_matrix::triangular::{solve_row_times_upper, trsm};
 use mrinv_matrix::{Matrix, Permutation};
+use serde::{de_field, DeError, Deserialize, Serialize, Value};
 
 use crate::config::Optimizations;
 use crate::error::{CoreError, Result};
@@ -92,6 +93,40 @@ pub enum InvTaskInput {
     },
 }
 
+// Manual serde: the vendored derive macro cannot handle data-carrying
+// enum variants, so the variants ship as a tagged object.
+impl Serialize for InvTaskInput {
+    fn to_value(&self) -> Value {
+        let (kind, k) = match *self {
+            InvTaskInput::LCols { k } => ("l", k),
+            InvTaskInput::URows { k } => ("u", k),
+        };
+        Value::Object(vec![
+            ("kind".to_string(), Value::String(kind.to_string())),
+            ("k".to_string(), k.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for InvTaskInput {
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        let kind: String = de_field(v, "kind")?;
+        let k: usize = de_field(v, "k")?;
+        match kind.as_str() {
+            "l" => Ok(InvTaskInput::LCols { k }),
+            "u" => Ok(InvTaskInput::URows { k }),
+            other => Err(DeError(format!("unknown InvTaskInput kind {other:?}"))),
+        }
+    }
+}
+
+/// Registers this module's remote task family (see
+/// [`crate::remote::exec_registry`]).
+pub(crate) fn register(r: &mut TaskRegistry) {
+    r.register::<TriInvMapper, TriInvReducer>("final-inverse");
+}
+
+#[derive(Serialize, Deserialize)]
 struct TriInvMapper {
     dir: String,
     factors: FactorRef,
@@ -253,6 +288,38 @@ struct TriInvReducer {
     opts: Optimizations,
 }
 
+// Manual serde: `Permutation` is foreign, so `perm` ships inline as its
+// `S`-array.
+impl Serialize for TriInvReducer {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("dir".to_string(), self.dir.to_value()),
+            ("n".to_string(), self.n.to_value()),
+            ("m_l".to_string(), self.m_l.to_value()),
+            ("m_u".to_string(), self.m_u.to_value()),
+            ("row_blocks".to_string(), self.row_blocks.to_value()),
+            ("col_blocks".to_string(), self.col_blocks.to_value()),
+            ("perm".to_string(), self.perm.as_slice().to_value()),
+            ("opts".to_string(), self.opts.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for TriInvReducer {
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        Ok(TriInvReducer {
+            dir: de_field(v, "dir")?,
+            n: de_field(v, "n")?,
+            m_l: de_field(v, "m_l")?,
+            m_u: de_field(v, "m_u")?,
+            row_blocks: de_field(v, "row_blocks")?,
+            col_blocks: de_field(v, "col_blocks")?,
+            perm: Permutation::from_vec(de_field(v, "perm")?),
+            opts: de_field(v, "opts")?,
+        })
+    }
+}
+
 impl Reducer for TriInvReducer {
     type Key = usize;
     type Value = usize;
@@ -406,7 +473,8 @@ pub fn invert_factors_mr(
     let spec = JobSpec::new(format!("final-inverse:{dir}"))
         .reducers(num_cells)
         .partitioner(identity_partitioner)
-        .shuffle_sized();
+        .shuffle_sized()
+        .remote("final-inverse");
     driver.step(spec.fingerprint(), |c| {
         run_job(c, &spec, &mapper, &reducer, &inputs).map(|(_out, report)| report)
     })?;

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use crate::dfs::Dfs;
+use crate::exec::{ExecBackend, InProcess, TaskRegistry};
 use crate::fault::FaultPlan;
 use crate::metrics::ClusterMetrics;
 use crate::simtime::CostModel;
@@ -132,6 +133,10 @@ pub struct Cluster {
     /// Per-task-attempt event log (recording only when enabled — via
     /// [`ClusterConfig::tracing`] or [`crate::tracelog::TraceLog::enable`]).
     pub trace: TraceLog,
+    /// How task attempts execute ([`InProcess`] by default).
+    backend: Arc<dyn ExecBackend>,
+    /// Named map/reduce families a remote backend can ship to workers.
+    registry: Arc<TaskRegistry>,
 }
 
 impl Cluster {
@@ -153,7 +158,30 @@ impl Cluster {
             metrics,
             faults: FaultPlan::none(),
             trace,
+            backend: Arc::new(InProcess),
+            registry: Arc::new(TaskRegistry::new()),
         }
+    }
+
+    /// The execution backend task attempts dispatch through.
+    pub fn backend(&self) -> &Arc<dyn ExecBackend> {
+        &self.backend
+    }
+
+    /// Replaces the execution backend (default: [`InProcess`]).
+    pub fn set_backend(&mut self, backend: Arc<dyn ExecBackend>) {
+        self.backend = backend;
+    }
+
+    /// The registry of named task families available for remote execution.
+    pub fn registry(&self) -> &Arc<TaskRegistry> {
+        &self.registry
+    }
+
+    /// Installs the task registry a remote backend resolves
+    /// [`crate::job::JobSpec::remote`] families against.
+    pub fn set_registry(&mut self, registry: Arc<TaskRegistry>) {
+        self.registry = registry;
     }
 
     /// Convenience: a medium cluster of `nodes` nodes.

@@ -392,6 +392,37 @@ impl Dfs {
     }
 }
 
+/// The DFS operations a *task body* may perform, abstracted so a task can
+/// run either in the driver process (directly against [`Dfs`]) or inside a
+/// remote worker process, where each call becomes an RPC back to the
+/// driver's namenode. Tasks never see which one they got: the contexts in
+/// [`crate::job`] hold an `Arc<dyn DfsAccess>`.
+pub trait DfsAccess: Send + Sync {
+    /// Reads a file (see [`Dfs::read`]).
+    fn read(&self, path: &str) -> Result<Bytes>;
+    /// Writes a file (see [`Dfs::write`]).
+    fn write(&self, path: &str, data: Bytes);
+    /// True when `path` exists (see [`Dfs::exists`]).
+    fn exists(&self, path: &str) -> bool;
+    /// Lists files under `dir` (see [`Dfs::list`]).
+    fn list(&self, dir: &str) -> Vec<String>;
+}
+
+impl DfsAccess for Dfs {
+    fn read(&self, path: &str) -> Result<Bytes> {
+        Dfs::read(self, path)
+    }
+    fn write(&self, path: &str, data: Bytes) {
+        Dfs::write(self, path, data)
+    }
+    fn exists(&self, path: &str) -> bool {
+        Dfs::exists(self, path)
+    }
+    fn list(&self, dir: &str) -> Vec<String> {
+        Dfs::list(self, dir)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -163,6 +163,10 @@ pub struct RunReport {
     pub hours: f64,
     /// The run's DFS directory ([`RunId::dir`]).
     pub workdir: String,
+    /// The execution backend task attempts ran under
+    /// ([`crate::exec::ExecBackend::name`]), stamped by
+    /// [`PipelineDriver::finish`].
+    pub backend: String,
     /// Jobs restored from the checkpoint manifest instead of re-executed
     /// (0 for a run that was not resumed).
     pub restored_jobs: u64,
@@ -211,6 +215,7 @@ impl RunReport {
             shuffle_bytes: metrics_after.shuffle_bytes - metrics_before.shuffle_bytes,
             hours: sim_secs / 3600.0,
             workdir: String::new(),
+            backend: String::new(),
             restored_jobs: 0,
             restored_sim_secs: 0.0,
             data_local_fraction: if local + remote == 0 {
@@ -480,6 +485,7 @@ impl<'c> PipelineDriver<'c> {
             &self.cluster.dfs.counters(),
         );
         report.workdir = self.run.dir().to_string();
+        report.backend = self.cluster.backend().name().to_string();
         report.restored_jobs = self.restored_jobs;
         report.restored_sim_secs = self.restored_sim_secs;
         if self.cluster.trace.is_enabled() {

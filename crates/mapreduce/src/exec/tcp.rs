@@ -1,0 +1,600 @@
+//! The `TcpWorkers` backend: real worker processes over TCP.
+//!
+//! The driver binds an ephemeral loopback listener and spawns N copies of
+//! a worker binary (each runs [`worker_serve`]); workers dial back and
+//! identify themselves with a `Hello` frame. Each task attempt checks one
+//! worker out of the pool, ships a bincode-serialized
+//! [`TaskDescriptor`], and then *serves the
+//! worker's DFS traffic inline* on the same socket until the worker
+//! reports `Done` — the driver process is the namenode+datanode, so byte
+//! accounting and replica bookkeeping are identical to in-process runs.
+//!
+//! # Wire format
+//!
+//! Frames are `u32` little-endian length, then one tag byte, then the
+//! body. Control structures (descriptors, results, errors, string lists)
+//! are bincode; DFS file contents ride as raw bytes (bit-exact, no value
+//! tree in the middle).
+//!
+//! | dir | tag | frame      | body                                        |
+//! |-----|-----|------------|---------------------------------------------|
+//! | →   | 0   | `Run`      | bincode `TaskDescriptor`                    |
+//! | →   | 1   | `DfsResp`  | status byte + raw bytes / bincode `MrError` |
+//! | →   | 2   | `Shutdown` | —                                           |
+//! | ←   | 16  | `Hello`    | `u64` worker id                             |
+//! | ←   | 17  | `DfsReq`   | op byte + `u32` path len + path + raw data  |
+//! | ←   | 18  | `Done`     | status byte + bincode result / error        |
+//!
+//! # Fault mapping
+//!
+//! A broken socket, EOF, or read timeout while a worker owns a task kills
+//! the worker process and surfaces [`MrError::WorkerLost`] — the runner
+//! retries with capped exponential backoff, and since the dead worker
+//! left the pool, the retry lands on a surviving worker (steering). A
+//! simulated node death ([`ExecBackend::on_node_death`]) kills a real
+//! worker chosen by `node % workers`. The pool respawns one worker when
+//! the last one dies, so a run can always make progress.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use super::{ErasedPayload, ExecBackend, TaskCall, TaskDescriptor, TaskRegistry, WireTaskResult};
+use crate::dfs::{Dfs, DfsAccess};
+use crate::error::{MrError, Result};
+use crate::job::TaskStats;
+use std::sync::Arc;
+
+const TAG_RUN: u8 = 0;
+const TAG_DFS_RESP: u8 = 1;
+const TAG_SHUTDOWN: u8 = 2;
+const TAG_HELLO: u8 = 16;
+const TAG_DFS_REQ: u8 = 17;
+const TAG_DONE: u8 = 18;
+
+const OP_READ: u8 = 0;
+const OP_WRITE: u8 = 1;
+const OP_EXISTS: u8 = 2;
+const OP_LIST: u8 = 3;
+
+const STATUS_OK: u8 = 0;
+const STATUS_ERR: u8 = 1;
+
+fn write_frame(stream: &mut TcpStream, tag: u8, body: &[u8]) -> std::io::Result<()> {
+    let len = (body.len() + 1) as u32;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(&[tag])?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<(u8, Vec<u8>)> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "zero-length frame",
+        ));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    let tag = body[0];
+    body.drain(..1);
+    Ok((tag, body))
+}
+
+/// Configuration for [`TcpWorkers::spawn`].
+#[derive(Debug, Clone)]
+pub struct TcpWorkersConfig {
+    /// Number of worker processes to spawn.
+    pub workers: usize,
+    /// Path to the worker binary. It must accept
+    /// `--connect <addr> --worker-id <n>` and call [`worker_serve`] with a
+    /// registry matching the driver's.
+    pub worker_bin: std::path::PathBuf,
+    /// Wall-clock limit per attempt: if the worker produces no frame for
+    /// this long it is declared dead and the attempt retried elsewhere.
+    pub attempt_timeout: Duration,
+}
+
+impl TcpWorkersConfig {
+    /// `workers` processes of `worker_bin` with the default 600 s
+    /// per-attempt timeout.
+    pub fn new(workers: usize, worker_bin: impl Into<std::path::PathBuf>) -> Self {
+        TcpWorkersConfig {
+            workers: workers.max(1),
+            worker_bin: worker_bin.into(),
+            attempt_timeout: Duration::from_secs(600),
+        }
+    }
+}
+
+/// One live worker process the driver can talk to.
+struct Worker {
+    id: usize,
+    stream: TcpStream,
+    child: Child,
+}
+
+struct Pool {
+    /// Workers not currently running a task.
+    idle: Vec<Worker>,
+    /// Workers alive in total (idle + checked out).
+    alive: usize,
+    /// Next worker id to assign on respawn.
+    next_id: usize,
+    /// Set once [`ExecBackend::shutdown`] has run: checked-in workers are
+    /// told to exit instead of rejoining the pool.
+    shutting_down: bool,
+}
+
+/// The multi-process TCP execution backend. See the module docs for the
+/// protocol and fault mapping.
+pub struct TcpWorkers {
+    config: TcpWorkersConfig,
+    listener: TcpListener,
+    pool: Mutex<Pool>,
+    available: Condvar,
+    /// The DFS worker requests are served from; installed by
+    /// [`TcpWorkers::attach_dfs`] once the cluster exists.
+    dfs_slot: Mutex<Option<Arc<Dfs>>>,
+}
+
+impl std::fmt::Debug for TcpWorkers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpWorkers")
+            .field("workers", &self.config.workers)
+            .field("worker_bin", &self.config.worker_bin)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TcpWorkers {
+    /// Binds a loopback listener, spawns the worker processes, and waits
+    /// for each one's `Hello`.
+    pub fn spawn(config: TcpWorkersConfig) -> Result<TcpWorkers> {
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| MrError::Other(format!("cannot bind worker listener: {e}")))?;
+        let backend = TcpWorkers {
+            pool: Mutex::new(Pool {
+                idle: Vec::new(),
+                alive: 0,
+                next_id: 0,
+                shutting_down: false,
+            }),
+            available: Condvar::new(),
+            dfs_slot: Mutex::new(None),
+            listener,
+            config,
+        };
+        {
+            let mut pool = backend.pool.lock().expect("pool lock");
+            for _ in 0..backend.config.workers {
+                let w = backend.spawn_one(pool.next_id)?;
+                pool.next_id += 1;
+                pool.alive += 1;
+                pool.idle.push(w);
+            }
+        }
+        Ok(backend)
+    }
+
+    /// Spawns one worker process and accepts its connection.
+    fn spawn_one(&self, id: usize) -> Result<Worker> {
+        let addr = self
+            .listener
+            .local_addr()
+            .map_err(|e| MrError::Other(format!("listener address: {e}")))?;
+        let mut child = Command::new(&self.config.worker_bin)
+            .arg("--connect")
+            .arg(addr.to_string())
+            .arg("--worker-id")
+            .arg(id.to_string())
+            .stdin(Stdio::null())
+            .spawn()
+            .map_err(|e| {
+                MrError::Other(format!(
+                    "cannot spawn worker {:?}: {e}",
+                    self.config.worker_bin
+                ))
+            })?;
+        // Accept until we get this child's Hello (another worker's late
+        // connection cannot appear: spawns are serialized under the pool
+        // lock and each worker connects exactly once).
+        let (mut stream, _) = self.listener.accept().map_err(|e| {
+            let _ = child.kill();
+            MrError::Other(format!("worker {id} never connected: {e}"))
+        })?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| MrError::Other(format!("worker {id} socket: {e}")))?;
+        let hello = read_frame(&mut stream)
+            .map_err(|e| MrError::Other(format!("worker {id} sent no Hello: {e}")))?;
+        if hello.0 != TAG_HELLO || hello.1.len() != 8 {
+            let _ = child.kill();
+            return Err(MrError::Other(format!("worker {id} sent a bad Hello")));
+        }
+        Ok(Worker { id, stream, child })
+    }
+
+    /// Checks a worker out of the pool, blocking until one is idle;
+    /// respawns a worker when none are left alive.
+    fn checkout(&self) -> Result<Worker> {
+        let mut pool = self.pool.lock().expect("pool lock");
+        loop {
+            if pool.shutting_down {
+                return Err(MrError::Other("worker pool is shut down".into()));
+            }
+            if let Some(w) = pool.idle.pop() {
+                return Ok(w);
+            }
+            if pool.alive == 0 {
+                // Every worker is dead: respawn one so the run can finish
+                // (Hadoop restarts tasktrackers; we restart a worker).
+                let id = pool.next_id;
+                pool.next_id += 1;
+                let w = self.spawn_one(id)?;
+                pool.alive += 1;
+                return Ok(w);
+            }
+            pool = self.available.wait(pool).expect("pool lock");
+        }
+    }
+
+    /// Returns a healthy worker to the pool.
+    fn checkin(&self, worker: Worker) {
+        let mut pool = self.pool.lock().expect("pool lock");
+        if pool.shutting_down {
+            pool.alive -= 1;
+            let mut w = worker;
+            let _ = write_frame(&mut w.stream, TAG_SHUTDOWN, &[]);
+            let _ = w.child.wait();
+            return;
+        }
+        pool.idle.push(worker);
+        drop(pool);
+        self.available.notify_one();
+    }
+
+    /// Reaps a dead worker: kill the process, drop it from the pool.
+    fn reap(&self, mut worker: Worker) {
+        let _ = worker.child.kill();
+        let _ = worker.child.wait();
+        let mut pool = self.pool.lock().expect("pool lock");
+        pool.alive -= 1;
+        drop(pool);
+        // A checkout may be blocked waiting for this worker; wake it so it
+        // can respawn if the pool is now empty.
+        self.available.notify_all();
+    }
+
+    /// Ships a descriptor to `worker` and serves its DFS traffic until it
+    /// reports `Done`.
+    fn run_on_worker(
+        &self,
+        worker: &mut Worker,
+        desc: &TaskDescriptor,
+        dfs: &Dfs,
+    ) -> std::result::Result<Result<WireTaskResult>, String> {
+        let io_err = |what: &str, e: &dyn std::fmt::Display| format!("{what}: {e}");
+        worker
+            .stream
+            .set_read_timeout(Some(self.config.attempt_timeout))
+            .map_err(|e| io_err("set timeout", &e))?;
+        write_frame(&mut worker.stream, TAG_RUN, &bincode::serialize(desc))
+            .map_err(|e| io_err("send task", &e))?;
+        loop {
+            let (tag, body) = read_frame(&mut worker.stream).map_err(|e| {
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) {
+                    format!(
+                        "attempt exceeded the {:.0} s backend timeout",
+                        self.config.attempt_timeout.as_secs_f64()
+                    )
+                } else {
+                    io_err("read frame", &e)
+                }
+            })?;
+            match tag {
+                TAG_DFS_REQ => {
+                    let resp = serve_dfs_request(&body, dfs).map_err(|e| io_err("dfs req", &e))?;
+                    write_frame(&mut worker.stream, TAG_DFS_RESP, &resp)
+                        .map_err(|e| io_err("send dfs resp", &e))?;
+                }
+                TAG_DONE => {
+                    let Some((&status, payload)) = body.split_first() else {
+                        return Err("empty Done frame".into());
+                    };
+                    return Ok(match status {
+                        STATUS_OK => bincode::deserialize::<WireTaskResult>(payload)
+                            .map_err(|e| MrError::Other(format!("bad task result: {e}"))),
+                        _ => Err(
+                            bincode::deserialize::<MrError>(payload).unwrap_or_else(|e| {
+                                MrError::Other(format!("undecodable worker error: {e}"))
+                            }),
+                        ),
+                    });
+                }
+                other => return Err(format!("unexpected frame tag {other} from worker")),
+            }
+        }
+    }
+
+    /// The DFS the backend serves worker requests from; installed once by
+    /// the cluster.
+    fn dfs(&self) -> Option<Arc<Dfs>> {
+        self.dfs_slot.lock().expect("dfs lock").clone()
+    }
+
+    /// Installs the DFS workers read and write through. Must be called
+    /// (see [`crate::cluster::Cluster::set_backend`] call sites) before
+    /// the first remote task runs.
+    pub fn attach_dfs(&self, dfs: Arc<Dfs>) {
+        *self.dfs_slot.lock().expect("dfs lock") = Some(dfs);
+    }
+}
+
+/// Handles one worker DFS request against the driver's store, returning
+/// the `DfsResp` body.
+fn serve_dfs_request(body: &[u8], dfs: &Dfs) -> std::result::Result<Vec<u8>, String> {
+    let Some((&op, rest)) = body.split_first() else {
+        return Err("empty DfsReq".into());
+    };
+    if rest.len() < 4 {
+        return Err("truncated DfsReq".into());
+    }
+    let path_len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+    if rest.len() < 4 + path_len {
+        return Err("truncated DfsReq path".into());
+    }
+    let path = std::str::from_utf8(&rest[4..4 + path_len]).map_err(|e| e.to_string())?;
+    let data = &rest[4 + path_len..];
+    Ok(match op {
+        OP_READ => match dfs.read(path) {
+            Ok(bytes) => {
+                let mut resp = Vec::with_capacity(1 + bytes.len());
+                resp.push(STATUS_OK);
+                resp.extend_from_slice(&bytes);
+                resp
+            }
+            Err(e) => {
+                let mut resp = vec![STATUS_ERR];
+                resp.extend_from_slice(&bincode::serialize(&e));
+                resp
+            }
+        },
+        OP_WRITE => {
+            dfs.write(path, Bytes::from(data.to_vec()));
+            vec![STATUS_OK]
+        }
+        OP_EXISTS => vec![STATUS_OK, dfs.exists(path) as u8],
+        OP_LIST => {
+            let mut resp = vec![STATUS_OK];
+            resp.extend_from_slice(&bincode::serialize(&dfs.list(path)));
+            resp
+        }
+        other => return Err(format!("unknown DFS op {other}")),
+    })
+}
+
+impl ExecBackend for TcpWorkers {
+    fn name(&self) -> &str {
+        "tcp-workers"
+    }
+
+    fn wants_descriptors(&self) -> bool {
+        true
+    }
+
+    fn execute(&self, call: &TaskCall<'_>) -> Result<(ErasedPayload, TaskStats)> {
+        let (Some(desc), Some(decode)) = (&call.descriptor, call.decode) else {
+            // Unregistered job: run it in the driver like InProcess would.
+            return (call.local)();
+        };
+        let Some(dfs) = self.dfs() else {
+            return Err(MrError::Other(
+                "TcpWorkers has no DFS attached (call attach_dfs)".into(),
+            ));
+        };
+        let mut worker = self.checkout()?;
+        match self.run_on_worker(&mut worker, desc, &dfs) {
+            Ok(result) => {
+                self.checkin(worker);
+                let result = result?;
+                let payload = decode(&result.payload)?;
+                Ok((payload, result.stats))
+            }
+            Err(message) => {
+                let id = worker.id;
+                self.reap(worker);
+                Err(MrError::WorkerLost {
+                    worker: id,
+                    message,
+                })
+            }
+        }
+    }
+
+    fn on_node_death(&self, node: usize) {
+        // Map the simulated node onto a real worker and kill it. Idle
+        // workers die immediately; a checked-out worker's owning thread
+        // sees the broken socket and reaps it as WorkerLost.
+        let mut pool = self.pool.lock().expect("pool lock");
+        if pool.idle.is_empty() {
+            return;
+        }
+        let victim = node % pool.idle.len();
+        let mut w = pool.idle.swap_remove(victim);
+        let _ = w.child.kill();
+        let _ = w.child.wait();
+        pool.alive -= 1;
+        drop(pool);
+        self.available.notify_all();
+    }
+
+    fn shutdown(&self) {
+        let mut pool = self.pool.lock().expect("pool lock");
+        if pool.shutting_down {
+            return;
+        }
+        pool.shutting_down = true;
+        let idle = std::mem::take(&mut pool.idle);
+        pool.alive -= idle.len();
+        drop(pool);
+        for mut w in idle {
+            let _ = write_frame(&mut w.stream, TAG_SHUTDOWN, &[]);
+            let _ = w.child.wait();
+        }
+        self.available.notify_all();
+    }
+}
+
+impl Drop for TcpWorkers {
+    fn drop(&mut self) {
+        self.shutdown();
+        // Anything still alive (checked out mid-drop, or wedged) is
+        // killed outright so no orphan processes outlive the driver.
+        let mut pool = self.pool.lock().expect("pool lock");
+        for mut w in pool.idle.drain(..) {
+            let _ = w.child.kill();
+            let _ = w.child.wait();
+        }
+    }
+}
+
+// ---- Worker side ---------------------------------------------------------
+
+/// [`DfsAccess`] implementation that forwards every operation to the
+/// driver over the task's own socket.
+struct RemoteDfs {
+    stream: Mutex<TcpStream>,
+}
+
+impl RemoteDfs {
+    fn request(&self, op: u8, path: &str, data: &[u8]) -> Result<Vec<u8>> {
+        let mut body = Vec::with_capacity(1 + 4 + path.len() + data.len());
+        body.push(op);
+        body.extend_from_slice(&(path.len() as u32).to_le_bytes());
+        body.extend_from_slice(path.as_bytes());
+        body.extend_from_slice(data);
+        let mut stream = self.stream.lock().expect("stream lock");
+        write_frame(&mut stream, TAG_DFS_REQ, &body)
+            .map_err(|e| MrError::Other(format!("worker lost driver connection: {e}")))?;
+        let (tag, resp) = read_frame(&mut stream)
+            .map_err(|e| MrError::Other(format!("worker lost driver connection: {e}")))?;
+        if tag != TAG_DFS_RESP {
+            return Err(MrError::Other(format!("expected DfsResp, got tag {tag}")));
+        }
+        let Some((&status, payload)) = resp.split_first() else {
+            return Err(MrError::Other("empty DfsResp".into()));
+        };
+        match status {
+            STATUS_OK => Ok(payload.to_vec()),
+            _ => Err(bincode::deserialize::<MrError>(payload)
+                .unwrap_or_else(|e| MrError::Other(format!("undecodable DFS error: {e}")))),
+        }
+    }
+}
+
+impl DfsAccess for RemoteDfs {
+    fn read(&self, path: &str) -> Result<Bytes> {
+        self.request(OP_READ, path, &[]).map(Bytes::from)
+    }
+
+    fn write(&self, path: &str, data: Bytes) {
+        // DfsAccess::write is infallible by contract (the in-memory store
+        // cannot fail); a broken socket here surfaces on the next read or
+        // at Done time, and the driver reaps the worker either way.
+        let _ = self.request(OP_WRITE, path, &data);
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.request(OP_EXISTS, path, &[])
+            .map(|resp| resp.first() == Some(&1))
+            .unwrap_or(false)
+    }
+
+    fn list(&self, dir: &str) -> Vec<String> {
+        self.request(OP_LIST, dir, &[])
+            .and_then(|resp| {
+                bincode::deserialize::<Vec<String>>(&resp)
+                    .map_err(|e| MrError::Other(e.to_string()))
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Worker process main loop: connect back to the driver, say hello, then
+/// run every task descriptor it sends until `Shutdown` (or EOF).
+///
+/// The worker binary calls this with a [`TaskRegistry`] built from the
+/// same registrations as the driver's.
+pub fn worker_serve(addr: &str, worker_id: usize, registry: &TaskRegistry) -> Result<()> {
+    let net_err = |what: &str, e: &dyn std::fmt::Display| {
+        MrError::Other(format!("worker {worker_id} {what}: {e}"))
+    };
+    let stream = TcpStream::connect(addr).map_err(|e| net_err("connect", &e))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| net_err("socket", &e))?;
+    {
+        let mut s = stream.try_clone().map_err(|e| net_err("socket", &e))?;
+        write_frame(&mut s, TAG_HELLO, &(worker_id as u64).to_le_bytes())
+            .map_err(|e| net_err("hello", &e))?;
+    }
+    let remote = Arc::new(RemoteDfs {
+        stream: Mutex::new(stream),
+    });
+    loop {
+        let (tag, body) = {
+            let mut s = remote.stream.lock().expect("stream lock");
+            match read_frame(&mut s) {
+                Ok(frame) => frame,
+                // EOF/reset: the driver went away; exit quietly.
+                Err(_) => return Ok(()),
+            }
+        };
+        match tag {
+            TAG_RUN => {
+                let outcome = bincode::deserialize::<TaskDescriptor>(&body)
+                    .map_err(|e| MrError::Other(format!("bad task descriptor: {e}")))
+                    .and_then(|desc| {
+                        let codec = registry.get(&desc.family).ok_or_else(|| {
+                            MrError::InvalidJob(format!(
+                                "worker has no registered family {:?}",
+                                desc.family
+                            ))
+                        })?;
+                        codec.run(&desc, remote.clone() as Arc<dyn DfsAccess>)
+                    });
+                let mut frame = Vec::new();
+                match outcome {
+                    Ok(result) => {
+                        frame.push(STATUS_OK);
+                        frame.extend_from_slice(&bincode::serialize(&result));
+                    }
+                    Err(e) => {
+                        frame.push(STATUS_ERR);
+                        frame.extend_from_slice(&bincode::serialize(&e));
+                    }
+                }
+                let mut s = remote.stream.lock().expect("stream lock");
+                write_frame(&mut s, TAG_DONE, &frame).map_err(|e| net_err("send done", &e))?;
+            }
+            TAG_SHUTDOWN => return Ok(()),
+            other => {
+                return Err(MrError::Other(format!(
+                    "worker {worker_id} got unexpected frame tag {other}"
+                )))
+            }
+        }
+    }
+}

@@ -12,9 +12,10 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 /// Which half of a job a task belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Phase {
     /// Map phase.
     Map,
@@ -46,6 +47,11 @@ pub enum FailureCause {
         /// The timeout that was exceeded, seconds.
         limit_secs: f64,
     },
+    /// The real worker process running the attempt died (or stopped
+    /// responding) under a multi-process backend
+    /// ([`crate::exec::tcp::TcpWorkers`]); the attempt was retried on a
+    /// surviving worker.
+    WorkerLost(usize),
 }
 
 impl FailureCause {
@@ -59,6 +65,7 @@ impl FailureCause {
             FailureCause::TimedOut { limit_secs } => {
                 format!("timeout: exceeded {limit_secs}s")
             }
+            FailureCause::WorkerLost(worker) => format!("worker-lost: worker {worker}"),
         }
     }
 
@@ -72,6 +79,7 @@ impl FailureCause {
             FailureCause::NodeLost(_) => "node-lost",
             FailureCause::OutputLost(_) => "output-lost",
             FailureCause::TimedOut { .. } => "timeout",
+            FailureCause::WorkerLost(_) => "worker-lost",
         }
     }
 }

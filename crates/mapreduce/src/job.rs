@@ -18,7 +18,7 @@ use std::time::Duration;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
-use crate::dfs::Dfs;
+use crate::dfs::DfsAccess;
 use crate::error::Result;
 
 /// Measured work of one task attempt, priced by
@@ -71,7 +71,7 @@ impl TaskStats {
 /// Context handed to each map task: DFS access (accounted), identity, and
 /// the emit channel.
 pub struct MapContext<K, V> {
-    dfs: Arc<Dfs>,
+    dfs: Arc<dyn DfsAccess>,
     task_index: usize,
     num_tasks: usize,
     stats: TaskStats,
@@ -83,7 +83,7 @@ pub struct MapContext<K, V> {
 
 impl<K, V> MapContext<K, V> {
     pub(crate) fn new(
-        dfs: Arc<Dfs>,
+        dfs: Arc<dyn DfsAccess>,
         task_index: usize,
         num_tasks: usize,
         kv_size: fn(&K, &V) -> u64,
@@ -181,7 +181,7 @@ impl<K, V> MapContext<K, V> {
 
 /// Context handed to each reduce task.
 pub struct ReduceContext {
-    dfs: Arc<Dfs>,
+    dfs: Arc<dyn DfsAccess>,
     partition: usize,
     num_partitions: usize,
     stats: TaskStats,
@@ -189,7 +189,7 @@ pub struct ReduceContext {
 }
 
 impl ReduceContext {
-    pub(crate) fn new(dfs: Arc<Dfs>, partition: usize, num_partitions: usize) -> Self {
+    pub(crate) fn new(dfs: Arc<dyn DfsAccess>, partition: usize, num_partitions: usize) -> Self {
         ReduceContext {
             dfs,
             partition,
@@ -254,26 +254,26 @@ impl ReduceContext {
 ///
 /// Implementations must be stateless across calls (Hadoop may run the same
 /// mapper object in any order, on any node, more than once under retry).
-pub trait Mapper: Send + Sync {
+pub trait Mapper: Send + Sync + 'static {
     /// One input split (the paper's jobs use a small control integer).
-    type Input: Clone + Send + Sync;
+    type Input: Clone + Send + Sync + 'static;
     /// Shuffle key.
-    type Key: Ord + Clone + Send + Sync;
+    type Key: Ord + Clone + Send + Sync + 'static;
     /// Shuffle value.
-    type Value: Clone + Send + Sync;
+    type Value: Clone + Send + Sync + 'static;
 
     /// Processes one split, emitting pairs and doing side DFS I/O.
     fn map(&self, input: &Self::Input, ctx: &mut MapContext<Self::Key, Self::Value>) -> Result<()>;
 }
 
 /// A reduce function: called once per key with all the key's values.
-pub trait Reducer: Send + Sync {
+pub trait Reducer: Send + Sync + 'static {
     /// Shuffle key (must match the mapper's).
-    type Key: Ord + Clone + Send + Sync;
+    type Key: Ord + Clone + Send + Sync + 'static;
     /// Shuffle value (must match the mapper's).
-    type Value: Clone + Send + Sync;
+    type Value: Clone + Send + Sync + 'static;
     /// Per-key output collected into the job report.
-    type Output: Send;
+    type Output: Send + 'static;
 
     /// Processes one `(key, values)` group.
     fn reduce(
@@ -302,6 +302,23 @@ pub struct JobSpec<K, V = ()> {
     pub(crate) partitioner: fn(&K, usize) -> usize,
     pub(crate) combiner: Option<fn(&K, &[V]) -> V>,
     pub(crate) kv_size: fn(&K, &V) -> u64,
+    pub(crate) kv_sizing: KvSizing,
+    pub(crate) remote: Option<String>,
+}
+
+/// Which shuffle-pair sizing a [`JobSpec`] uses — tracked beside the
+/// `kv_size` fn pointer so a remote worker (which cannot receive a fn
+/// pointer over the wire) can reconstruct the same sizing from this tag.
+/// Specs with a [`JobSpec::kv_size`] *custom* function cannot run remotely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KvSizing {
+    /// [`default_kv_size`]: shallow in-memory size.
+    Shallow,
+    /// [`shuffle_size_kv`]: deep [`ShuffleSize`] bytes
+    /// ([`JobSpec::shuffle_sized`]).
+    Deep,
+    /// A caller-supplied [`JobSpec::kv_size`] function (not portable).
+    Custom,
 }
 
 impl<K: std::hash::Hash, V> JobSpec<K, V> {
@@ -314,6 +331,8 @@ impl<K: std::hash::Hash, V> JobSpec<K, V> {
             partitioner: hash_partitioner::<K>,
             combiner: None,
             kv_size: default_kv_size::<K, V>,
+            kv_sizing: KvSizing::Shallow,
+            remote: None,
         }
     }
 
@@ -345,6 +364,7 @@ impl<K: std::hash::Hash, V> JobSpec<K, V> {
     /// [`ShuffleSize`].
     pub fn kv_size(mut self, f: fn(&K, &V) -> u64) -> Self {
         self.kv_size = f;
+        self.kv_sizing = KvSizing::Custom;
         self
     }
 }
@@ -354,6 +374,7 @@ impl<K: ShuffleSize, V: ShuffleSize> JobSpec<K, V> {
     /// real framework would serialize and move, heap payloads included.
     pub fn shuffle_sized(mut self) -> Self {
         self.kv_size = shuffle_size_kv::<K, V>;
+        self.kv_sizing = KvSizing::Deep;
         self
     }
 }
@@ -367,6 +388,26 @@ impl<K, V> JobSpec<K, V> {
     /// Number of reduce partitions (0 = map-only job).
     pub fn num_reducers(&self) -> usize {
         self.num_reducers
+    }
+
+    /// Names the registered task family this job's map/reduce functions
+    /// belong to, making the job eligible for remote execution: a backend
+    /// that ships tasks to worker processes looks the family up in the
+    /// driver's [`crate::exec::TaskRegistry`] and the worker resolves the
+    /// same name in its own registry. Jobs without a family (or whose
+    /// family is absent from the registry) always run in-process.
+    ///
+    /// The family is execution plumbing, not job identity: it does not
+    /// enter [`JobSpec::fingerprint`], so manifests stay bit-identical
+    /// across backends.
+    pub fn remote(mut self, family: impl Into<String>) -> Self {
+        self.remote = Some(family.into());
+        self
+    }
+
+    /// The registered task family for remote execution, if any.
+    pub fn remote_family(&self) -> Option<&str> {
+        self.remote.as_deref()
     }
 
     /// Stable fingerprint of this spec, identical across processes and
@@ -484,13 +525,13 @@ pub fn shuffle_size_kv<K: ShuffleSize, V: ShuffleSize>(k: &K, v: &V) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dfs::Dfs;
 
     #[test]
     fn map_context_accounts_io_and_emits() {
         let dfs = Arc::new(Dfs::default());
         dfs.write("in", Bytes::from(vec![1u8; 64]));
-        let mut ctx: MapContext<usize, usize> =
-            MapContext::new(Arc::clone(&dfs), 2, 4, default_kv_size);
+        let mut ctx: MapContext<usize, usize> = MapContext::new(dfs.clone(), 2, 4, default_kv_size);
         assert_eq!(ctx.task_index(), 2);
         assert_eq!(ctx.num_tasks(), 4);
         let data = ctx.read("in").unwrap();
@@ -516,7 +557,7 @@ mod tests {
     fn reduce_context_accounts_io() {
         let dfs = Arc::new(Dfs::default());
         dfs.write("x", Bytes::from(vec![0u8; 10]));
-        let mut ctx = ReduceContext::new(Arc::clone(&dfs), 1, 3);
+        let mut ctx = ReduceContext::new(dfs.clone(), 1, 3);
         assert_eq!(ctx.partition(), 1);
         assert_eq!(ctx.num_partitions(), 3);
         let _ = ctx.read("x").unwrap();

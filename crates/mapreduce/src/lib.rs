@@ -21,6 +21,12 @@
 //!   DFS bytes, shuffle bytes) into simulated cluster time, including the
 //!   constant MapReduce job-launch overhead that the paper's `nb` bound
 //!   value is tuned against (Section 5);
+//! * [`exec`] — the pluggable execution backend seam: task attempts
+//!   dispatch through an [`exec::ExecBackend`] owned by the cluster. The
+//!   default [`exec::InProcess`] runs closures on rayon exactly as before;
+//!   [`exec::tcp::TcpWorkers`] ships bincode task descriptors to real
+//!   worker *processes* over TCP and serves their DFS traffic from the
+//!   driver;
 //! * [`fault::FaultPlan`] — deterministic task-failure injection plus the
 //!   Hadoop retry policy, reproducing the Section 7.4 failure-recovery
 //!   experiment;
@@ -52,6 +58,7 @@ pub mod cluster;
 pub mod dfs;
 pub mod driver;
 pub mod error;
+pub mod exec;
 pub mod fault;
 pub mod job;
 pub mod master;
@@ -67,6 +74,8 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use dfs::Dfs;
 pub use driver::{Fingerprint, ManifestRecord, PipelineDriver, RunId, RunReport};
 pub use error::{MrError, Result};
+pub use exec::tcp::{worker_serve, TcpWorkers, TcpWorkersConfig};
+pub use exec::{ExecBackend, InProcess, TaskDescriptor, TaskRegistry};
 pub use fault::{FailureCause, FaultPlan, Phase};
 pub use job::{JobSpec, MapContext, Mapper, ReduceContext, Reducer, ShuffleSize, TaskStats};
 pub use metrics::MetricsSnapshot;

@@ -24,12 +24,15 @@
 //! attempt (the paper's tasks write worker-unique files, Section 5.2).
 
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::cluster::Cluster;
 use crate::error::{MrError, Result};
+use crate::exec::{
+    ErasedPayload, JobCodec, RawMapPayload, RawReducePayload, TaskCall, TaskDescriptor,
+};
 use crate::fault::{FailureCause, Phase};
-use crate::job::{JobSpec, MapContext, Mapper, ReduceContext, Reducer, TaskStats};
+use crate::job::{JobSpec, KvSizing, MapContext, Mapper, ReduceContext, Reducer, TaskStats};
 use crate::obs::Labels;
 use crate::scheduler::{plan_wave, AttemptOutcome, PlannedTask, WaveFaults, WavePlan};
 use crate::shuffle::{parallel_shuffle, partition_pairs, ReducerInput};
@@ -218,6 +221,7 @@ fn run_with_retries<T>(
     let max_attempts = cluster.config.max_task_attempts.max(1);
     let mut attempt_stats = Vec::new();
     let mut attempt_failures = Vec::new();
+    let mut workers_lost = 0u32;
     for _attempt in 0..max_attempts {
         let (payload, stats) = match body() {
             Ok(ok) => ok,
@@ -229,6 +233,25 @@ fn run_with_retries<T>(
                 attempt_stats.push(TaskStats::default());
                 attempt_failures.push(Some(cause.label()));
                 cluster.metrics.record_failures(1);
+                continue;
+            }
+            Err(MrError::WorkerLost { worker, .. }) => {
+                // A real worker process died mid-attempt. The dead worker
+                // left its backend's pool, so after a capped-exponential
+                // *wall-clock* backoff (the PR 4 timeout-retry knobs) the
+                // retry lands on a surviving worker.
+                let cause = FailureCause::WorkerLost(worker);
+                record_body_failure_obs(cluster, job, phase, &cause);
+                attempt_stats.push(TaskStats::default());
+                attempt_failures.push(Some(cause.label()));
+                cluster.metrics.record_failures(1);
+                let delay = (cluster.config.retry_backoff_base_secs
+                    * 2f64.powi(workers_lost as i32))
+                .min(cluster.config.retry_backoff_cap_secs);
+                workers_lost += 1;
+                if delay > 0.0 {
+                    std::thread::sleep(std::time::Duration::from_secs_f64(delay));
+                }
                 continue;
             }
             Err(e) => return Err(e),
@@ -266,6 +289,9 @@ fn fire_due_deaths(cluster: &Cluster) {
     let now = cluster.sim_secs();
     for (node, at) in cluster.faults.deaths_due(now) {
         cluster.dfs.kill_node(node);
+        // Backends with real worker processes map the simulated node death
+        // onto killing one of them (no-op for in-process execution).
+        cluster.backend().on_node_death(node);
         if cluster.trace.is_enabled() {
             cluster.trace.record(TaskEvent {
                 job: "cluster".to_string(),
@@ -517,6 +543,134 @@ fn wrap_task_error(job: &str, phase: Phase, task: usize, e: MrError) -> MrError 
     }
 }
 
+/// Remote-execution hooks for one wave, present only when the cluster's
+/// backend asked for descriptors ([`crate::exec::ExecBackend::wants_descriptors`])
+/// and the job's [`JobSpec::remote`] family is registered.
+struct RemoteWave<'a> {
+    family: &'a str,
+    kv: KvSizing,
+    /// Builds task `idx`'s family-specific descriptor payload.
+    encode: &'a (dyn Fn(usize) -> Result<Value> + Sync),
+    /// Decodes a remote result payload into the wave's erased payload.
+    decode: fn(&Value) -> Result<ErasedPayload>,
+}
+
+/// Resolves the remote codec for a job: `Some` exactly when the backend
+/// wants descriptors and the spec names a registered family. A registered
+/// family whose job carries a custom `kv_size` closure is rejected — the
+/// closure cannot ship to a worker process, and silently degrading to
+/// local execution would hide the misconfiguration.
+fn remote_codec<'c, K, V>(
+    cluster: &'c Cluster,
+    spec: &JobSpec<K, V>,
+) -> Result<Option<&'c JobCodec>> {
+    if !cluster.backend().wants_descriptors() {
+        return Ok(None);
+    }
+    let Some(codec) = spec
+        .remote_family()
+        .and_then(|family| cluster.registry().get(family))
+    else {
+        return Ok(None);
+    };
+    if spec.kv_sizing == KvSizing::Custom {
+        return Err(MrError::InvalidJob(format!(
+            "job {:?} pairs a remote task family with a custom kv_size closure, \
+             which cannot be shipped to worker processes",
+            spec.name
+        )));
+    }
+    Ok(Some(codec))
+}
+
+/// Runs one wave of tasks through the cluster's execution backend — the
+/// single `ExecBackend::execute` call site shared by the map, reduce, and
+/// map-only waves.
+///
+/// Per task: the (attempt-invariant) descriptor is encoded once, lazily,
+/// only when a remote codec is present; each attempt then dispatches
+/// through the backend inside [`run_with_retries`], recording real
+/// wall-clock per-attempt metrics beside the simulated ones. The `local`
+/// body and the remote worker both return the *raw* family payload;
+/// `post` applies the driver-side tail (combiner, partitioning) inside
+/// the retry closure, so the stats an injected fault discards include the
+/// tail's mutations exactly as the pre-backend inline path produced them.
+fn run_wave<T, L, P>(
+    cluster: &Cluster,
+    job: &str,
+    phase: Phase,
+    num_tasks: usize,
+    remote: Option<RemoteWave<'_>>,
+    local: L,
+    post: P,
+) -> Result<Vec<TaskRun<T>>>
+where
+    T: Send,
+    L: Fn(usize) -> Result<(ErasedPayload, TaskStats)> + Sync,
+    P: Fn(usize, ErasedPayload, &mut TaskStats) -> Result<T> + Sync,
+{
+    let backend = cluster.backend();
+    let obs = cluster.metrics.obs();
+    (0..num_tasks)
+        .collect::<Vec<usize>>()
+        .into_par_iter()
+        .map(|idx| {
+            let descriptor = match &remote {
+                Some(r) => Some(TaskDescriptor {
+                    job: job.to_string(),
+                    family: r.family.to_string(),
+                    phase,
+                    task_index: idx,
+                    num_tasks,
+                    kv: r.kv,
+                    payload: (r.encode)(idx)?,
+                }),
+                None => None,
+            };
+            let local_thunk = || local(idx);
+            run_with_retries(cluster, job, phase, idx, || {
+                let call = TaskCall {
+                    descriptor: descriptor.clone(),
+                    local: &local_thunk,
+                    decode: remote
+                        .as_ref()
+                        .map(|r| &r.decode as &(dyn Fn(&Value) -> Result<ErasedPayload> + Sync)),
+                };
+                let wall = std::time::Instant::now();
+                let executed = backend.execute(&call);
+                if obs.is_enabled() {
+                    // Real elapsed time, not simulated: under a remote
+                    // backend this includes serialization, the network
+                    // round trip, and the worker's execution.
+                    let labels = Labels::new()
+                        .job(job)
+                        .wave(wave_label(phase))
+                        .backend(backend.name());
+                    obs.histogram("mrinv_backend_task_wall_seconds", &labels)
+                        .observe(wall.elapsed().as_secs_f64());
+                    obs.counter("mrinv_backend_tasks_total", &labels).add(1);
+                }
+                let (erased, mut stats) = match executed {
+                    Ok(ok) => ok,
+                    Err(e @ MrError::WorkerLost { .. }) => return Err(e),
+                    Err(e) => return Err(wrap_task_error(job, phase, idx, e)),
+                };
+                let payload = post(idx, erased, &mut stats)?;
+                Ok((payload, stats))
+            })
+        })
+        .collect()
+}
+
+/// Downcast failure of a wave payload — only reachable if a registered
+/// decoder produced a different type than the wave expects, which the
+/// registry's monomorphized codecs rule out by construction.
+fn payload_type_error(job: &str) -> MrError {
+    MrError::InvalidJob(format!(
+        "job {job:?}: task payload type does not match the wave (mismatched remote family)"
+    ))
+}
+
 /// Executes a full map+shuffle+reduce job on the cluster.
 ///
 /// Returns the reduce outputs (sorted by partition, then key) and the
@@ -559,50 +713,70 @@ where
         std::collections::BTreeMap<String, u64>,
         Vec<(String, u64)>,
     );
-    let map_runs: Vec<TaskRun<MapPayload<M>>> = inputs
-        .par_iter()
-        .enumerate()
-        .map(|(idx, input)| {
-            run_with_retries(cluster, &spec.name, Phase::Map, idx, || {
-                let mut ctx = MapContext::new(cluster.dfs.clone(), idx, num_tasks, spec.kv_size);
-                let start = std::time::Instant::now();
-                mapper
-                    .map(input, &mut ctx)
-                    .map_err(|e| wrap_task_error(&spec.name, Phase::Map, idx, e))?;
-                let reads = ctx.take_reads();
-                let (mut pairs, mut stats, counters) = ctx.finish(start.elapsed());
-                // Map-side combine (Hadoop combiner): pre-aggregate this
-                // task's output per key, shrinking the shuffle.
-                // `emitted_pairs` keeps the pre-combine count; the combine
-                // counters record the shrink, and the shuffled bytes are
-                // re-priced exactly from the surviving pairs (a count
-                // ratio would misprice variable-size values).
-                if let Some(combine) = spec.combiner {
-                    pairs.sort_by(|a, b| a.0.cmp(&b.0));
-                    stats.combine_input_pairs = pairs.len() as u64;
-                    let (keys, values): (Vec<M::Key>, Vec<M::Value>) = pairs.into_iter().unzip();
-                    let mut combined = Vec::new();
-                    let mut combined_bytes = 0u64;
-                    let mut i = 0;
-                    while i < keys.len() {
-                        let mut j = i + 1;
-                        while j < keys.len() && keys[j] == keys[i] {
-                            j += 1;
-                        }
-                        let merged = combine(&keys[i], &values[i..j]);
-                        combined_bytes += (spec.kv_size)(&keys[i], &merged);
-                        combined.push((keys[i].clone(), merged));
-                        i = j;
+    let codec = remote_codec(cluster, spec)?;
+    let map_encode = |idx: usize| -> Result<Value> {
+        let c = codec.expect("encode runs only when a codec is present");
+        (c.encode_map)(mapper, &inputs[idx])
+    };
+    let map_remote = codec.map(|c| RemoteWave {
+        family: spec.remote_family().unwrap_or_default(),
+        kv: spec.kv_sizing,
+        encode: &map_encode,
+        decode: c.decode_map,
+    });
+    let map_local = |idx: usize| -> Result<(ErasedPayload, TaskStats)> {
+        let mut ctx = MapContext::new(cluster.dfs.clone(), idx, num_tasks, spec.kv_size);
+        let start = std::time::Instant::now();
+        mapper.map(&inputs[idx], &mut ctx)?;
+        let reads = ctx.take_reads();
+        let (pairs, stats, counters) = ctx.finish(start.elapsed());
+        let payload: RawMapPayload<M::Key, M::Value> = (pairs, counters, reads);
+        Ok((Box::new(payload) as ErasedPayload, stats))
+    };
+    let map_post =
+        |_idx: usize, erased: ErasedPayload, stats: &mut TaskStats| -> Result<MapPayload<M>> {
+            let (mut pairs, counters, reads) = *erased
+                .downcast::<RawMapPayload<M::Key, M::Value>>()
+                .map_err(|_| payload_type_error(&spec.name))?;
+            // Map-side combine (Hadoop combiner): pre-aggregate this
+            // task's output per key, shrinking the shuffle.
+            // `emitted_pairs` keeps the pre-combine count; the combine
+            // counters record the shrink, and the shuffled bytes are
+            // re-priced exactly from the surviving pairs (a count
+            // ratio would misprice variable-size values).
+            if let Some(combine) = spec.combiner {
+                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                stats.combine_input_pairs = pairs.len() as u64;
+                let (keys, values): (Vec<M::Key>, Vec<M::Value>) = pairs.into_iter().unzip();
+                let mut combined = Vec::new();
+                let mut combined_bytes = 0u64;
+                let mut i = 0;
+                while i < keys.len() {
+                    let mut j = i + 1;
+                    while j < keys.len() && keys[j] == keys[i] {
+                        j += 1;
                     }
-                    stats.combine_output_pairs = combined.len() as u64;
-                    stats.shuffle_bytes = combined_bytes;
-                    pairs = combined;
+                    let merged = combine(&keys[i], &values[i..j]);
+                    combined_bytes += (spec.kv_size)(&keys[i], &merged);
+                    combined.push((keys[i].clone(), merged));
+                    i = j;
                 }
-                let buckets = partition_pairs(pairs, spec.partitioner, spec.num_reducers);
-                Ok(((buckets, counters, reads), stats))
-            })
-        })
-        .collect::<Result<_>>()?;
+                stats.combine_output_pairs = combined.len() as u64;
+                stats.shuffle_bytes = combined_bytes;
+                pairs = combined;
+            }
+            let buckets = partition_pairs(pairs, spec.partitioner, spec.num_reducers);
+            Ok((buckets, counters, reads))
+        };
+    let map_runs: Vec<TaskRun<MapPayload<M>>> = run_wave(
+        cluster,
+        &spec.name,
+        Phase::Map,
+        num_tasks,
+        map_remote,
+        map_local,
+        map_post,
+    )?;
 
     // ---- Map wave accounting ---------------------------------------------
     let mut map_stats_lists = Vec::with_capacity(map_runs.len());
@@ -702,27 +876,49 @@ where
         Vec<(<M as Mapper>::Key, <R as Reducer>::Output)>,
         std::collections::BTreeMap<String, u64>,
     );
-    let reduce_results: Vec<TaskRun<ReducePayload<M, R>>> = reducer_inputs
-        .par_iter()
-        .enumerate()
-        .map(|(p, input)| {
-            run_with_retries(cluster, &spec.name, Phase::Reduce, p, || {
-                let mut ctx = ReduceContext::new(cluster.dfs.clone(), p, spec.num_reducers);
-                let start = std::time::Instant::now();
-                let mut outputs = Vec::new();
-                // Each group's values are a contiguous slice borrowed from
-                // the sorted run — nothing is cloned on the way in.
-                for (key, values) in input.groups() {
-                    let out = reducer
-                        .reduce(key, values, &mut ctx)
-                        .map_err(|e| wrap_task_error(&spec.name, Phase::Reduce, p, e))?;
-                    outputs.push((key.clone(), out));
-                }
-                let (stats, counters) = ctx.finish(start.elapsed());
-                Ok(((outputs, counters), stats))
-            })
-        })
-        .collect::<Result<_>>()?;
+    let reduce_codec = codec.filter(|c| c.encode_reduce.is_some());
+    let reduce_encode = |p: usize| -> Result<Value> {
+        let c = reduce_codec.expect("encode runs only when a codec is present");
+        (c.encode_reduce.expect("filtered on encode_reduce"))(reducer, &reducer_inputs[p])
+    };
+    let reduce_remote = reduce_codec.map(|c| RemoteWave {
+        family: spec.remote_family().unwrap_or_default(),
+        kv: spec.kv_sizing,
+        encode: &reduce_encode,
+        decode: c
+            .decode_reduce
+            .expect("map+reduce family has a reduce decoder"),
+    });
+    let reduce_local = |p: usize| -> Result<(ErasedPayload, TaskStats)> {
+        let mut ctx = ReduceContext::new(cluster.dfs.clone(), p, spec.num_reducers);
+        let start = std::time::Instant::now();
+        let mut outputs = Vec::new();
+        // Each group's values are a contiguous slice borrowed from
+        // the sorted run — nothing is cloned on the way in.
+        for (key, values) in reducer_inputs[p].groups() {
+            let out = reducer.reduce(key, values, &mut ctx)?;
+            outputs.push((key.clone(), out));
+        }
+        let (stats, counters) = ctx.finish(start.elapsed());
+        let payload: RawReducePayload<M::Key, R::Output> = (outputs, counters);
+        Ok((Box::new(payload) as ErasedPayload, stats))
+    };
+    let reduce_post =
+        |_p: usize, erased: ErasedPayload, _stats: &mut TaskStats| -> Result<ReducePayload<M, R>> {
+            let (outputs, counters) = *erased
+                .downcast::<RawReducePayload<M::Key, R::Output>>()
+                .map_err(|_| payload_type_error(&spec.name))?;
+            Ok((outputs, counters))
+        };
+    let reduce_results: Vec<TaskRun<ReducePayload<M, R>>> = run_wave(
+        cluster,
+        &spec.name,
+        Phase::Reduce,
+        spec.num_reducers,
+        reduce_remote,
+        reduce_local,
+        reduce_post,
+    )?;
 
     let mut reduce_stats_lists = Vec::with_capacity(reduce_results.len());
     let mut reduce_failure_lists = Vec::with_capacity(reduce_results.len());
@@ -862,22 +1058,44 @@ where
     let num_tasks = inputs.len();
     let cfg = &cluster.config;
     type MapOnlyPayload = (std::collections::BTreeMap<String, u64>, Vec<(String, u64)>);
-    let map_runs: Vec<TaskRun<MapOnlyPayload>> = inputs
-        .par_iter()
-        .enumerate()
-        .map(|(idx, input)| {
-            run_with_retries(cluster, &spec.name, Phase::Map, idx, || {
-                let mut ctx = MapContext::new(cluster.dfs.clone(), idx, num_tasks, spec.kv_size);
-                let start = std::time::Instant::now();
-                mapper
-                    .map(input, &mut ctx)
-                    .map_err(|e| wrap_task_error(&spec.name, Phase::Map, idx, e))?;
-                let reads = ctx.take_reads();
-                let (_pairs, stats, counters) = ctx.finish(start.elapsed());
-                Ok(((counters, reads), stats))
-            })
-        })
-        .collect::<Result<_>>()?;
+    let codec = remote_codec(cluster, spec)?;
+    let map_encode = |idx: usize| -> Result<Value> {
+        let c = codec.expect("encode runs only when a codec is present");
+        (c.encode_map)(mapper, &inputs[idx])
+    };
+    let map_remote = codec.map(|c| RemoteWave {
+        family: spec.remote_family().unwrap_or_default(),
+        kv: spec.kv_sizing,
+        encode: &map_encode,
+        decode: c.decode_map,
+    });
+    let map_local = |idx: usize| -> Result<(ErasedPayload, TaskStats)> {
+        let mut ctx = MapContext::new(cluster.dfs.clone(), idx, num_tasks, spec.kv_size);
+        let start = std::time::Instant::now();
+        mapper.map(&inputs[idx], &mut ctx)?;
+        let reads = ctx.take_reads();
+        let (pairs, stats, counters) = ctx.finish(start.elapsed());
+        let payload: RawMapPayload<M::Key, M::Value> = (pairs, counters, reads);
+        Ok((Box::new(payload) as ErasedPayload, stats))
+    };
+    let map_post =
+        |_idx: usize, erased: ErasedPayload, _stats: &mut TaskStats| -> Result<MapOnlyPayload> {
+            // The mappers do all the work through DFS side files; any
+            // emitted pairs are discarded exactly as the inline path did.
+            let (_pairs, counters, reads) = *erased
+                .downcast::<RawMapPayload<M::Key, M::Value>>()
+                .map_err(|_| payload_type_error(&spec.name))?;
+            Ok((counters, reads))
+        };
+    let map_runs: Vec<TaskRun<MapOnlyPayload>> = run_wave(
+        cluster,
+        &spec.name,
+        Phase::Map,
+        num_tasks,
+        map_remote,
+        map_local,
+        map_post,
+    )?;
 
     let mut stats_lists = Vec::with_capacity(map_runs.len());
     let mut failure_lists = Vec::with_capacity(map_runs.len());

@@ -71,75 +71,42 @@ pub fn schedule_wave_hetero(
     slots_per_node: usize,
     speculative: bool,
 ) -> WaveSchedule {
-    let nodes = node_speeds.len().max(1);
-    let slots_per_node = slots_per_node.max(1);
-    let slot_count = nodes * slots_per_node;
-    let speed = |slot: usize| -> f64 {
-        let s = node_speeds
-            .get(slot / slots_per_node)
-            .copied()
-            .unwrap_or(1.0);
-        if s > 0.0 {
-            s
-        } else {
-            1.0
-        }
+    // One planning engine: the legacy entry point is a thin view over
+    // [`plan_wave`] with a fault-free environment (single-attempt budget,
+    // no deaths, no timeouts, no locality inputs). With nothing to retry,
+    // every task has exactly one attempt and the plan's greedy placement
+    // and speculative-backup logic reduce to the pre-fold scheduler
+    // exactly — the `plan_reduces_to_simple_scheduler_without_faults`
+    // test pins the conversion.
+    let tasks: Vec<PlannedTask> = task_secs
+        .iter()
+        .map(|&t| PlannedTask {
+            failed_secs: Vec::new(),
+            success_secs: t,
+            reads: Vec::new(),
+        })
+        .collect();
+    let faults = WaveFaults {
+        max_attempts: 1,
+        ..WaveFaults::default()
     };
-    let mut free_at = vec![0.0_f64; slot_count];
-    let mut placements = Vec::with_capacity(task_secs.len());
-    let mut intervals = Vec::with_capacity(task_secs.len());
-    let mut completions = Vec::with_capacity(task_secs.len());
-    for &t in task_secs {
-        // Earliest-free slot (speed-blind; ties to the lowest index).
-        let (slot, _) = free_at
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
-            .expect("slot_count >= 1");
-        let start = free_at[slot];
-        free_at[slot] += t / speed(slot);
-        placements.push(slot / slots_per_node);
-        intervals.push((start, free_at[slot]));
-        completions.push((slot, free_at[slot], t));
-    }
-    let mut makespan = free_at.iter().fold(0.0_f64, |m, &v| m.max(v));
-
-    if speculative {
-        // One backup attempt for the task that defines the makespan: it
-        // may finish earlier on another (faster or idler) slot.
-        if let Some(&(slot, finish, t)) = completions
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        {
-            // The backup starts once the alternative slot drains; pick the
-            // slot where the copy would finish earliest.
-            let backup = (0..slot_count).filter(|&s| s != slot).min_by(|&a, &b| {
-                (free_at[a] + t / speed(a))
-                    .partial_cmp(&(free_at[b] + t / speed(b)))
-                    .unwrap()
-                    .then(a.cmp(&b))
-            });
-            if let Some(backup) = backup {
-                let alt = free_at[backup] + t / speed(backup);
-                if alt < finish {
-                    // The straggler's copy is cancelled the moment the
-                    // backup completes: its slot is busy only until `alt`,
-                    // and the backup slot is charged for the copy it ran.
-                    // (The straggler is the last task on its slot — it
-                    // defines the makespan — so truncating `free_at` is
-                    // exactly the cancelled copy's tail.)
-                    free_at[slot] = alt;
-                    free_at[backup] = alt;
-                    makespan = free_at.iter().fold(0.0_f64, |m, &v| m.max(v));
-                }
-            }
-        }
-    }
+    let plan = plan_wave(&tasks, node_speeds, slots_per_node, speculative, &faults);
     WaveSchedule {
-        makespan_secs: makespan,
-        slot_busy_secs: free_at,
-        placements,
-        intervals,
+        makespan_secs: plan.makespan_secs,
+        slot_busy_secs: plan.slot_busy_secs,
+        placements: plan
+            .attempts
+            .iter()
+            .map(|a| a.first().expect("one attempt per task").node)
+            .collect(),
+        intervals: plan
+            .attempts
+            .iter()
+            .map(|a| {
+                let first = a.first().expect("one attempt per task");
+                (first.start, first.end)
+            })
+            .collect(),
     }
 }
 

@@ -49,6 +49,17 @@ impl<K: Ord, V> ReducerInput<K, V> {
         ReducerInput { keys, values }
     }
 
+    /// Rebuilds an input from already-sorted parallel arrays *without*
+    /// re-sorting — used when a remote worker receives a partition the
+    /// driver already shuffled. The caller guarantees `keys` is sorted and
+    /// `values[i]` belongs to `keys[i]` (a re-sort here could not restore
+    /// the stable cross-task order anyway, since ties carry no task ids).
+    pub(crate) fn from_sorted_parts(keys: Vec<K>, values: Vec<V>) -> Self {
+        debug_assert_eq!(keys.len(), values.len());
+        debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        ReducerInput { keys, values }
+    }
+
     /// Number of `(key, value)` pairs.
     pub fn len(&self) -> usize {
         self.keys.len()

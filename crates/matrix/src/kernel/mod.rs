@@ -5,8 +5,8 @@
 //! time in exactly three level-3 kernels — GEMM, TRSM, and the LU panel
 //! update — and the distributed pipeline's map/reduce tasks bottom out in
 //! the same operations. This module replaces the nine overlapping naive
-//! triple-loop entry points that used to live in [`crate::multiply`] with
-//! a single surface:
+//! triple-loop entry points that used to live in the removed `multiply`
+//! module with a single surface (re-exported at the crate root):
 //!
 //! * [`gemm`] — `C := alpha * op(A) * op(B) + beta * C` with
 //!   [`Op::NoTrans`]/[`Op::Trans`] per operand;

@@ -50,8 +50,16 @@ fn naive_backend_is_bit_identical_to_legacy_kernels() {
     let b = random_matrix(17, 29, 5);
     let c0 = random_matrix(23, 29, 6);
 
-    #[allow(deprecated)]
-    let legacy = crate::multiply::mul_naive(&a, &b).unwrap();
+    // Reference: the pre-engine mul_naive i-k-j accumulation order.
+    let mut legacy = Matrix::zeros(23, 29);
+    for i in 0..23 {
+        for p in 0..17 {
+            let apv = a[(i, p)];
+            for j in 0..29 {
+                legacy[(i, j)] += apv * b[(p, j)];
+            }
+        }
+    }
     let mut c = Matrix::zeros(23, 29);
     gemm_with(&Naive, 1.0, notrans(&a), notrans(&b), 0.0, &mut c).unwrap();
     assert_eq!(c, legacy, "fresh product must match mul_naive bitwise");
@@ -368,4 +376,10 @@ fn opref_logical_shapes() {
     let a = Matrix::zeros(3, 5);
     assert_eq!((notrans(&a).rows(), notrans(&a).cols()), (3, 5));
     assert_eq!((trans(&a).rows(), trans(&a).cols()), (5, 3));
+}
+
+#[test]
+fn gemm_flops_counts_two_per_madd() {
+    assert_eq!(gemm_flops(2, 3, 4), 48);
+    assert_eq!(gemm_flops(0, 3, 4), 0);
 }

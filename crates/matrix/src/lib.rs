@@ -11,8 +11,9 @@
 //!   (Equation 4) and forward/back substitution;
 //! * [`kernel`] — the BLAS-3 engine: one `gemm` entry point over pluggable
 //!   backends (packed cache-blocked default, bit-exact naive reference,
-//!   Equation 7 strided ablation), blocked TRSM, and blocked LU;
-//! * [`multiply`] — deprecated shims over [`kernel`] kept for one release;
+//!   Equation 7 strided ablation), blocked TRSM, and blocked LU — `gemm`
+//!   and `trsm` are re-exported at the crate root as the blessed entry
+//!   points;
 //! * [`permutation`] — the compact `S`-array representation of the pivot
 //!   permutation matrix `P`;
 //! * [`random`] — seeded random test-matrix generation (Section 7.1);
@@ -37,7 +38,6 @@ pub mod gauss_jordan;
 pub mod io;
 pub mod kernel;
 pub mod lu;
-pub mod multiply;
 pub mod norms;
 pub mod permutation;
 pub mod qr;
@@ -47,6 +47,7 @@ pub mod triangular;
 
 pub use dense::Matrix;
 pub use error::{MatrixError, Result};
+pub use kernel::{gemm, gemm_flops, gemm_with, notrans, trans, trsm, trsm_with};
 pub use permutation::Permutation;
 
 /// Default absolute tolerance used by tests and accuracy checks.

@@ -1,0 +1,247 @@
+//! Vendored offline stand-in for `bincode`.
+//!
+//! The real bincode serializes through serde's visitor machinery; this
+//! stand-in encodes the workspace serde's concrete [`Value`] tree with a
+//! compact tagged binary format. Every node is one tag byte followed by a
+//! fixed-width little-endian payload, so encoding is deterministic and
+//! floats round-trip bit-exactly (`f64::to_bits`, not decimal text —
+//! unlike the JSON path).
+//!
+//! Wire grammar (all integers little-endian):
+//!
+//! | tag | node            | payload                               |
+//! |-----|-----------------|---------------------------------------|
+//! | 0   | `Null`          | —                                     |
+//! | 1   | `Bool(false)`   | —                                     |
+//! | 2   | `Bool(true)`    | —                                     |
+//! | 3   | `Number::U(u)`  | `u64`                                 |
+//! | 4   | `Number::I(i)`  | `i64`                                 |
+//! | 5   | `Number::F(f)`  | `u64` (`f.to_bits()`)                 |
+//! | 6   | `String`        | `u64` length + UTF-8 bytes            |
+//! | 7   | `Array`         | `u64` length + encoded items          |
+//! | 8   | `Object`        | `u64` length + (string key, value)×n  |
+
+use serde::{Deserialize, Number, Serialize, Value};
+
+/// Decoding failure: truncated input, bad tag, invalid UTF-8, or a value
+/// tree that does not match the target type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bincode error: {}", self.0)
+    }
+}
+impl std::error::Error for Error {}
+
+/// Encodes any [`Serialize`] type to bytes.
+pub fn serialize<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_value(&value.to_value(), &mut out);
+    out
+}
+
+/// Decodes a [`Deserialize`] type from bytes produced by [`serialize`].
+pub fn deserialize<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let value = bytes_to_value(bytes)?;
+    T::from_value(&value).map_err(|e| Error(e.0))
+}
+
+/// Encodes a raw [`Value`] tree to bytes.
+pub fn value_to_bytes(value: &Value) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_value(value, &mut out);
+    out
+}
+
+/// Decodes a raw [`Value`] tree, requiring the input to be fully consumed.
+pub fn bytes_to_value(bytes: &[u8]) -> Result<Value, Error> {
+    let mut cur = Cursor { buf: bytes, pos: 0 };
+    let value = read_value(&mut cur)?;
+    if cur.pos != bytes.len() {
+        return Err(Error(format!(
+            "{} trailing bytes after value",
+            bytes.len() - cur.pos
+        )));
+    }
+    Ok(value)
+}
+
+fn write_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(0),
+        Value::Bool(false) => out.push(1),
+        Value::Bool(true) => out.push(2),
+        Value::Number(Number::U(u)) => {
+            out.push(3);
+            out.extend_from_slice(&u.to_le_bytes());
+        }
+        Value::Number(Number::I(i)) => {
+            out.push(4);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Number(Number::F(f)) => {
+            out.push(5);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::String(s) => {
+            out.push(6);
+            write_str(s, out);
+        }
+        Value::Array(items) => {
+            out.push(7);
+            out.extend_from_slice(&(items.len() as u64).to_le_bytes());
+            for item in items {
+                write_value(item, out);
+            }
+        }
+        Value::Object(fields) => {
+            out.push(8);
+            out.extend_from_slice(&(fields.len() as u64).to_le_bytes());
+            for (key, field) in fields {
+                write_str(key, out);
+                write_value(field, out);
+            }
+        }
+    }
+}
+
+fn write_str(s: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], Error> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| Error(format!("truncated input: need {n} bytes at {}", self.pos)))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u64(&mut self) -> Result<u64, Error> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn len(&mut self) -> Result<usize, Error> {
+        let n = self.u64()?;
+        // A length can never exceed the bytes remaining (each element is at
+        // least one byte); reject early instead of attempting a huge alloc.
+        let remaining = (self.buf.len() - self.pos) as u64;
+        if n > remaining {
+            return Err(Error(format!(
+                "length {n} exceeds {remaining} remaining bytes"
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| Error(format!("invalid UTF-8: {e}")))
+    }
+}
+
+fn read_value(cur: &mut Cursor<'_>) -> Result<Value, Error> {
+    let tag = cur.take(1)?[0];
+    Ok(match tag {
+        0 => Value::Null,
+        1 => Value::Bool(false),
+        2 => Value::Bool(true),
+        3 => Value::Number(Number::U(cur.u64()?)),
+        4 => Value::Number(Number::I(cur.u64()? as i64)),
+        5 => Value::Number(Number::F(f64::from_bits(cur.u64()?))),
+        6 => Value::String(cur.string()?),
+        7 => {
+            let n = cur.len()?;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(read_value(cur)?);
+            }
+            Value::Array(items)
+        }
+        8 => {
+            let n = cur.len()?;
+            let mut fields = Vec::with_capacity(n);
+            for _ in 0..n {
+                let key = cur.string()?;
+                let field = read_value(cur)?;
+                fields.push((key, field));
+            }
+            Value::Object(fields)
+        }
+        other => return Err(Error(format!("unknown tag byte {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) {
+        let bytes = value_to_bytes(v);
+        assert_eq!(&bytes_to_value(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(&Value::Null);
+        round_trip(&Value::Bool(true));
+        round_trip(&Value::Bool(false));
+        round_trip(&Value::Number(Number::U(u64::MAX)));
+        round_trip(&Value::Number(Number::I(-42)));
+        round_trip(&Value::String("héllo".into()));
+    }
+
+    #[test]
+    fn floats_are_bit_exact() {
+        for f in [0.0, -0.0, 1.5, f64::MIN_POSITIVE, f64::MAX, f64::NAN] {
+            let bytes = serialize(&f);
+            let back: f64 = deserialize(&bytes).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits());
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(&Value::Array(vec![
+            Value::Number(Number::U(1)),
+            Value::String("x".into()),
+            Value::Object(vec![("k".into(), Value::Null)]),
+        ]));
+        let v = vec![1u64, 2, 3];
+        let back: Vec<u64> = deserialize(&serialize(&v)).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn truncated_and_garbage_inputs_error() {
+        assert!(bytes_to_value(&[]).is_err());
+        assert!(bytes_to_value(&[3, 0, 0]).is_err(), "truncated u64");
+        assert!(bytes_to_value(&[99]).is_err(), "unknown tag");
+        let mut ok = value_to_bytes(&Value::Null);
+        ok.push(0);
+        assert!(bytes_to_value(&ok).is_err(), "trailing bytes");
+        // Huge claimed length must not allocate.
+        let mut arr = vec![7u8];
+        arr.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(bytes_to_value(&arr).is_err());
+    }
+
+    #[test]
+    fn deserialize_type_mismatch_errors() {
+        let bytes = serialize(&"string");
+        assert!(deserialize::<u64>(&bytes).is_err());
+    }
+}
