@@ -16,9 +16,9 @@ use mrinv_matrix::Matrix;
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Best-of-3 wall-clock of `f`, in seconds.
-pub fn best3(mut f: impl FnMut()) -> f64 {
-    (0..3)
+/// Best-of-`reps` wall-clock of `f`, in seconds.
+pub fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    (0..reps.max(1))
         .map(|_| {
             let t0 = Instant::now();
             f();
@@ -26,6 +26,18 @@ pub fn best3(mut f: impl FnMut()) -> f64 {
         })
         .fold(f64::INFINITY, f64::min)
 }
+
+/// Best-of-3 wall-clock of `f`, in seconds.
+pub fn best3(f: impl FnMut()) -> f64 {
+    best_of(3, f)
+}
+
+/// Sample count for the regression-gated GEMM metrics. A single 512^3
+/// product costs ~10ms, so taking the best of 9 is cheap and rides out
+/// scheduling noise that best-of-3 cannot (a shared box can lose three
+/// consecutive quanta, which is exactly what a tracked metric must not
+/// be sensitive to).
+pub const TRACKED_GEMM_REPS: usize = 9;
 
 // ---------------------------------------------------------------------
 // GEMM ladder
@@ -51,11 +63,24 @@ pub struct GemmPoint {
     pub secs: f64,
     /// Effective GFLOP/s.
     pub gflops: f64,
-    /// Speedup over the `naive` rung at the same order.
+    /// Speedup over the `naive` rung at the same order (0.0 when the
+    /// naive reference was skipped at this order).
     pub speedup_vs_naive: f64,
+    /// Which loop nest actually executed: `"serial"` for the inherently
+    /// serial rungs, and — asserted via the `kernel::perf` path counters,
+    /// never assumed — `"parallel"` or `"serial-fallback"` for the
+    /// parallel-capable rung. A fallback can no longer masquerade as a
+    /// parallel win.
+    pub path: &'static str,
 }
 
-/// The full ladder sampled at one order (best of 3 per rung).
+/// The largest order the O(n³)-reference rungs (`naive`, `strided_eq7`)
+/// are sampled at; above it they would dominate bench wall-clock.
+pub const GEMM_REFERENCE_MAX_ORDER: usize = 256;
+
+/// The full ladder sampled at one order (best of 3 per rung). Above
+/// [`GEMM_REFERENCE_MAX_ORDER`] the reference rungs are skipped and
+/// `speedup_vs_naive` reads 0.0.
 pub fn measure_gemm_order(n: usize) -> Vec<GemmPoint> {
     let a = random_matrix(n, n, 1);
     let b = random_matrix(n, n, 2);
@@ -64,6 +89,9 @@ pub fn measure_gemm_order(n: usize) -> Vec<GemmPoint> {
     let mut naive_secs = f64::NAN;
     let mut points = Vec::new();
     for (name, backend) in gemm_ladder() {
+        if n > GEMM_REFERENCE_MAX_ORDER && matches!(name, "naive" | "strided_eq7") {
+            continue;
+        }
         let secs = best3(|| {
             gemm_with(
                 backend.as_ref(),
@@ -82,20 +110,134 @@ pub fn measure_gemm_order(n: usize) -> Vec<GemmPoint> {
             kernel: name,
             secs,
             gflops: flops / secs / 1e9,
-            speedup_vs_naive: naive_secs / secs,
+            speedup_vs_naive: if naive_secs.is_finite() {
+                naive_secs / secs
+            } else {
+                0.0
+            },
+            path: if name == "packed_parallel" {
+                packed_parallel_path_label(n)
+            } else {
+                "serial"
+            },
         });
     }
     points
 }
 
+fn packed_path_counters() -> (u64, u64) {
+    mrinv_matrix::kernel::perf::snapshot()
+        .iter()
+        .find(|p| p.backend == "packed")
+        .map_or((0, 0), |p| (p.par_calls, p.fallback_calls))
+}
+
+/// Which loop nest `Packed { parallel: true }` actually executes for an
+/// `n x n x n` product, asserted via the kernel perf path counters (one
+/// instrumented call): `"parallel"` or `"serial-fallback"`.
+///
+/// The counters are process-global, so probes are serialized and a read
+/// only counts when exactly this probe's one call landed between the two
+/// snapshots — concurrent instrumented gemm calls (parallel test
+/// harnesses) just trigger a retry.
+pub fn packed_parallel_path_label(n: usize) -> &'static str {
+    use mrinv_matrix::kernel::perf;
+    use std::sync::Mutex;
+    static PROBE: Mutex<()> = Mutex::new(());
+    let _serialize = PROBE.lock().unwrap();
+
+    let a = random_matrix(n, n, 1);
+    let b = random_matrix(n, n, 2);
+    let mut out = Matrix::zeros(n, n);
+    for _ in 0..32 {
+        let was = perf::is_enabled();
+        perf::set_enabled(true);
+        let (par0, fb0) = packed_path_counters();
+        gemm_with(
+            &Packed { parallel: true },
+            1.0,
+            notrans(&a),
+            notrans(&b),
+            0.0,
+            &mut out,
+        )
+        .unwrap();
+        let (par1, fb1) = packed_path_counters();
+        perf::set_enabled(was);
+        match (par1 - par0, fb1 - fb0) {
+            (1, 0) => return "parallel",
+            (0, 1) => return "serial-fallback",
+            _ => continue,
+        }
+    }
+    "unknown"
+}
+
+/// GFLOP/s of the packed engine (serial or parallel-capable) for an
+/// `n x n x n` product, best of [`TRACKED_GEMM_REPS`] — the tracked
+/// absolute-throughput metrics.
+pub fn gemm_packed_gflops(n: usize, parallel: bool) -> f64 {
+    let a = random_matrix(n, n, 1);
+    let b = random_matrix(n, n, 2);
+    let mut out = Matrix::zeros(n, n);
+    let secs = best_of(TRACKED_GEMM_REPS, || {
+        gemm_with(
+            &Packed { parallel },
+            1.0,
+            notrans(black_box(&a)),
+            notrans(black_box(&b)),
+            0.0,
+            &mut out,
+        )
+        .unwrap()
+    });
+    gemm_flops(n, n, n) as f64 / secs / 1e9
+}
+
+/// The tracked parallel/serial ratio at order `n`: > 1 means the parallel
+/// nest wins (machine-relative, so it survives hardware changes better
+/// than absolute GFLOP/s).
+pub fn gemm_parallel_vs_serial(n: usize) -> f64 {
+    let a = random_matrix(n, n, 1);
+    let b = random_matrix(n, n, 2);
+    let mut out = Matrix::zeros(n, n);
+    let mut time = |parallel: bool| {
+        best_of(TRACKED_GEMM_REPS, || {
+            gemm_with(
+                &Packed { parallel },
+                1.0,
+                notrans(black_box(&a)),
+                notrans(black_box(&b)),
+                0.0,
+                &mut out,
+            )
+            .unwrap()
+        })
+    };
+    let serial = time(false);
+    let parallel = time(true);
+    serial / parallel
+}
+
+/// GFLOP/s of the parallel packed engine at order `n` with the effective
+/// thread count capped at `cap` (the pool itself is untouched). Returns
+/// `(effective_threads, gflops)` — the thread-scaling ladder rows.
+pub fn gemm_parallel_gflops_capped(n: usize, cap: usize) -> (usize, f64) {
+    let prev = rayon::set_thread_cap(cap);
+    let effective = rayon::current_num_threads();
+    let gflops = gemm_packed_gflops(n, true);
+    rayon::set_thread_cap(prev);
+    (effective, gflops)
+}
+
 /// The tracked GEMM metric: packed-serial speedup over naive at order
-/// `n` (best of 3 each, same buffers).
+/// `n` (best of [`TRACKED_GEMM_REPS`] each, same buffers).
 pub fn gemm_packed_serial_speedup(n: usize) -> f64 {
     let a = random_matrix(n, n, 1);
     let b = random_matrix(n, n, 2);
     let mut out = Matrix::zeros(n, n);
     let mut time = |backend: &dyn GemmBackend| {
-        best3(|| {
+        best_of(TRACKED_GEMM_REPS, || {
             gemm_with(
                 backend,
                 1.0,
@@ -287,5 +429,31 @@ mod tests {
         for p in &points {
             assert!(p.secs > 0.0 && p.gflops > 0.0, "{p:?}");
         }
+        // n=32 is far below the crossover: the parallel-capable rung must
+        // be labeled as the fallback it is, not as a parallel win.
+        let par = points
+            .iter()
+            .find(|p| p.kernel == "packed_parallel")
+            .unwrap();
+        assert_eq!(par.path, "serial-fallback");
+        assert!(points
+            .iter()
+            .filter(|p| p.kernel != "packed_parallel")
+            .all(|p| p.path == "serial"));
+    }
+
+    #[test]
+    fn gemm_ladder_skips_reference_rungs_above_cap() {
+        let points = measure_gemm_order(GEMM_REFERENCE_MAX_ORDER + 64);
+        assert!(points.iter().all(|p| p.kernel != "naive"));
+        assert!(points.iter().all(|p| p.speedup_vs_naive == 0.0));
+        assert_eq!(points.len(), gemm_ladder().len() - 2);
+    }
+
+    #[test]
+    fn capped_parallel_sample_reports_effective_threads() {
+        let (threads, gflops) = gemm_parallel_gflops_capped(48, 1);
+        assert_eq!(threads, 1);
+        assert!(gflops > 0.0);
     }
 }

@@ -60,8 +60,14 @@ pub struct BenchFile {
     pub schema: String,
     /// Bench name (`shuffle`, `gemm`, ...).
     pub bench: String,
-    /// Core count of the machine the sample was taken on.
+    /// Core count *detected* on the machine the sample was taken on
+    /// (`available_parallelism`). Says nothing about how many threads the
+    /// bench actually used — see `threads`.
     pub cores: usize,
+    /// Effective worker-pool width the bench ran with: the rayon pool
+    /// size, which `RAYON_NUM_THREADS` may set above or below `cores`.
+    /// `None` only in pre-v1.1 files recorded before the field existed.
+    pub threads: Option<usize>,
     /// Flat scalar summary, regression-checkable.
     pub metrics: Vec<BenchMetric>,
     /// Bench-specific full payload (per-order tables etc.).
@@ -69,13 +75,17 @@ pub struct BenchFile {
 }
 
 impl BenchFile {
-    /// An empty file for `bench` stamped with the current schema and the
-    /// machine's core count.
+    /// An empty file for `bench` stamped with the current schema, the
+    /// machine's *detected* core count, and the *effective* rayon pool
+    /// width — which differ whenever `RAYON_NUM_THREADS` overrides
+    /// detection, so parallel samples are labeled with the parallelism
+    /// they actually ran at.
     pub fn new(bench: &str) -> Self {
         BenchFile {
             schema: SCHEMA.to_string(),
             bench: bench.to_string(),
             cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads: Some(rayon::current_num_threads()),
             metrics: Vec::new(),
             detail: serde_json::Value::Null,
         }
@@ -192,6 +202,28 @@ mod tests {
         assert_eq!(back.bench, "gemm");
         assert_eq!(back.tracked().count(), 1);
         assert_eq!(back.metric("speedup").unwrap().value, 3.0);
+        // Both parallelism stamps survive the round trip: detected cores
+        // and the effective pool width benches actually ran with.
+        assert!(back.cores >= 1);
+        assert_eq!(back.threads, Some(rayon::current_num_threads()));
+    }
+
+    #[test]
+    fn pre_threads_files_still_load() {
+        // Files recorded before the `threads` field existed must parse
+        // (the committed BENCH_pr3.json baseline is one).
+        let dir = std::env::temp_dir().join("mrinv-bench-schema-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nothreads.json");
+        std::fs::write(
+            &path,
+            format!(r#"{{"schema": "{SCHEMA}", "bench": "shuffle", "cores": 8, "metrics": [], "detail": null}}"#),
+        )
+        .unwrap();
+        let f = BenchFile::load(&path).unwrap();
+        assert_eq!(f.cores, 8);
+        assert_eq!(f.threads, None);
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

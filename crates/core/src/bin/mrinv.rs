@@ -13,6 +13,7 @@
 //!              [--metrics-prom metrics.prom] [--progress]
 //!              [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]
 //! mrinv gen    --order 512 --output a.txt [--seed 42]
+//! mrinv tune   [--out tune.spec]
 //! ```
 //!
 //! `--backend tcp:<n>` runs every task attempt in one of `n` real
@@ -38,6 +39,17 @@
 //! at zero cost); `--metrics-prom` and `--metrics-json` also turn on the
 //! kernel engine's per-backend perf counters. `--progress` prints a live
 //! one-line jobs/ETA meter to stderr while the pipeline runs.
+//!
+//! `tune` calibrates the packed GEMM engine on this machine (the
+//! thorough probe profile: MC×KC blocking grid, serial/parallel
+//! crossover, and a block-size throughput sweep) and prints ready-to-use
+//! settings to stdout: an `MRINV_GEMM_TUNE=...` spec for the kernel and a
+//! recommended MapReduce block size for `--nb`. With `--out FILE` the
+//! spec is also written to `FILE`, usable as `MRINV_GEMM_TUNE=file:FILE`
+//! (which re-probes and rewrites the cache if the file ever goes
+//! missing or stale). Note the tuned-KC rounding caveat in
+//! `mrinv_matrix::kernel::tune`: non-default specs trade bitwise seed
+//! identity for speed.
 //!
 //! `--checkpoint` records a job manifest under `--workdir` so a killed
 //! pipeline can be resumed with `--resume`. The DFS is in-memory, so the
@@ -105,7 +117,7 @@ impl Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mrinv invert --input a.txt --output inv.txt [--nodes N] [--nb NB] [--backend in-process|tcp:W] [--trace-out T.json] [--metrics-json M.json] [--metrics-prom M.prom] [--progress] [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]\n  mrinv lu --input a.txt --l l.txt --u u.txt [--nodes N] [--nb NB] [--backend in-process|tcp:W] [--trace-out T.json] [--metrics-json M.json] [--metrics-prom M.prom] [--progress] [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]\n  mrinv gen --order N --output a.txt [--seed S]"
+        "usage:\n  mrinv invert --input a.txt --output inv.txt [--nodes N] [--nb NB] [--backend in-process|tcp:W] [--trace-out T.json] [--metrics-json M.json] [--metrics-prom M.prom] [--progress] [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]\n  mrinv lu --input a.txt --l l.txt --u u.txt [--nodes N] [--nb NB] [--backend in-process|tcp:W] [--trace-out T.json] [--metrics-json M.json] [--metrics-prom M.prom] [--progress] [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]\n  mrinv gen --order N --output a.txt [--seed S]\n  mrinv tune [--out FILE]"
     );
     exit(2)
 }
@@ -138,6 +150,7 @@ fn parse() -> Opts {
         match arg.as_str() {
             "--input" => opts.input = Some(val()),
             "--output" => opts.output = Some(val()),
+            "--out" => opts.output = Some(val()),
             "--l" => opts.l_out = Some(val()),
             "--u" => opts.u_out = Some(val()),
             "--trace-out" => opts.trace_out = Some(val()),
@@ -313,6 +326,50 @@ fn emit_observability(opts: &Opts, cluster: &Cluster, report: &RunReport) {
     }
 }
 
+/// `mrinv tune`: calibrates the packed GEMM engine on this machine and
+/// prints ready-to-paste settings — an `MRINV_GEMM_TUNE` spec plus the
+/// recommended MapReduce block size for `--nb`. Human-readable progress
+/// goes to stderr; the two settings lines go to stdout so they can be
+/// scripted (`eval "$(mrinv tune 2>/dev/null | head -1)"`).
+fn run_tune(opts: &Opts) {
+    use mrinv_matrix::kernel::tune::{calibrate, format_spec, recommend_nb, CalibrateOpts};
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = rayon::current_num_threads();
+    eprintln!(
+        "mrinv: calibrating the packed GEMM engine ({cores} core(s) detected, \
+         {threads} pool thread(s)); this takes a few seconds..."
+    );
+    let p = calibrate(&CalibrateOpts::thorough());
+    eprintln!("  blocking: mc={} kc={} nc={}", p.mc, p.kc, p.nc);
+    eprintln!(
+        "  serial/parallel crossover: {} multiply-adds{}",
+        p.par_min_madds,
+        if threads > 1 {
+            ""
+        } else {
+            " (single-thread pool: crossover probe skipped, compiled default kept)"
+        }
+    );
+    let (nb, curve) = recommend_nb(&p, 3);
+    eprintln!("  block-size sweep, serial packed GFLOP/s per candidate nb:");
+    for (c_nb, gf) in &curve {
+        eprintln!(
+            "    nb={c_nb:>4}  {gf:6.2}{}",
+            if *c_nb == nb { "  <- recommended" } else { "" }
+        );
+    }
+    let spec = format_spec(&p);
+    println!("MRINV_GEMM_TUNE={spec}");
+    println!("recommended --nb {nb}");
+    if let Some(path) = &opts.output {
+        std::fs::write(path, format!("{spec}\n")).unwrap_or_else(|e| {
+            eprintln!("mrinv: cannot write tune spec to {path}: {e}");
+            exit(1)
+        });
+        eprintln!("mrinv: tune spec -> {path} (use MRINV_GEMM_TUNE=file:{path})");
+    }
+}
+
 fn main() {
     let opts = parse();
     match opts.command.as_str() {
@@ -399,6 +456,7 @@ fn main() {
                 }
             }
         }
+        "tune" => run_tune(&opts),
         _ => usage(),
     }
 }

@@ -23,7 +23,17 @@ pub fn kernel_perf_series(snap: &mut ObsSnapshot) {
         snap.push_counter("mrinv_kernel_flops_total", labels.clone(), p.flops);
         snap.push_gauge("mrinv_kernel_seconds", labels.clone(), p.secs);
         snap.push_gauge("mrinv_kernel_pack_seconds", labels.clone(), p.pack_secs);
-        snap.push_gauge("mrinv_kernel_gflops", labels, p.gflops());
+        snap.push_gauge("mrinv_kernel_gflops", labels.clone(), p.gflops());
+        snap.push_counter(
+            "mrinv_kernel_parallel_calls_total",
+            labels.clone(),
+            p.par_calls,
+        );
+        snap.push_counter(
+            "mrinv_kernel_serial_fallback_calls_total",
+            labels,
+            p.fallback_calls,
+        );
     }
 }
 

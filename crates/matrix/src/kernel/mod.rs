@@ -47,6 +47,7 @@ mod naive;
 mod packed;
 pub mod perf;
 mod trsm;
+pub mod tune;
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

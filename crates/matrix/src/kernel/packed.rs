@@ -26,30 +26,35 @@
 //! `beta` is applied to `C` once up front; the k-blocks then accumulate
 //! with `+=`, and `alpha` is folded into the accumulator write-out.
 //!
-//! With `parallel = true`, macro-rows of `C` (MC rows each) are
-//! distributed over rayon: each worker packs its own A block and owns a
-//! disjoint `MC x n` row slice of `C`, so no synchronization is needed.
-//! Products too small to amortize thread spawn stay serial.
+//! MC/KC/NC and the serial/parallel crossover are no longer compile-time
+//! constants: they come from [`super::tune::params`], which defaults to
+//! the historical values and can be overridden or auto-probed via
+//! `MRINV_GEMM_TUNE`.
+//!
+//! With `parallel = true` and a multi-thread pool, the `ic` loop (and for
+//! wide-but-short operands the `jr` loop too) fans out across the
+//! persistent rayon pool: for each `(jc, pc)` iteration, B is packed once
+//! and shared read-only, then work items covering disjoint
+//! `(row-tile × column-range)` tiles of `C` run in parallel, each packing
+//! its A tile into a thread-local buffer. Every `C` element still receives
+//! its `pc`-partial sums in the same order as the serial nest, and each
+//! partial sum is computed by the identical microkernel loop — so the
+//! parallel path is **bitwise identical** to the serial path, regardless
+//! of thread count or tile distribution. Products below the crossover
+//! (`par_min_madds`) stay serial.
+
+use std::cell::RefCell;
 
 use rayon::prelude::*;
 
+use super::tune::Params;
 use super::{scale_by_beta, GemmBackend, Op, OpRef, Result};
 use crate::dense::Matrix;
 
 /// Microkernel tile height (rows of C per register block).
-const MR: usize = 4;
+pub(super) const MR: usize = 4;
 /// Microkernel tile width (columns of C per register block).
-const NR: usize = 8;
-/// Macro-block rows: an MC x KC slab of packed A sized for L2.
-const MC: usize = 64;
-/// Macro-block depth: KC x NR panels of packed B sized for L1 reuse.
-const KC: usize = 256;
-/// Macro-block columns: the outermost panel width.
-const NC: usize = 4096;
-
-/// Serial/parallel crossover, in multiply-adds. The vendored rayon spawns
-/// threads per call, so small products must not pay that cost.
-const PAR_MIN_MADDS: usize = 1 << 21;
+pub(super) const NR: usize = 8;
 
 #[cfg(target_arch = "x86_64")]
 mod cpu {
@@ -226,6 +231,190 @@ fn macro_kernel(
     }
 }
 
+/// Shared pointer to C's storage for the parallel loop nest. Work items
+/// partition C into disjoint `(row-tile × column-range)` tiles, so no two
+/// threads ever touch the same element.
+struct CPtr(*mut f64);
+
+// SAFETY: CPtr is only dereferenced inside `macro_kernel_par`, and the
+// parallel dispatch in `run_packed` hands every work item a distinct
+// (row-range × column-range) tile of C — no element is reachable from two
+// items — while the submitting thread keeps the `&mut Matrix` borrow
+// alive (and untouched) until every item has completed.
+unsafe impl Send for CPtr {}
+// SAFETY: as above — concurrent use from multiple threads only ever
+// writes pairwise-disjoint elements.
+unsafe impl Sync for CPtr {}
+
+/// The parallel-path twin of [`macro_kernel`]: identical arithmetic and
+/// iteration order, but writes C through a shared raw pointer so that
+/// work items owning disjoint tiles of the same row can run concurrently
+/// (disjoint `&mut` sub-slices of one row cannot be expressed safely).
+/// `row0`/`col0` are the tile's absolute top-left corner in C.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel_par(
+    abuf: &[f64],
+    bbuf: &[f64],
+    kc: usize,
+    mc: usize,
+    nc: usize,
+    col0: usize,
+    alpha: f64,
+    c: &CPtr,
+    row0: usize,
+    c_stride: usize,
+) {
+    for (bpanel, bchunk) in bbuf.chunks_exact(NR * kc).enumerate() {
+        let j0 = bpanel * NR;
+        let jw = NR.min(nc - j0);
+        for (apanel, achunk) in abuf.chunks_exact(MR * kc).enumerate() {
+            let i0 = apanel * MR;
+            let iw = MR.min(mc - i0);
+            let mut acc = [[0.0; NR]; MR];
+            micro_dispatch(achunk, bchunk, &mut acc);
+            for r in 0..iw {
+                // SAFETY: this work item exclusively owns the
+                // (row0..row0+mc) × (col0..col0+nc) tile of C: run_packed
+                // hands out pairwise-disjoint tiles, blocks until all items
+                // finish, and row0+i0+r < row0+mc and col0+j0+jw ≤ col0+nc
+                // keep the slice inside both the tile and C's allocation —
+                // so no other thread can read or write any element of it.
+                let crow = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        c.0.add((row0 + i0 + r) * c_stride + col0 + j0),
+                        jw,
+                    )
+                };
+                for (cv, av) in crow.iter_mut().zip(acc[r].iter()) {
+                    *cv += alpha * av;
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread A-packing buffer for the parallel loop nest, reused
+    /// across work items and calls (bounded by mc·kc floats per thread).
+    static ABUF: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The packed engine proper, with explicit blocking parameters and an
+/// explicit serial/parallel choice. `beta` must already have been applied
+/// to `C` by the caller ([`GemmBackend::gemm_checked`] does; the autotuner
+/// probes call this directly with candidate parameters, which is what
+/// keeps calibration from recursing into [`super::tune::params`]).
+///
+/// The parallel and serial paths produce **bitwise identical** results
+/// for the same parameters: both accumulate each C element's `pc`-partial
+/// sums in the same outer-loop order, computed by the same microkernel.
+pub(super) fn run_packed(
+    p: &Params,
+    parallel: bool,
+    name: &'static str,
+    alpha: f64,
+    a: OpRef<'_>,
+    b: OpRef<'_>,
+    c: &mut Matrix,
+) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+        return;
+    }
+    let (mc_p, kc_p, nc_p) = (p.mc, p.kc, p.nc);
+    let mut bbuf = vec![0.0; n.min(nc_p).div_ceil(NR) * NR * k.min(kc_p)];
+    // Kernel perf counters want the packing/microkernel time split;
+    // resolve the gate once so disabled runs never read a clock.
+    let perf_on = super::perf::is_enabled();
+
+    for jc in (0..n).step_by(nc_p) {
+        let nc = nc_p.min(n - jc);
+        for pc in (0..k).step_by(kc_p) {
+            let kc = kc_p.min(k - pc);
+            let blen = nc.div_ceil(NR) * NR * kc;
+            let tb = perf_on.then(std::time::Instant::now);
+            pack_b(b, pc, kc, jc, nc, &mut bbuf[..blen]);
+            if let Some(tb) = tb {
+                super::perf::record_pack(name, tb.elapsed());
+            }
+            let bpanel = &bbuf[..blen];
+
+            if parallel {
+                // Fan the macro-tile grid out across the persistent pool:
+                // one work item per (A row-tile × B column-range), each
+                // packing its own A tile into a thread-local buffer. Wide-
+                // but-short operands (few row tiles) split the jr loop so
+                // every thread still gets work; an item covering a split
+                // repacks its A tile, which is O(mc·kc) against the item's
+                // O(mc·kc·nc/splits) compute.
+                let ic_tiles = m.div_ceil(mc_p);
+                let jr_panels = nc.div_ceil(NR);
+                let want_items = rayon::current_num_threads() * 2;
+                let jr_splits = if ic_tiles >= want_items {
+                    1
+                } else {
+                    want_items
+                        .div_ceil(ic_tiles)
+                        .min(jr_panels.div_ceil(4))
+                        .max(1)
+                };
+                let panels_per = jr_panels.div_ceil(jr_splits);
+                let mut items = Vec::with_capacity(ic_tiles * jr_splits);
+                for t in 0..ic_tiles {
+                    let mut p0 = 0;
+                    while p0 < jr_panels {
+                        items.push((t * mc_p, p0, (p0 + panels_per).min(jr_panels)));
+                        p0 += panels_per;
+                    }
+                }
+                let cptr = CPtr(c.as_mut_slice().as_mut_ptr());
+                items.into_par_iter().for_each(|(ic, p0, p1)| {
+                    let mc = mc_p.min(m - ic);
+                    ABUF.with(|cell| {
+                        let mut abuf = cell.borrow_mut();
+                        let alen = mc.div_ceil(MR) * MR * kc;
+                        if abuf.len() < alen {
+                            abuf.resize(alen, 0.0);
+                        }
+                        let ta = perf_on.then(std::time::Instant::now);
+                        pack_a(a, ic, mc, pc, kc, &mut abuf[..alen]);
+                        if let Some(ta) = ta {
+                            super::perf::record_pack(name, ta.elapsed());
+                        }
+                        let b_sub = &bpanel[p0 * NR * kc..p1 * NR * kc];
+                        let nc_sub = (nc - p0 * NR).min((p1 - p0) * NR);
+                        macro_kernel_par(
+                            &abuf[..alen],
+                            b_sub,
+                            kc,
+                            mc,
+                            nc_sub,
+                            jc + p0 * NR,
+                            alpha,
+                            &cptr,
+                            ic,
+                            n,
+                        );
+                    });
+                });
+            } else {
+                let mut abuf = vec![0.0; mc_p.min(m).div_ceil(MR) * MR * kc];
+                for ic in (0..m).step_by(mc_p) {
+                    let mc = mc_p.min(m - ic);
+                    let alen = mc.div_ceil(MR) * MR * kc;
+                    let ta = perf_on.then(std::time::Instant::now);
+                    pack_a(a, ic, mc, pc, kc, &mut abuf[..alen]);
+                    if let Some(ta) = ta {
+                        super::perf::record_pack(name, ta.elapsed());
+                    }
+                    let c_rows = &mut c.as_mut_slice()[ic * n..(ic + mc) * n];
+                    macro_kernel(&abuf[..alen], bpanel, kc, mc, nc, jc, alpha, c_rows, n);
+                }
+            }
+        }
+    }
+}
+
 impl GemmBackend for super::Packed {
     fn gemm_checked(
         &self,
@@ -240,59 +429,17 @@ impl GemmBackend for super::Packed {
         if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
             return Ok(());
         }
-
-        let parallel = self.parallel && m > MC && m * k * n >= PAR_MIN_MADDS;
-        let mut bbuf = vec![0.0; n.min(NC).div_ceil(NR) * NR * k.min(KC)];
-        // Kernel perf counters want the packing/microkernel time split;
-        // resolve the gate once so disabled runs never read a clock.
-        let perf_on = super::perf::is_enabled();
-        let name = self.name();
-
-        for jc in (0..n).step_by(NC) {
-            let nc = NC.min(n - jc);
-            for pc in (0..k).step_by(KC) {
-                let kc = KC.min(k - pc);
-                let blen = nc.div_ceil(NR) * NR * kc;
-                let tb = perf_on.then(std::time::Instant::now);
-                pack_b(b, pc, kc, jc, nc, &mut bbuf[..blen]);
-                if let Some(tb) = tb {
-                    super::perf::record_pack(name, tb.elapsed());
-                }
-                let bpanel = &bbuf[..blen];
-
-                if parallel {
-                    // Disjoint MC-row slabs of C per worker; each packs its
-                    // own A block.
-                    c.as_mut_slice()
-                        .par_chunks_mut(MC * n)
-                        .enumerate()
-                        .for_each(|(blk, c_rows)| {
-                            let ic = blk * MC;
-                            let mc = MC.min(m - ic);
-                            let mut abuf = vec![0.0; mc.div_ceil(MR) * MR * kc];
-                            let ta = perf_on.then(std::time::Instant::now);
-                            pack_a(a, ic, mc, pc, kc, &mut abuf);
-                            if let Some(ta) = ta {
-                                super::perf::record_pack(name, ta.elapsed());
-                            }
-                            macro_kernel(&abuf, bpanel, kc, mc, nc, jc, alpha, c_rows, n);
-                        });
-                } else {
-                    let mut abuf = vec![0.0; MC.min(m).div_ceil(MR) * MR * kc];
-                    for ic in (0..m).step_by(MC) {
-                        let mc = MC.min(m - ic);
-                        let alen = mc.div_ceil(MR) * MR * kc;
-                        let ta = perf_on.then(std::time::Instant::now);
-                        pack_a(a, ic, mc, pc, kc, &mut abuf[..alen]);
-                        if let Some(ta) = ta {
-                            super::perf::record_pack(name, ta.elapsed());
-                        }
-                        let c_rows = &mut c.as_mut_slice()[ic * n..(ic + mc) * n];
-                        macro_kernel(&abuf[..alen], bpanel, kc, mc, nc, jc, alpha, c_rows, n);
-                    }
-                }
-            }
+        let p = super::tune::params();
+        // The old `m > MC` gate is gone: wide-but-short operands now
+        // parallelize via jr-splitting. What remains is the crossover
+        // (below it, fan-out overhead beats the win) and the degenerate
+        // single-thread pool, where the serial nest is strictly better.
+        let use_par =
+            self.parallel && rayon::current_num_threads() > 1 && m * k * n >= p.par_min_madds;
+        if self.parallel {
+            super::perf::record_packed_path(self.name(), use_par);
         }
+        run_packed(&p, use_par, self.name(), alpha, a, b, c);
         Ok(())
     }
 
@@ -305,6 +452,6 @@ impl GemmBackend for super::Packed {
     }
 
     fn trsm_block(&self) -> Option<usize> {
-        Some(MC)
+        Some(super::tune::params().mc)
     }
 }

@@ -32,6 +32,8 @@ struct Slot {
     flops: AtomicU64,
     nanos: AtomicU64,
     pack_nanos: AtomicU64,
+    par_calls: AtomicU64,
+    fallback_calls: AtomicU64,
 }
 
 impl Slot {
@@ -41,6 +43,8 @@ impl Slot {
             flops: AtomicU64::new(0),
             nanos: AtomicU64::new(0),
             pack_nanos: AtomicU64::new(0),
+            par_calls: AtomicU64::new(0),
+            fallback_calls: AtomicU64::new(0),
         }
     }
 }
@@ -93,6 +97,22 @@ pub fn record_pack(backend: &str, elapsed: Duration) {
         .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
 }
 
+/// Records which path a parallel-capable engine actually took for one
+/// call: `parallel = false` means the engine *fell back* to its serial
+/// loop (size gate, single-thread pool). Benches use this to refuse to
+/// label a serial-fallback run as a parallel result. No-op when disabled.
+pub fn record_packed_path(backend: &str, parallel: bool) {
+    if !is_enabled() {
+        return;
+    }
+    let slot = &SLOTS[slot_index(backend)];
+    if parallel {
+        slot.par_calls.fetch_add(1, Ordering::Relaxed);
+    } else {
+        slot.fallback_calls.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// One backend's accumulated counters, as read by [`snapshot`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct BackendPerf {
@@ -107,6 +127,12 @@ pub struct BackendPerf {
     /// Worker seconds spent packing operand panels (0 for backends that
     /// do not pack).
     pub pack_secs: f64,
+    /// Calls that executed the multi-threaded loop nest (only recorded by
+    /// parallel-capable engines).
+    pub par_calls: u64,
+    /// Calls where a parallel-capable engine fell back to its serial loop
+    /// (size below the crossover, or a single-thread pool).
+    pub fallback_calls: u64,
 }
 
 impl BackendPerf {
@@ -138,6 +164,8 @@ pub fn snapshot() -> Vec<BackendPerf> {
                 flops: slot.flops.load(Ordering::Relaxed),
                 secs: slot.nanos.load(Ordering::Relaxed) as f64 / 1e9,
                 pack_secs: slot.pack_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+                par_calls: slot.par_calls.load(Ordering::Relaxed),
+                fallback_calls: slot.fallback_calls.load(Ordering::Relaxed),
             })
         })
         .collect()
@@ -150,6 +178,8 @@ pub fn reset() {
         slot.flops.store(0, Ordering::Relaxed);
         slot.nanos.store(0, Ordering::Relaxed);
         slot.pack_nanos.store(0, Ordering::Relaxed);
+        slot.par_calls.store(0, Ordering::Relaxed);
+        slot.fallback_calls.store(0, Ordering::Relaxed);
     }
 }
 
@@ -166,10 +196,19 @@ mod tests {
         record_gemm("packed", 1000, Duration::from_millis(1));
         assert!(snapshot().is_empty(), "disabled recording must be a no-op");
 
+        record_packed_path("packed", true);
+        assert!(
+            snapshot().is_empty(),
+            "disabled path recording must be a no-op"
+        );
+
         set_enabled(true);
         record_gemm("packed", 2_000_000_000, Duration::from_secs(1));
         record_gemm("packed", 2_000_000_000, Duration::from_secs(1));
         record_pack("packed", Duration::from_millis(250));
+        record_packed_path("packed", true);
+        record_packed_path("packed", true);
+        record_packed_path("packed", false);
         record_gemm("made-up-backend", 10, Duration::from_millis(1));
         set_enabled(false);
 
@@ -180,6 +219,8 @@ mod tests {
         assert!((packed.secs - 2.0).abs() < 1e-9);
         assert!((packed.pack_secs - 0.25).abs() < 1e-9);
         assert!((packed.gflops() - 2.0).abs() < 1e-9);
+        assert_eq!(packed.par_calls, 2);
+        assert_eq!(packed.fallback_calls, 1);
         let other = snap.iter().find(|p| p.backend == "other").unwrap();
         assert_eq!(other.calls, 1);
 

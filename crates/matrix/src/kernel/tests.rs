@@ -45,6 +45,75 @@ fn all_backends_agree_all_ops() {
 }
 
 #[test]
+fn packed_parallel_nest_is_bitwise_identical_to_serial() {
+    // The re-grained parallel path distributes (row-tile × column-range)
+    // work items but accumulates every C element's pc-partial sums in the
+    // serial nest's order with the same microkernel — so results must be
+    // bit-for-bit equal at any thread cap, including ragged and
+    // wide-but-short shapes the old `m > MC` gate used to exclude.
+    let p = tune::DEFAULT_PARAMS;
+    for (m, k, n, seed) in [
+        (3usize, 5usize, 9usize, 30u64), // m ≤ MR
+        (32, 300, 512, 31),              // wide-short: one row tile
+        (513, 64, 33, 32),               // tall-skinny
+        (130, 257, 129, 33),             // ragged across MC/KC edges
+    ] {
+        let a = random_matrix(m, k, seed);
+        let b = random_matrix(k, n, seed + 100);
+        let c0 = random_matrix(m, n, seed + 200);
+
+        let mut serial = c0.clone();
+        scale_by_beta(&mut serial, 0.5);
+        packed::run_packed(
+            &p,
+            false,
+            "packed-serial",
+            1.5,
+            notrans(&a),
+            notrans(&b),
+            &mut serial,
+        );
+
+        for cap in [1usize, 2, usize::MAX] {
+            let prev = rayon::set_thread_cap(cap);
+            let mut par = c0.clone();
+            scale_by_beta(&mut par, 0.5);
+            packed::run_packed(&p, true, "packed", 1.5, notrans(&a), notrans(&b), &mut par);
+            rayon::set_thread_cap(prev);
+            assert_eq!(
+                par, serial,
+                "parallel nest must be bitwise serial at cap={cap} ({m}x{k}x{n})"
+            );
+        }
+
+        // Transposed operands flow through the same packing; spot-check.
+        let a_t = a.transpose();
+        let b_t = b.transpose();
+        let mut serial_tt = c0.clone();
+        packed::run_packed(
+            &p,
+            false,
+            "packed-serial",
+            -1.0,
+            trans(&a_t),
+            trans(&b_t),
+            &mut serial_tt,
+        );
+        let mut par_tt = c0.clone();
+        packed::run_packed(
+            &p,
+            true,
+            "packed",
+            -1.0,
+            trans(&a_t),
+            trans(&b_t),
+            &mut par_tt,
+        );
+        assert_eq!(par_tt, serial_tt, "tt parallel nest must be bitwise serial");
+    }
+}
+
+#[test]
 fn naive_backend_is_bit_identical_to_legacy_kernels() {
     let a = random_matrix(23, 17, 4);
     let b = random_matrix(17, 29, 5);

@@ -1,0 +1,412 @@
+//! One-shot calibration autotuner for the packed GEMM engine.
+//!
+//! The paper hard-codes its MapReduce block size `nb` and the kernel used
+//! to hard-code its cache-blocking constants; both are machine-dependent.
+//! This module resolves the packed engine's parameters
+//! ([`Params`]: MC/KC/NC and the serial/parallel crossover
+//! `par_min_madds`) exactly once per process, from the `MRINV_GEMM_TUNE`
+//! environment variable:
+//!
+//! | value                | behavior                                              |
+//! |----------------------|-------------------------------------------------------|
+//! | unset / `off` / `default` | compiled-in defaults (bit-identical to the seed) |
+//! | `auto`               | quick timing probe at first kernel use                |
+//! | `file:<path>`        | load cached spec; if missing/invalid, probe and save  |
+//! | `mc=..,kc=..,nc=..,par=..` | explicit inline spec (any subset of keys)       |
+//!
+//! The probe ([`calibrate`]) times the real packed engine — serial runs
+//! over an MC×KC grid at a fixed probe size, then (when the pool has more
+//! than one thread) a crossover sweep that forces the parallel loop nest
+//! on and finds the smallest problem where it beats serial. Probes call
+//! the engine with explicit candidate parameters, never through
+//! [`params`], so calibration cannot recurse into itself.
+//!
+//! **Numerical note:** KC determines how partial sums over `k` are
+//! grouped, so non-default KC changes floating-point rounding (results
+//! stay within the documented forward-error bound but are not bitwise
+//! equal to the defaults). The compiled defaults therefore equal the
+//! historical constants, keeping the default-environment pipeline
+//! bit-identical across releases; tuned parameters are strictly opt-in.
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use super::packed::{run_packed, MR, NR};
+use super::{notrans, scale_by_beta};
+use crate::dense::Matrix;
+
+/// Packed-engine blocking parameters, resolved once per process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Macro-block rows (MC): rows of packed A per L2-resident slab.
+    pub mc: usize,
+    /// Macro-block depth (KC): k-extent of packed panels (L1 reuse).
+    pub kc: usize,
+    /// Macro-block columns (NC): outermost B panel width.
+    pub nc: usize,
+    /// Serial/parallel crossover in multiply-adds: products with
+    /// `m·k·n` below this stay serial.
+    pub par_min_madds: usize,
+}
+
+/// The compiled-in defaults — identical to the engine's historical
+/// constants, so the default environment stays bit-identical to the seed.
+pub const DEFAULT_PARAMS: Params = Params {
+    mc: 64,
+    kc: 256,
+    nc: 4096,
+    par_min_madds: 1 << 21,
+};
+
+const UNINIT: u8 = 0;
+const INITING: u8 = 1;
+const READY: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(UNINIT);
+static MC_P: AtomicUsize = AtomicUsize::new(0);
+static KC_P: AtomicUsize = AtomicUsize::new(0);
+static NC_P: AtomicUsize = AtomicUsize::new(0);
+static PAR_P: AtomicUsize = AtomicUsize::new(0);
+
+/// The process-wide packed-engine parameters. First call resolves them
+/// from `MRINV_GEMM_TUNE` (possibly running the calibration probe, which
+/// takes on the order of 100ms for `auto`); later calls are four relaxed
+/// atomic loads.
+pub fn params() -> Params {
+    if STATE.load(Ordering::Acquire) == READY {
+        return load_params();
+    }
+    match STATE.compare_exchange(UNINIT, INITING, Ordering::AcqRel, Ordering::Acquire) {
+        Ok(_) => {
+            let p = resolve_from_env();
+            store_params(p);
+            STATE.store(READY, Ordering::Release);
+            p
+        }
+        Err(_) => {
+            // Another thread is resolving (possibly probing); wait it out.
+            while STATE.load(Ordering::Acquire) != READY {
+                std::thread::yield_now();
+            }
+            load_params()
+        }
+    }
+}
+
+fn load_params() -> Params {
+    Params {
+        mc: MC_P.load(Ordering::Relaxed),
+        kc: KC_P.load(Ordering::Relaxed),
+        nc: NC_P.load(Ordering::Relaxed),
+        par_min_madds: PAR_P.load(Ordering::Relaxed),
+    }
+}
+
+fn store_params(p: Params) {
+    MC_P.store(p.mc, Ordering::Relaxed);
+    KC_P.store(p.kc, Ordering::Relaxed);
+    NC_P.store(p.nc, Ordering::Relaxed);
+    PAR_P.store(p.par_min_madds, Ordering::Relaxed);
+}
+
+fn resolve_from_env() -> Params {
+    let spec = match std::env::var("MRINV_GEMM_TUNE") {
+        Ok(s) => s,
+        Err(_) => return DEFAULT_PARAMS,
+    };
+    let spec = spec.trim();
+    match spec {
+        "" | "off" | "default" => DEFAULT_PARAMS,
+        "auto" => calibrate(&CalibrateOpts::quick()),
+        _ => {
+            if let Some(path) = spec.strip_prefix("file:") {
+                return resolve_from_file(path);
+            }
+            match parse_spec(spec) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("mrinv: ignoring invalid MRINV_GEMM_TUNE ({e}); using defaults");
+                    DEFAULT_PARAMS
+                }
+            }
+        }
+    }
+}
+
+fn resolve_from_file(path: &str) -> Params {
+    if let Ok(text) = std::fs::read_to_string(path) {
+        match parse_spec(text.trim()) {
+            Ok(p) => return p,
+            Err(e) => {
+                eprintln!("mrinv: tune cache {path} invalid ({e}); re-probing");
+            }
+        }
+    }
+    let p = calibrate(&CalibrateOpts::quick());
+    // Best-effort cache write: a read-only filesystem just means the probe
+    // reruns next process.
+    if let Err(e) = std::fs::write(path, format!("{}\n", format_spec(&p))) {
+        eprintln!("mrinv: could not write tune cache {path}: {e}");
+    }
+    p
+}
+
+/// Parses the inline spec grammar (`mc=..,kc=..,nc=..,par=..`, any subset
+/// of keys, unspecified keys keep their defaults). This is also the
+/// `file:` cache format.
+pub fn parse_spec(spec: &str) -> Result<Params, String> {
+    let mut p = DEFAULT_PARAMS;
+    for field in spec.split(',') {
+        let field = field.trim();
+        if field.is_empty() {
+            continue;
+        }
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got {field:?}"))?;
+        let value: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("{}: not a number: {:?}", key.trim(), value.trim()))?;
+        match key.trim() {
+            "mc" => p.mc = value.clamp(MR, 1 << 14),
+            "kc" => p.kc = value.clamp(8, 1 << 14),
+            "nc" => p.nc = value.clamp(NR, 1 << 20),
+            "par" => p.par_min_madds = value,
+            other => return Err(format!("unknown key {other:?} (expected mc/kc/nc/par)")),
+        }
+    }
+    Ok(p)
+}
+
+/// Formats `p` in the [`parse_spec`] grammar, suitable for
+/// `MRINV_GEMM_TUNE` or a `file:` cache.
+pub fn format_spec(p: &Params) -> String {
+    format!(
+        "mc={},kc={},nc={},par={}",
+        p.mc, p.kc, p.nc, p.par_min_madds
+    )
+}
+
+/// Probe effort knobs for [`calibrate`].
+#[derive(Debug, Clone)]
+pub struct CalibrateOpts {
+    /// Square problem size the MC×KC grid is timed at.
+    pub probe_n: usize,
+    /// Timing repetitions per candidate (minimum is kept).
+    pub reps: usize,
+    /// Whether to sweep for the serial/parallel crossover (skipped
+    /// automatically when the pool has a single thread).
+    pub probe_crossover: bool,
+}
+
+impl CalibrateOpts {
+    /// The first-use probe: small enough to finish in ~100ms-1s, large
+    /// enough that L2-blocking differences show.
+    pub fn quick() -> CalibrateOpts {
+        CalibrateOpts {
+            probe_n: 256,
+            reps: 2,
+            probe_crossover: true,
+        }
+    }
+
+    /// A slower, steadier probe for the CLI (`mrinv tune`).
+    pub fn thorough() -> CalibrateOpts {
+        CalibrateOpts {
+            probe_n: 384,
+            reps: 3,
+            probe_crossover: true,
+        }
+    }
+}
+
+/// Deterministic well-conditioned probe operand (no RNG dependency; the
+/// values only need to defeat trivial constant-folding).
+fn probe_matrix(rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        ((i * 31 + j * 17 + 3) % 97) as f64 / 97.0 - 0.5
+    })
+}
+
+/// Times one engine run (serial or forced-parallel) with explicit
+/// parameters; returns seconds.
+fn time_run(p: &Params, parallel: bool, a: &Matrix, b: &Matrix, c: &mut Matrix) -> f64 {
+    scale_by_beta(c, 0.0);
+    let t = Instant::now();
+    run_packed(p, parallel, "packed-serial", 1.0, notrans(a), notrans(b), c);
+    t.elapsed().as_secs_f64()
+}
+
+fn best_time(p: &Params, parallel: bool, reps: usize, a: &Matrix, b: &Matrix) -> f64 {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        best = best.min(time_run(p, parallel, a, b, &mut c));
+    }
+    best
+}
+
+/// Runs the calibration probe and returns the winning parameters.
+///
+/// Grid-probes MC×KC serially at `probe_n`, then (multi-thread pools
+/// only) sweeps problem sizes with the parallel loop nest forced on to
+/// find the crossover where parallel first beats serial, setting
+/// `par_min_madds` to that problem's multiply-add count. NC keeps its
+/// default: it only matters beyond `n > NC` (4096), far above the probe
+/// sizes, and probing there would cost seconds.
+pub fn calibrate(opts: &CalibrateOpts) -> Params {
+    let n = opts.probe_n.max(64);
+    let a = probe_matrix(n, n);
+    let b = probe_matrix(n, n);
+
+    let mut best = DEFAULT_PARAMS;
+    let mut best_t = f64::INFINITY;
+    for &mc in &[32usize, 64, 96, 128] {
+        for &kc in &[128usize, 256, 512] {
+            let cand = Params {
+                mc,
+                kc,
+                ..DEFAULT_PARAMS
+            };
+            let t = best_time(&cand, false, opts.reps, &a, &b);
+            if t < best_t {
+                best_t = t;
+                best = cand;
+            }
+        }
+    }
+
+    if opts.probe_crossover && rayon::current_num_threads() > 1 {
+        best.par_min_madds = probe_crossover(&best, opts.reps);
+    }
+    best
+}
+
+/// Smallest `m·k·n` where the forced-parallel nest beats serial by ≥5%;
+/// falls back to the compiled default when parallel never wins in the
+/// sweep (e.g. an oversubscribed or single-core machine).
+fn probe_crossover(p: &Params, reps: usize) -> usize {
+    for &nx in &[64usize, 96, 128, 192, 256, 320, 384] {
+        let a = probe_matrix(nx, nx);
+        let b = probe_matrix(nx, nx);
+        let serial = best_time(p, false, reps, &a, &b);
+        let par = best_time(p, true, reps, &a, &b);
+        if par < serial * 0.95 {
+            return nx * nx * nx;
+        }
+    }
+    DEFAULT_PARAMS.par_min_madds
+}
+
+/// Probes serial packed throughput at candidate MapReduce block sizes and
+/// recommends the smallest `nb` reaching ≥90% of the best observed
+/// GFLOP/s. Returns `(recommended_nb, [(nb, gflops)])`.
+///
+/// Rationale (Ceccarello & Silvestri, arXiv:1408.2858): larger blocks cut
+/// MapReduce rounds but inflate per-task work and memory; the kernel's
+/// throughput saturates once `nb` covers the cache blocking, so the
+/// smallest saturating block minimizes round-granularity loss for free.
+pub fn recommend_nb(p: &Params, reps: usize) -> (usize, Vec<(usize, f64)>) {
+    let mut curve = Vec::new();
+    let mut best_gf = 0.0f64;
+    for &nb in &[32usize, 64, 128, 256, 512] {
+        let a = probe_matrix(nb, nb);
+        let b = probe_matrix(nb, nb);
+        let secs = best_time(p, false, reps, &a, &b);
+        let gf = if secs > 0.0 {
+            super::gemm_flops(nb, nb, nb) as f64 / secs / 1e9
+        } else {
+            0.0
+        };
+        best_gf = best_gf.max(gf);
+        curve.push((nb, gf));
+    }
+    let rec = curve
+        .iter()
+        .find(|&&(_, gf)| gf >= 0.9 * best_gf)
+        .map(|&(nb, _)| nb)
+        .unwrap_or(DEFAULT_PARAMS.mc);
+    (rec, curve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_roundtrip_and_partial_parse() {
+        let p = Params {
+            mc: 96,
+            kc: 384,
+            nc: 2048,
+            par_min_madds: 123456,
+        };
+        assert_eq!(parse_spec(&format_spec(&p)).unwrap(), p);
+
+        let partial = parse_spec("kc=512").unwrap();
+        assert_eq!(partial.kc, 512);
+        assert_eq!(partial.mc, DEFAULT_PARAMS.mc);
+        assert_eq!(partial.nc, DEFAULT_PARAMS.nc);
+
+        assert!(parse_spec("mc=abc").is_err());
+        assert!(parse_spec("bogus=1").is_err());
+        assert!(parse_spec("mc").is_err());
+        // Clamping keeps hostile values runnable.
+        assert_eq!(parse_spec("mc=0").unwrap().mc, MR);
+        assert_eq!(parse_spec("kc=1").unwrap().kc, 8);
+    }
+
+    #[test]
+    fn default_params_match_historical_constants() {
+        // The bit-identity contract: unset env must reproduce the seed's
+        // exact blocking, hence the seed's exact floating-point results.
+        assert_eq!(
+            DEFAULT_PARAMS,
+            Params {
+                mc: 64,
+                kc: 256,
+                nc: 4096,
+                par_min_madds: 1 << 21
+            }
+        );
+        let p = params();
+        if std::env::var("MRINV_GEMM_TUNE").is_err() {
+            assert_eq!(p, DEFAULT_PARAMS);
+        }
+    }
+
+    #[test]
+    fn calibrate_returns_runnable_params() {
+        // A tiny probe (not the quick() profile) keeps this test fast
+        // while still exercising the full grid machinery.
+        let p = calibrate(&CalibrateOpts {
+            probe_n: 64,
+            reps: 1,
+            probe_crossover: false,
+        });
+        assert!(p.mc >= MR && p.kc >= 8 && p.nc >= NR);
+        // And the winner actually computes a correct product.
+        let a = probe_matrix(33, 47);
+        let b = probe_matrix(47, 21);
+        let mut c = Matrix::zeros(33, 21);
+        run_packed(
+            &p,
+            false,
+            "packed-serial",
+            1.0,
+            notrans(&a),
+            notrans(&b),
+            &mut c,
+        );
+        let expect = crate::kernel::mul(notrans(&a), notrans(&b)).unwrap();
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn recommend_nb_returns_probed_point() {
+        let (nb, curve) = recommend_nb(&DEFAULT_PARAMS, 1);
+        assert!(curve.iter().any(|&(c_nb, _)| c_nb == nb));
+        assert!(curve.iter().all(|&(_, gf)| gf >= 0.0));
+    }
+}

@@ -1,0 +1,100 @@
+//! Differential proptests for the packed engine's parallel loop nest:
+//! `Packed { parallel: true }` vs `Packed { parallel: false }` across
+//! thread caps (1 / 2 / max) and the ragged-shape families the old
+//! `m > MC` gate used to exclude from parallelism.
+//!
+//! This binary forces the parallel nest on for *every* product
+//! (`MRINV_GEMM_TUNE=par=0`) and gives the pool at least 4 threads, so
+//! the comparison genuinely exercises the multi-threaded path even on a
+//! small machine — which is why it lives in its own test binary: both
+//! knobs are process-global and resolved at first kernel use.
+
+use std::sync::Once;
+
+use mrinv_matrix::kernel::{gemm_with, Naive, Op, Packed};
+use mrinv_matrix::random::random_matrix;
+use proptest::prelude::*;
+
+fn force_parallel_env() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        std::env::set_var("MRINV_GEMM_TUNE", "par=0");
+        if std::env::var_os("RAYON_NUM_THREADS").is_none() {
+            std::env::set_var("RAYON_NUM_THREADS", "4");
+        }
+    });
+}
+
+/// Shape families: m ≤ MR slivers, wide-but-short, tall-and-skinny, and
+/// generally ragged — all straddling the MR/NR/MC/KC tile edges.
+fn arb_shape() -> impl Strategy<Value = (usize, usize, usize)> {
+    (0usize..4, any::<u64>()).prop_map(|(family, s)| {
+        let pick = |lo: usize, hi: usize, rot: u32| lo + (s.rotate_right(rot) as usize) % (hi - lo);
+        match family {
+            0 => (pick(1, 5, 0), pick(1, 96, 8), pick(1, 96, 16)), // m ≤ MR
+            1 => (pick(1, 24, 0), pick(1, 64, 8), pick(120, 280, 16)), // wide-short
+            2 => (pick(120, 280, 0), pick(1, 64, 8), pick(1, 24, 16)), // tall-skinny
+            _ => (pick(1, 80, 0), pick(1, 80, 8), pick(1, 80, 16)), // ragged general
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn packed_parallel_matches_serial_across_caps_and_ragged_shapes(
+        ((m, k, n), s1, s2, s3, ta, tb, alpha, beta) in (
+            arb_shape(),
+            any::<u64>(), any::<u64>(), any::<u64>(),
+            any::<bool>(), any::<bool>(),
+            -2.0f64..2.0, -2.0f64..2.0,
+        )
+    ) {
+        force_parallel_env();
+        let a = random_matrix(if ta { k } else { m }, if ta { m } else { k }, s1);
+        let b = random_matrix(if tb { n } else { k }, if tb { k } else { n }, s2);
+        let c0 = random_matrix(m, n, s3);
+        let op = |t: bool| if t { Op::Trans } else { Op::NoTrans };
+
+        let mut naive = c0.clone();
+        gemm_with(&Naive, alpha, op(ta).of(&a), op(tb).of(&b), beta, &mut naive).unwrap();
+        let mut serial = c0.clone();
+        gemm_with(
+            &Packed { parallel: false },
+            alpha, op(ta).of(&a), op(tb).of(&b), beta, &mut serial,
+        ).unwrap();
+
+        // The same k-linear forward-error bound the backend-agreement
+        // proptest uses against the naive reference.
+        let tol = 32.0 * f64::EPSILON * (k as f64 + 2.0)
+            * (alpha.abs() * k as f64 + beta.abs() + 1.0);
+
+        for cap in [1usize, 2, usize::MAX] {
+            let prev = rayon::set_thread_cap(cap);
+            let mut par = c0.clone();
+            let r = gemm_with(
+                &Packed { parallel: true },
+                alpha, op(ta).of(&a), op(tb).of(&b), beta, &mut par,
+            );
+            rayon::set_thread_cap(prev);
+            r.unwrap();
+
+            // Design contract: the parallel nest is bitwise serial.
+            prop_assert!(
+                par == serial,
+                "parallel differs from serial bitwise at cap={} (m={} k={} n={})",
+                cap, m, k, n
+            );
+            // And both sit within the forward-error bound of naive.
+            for (got, want) in par.as_slice().iter().zip(naive.as_slice()) {
+                prop_assert!(
+                    (got - want).abs() <= tol,
+                    "parallel packed deviates from naive: {} vs {} (tol {}, cap={}, \
+                     m={} k={} n={} ta={} tb={})",
+                    got, want, tol, cap, m, k, n, ta, tb
+                );
+            }
+        }
+    }
+}

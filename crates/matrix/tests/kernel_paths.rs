@@ -1,0 +1,68 @@
+//! The packed engine's perf path counters must label which loop nest
+//! actually executed, so a serial fallback can never masquerade as a
+//! parallel result (the `packed_parallel_gflops_at_64` bug).
+//!
+//! Runs as its own test binary with a single test: the counters and the
+//! rayon pool are process-global, and this is the only way to control
+//! the environment they are initialized from.
+
+use mrinv_matrix::kernel::{gemm_with, notrans, perf, Packed};
+use mrinv_matrix::random::random_matrix;
+use mrinv_matrix::Matrix;
+
+#[test]
+fn packed_path_counters_label_fallback_vs_parallel() {
+    // Pin the tune parameters and (absent an explicit override) a
+    // 2-thread pool before anything touches the kernel: both are resolved
+    // once per process on first use.
+    std::env::set_var("MRINV_GEMM_TUNE", "default");
+    if std::env::var_os("RAYON_NUM_THREADS").is_none() {
+        std::env::set_var("RAYON_NUM_THREADS", "2");
+    }
+    let threads = rayon::current_num_threads();
+
+    perf::reset();
+    perf::set_enabled(true);
+    let run = |n: usize, parallel: bool| {
+        let a = random_matrix(n, n, 40);
+        let b = random_matrix(n, n, 41);
+        let mut c = Matrix::zeros(n, n);
+        gemm_with(
+            &Packed { parallel },
+            1.0,
+            notrans(&a),
+            notrans(&b),
+            0.0,
+            &mut c,
+        )
+        .unwrap();
+    };
+    // 64³ = 262144 multiply-adds: below the default crossover → fallback.
+    run(64, true);
+    // 160³ ≈ 4.1M: above the crossover → parallel iff the pool has >1 thread.
+    run(160, true);
+    // The serial engine is not parallel-capable and records no path.
+    run(160, false);
+    perf::set_enabled(false);
+
+    let snap = perf::snapshot();
+    let packed = snap.iter().find(|p| p.backend == "packed").unwrap();
+    assert_eq!(
+        packed.par_calls + packed.fallback_calls,
+        2,
+        "every parallel-capable call must be labeled"
+    );
+    if threads > 1 {
+        assert_eq!(packed.fallback_calls, 1, "n=64 must be labeled fallback");
+        assert_eq!(packed.par_calls, 1, "n=160 must be labeled parallel");
+    } else {
+        assert_eq!(
+            packed.fallback_calls, 2,
+            "a single-thread pool must label every call fallback"
+        );
+    }
+    let serial = snap.iter().find(|p| p.backend == "packed-serial").unwrap();
+    assert_eq!(serial.par_calls, 0);
+    assert_eq!(serial.fallback_calls, 0);
+    perf::reset();
+}

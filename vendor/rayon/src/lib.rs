@@ -2,12 +2,46 @@
 //!
 //! Implements the slice-parallelism subset this workspace uses
 //! (`par_iter().enumerate().map(..).collect()`, `par_chunks_mut(..)
-//! .enumerate().for_each(..)`) on top of `std::thread::scope`. Items are
-//! split into one contiguous chunk per available core; results are
-//! reassembled in input order, so behavior is deterministic and
-//! order-preserving exactly like rayon's indexed parallel iterators.
+//! .enumerate().for_each(..)`) on top of a **lazily-initialized
+//! persistent worker pool**. Items are split into one contiguous chunk
+//! per available thread; results are reassembled in input order, so
+//! behavior is deterministic and order-preserving exactly like rayon's
+//! indexed parallel iterators.
+//!
+//! ## Pool lifecycle
+//!
+//! The first parallel call spawns `T - 1` background workers (the caller
+//! always participates as the T-th thread), where `T` is
+//! `RAYON_NUM_THREADS` if set, else `available_parallelism()`. Workers
+//! live for the rest of the process and block on a shared injector queue
+//! between calls, so the thread-spawn cost that used to be paid on
+//! *every* `par_chunks_mut`/`par_iter` call is now paid once per
+//! process — the fix for the packed-GEMM parallel regression, where the
+//! kernel forked and joined fresh OS threads once per macro-tile
+//! iteration.
+//!
+//! ## Waiting = helping
+//!
+//! A thread that submitted a batch of jobs drains the shared queue while
+//! it waits for its own batch to finish. Nested parallel calls (a rayon
+//! map task whose body itself calls a parallel kernel) therefore cannot
+//! deadlock: a blocked submitter only sleeps once every job in the queue
+//! has been claimed by some running thread, and claimed jobs always run
+//! to completion.
+//!
+//! ## Thread cap
+//!
+//! [`set_thread_cap`] bounds the *effective* parallelism of subsequent
+//! calls without touching the pool (the extra workers just stay idle).
+//! The differential kernel tests use it to compare 1/2/max-thread
+//! executions inside one process, and benches use it to sample a
+//! thread-scaling ladder.
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// The glob-import surface, mirroring `rayon::prelude::*`.
 pub mod prelude {
@@ -16,29 +50,212 @@ pub mod prelude {
     };
 }
 
-fn threads_for(len: usize) -> usize {
-    // Like rayon, RAYON_NUM_THREADS overrides the detected parallelism.
-    let cores = std::env::var("RAYON_NUM_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1)
-        });
-    cores.min(len).max(1)
+// ---------------------------------------------------------------------
+// The persistent pool
+// ---------------------------------------------------------------------
+
+/// A unit of queued work: a lifetime-erased closure plus its completion
+/// accounting (the closure wrapper decrements a latch when it finishes).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The shared job queue workers block on between parallel calls.
+struct Injector {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+struct Pool {
+    injector: &'static Injector,
+    /// Total parallelism including the calling thread; workers = threads-1.
+    threads: usize,
+}
+
+/// Cumulative count of OS threads ever spawned by the pool. The
+/// persistent-pool contract is that this number reaches `threads - 1`
+/// once and then never grows, no matter how many parallel calls run.
+static WORKERS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+/// Effective-parallelism cap; `usize::MAX` = uncapped. See [`set_thread_cap`].
+static THREAD_CAP: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        // Like rayon, RAYON_NUM_THREADS overrides the detected
+        // parallelism — read once, at pool construction.
+        let threads = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        let injector: &'static Injector = Box::leak(Box::new(Injector {
+            jobs: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }));
+        for i in 1..threads {
+            WORKERS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{i}"))
+                .spawn(move || worker_loop(injector))
+                .expect("spawn pool worker");
+        }
+        Pool { injector, threads }
+    })
+}
+
+fn worker_loop(injector: &'static Injector) {
+    loop {
+        let job = {
+            let mut q = injector.jobs.lock().unwrap();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = injector.available.wait(q).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+fn try_pop(injector: &Injector) -> Option<Job> {
+    injector.jobs.lock().unwrap().pop_front()
+}
+
+/// The pool's thread count (including the caller) after the effective
+/// cap: how wide the next parallel call will fan out. Initializes the
+/// pool on first use.
+pub fn current_num_threads() -> usize {
+    pool()
+        .threads
+        .min(THREAD_CAP.load(Ordering::Relaxed))
+        .max(1)
+}
+
+/// Caps the effective parallelism of subsequent calls at `cap` threads
+/// (clamped to at least 1) without resizing the pool; returns the
+/// previous cap. Pass `usize::MAX` to uncap. Process-global: intended
+/// for differential tests and thread-scaling benches, not for steering
+/// concurrent callers independently.
+pub fn set_thread_cap(cap: usize) -> usize {
+    THREAD_CAP.swap(cap.max(1), Ordering::Relaxed)
+}
+
+/// How many worker threads the pool has ever spawned (diagnostics; the
+/// persistent-pool tests pin this to "at most once per process").
+pub fn worker_threads_spawned() -> usize {
+    WORKERS_SPAWNED.load(Ordering::Relaxed)
+}
+
+/// Completion latch for one submitted batch: counts outstanding jobs and
+/// carries the first panic payload to re-raise on the submitting thread.
+struct Latch {
+    inner: Mutex<LatchInner>,
+    done: Condvar,
+}
+
+struct LatchInner {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Latch {
+    fn new(remaining: usize) -> Arc<Latch> {
+        Arc::new(Latch {
+            inner: Mutex::new(LatchInner {
+                remaining,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.panic.is_none() {
+            inner.panic = panic;
+        }
+        inner.remaining -= 1;
+        if inner.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Runs every job to completion, fanning the tail out across the pool
+/// while the calling thread executes the first job itself. Returns only
+/// after all jobs have finished; a panic in any job is re-raised here.
+fn run_scoped(jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    let n = jobs.len();
+    if n == 0 {
+        return;
+    }
+    let pool = pool();
+    if n == 1 || current_num_threads() <= 1 {
+        for job in jobs {
+            job();
+        }
+        return;
+    }
+
+    let latch = Latch::new(n - 1);
+    let mut jobs = jobs.into_iter();
+    let first = jobs.next().expect("n >= 1");
+    {
+        let mut q = pool.injector.jobs.lock().unwrap();
+        for job in jobs {
+            // SAFETY: the enqueued closure only borrows data that outlives
+            // this function call: the latch below counts one completion per
+            // enqueued job, and the wait loop underneath does not return
+            // until every count has arrived — so the 'static lifetime
+            // stamped on here never actually outlives the borrowed scope.
+            let job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+            let latch = Arc::clone(&latch);
+            q.push_back(Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(job));
+                latch.complete(result.err());
+            }));
+        }
+        pool.injector.available.notify_all();
+    }
+
+    // Run our own share, then help drain the queue while waiting: a
+    // popped job may belong to our batch or to another thread's nested
+    // sub-batch, and executing it here is what makes nested parallel
+    // calls deadlock-free — a submitter only sleeps once the queue is
+    // empty, i.e. once every outstanding job is running on some thread.
+    let own = catch_unwind(AssertUnwindSafe(first));
+    while let Some(job) = try_pop(pool.injector) {
+        job();
+    }
+    let mut inner = latch.inner.lock().unwrap();
+    while inner.remaining > 0 {
+        inner = latch.done.wait(inner).unwrap();
+    }
+    let panic = inner.panic.take();
+    drop(inner);
+    if let Err(p) = own {
+        resume_unwind(p);
+    }
+    if let Some(p) = panic {
+        resume_unwind(p);
+    }
 }
 
 /// Applies `f` to every item in parallel, preserving input order.
 fn par_map<I: Send, R: Send>(items: Vec<I>, f: impl Fn(I) -> R + Sync) -> Vec<R> {
     let n = items.len();
-    let threads = threads_for(n);
+    let threads = current_num_threads().min(n).max(1);
     if threads <= 1 || n <= 1 {
         return items.into_iter().map(f).collect();
     }
-    // Split into contiguous per-thread chunks; each thread returns its
-    // mapped chunk, and chunks are concatenated back in order.
+    // Split into contiguous per-thread chunks; each chunk becomes one
+    // pool job whose mapped output lands in its own slot, and slots are
+    // concatenated back in order.
     let chunk = n.div_ceil(threads);
     let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
     let mut items = items;
@@ -49,26 +266,26 @@ fn par_map<I: Send, R: Send>(items: Vec<I>, f: impl Fn(I) -> R + Sync) -> Vec<R>
     }
     chunks.reverse();
     let f = &f;
-    let mut out: Vec<Vec<R>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
+    let mut results: Vec<Option<Vec<R>>> = (0..chunks.len()).map(|_| None).collect();
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+        .into_iter()
+        .zip(results.iter_mut())
+        .map(|(c, slot)| {
+            Box::new(move || *slot = Some(c.into_iter().map(f).collect::<Vec<R>>()))
+                as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    run_scoped(jobs);
     let mut flat = Vec::with_capacity(n);
-    for c in &mut out {
-        flat.append(c);
+    for r in &mut results {
+        flat.append(r.as_mut().expect("every chunk completed"));
     }
     flat
 }
 
 /// An eager "parallel iterator": adapters other than the final `map` /
 /// `for_each` stage are bookkeeping; the terminal stage fans out across
-/// scoped threads.
+/// the persistent pool.
 pub struct ParIter<I> {
     items: Vec<I>,
 }
@@ -228,5 +445,72 @@ mod tests {
         for (i, &v) in data.iter().enumerate() {
             assert_eq!(v, i / 8);
         }
+    }
+
+    #[test]
+    fn pool_spawns_workers_at_most_once() {
+        // Force several independent parallel calls through the pool.
+        for round in 0..4u64 {
+            let v: Vec<u64> = (0..512).collect();
+            let out: Vec<u64> = v.par_iter().map(|&x| x + round).collect();
+            assert_eq!(out[0], round);
+        }
+        let after_first = super::worker_threads_spawned();
+        for _ in 0..4 {
+            let v: Vec<u64> = (0..512).collect();
+            let _: u64 = v.into_par_iter().map(|x| x * 2).sum();
+        }
+        // Persistent pool: no new threads after the first initialization,
+        // and at most pool-size - 1 workers ever exist.
+        assert_eq!(super::worker_threads_spawned(), after_first);
+        assert!(after_first <= super::pool().threads.saturating_sub(1));
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete() {
+        let outer: Vec<u64> = (0..16).collect();
+        let sums: Vec<u64> = outer
+            .par_iter()
+            .map(|&i| {
+                let inner: Vec<u64> = (0..64).map(|j| i * 64 + j).collect();
+                inner.par_iter().map(|&x| x).sum::<u64>()
+            })
+            .collect();
+        for (i, &s) in sums.iter().enumerate() {
+            let i = i as u64;
+            let expect: u64 = (0..64).map(|j| i * 64 + j).sum();
+            assert_eq!(s, expect);
+        }
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            let v: Vec<u64> = (0..64).collect();
+            v.par_iter().for_each(|&x| {
+                if x == 63 {
+                    panic!("boom {x}");
+                }
+            });
+        });
+        assert!(result.is_err(), "worker panic must re-raise on the caller");
+        // The pool must still be usable afterwards.
+        let v: Vec<u64> = (0..64).collect();
+        let sum: u64 = v.into_par_iter().map(|x| x + 1).sum();
+        assert_eq!(sum, 64 * 65 / 2);
+    }
+
+    #[test]
+    fn thread_cap_bounds_effective_parallelism() {
+        let prev = super::set_thread_cap(1);
+        assert_eq!(super::current_num_threads(), 1);
+        let v: Vec<u64> = (0..128).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 3).collect();
+        assert_eq!(out[100], 300);
+        super::set_thread_cap(2);
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 5).collect();
+        assert_eq!(out[100], 500);
+        super::set_thread_cap(prev);
+        assert!(super::current_num_threads() >= 1);
     }
 }
