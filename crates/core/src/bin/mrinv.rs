@@ -3,12 +3,12 @@
 //!
 //! ```text
 //! mrinv invert --input a.txt --output inv.txt [--nodes 4] [--nb 200]
-//!              [--backend in-process|tcp:<n>]
+//!              [--backend in-process|tcp:<n>] [--sched barrier|pipelined]
 //!              [--trace-out trace.json] [--metrics-json metrics.json]
 //!              [--metrics-prom metrics.prom] [--progress]
 //!              [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]
 //! mrinv lu     --input a.txt --l l.txt --u u.txt [--nodes 4] [--nb 200]
-//!              [--backend in-process|tcp:<n>]
+//!              [--backend in-process|tcp:<n>] [--sched barrier|pipelined]
 //!              [--trace-out trace.json] [--metrics-json metrics.json]
 //!              [--metrics-prom metrics.prom] [--progress]
 //!              [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]
@@ -21,6 +21,12 @@
 //! in-process threads; task descriptors and DFS traffic travel over
 //! loopback TCP, and a worker that dies mid-attempt is replaced and the
 //! attempt retried. Results are bit-identical across backends.
+//!
+//! `--sched pipelined` switches the simulated timeline to event-driven
+//! execution: the shuffle streams map outputs as they commit and idle
+//! fast slots steal straggling tasks, shrinking wave makespans on skewed
+//! clusters. The default is the paper's per-wave barrier. Outputs are
+//! bit-identical across scheduling modes.
 //!
 //! Matrices use the text format of the paper's `a.txt` (a `rows cols`
 //! header line, then whitespace-separated values; see
@@ -62,7 +68,8 @@ use std::sync::Arc;
 
 use mrinv::{invert_run, lu_run, Checkpoint, CoreError, InversionConfig, Result, RunId, RunReport};
 use mrinv_mapreduce::{
-    chrome_trace_json, Cluster, ClusterConfig, MrError, TcpWorkers, TcpWorkersConfig,
+    chrome_trace_json, Cluster, ClusterConfig, MrError, SchedulingMode, TcpWorkers,
+    TcpWorkersConfig,
 };
 use mrinv_matrix::io::{decode_text, encode_text};
 use mrinv_matrix::norms::inversion_residual;
@@ -88,6 +95,7 @@ struct Opts {
     resume: bool,
     kill_after: Option<u64>,
     backend: Backend,
+    scheduling: SchedulingMode,
 }
 
 /// Execution backend selection (`--backend`).
@@ -117,7 +125,7 @@ impl Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mrinv invert --input a.txt --output inv.txt [--nodes N] [--nb NB] [--backend in-process|tcp:W] [--trace-out T.json] [--metrics-json M.json] [--metrics-prom M.prom] [--progress] [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]\n  mrinv lu --input a.txt --l l.txt --u u.txt [--nodes N] [--nb NB] [--backend in-process|tcp:W] [--trace-out T.json] [--metrics-json M.json] [--metrics-prom M.prom] [--progress] [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]\n  mrinv gen --order N --output a.txt [--seed S]\n  mrinv tune [--out FILE]"
+        "usage:\n  mrinv invert --input a.txt --output inv.txt [--nodes N] [--nb NB] [--backend in-process|tcp:W] [--sched barrier|pipelined] [--trace-out T.json] [--metrics-json M.json] [--metrics-prom M.prom] [--progress] [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]\n  mrinv lu --input a.txt --l l.txt --u u.txt [--nodes N] [--nb NB] [--backend in-process|tcp:W] [--sched barrier|pipelined] [--trace-out T.json] [--metrics-json M.json] [--metrics-prom M.prom] [--progress] [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]\n  mrinv gen --order N --output a.txt [--seed S]\n  mrinv tune [--out FILE]"
     );
     exit(2)
 }
@@ -142,6 +150,7 @@ fn parse() -> Opts {
         resume: false,
         kill_after: None,
         backend: Backend::InProcess,
+        scheduling: SchedulingMode::Barrier,
     };
     let mut it = std::env::args().skip(1);
     opts.command = it.next().unwrap_or_else(|| usage());
@@ -172,6 +181,13 @@ fn parse() -> Opts {
                     tcp if tcp.starts_with("tcp:") => {
                         Backend::Tcp(tcp[4..].parse().unwrap_or_else(|_| usage()))
                     }
+                    _ => usage(),
+                };
+            }
+            "--sched" => {
+                opts.scheduling = match val().as_str() {
+                    "barrier" => SchedulingMode::Barrier,
+                    "pipelined" => SchedulingMode::Pipelined,
                     _ => usage(),
                 };
             }
@@ -222,6 +238,7 @@ fn build_cluster(opts: &Opts) -> Cluster {
     cfg.tracing = opts.trace_out.is_some() || wants_metrics;
     cfg.observability = wants_metrics;
     cfg.progress = opts.progress;
+    cfg.scheduling = opts.scheduling;
     if wants_metrics {
         mrinv_matrix::kernel::perf::set_enabled(true);
     }

@@ -9,6 +9,25 @@ use crate::metrics::ClusterMetrics;
 use crate::simtime::CostModel;
 use crate::tracelog::TraceLog;
 
+/// How a job's waves are priced onto the simulated cluster clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulingMode {
+    /// Strict barriers (the default, bit-identical reproduction of the
+    /// paper's Hadoop runs): the shuffle starts when the *last* mapper
+    /// commits, every reducer waits for the whole shuffle, and placement
+    /// follows [`crate::scheduler::plan_wave`] exactly.
+    #[default]
+    Barrier,
+    /// Event-driven execution ([`crate::scheduler::plan_pipelined`]):
+    /// each map task's shuffle chunk begins transferring the moment that
+    /// task commits (overlapping the rest of the map wave), reducers are
+    /// admitted as soon as their inputs finish streaming, and idle slots
+    /// steal straggling in-flight tasks (backup copies) instead of
+    /// honoring the up-front placement. Data outputs stay bit-identical
+    /// to barrier mode; only the simulated timeline changes.
+    Pipelined,
+}
+
 /// Static cluster shape and pricing.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -50,6 +69,11 @@ pub struct ClusterConfig {
     pub retry_backoff_base_secs: f64,
     /// Upper bound on the timeout-retry backoff delay, seconds.
     pub retry_backoff_cap_secs: f64,
+    /// Barrier-per-wave (default) or pipelined, work-stealing execution.
+    /// Excluded from config fingerprints: both modes produce bit-identical
+    /// data, so a checkpoint written under one mode resumes under the
+    /// other.
+    pub scheduling: SchedulingMode,
     /// Pricing of compute, disk, network, and job launches.
     pub cost: CostModel,
 }
@@ -69,6 +93,7 @@ impl ClusterConfig {
             task_timeout_secs: None,
             retry_backoff_base_secs: 1.0,
             retry_backoff_cap_secs: 60.0,
+            scheduling: SchedulingMode::Barrier,
             cost: CostModel::ec2_medium(),
         }
     }
@@ -88,6 +113,7 @@ impl ClusterConfig {
             task_timeout_secs: None,
             retry_backoff_base_secs: 1.0,
             retry_backoff_cap_secs: 60.0,
+            scheduling: SchedulingMode::Barrier,
             cost: CostModel::ec2_large(),
         }
     }
@@ -264,5 +290,12 @@ mod tests {
         let l = Cluster::new(ClusterConfig::large(128));
         assert_eq!(l.config.slots_per_node, 2);
         assert_eq!(l.config.cost.cores_per_node, 2);
+    }
+
+    #[test]
+    fn barrier_scheduling_is_the_default() {
+        assert_eq!(ClusterConfig::medium(4).scheduling, SchedulingMode::Barrier);
+        assert_eq!(ClusterConfig::large(4).scheduling, SchedulingMode::Barrier);
+        assert_eq!(SchedulingMode::default(), SchedulingMode::Barrier);
     }
 }

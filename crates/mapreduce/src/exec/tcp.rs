@@ -115,11 +115,32 @@ impl TcpWorkersConfig {
     }
 }
 
+/// Handle to one worker process, shared between the [`Worker`] that talks
+/// to it and the backend-wide kill-on-drop registry. `None` once the
+/// process has been reaped (killed or waited), so each child is released
+/// exactly once no matter which holder gets there first.
+type ChildSlot = Arc<Mutex<Option<Child>>>;
+
+/// Kills and reaps the slot's process if it is still owned.
+fn kill_slot(slot: &ChildSlot) {
+    if let Some(mut child) = slot.lock().expect("child lock").take() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+/// Reaps the slot's process without killing it (it was told to exit).
+fn wait_slot(slot: &ChildSlot) {
+    if let Some(mut child) = slot.lock().expect("child lock").take() {
+        let _ = child.wait();
+    }
+}
+
 /// One live worker process the driver can talk to.
 struct Worker {
     id: usize,
     stream: TcpStream,
-    child: Child,
+    child: ChildSlot,
 }
 
 struct Pool {
@@ -141,6 +162,13 @@ pub struct TcpWorkers {
     listener: TcpListener,
     pool: Mutex<Pool>,
     available: Condvar,
+    /// Every child ever spawned, shared with the `Worker` handles. A
+    /// `Worker` checked out of the pool when the driver unwinds (a
+    /// panicking job body) is dropped on some rayon thread's stack without
+    /// passing through [`TcpWorkers::checkin`]; this registry is what lets
+    /// [`Drop`] still kill its process instead of leaking an orphan
+    /// `mrinv-worker`.
+    children: Mutex<Vec<ChildSlot>>,
     /// The DFS worker requests are served from; installed by
     /// [`TcpWorkers::attach_dfs`] once the cluster exists.
     dfs_slot: Mutex<Option<Arc<Dfs>>>,
@@ -169,6 +197,7 @@ impl TcpWorkers {
                 shutting_down: false,
             }),
             available: Condvar::new(),
+            children: Mutex::new(Vec::new()),
             dfs_slot: Mutex::new(None),
             listener,
             config,
@@ -218,8 +247,14 @@ impl TcpWorkers {
             .map_err(|e| MrError::Other(format!("worker {id} sent no Hello: {e}")))?;
         if hello.0 != TAG_HELLO || hello.1.len() != 8 {
             let _ = child.kill();
+            let _ = child.wait();
             return Err(MrError::Other(format!("worker {id} sent a bad Hello")));
         }
+        let child: ChildSlot = Arc::new(Mutex::new(Some(child)));
+        self.children
+            .lock()
+            .expect("children lock")
+            .push(child.clone());
         Ok(Worker { id, stream, child })
     }
 
@@ -254,7 +289,7 @@ impl TcpWorkers {
             pool.alive -= 1;
             let mut w = worker;
             let _ = write_frame(&mut w.stream, TAG_SHUTDOWN, &[]);
-            let _ = w.child.wait();
+            wait_slot(&w.child);
             return;
         }
         pool.idle.push(worker);
@@ -263,9 +298,8 @@ impl TcpWorkers {
     }
 
     /// Reaps a dead worker: kill the process, drop it from the pool.
-    fn reap(&self, mut worker: Worker) {
-        let _ = worker.child.kill();
-        let _ = worker.child.wait();
+    fn reap(&self, worker: Worker) {
+        kill_slot(&worker.child);
         let mut pool = self.pool.lock().expect("pool lock");
         pool.alive -= 1;
         drop(pool);
@@ -432,9 +466,8 @@ impl ExecBackend for TcpWorkers {
             return;
         }
         let victim = node % pool.idle.len();
-        let mut w = pool.idle.swap_remove(victim);
-        let _ = w.child.kill();
-        let _ = w.child.wait();
+        let w = pool.idle.swap_remove(victim);
+        kill_slot(&w.child);
         pool.alive -= 1;
         drop(pool);
         self.available.notify_all();
@@ -451,7 +484,7 @@ impl ExecBackend for TcpWorkers {
         drop(pool);
         for mut w in idle {
             let _ = write_frame(&mut w.stream, TAG_SHUTDOWN, &[]);
-            let _ = w.child.wait();
+            wait_slot(&w.child);
         }
         self.available.notify_all();
     }
@@ -460,12 +493,14 @@ impl ExecBackend for TcpWorkers {
 impl Drop for TcpWorkers {
     fn drop(&mut self) {
         self.shutdown();
-        // Anything still alive (checked out mid-drop, or wedged) is
-        // killed outright so no orphan processes outlive the driver.
-        let mut pool = self.pool.lock().expect("pool lock");
-        for mut w in pool.idle.drain(..) {
-            let _ = w.child.kill();
-            let _ = w.child.wait();
+        // Kill-on-drop guard: sweep every child ever spawned, not just the
+        // idle pool. A worker checked out when a job body panicked never
+        // came back through checkin/reap — its slot is still occupied and
+        // is killed here, so a driver unwind leaves no orphan processes.
+        // Slots of gracefully-exited workers are already empty (the wait
+        // took the Child), making the sweep a no-op for them.
+        for slot in self.children.lock().expect("children lock").drain(..) {
+            kill_slot(&slot);
         }
     }
 }

@@ -70,18 +70,18 @@ pub mod shuffle;
 pub mod simtime;
 pub mod tracelog;
 
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{Cluster, ClusterConfig, SchedulingMode};
 pub use dfs::Dfs;
 pub use driver::{Fingerprint, ManifestRecord, PipelineDriver, RunId, RunReport};
 pub use error::{MrError, Result};
 pub use exec::tcp::{worker_serve, TcpWorkers, TcpWorkersConfig};
-pub use exec::{ExecBackend, InProcess, TaskDescriptor, TaskRegistry};
+pub use exec::{CommitEvent, ExecBackend, InProcess, TaskDescriptor, TaskRegistry};
 pub use fault::{FailureCause, FaultPlan, Phase};
 pub use job::{JobSpec, MapContext, Mapper, ReduceContext, Reducer, ShuffleSize, TaskStats};
 pub use metrics::MetricsSnapshot;
 pub use obs::{CostAudit, Labels, ObsSnapshot, Registry};
 pub use runner::{run_job, run_map_only, JobReport};
-pub use shuffle::ReducerInput;
+pub use shuffle::{IncrementalShuffle, ReducerInput};
 pub use simtime::CostModel;
 pub use tracelog::{
     chrome_trace_json, PipelineAnalytics, TaskEvent, TraceLog, TracePhase, WaveAnalytics,

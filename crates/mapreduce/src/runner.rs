@@ -26,16 +26,19 @@
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize, Value};
 
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, SchedulingMode};
 use crate::error::{MrError, Result};
 use crate::exec::{
-    ErasedPayload, JobCodec, RawMapPayload, RawReducePayload, TaskCall, TaskDescriptor,
+    CommitEvent, ErasedPayload, JobCodec, RawMapPayload, RawReducePayload, TaskCall, TaskDescriptor,
 };
 use crate::fault::{FailureCause, Phase};
 use crate::job::{JobSpec, KvSizing, MapContext, Mapper, ReduceContext, Reducer, TaskStats};
 use crate::obs::Labels;
-use crate::scheduler::{plan_wave, AttemptOutcome, PlannedTask, WaveFaults, WavePlan};
-use crate::shuffle::{parallel_shuffle, partition_pairs, ReducerInput};
+use crate::scheduler::{
+    plan_wave, steal_backups, stream_shuffle_finish, AttemptOutcome, PlannedTask, WaveFaults,
+    WavePlan,
+};
+use crate::shuffle::{parallel_shuffle, partition_pairs, IncrementalShuffle, ReducerInput};
 use crate::tracelog::{TaskEvent, TracePhase};
 
 /// Accounting for one executed job.
@@ -171,6 +174,10 @@ fn record_wave_obs(cluster: &Cluster, job: &str, phase: Phase, plan: &WavePlan) 
         obs.counter("mrinv_task_retries_total", &job_wave)
             .add(retries as u64);
     }
+    // Resolved unconditionally so the series exists (at 0) even under
+    // barrier scheduling — `repro obs-check` greps for it.
+    obs.counter("mrinv_sched_steals_total", &job_wave)
+        .add(plan.steals);
     if plan.remote_read_bytes > 0 {
         obs.counter("mrinv_wave_remote_read_bytes_total", &job_wave)
             .add(plan.remote_read_bytes);
@@ -356,6 +363,14 @@ fn planned_wave_tasks(
 /// death handling: the wave is planned fault-free first, and only if the
 /// next scheduled death lands inside its makespan is it re-planned with
 /// the death injected mid-wave.
+///
+/// Under [`SchedulingMode::Pipelined`] the single-backup speculative pass
+/// is replaced by the iterated work-stealing pass
+/// ([`crate::scheduler::steal_backups`]): idle slots keep re-running the
+/// latest-ending in-flight task until no steal improves its finish time.
+/// Stealing suspends itself during failure recovery (timeouts, deaths),
+/// matching the speculative pass's own gating, so neither mode backs up
+/// tasks while re-execution is in progress.
 fn plan_with_faults(
     cluster: &Cluster,
     tasks: &[PlannedTask],
@@ -364,6 +379,8 @@ fn plan_with_faults(
 ) -> WavePlan {
     let cfg = &cluster.config;
     let speeds = cfg.speeds();
+    let pipelined = cfg.scheduling == SchedulingMode::Pipelined;
+    let speculative = cfg.speculative_execution && !pipelined;
     let mut faults = WaveFaults {
         dead_nodes: cluster.faults.dead_nodes(),
         node_death: None,
@@ -374,25 +391,16 @@ fn plan_with_faults(
         max_attempts: cfg.max_task_attempts.max(1),
         net_bw: cfg.cost.net_bw,
     };
-    let plan = plan_wave(
-        tasks,
-        &speeds,
-        cfg.slots_per_node,
-        cfg.speculative_execution,
-        &faults,
-    );
+    let mut plan = plan_wave(tasks, &speeds, cfg.slots_per_node, speculative, &faults);
     if let Some((node, at)) = cluster.faults.pending_death() {
         let rel = (at - wave_start_secs).max(0.0);
         if rel < plan.makespan_secs {
             faults.node_death = Some((node, rel));
-            return plan_wave(
-                tasks,
-                &speeds,
-                cfg.slots_per_node,
-                cfg.speculative_execution,
-                &faults,
-            );
+            plan = plan_wave(tasks, &speeds, cfg.slots_per_node, speculative, &faults);
         }
+    }
+    if pipelined {
+        steal_backups(&mut plan, tasks, &speeds, cfg.slots_per_node, &faults);
     }
     plan
 }
@@ -595,12 +603,19 @@ fn remote_codec<'c, K, V>(
 /// `post` applies the driver-side tail (combiner, partitioning) inside
 /// the retry closure, so the stats an injected fault discards include the
 /// tail's mutations exactly as the pre-backend inline path produced them.
+///
+/// `on_commit` fires once per task, from the rayon worker that ran it,
+/// the moment its retry chain resolves — i.e. in *real completion order*,
+/// not task order. Pipelined scheduling hangs the incremental shuffle off
+/// these events; barrier waves pass `None` and pay no overhead.
+#[allow(clippy::too_many_arguments)]
 fn run_wave<T, L, P>(
     cluster: &Cluster,
     job: &str,
     phase: Phase,
     num_tasks: usize,
     remote: Option<RemoteWave<'_>>,
+    on_commit: Option<&(dyn Fn(&CommitEvent) + Sync)>,
     local: L,
     post: P,
 ) -> Result<Vec<TaskRun<T>>>
@@ -628,7 +643,7 @@ where
                 None => None,
             };
             let local_thunk = || local(idx);
-            run_with_retries(cluster, job, phase, idx, || {
+            let run = run_with_retries(cluster, job, phase, idx, || {
                 let call = TaskCall {
                     descriptor: descriptor.clone(),
                     local: &local_thunk,
@@ -657,7 +672,16 @@ where
                 };
                 let payload = post(idx, erased, &mut stats)?;
                 Ok((payload, stats))
-            })
+            })?;
+            if let Some(cb) = on_commit {
+                cb(&CommitEvent {
+                    phase,
+                    task: idx,
+                    attempts: run.attempt_stats.len().max(1) as u32,
+                    ok: run.payload.is_some(),
+                });
+            }
+            Ok(run)
         })
         .collect()
 }
@@ -768,12 +792,26 @@ where
             let buckets = partition_pairs(pairs, spec.partitioner, spec.num_reducers);
             Ok((buckets, counters, reads))
         };
+    // Pipelined scheduling records the real order in which map tasks
+    // commit; the incremental shuffle replays it below. Barrier mode
+    // passes no callback and the wave runs exactly as before.
+    let pipelined = cfg.scheduling == SchedulingMode::Pipelined;
+    let commit_order: std::sync::Mutex<Vec<usize>> = std::sync::Mutex::new(Vec::new());
+    let record_commit = |ev: &CommitEvent| {
+        if ev.ok {
+            commit_order
+                .lock()
+                .expect("commit order lock")
+                .push(ev.task);
+        }
+    };
     let map_runs: Vec<TaskRun<MapPayload<M>>> = run_wave(
         cluster,
         &spec.name,
         Phase::Map,
         num_tasks,
         map_remote,
+        pipelined.then_some(&record_commit as &(dyn Fn(&CommitEvent) + Sync)),
         map_local,
         map_post,
     )?;
@@ -851,6 +889,7 @@ where
     // ---- Shuffle ---------------------------------------------------------
     let mut task_buckets: Vec<Vec<Vec<(M::Key, M::Value)>>> = Vec::with_capacity(num_tasks);
     let mut shuffle_bytes = 0u64;
+    let mut per_task_shuffle = vec![0u64; num_tasks];
     let mut map_stats_total = TaskStats::default();
     let mut user_counters: std::collections::BTreeMap<String, u64> = Default::default();
     for (task, (buckets, counters)) in map_payloads.into_iter().enumerate() {
@@ -859,17 +898,40 @@ where
             .expect("successful task has at least one attempt");
         map_stats_total = map_stats_total.merge(ok_stats);
         shuffle_bytes += ok_stats.shuffle_bytes;
+        per_task_shuffle[task] = ok_stats.shuffle_bytes;
         for (name, v) in counters.expect("map wave succeeded") {
             *user_counters.entry(name).or_default() += v;
         }
         task_buckets.push(buckets.expect("map wave succeeded"));
     }
     cluster.metrics.record_shuffle_bytes(shuffle_bytes);
-    // Merge + sort each partition's buckets, one rayon work item per
-    // reducer; bit-identical to the old single-threaded stable sort (see
-    // crate::shuffle).
-    let reducer_inputs: Vec<ReducerInput<M::Key, M::Value>> =
-        parallel_shuffle(task_buckets, spec.num_reducers);
+    // Merge + sort each partition's buckets. Barrier: one rayon work item
+    // per reducer after the wave; bit-identical to the old
+    // single-threaded stable sort (see crate::shuffle). Pipelined: replay
+    // the recorded commit events through the incremental merge — the
+    // task-index-sorted insertion makes the result bitwise identical to
+    // the barrier path regardless of commit order.
+    let reducer_inputs: Vec<ReducerInput<M::Key, M::Value>> = if pipelined {
+        let order = std::mem::take(&mut *commit_order.lock().expect("commit order lock"));
+        let mut slots: Vec<Option<Vec<Vec<(M::Key, M::Value)>>>> =
+            task_buckets.into_iter().map(Some).collect();
+        let mut inc = IncrementalShuffle::new(num_tasks, spec.num_reducers);
+        for t in order {
+            if let Some(buckets) = slots.get_mut(t).and_then(Option::take) {
+                inc.accept(t, buckets);
+            }
+        }
+        // Defensive: any task whose commit event was not observed (it
+        // cannot happen once the wave returned Ok) still merges here.
+        for (t, slot) in slots.iter_mut().enumerate() {
+            if let Some(buckets) = slot.take() {
+                inc.accept(t, buckets);
+            }
+        }
+        inc.finalize()
+    } else {
+        parallel_shuffle(task_buckets, spec.num_reducers)
+    };
 
     // ---- Reduce wave ------------------------------------------------------
     type ReducePayload<M, R> = (
@@ -916,6 +978,7 @@ where
         Phase::Reduce,
         spec.num_reducers,
         reduce_remote,
+        None,
         reduce_local,
         reduce_post,
     )?;
@@ -934,8 +997,22 @@ where
         planned_wave_tasks(cluster, &reduce_stats_lists, &reduce_succeeded, None);
 
     // ---- Simulated time ---------------------------------------------------
-    let shuffle_secs = cfg.cost.shuffle_secs(shuffle_bytes, cfg.nodes);
     let map_end = launch_end + map_plan.makespan_secs;
+    // Barrier: the whole shuffle is priced after the last mapper commits.
+    // Pipelined: each task's chunk streams through the same aggregate
+    // bandwidth starting at that task's commit, so only the tail that
+    // could not overlap map compute is charged after `map_end` (the tail
+    // is ≥ 0 and ≤ the barrier shuffle by construction).
+    let shuffle_secs = if pipelined {
+        let done_rel = stream_shuffle_finish(
+            &map_plan,
+            &per_task_shuffle,
+            cfg.cost.net_bw * cfg.nodes.max(1) as f64,
+        );
+        launch_end + done_rel - map_end
+    } else {
+        cfg.cost.shuffle_secs(shuffle_bytes, cfg.nodes)
+    };
     let shuffle_end = map_end + shuffle_secs;
     // Reduce outputs are DFS writes (replicated), so a death during the
     // reduce wave does not lose completed reduce tasks — and the shuffle
@@ -1093,6 +1170,7 @@ where
         Phase::Map,
         num_tasks,
         map_remote,
+        None,
         map_local,
         map_post,
     )?;

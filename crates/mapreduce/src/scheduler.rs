@@ -214,6 +214,9 @@ pub struct WavePlan {
     pub remote_read_bytes: u64,
     /// Tasks that ran out of attempt budget: `(task, attempts started)`.
     pub failed_tasks: Vec<(usize, u32)>,
+    /// Straggler tasks stolen by idle slots ([`steal_backups`]); always 0
+    /// under barrier scheduling.
+    pub steals: u64,
 }
 
 impl WavePlan {
@@ -563,6 +566,269 @@ pub fn plan_wave(
         data_local_tasks,
         remote_read_bytes,
         failed_tasks,
+        steals: 0,
+    }
+}
+
+// ---- Pipelined, work-stealing execution ----------------------------------
+
+/// Result of [`plan_pipelined`]: one job's combined map + streamed-shuffle
+/// + reduce timeline.
+#[derive(Debug, Clone, Default)]
+pub struct PipelinedPlan {
+    /// The map wave's plan (work-stealing backups applied), relative to
+    /// the wave start.
+    pub map: WavePlan,
+    /// The reduce wave's plan, relative to *its own* start
+    /// ([`PipelinedPlan::shuffle_done_secs`] after the wave start).
+    pub reduce: WavePlan,
+    /// When the last shuffle chunk lands, seconds from the wave start.
+    /// Always within `[map.makespan_secs, map.makespan_secs +
+    /// barrier_shuffle_secs]` — the headroom below the upper bound is the
+    /// transfer time hidden under still-running map tasks.
+    pub shuffle_done_secs: f64,
+    /// Seconds from the wave start to the last reduce completion.
+    pub makespan_secs: f64,
+    /// Straggler tasks stolen by idle slots across both waves.
+    pub steals: u64,
+}
+
+/// Work-stealing backup pass over a completed wave plan: as long as the
+/// plan's latest-finishing in-flight task could be re-run to an earlier
+/// finish by an idle slot, that slot *steals* the task — it launches a
+/// backup copy, and when the copy commits the original attempt is killed
+/// (its recorded end and its slot's busy time are truncated to the
+/// backup's completion, exactly when the task's output becomes
+/// available). Each task is stolen at most once, and — like Hadoop
+/// suspending speculation during failure recovery — the pass is a no-op
+/// on waves with a mid-wave death, a timeout, or an exhausted task.
+///
+/// This generalizes `plan_wave`'s speculative execution (one backup for
+/// the single worst straggler) to every straggler an idle slot can beat,
+/// which is what collapses the slow-node straggler tail the sec74
+/// experiments measure. Returns the number of steals applied (also
+/// accumulated into [`WavePlan::steals`]).
+pub fn steal_backups(
+    plan: &mut WavePlan,
+    tasks: &[PlannedTask],
+    node_speeds: &[f64],
+    slots_per_node: usize,
+    faults: &WaveFaults,
+) -> u64 {
+    let nodes = node_speeds.len().max(1);
+    let slots_per_node = slots_per_node.max(1);
+    let slot_count = nodes * slots_per_node;
+    if faults.node_death.is_some() || !plan.failed_tasks.is_empty() {
+        return 0;
+    }
+    let timed_out = plan
+        .attempts
+        .iter()
+        .flatten()
+        .any(|a| matches!(a.outcome, AttemptOutcome::TimedOut { .. }));
+    if timed_out || plan.slot_busy_secs.len() != slot_count {
+        return 0;
+    }
+    let speed = |slot: usize| -> f64 {
+        let s = node_speeds
+            .get(slot / slots_per_node)
+            .copied()
+            .unwrap_or(1.0);
+        if s > 0.0 {
+            s
+        } else {
+            1.0
+        }
+    };
+    let remote_bytes_on = |task: &PlannedTask, node: usize| -> u64 {
+        task.reads
+            .iter()
+            .filter(|(_, homes)| !homes.contains(&node))
+            .map(|(b, _)| *b)
+            .sum()
+    };
+    let mut considered = vec![false; plan.attempts.len()];
+    let mut steals = 0u64;
+    // The latest-finishing not-yet-considered successful task is the
+    // current straggler candidate.
+    while let Some((task, end)) = plan
+        .attempts
+        .iter()
+        .enumerate()
+        .filter(|(t, _)| !considered[*t])
+        .filter_map(|(t, list)| list.last().map(|a| (t, a)))
+        .filter(|(_, a)| a.outcome == AttemptOutcome::Success)
+        .map(|(t, a)| (t, a.end))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+    {
+        considered[task] = true;
+        let last = plan.attempts[task].len() - 1;
+        let (slot, chain) = {
+            let a = &plan.attempts[task][last];
+            (a.slot, a.chain)
+        };
+        let nominal = tasks[task]
+            .failed_secs
+            .get(chain)
+            .copied()
+            .unwrap_or(tasks[task].success_secs);
+        // When a backup copy on slot `s` would commit: the slot drains,
+        // then re-runs the same body — paying its own network crossing if
+        // the task's input is not local there.
+        let alt_finish = |s: usize| -> f64 {
+            let rb = remote_bytes_on(&tasks[task], s / slots_per_node);
+            let mut d = nominal / speed(s);
+            if rb > 0 && faults.net_bw > 0.0 {
+                d += rb as f64 / faults.net_bw;
+            }
+            plan.slot_busy_secs[s] + d
+        };
+        let backup = (0..slot_count)
+            .filter(|&s| s != slot && !faults.dead_nodes.contains(&(s / slots_per_node)))
+            .min_by(|&x, &y| alt_finish(x).total_cmp(&alt_finish(y)).then(x.cmp(&y)));
+        let Some(backup) = backup else {
+            break;
+        };
+        let alt = alt_finish(backup);
+        if alt >= end {
+            continue;
+        }
+        // Steal: the backup slot runs the copy to `alt`; the original copy
+        // is killed at that instant (both slots are occupied until then).
+        plan.remote_read_bytes += remote_bytes_on(&tasks[task], backup / slots_per_node);
+        plan.slot_busy_secs[slot] = alt;
+        plan.slot_busy_secs[backup] = alt;
+        plan.attempts[task][last].end = alt;
+        steals += 1;
+    }
+    if steals > 0 {
+        plan.makespan_secs = plan.slot_busy_secs.iter().fold(0.0_f64, |m, &v| m.max(v));
+        plan.steals += steals;
+    }
+    steals
+}
+
+/// When the last shuffle chunk lands, given a map plan whose tasks start
+/// streaming their pre-partitioned output the moment they commit.
+///
+/// Each map task's chunk crosses the same aggregate shuffle bandwidth the
+/// barrier model charges (`net_bw × m0`), one chunk at a time in commit
+/// order — so the total transfer time is identical to the barrier
+/// shuffle, but transfers overlap map tasks that are still running
+/// instead of waiting for the whole wave. The result is bounded below by
+/// the last commit and above by `makespan + Σ bytes / bw` (the barrier
+/// schedule); the gap to the upper bound is the straggler tax the
+/// pipeline no longer pays.
+pub fn stream_shuffle_finish(
+    map_plan: &WavePlan,
+    shuffle_bytes_per_task: &[u64],
+    aggregate_bw: f64,
+) -> f64 {
+    let mut commits: Vec<(f64, usize)> = map_plan
+        .attempts
+        .iter()
+        .enumerate()
+        .filter_map(|(t, list)| {
+            let a = list.last()?;
+            (a.outcome == AttemptOutcome::Success).then_some((a.end, t))
+        })
+        .collect();
+    commits.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut at = 0.0_f64;
+    for (commit, task) in commits {
+        let bytes = shuffle_bytes_per_task.get(task).copied().unwrap_or(0);
+        at = at.max(commit);
+        if bytes > 0 && aggregate_bw > 0.0 {
+            at += bytes as f64 / aggregate_bw;
+        }
+    }
+    at.max(map_plan.makespan_secs)
+}
+
+/// Event-driven planning of one whole job: map wave, per-task streamed
+/// shuffle chunks, reduce wave — the pipelined alternative to the
+/// barrier chain `plan_wave(map) + shuffle_secs + plan_wave(reduce)`.
+///
+/// Three barrier taxes disappear: shuffle chunks transfer as individual
+/// map outputs commit ([`stream_shuffle_finish`]), reducers are admitted
+/// the moment the last chunk lands instead of after a whole-wave
+/// transfer, and idle slots steal straggling in-flight tasks in both
+/// waves ([`steal_backups`]). Fault semantics are `plan_wave`'s:
+/// `faults.node_death` is relative to the *wave start* and is applied to
+/// whichever phase it lands in (two-pass, like the runner's barrier
+/// path); `lose_completed_outputs` governs the map wave only — reduce
+/// outputs are replicated DFS writes.
+///
+/// Only the timeline changes: the planner consumes the same measured
+/// task chains as the barrier path, so job outputs, reduce inputs, and
+/// checkpoint fingerprints are bit-identical under either mode.
+pub fn plan_pipelined(
+    map_tasks: &[PlannedTask],
+    map_shuffle_bytes: &[u64],
+    reduce_tasks: &[PlannedTask],
+    node_speeds: &[f64],
+    slots_per_node: usize,
+    shuffle_bw: f64,
+    faults: &WaveFaults,
+) -> PipelinedPlan {
+    // Map wave, two-pass death injection: plan fault-free, and only if
+    // the death lands inside the makespan re-plan with it mid-wave.
+    let mut map_faults = faults.clone();
+    map_faults.node_death = None;
+    let mut map = plan_wave(map_tasks, node_speeds, slots_per_node, false, &map_faults);
+    if let Some((node, at)) = faults.node_death {
+        if at < map.makespan_secs {
+            map_faults.node_death = Some((node, at));
+            map = plan_wave(map_tasks, node_speeds, slots_per_node, false, &map_faults);
+        }
+    }
+    let mut steals = steal_backups(
+        &mut map,
+        map_tasks,
+        node_speeds,
+        slots_per_node,
+        &map_faults,
+    );
+    let shuffle_done_secs = stream_shuffle_finish(&map, map_shuffle_bytes, shuffle_bw);
+
+    let mut reduce_faults = faults.clone();
+    reduce_faults.node_death = None;
+    reduce_faults.lose_completed_outputs = false;
+    let mut reduce = plan_wave(
+        reduce_tasks,
+        node_speeds,
+        slots_per_node,
+        false,
+        &reduce_faults,
+    );
+    if let Some((node, at)) = faults.node_death {
+        let rel = (at - shuffle_done_secs).max(0.0);
+        if rel < reduce.makespan_secs {
+            reduce_faults.node_death = Some((node, rel));
+            reduce = plan_wave(
+                reduce_tasks,
+                node_speeds,
+                slots_per_node,
+                false,
+                &reduce_faults,
+            );
+        }
+    }
+    steals += steal_backups(
+        &mut reduce,
+        reduce_tasks,
+        node_speeds,
+        slots_per_node,
+        &reduce_faults,
+    );
+
+    let makespan_secs = shuffle_done_secs + reduce.makespan_secs;
+    PipelinedPlan {
+        map,
+        reduce,
+        shuffle_done_secs,
+        makespan_secs,
+        steals,
     }
 }
 
@@ -961,5 +1227,255 @@ mod tests {
         let p = plan_wave(&tasks, &[1.0], 1, false, &faults);
         assert_eq!(p.failed_tasks.len(), 2);
         assert!(p.attempts.iter().all(Vec::is_empty));
+    }
+
+    // ---- plan_pipelined / steal_backups ---------------------------------
+
+    #[test]
+    fn stealing_rescues_every_slow_node_straggler() {
+        // 6 tasks of 4 s on 4 nodes, nodes 2 and 3 at 1/4 speed. Both
+        // slow copies run 16 s; the fast slots drain by t=8. Speculation
+        // backs up only the single worst straggler (one 16 s copy
+        // survives); the steal pass keeps going until no steal helps, so
+        // both stragglers are re-run by fast slots (finish t=12).
+        let tasks = simple_tasks(&[4.0; 6]);
+        let speeds = [1.0, 1.0, 0.25, 0.25];
+        let spec = plan_wave(&tasks, &speeds, 1, true, &no_faults(4));
+        let mut steal = plan_wave(&tasks, &speeds, 1, false, &no_faults(4));
+        let n = steal_backups(&mut steal, &tasks, &speeds, 1, &no_faults(4));
+        assert!(n >= 2, "both slow-node tasks stolen, got {n}");
+        assert_eq!(steal.steals, n);
+        assert!(
+            steal.makespan_secs < spec.makespan_secs - 1e-9,
+            "iterated stealing beats single-task speculation: {} vs {}",
+            steal.makespan_secs,
+            spec.makespan_secs
+        );
+        // Physical: no slot busy past the makespan.
+        for &busy in &steal.slot_busy_secs {
+            assert!(busy <= steal.makespan_secs + 1e-12);
+        }
+        // Every attempt's recorded end respects the truncation order.
+        for list in &steal.attempts {
+            for a in list {
+                assert!(a.end >= a.start - 1e-12);
+                assert!(a.end <= steal.makespan_secs + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_is_noop_on_balanced_waves() {
+        let tasks = simple_tasks(&[1.0; 8]);
+        let mut p = plan_wave(&tasks, &[1.0; 4], 1, false, &no_faults(4));
+        let before = p.makespan_secs;
+        assert_eq!(
+            steal_backups(&mut p, &tasks, &[1.0; 4], 1, &no_faults(4)),
+            0
+        );
+        assert_eq!(p.steals, 0);
+        assert_eq!(p.makespan_secs, before);
+    }
+
+    #[test]
+    fn stealing_is_suspended_during_failure_recovery() {
+        // Mid-wave death: no backups (Hadoop suspends speculation while
+        // re-execution is in progress).
+        let tasks = simple_tasks(&[100.0, 100.0]);
+        let mut faults = no_faults(4);
+        faults.node_death = Some((1, 40.0));
+        let mut p = plan_wave(&tasks, &[1.0; 2], 1, false, &faults);
+        assert_eq!(steal_backups(&mut p, &tasks, &[1.0; 2], 1, &faults), 0);
+        // Timeouts in the plan: same suspension.
+        let tasks = simple_tasks(&[10.0, 10.0]);
+        let mut faults = no_faults(4);
+        faults.timeout_secs = Some(50.0);
+        let speeds = [1.0, 0.1];
+        let mut p = plan_wave(&tasks, &speeds, 1, false, &faults);
+        assert!(p
+            .attempts
+            .iter()
+            .flatten()
+            .any(|a| matches!(a.outcome, AttemptOutcome::TimedOut { .. })));
+        assert_eq!(steal_backups(&mut p, &tasks, &speeds, 1, &faults), 0);
+    }
+
+    #[test]
+    fn streamed_shuffle_overlaps_transfers_with_map_compute() {
+        // 4 maps on 2 nodes => commits at 1, 1, 2, 2. Each ships 10 bytes
+        // at bw 10 (1 s per chunk through the shared aggregate pipe).
+        // Barrier: map 2 s + transfer 4 s = 6. Streamed: the pipe starts
+        // at the first commit (t=1) and stays busy — 1→2→3→4→5 — so the
+        // first round's chunks overlap the second round's compute.
+        let tasks = simple_tasks(&[1.0; 4]);
+        let p = plan_wave(&tasks, &[1.0; 2], 1, false, &no_faults(4));
+        assert!((p.makespan_secs - 2.0).abs() < 1e-12);
+        let done = stream_shuffle_finish(&p, &[10; 4], 10.0);
+        assert!((done - 5.0).abs() < 1e-12, "pipe busy from t=1: {done}");
+        // Bounds: never before the last commit, never past the barrier.
+        assert!(done >= p.makespan_secs - 1e-12);
+        assert!(done <= p.makespan_secs + 4.0 + 1e-12);
+        // Zero bandwidth charges nothing (transfer priced elsewhere).
+        assert_eq!(stream_shuffle_finish(&p, &[10; 4], 0.0), p.makespan_secs);
+    }
+
+    #[test]
+    fn pipelined_never_exceeds_the_barrier_chain() {
+        #[allow(clippy::type_complexity)]
+        let shapes: Vec<(Vec<f64>, Vec<f64>, Vec<u64>, Vec<f64>)> = vec![
+            (
+                vec![4.0; 8],
+                vec![1.0, 1.0, 1.0, 0.25],
+                vec![100; 8],
+                vec![2.0; 3],
+            ),
+            (
+                vec![3.0, 1.0, 2.0, 4.0, 1.0],
+                vec![1.0; 2],
+                vec![50; 5],
+                vec![1.0; 2],
+            ),
+            (vec![1.0; 4], vec![1.0; 4], vec![0; 4], vec![5.0]),
+        ];
+        for (map_secs, speeds, bytes, reduce_secs) in shapes {
+            let map_tasks = simple_tasks(&map_secs);
+            let reduce_tasks = simple_tasks(&reduce_secs);
+            let faults = no_faults(4);
+            let bw = 40.0;
+            let barrier_map = plan_wave(&map_tasks, &speeds, 1, true, &faults);
+            let barrier_reduce = plan_wave(&reduce_tasks, &speeds, 1, true, &faults);
+            let total_bytes: u64 = bytes.iter().sum();
+            let barrier =
+                barrier_map.makespan_secs + total_bytes as f64 / bw + barrier_reduce.makespan_secs;
+            let pp = plan_pipelined(&map_tasks, &bytes, &reduce_tasks, &speeds, 1, bw, &faults);
+            assert!(
+                pp.makespan_secs <= barrier + 1e-9,
+                "pipelined {} > barrier {} for {map_secs:?}",
+                pp.makespan_secs,
+                barrier
+            );
+            assert!(pp.shuffle_done_secs >= pp.map.makespan_secs - 1e-12);
+            assert!(
+                (pp.makespan_secs - (pp.shuffle_done_secs + pp.reduce.makespan_secs)).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_applies_a_mid_job_death_to_the_right_phase() {
+        // Death at t=40 lands in the map wave (2 tasks of 100 s): the map
+        // re-executes like the barrier path would.
+        let map_tasks = simple_tasks(&[100.0, 100.0]);
+        let reduce_tasks = simple_tasks(&[10.0]);
+        let mut faults = no_faults(4);
+        faults.node_death = Some((1, 40.0));
+        let pp = plan_pipelined(
+            &map_tasks,
+            &[0, 0],
+            &reduce_tasks,
+            &[1.0; 2],
+            1,
+            10.0,
+            &faults,
+        );
+        assert_eq!(pp.map.attempts[1][0].outcome, AttemptOutcome::NodeLost(1));
+        assert_eq!(pp.steals, 0, "stealing suspended during recovery");
+        // Death far past the job: neither phase sees it.
+        faults.node_death = Some((1, 1e6));
+        let pp = plan_pipelined(
+            &map_tasks,
+            &[0, 0],
+            &reduce_tasks,
+            &[1.0; 2],
+            1,
+            10.0,
+            &faults,
+        );
+        assert!(pp
+            .map
+            .attempts
+            .iter()
+            .flatten()
+            .all(|a| a.outcome == AttemptOutcome::Success));
+        // Death during the reduce wave: the reduce task re-runs elsewhere.
+        let map_tasks = simple_tasks(&[1.0, 1.0]);
+        let reduce_tasks = simple_tasks(&[100.0, 100.0]);
+        faults.node_death = Some((1, 50.0));
+        let pp = plan_pipelined(
+            &map_tasks,
+            &[0, 0],
+            &reduce_tasks,
+            &[1.0; 2],
+            1,
+            10.0,
+            &faults,
+        );
+        assert!(pp
+            .reduce
+            .attempts
+            .iter()
+            .flatten()
+            .any(|a| matches!(a.outcome, AttemptOutcome::NodeLost(1))));
+    }
+
+    // ---- zero-task / zero-node edge cases (regression pins) -------------
+
+    #[test]
+    fn empty_wave_with_faults_does_not_panic() {
+        // Empty task list + mid-wave death + lose_completed_outputs used
+        // to be an untested path through the OutputLost conversion loop.
+        let mut faults = no_faults(4);
+        faults.node_death = Some((0, 0.0));
+        faults.lose_completed_outputs = true;
+        let p = plan_wave(&[], &[1.0; 2], 1, true, &faults);
+        assert_eq!(p.makespan_secs, 0.0);
+        assert!(p.attempts.is_empty());
+        assert!(p.failed_tasks.is_empty());
+    }
+
+    #[test]
+    fn empty_pipelined_job_is_zero() {
+        let pp = plan_pipelined(&[], &[], &[], &[1.0; 2], 1, 10.0, &no_faults(4));
+        assert_eq!(pp.makespan_secs, 0.0);
+        assert_eq!(pp.shuffle_done_secs, 0.0);
+        assert_eq!(pp.steals, 0);
+        // Map-only shape: reduce side empty.
+        let map_tasks = simple_tasks(&[1.0]);
+        let pp = plan_pipelined(&map_tasks, &[5], &[], &[1.0], 1, 10.0, &no_faults(4));
+        assert!((pp.makespan_secs - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_node_pipelined_clamps_like_plan_wave() {
+        let map_tasks = simple_tasks(&[2.0]);
+        let pp = plan_pipelined(&map_tasks, &[0], &[], &[], 0, 1.0, &no_faults(4));
+        assert!((pp.makespan_secs - 2.0).abs() < 1e-12);
+        let mut p = plan_wave(&map_tasks, &[], 0, false, &no_faults(4));
+        assert_eq!(steal_backups(&mut p, &map_tasks, &[], 0, &no_faults(4)), 0);
+    }
+
+    #[test]
+    fn stealing_keeps_utilization_physical() {
+        let cases: Vec<(Vec<f64>, Vec<f64>)> = vec![
+            (vec![3.0], vec![0.5, 2.0, 1.0]),
+            (vec![4.0; 8], vec![1.0, 1.0, 1.0, 0.25]),
+            (vec![2.0, 5.0, 1.0, 7.0, 3.0], vec![0.25, 1.0, 4.0]),
+        ];
+        for (secs, speeds) in cases {
+            let tasks = simple_tasks(&secs);
+            let mut p = plan_wave(&tasks, &speeds, 1, false, &no_faults(4));
+            steal_backups(&mut p, &tasks, &speeds, 1, &no_faults(4));
+            let s = WaveSchedule {
+                makespan_secs: p.makespan_secs,
+                slot_busy_secs: p.slot_busy_secs.clone(),
+                placements: Vec::new(),
+                intervals: Vec::new(),
+            };
+            assert!(
+                s.utilization() <= 1.0 + 1e-12,
+                "utilization {} > 1 for {secs:?} on {speeds:?}",
+                s.utilization()
+            );
+        }
     }
 }

@@ -750,4 +750,62 @@ mod tests {
         assert_eq!(back.waves[0].job, "job-0");
         assert!((back.total_task_secs - 2.0).abs() < 1e-12);
     }
+
+    // ---- empty / degenerate duration sets (regression pins) -------------
+
+    #[test]
+    fn analyze_of_no_events_is_empty_and_finite() {
+        let a = analyze(&[], None);
+        assert!(a.waves.is_empty());
+        assert_eq!(a.retried_attempts, 0);
+        assert_eq!(a.lost_task_secs, 0.0);
+        // The fold over zero waves must not produce NaN.
+        assert_eq!(a.worst_straggler_ratio(), 1.0);
+        assert_eq!(a.total_task_secs, 0.0);
+    }
+
+    #[test]
+    fn analyze_of_spans_only_forms_no_waves() {
+        // Launch/shuffle driver spans and master events carry no wave
+        // identity; a trace holding only those must analyze to nothing.
+        let mut master = event(0, TracePhase::Master, 0, 0.0, 1.0);
+        master.job_seq = None;
+        let events = vec![
+            event(0, TracePhase::Launch, 0, 0.0, 0.5),
+            event(0, TracePhase::Shuffle, 0, 0.5, 1.0),
+            master,
+        ];
+        let a = analyze(&events, None);
+        assert!(a.waves.is_empty());
+        assert_eq!(a.worst_straggler_ratio(), 1.0);
+    }
+
+    #[test]
+    fn zero_duration_wave_has_no_nan_analytics() {
+        // Every attempt instant (p50 = max = 0): straggler ratio falls
+        // back to 1.0 and cpu_fraction to 0.0 instead of 0/0 NaN.
+        let events = vec![
+            event(0, TracePhase::Map, 0, 1.0, 1.0),
+            event(0, TracePhase::Map, 1, 1.0, 1.0),
+        ];
+        let a = analyze(&events, None);
+        assert_eq!(a.waves.len(), 1);
+        let w = &a.waves[0];
+        assert_eq!(w.p50_secs, 0.0);
+        assert_eq!(w.max_secs, 0.0);
+        assert!(w.straggler_ratio.is_finite());
+        assert_eq!(w.straggler_ratio, 1.0);
+        assert!(w.cpu_fraction.is_finite());
+        assert_eq!(w.cpu_fraction, 0.0);
+        assert_eq!(a.worst_straggler_ratio(), 1.0);
+    }
+
+    #[test]
+    fn percentile_of_empty_set_is_zero() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[], 0.95), 0.0);
+        let one = [3.0];
+        assert_eq!(percentile(&one, 0.0), 3.0);
+        assert_eq!(percentile(&one, 1.0), 3.0);
+    }
 }
