@@ -3,7 +3,7 @@
 //! bench tracks the real wall cost of producing one point.)
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mrinv::{invert, InversionConfig};
+use mrinv::{InversionConfig, Request};
 use mrinv_bench::experiments::medium_cluster;
 use mrinv_bench::suite::SuiteMatrix;
 use std::hint::black_box;
@@ -19,7 +19,10 @@ fn bench_fig6(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("invert", m0), &m0, |b, &m0| {
             b.iter(|| {
                 let cluster = medium_cluster(m0, scale);
-                invert(&cluster, black_box(&a), &cfg).unwrap()
+                Request::invert(black_box(&a))
+                    .config(&cfg)
+                    .submit(&cluster)
+                    .unwrap()
             })
         });
     }

@@ -3,7 +3,7 @@
 //! ratios come from `repro fig7`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mrinv::{invert, InversionConfig, Optimizations};
+use mrinv::{InversionConfig, Optimizations, Request};
 use mrinv_bench::experiments::medium_cluster;
 use mrinv_bench::suite::SuiteMatrix;
 use std::hint::black_box;
@@ -30,7 +30,10 @@ fn bench_fig7(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let cluster = medium_cluster(4, scale);
-                invert(&cluster, black_box(&a), &cfg).unwrap()
+                Request::invert(black_box(&a))
+                    .config(&cfg)
+                    .submit(&cluster)
+                    .unwrap()
             })
         });
     }

@@ -3,7 +3,7 @@
 //! series comes from `repro fig8`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mrinv::{invert, InversionConfig};
+use mrinv::{InversionConfig, Request};
 use mrinv_bench::experiments::{extrapolated_cost, medium_cluster};
 use mrinv_bench::suite::SuiteMatrix;
 use mrinv_scalapack::ScalapackConfig;
@@ -19,7 +19,10 @@ fn bench_fig8(c: &mut Criterion) {
     group.bench_function("ours_mapreduce_m0_4", |b| {
         b.iter(|| {
             let cluster = medium_cluster(4, scale);
-            invert(&cluster, black_box(&a), &cfg).unwrap()
+            Request::invert(black_box(&a))
+                .config(&cfg)
+                .submit(&cluster)
+                .unwrap()
         })
     });
     group.bench_function("scalapack_baseline_m0_4", |b| {

@@ -3,7 +3,7 @@
 //! theory-vs-measured I/O (the full table comes from `repro table1`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mrinv::{lu, InversionConfig};
+use mrinv::{InversionConfig, Request};
 use mrinv_bench::experiments::medium_cluster;
 use mrinv_matrix::random::random_well_conditioned;
 use std::hint::black_box;
@@ -18,7 +18,10 @@ fn bench_table1(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("lu_stage", m0), &m0, |b, &m0| {
             b.iter(|| {
                 let cluster = medium_cluster(m0, 64);
-                lu(&cluster, black_box(&a), &cfg).unwrap()
+                Request::lu(black_box(&a))
+                    .config(&cfg)
+                    .submit(&cluster)
+                    .unwrap()
             })
         });
     }

@@ -3,7 +3,7 @@
 //! orders); the full theory-vs-measured table comes from `repro table2`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mrinv::{invert, InversionConfig};
+use mrinv::{InversionConfig, Request};
 use mrinv_bench::experiments::medium_cluster;
 use mrinv_matrix::random::random_well_conditioned;
 use std::hint::black_box;
@@ -18,7 +18,10 @@ fn bench_table2(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("full_inversion", m0), &m0, |b, &m0| {
             b.iter(|| {
                 let cluster = medium_cluster(m0, 64);
-                invert(&cluster, black_box(&a), &cfg).unwrap()
+                Request::invert(black_box(&a))
+                    .config(&cfg)
+                    .submit(&cluster)
+                    .unwrap()
             })
         });
     }

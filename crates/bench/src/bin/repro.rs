@@ -661,7 +661,9 @@ fn run_obs_check(_args: &Args) {
     mrinv_matrix::kernel::perf::reset();
     mrinv_matrix::kernel::perf::set_enabled(true);
     let a = mrinv_matrix::random::random_well_conditioned(64, 42);
-    let out = mrinv::invert(&cluster, &a, &mrinv::InversionConfig::with_nb(4))
+    let out = mrinv::Request::invert(&a)
+        .config(&mrinv::InversionConfig::with_nb(4))
+        .submit(&cluster)
         .unwrap_or_else(|e| die(&format!("obs-check inversion failed: {e}")));
     mrinv_matrix::kernel::perf::set_enabled(false);
 

@@ -16,7 +16,7 @@ use mrinv::config::InversionConfig;
 use mrinv::partition::{ingest_input, run_partition_job, PartitionPlan};
 use mrinv::schedule;
 use mrinv::theory;
-use mrinv::{invert_run, Checkpoint, CoreError};
+use mrinv::{CoreError, Request};
 use mrinv_mapreduce::tracelog;
 use mrinv_mapreduce::{
     chrome_trace_json, Cluster, ClusterConfig, CostModel, MrError, Phase, PipelineAnalytics,
@@ -1190,7 +1190,10 @@ pub fn resume_recovery(scale: usize) -> Vec<ResumePoint> {
 
     // Uninterrupted baseline on its own cluster.
     let cluster = medium_cluster(4, scale);
-    let baseline = mrinv::invert(&cluster, &a, &cfg).expect("baseline inversion");
+    let baseline = Request::invert(&a)
+        .config(&cfg)
+        .submit(&cluster)
+        .expect("baseline inversion");
     let total = baseline.report.jobs;
 
     (1..=total)
@@ -1198,7 +1201,10 @@ pub fn resume_recovery(scale: usize) -> Vec<ResumePoint> {
             let cluster = medium_cluster(4, scale);
             cluster.faults.kill_driver_after(k);
             let run = RunId::new("repro/resume");
-            let first = invert_run(&cluster, &a, &cfg, &run, Checkpoint::Enabled);
+            let first = Request::invert(&a)
+                .config(&cfg)
+                .checkpoint(&run)
+                .submit(&cluster);
             assert!(
                 matches!(
                     first,
@@ -1206,11 +1212,15 @@ pub fn resume_recovery(scale: usize) -> Vec<ResumePoint> {
                 ),
                 "the fault plan must kill the driver after job {k}"
             );
-            let out =
-                invert_run(&cluster, &a, &cfg, &run, Checkpoint::Resume).expect("resumed run");
+            let out = Request::invert(&a)
+                .config(&cfg)
+                .resume(&run)
+                .submit(&cluster)
+                .expect("resumed run");
             let max_abs_diff = out
-                .inverse
-                .max_abs_diff(&baseline.inverse)
+                .inverse()
+                .expect("invert outcome")
+                .max_abs_diff(baseline.inverse().expect("invert outcome"))
                 .expect("same shape");
             ResumePoint {
                 kill_after: k,

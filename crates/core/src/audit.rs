@@ -22,7 +22,7 @@
 //!    delays, or a planner/pricer divergence show up as flagged residuals.
 //!
 //! The audit needs a traced run ([`mrinv_mapreduce::cluster::ClusterConfig::tracing`]);
-//! [`crate::invert_run`] and [`crate::lu_run`] attach it to
+//! [`crate::Request::submit`] attaches it to
 //! [`mrinv_mapreduce::RunReport::audit`] automatically when the trace is on.
 
 use mrinv_mapreduce::obs::{CostAudit, JobResiduals, StageAudit, TaskFlag, MODEL_ERROR_THRESHOLD};
@@ -239,7 +239,7 @@ pub fn cost_audit(
 mod tests {
     use super::*;
     use crate::config::InversionConfig;
-    use crate::invert;
+    use crate::request::Request;
     use mrinv_mapreduce::{ClusterConfig, CostModel};
     use mrinv_matrix::random::random_well_conditioned;
 
@@ -254,7 +254,10 @@ mod tests {
     fn homogeneous_run_audits_clean() {
         let cluster = traced_cluster(4);
         let a = random_well_conditioned(64, 17);
-        let out = invert(&cluster, &a, &InversionConfig::with_nb(4)).unwrap();
+        let out = Request::invert(&a)
+            .config(&InversionConfig::with_nb(4))
+            .submit(&cluster)
+            .unwrap();
         let audit = out.report.audit.expect("traced run attaches the audit");
         assert!(
             audit.structure_ok,
@@ -292,7 +295,10 @@ mod tests {
         // reporting drift the closed forms never promised to model.
         let cluster = traced_cluster(4);
         let a = random_well_conditioned(64, 29);
-        let out = invert(&cluster, &a, &InversionConfig::with_nb(16)).unwrap();
+        let out = Request::invert(&a)
+            .config(&InversionConfig::with_nb(16))
+            .submit(&cluster)
+            .unwrap();
         let audit = out.report.audit.expect("traced run attaches the audit");
         assert!(audit.stages.iter().all(|s| !s.stage.contains("transfer")));
         assert!(
@@ -314,7 +320,10 @@ mod tests {
         cfg.node_speeds = vec![1.0, 1.0, 1.0, 1.0 / 3.0];
         let cluster = Cluster::new(cfg);
         let a = random_well_conditioned(64, 19);
-        let out = invert(&cluster, &a, &InversionConfig::with_nb(4)).unwrap();
+        let out = Request::invert(&a)
+            .config(&InversionConfig::with_nb(4))
+            .submit(&cluster)
+            .unwrap();
         let audit = out.report.audit.expect("traced run attaches the audit");
         assert!(
             audit.max_abs_residual > audit.threshold,
@@ -331,7 +340,10 @@ mod tests {
         cfg.cost = CostModel::unit_for_tests();
         let cluster = Cluster::new(cfg);
         let a = random_well_conditioned(32, 23);
-        let out = invert(&cluster, &a, &InversionConfig::with_nb(8)).unwrap();
+        let out = Request::invert(&a)
+            .config(&InversionConfig::with_nb(8))
+            .submit(&cluster)
+            .unwrap();
         assert!(out.report.audit.is_none());
     }
 }

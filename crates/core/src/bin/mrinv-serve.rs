@@ -1,0 +1,14 @@
+//! `mrinv-serve` — the multi-tenant inversion service daemon; a thin
+//! shim over `mrinv serve`.
+//!
+//! ```text
+//! mrinv-serve [--listen 127.0.0.1:7171] [--nodes 4] [--max-queue 64]
+//! ```
+//!
+//! Prints `listening on <addr>` to stdout once bound, then serves
+//! forever. See [`mrinv::service`] for the protocol and
+//! [`mrinv::client::ServiceClient`] for the matching client.
+
+fn main() {
+    std::process::exit(mrinv::cli::serve_main(std::env::args().skip(1).collect()));
+}

@@ -1,41 +1,12 @@
-//! Worker-process entry point for the `tcp` execution backend.
-//!
-//! Spawned by [`mrinv_mapreduce::TcpWorkers`] (one process per simulated
-//! worker slot); connects back to the driver, then loops decoding task
-//! descriptors and streaming DFS reads/writes over the same socket until
-//! the driver sends a shutdown frame.
+//! Worker-process entry point for the `tcp` execution backend — a thin
+//! shim over `mrinv worker`, kept as a standalone binary because
+//! [`mrinv_mapreduce::TcpWorkers`] spawns workers by this file name
+//! (found next to whichever binary is driving).
 //!
 //! ```text
 //! mrinv-worker --connect 127.0.0.1:<port> --worker-id <n>
 //! ```
 
-fn usage() -> ! {
-    eprintln!("usage: mrinv-worker --connect <addr> --worker-id <n>");
-    std::process::exit(2);
-}
-
 fn main() {
-    let mut addr: Option<String> = None;
-    let mut worker_id: Option<usize> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--connect" => addr = args.next(),
-            "--worker-id" => worker_id = args.next().and_then(|v| v.parse().ok()),
-            _ => usage(),
-        }
-    }
-    let (Some(addr), Some(worker_id)) = (addr, worker_id) else {
-        usage();
-    };
-
-    // Lets in-crate task code (the die-once fault probe) detect that it
-    // is running inside a disposable worker process.
-    std::env::set_var(mrinv::remote::WORKER_ENV, "1");
-
-    let registry = mrinv::remote::exec_registry();
-    if let Err(e) = mrinv_mapreduce::worker_serve(&addr, worker_id, &registry) {
-        eprintln!("mrinv-worker {worker_id}: {e}");
-        std::process::exit(1);
-    }
+    std::process::exit(mrinv::cli::worker_main(std::env::args().skip(1).collect()));
 }

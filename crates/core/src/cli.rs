@@ -1,0 +1,766 @@
+//! The `mrinv` command-line front end, shared by every binary.
+//!
+//! ```text
+//! mrinv invert --input a.txt --output inv.txt [--nodes 4] [--nb 200]
+//!              [--backend in-process|tcp:<n>] [--sched barrier|pipelined]
+//!              [--trace-out trace.json] [--metrics-json metrics.json]
+//!              [--metrics-prom metrics.prom] [--progress]
+//!              [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K]
+//!              [--connect ADDR --tenant NAME]
+//! mrinv lu     --input a.txt --l l.txt --u u.txt [same flags as invert]
+//! mrinv solve  --input a.txt --rhs b.txt --output x.txt [same flags]
+//! mrinv gen    --order 512 --output a.txt [--seed 42]
+//! mrinv tune   [--out tune.spec]
+//! mrinv serve  [--listen 127.0.0.1:7171] [--nodes 4] [--max-queue 64]
+//! mrinv worker --connect <addr> --worker-id <n>
+//! ```
+//!
+//! All three compute subcommands are projections of the one
+//! [`Request`] API: `invert`/`lu`/`solve` build a request against a
+//! local simulated cluster, or — with `--connect ADDR` — ship the same
+//! request to a running `mrinv serve` instance as tenant `--tenant`
+//! (default `cli`), sharing its factor cache with every other client.
+//!
+//! `--backend tcp:<n>` runs every task attempt in one of `n` real
+//! `mrinv worker` processes (spawned next to this binary as
+//! `mrinv-worker`) instead of in-process threads; task descriptors and
+//! DFS traffic travel over loopback TCP, and a worker that dies
+//! mid-attempt is replaced and the attempt retried. Results are
+//! bit-identical across backends.
+//!
+//! `--sched pipelined` switches the simulated timeline to event-driven
+//! execution: the shuffle streams map outputs as they commit and idle
+//! fast slots steal straggling tasks, shrinking wave makespans on skewed
+//! clusters. The default is the paper's per-wave barrier. Outputs are
+//! bit-identical across scheduling modes.
+//!
+//! Matrices use the text format of the paper's `a.txt` (a `rows cols`
+//! header line, then whitespace-separated values; see
+//! `mrinv_matrix::io`). The `solve` right-hand sides ride the same
+//! format: each **column** of `--rhs` is one right-hand side, and the
+//! solution columns land in `--output` in the same order.
+//!
+//! The human-readable run summary goes to **stderr**; machine-readable
+//! output is opt-in: `--metrics-json` writes the [`crate::RunReport`]
+//! (including per-wave straggler analytics and the cost-model audit) as
+//! JSON, `--metrics-prom` writes the labeled metric registry (task
+//! latency histograms, per-node utilization, kernel GFLOP/s) in
+//! Prometheus text exposition format, and `--trace-out` writes a
+//! Chrome/Perfetto `trace_events` file of the whole pipeline on the
+//! simulated clock — open it at `ui.perfetto.dev` or `chrome://tracing`.
+//! Any of these flags may be `-` for stdout. Passing any of them enables
+//! per-task tracing and the labeled registry for the run (off otherwise,
+//! at zero cost); `--metrics-prom` and `--metrics-json` also turn on the
+//! kernel engine's per-backend perf counters. `--progress` prints a live
+//! one-line jobs/ETA meter to stderr while the pipeline runs.
+//!
+//! `tune` calibrates the packed GEMM engine on this machine (the
+//! thorough probe profile: MC×KC blocking grid, serial/parallel
+//! crossover, and a block-size throughput sweep) and prints ready-to-use
+//! settings to stdout: an `MRINV_GEMM_TUNE=...` spec for the kernel and a
+//! recommended MapReduce block size for `--nb`. With `--out FILE` the
+//! spec is also written to `FILE`, usable as `MRINV_GEMM_TUNE=file:FILE`
+//! (which re-probes and rewrites the cache if the file ever goes
+//! missing or stale). Note the tuned-KC rounding caveat in
+//! `mrinv_matrix::kernel::tune`: non-default specs trade bitwise seed
+//! identity for speed.
+//!
+//! `--checkpoint` records a job manifest under `--workdir` so a killed
+//! pipeline can be resumed with `--resume`. The DFS is in-memory, so the
+//! crash/resume demo is single-process: `--checkpoint --kill-after-job K
+//! --resume` kills the driver after K jobs and then resumes from the
+//! manifest in the same invocation.
+//!
+//! `serve` starts the multi-tenant inversion service
+//! ([`crate::service`]) on `--listen` and blocks; `worker` is the TCP
+//! backend's worker-process entry point (the standalone `mrinv-worker`
+//! binary is a shim over it, kept because the backend spawns workers by
+//! that file name).
+
+use std::process::exit;
+use std::sync::Arc;
+
+use mrinv_mapreduce::{
+    chrome_trace_json, Cluster, ClusterConfig, MrError, SchedulingMode, TcpWorkers,
+    TcpWorkersConfig,
+};
+use mrinv_matrix::io::{decode_text, encode_text};
+use mrinv_matrix::norms::inversion_residual;
+use mrinv_matrix::random::random_well_conditioned;
+use mrinv_matrix::Matrix;
+
+use crate::client::ServiceClient;
+use crate::error::{CoreError, Result};
+use crate::request::{Outcome, Request};
+use crate::service::{ServerHandle, ServiceConfig};
+use crate::{Checkpoint, InversionConfig, RunId, RunReport};
+
+struct Opts {
+    command: String,
+    input: Option<String>,
+    output: Option<String>,
+    rhs: Option<String>,
+    l_out: Option<String>,
+    u_out: Option<String>,
+    trace_out: Option<String>,
+    metrics_json: Option<String>,
+    metrics_prom: Option<String>,
+    progress: bool,
+    nodes: usize,
+    nb: usize,
+    order: usize,
+    seed: u64,
+    workdir: String,
+    checkpoint: bool,
+    resume: bool,
+    kill_after: Option<u64>,
+    backend: Backend,
+    scheduling: SchedulingMode,
+    connect: Option<String>,
+    tenant: String,
+    listen: String,
+    max_queue: usize,
+    worker_id: Option<usize>,
+}
+
+/// Execution backend selection (`--backend`).
+enum Backend {
+    /// Task attempts run on threads inside this process (default).
+    InProcess,
+    /// Task attempts ship to `n` spawned `mrinv-worker` processes over
+    /// TCP (`--backend tcp:<n>`).
+    Tcp(usize),
+}
+
+impl Opts {
+    /// Checkpoint mode implied by the flags: `--resume` alone replays an
+    /// existing manifest; `--checkpoint` or `--kill-after-job` record one
+    /// (the kill implies recording so the single-process crash demo has a
+    /// manifest to come back to).
+    fn mode(&self) -> Checkpoint {
+        if self.resume && self.kill_after.is_none() {
+            Checkpoint::Resume
+        } else if self.checkpoint || self.kill_after.is_some() {
+            Checkpoint::Enabled
+        } else {
+            Checkpoint::Disabled
+        }
+    }
+
+    /// Applies the run-placement flags to a request.
+    fn place<'a>(&self, req: Request<'a>, run: &RunId) -> Request<'a> {
+        match self.mode() {
+            Checkpoint::Disabled => req.workdir(run),
+            Checkpoint::Enabled => req.checkpoint(run),
+            Checkpoint::Resume => req.resume(run),
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  mrinv invert --input a.txt --output inv.txt [--nodes N] [--nb NB] [--backend in-process|tcp:W] [--sched barrier|pipelined] [--trace-out T.json] [--metrics-json M.json] [--metrics-prom M.prom] [--progress] [--workdir DIR] [--checkpoint] [--resume] [--kill-after-job K] [--connect ADDR --tenant NAME]\n  mrinv lu --input a.txt --l l.txt --u u.txt [same flags as invert]\n  mrinv solve --input a.txt --rhs b.txt --output x.txt [same flags as invert]\n  mrinv gen --order N --output a.txt [--seed S]\n  mrinv tune [--out FILE]\n  mrinv serve [--listen ADDR] [--nodes N] [--max-queue Q]\n  mrinv worker --connect <addr> --worker-id <n>"
+    );
+    exit(2)
+}
+
+fn parse(args: Vec<String>) -> Opts {
+    let mut opts = Opts {
+        command: String::new(),
+        input: None,
+        output: None,
+        rhs: None,
+        l_out: None,
+        u_out: None,
+        trace_out: None,
+        metrics_json: None,
+        metrics_prom: None,
+        progress: false,
+        nodes: 4,
+        nb: 200,
+        order: 0,
+        seed: 42,
+        workdir: "mrinv/cli".to_string(),
+        checkpoint: false,
+        resume: false,
+        kill_after: None,
+        backend: Backend::InProcess,
+        scheduling: SchedulingMode::Barrier,
+        connect: None,
+        tenant: "cli".to_string(),
+        listen: "127.0.0.1:0".to_string(),
+        max_queue: 64,
+        worker_id: None,
+    };
+    let mut it = args.into_iter();
+    opts.command = it.next().unwrap_or_else(|| usage());
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--input" => opts.input = Some(val()),
+            "--output" => opts.output = Some(val()),
+            "--out" => opts.output = Some(val()),
+            "--rhs" => opts.rhs = Some(val()),
+            "--l" => opts.l_out = Some(val()),
+            "--u" => opts.u_out = Some(val()),
+            "--trace-out" => opts.trace_out = Some(val()),
+            "--metrics-json" => opts.metrics_json = Some(val()),
+            "--metrics-prom" => opts.metrics_prom = Some(val()),
+            "--progress" => opts.progress = true,
+            "--nodes" => opts.nodes = val().parse().unwrap_or_else(|_| usage()),
+            "--nb" => opts.nb = val().parse().unwrap_or_else(|_| usage()),
+            "--order" => opts.order = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--workdir" => opts.workdir = val(),
+            "--checkpoint" => opts.checkpoint = true,
+            "--resume" => opts.resume = true,
+            "--kill-after-job" => opts.kill_after = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--connect" => opts.connect = Some(val()),
+            "--tenant" => opts.tenant = val(),
+            "--listen" => opts.listen = val(),
+            "--max-queue" => opts.max_queue = val().parse().unwrap_or_else(|_| usage()),
+            "--worker-id" => opts.worker_id = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--backend" => {
+                let v = val();
+                opts.backend = match v.as_str() {
+                    "in-process" => Backend::InProcess,
+                    tcp if tcp.starts_with("tcp:") => {
+                        Backend::Tcp(tcp[4..].parse().unwrap_or_else(|_| usage()))
+                    }
+                    _ => usage(),
+                };
+            }
+            "--sched" => {
+                opts.scheduling = match val().as_str() {
+                    "barrier" => SchedulingMode::Barrier,
+                    "pipelined" => SchedulingMode::Pipelined,
+                    _ => usage(),
+                };
+            }
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn read_matrix(path: &str) -> Matrix {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("mrinv: cannot read {path}: {e}");
+        exit(1)
+    });
+    decode_text(&text).unwrap_or_else(|e| {
+        eprintln!("mrinv: cannot parse {path}: {e}");
+        exit(1)
+    })
+}
+
+fn write_matrix(path: &str, m: &Matrix) {
+    std::fs::write(path, encode_text(m)).unwrap_or_else(|e| {
+        eprintln!("mrinv: cannot write {path}: {e}");
+        exit(1)
+    });
+}
+
+/// Splits a text matrix into its columns (one right-hand side each).
+fn rhs_columns(b: &Matrix) -> Vec<Vec<f64>> {
+    (0..b.cols())
+        .map(|j| (0..b.rows()).map(|i| b[(i, j)]).collect())
+        .collect()
+}
+
+/// Packs solution vectors back into a matrix of columns.
+fn solutions_matrix(solutions: &[Vec<f64>]) -> Matrix {
+    let n = solutions.first().map_or(0, Vec::len);
+    let mut m = Matrix::zeros(n, solutions.len());
+    for (j, x) in solutions.iter().enumerate() {
+        for (i, &v) in x.iter().enumerate() {
+            m[(i, j)] = v;
+        }
+    }
+    m
+}
+
+/// Writes `content` to `path`, or to stdout when `path` is `-`.
+fn write_output(path: &str, content: &str, what: &str) {
+    if path == "-" {
+        println!("{content}");
+    } else {
+        std::fs::write(path, content).unwrap_or_else(|e| {
+            eprintln!("mrinv: cannot write {what} to {path}: {e}");
+            exit(1)
+        });
+        eprintln!("mrinv: {what} -> {path}");
+    }
+}
+
+/// Builds the cluster, with per-task tracing and the labeled metric
+/// registry on when any observability output was requested. Metrics
+/// output also enables the kernel engine's per-backend perf counters
+/// (process-wide, so the exported GFLOP/s covers the real GEMM work).
+fn build_cluster(opts: &Opts) -> Cluster {
+    let wants_metrics = opts.metrics_json.is_some() || opts.metrics_prom.is_some();
+    let mut cfg = ClusterConfig::medium(opts.nodes);
+    cfg.tracing = opts.trace_out.is_some() || wants_metrics;
+    cfg.observability = wants_metrics;
+    cfg.progress = opts.progress;
+    cfg.scheduling = opts.scheduling;
+    if wants_metrics {
+        mrinv_matrix::kernel::perf::set_enabled(true);
+    }
+    let mut cluster = Cluster::new(cfg);
+    if let Backend::Tcp(workers) = opts.backend {
+        if workers == 0 {
+            eprintln!("mrinv: --backend tcp:<n> needs at least one worker");
+            exit(2);
+        }
+        // The worker binary ships alongside this one.
+        let worker_bin = std::env::current_exe()
+            .map(|p| p.with_file_name("mrinv-worker"))
+            .unwrap_or_else(|e| {
+                eprintln!("mrinv: cannot locate mrinv-worker: {e}");
+                exit(1)
+            });
+        let backend =
+            TcpWorkers::spawn(TcpWorkersConfig::new(workers, worker_bin)).unwrap_or_else(|e| {
+                eprintln!("mrinv: cannot start tcp workers: {e}");
+                exit(1)
+            });
+        backend.attach_dfs(cluster.dfs.clone());
+        cluster.set_backend(Arc::new(backend));
+        cluster.set_registry(Arc::new(crate::exec_registry()));
+        eprintln!("mrinv: tcp backend up with {workers} worker process(es)");
+    }
+    if let Some(k) = opts.kill_after {
+        cluster.faults.kill_driver_after(k);
+    }
+    cluster
+}
+
+/// Turns a driver kill into a resume when `--resume` was also given: the
+/// manifest left by the first attempt makes the retry a prefix restore.
+/// The kill knob fires once and disarms, so the retry runs to completion.
+fn retry_after_kill(
+    result: Result<Outcome>,
+    opts: &Opts,
+    retry: impl FnOnce() -> Result<Outcome>,
+) -> Result<Outcome> {
+    match result {
+        Err(CoreError::MapReduce(MrError::DriverKilled { after_jobs })) if opts.resume => {
+            eprintln!("mrinv: driver killed after {after_jobs} job(s); resuming from the manifest");
+            retry()
+        }
+        other => other,
+    }
+}
+
+/// One-line checkpoint-restore summary for resumed runs.
+fn report_restored(report: &RunReport) {
+    if report.restored_jobs > 0 {
+        eprintln!(
+            "  resumed from manifest: {} job(s) restored, {:.1} simulated s saved",
+            report.restored_jobs, report.restored_sim_secs
+        );
+    }
+}
+
+/// Emits the opt-in machine-readable outputs for a finished run.
+fn emit_observability(opts: &Opts, cluster: &Cluster, report: &RunReport) {
+    if let Some(path) = &opts.trace_out {
+        let json = chrome_trace_json(&cluster.trace.events());
+        write_output(path, &json, "chrome trace");
+    }
+    if let Some(path) = &opts.metrics_json {
+        let json = serde_json::to_string_pretty(report).unwrap_or_else(|e| {
+            eprintln!("mrinv: cannot serialize metrics: {e}");
+            exit(1)
+        });
+        write_output(path, &json, "metrics");
+    }
+    if let Some(path) = &opts.metrics_prom {
+        let text = crate::obs::full_snapshot(cluster).prometheus_text();
+        write_output(path, &text, "prometheus metrics");
+    }
+    if let Some(audit) = &report.audit {
+        eprintln!(
+            "  cost model: {} task(s) audited, max |residual| {:.4} (mean {:.4}), \
+             {} flagged over {:.0}% threshold{}",
+            audit.tasks,
+            audit.max_abs_residual,
+            audit.mean_abs_residual,
+            audit.flagged.len(),
+            audit.threshold * 100.0,
+            if audit.within_threshold {
+                ""
+            } else {
+                " [MODEL DRIFT]"
+            }
+        );
+    }
+    if let Some(analytics) = &report.analytics {
+        let ratio = analytics.worst_straggler_ratio();
+        if ratio > 1.0 {
+            eprintln!(
+                "  straggler ratio (max/median, worst wave): {ratio:.2}; \
+                 lost work from retries: {:.1} simulated s over {} retried attempts",
+                analytics.lost_task_secs, analytics.retried_attempts
+            );
+        }
+    }
+}
+
+/// `mrinv tune`: calibrates the packed GEMM engine on this machine and
+/// prints ready-to-paste settings — an `MRINV_GEMM_TUNE` spec plus the
+/// recommended MapReduce block size for `--nb`. Human-readable progress
+/// goes to stderr; the two settings lines go to stdout so they can be
+/// scripted (`eval "$(mrinv tune 2>/dev/null | head -1)"`).
+fn run_tune(opts: &Opts) {
+    use mrinv_matrix::kernel::tune::{calibrate, format_spec, recommend_nb, CalibrateOpts};
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = rayon::current_num_threads();
+    eprintln!(
+        "mrinv: calibrating the packed GEMM engine ({cores} core(s) detected, \
+         {threads} pool thread(s)); this takes a few seconds..."
+    );
+    let p = calibrate(&CalibrateOpts::thorough());
+    eprintln!("  blocking: mc={} kc={} nc={}", p.mc, p.kc, p.nc);
+    eprintln!(
+        "  serial/parallel crossover: {} multiply-adds{}",
+        p.par_min_madds,
+        if threads > 1 {
+            ""
+        } else {
+            " (single-thread pool: crossover probe skipped, compiled default kept)"
+        }
+    );
+    let (nb, curve) = recommend_nb(&p, 3);
+    eprintln!("  block-size sweep, serial packed GFLOP/s per candidate nb:");
+    for (c_nb, gf) in &curve {
+        eprintln!(
+            "    nb={c_nb:>4}  {gf:6.2}{}",
+            if *c_nb == nb { "  <- recommended" } else { "" }
+        );
+    }
+    let spec = format_spec(&p);
+    println!("MRINV_GEMM_TUNE={spec}");
+    println!("recommended --nb {nb}");
+    if let Some(path) = &opts.output {
+        std::fs::write(path, format!("{spec}\n")).unwrap_or_else(|e| {
+            eprintln!("mrinv: cannot write tune spec to {path}: {e}");
+            exit(1)
+        });
+        eprintln!("mrinv: tune spec -> {path} (use MRINV_GEMM_TUNE=file:{path})");
+    }
+}
+
+/// `mrinv serve`: starts the multi-tenant service and blocks forever.
+/// The bound address (useful with `--listen 127.0.0.1:0`) is printed to
+/// stdout as `listening on <addr>` so scripts can scrape it.
+fn run_serve(opts: &Opts) {
+    let mut cfg = ClusterConfig::medium(opts.nodes);
+    // Tenant/request metrics are the service's flight recorder; always on.
+    cfg.observability = true;
+    cfg.scheduling = opts.scheduling;
+    let cluster = Arc::new(Cluster::new(cfg));
+    let service = ServiceConfig {
+        addr: opts.listen.clone(),
+        max_queue_per_tenant: opts.max_queue,
+    };
+    let handle = ServerHandle::start(cluster, service).unwrap_or_else(|e| {
+        eprintln!("mrinv: cannot start service: {e}");
+        exit(1)
+    });
+    println!("listening on {}", handle.addr());
+    eprintln!(
+        "mrinv: serving {} simulated node(s), per-tenant queue limit {}",
+        opts.nodes, opts.max_queue
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Routes a compute subcommand to a remote `mrinv serve` instance.
+fn run_remote(opts: &Opts, addr: &str) {
+    let a = opts
+        .input
+        .as_deref()
+        .map(read_matrix)
+        .unwrap_or_else(|| usage());
+    let cfg = InversionConfig::with_nb(opts.nb.min(a.rows().max(1)));
+    let mut client = ServiceClient::connect(addr, &opts.tenant).unwrap_or_else(|e| {
+        eprintln!("mrinv: {e}");
+        exit(1)
+    });
+    let reply = match opts.command.as_str() {
+        "invert" => client.invert(&a, &cfg),
+        "lu" => client.lu(&a, &cfg),
+        "solve" => {
+            let rhs = opts
+                .rhs
+                .as_deref()
+                .map(read_matrix)
+                .unwrap_or_else(|| usage());
+            client.solve(&a, &rhs_columns(&rhs), &cfg)
+        }
+        _ => usage(),
+    };
+    let reply = reply.unwrap_or_else(|e| {
+        eprintln!("mrinv: {e}");
+        exit(1)
+    });
+    eprintln!(
+        "mrinv: served by {addr} as tenant {}: {} jobs, {:.1} simulated s{}",
+        opts.tenant,
+        reply.jobs,
+        reply.sim_secs,
+        if reply.cache_hit {
+            " (factor-cache hit)"
+        } else {
+            ""
+        }
+    );
+    match opts.command.as_str() {
+        "invert" => {
+            let output = opts.output.as_deref().unwrap_or_else(|| usage());
+            let inverse = reply.inverse.as_ref().unwrap_or_else(|| {
+                eprintln!("mrinv: server returned no inverse");
+                exit(1)
+            });
+            write_matrix(output, inverse);
+        }
+        "lu" => {
+            let (Some(l_out), Some(u_out)) = (&opts.l_out, &opts.u_out) else {
+                usage()
+            };
+            let f = reply.factors.as_ref().unwrap_or_else(|| {
+                eprintln!("mrinv: server returned no factors");
+                exit(1)
+            });
+            write_matrix(l_out, &f.l);
+            write_matrix(u_out, &f.u);
+        }
+        "solve" => {
+            let output = opts.output.as_deref().unwrap_or_else(|| usage());
+            write_matrix(output, &solutions_matrix(&reply.solutions));
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Worker-process body shared by `mrinv worker` and the `mrinv-worker`
+/// shim binary: connect back to the driver and serve task descriptors
+/// until shutdown. Returns the process exit code.
+pub fn worker_main(args: Vec<String>) -> i32 {
+    let mut addr: Option<String> = None;
+    let mut worker_id: Option<usize> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => addr = it.next(),
+            "--worker-id" => worker_id = it.next().and_then(|v| v.parse().ok()),
+            _ => {
+                eprintln!("usage: mrinv worker --connect <addr> --worker-id <n>");
+                return 2;
+            }
+        }
+    }
+    let (Some(addr), Some(worker_id)) = (addr, worker_id) else {
+        eprintln!("usage: mrinv worker --connect <addr> --worker-id <n>");
+        return 2;
+    };
+
+    // Lets in-crate task code (the die-once fault probe) detect that it
+    // is running inside a disposable worker process.
+    std::env::set_var(crate::remote::WORKER_ENV, "1");
+
+    let registry = crate::remote::exec_registry();
+    if let Err(e) = mrinv_mapreduce::worker_serve(&addr, worker_id, &registry) {
+        eprintln!("mrinv-worker {worker_id}: {e}");
+        return 1;
+    }
+    0
+}
+
+/// Entry point for the `mrinv-serve` shim binary: `mrinv serve` without
+/// the subcommand word. Never returns on success.
+pub fn serve_main(args: Vec<String>) -> i32 {
+    let mut argv = vec!["serve".to_string()];
+    argv.extend(args);
+    run(argv)
+}
+
+/// Full subcommand dispatch; `args` excludes the program name. Returns
+/// the process exit code (compute subcommands exit directly on error).
+pub fn run(args: Vec<String>) -> i32 {
+    let opts = parse(args);
+    match opts.command.as_str() {
+        "gen" => {
+            let (Some(output), order) = (&opts.output, opts.order) else {
+                usage()
+            };
+            if order == 0 {
+                usage()
+            }
+            let a = random_well_conditioned(order, opts.seed);
+            write_matrix(output, &a);
+            eprintln!("wrote a well-conditioned {order}x{order} matrix to {output}");
+        }
+        "invert" if opts.connect.is_some() => {
+            let addr = opts.connect.clone().unwrap();
+            run_remote(&opts, &addr);
+        }
+        "invert" => {
+            let (Some(input), Some(output)) = (&opts.input, &opts.output) else {
+                usage()
+            };
+            let a = read_matrix(input);
+            let cluster = build_cluster(&opts);
+            let cfg = InversionConfig::with_nb(opts.nb.min(a.rows().max(1)));
+            let run = RunId::new(&opts.workdir);
+            let result = retry_after_kill(
+                opts.place(Request::invert(&a).config(&cfg), &run)
+                    .submit(&cluster),
+                &opts,
+                || {
+                    Request::invert(&a)
+                        .config(&cfg)
+                        .resume(&run)
+                        .submit(&cluster)
+                },
+            );
+            match result {
+                Ok(out) => {
+                    let inverse = out.inverse().expect("invert outcome");
+                    let res = inversion_residual(&a, inverse).unwrap_or(f64::NAN);
+                    write_matrix(output, inverse);
+                    eprintln!(
+                        "inverted {}x{} on {} simulated nodes: {} jobs, {:.1} simulated s",
+                        a.rows(),
+                        a.cols(),
+                        opts.nodes,
+                        out.report.jobs,
+                        out.report.sim_secs
+                    );
+                    report_restored(&out.report);
+                    eprintln!("max |I - A*A^-1| = {res:.3e} (paper threshold 1e-5)");
+                    emit_observability(&opts, &cluster, &out.report);
+                    if res.is_nan() || res >= 1e-5 {
+                        eprintln!("mrinv: WARNING: residual exceeds the accuracy threshold");
+                        exit(3);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("mrinv: inversion failed: {e}");
+                    exit(1);
+                }
+            }
+        }
+        "lu" if opts.connect.is_some() => {
+            let addr = opts.connect.clone().unwrap();
+            run_remote(&opts, &addr);
+        }
+        "lu" => {
+            let (Some(input), Some(l_out), Some(u_out)) = (&opts.input, &opts.l_out, &opts.u_out)
+            else {
+                usage()
+            };
+            let a = read_matrix(input);
+            let cluster = build_cluster(&opts);
+            let cfg = InversionConfig::with_nb(opts.nb.min(a.rows().max(1)));
+            let run = RunId::new(&opts.workdir);
+            let result = retry_after_kill(
+                opts.place(Request::lu(&a).config(&cfg), &run)
+                    .submit(&cluster),
+                &opts,
+                || Request::lu(&a).config(&cfg).resume(&run).submit(&cluster),
+            );
+            match result {
+                Ok(out) => {
+                    let f = out.factors().expect("lu outcome");
+                    write_matrix(l_out, &f.l);
+                    write_matrix(u_out, &f.u);
+                    eprintln!(
+                        "decomposed {}x{}: {} jobs; P stored implicitly (PA = LU), S = {:?}...",
+                        a.rows(),
+                        a.cols(),
+                        out.report.jobs,
+                        &f.perm.as_slice()[..f.perm.len().min(8)]
+                    );
+                    report_restored(&out.report);
+                    emit_observability(&opts, &cluster, &out.report);
+                }
+                Err(e) => {
+                    eprintln!("mrinv: decomposition failed: {e}");
+                    exit(1);
+                }
+            }
+        }
+        "solve" if opts.connect.is_some() => {
+            let addr = opts.connect.clone().unwrap();
+            run_remote(&opts, &addr);
+        }
+        "solve" => {
+            let (Some(input), Some(rhs_path), Some(output)) =
+                (&opts.input, &opts.rhs, &opts.output)
+            else {
+                usage()
+            };
+            let a = read_matrix(input);
+            let rhs = rhs_columns(&read_matrix(rhs_path));
+            let cluster = build_cluster(&opts);
+            let cfg = InversionConfig::with_nb(opts.nb.min(a.rows().max(1)));
+            let run = RunId::new(&opts.workdir);
+            let result = retry_after_kill(
+                opts.place(
+                    Request::solve(&a).rhs_all(rhs.iter().cloned()).config(&cfg),
+                    &run,
+                )
+                .submit(&cluster),
+                &opts,
+                || {
+                    Request::solve(&a)
+                        .rhs_all(rhs.iter().cloned())
+                        .config(&cfg)
+                        .resume(&run)
+                        .submit(&cluster)
+                },
+            );
+            match result {
+                Ok(out) => {
+                    write_matrix(output, &solutions_matrix(out.solutions()));
+                    eprintln!(
+                        "solved {} right-hand side(s) against {}x{}: {} jobs, {:.1} simulated s",
+                        out.solutions().len(),
+                        a.rows(),
+                        a.cols(),
+                        out.report.jobs,
+                        out.report.sim_secs
+                    );
+                    report_restored(&out.report);
+                    emit_observability(&opts, &cluster, &out.report);
+                }
+                Err(e) => {
+                    eprintln!("mrinv: solve failed: {e}");
+                    exit(1);
+                }
+            }
+        }
+        "tune" => run_tune(&opts),
+        "serve" => run_serve(&opts),
+        "worker" => {
+            // Re-collect the worker flags out of the parsed options.
+            let mut argv = Vec::new();
+            if let Some(addr) = &opts.connect {
+                argv.push("--connect".to_string());
+                argv.push(addr.clone());
+            }
+            if let Some(id) = opts.worker_id {
+                argv.push("--worker-id".to_string());
+                argv.push(id.to_string());
+            }
+            return worker_main(argv);
+        }
+        _ => usage(),
+    }
+    0
+}

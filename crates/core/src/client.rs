@@ -1,0 +1,152 @@
+//! Blocking client for the [`crate::service`] daemon.
+//!
+//! One [`ServiceClient`] owns one TCP connection and issues one request
+//! at a time (the protocol is strict request/response per connection);
+//! open several clients for concurrency. Matrices cross the wire through
+//! the binary codec, so results are bit-identical to running the same
+//! [`crate::Request`] in-process.
+
+use std::net::TcpStream;
+
+use mrinv_matrix::io::{decode_binary, encode_binary};
+use mrinv_matrix::{Matrix, Permutation};
+
+use crate::config::InversionConfig;
+use crate::error::{CoreError, Result};
+use crate::request::LuFactors;
+use crate::service::{
+    read_frame, write_frame, WireOp, WireRequest, WireResponse, TAG_REQUEST, TAG_RESPONSE,
+};
+
+/// What the server sent back for one request.
+#[derive(Debug, Clone)]
+pub struct ServiceReply {
+    /// The inverse, for invert requests.
+    pub inverse: Option<Matrix>,
+    /// Assembled factors, for lu requests.
+    pub factors: Option<LuFactors>,
+    /// Solutions, one per submitted right-hand side.
+    pub solutions: Vec<Vec<f64>>,
+    /// Whether the server's factor cache served the request.
+    pub cache_hit: bool,
+    /// Pipeline jobs the request ran server-side (0 on a cache hit).
+    pub jobs: u64,
+    /// Simulated seconds the request cost server-side.
+    pub sim_secs: f64,
+}
+
+/// A blocking connection to an `mrinv-serve` instance.
+#[derive(Debug)]
+pub struct ServiceClient {
+    stream: TcpStream,
+    tenant: String,
+    next_id: u64,
+}
+
+impl ServiceClient {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7171"`), identifying every
+    /// request as `tenant`.
+    pub fn connect(addr: &str, tenant: impl Into<String>) -> Result<ServiceClient> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| CoreError::Invariant(format!("cannot connect to {addr}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        Ok(ServiceClient {
+            stream,
+            tenant: tenant.into(),
+            next_id: 0,
+        })
+    }
+
+    /// Requests the inverse of `a`.
+    pub fn invert(&mut self, a: &Matrix, cfg: &InversionConfig) -> Result<ServiceReply> {
+        self.roundtrip(WireOp::Invert, a, &[], cfg)
+    }
+
+    /// Requests the LU factorization of `a`.
+    pub fn lu(&mut self, a: &Matrix, cfg: &InversionConfig) -> Result<ServiceReply> {
+        self.roundtrip(WireOp::Lu, a, &[], cfg)
+    }
+
+    /// Requests solutions of `A·x = b` for every right-hand side.
+    pub fn solve(
+        &mut self,
+        a: &Matrix,
+        rhs: &[Vec<f64>],
+        cfg: &InversionConfig,
+    ) -> Result<ServiceReply> {
+        self.roundtrip(WireOp::Solve, a, rhs, cfg)
+    }
+
+    fn roundtrip(
+        &mut self,
+        op: WireOp,
+        a: &Matrix,
+        rhs: &[Vec<f64>],
+        cfg: &InversionConfig,
+    ) -> Result<ServiceReply> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let req = WireRequest {
+            tenant: self.tenant.clone(),
+            id,
+            op,
+            a: encode_binary(a).to_vec(),
+            rhs: rhs.to_vec(),
+            nb: cfg.nb as u64,
+            separate_intermediate_files: cfg.opts.separate_intermediate_files,
+            block_wrap: cfg.opts.block_wrap,
+            transpose_u: cfg.opts.transpose_u,
+        };
+        let net = |what: &str, e: &dyn std::fmt::Display| {
+            CoreError::Invariant(format!("service connection {what}: {e}"))
+        };
+        write_frame(&mut self.stream, TAG_REQUEST, &bincode::serialize(&req))
+            .map_err(|e| net("send", &e))?;
+        let (tag, body) = read_frame(&mut self.stream).map_err(|e| net("recv", &e))?;
+        if tag != TAG_RESPONSE {
+            return Err(CoreError::Invariant(format!(
+                "expected a response frame, got tag {tag}"
+            )));
+        }
+        let resp = bincode::deserialize::<WireResponse>(&body)
+            .map_err(|e| CoreError::Invariant(format!("undecodable response: {e}")))?;
+        if resp.id != id {
+            return Err(CoreError::Invariant(format!(
+                "response id {} for request {id}",
+                resp.id
+            )));
+        }
+        if !resp.ok {
+            return Err(CoreError::Invariant(format!(
+                "server error: {}",
+                resp.error
+            )));
+        }
+        decode_reply(resp)
+    }
+}
+
+fn decode_reply(resp: WireResponse) -> Result<ServiceReply> {
+    let inverse = if resp.inverse.is_empty() {
+        None
+    } else {
+        Some(decode_binary(&resp.inverse)?)
+    };
+    let factors = if resp.l.is_empty() {
+        None
+    } else {
+        Some(LuFactors {
+            l: decode_binary(&resp.l)?,
+            u: decode_binary(&resp.u)?,
+            perm: Permutation::from_vec(resp.perm.iter().map(|&s| s as usize).collect()),
+        })
+    };
+    Ok(ServiceReply {
+        inverse,
+        factors,
+        solutions: resp.solutions,
+        cache_hit: resp.cache_hit,
+        jobs: resp.jobs,
+        sim_secs: resp.sim_secs,
+    })
+}

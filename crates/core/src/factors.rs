@@ -91,6 +91,36 @@ impl FactorRef {
         }
     }
 
+    /// Every DFS path this forest references, in a deterministic order.
+    ///
+    /// The factor cache uses this to validate an entry before serving it:
+    /// a hit is only a hit while every underlying file still exists.
+    pub fn paths(&self) -> Vec<String> {
+        fn walk(f: &FactorRef, out: &mut Vec<String>) {
+            match f {
+                FactorRef::Leaf { l_path, u_path, .. } => {
+                    out.push(l_path.clone());
+                    out.push(u_path.clone());
+                }
+                FactorRef::Node {
+                    a1,
+                    l2_stripes,
+                    u2_stripes,
+                    b,
+                    ..
+                } => {
+                    walk(a1, out);
+                    out.extend(l2_stripes.iter().map(|s| s.path.clone()));
+                    out.extend(u2_stripes.iter().map(|s| s.path.clone()));
+                    walk(b, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
     /// Number of DFS files holding the `L` factor (the Section 6.1
     /// `N(d)` quantity when stripes count `m0/2` per level).
     pub fn l_file_count(&self) -> u64 {
@@ -497,6 +527,24 @@ mod tests {
             .unwrap()
             .approx_eq(&u.transpose(), 0.0));
         assert_eq!(f.l_file_count(), 1);
+    }
+
+    #[test]
+    fn paths_enumerate_the_whole_forest() {
+        let dfs = Dfs::default();
+        let n = 12;
+        let half = 5;
+        let l = random_unit_lower(n, 30);
+        let u = random_upper(n, 31);
+        let p1 = shuffled_perm(half, 32);
+        let p2 = shuffled_perm(n - half, 33);
+        let f = build_node(&dfs, &l, &u, &p1, &p2, half, 3, false);
+        let paths = f.paths();
+        // Two leaves (l + u each) plus 3 L2' stripes plus 3 U2 stripes.
+        assert_eq!(paths.len(), 2 + 2 + 3 + 3);
+        for p in &paths {
+            assert!(dfs.exists(p), "listed path {p} must exist");
+        }
     }
 
     #[test]

@@ -1,24 +1,22 @@
-//! The public entry points: distributed matrix inversion and LU
-//! decomposition over a simulated MapReduce cluster, with optional
-//! checkpointed, resumable pipelines.
+//! Run plumbing shared by every [`crate::Request`]: checkpoint modes,
+//! the manifest configuration fingerprint, and driver construction.
 //!
-//! Every run executes through a [`PipelineDriver`] addressed by a
-//! deterministic [`RunId`] (the DFS directory all of the run's files live
-//! under). [`invert`]/[`lu`] pick a fresh per-cluster directory and run
-//! without checkpointing; [`invert_run`]/[`lu_run`] let the caller pin the
-//! directory and choose a [`Checkpoint`] mode, which is what makes a run
-//! resumable after the driver dies between jobs.
+//! The public entry point for inversion, LU decomposition, and solves is
+//! the [`crate::Request`] builder in [`crate::request`] (the historical
+//! `invert`/`invert_run`/`lu`/`lu_run`/`solve` free functions collapsed
+//! into it). Every run still executes through a [`PipelineDriver`]
+//! addressed by a deterministic [`RunId`] — the DFS directory all of the
+//! run's files live under — and the [`Checkpoint`] mode decides how the
+//! run interacts with the manifest at that directory.
 
 use mrinv_mapreduce::{Cluster, Fingerprint, PipelineDriver, RunId};
-use mrinv_matrix::{Matrix, Permutation};
+use mrinv_matrix::Matrix;
 
 use crate::config::{InversionConfig, Optimizations};
 use crate::error::Result;
 use crate::factors::FactorRef;
 use crate::lu_mr::{lu_decompose_mr, BlockView};
-use crate::partition::{ingest_input, run_partition_job, PartitionPlan};
-use crate::report::RunReport;
-use crate::source::MasterIo;
+use crate::partition::PartitionPlan;
 use crate::tri_inv_mr::invert_factors_mr;
 
 /// How a run interacts with the checkpoint manifest at its [`RunId`].
@@ -56,14 +54,14 @@ pub fn run_fingerprint(plan: &PartitionPlan, opts: &Optimizations) -> u64 {
         .finish()
 }
 
-/// A per-cluster run directory for the convenience entry points: distinct
-/// across consecutive runs on the same cluster (the DFS file count only
-/// grows), deterministic given the cluster state.
-fn fresh_run_id(cluster: &Cluster) -> RunId {
+/// A per-cluster run directory for unpinned requests: distinct across
+/// consecutive runs on the same cluster (the DFS file count only grows),
+/// deterministic given the cluster state.
+pub(crate) fn fresh_run_id(cluster: &Cluster) -> RunId {
     RunId::new(format!("mrinv/run-{}", cluster.dfs.file_count()))
 }
 
-fn make_driver<'c>(
+pub(crate) fn make_driver<'c>(
     cluster: &'c Cluster,
     run: &RunId,
     mode: Checkpoint,
@@ -75,146 +73,9 @@ fn make_driver<'c>(
     })
 }
 
-/// Result of a distributed LU decomposition, with assembled factors.
-#[derive(Debug, Clone)]
-pub struct LuOutput {
-    /// Unit lower-triangular factor.
-    pub l: Matrix,
-    /// Upper-triangular factor.
-    pub u: Matrix,
-    /// Pivot permutation with `P·A = L·U`.
-    pub perm: Permutation,
-    /// Run accounting.
-    pub report: RunReport,
-}
-
-/// Outcome of [`invert`]: the inverse plus run accounting.
-#[derive(Debug, Clone)]
-pub struct InverseOutput {
-    /// The computed `A^-1`.
-    pub inverse: Matrix,
-    /// Run accounting.
-    pub report: RunReport,
-}
-
-/// Inverts `a` on the cluster through the full pipeline of Figure 2:
-/// partition job → LU pipeline → final inversion job.
-///
-/// The run's jobs, simulated time, and I/O are returned in the report
-/// (deltas over the cluster's counters at call time). The input ingest —
-/// writing `a` into the DFS, the upstream job's output in the paper's
-/// workflow — happens *before* the measured window.
-pub fn invert(cluster: &Cluster, a: &Matrix, cfg: &InversionConfig) -> Result<InverseOutput> {
-    let run = fresh_run_id(cluster);
-    invert_run(cluster, a, cfg, &run, Checkpoint::Disabled)
-}
-
-/// [`invert`] with a caller-chosen run directory and checkpoint mode.
-///
-/// With [`Checkpoint::Enabled`], a driver crash mid-pipeline (e.g. the
-/// [`mrinv_mapreduce::FaultPlan::kill_driver_after`] knob, surfacing as
-/// [`mrinv_mapreduce::MrError::DriverKilled`]) leaves a manifest behind;
-/// calling again with the *same* `run` and [`Checkpoint::Resume`] restores
-/// the completed prefix and re-runs only the remainder. The input must be
-/// ingested again (it happens before the measured window and is
-/// idempotent), and leaf LU decompositions re-run on the master either
-/// way — only MapReduce jobs are checkpointed.
-pub fn invert_run(
-    cluster: &Cluster,
-    a: &Matrix,
-    cfg: &InversionConfig,
-    run: &RunId,
-    mode: Checkpoint,
-) -> Result<InverseOutput> {
-    let n = a.order()?;
-    let plan = PartitionPlan::new(n, cluster, cfg, run.dir());
-    ingest_input(cluster, a, &plan)?;
-
-    let planned_jobs = crate::schedule::total_jobs(n, cfg.nb);
-    let mut driver = make_driver(cluster, run, mode)?;
-    driver.set_config_fingerprint(run_fingerprint(&plan, &cfg.opts));
-    if cluster.config.progress {
-        driver.enable_progress(planned_jobs);
-    }
-    let (tree, _) = run_partition_job(&mut driver, &plan)?;
-    let factors = lu_decompose_mr(&mut driver, BlockView::Tree(tree), &plan, &cfg.opts)?;
-    let inverse = invert_factors_mr(&mut driver, &factors, &plan, &cfg.opts)?;
-
-    let mut report = driver.finish(n, cfg.nb);
-    if cluster.trace.is_enabled() {
-        report.audit = Some(crate::audit::cost_audit(
-            cluster,
-            driver.reports(),
-            planned_jobs,
-            n,
-            cfg.nb,
-            report.dfs_bytes_written,
-        ));
-    }
-    Ok(InverseOutput { inverse, report })
-}
-
-/// Runs only the LU stage of the pipeline (partition job + LU jobs) and
-/// returns the assembled factors.
-///
-/// The assembly reads the factor file forest back on the master and is not
-/// charged to the simulated clock (it exists for API convenience and
-/// verification; the paper's downstream consumers read the files
-/// directly).
-pub fn lu(cluster: &Cluster, a: &Matrix, cfg: &InversionConfig) -> Result<LuOutput> {
-    let run = fresh_run_id(cluster);
-    lu_run(cluster, a, cfg, &run, Checkpoint::Disabled)
-}
-
-/// [`lu`] with a caller-chosen run directory and checkpoint mode (see
-/// [`invert_run`] for the crash/resume contract).
-pub fn lu_run(
-    cluster: &Cluster,
-    a: &Matrix,
-    cfg: &InversionConfig,
-    run: &RunId,
-    mode: Checkpoint,
-) -> Result<LuOutput> {
-    let n = a.order()?;
-    let plan = PartitionPlan::new(n, cluster, cfg, run.dir());
-    ingest_input(cluster, a, &plan)?;
-
-    // Partition + LU pipeline: everything but the final inversion job.
-    let planned_jobs = crate::schedule::total_jobs(n, cfg.nb) - 1;
-    let mut driver = make_driver(cluster, run, mode)?;
-    driver.set_config_fingerprint(run_fingerprint(&plan, &cfg.opts));
-    if cluster.config.progress {
-        driver.enable_progress(planned_jobs);
-    }
-    let (tree, _) = run_partition_job(&mut driver, &plan)?;
-    let factors = lu_decompose_mr(&mut driver, BlockView::Tree(tree), &plan, &cfg.opts)?;
-
-    let mut report = driver.finish(n, cfg.nb);
-    if cluster.trace.is_enabled() {
-        report.audit = Some(crate::audit::cost_audit(
-            cluster,
-            driver.reports(),
-            planned_jobs,
-            n,
-            cfg.nb,
-            report.dfs_bytes_written,
-        ));
-    }
-
-    let mut io = MasterIo::new(&cluster.dfs);
-    let l = factors.assemble_l(&mut io)?;
-    let u = factors.assemble_u(&mut io)?;
-    Ok(LuOutput {
-        l,
-        u,
-        perm: factors.perm(),
-        report,
-    })
-}
-
-/// Low-level variant of [`invert`] for callers that already partitioned:
-/// decomposes and inverts, reusing the given plan through the caller's
-/// driver.
+/// Low-level variant of an invert request for callers that already
+/// partitioned: decomposes and inverts, reusing the given plan through
+/// the caller's driver.
 pub fn invert_with_plan(
     driver: &mut PipelineDriver<'_>,
     plan: &PartitionPlan,
@@ -229,142 +90,10 @@ pub fn invert_with_plan(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::Optimizations;
-    use mrinv_mapreduce::{ClusterConfig, CostModel};
-    use mrinv_matrix::norms::inversion_residual;
-    use mrinv_matrix::random::{random_invertible, random_well_conditioned};
-    use mrinv_matrix::PAPER_ACCURACY;
-
-    fn test_cluster(m0: usize) -> Cluster {
-        let mut cfg = ClusterConfig::medium(m0);
-        cfg.cost = CostModel::unit_for_tests();
-        Cluster::new(cfg)
-    }
-
-    #[test]
-    fn end_to_end_inversion_is_accurate() {
-        let cluster = test_cluster(4);
-        let a = random_well_conditioned(48, 1);
-        let out = invert(&cluster, &a, &InversionConfig::with_nb(12)).unwrap();
-        let res = inversion_residual(&a, &out.inverse).unwrap();
-        assert!(res < PAPER_ACCURACY, "residual {res}");
-    }
-
-    #[test]
-    fn inversion_matches_in_memory_reference() {
-        let cluster = test_cluster(4);
-        let a = random_invertible(40, 2);
-        let out = invert(&cluster, &a, &InversionConfig::with_nb(10)).unwrap();
-        let reference = crate::inmem::invert_block(&a, 10).unwrap();
-        assert!(out.inverse.approx_eq(&reference, 1e-7));
-    }
-
-    #[test]
-    fn job_count_matches_schedule() {
-        for &(n, nb) in &[(32usize, 8usize), (64, 8), (16, 16), (48, 6)] {
-            let cluster = test_cluster(4);
-            let a = random_invertible(n, n as u64);
-            let out = invert(&cluster, &a, &InversionConfig::with_nb(nb)).unwrap();
-            assert_eq!(
-                out.report.jobs,
-                crate::schedule::total_jobs(n, nb),
-                "n={n} nb={nb}"
-            );
-        }
-    }
-
-    #[test]
-    fn lu_entry_point_returns_valid_factors() {
-        let cluster = test_cluster(4);
-        let a = random_invertible(32, 5);
-        let out = lu(&cluster, &a, &InversionConfig::with_nb(8)).unwrap();
-        let pa = out.perm.apply_rows(&a);
-        assert!((&out.l * &out.u).approx_eq(&pa, 1e-8));
-        // LU alone runs the partition + pipeline jobs, no final job.
-        assert_eq!(out.report.jobs, crate::schedule::total_jobs(32, 8) - 1);
-    }
-
-    #[test]
-    fn report_accounts_io_and_time() {
-        let cluster = test_cluster(4);
-        let a = random_well_conditioned(32, 7);
-        let out = invert(&cluster, &a, &InversionConfig::with_nb(8)).unwrap();
-        let r = &out.report;
-        assert_eq!(r.n, 32);
-        assert_eq!(r.nodes, 4);
-        assert!(r.sim_secs > 0.0);
-        assert!(r.master_secs > 0.0);
-        assert!(
-            r.dfs_bytes_written as f64 > (32.0 * 32.0) * 8.0,
-            "at least the partition"
-        );
-        assert!(r.dfs_bytes_read > 0);
-        assert_eq!(r.task_failures, 0);
-        assert!((r.hours - r.sim_secs / 3600.0).abs() < 1e-12);
-        // A plain run restores nothing and names its workdir.
-        assert_eq!(r.restored_jobs, 0);
-        assert_eq!(r.restored_sim_secs, 0.0);
-        assert!(r.workdir.starts_with("mrinv/run-"), "workdir {}", r.workdir);
-    }
-
-    #[test]
-    fn traced_run_reports_analytics_and_exports() {
-        let mut ccfg = ClusterConfig::medium(4);
-        ccfg.cost = CostModel::unit_for_tests();
-        ccfg.tracing = true;
-        let cluster = Cluster::new(ccfg);
-        let a = random_well_conditioned(32, 31);
-        let out = invert(&cluster, &a, &InversionConfig::with_nb(8)).unwrap();
-        let analytics = out.report.analytics.as_ref().expect("tracing enabled");
-        // Every job contributes at least its map wave.
-        assert!(analytics.waves.len() >= out.report.jobs as usize);
-        assert_eq!(analytics.retried_attempts, 0);
-        assert!(analytics.total_task_secs > 0.0);
-        assert!(analytics.worst_straggler_ratio() >= 1.0);
-        // The whole run exports as a valid Chrome trace with one process
-        // per pipeline job (plus the cluster/master process).
-        let events = cluster.trace.events();
-        let json = mrinv_mapreduce::chrome_trace_json(&events);
-        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
-        let spans = doc.get("traceEvents").unwrap().as_array().unwrap();
-        let job_pids: std::collections::BTreeSet<u64> = spans
-            .iter()
-            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
-            .filter_map(|e| e.get("pid").and_then(|p| p.as_u64()))
-            .filter(|&pid| pid > 0)
-            .collect();
-        assert_eq!(
-            job_pids.len() as u64,
-            out.report.jobs,
-            "one trace process per job"
-        );
-
-        // Without tracing, the identical run carries no analytics.
-        let plain = test_cluster(4);
-        let out2 = invert(&plain, &a, &InversionConfig::with_nb(8)).unwrap();
-        assert!(out2.report.analytics.is_none());
-        assert!(out2.inverse.approx_eq(&out.inverse, 0.0));
-    }
-
-    #[test]
-    fn runs_are_isolated_by_workdir() {
-        let cluster = test_cluster(2);
-        let a = random_well_conditioned(16, 9);
-        let out1 = invert(&cluster, &a, &InversionConfig::with_nb(4)).unwrap();
-        let out2 = invert(&cluster, &a, &InversionConfig::with_nb(4)).unwrap();
-        assert!(
-            out1.inverse.approx_eq(&out2.inverse, 0.0),
-            "same input, same output"
-        );
-        assert_ne!(
-            out1.report.workdir, out2.report.workdir,
-            "consecutive runs get distinct directories"
-        );
-    }
 
     #[test]
     fn run_fingerprint_tracks_configuration() {
-        let cluster = test_cluster(4);
+        let cluster = Cluster::medium(4);
         let cfg = InversionConfig::with_nb(8);
         let plan = PartitionPlan::new(32, &cluster, &cfg, "Root");
         let fp = run_fingerprint(&plan, &cfg.opts);
@@ -374,80 +103,5 @@ mod tests {
         assert_ne!(fp, run_fingerprint(&plan, &other_opts));
         let other_plan = PartitionPlan::new(32, &cluster, &InversionConfig::with_nb(16), "Root");
         assert_ne!(fp, run_fingerprint(&other_plan, &cfg.opts));
-    }
-
-    #[test]
-    fn optimizations_do_not_change_results() {
-        let a = random_invertible(24, 11);
-        let reference = {
-            let cluster = test_cluster(4);
-            invert(&cluster, &a, &InversionConfig::with_nb(6))
-                .unwrap()
-                .inverse
-        };
-        let mut cfg = InversionConfig::with_nb(6);
-        cfg.opts = Optimizations::none();
-        let cluster = test_cluster(4);
-        let unopt = invert(&cluster, &a, &cfg).unwrap().inverse;
-        assert!(unopt.approx_eq(&reference, 1e-9));
-    }
-
-    #[test]
-    fn unoptimized_run_costs_more_io() {
-        let a = random_well_conditioned(32, 13);
-        let opt = {
-            let cluster = test_cluster(4);
-            invert(&cluster, &a, &InversionConfig::with_nb(8))
-                .unwrap()
-                .report
-        };
-        let mut cfg = InversionConfig::with_nb(8);
-        cfg.opts = Optimizations::none();
-        let unopt = {
-            let cluster = test_cluster(4);
-            invert(&cluster, &a, &cfg).unwrap().report
-        };
-        assert!(
-            unopt.dfs_bytes_read > opt.dfs_bytes_read,
-            "no block wrap => more read I/O ({} vs {})",
-            unopt.dfs_bytes_read,
-            opt.dfs_bytes_read
-        );
-        assert!(
-            unopt.dfs_bytes_written > opt.dfs_bytes_written,
-            "combining writes more"
-        );
-    }
-
-    #[test]
-    fn singular_input_errors_cleanly() {
-        let cluster = test_cluster(2);
-        let mut a = random_well_conditioned(16, 15);
-        let row = a.row(2).to_vec();
-        a.row_mut(9).copy_from_slice(&row);
-        assert!(invert(&cluster, &a, &InversionConfig::with_nb(4)).is_err());
-    }
-
-    #[test]
-    fn non_square_input_rejected() {
-        let cluster = test_cluster(2);
-        let a = Matrix::zeros(4, 6);
-        assert!(invert(&cluster, &a, &InversionConfig::default()).is_err());
-    }
-
-    #[test]
-    fn one_node_cluster_end_to_end() {
-        let cluster = test_cluster(1);
-        let a = random_well_conditioned(20, 21);
-        let out = invert(&cluster, &a, &InversionConfig::with_nb(5)).unwrap();
-        assert!(inversion_residual(&a, &out.inverse).unwrap() < PAPER_ACCURACY);
-    }
-
-    #[test]
-    fn many_node_cluster_end_to_end() {
-        let cluster = test_cluster(16);
-        let a = random_well_conditioned(64, 23);
-        let out = invert(&cluster, &a, &InversionConfig::with_nb(16)).unwrap();
-        assert!(inversion_residual(&a, &out.inverse).unwrap() < PAPER_ACCURACY);
     }
 }

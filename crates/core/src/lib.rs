@@ -8,7 +8,7 @@
 //! # Quick start
 //!
 //! ```
-//! use mrinv::{invert, InversionConfig};
+//! use mrinv::{InversionConfig, Request};
 //! use mrinv_mapreduce::Cluster;
 //! use mrinv_matrix::random::random_well_conditioned;
 //! use mrinv_matrix::norms::inversion_residual;
@@ -17,10 +17,13 @@
 //! let cluster = Cluster::medium(4);
 //! let a = random_well_conditioned(64, 42);
 //!
-//! let out = invert(&cluster, &a, &InversionConfig::with_nb(16)).unwrap();
-//! assert!(inversion_residual(&a, &out.inverse).unwrap() < 1e-5);
+//! let out = Request::invert(&a)
+//!     .config(&InversionConfig::with_nb(16))
+//!     .submit(&cluster)
+//!     .unwrap();
 //! // The pipeline ran partition + 3 LU jobs + final inversion.
 //! assert_eq!(out.report.jobs, mrinv::schedule::total_jobs(64, 16));
+//! assert!(inversion_residual(&a, out.inverse().unwrap()).unwrap() < 1e-5);
 //! ```
 //!
 //! # Architecture
@@ -30,6 +33,15 @@
 //! | Partition input (Algorithm 3) | 1 map-only | [`partition`] |
 //! | Block LU (Algorithm 2, Eq. 6) | `2^⌈log2(n/nb)⌉ − 1` | [`lu_mr`] |
 //! | Triangular inverses + product (Eq. 4) | 1 | [`tri_inv_mr`] |
+//!
+//! Every consumer enters through the [`Request`] builder in [`request`]
+//! (inversion, LU decomposition, and linear solves behind one fluent
+//! API), optionally backed by the keyed [`cache::FactorCache`] so a
+//! repeated request for the same (matrix, configuration) serves from the
+//! already-computed factor forest with zero pipeline jobs. The
+//! [`service`] module projects the same API over TCP as the
+//! multi-tenant `mrinv-serve` daemon, with [`client`] as its blocking
+//! counterpart.
 //!
 //! Supporting pieces: [`schedule`] (the precomputed pipeline shape),
 //! [`audit`] (the cost-model audit: predicted-vs-priced task residuals),
@@ -41,13 +53,15 @@
 //! "Spark-style" dataflow), and [`config`] (the Section 6 optimization
 //! toggles). Beyond the paper: [`ops`] (distributed multiply, transpose,
 //! and element-wise combine — the SystemML-style neighbours inversion
-//! composes with) and [`solve`] (linear solves, determinants, condition
-//! estimates, and Newton–Schulz-refined inverses on top of the
-//! distributed factors).
+//! composes with) and [`solve`] (determinants, condition estimates, and
+//! Newton–Schulz-refined inverses on top of the distributed factors).
 
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod cache;
+pub mod cli;
+pub mod client;
 pub mod config;
 pub mod error;
 pub mod factors;
@@ -59,17 +73,19 @@ pub mod ops;
 pub mod partition;
 pub mod remote;
 pub mod report;
+pub mod request;
 pub mod schedule;
+pub mod service;
 pub mod solve;
 pub mod source;
 pub mod theory;
 pub mod tri_inv_mr;
 
+pub use cache::{cache_key, CacheStats, FactorCache};
 pub use config::{InversionConfig, Optimizations};
 pub use error::{CoreError, Result};
-pub use inverse::{
-    invert, invert_run, lu, lu_run, run_fingerprint, Checkpoint, InverseOutput, LuOutput,
-};
+pub use inverse::{run_fingerprint, Checkpoint};
 pub use mrinv_mapreduce::{PipelineDriver, RunId};
 pub use remote::exec_registry;
 pub use report::RunReport;
+pub use request::{CacheStatus, LuFactors, Op, Outcome, Request};

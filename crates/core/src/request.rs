@@ -1,0 +1,831 @@
+//! The unified front door: one fluent [`Request`] builder for inversion,
+//! LU decomposition, and linear solves, returning one typed [`Outcome`].
+//!
+//! ```
+//! use mrinv::{InversionConfig, Request};
+//! use mrinv_mapreduce::Cluster;
+//! use mrinv_matrix::random::random_well_conditioned;
+//!
+//! let cluster = Cluster::medium(4);
+//! let a = random_well_conditioned(32, 7);
+//! let out = Request::invert(&a)
+//!     .config(&InversionConfig::with_nb(8))
+//!     .submit(&cluster)
+//!     .unwrap();
+//! assert_eq!(out.report.jobs, mrinv::schedule::total_jobs(32, 8));
+//! let _inverse = out.into_inverse();
+//! ```
+//!
+//! Every consumer — the CLI, the `mrinv-serve` network service, the repro
+//! experiments, and the tests — goes through this one type; the server is
+//! just the network projection of it. A request can pin its run directory
+//! and checkpoint mode (the crash/resume contract of the historical
+//! `invert_run`), attach right-hand sides to any operation, and attach a
+//! [`FactorCache`] so repeated requests for the same (matrix, config)
+//! skip the pipeline entirely.
+
+use std::sync::Arc;
+
+use mrinv_mapreduce::{Cluster, RunId};
+use mrinv_matrix::triangular::{back_substitution, forward_substitution};
+use mrinv_matrix::{Matrix, Permutation};
+
+use crate::cache::{cache_key, AssembledFactors, CacheEntryView, FactorCache};
+use crate::config::InversionConfig;
+use crate::error::{CoreError, Result};
+use crate::inverse::{fresh_run_id, make_driver, run_fingerprint, Checkpoint};
+use crate::lu_mr::{lu_decompose_mr, BlockView};
+use crate::partition::{ingest_input, run_partition_job, PartitionPlan};
+use crate::report::RunReport;
+use crate::source::MasterIo;
+use crate::tri_inv_mr::invert_factors_mr;
+
+/// What a [`Request`] computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Full pipeline of Figure 2: partition job → LU pipeline → final
+    /// inversion job.
+    Invert,
+    /// Partition + LU pipeline only; the factors are assembled on the
+    /// master for the caller.
+    Lu,
+    /// Partition + LU pipeline, then master-side substitution
+    /// (`L·y = P·b`, `U·x = y`) per right-hand side.
+    Solve,
+}
+
+impl Op {
+    /// Stable lowercase name (obs labels, wire protocol, CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Invert => "invert",
+            Op::Lu => "lu",
+            Op::Solve => "solve",
+        }
+    }
+}
+
+/// Whether (and how) the factor cache participated in an [`Outcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// No cache was attached to the request.
+    Bypass,
+    /// A cache was attached but held no usable entry; the pipeline ran
+    /// (and primed the cache for next time).
+    Miss,
+    /// Served from cached factors: zero pipeline jobs, zero simulated
+    /// seconds.
+    Hit,
+}
+
+/// Assembled LU factors returned by an [`Op::Lu`] outcome.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    /// Unit lower-triangular factor.
+    pub l: Matrix,
+    /// Upper-triangular factor.
+    pub u: Matrix,
+    /// Pivot permutation with `P·A = L·U`.
+    pub perm: Permutation,
+}
+
+/// A fully described unit of work against a cluster: operation, input,
+/// configuration, run placement, and (optionally) a factor cache.
+#[derive(Debug)]
+pub struct Request<'a> {
+    a: &'a Matrix,
+    op: Op,
+    rhs: Vec<Vec<f64>>,
+    cfg: InversionConfig,
+    run: Option<RunId>,
+    mode: Checkpoint,
+    cache: Option<&'a FactorCache>,
+}
+
+impl<'a> Request<'a> {
+    fn new(a: &'a Matrix, op: Op) -> Self {
+        Request {
+            a,
+            op,
+            rhs: Vec::new(),
+            cfg: InversionConfig::default(),
+            run: None,
+            mode: Checkpoint::Disabled,
+            cache: None,
+        }
+    }
+
+    /// An inversion request for `a`.
+    pub fn invert(a: &'a Matrix) -> Self {
+        Request::new(a, Op::Invert)
+    }
+
+    /// An LU-decomposition request for `a`.
+    pub fn lu(a: &'a Matrix) -> Self {
+        Request::new(a, Op::Lu)
+    }
+
+    /// A linear-solve request for `a`; add right-hand sides with
+    /// [`Request::rhs`].
+    pub fn solve(a: &'a Matrix) -> Self {
+        Request::new(a, Op::Solve)
+    }
+
+    /// Adds one right-hand side `b` (length `n`). Valid on any operation:
+    /// a solve requires at least one, while invert/lu requests with
+    /// right-hand sides additionally return the substituted solutions.
+    pub fn rhs(mut self, b: impl Into<Vec<f64>>) -> Self {
+        self.rhs.push(b.into());
+        self
+    }
+
+    /// Adds many right-hand sides at once.
+    pub fn rhs_all(mut self, rhs: impl IntoIterator<Item = Vec<f64>>) -> Self {
+        self.rhs.extend(rhs);
+        self
+    }
+
+    /// Sets the inversion configuration (block bound and optimization
+    /// toggles). Defaults to [`InversionConfig::default`].
+    pub fn config(mut self, cfg: &InversionConfig) -> Self {
+        self.cfg = cfg.clone();
+        self
+    }
+
+    /// Shorthand for [`Request::config`] with
+    /// [`InversionConfig::with_nb`].
+    pub fn nb(mut self, nb: usize) -> Self {
+        self.cfg = InversionConfig::with_nb(nb);
+        self
+    }
+
+    /// Pins the run directory without checkpointing (the historical
+    /// `*_run(..., Checkpoint::Disabled)` behaviour).
+    pub fn workdir(mut self, run: &RunId) -> Self {
+        self.run = Some(run.clone());
+        self.mode = Checkpoint::Disabled;
+        self
+    }
+
+    /// Pins the run directory and records a checkpoint manifest after
+    /// each completed job, discarding any stale manifest first.
+    pub fn checkpoint(mut self, run: &RunId) -> Self {
+        self.run = Some(run.clone());
+        self.mode = Checkpoint::Enabled;
+        self
+    }
+
+    /// Pins the run directory and replays its existing manifest: jobs
+    /// whose configuration still matches and whose outputs survive are
+    /// restored, the rest re-run (checkpointing stays on for them).
+    /// Errors at submit time if no manifest exists.
+    pub fn resume(mut self, run: &RunId) -> Self {
+        self.run = Some(run.clone());
+        self.mode = Checkpoint::Resume;
+        self
+    }
+
+    /// Attaches a factor cache. A usable entry (same matrix bytes, same
+    /// configuration, same cluster geometry, all factor files still
+    /// present) short-circuits the pipeline — the cache takes precedence
+    /// over any pinned run directory or checkpoint mode. A miss runs the
+    /// pipeline and primes the cache.
+    pub fn cache(mut self, cache: &'a FactorCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Executes the request on `cluster`.
+    ///
+    /// Cold runs are bit-identical to the historical free functions: the
+    /// same driver, job sequence, manifest fingerprints, and master-side
+    /// assembly. With [`Checkpoint::Enabled`], a driver crash mid-pipeline
+    /// (e.g. [`mrinv_mapreduce::FaultPlan::kill_driver_after`], surfacing
+    /// as [`mrinv_mapreduce::MrError::DriverKilled`]) leaves a manifest
+    /// behind; resubmitting with [`Request::resume`] restores the
+    /// completed prefix and re-runs only the remainder.
+    pub fn submit(self, cluster: &Cluster) -> Result<Outcome> {
+        let n = self.a.order()?;
+        for (i, b) in self.rhs.iter().enumerate() {
+            if b.len() != n {
+                return Err(CoreError::Invariant(format!(
+                    "rhs {i} has length {}, expected {n}",
+                    b.len()
+                )));
+            }
+        }
+        if self.op == Op::Solve && self.rhs.is_empty() {
+            return Err(CoreError::Invariant(
+                "a solve request needs at least one right-hand side (Request::rhs)".to_string(),
+            ));
+        }
+        if let Some(cache) = self.cache {
+            let key = cache_key(self.a, &self.cfg, cluster);
+            let need_inverse = self.op == Op::Invert;
+            if let Some(view) = cache.lookup(key, need_inverse, &cluster.dfs) {
+                return self.serve_hit(cluster, cache, key, view, n);
+            }
+        }
+        self.run_pipeline(cluster, n)
+    }
+
+    /// Serves the request from the attached cache if (and only if) a
+    /// usable entry exists; returns `Ok(None)` on a miss *without*
+    /// counting it or running the pipeline. The `mrinv-serve` handler
+    /// threads use this to answer hits concurrently while cold requests
+    /// queue for the single pipeline executor.
+    pub(crate) fn submit_cached_only(self, cluster: &Cluster) -> Result<Option<Outcome>> {
+        let n = self.a.order()?;
+        for (i, b) in self.rhs.iter().enumerate() {
+            if b.len() != n {
+                return Err(CoreError::Invariant(format!(
+                    "rhs {i} has length {}, expected {n}",
+                    b.len()
+                )));
+            }
+        }
+        if self.op == Op::Solve && self.rhs.is_empty() {
+            return Err(CoreError::Invariant(
+                "a solve request needs at least one right-hand side (Request::rhs)".to_string(),
+            ));
+        }
+        let Some(cache) = self.cache else {
+            return Ok(None);
+        };
+        let key = cache_key(self.a, &self.cfg, cluster);
+        let need_inverse = self.op == Op::Invert;
+        match cache.peek(key, need_inverse, &cluster.dfs) {
+            Some(view) => self.serve_hit(cluster, cache, key, view, n).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Serves the request from a validated cache entry: no driver, no
+    /// jobs, no counted I/O. The report carries zero pipeline numbers and
+    /// names the priming run's directory.
+    fn serve_hit(
+        self,
+        cluster: &Cluster,
+        cache: &FactorCache,
+        key: u64,
+        view: CacheEntryView,
+        n: usize,
+    ) -> Result<Outcome> {
+        let needs_factors = self.op != Op::Invert || !self.rhs.is_empty();
+        let assembled = if needs_factors {
+            Some(cache.assembled(key, &cluster.dfs)?)
+        } else {
+            None
+        };
+        let mut solutions = Vec::with_capacity(self.rhs.len());
+        for b in &self.rhs {
+            let f = assembled.as_ref().expect("assembled when rhs present");
+            solutions.push(substitute(f, b)?);
+        }
+        let factors = match (self.op, &assembled) {
+            (Op::Lu, Some(f)) => Some(LuFactors {
+                l: f.l.clone(),
+                u: f.u.clone(),
+                perm: f.perm.clone(),
+            }),
+            _ => None,
+        };
+        let report = RunReport {
+            n,
+            nodes: cluster.nodes(),
+            nb: view.nb,
+            workdir: view.workdir,
+            backend: "factor-cache".to_string(),
+            ..RunReport::default()
+        };
+        Ok(Outcome {
+            op: self.op,
+            inverse: view.inverse,
+            factors,
+            solutions,
+            cache: CacheStatus::Hit,
+            report,
+        })
+    }
+
+    /// The cold path: the exact pipeline the historical entry points ran.
+    fn run_pipeline(self, cluster: &Cluster, n: usize) -> Result<Outcome> {
+        let run = match &self.run {
+            Some(run) => run.clone(),
+            None => fresh_run_id(cluster),
+        };
+        let plan = PartitionPlan::new(n, cluster, &self.cfg, run.dir());
+        ingest_input(cluster, self.a, &plan)?;
+
+        // Invert runs every job; lu/solve stop before the final inversion
+        // job.
+        let planned_jobs = match self.op {
+            Op::Invert => crate::schedule::total_jobs(n, self.cfg.nb),
+            Op::Lu | Op::Solve => crate::schedule::total_jobs(n, self.cfg.nb) - 1,
+        };
+        let mut driver = make_driver(cluster, &run, self.mode)?;
+        driver.set_config_fingerprint(run_fingerprint(&plan, &self.cfg.opts));
+        if cluster.config.progress {
+            driver.enable_progress(planned_jobs);
+        }
+        let (tree, _) = run_partition_job(&mut driver, &plan)?;
+        let factors = lu_decompose_mr(&mut driver, BlockView::Tree(tree), &plan, &self.cfg.opts)?;
+        let inverse = match self.op {
+            Op::Invert => Some(invert_factors_mr(
+                &mut driver,
+                &factors,
+                &plan,
+                &self.cfg.opts,
+            )?),
+            Op::Lu | Op::Solve => None,
+        };
+
+        let mut report = driver.finish(n, self.cfg.nb);
+        if cluster.trace.is_enabled() {
+            report.audit = Some(crate::audit::cost_audit(
+                cluster,
+                driver.reports(),
+                planned_jobs,
+                n,
+                self.cfg.nb,
+                report.dfs_bytes_written,
+            ));
+        }
+
+        // Master-side assembly reads the factor file forest back outside
+        // the measured window, exactly as the historical `lu`/`solve`
+        // entry points did (the paper's downstream consumers read the
+        // files directly).
+        let needs_factors = self.op != Op::Invert || !self.rhs.is_empty();
+        let assembled = if needs_factors {
+            let mut io = MasterIo::new(&cluster.dfs);
+            let l = factors.assemble_l(&mut io)?;
+            let u = factors.assemble_u(&mut io)?;
+            Some(Arc::new(AssembledFactors {
+                l,
+                u,
+                perm: factors.perm(),
+            }))
+        } else {
+            None
+        };
+
+        let mut solutions = Vec::with_capacity(self.rhs.len());
+        for b in &self.rhs {
+            let f = assembled.as_ref().expect("assembled when rhs present");
+            solutions.push(substitute(f, b)?);
+        }
+
+        if let Some(cache) = self.cache {
+            let key = cache_key(self.a, &self.cfg, cluster);
+            cache.insert(
+                key,
+                self.cfg.nb,
+                factors.clone(),
+                inverse.clone(),
+                assembled.clone(),
+                report.workdir.clone(),
+            );
+        }
+
+        let out_factors = match (self.op, &assembled) {
+            (Op::Lu, Some(f)) => Some(LuFactors {
+                l: f.l.clone(),
+                u: f.u.clone(),
+                perm: f.perm.clone(),
+            }),
+            _ => None,
+        };
+        Ok(Outcome {
+            op: self.op,
+            inverse,
+            factors: out_factors,
+            solutions,
+            cache: if self.cache.is_some() {
+                CacheStatus::Miss
+            } else {
+                CacheStatus::Bypass
+            },
+            report,
+        })
+    }
+}
+
+/// `x` with `A·x = b` via the assembled factors: `P·b`, forward, back.
+pub(crate) fn substitute(f: &AssembledFactors, b: &[f64]) -> Result<Vec<f64>> {
+    let n = f.perm.len();
+    // P·b: entry i of the permuted vector is b[S[i]].
+    let pb: Vec<f64> = (0..n).map(|i| b[f.perm.source_of(i)]).collect();
+    let y = forward_substitution(&f.l, &pb)?;
+    Ok(back_substitution(&f.u, &y)?)
+}
+
+/// The typed result of a [`Request`]: whichever products the operation
+/// yields, plus run accounting and the cache verdict.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    op: Op,
+    inverse: Option<Matrix>,
+    factors: Option<LuFactors>,
+    solutions: Vec<Vec<f64>>,
+    /// Whether the factor cache served this request.
+    pub cache: CacheStatus,
+    /// Run accounting: the pipeline's delta report on a cold run, all
+    /// zero pipeline numbers (jobs, simulated seconds, I/O) on a cache
+    /// hit.
+    pub report: RunReport,
+}
+
+impl Outcome {
+    /// The operation that produced this outcome.
+    pub fn op(&self) -> Op {
+        self.op
+    }
+
+    /// The computed inverse ([`Op::Invert`] outcomes only).
+    pub fn inverse(&self) -> Option<&Matrix> {
+        self.inverse.as_ref()
+    }
+
+    /// Consumes the outcome, returning the inverse.
+    ///
+    /// # Panics
+    /// If the request was not an invert.
+    pub fn into_inverse(self) -> Matrix {
+        self.inverse
+            .unwrap_or_else(|| panic!("outcome of {:?} has no inverse", self.op))
+    }
+
+    /// The assembled factors ([`Op::Lu`] outcomes only).
+    pub fn factors(&self) -> Option<&LuFactors> {
+        self.factors.as_ref()
+    }
+
+    /// Consumes the outcome, returning the assembled factors.
+    ///
+    /// # Panics
+    /// If the request was not an LU decomposition.
+    pub fn into_factors(self) -> LuFactors {
+        self.factors
+            .unwrap_or_else(|| panic!("outcome of {:?} has no assembled factors", self.op))
+    }
+
+    /// Solutions, one per right-hand side (in the order they were added).
+    pub fn solutions(&self) -> &[Vec<f64>] {
+        &self.solutions
+    }
+
+    /// Consumes the outcome, returning the solutions.
+    pub fn into_solutions(self) -> Vec<Vec<f64>> {
+        self.solutions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Optimizations;
+    use mrinv_mapreduce::{ClusterConfig, CostModel};
+    use mrinv_matrix::norms::{inversion_residual, vec_norm};
+    use mrinv_matrix::random::{random_invertible, random_well_conditioned};
+    use mrinv_matrix::PAPER_ACCURACY;
+
+    fn test_cluster(m0: usize) -> Cluster {
+        let mut cfg = ClusterConfig::medium(m0);
+        cfg.cost = CostModel::unit_for_tests();
+        Cluster::new(cfg)
+    }
+
+    #[test]
+    fn end_to_end_inversion_is_accurate() {
+        let cluster = test_cluster(4);
+        let a = random_well_conditioned(48, 1);
+        let out = Request::invert(&a).nb(12).submit(&cluster).unwrap();
+        assert_eq!(out.cache, CacheStatus::Bypass);
+        let res = inversion_residual(&a, out.inverse().unwrap()).unwrap();
+        assert!(res < PAPER_ACCURACY, "residual {res}");
+    }
+
+    #[test]
+    fn inversion_matches_in_memory_reference() {
+        let cluster = test_cluster(4);
+        let a = random_invertible(40, 2);
+        let out = Request::invert(&a).nb(10).submit(&cluster).unwrap();
+        let reference = crate::inmem::invert_block(&a, 10).unwrap();
+        assert!(out.into_inverse().approx_eq(&reference, 1e-7));
+    }
+
+    #[test]
+    fn job_count_matches_schedule() {
+        for &(n, nb) in &[(32usize, 8usize), (64, 8), (16, 16), (48, 6)] {
+            let cluster = test_cluster(4);
+            let a = random_invertible(n, n as u64);
+            let out = Request::invert(&a).nb(nb).submit(&cluster).unwrap();
+            assert_eq!(
+                out.report.jobs,
+                crate::schedule::total_jobs(n, nb),
+                "n={n} nb={nb}"
+            );
+        }
+    }
+
+    #[test]
+    fn lu_request_returns_valid_factors() {
+        let cluster = test_cluster(4);
+        let a = random_invertible(32, 5);
+        let out = Request::lu(&a).nb(8).submit(&cluster).unwrap();
+        let report_jobs = out.report.jobs;
+        let f = out.into_factors();
+        let pa = f.perm.apply_rows(&a);
+        assert!((&f.l * &f.u).approx_eq(&pa, 1e-8));
+        // LU alone runs the partition + pipeline jobs, no final job.
+        assert_eq!(report_jobs, crate::schedule::total_jobs(32, 8) - 1);
+    }
+
+    #[test]
+    fn report_accounts_io_and_time() {
+        let cluster = test_cluster(4);
+        let a = random_well_conditioned(32, 7);
+        let out = Request::invert(&a).nb(8).submit(&cluster).unwrap();
+        let r = &out.report;
+        assert_eq!(r.n, 32);
+        assert_eq!(r.nodes, 4);
+        assert!(r.sim_secs > 0.0);
+        assert!(r.master_secs > 0.0);
+        assert!(
+            r.dfs_bytes_written as f64 > (32.0 * 32.0) * 8.0,
+            "at least the partition"
+        );
+        assert!(r.dfs_bytes_read > 0);
+        assert_eq!(r.task_failures, 0);
+        assert!((r.hours - r.sim_secs / 3600.0).abs() < 1e-12);
+        // A plain run restores nothing and names its workdir.
+        assert_eq!(r.restored_jobs, 0);
+        assert_eq!(r.restored_sim_secs, 0.0);
+        assert!(r.workdir.starts_with("mrinv/run-"), "workdir {}", r.workdir);
+    }
+
+    #[test]
+    fn traced_run_reports_analytics_and_exports() {
+        let mut ccfg = ClusterConfig::medium(4);
+        ccfg.cost = CostModel::unit_for_tests();
+        ccfg.tracing = true;
+        let cluster = Cluster::new(ccfg);
+        let a = random_well_conditioned(32, 31);
+        let out = Request::invert(&a).nb(8).submit(&cluster).unwrap();
+        let analytics = out.report.analytics.as_ref().expect("tracing enabled");
+        // Every job contributes at least its map wave.
+        assert!(analytics.waves.len() >= out.report.jobs as usize);
+        assert_eq!(analytics.retried_attempts, 0);
+        assert!(analytics.total_task_secs > 0.0);
+        assert!(analytics.worst_straggler_ratio() >= 1.0);
+        // The whole run exports as a valid Chrome trace with one process
+        // per pipeline job (plus the cluster/master process).
+        let events = cluster.trace.events();
+        let json = mrinv_mapreduce::chrome_trace_json(&events);
+        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let spans = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let job_pids: std::collections::BTreeSet<u64> = spans
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .filter_map(|e| e.get("pid").and_then(|p| p.as_u64()))
+            .filter(|&pid| pid > 0)
+            .collect();
+        assert_eq!(
+            job_pids.len() as u64,
+            out.report.jobs,
+            "one trace process per job"
+        );
+
+        // Without tracing, the identical run carries no analytics.
+        let plain = test_cluster(4);
+        let out2 = Request::invert(&a).nb(8).submit(&plain).unwrap();
+        assert!(out2.report.analytics.is_none());
+        assert!(out2
+            .inverse()
+            .unwrap()
+            .approx_eq(out.inverse().unwrap(), 0.0));
+    }
+
+    #[test]
+    fn runs_are_isolated_by_workdir() {
+        let cluster = test_cluster(2);
+        let a = random_well_conditioned(16, 9);
+        let out1 = Request::invert(&a).nb(4).submit(&cluster).unwrap();
+        let out2 = Request::invert(&a).nb(4).submit(&cluster).unwrap();
+        assert!(
+            out1.inverse()
+                .unwrap()
+                .approx_eq(out2.inverse().unwrap(), 0.0),
+            "same input, same output"
+        );
+        assert_ne!(
+            out1.report.workdir, out2.report.workdir,
+            "consecutive runs get distinct directories"
+        );
+    }
+
+    #[test]
+    fn optimizations_do_not_change_results() {
+        let a = random_invertible(24, 11);
+        let reference = {
+            let cluster = test_cluster(4);
+            Request::invert(&a)
+                .nb(6)
+                .submit(&cluster)
+                .unwrap()
+                .into_inverse()
+        };
+        let mut cfg = InversionConfig::with_nb(6);
+        cfg.opts = Optimizations::none();
+        let cluster = test_cluster(4);
+        let unopt = Request::invert(&a)
+            .config(&cfg)
+            .submit(&cluster)
+            .unwrap()
+            .into_inverse();
+        assert!(unopt.approx_eq(&reference, 1e-9));
+    }
+
+    #[test]
+    fn unoptimized_run_costs_more_io() {
+        let a = random_well_conditioned(32, 13);
+        let opt = {
+            let cluster = test_cluster(4);
+            Request::invert(&a).nb(8).submit(&cluster).unwrap().report
+        };
+        let mut cfg = InversionConfig::with_nb(8);
+        cfg.opts = Optimizations::none();
+        let unopt = {
+            let cluster = test_cluster(4);
+            Request::invert(&a)
+                .config(&cfg)
+                .submit(&cluster)
+                .unwrap()
+                .report
+        };
+        assert!(
+            unopt.dfs_bytes_read > opt.dfs_bytes_read,
+            "no block wrap => more read I/O ({} vs {})",
+            unopt.dfs_bytes_read,
+            opt.dfs_bytes_read
+        );
+        assert!(
+            unopt.dfs_bytes_written > opt.dfs_bytes_written,
+            "combining writes more"
+        );
+    }
+
+    #[test]
+    fn singular_input_errors_cleanly() {
+        let cluster = test_cluster(2);
+        let mut a = random_well_conditioned(16, 15);
+        let row = a.row(2).to_vec();
+        a.row_mut(9).copy_from_slice(&row);
+        assert!(Request::invert(&a).nb(4).submit(&cluster).is_err());
+    }
+
+    #[test]
+    fn non_square_input_rejected() {
+        let cluster = test_cluster(2);
+        let a = Matrix::zeros(4, 6);
+        assert!(Request::invert(&a).submit(&cluster).is_err());
+    }
+
+    #[test]
+    fn one_node_cluster_end_to_end() {
+        let cluster = test_cluster(1);
+        let a = random_well_conditioned(20, 21);
+        let out = Request::invert(&a).nb(5).submit(&cluster).unwrap();
+        assert!(inversion_residual(&a, out.inverse().unwrap()).unwrap() < PAPER_ACCURACY);
+    }
+
+    #[test]
+    fn many_node_cluster_end_to_end() {
+        let cluster = test_cluster(16);
+        let a = random_well_conditioned(64, 23);
+        let out = Request::invert(&a).nb(16).submit(&cluster).unwrap();
+        assert!(inversion_residual(&a, out.inverse().unwrap()).unwrap() < PAPER_ACCURACY);
+    }
+
+    #[test]
+    fn solve_recovers_known_solutions() {
+        let c = test_cluster(4);
+        let n = 48;
+        let a = random_invertible(n, 3);
+        let xs: Vec<Vec<f64>> = (0..3)
+            .map(|k| (0..n).map(|i| ((i + k) as f64 * 0.31).cos()).collect())
+            .collect();
+        let rhs: Vec<Vec<f64>> = xs.iter().map(|x| a.mul_vec(x).unwrap()).collect();
+        let out = Request::solve(&a).rhs_all(rhs).nb(12).submit(&c).unwrap();
+        for (got, want) in out.solutions().iter().zip(&xs) {
+            let err: Vec<f64> = got.iter().zip(want).map(|(g, w)| g - w).collect();
+            assert!(vec_norm(&err) / vec_norm(want) < 1e-9);
+        }
+        assert!(out.report.jobs > 0);
+        assert!(out.inverse().is_none(), "solve computes no inverse");
+    }
+
+    #[test]
+    fn solve_validates_rhs() {
+        let c = test_cluster(4);
+        let a = random_well_conditioned(8, 1);
+        // Wrong-length rhs is rejected before any job runs.
+        let err = Request::solve(&a).rhs(vec![0.0; 7]).nb(4).submit(&c);
+        assert!(err.is_err());
+        // A solve with no rhs at all is rejected too.
+        assert!(Request::solve(&a).nb(4).submit(&c).is_err());
+        assert_eq!(c.metrics.snapshot().jobs, 0, "validation is free");
+    }
+
+    #[test]
+    fn invert_with_rhs_returns_both_products() {
+        let c = test_cluster(2);
+        let n = 16;
+        let a = random_invertible(n, 40);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin()).collect();
+        let b = a.mul_vec(&x).unwrap();
+        let out = Request::invert(&a).rhs(b).nb(4).submit(&c).unwrap();
+        assert!(out.inverse().is_some());
+        let got = &out.solutions()[0];
+        let err: Vec<f64> = got.iter().zip(&x).map(|(g, w)| g - w).collect();
+        assert!(vec_norm(&err) / vec_norm(&x) < 1e-9);
+    }
+
+    #[test]
+    fn cached_solve_after_warm_lu_runs_zero_jobs() {
+        let c = test_cluster(4);
+        let cache = FactorCache::new();
+        let n = 32;
+        let a = random_invertible(n, 50);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.07).cos()).collect();
+        let b = a.mul_vec(&x).unwrap();
+
+        // Warm: a cold lu primes the cache.
+        let warm = Request::lu(&a).nb(8).cache(&cache).submit(&c).unwrap();
+        assert_eq!(warm.cache, CacheStatus::Miss);
+        let jobs_after_warm = c.metrics.snapshot().jobs;
+        let files_after_warm = c.dfs.file_count();
+        let io_after_warm = c.dfs.counters();
+
+        // Hit: zero pipeline jobs, zero simulated seconds, no counted I/O,
+        // no new DFS files.
+        let hit = Request::solve(&a)
+            .rhs(b.clone())
+            .nb(8)
+            .cache(&cache)
+            .submit(&c)
+            .unwrap();
+        assert_eq!(hit.cache, CacheStatus::Hit);
+        assert_eq!(hit.report.jobs, 0);
+        assert_eq!(hit.report.sim_secs, 0.0);
+        assert_eq!(hit.report.backend, "factor-cache");
+        assert_eq!(c.metrics.snapshot().jobs, jobs_after_warm);
+        assert_eq!(c.dfs.file_count(), files_after_warm);
+        assert_eq!(c.dfs.counters(), io_after_warm, "hits are uncounted");
+
+        // And the answer is bit-identical to a cold solve.
+        let cold = Request::solve(&a).rhs(b).nb(8).submit(&c).unwrap();
+        assert_eq!(hit.solutions(), cold.solutions());
+
+        // An invert against the lu-primed entry is a miss (no inverse
+        // stored) and upgrades the entry; the next invert hits.
+        let miss = Request::invert(&a).nb(8).cache(&cache).submit(&c).unwrap();
+        assert_eq!(miss.cache, CacheStatus::Miss);
+        let hit2 = Request::invert(&a).nb(8).cache(&cache).submit(&c).unwrap();
+        assert_eq!(hit2.cache, CacheStatus::Hit);
+        assert!(hit2
+            .inverse()
+            .unwrap()
+            .approx_eq(miss.inverse().unwrap(), 0.0));
+    }
+
+    #[test]
+    fn cache_misses_on_any_perturbation() {
+        let c = test_cluster(4);
+        let cache = FactorCache::new();
+        let a = random_invertible(16, 60);
+        let _ = Request::lu(&a).nb(4).cache(&cache).submit(&c).unwrap();
+
+        // Different nb: miss.
+        let out = Request::lu(&a).nb(8).cache(&cache).submit(&c).unwrap();
+        assert_eq!(out.cache, CacheStatus::Miss);
+        // Different opts: miss.
+        let mut cfg = InversionConfig::with_nb(4);
+        cfg.opts = Optimizations::none();
+        let out = Request::lu(&a)
+            .config(&cfg)
+            .cache(&cache)
+            .submit(&c)
+            .unwrap();
+        assert_eq!(out.cache, CacheStatus::Miss);
+        // Perturbed matrix: miss.
+        let mut a2 = a.clone();
+        a2[(0, 0)] += 1e-13;
+        let out = Request::lu(&a2).nb(4).cache(&cache).submit(&c).unwrap();
+        assert_eq!(out.cache, CacheStatus::Miss);
+        // The original still hits.
+        let out = Request::lu(&a).nb(4).cache(&cache).submit(&c).unwrap();
+        assert_eq!(out.cache, CacheStatus::Hit);
+    }
+}

@@ -1,0 +1,768 @@
+//! `mrinv-serve`: the multi-tenant inversion service.
+//!
+//! A long-running daemon that accepts concurrent [`crate::Request`]-shaped
+//! work over TCP — `invert(A)`, `lu(A)`, `solve(A, b…)` — from many
+//! tenants against one shared [`Cluster`], backed by one shared
+//! [`FactorCache`]. The wire protocol reuses the worker backend's frame
+//! format (`u32` little-endian length, one tag byte, bincode body; see
+//! [`crate::exec_registry`]'s TCP backend), with two tags:
+//!
+//! | dir | tag | frame      | body                     |
+//! |-----|-----|------------|--------------------------|
+//! | →   | 1   | `Request`  | bincode [`WireRequest`]  |
+//! | ←   | 2   | `Response` | bincode [`WireResponse`] |
+//!
+//! # Threading model
+//!
+//! One accept thread, one handler thread per connection, and **one**
+//! pipeline executor thread. Handler threads serve cache *hits*
+//! themselves (hits touch no driver state and use uncounted DFS reads,
+//! so any number can run concurrently); everything cold is queued for
+//! the executor, which runs pipelines strictly one at a time. That
+//! serialization is what keeps [`crate::RunReport`]s correct — the
+//! cluster's metrics are delta-based, so two interleaved pipeline runs
+//! would corrupt each other's accounting — and it is also the
+//! determinism argument: each cold run sees the DFS exactly as a
+//! sequential run would, so concurrent clients get bit-identical bytes
+//! to back-to-back requests.
+//!
+//! # Admission control, fairness, batching
+//!
+//! Each tenant owns a bounded FIFO queue
+//! ([`ServiceConfig::max_queue_per_tenant`]); a request arriving at a
+//! full queue is rejected immediately rather than admitted and starved.
+//! The executor drains queues tenant-round-robin, so one tenant
+//! submitting a thousand requests cannot lock out another submitting
+//! one. When the executor picks a `solve`, it also drains every other
+//! queued `solve` with the same cache key (any tenant) and serves the
+//! whole batch from a single factorization + substitution pass.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use mrinv_mapreduce::obs::Labels;
+use mrinv_mapreduce::Cluster;
+use mrinv_matrix::io::{decode_binary, encode_binary};
+use mrinv_matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{cache_key, CacheStats, FactorCache};
+use crate::config::{InversionConfig, Optimizations};
+use crate::error::{CoreError, Result};
+use crate::request::{CacheStatus, Op, Outcome, Request};
+
+pub(crate) const TAG_REQUEST: u8 = 1;
+pub(crate) const TAG_RESPONSE: u8 = 2;
+
+/// Writes one `len ∥ tag ∥ body` frame.
+pub(crate) fn write_frame(stream: &mut TcpStream, tag: u8, body: &[u8]) -> std::io::Result<()> {
+    let len = (body.len() + 1) as u32;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(&[tag])?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Reads one frame, returning `(tag, body)`.
+pub(crate) fn read_frame(stream: &mut TcpStream) -> std::io::Result<(u8, Vec<u8>)> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "zero-length frame",
+        ));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    let tag = body[0];
+    body.drain(..1);
+    Ok((tag, body))
+}
+
+/// The operation field of a [`WireRequest`] (unit variants only — the
+/// vendored codec's enum support).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireOp {
+    /// Full inversion.
+    Invert,
+    /// LU factorization; the response carries `L`, `U`, and the pivots.
+    Lu,
+    /// Linear solve of the attached right-hand sides.
+    Solve,
+}
+
+impl WireOp {
+    fn op(self) -> Op {
+        match self {
+            WireOp::Invert => Op::Invert,
+            WireOp::Lu => Op::Lu,
+            WireOp::Solve => Op::Solve,
+        }
+    }
+}
+
+/// One request frame. Matrices ride as the binary codec's bytes
+/// (bit-exact `f64`s), the configuration as its unpacked fields.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireRequest {
+    /// Tenant the request is accounted (and admission-controlled) under.
+    pub tenant: String,
+    /// Client-chosen request id, echoed back in the response.
+    pub id: u64,
+    /// Which computation to run.
+    pub op: WireOp,
+    /// The input matrix, encoded with the binary codec.
+    pub a: Vec<u8>,
+    /// Right-hand sides (required for `Solve`, optional otherwise).
+    pub rhs: Vec<Vec<f64>>,
+    /// Block bound `nb`.
+    pub nb: u64,
+    /// [`Optimizations::separate_intermediate_files`].
+    pub separate_intermediate_files: bool,
+    /// [`Optimizations::block_wrap`].
+    pub block_wrap: bool,
+    /// [`Optimizations::transpose_u`].
+    pub transpose_u: bool,
+}
+
+impl WireRequest {
+    fn config(&self) -> InversionConfig {
+        let mut cfg = InversionConfig::with_nb(self.nb as usize);
+        cfg.opts = Optimizations {
+            separate_intermediate_files: self.separate_intermediate_files,
+            block_wrap: self.block_wrap,
+            transpose_u: self.transpose_u,
+        };
+        cfg
+    }
+}
+
+/// One response frame. Empty byte vectors stand for absent matrices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireResponse {
+    /// Echo of [`WireRequest::id`].
+    pub id: u64,
+    /// Whether the computation succeeded; on `false` only `error` is
+    /// meaningful.
+    pub ok: bool,
+    /// Error rendering when `ok` is false.
+    pub error: String,
+    /// Whether the factor cache served this request.
+    pub cache_hit: bool,
+    /// The inverse (invert requests), binary-encoded; empty otherwise.
+    pub inverse: Vec<u8>,
+    /// `L` (lu requests), binary-encoded; empty otherwise.
+    pub l: Vec<u8>,
+    /// `U` (lu requests), binary-encoded; empty otherwise.
+    pub u: Vec<u8>,
+    /// Pivot sources (lu requests): entry `i` of `P·A` is row `perm[i]`
+    /// of `A`. Empty otherwise.
+    pub perm: Vec<u64>,
+    /// Solutions, one per attached right-hand side.
+    pub solutions: Vec<Vec<f64>>,
+    /// Pipeline jobs this request ran (0 on a cache hit).
+    pub jobs: u64,
+    /// Simulated seconds this request cost (0.0 on a cache hit).
+    pub sim_secs: f64,
+}
+
+impl WireResponse {
+    fn err(id: u64, message: impl Into<String>) -> WireResponse {
+        WireResponse {
+            id,
+            ok: false,
+            error: message.into(),
+            cache_hit: false,
+            inverse: Vec::new(),
+            l: Vec::new(),
+            u: Vec::new(),
+            perm: Vec::new(),
+            solutions: Vec::new(),
+            jobs: 0,
+            sim_secs: 0.0,
+        }
+    }
+
+    fn from_outcome(id: u64, out: &Outcome) -> WireResponse {
+        let (l, u, perm) = match out.factors() {
+            Some(f) => (
+                encode_binary(&f.l).to_vec(),
+                encode_binary(&f.u).to_vec(),
+                f.perm.as_slice().iter().map(|&s| s as u64).collect(),
+            ),
+            None => (Vec::new(), Vec::new(), Vec::new()),
+        };
+        WireResponse {
+            id,
+            ok: true,
+            error: String::new(),
+            cache_hit: out.cache == CacheStatus::Hit,
+            inverse: out
+                .inverse()
+                .map(|m| encode_binary(m).to_vec())
+                .unwrap_or_default(),
+            l,
+            u,
+            perm,
+            solutions: out.solutions().to_vec(),
+            jobs: out.report.jobs,
+            sim_secs: out.report.sim_secs,
+        }
+    }
+}
+
+/// Tuning knobs for [`ServerHandle::start`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Admission-control bound: a tenant with this many queued cold
+    /// requests has further cold requests rejected until the executor
+    /// catches up. Cache hits are never rejected (they consume no
+    /// executor capacity).
+    pub max_queue_per_tenant: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_queue_per_tenant: 64,
+        }
+    }
+}
+
+/// A cold request parked for the executor.
+struct QueuedJob {
+    tenant: String,
+    id: u64,
+    op: Op,
+    a: Matrix,
+    rhs: Vec<Vec<f64>>,
+    cfg: InversionConfig,
+    key: u64,
+    resp: mpsc::Sender<WireResponse>,
+}
+
+/// Per-tenant FIFO queues plus the round-robin draining order.
+#[derive(Default)]
+struct Queues {
+    tenants: BTreeMap<String, VecDeque<QueuedJob>>,
+    rr: VecDeque<String>,
+}
+
+impl Queues {
+    fn push(&mut self, job: QueuedJob) {
+        let tenant = job.tenant.clone();
+        let q = self.tenants.entry(tenant.clone()).or_default();
+        q.push_back(job);
+        if !self.rr.contains(&tenant) {
+            self.rr.push_back(tenant);
+        }
+    }
+
+    /// Pops the next job in tenant-round-robin order.
+    fn pop(&mut self) -> Option<QueuedJob> {
+        while let Some(tenant) = self.rr.pop_front() {
+            if let Some(q) = self.tenants.get_mut(&tenant) {
+                if let Some(job) = q.pop_front() {
+                    if !q.is_empty() {
+                        self.rr.push_back(tenant);
+                    }
+                    return Some(job);
+                }
+            }
+        }
+        None
+    }
+
+    /// Drains every queued solve sharing `key` (any tenant) for batching.
+    fn drain_matching_solves(&mut self, key: u64) -> Vec<QueuedJob> {
+        let mut batch = Vec::new();
+        for q in self.tenants.values_mut() {
+            let mut keep = VecDeque::with_capacity(q.len());
+            for job in q.drain(..) {
+                if job.op == Op::Solve && job.key == key {
+                    batch.push(job);
+                } else {
+                    keep.push_back(job);
+                }
+            }
+            *q = keep;
+        }
+        batch
+    }
+
+    fn pending(&self, tenant: &str) -> usize {
+        self.tenants.get(tenant).map_or(0, VecDeque::len)
+    }
+
+    fn drain_all(&mut self) -> Vec<QueuedJob> {
+        self.rr.clear();
+        self.tenants
+            .values_mut()
+            .flat_map(|q| q.drain(..))
+            .collect()
+    }
+}
+
+struct Shared {
+    cluster: Arc<Cluster>,
+    cache: FactorCache,
+    config: ServiceConfig,
+    queues: Mutex<Queues>,
+    work: Condvar,
+    shutdown: AtomicBool,
+    /// Live client sockets, shut down (not just dropped) on server
+    /// shutdown so blocked handler reads wake immediately.
+    conns: Mutex<Vec<TcpStream>>,
+    served: AtomicU64,
+}
+
+impl Shared {
+    /// Bumps a service counter, labelled by tenant and operation.
+    fn count(&self, name: &str, tenant: &str, op: &str) {
+        let labels = Labels::new().tenant(tenant).task_kind(op);
+        self.cluster.metrics.obs().counter(name, &labels).add(1);
+    }
+
+    /// Per-request accounting with the request-id label dimension.
+    fn note_served(&self, tenant: &str, id: u64, op: Op, out: &Outcome) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        let verdict = match out.cache {
+            CacheStatus::Hit => "mrinv_service_cache_hits_total",
+            CacheStatus::Miss => "mrinv_service_cache_misses_total",
+            CacheStatus::Bypass => return,
+        };
+        self.count(verdict, tenant, op.name());
+        let labels = Labels::new()
+            .tenant(tenant)
+            .request(id.to_string())
+            .task_kind(op.name());
+        let obs = self.cluster.metrics.obs();
+        obs.gauge("mrinv_service_request_jobs", &labels)
+            .set(out.report.jobs as f64);
+        obs.gauge("mrinv_service_request_sim_secs", &labels)
+            .set(out.report.sim_secs);
+    }
+}
+
+/// A running service. Dropping the handle shuts the server down: the
+/// listener stops accepting, every client socket is shut down, queued
+/// jobs are failed with a shutdown error, and all threads are joined —
+/// no orphan sockets or wedged accept loops survive the handle.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    executor: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// Binds, spawns the accept and executor threads, and returns.
+    pub fn start(cluster: Arc<Cluster>, config: ServiceConfig) -> Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| CoreError::Invariant(format!("cannot bind {}: {e}", config.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| CoreError::Invariant(format!("listener address: {e}")))?;
+        let shared = Arc::new(Shared {
+            cluster,
+            cache: FactorCache::new(),
+            config,
+            queues: Mutex::new(Queues::default()),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            served: AtomicU64::new(0),
+        });
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let executor = {
+            let shared = shared.clone();
+            std::thread::spawn(move || executor_loop(&shared))
+        };
+        let accept = {
+            let shared = shared.clone();
+            let handlers = handlers.clone();
+            std::thread::spawn(move || accept_loop(&listener, &shared, &handlers))
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+            executor: Some(executor),
+            handlers,
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counters of the shared factor cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Requests served to completion (success or error response sent).
+    pub fn served(&self) -> u64 {
+        self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// Stops the service and joins every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        // Wake blocked handler reads.
+        for conn in self.shared.conns.lock().expect("conns lock").iter() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        // Wake the executor so it drains and exits.
+        self.shared.work.notify_all();
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.executor.take() {
+            let _ = t.join();
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock().expect("handlers lock"));
+        for t in handlers {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late client); close and exit.
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().expect("conns lock").push(clone);
+        }
+        let shared = shared.clone();
+        let handle = std::thread::spawn(move || {
+            let mut stream = stream;
+            // A panicking handler must not leak its socket: catch the
+            // unwind and shut the stream down either way, so the client
+            // sees EOF instead of a wedged connection, and the listener
+            // (a different thread) is never affected.
+            let result = catch_unwind(AssertUnwindSafe(|| handle_connection(&mut stream, &shared)));
+            let _ = stream.shutdown(Shutdown::Both);
+            drop(result);
+        });
+        handlers.lock().expect("handlers lock").push(handle);
+    }
+}
+
+/// Serves one client connection: a loop of request frames, each answered
+/// with exactly one response frame. Malformed frames drop the connection
+/// (the protocol has no way to resynchronize a corrupt stream).
+fn handle_connection(stream: &mut TcpStream, shared: &Arc<Shared>) {
+    loop {
+        let (tag, body) = match read_frame(stream) {
+            Ok(f) => f,
+            Err(_) => return, // EOF, reset, or shutdown
+        };
+        if tag != TAG_REQUEST {
+            return;
+        }
+        let req = match bincode::deserialize::<WireRequest>(&body) {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        let resp = serve_request(shared, req);
+        let body = bincode::serialize(&resp);
+        if write_frame(stream, TAG_RESPONSE, &body).is_err() {
+            return;
+        }
+    }
+}
+
+/// Serves one decoded request: cache hits inline, cold work through the
+/// executor queue.
+fn serve_request(shared: &Arc<Shared>, req: WireRequest) -> WireResponse {
+    let op = req.op.op();
+    shared.count("mrinv_service_requests_total", &req.tenant, op.name());
+    let a = match decode_binary(&req.a) {
+        Ok(a) => a,
+        Err(e) => return WireResponse::err(req.id, format!("bad matrix: {e}")),
+    };
+    let cfg = req.config();
+
+    // Fast path: serve a cache hit right here, concurrently with
+    // whatever the executor is doing (hits never touch driver state).
+    let probe = build_request(&a, op, &req.rhs, &cfg).cache(&shared.cache);
+    match probe.submit_cached_only(&shared.cluster) {
+        Err(e) => return WireResponse::err(req.id, e.to_string()),
+        Ok(Some(out)) => {
+            shared.note_served(&req.tenant, req.id, op, &out);
+            return WireResponse::from_outcome(req.id, &out);
+        }
+        Ok(None) => {}
+    }
+
+    // Cold: admission-check, queue for the executor, wait.
+    let key = cache_key(&a, &cfg, &shared.cluster);
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut queues = shared.queues.lock().expect("queues lock");
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return WireResponse::err(req.id, "server is shutting down");
+        }
+        if queues.pending(&req.tenant) >= shared.config.max_queue_per_tenant {
+            shared.count("mrinv_service_rejected_total", &req.tenant, op.name());
+            return WireResponse::err(
+                req.id,
+                format!(
+                    "tenant {} has {} queued requests (admission limit)",
+                    req.tenant, shared.config.max_queue_per_tenant
+                ),
+            );
+        }
+        queues.push(QueuedJob {
+            tenant: req.tenant.clone(),
+            id: req.id,
+            op,
+            a,
+            rhs: req.rhs,
+            cfg,
+            key,
+            resp: tx,
+        });
+    }
+    shared.work.notify_one();
+    match rx.recv() {
+        Ok(resp) => resp,
+        Err(_) => WireResponse::err(req.id, "server dropped the request (shutting down)"),
+    }
+}
+
+fn build_request<'a>(
+    a: &'a Matrix,
+    op: Op,
+    rhs: &[Vec<f64>],
+    cfg: &InversionConfig,
+) -> Request<'a> {
+    let req = match op {
+        Op::Invert => Request::invert(a),
+        Op::Lu => Request::lu(a),
+        Op::Solve => Request::solve(a),
+    };
+    req.rhs_all(rhs.iter().cloned()).config(cfg)
+}
+
+/// The single pipeline executor: pops jobs tenant-round-robin, batches
+/// same-key solves, runs each cold pipeline alone, answers through the
+/// jobs' channels.
+fn executor_loop(shared: &Arc<Shared>) {
+    loop {
+        let (job, batch) = {
+            let mut queues = shared.queues.lock().expect("queues lock");
+            let job = loop {
+                if let Some(job) = queues.pop() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queues = shared.work.wait(queues).expect("queues lock");
+            };
+            let batch = if job.op == Op::Solve {
+                queues.drain_matching_solves(job.key)
+            } else {
+                Vec::new()
+            };
+            (job, batch)
+        };
+        execute_batch(shared, job, batch);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Fail whatever is still queued rather than leaving handler
+            // threads blocked on their channels.
+            let orphans = {
+                let mut queues = shared.queues.lock().expect("queues lock");
+                queues.drain_all()
+            };
+            for job in orphans {
+                let _ = job
+                    .resp
+                    .send(WireResponse::err(job.id, "server is shutting down"));
+            }
+            return;
+        }
+    }
+}
+
+/// Runs `job` (plus any batched same-key solves) through one pipeline /
+/// substitution pass and answers every participant.
+fn execute_batch(shared: &Arc<Shared>, job: QueuedJob, batch: Vec<QueuedJob>) {
+    // Merge the batch's right-hand sides behind the leader's, remembering
+    // each participant's slice.
+    let mut rhs = job.rhs.clone();
+    let mut spans = vec![(0usize, job.rhs.len())];
+    for follower in &batch {
+        spans.push((rhs.len(), follower.rhs.len()));
+        rhs.extend(follower.rhs.iter().cloned());
+    }
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        build_request(&job.a, job.op, &rhs, &job.cfg)
+            .cache(&shared.cache)
+            .submit(&shared.cluster)
+    }));
+    let outcome = match outcome {
+        Ok(result) => result,
+        Err(_) => Err(CoreError::Invariant(
+            "request panicked in the pipeline executor".to_string(),
+        )),
+    };
+
+    match outcome {
+        Ok(out) => {
+            let participants: Vec<(&QueuedJob, (usize, usize))> = std::iter::once(&job)
+                .chain(batch.iter())
+                .zip(spans)
+                .collect();
+            for (member, (start, len)) in participants {
+                let mut resp = WireResponse::from_outcome(member.id, &out);
+                resp.solutions = out.solutions()[start..start + len].to_vec();
+                shared.note_served(&member.tenant, member.id, member.op, &out);
+                let _ = member.resp.send(resp);
+            }
+        }
+        Err(e) => {
+            let message = e.to_string();
+            for member in std::iter::once(&job).chain(batch.iter()) {
+                let _ = member
+                    .resp
+                    .send(WireResponse::err(member.id, message.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(tenant: &str, id: u64, op: Op, key: u64) -> (QueuedJob, mpsc::Receiver<WireResponse>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            QueuedJob {
+                tenant: tenant.to_string(),
+                id,
+                op,
+                a: Matrix::identity(2),
+                rhs: Vec::new(),
+                cfg: InversionConfig::with_nb(1),
+                key,
+                resp: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn queues_drain_round_robin_across_tenants() {
+        let mut q = Queues::default();
+        for i in 0..3 {
+            q.push(job("alice", i, Op::Invert, 0).0);
+        }
+        q.push(job("bob", 10, Op::Invert, 0).0);
+        let order: Vec<(String, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|j| (j.tenant, j.id))
+            .collect();
+        // Bob's single request is served second, not fourth.
+        assert_eq!(
+            order,
+            vec![
+                ("alice".to_string(), 0),
+                ("bob".to_string(), 10),
+                ("alice".to_string(), 1),
+                ("alice".to_string(), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn solve_batching_drains_same_key_only() {
+        let mut q = Queues::default();
+        q.push(job("a", 1, Op::Solve, 42).0);
+        q.push(job("b", 2, Op::Solve, 42).0);
+        q.push(job("b", 3, Op::Solve, 7).0);
+        q.push(job("c", 4, Op::Invert, 42).0);
+        let leader = q.pop().unwrap();
+        assert_eq!(leader.id, 1);
+        let batch = q.drain_matching_solves(42);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].id, 2);
+        // The different-key solve and the invert stay queued.
+        let rest: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|j| j.id).collect();
+        assert_eq!(rest.len(), 2);
+        assert!(rest.contains(&3) && rest.contains(&4));
+    }
+
+    #[test]
+    fn wire_structs_round_trip() {
+        let req = WireRequest {
+            tenant: "t".to_string(),
+            id: 9,
+            op: WireOp::Solve,
+            a: encode_binary(&Matrix::identity(3)).to_vec(),
+            rhs: vec![vec![1.0, 2.0, 3.0]],
+            nb: 2,
+            separate_intermediate_files: true,
+            block_wrap: false,
+            transpose_u: true,
+        };
+        let back = bincode::deserialize::<WireRequest>(&bincode::serialize(&req)).unwrap();
+        assert_eq!(back.tenant, "t");
+        assert_eq!(back.op, WireOp::Solve);
+        assert_eq!(back.rhs, req.rhs);
+        assert_eq!(back.config().nb, 2);
+        assert!(back.config().opts.separate_intermediate_files);
+        assert!(!back.config().opts.block_wrap);
+
+        let resp = WireResponse::err(9, "nope");
+        let back = bincode::deserialize::<WireResponse>(&bincode::serialize(&resp)).unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.id, 9);
+        assert_eq!(back.error, "nope");
+    }
+}

@@ -1,74 +1,29 @@
-//! Downstream consumers of the distributed LU factors: linear solves,
-//! determinants, condition estimates, and refined inverses.
+//! Downstream consumers of the distributed LU factors: determinants,
+//! condition estimates, and refined inverses.
 //!
 //! These wrap the pipeline the way the paper's motivating applications
-//! would (Section 1): one distributed factorization or inversion, then
-//! cheap per-use work.
+//! would (Section 1): one distributed factorization or inversion (issued
+//! through [`Request`]), then cheap per-use work. Linear solves
+//! themselves live on [`Request`] directly (`Request::solve(a).rhs(b)`).
 
 use mrinv_mapreduce::Cluster;
 use mrinv_matrix::norms::inversion_residual;
 use mrinv_matrix::refine::refine_inverse;
-use mrinv_matrix::triangular::{back_substitution, forward_substitution};
 use mrinv_matrix::Matrix;
 
 use crate::config::InversionConfig;
-use crate::error::{CoreError, Result};
-use crate::inverse::{invert, lu};
-use crate::report::RunReport;
-
-/// Result of a distributed linear solve.
-#[derive(Debug, Clone)]
-pub struct SolveOutput {
-    /// Solutions, one per right-hand side (same order).
-    pub solutions: Vec<Vec<f64>>,
-    /// Run accounting of the factorization stage.
-    pub report: RunReport,
-}
-
-/// Solves `A·x = b` for each right-hand side via one distributed LU
-/// factorization plus master-side substitution (`L·y = P·b`, `U·x = y`).
-///
-/// Substitution is inherently sequential (each entry depends on the
-/// previous ones), so it stays on the master — for `k` right-hand sides it
-/// is `O(k·n²)` against the factorization's `O(n³)`.
-pub fn solve(
-    cluster: &Cluster,
-    a: &Matrix,
-    rhs: &[Vec<f64>],
-    cfg: &InversionConfig,
-) -> Result<SolveOutput> {
-    let n = a.order()?;
-    for (i, b) in rhs.iter().enumerate() {
-        if b.len() != n {
-            return Err(CoreError::Invariant(format!(
-                "rhs {i} has length {}, expected {n}",
-                b.len()
-            )));
-        }
-    }
-    let out = lu(cluster, a, cfg)?;
-    let mut solutions = Vec::with_capacity(rhs.len());
-    for b in rhs {
-        // P·b: entry i of the permuted vector is b[S[i]].
-        let pb: Vec<f64> = (0..n).map(|i| b[out.perm.source_of(i)]).collect();
-        let y = forward_substitution(&out.l, &pb)?;
-        let x = back_substitution(&out.u, &y)?;
-        solutions.push(x);
-    }
-    Ok(SolveOutput {
-        solutions,
-        report: out.report,
-    })
-}
+use crate::error::Result;
+use crate::request::Request;
 
 /// Computes `det(A)` via the distributed LU factorization:
 /// `det(A) = sign(P) · Π [U]_ii` (the `L` factor has unit diagonal).
 pub fn determinant(cluster: &Cluster, a: &Matrix, cfg: &InversionConfig) -> Result<f64> {
-    let out = lu(cluster, a, cfg)?;
-    let n = out.u.rows();
-    let mut det = out.perm.sign();
+    let out = Request::lu(a).config(cfg).submit(cluster)?;
+    let f = out.into_factors();
+    let n = f.u.rows();
+    let mut det = f.perm.sign();
     for i in 0..n {
-        det *= out.u[(i, i)];
+        det *= f.u[(i, i)];
     }
     Ok(det)
 }
@@ -76,8 +31,8 @@ pub fn determinant(cluster: &Cluster, a: &Matrix, cfg: &InversionConfig) -> Resu
 /// Estimates the 1-norm condition number `κ₁(A) = ‖A‖₁·‖A⁻¹‖₁` via one
 /// distributed inversion.
 pub fn condition_estimate(cluster: &Cluster, a: &Matrix, cfg: &InversionConfig) -> Result<f64> {
-    let out = invert(cluster, a, cfg)?;
-    Ok(a.one_norm() * out.inverse.one_norm())
+    let out = Request::invert(a).config(cfg).submit(cluster)?;
+    Ok(a.one_norm() * out.into_inverse().one_norm())
 }
 
 /// Inverts and then polishes with Newton–Schulz refinement (the numerical
@@ -89,9 +44,10 @@ pub fn invert_refined(
     cfg: &InversionConfig,
     max_steps: usize,
 ) -> Result<(Matrix, f64, f64)> {
-    let out = invert(cluster, a, cfg)?;
-    let before = inversion_residual(a, &out.inverse)?;
-    let refined = refine_inverse(a, &out.inverse, max_steps, f64::EPSILON * 16.0)?;
+    let out = Request::invert(a).config(cfg).submit(cluster)?;
+    let inverse = out.into_inverse();
+    let before = inversion_residual(a, &inverse)?;
+    let refined = refine_inverse(a, &inverse, max_steps, f64::EPSILON * 16.0)?;
     let after = *refined.residual_history.last().unwrap();
     Ok((refined.inverse, before, after))
 }
@@ -100,38 +56,12 @@ pub fn invert_refined(
 mod tests {
     use super::*;
     use mrinv_mapreduce::{ClusterConfig, CostModel};
-    use mrinv_matrix::norms::vec_norm;
-    use mrinv_matrix::random::{random_invertible, random_well_conditioned};
+    use mrinv_matrix::random::random_well_conditioned;
 
     fn cluster() -> Cluster {
         let mut cfg = ClusterConfig::medium(4);
         cfg.cost = CostModel::unit_for_tests();
         Cluster::new(cfg)
-    }
-
-    #[test]
-    fn solve_recovers_known_solutions() {
-        let c = cluster();
-        let n = 48;
-        let a = random_invertible(n, 3);
-        let xs: Vec<Vec<f64>> = (0..3)
-            .map(|k| (0..n).map(|i| ((i + k) as f64 * 0.31).cos()).collect())
-            .collect();
-        let rhs: Vec<Vec<f64>> = xs.iter().map(|x| a.mul_vec(x).unwrap()).collect();
-        let out = solve(&c, &a, &rhs, &InversionConfig::with_nb(12)).unwrap();
-        for (got, want) in out.solutions.iter().zip(&xs) {
-            let err: Vec<f64> = got.iter().zip(want).map(|(g, w)| g - w).collect();
-            assert!(vec_norm(&err) / vec_norm(want) < 1e-9);
-        }
-        assert!(out.report.jobs > 0);
-    }
-
-    #[test]
-    fn solve_validates_rhs_length() {
-        let c = cluster();
-        let a = random_well_conditioned(8, 1);
-        let err = solve(&c, &a, &[vec![0.0; 7]], &InversionConfig::with_nb(4));
-        assert!(err.is_err());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!   presence, config fingerprint, and sequence number.
 
 use mrinv::config::{InversionConfig, Optimizations};
-use mrinv::inverse::{invert, invert_run, Checkpoint};
+use mrinv::Request;
 use mrinv_mapreduce::driver::ManifestRecord;
 use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel, RunId};
 use mrinv_matrix::kernel::{set_global_backend, BackendKind};
@@ -57,13 +57,21 @@ fn e2e_inverse_is_pinned_per_backend() {
     // Reference backend: bit-identical to the seed implementation.
     let prev = set_global_backend(BackendKind::Naive);
     let cluster = test_cluster();
-    let naive = invert(&cluster, &a, &cfg).unwrap().inverse;
+    let naive = Request::invert(&a)
+        .config(&cfg)
+        .submit(&cluster)
+        .unwrap()
+        .into_inverse();
     assert_eq!(
         hash_matrix(&naive),
         SEED_HASH_DEFAULT,
         "Naive-backend pipeline no longer reproduces the seed bits"
     );
-    let ablation = invert(&cluster, &a, &cfg_ablation).unwrap().inverse;
+    let ablation = Request::invert(&a)
+        .config(&cfg_ablation)
+        .submit(&cluster)
+        .unwrap()
+        .into_inverse();
     assert_eq!(
         hash_matrix(&ablation),
         SEED_HASH_ABLATION,
@@ -73,7 +81,11 @@ fn e2e_inverse_is_pinned_per_backend() {
     // Engine backend: same result within the documented tolerance.
     set_global_backend(BackendKind::Packed);
     let cluster = test_cluster();
-    let packed = invert(&cluster, &a, &cfg).unwrap().inverse;
+    let packed = Request::invert(&a)
+        .config(&cfg)
+        .submit(&cluster)
+        .unwrap()
+        .into_inverse();
     let diff = packed.max_abs_diff(&naive).unwrap();
     assert!(
         diff <= 1e-10,
@@ -112,7 +124,11 @@ fn job_spec_fingerprints_are_unchanged() {
     let a = random_invertible(64, 42);
     let cfg = InversionConfig::with_nb(4);
     let run = RunId::new("pinned-run");
-    invert_run(&cluster, &a, &cfg, &run, Checkpoint::Enabled).unwrap();
+    Request::invert(&a)
+        .config(&cfg)
+        .checkpoint(&run)
+        .submit(&cluster)
+        .unwrap();
 
     let data = cluster.dfs.read(&run.manifest_path()).unwrap();
     let text = std::str::from_utf8(&data).unwrap();

@@ -217,6 +217,31 @@ impl Dfs {
         self.files.write().insert(path, Block { data, homes });
     }
 
+    /// Reads a file *without* touching the I/O counters.
+    ///
+    /// The read-side twin of [`Dfs::write_uncounted`], reserved for
+    /// framework work that must stay invisible to byte accounting: the
+    /// factor cache assembles `L`/`U` from a *previous* run's files while
+    /// other pipelines may be mid-flight, and those reads must not perturb
+    /// the in-flight runs' delta-based reports. Same availability
+    /// semantics as [`Dfs::read`].
+    pub fn read_uncounted(&self, path: &str) -> Result<Bytes> {
+        let path = normalize_path(path);
+        let files = self.files.read();
+        let block = match files.get(&path) {
+            Some(b) => b,
+            None => return Err(self.not_found(&files, path)),
+        };
+        let dead = self.dead.read();
+        if block.homes.iter().all(|n| dead.contains(n)) {
+            return Err(MrError::AllReplicasLost {
+                path,
+                homes: block.homes.clone(),
+            });
+        }
+        Ok(block.data.clone())
+    }
+
     /// Reads a file; cheap (`Bytes` is reference-counted).
     ///
     /// Fails with [`MrError::AllReplicasLost`] when every home node of the
@@ -508,6 +533,30 @@ mod tests {
         assert!(dfs.exists("run/_manifest"));
         assert_eq!(dfs.counters(), DfsCountersSnapshot::default());
         assert_eq!(dfs.file_count(), 1);
+    }
+
+    #[test]
+    fn uncounted_reads_skip_accounting() {
+        let dfs = Dfs::default();
+        dfs.write("run/l.bin", Bytes::from_static(b"factor"));
+        let before = dfs.counters();
+        assert_eq!(
+            dfs.read_uncounted("run/l.bin").unwrap(),
+            Bytes::from_static(b"factor")
+        );
+        assert_eq!(dfs.counters(), before, "no read accounting");
+        assert!(matches!(
+            dfs.read_uncounted("run/missing"),
+            Err(MrError::FileNotFound { .. })
+        ));
+        // Same availability semantics as a counted read.
+        let lossy = Dfs::with_nodes(1, 1);
+        lossy.write("f", Bytes::from_static(b"x"));
+        lossy.kill_node(0);
+        assert!(matches!(
+            lossy.read_uncounted("f"),
+            Err(MrError::AllReplicasLost { .. })
+        ));
     }
 
     #[test]

@@ -278,7 +278,7 @@ impl HistogramSnapshot {
 }
 
 /// The fixed label scheme: every series is keyed by (a subset of) these
-/// five dimensions. A fixed struct instead of a free-form map keeps
+/// seven dimensions. A fixed struct instead of a free-form map keeps
 /// cardinality analyzable and snapshot ordering total.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Labels {
@@ -292,6 +292,11 @@ pub struct Labels {
     pub task_kind: Option<String>,
     /// GEMM backend name (kernel perf series).
     pub backend: Option<String>,
+    /// Service tenant name (multi-tenant `mrinv-serve` series).
+    pub tenant: Option<String>,
+    /// Service request id (per-request service series; bounded by the
+    /// registry's series cap, so long-lived servers degrade gracefully).
+    pub request: Option<String>,
 }
 
 impl Labels {
@@ -330,6 +335,18 @@ impl Labels {
         self
     }
 
+    /// Sets the service-tenant label.
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Sets the service-request-id label.
+    pub fn request(mut self, request: impl Into<String>) -> Self {
+        self.request = Some(request.into());
+        self
+    }
+
     /// Prometheus label-set rendering (`{job="...",wave="..."}`), empty
     /// string when no label is set. The `extra` pair, when given, is
     /// appended last (used for the histogram `le` label).
@@ -350,6 +367,12 @@ impl Labels {
         }
         if let Some(v) = &self.backend {
             push("backend", v);
+        }
+        if let Some(v) = &self.tenant {
+            push("tenant", v);
+        }
+        if let Some(v) = &self.request {
+            push("request", v);
         }
         if let Some((k, v)) = extra {
             push(k, v);

@@ -13,7 +13,7 @@
 //! mixes a neighborhood of material pixels), a forward projection, and
 //! reconstruction through the distributed inverse.
 
-use mrinv::{invert, InversionConfig};
+use mrinv::{InversionConfig, Request};
 use mrinv_mapreduce::Cluster;
 use mrinv_matrix::Matrix;
 
@@ -86,14 +86,17 @@ fn main() {
     let t = m.mul_vec(&s_true).expect("projection");
 
     println!("reconstructing a {side}x{side} image: inverting the {n}x{n} projection matrix...");
-    let out = invert(&cluster, &m, &InversionConfig::with_nb(49)).expect("inversion");
+    let out = Request::invert(&m)
+        .config(&InversionConfig::with_nb(49))
+        .submit(&cluster)
+        .expect("inversion");
     println!(
         "  {} MapReduce jobs, {:.1} simulated seconds",
         out.report.jobs, out.report.sim_secs
     );
 
     // Reconstruction: S = M^-1 * T.
-    let s_rec = out.inverse.mul_vec(&t).expect("reconstruction");
+    let s_rec = out.inverse().unwrap().mul_vec(&t).expect("reconstruction");
 
     let max_err = s_true
         .iter()

@@ -11,7 +11,7 @@
 //! in both the LU pipeline and the final job — and shows the failed
 //! attempts, the schedule stretch, and the bit-identical result.
 
-use mrinv::{invert, InversionConfig};
+use mrinv::{InversionConfig, Request};
 use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel, Phase};
 use mrinv_matrix::random::random_well_conditioned;
 
@@ -34,7 +34,10 @@ fn main() {
 
     // Clean run.
     let clean_cluster = compute_bound_cluster();
-    let clean = invert(&clean_cluster, &a, &cfg).expect("clean inversion");
+    let clean = Request::invert(&a)
+        .config(&cfg)
+        .submit(&clean_cluster)
+        .expect("clean inversion");
     println!(
         "clean run : {} jobs, {} failed attempts, {:.1} simulated s",
         clean.report.jobs, clean.report.task_failures, clean.report.sim_secs
@@ -49,7 +52,10 @@ fn main() {
     faulty_cluster
         .faults
         .fail_task("lu-level", Phase::Reduce, 1, 1);
-    let faulty = invert(&faulty_cluster, &a, &cfg).expect("faulty inversion");
+    let faulty = Request::invert(&a)
+        .config(&cfg)
+        .submit(&faulty_cluster)
+        .expect("faulty inversion");
     println!(
         "faulty run: {} jobs, {} failed attempts, {:.1} simulated s",
         faulty.report.jobs, faulty.report.task_failures, faulty.report.sim_secs
@@ -64,7 +70,10 @@ fn main() {
         "lost attempts must stretch the schedule"
     );
     assert!(
-        faulty.inverse.approx_eq(&clean.inverse, 0.0),
+        faulty
+            .inverse()
+            .unwrap()
+            .approx_eq(clean.inverse().unwrap(), 0.0),
         "retried tasks are deterministic: results must be bit-identical"
     );
     println!(

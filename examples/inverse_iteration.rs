@@ -11,7 +11,7 @@
 //! cargo run --release --example inverse_iteration
 //! ```
 
-use mrinv::{invert, InversionConfig};
+use mrinv::{InversionConfig, Request};
 use mrinv_mapreduce::Cluster;
 use mrinv_matrix::norms::vec_norm;
 use mrinv_matrix::random::random_spd;
@@ -46,9 +46,11 @@ fn main() {
         for i in 0..n {
             shifted[(i, i)] -= mu;
         }
-        let inv = invert(&cluster, &shifted, &InversionConfig::with_nb(32))
+        let inv = Request::invert(&shifted)
+            .config(&InversionConfig::with_nb(32))
+            .submit(&cluster)
             .expect("shifted matrix inversion")
-            .inverse;
+            .into_inverse();
 
         // One iteration step: v <- normalize(inv * v).
         let w = inv.mul_vec(&v).expect("dimensions");

@@ -9,7 +9,7 @@
 //! cluster, and solves for several right-hand sides at once — the regime
 //! where paying for a full inverse beats repeated back-substitution.
 
-use mrinv::{invert, InversionConfig};
+use mrinv::{InversionConfig, Request};
 use mrinv_mapreduce::Cluster;
 use mrinv_matrix::norms::vec_norm;
 use mrinv_matrix::random::random_well_conditioned;
@@ -26,8 +26,11 @@ fn main() {
         .collect();
 
     println!("inverting the {n}x{n} system matrix once...");
-    let out = invert(&cluster, &a, &InversionConfig::with_nb(48)).expect("inversion");
-    let a_inv = &out.inverse;
+    let out = Request::invert(&a)
+        .config(&InversionConfig::with_nb(48))
+        .submit(&cluster)
+        .expect("inversion");
+    let a_inv = out.inverse().unwrap();
     println!(
         "  {} MapReduce jobs, {:.1} simulated seconds",
         out.report.jobs, out.report.sim_secs

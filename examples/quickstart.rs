@@ -8,7 +8,7 @@
 //! the Figure-4 DFS layout, runs the LU pipeline and the final inversion
 //! job, and verifies the paper's Section 7.2 accuracy criterion.
 
-use mrinv::{invert, InversionConfig};
+use mrinv::{InversionConfig, Request};
 use mrinv_mapreduce::Cluster;
 use mrinv_matrix::norms::inversion_residual;
 use mrinv_matrix::random::random_well_conditioned;
@@ -24,9 +24,12 @@ fn main() {
         "inverting a {n}x{n} matrix on a simulated {}-node cluster...",
         cluster.nodes()
     );
-    let out = invert(&cluster, &a, &InversionConfig::with_nb(nb)).expect("inversion");
+    let out = Request::invert(&a)
+        .config(&InversionConfig::with_nb(nb))
+        .submit(&cluster)
+        .expect("inversion");
 
-    let residual = inversion_residual(&a, &out.inverse).expect("residual");
+    let residual = inversion_residual(&a, out.inverse().unwrap()).expect("residual");
     println!("  MapReduce jobs executed : {}", out.report.jobs);
     println!("  simulated running time  : {:.1} s", out.report.sim_secs);
     println!(

@@ -1,7 +1,7 @@
 //! Application-level integration tests mirroring the paper's Section 1
 //! motivations, plus property-based end-to-end inversion.
 
-use mrinv::{invert, InversionConfig};
+use mrinv::{InversionConfig, Request};
 use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel};
 use mrinv_matrix::norms::{inversion_residual, vec_norm};
 use mrinv_matrix::random::{random_spd, random_well_conditioned};
@@ -16,9 +16,11 @@ fn unit_cluster(m0: usize) -> Cluster {
 
 fn mr_invert(a: &Matrix, nb: usize) -> Matrix {
     let cluster = unit_cluster(4);
-    invert(&cluster, a, &InversionConfig::with_nb(nb))
+    Request::invert(a)
+        .config(&InversionConfig::with_nb(nb))
+        .submit(&cluster)
         .unwrap()
-        .inverse
+        .into_inverse()
 }
 
 #[test]
@@ -115,8 +117,8 @@ proptest! {
         let nb = (n / nb_frac).max(2);
         let cluster = unit_cluster(m0);
         let a = random_well_conditioned(n, seed);
-        let out = invert(&cluster, &a, &InversionConfig::with_nb(nb)).unwrap();
-        let res = inversion_residual(&a, &out.inverse).unwrap();
+        let out = Request::invert(&a).config(&InversionConfig::with_nb(nb)).submit(&cluster).unwrap();
+        let res = inversion_residual(&a, out.inverse().unwrap()).unwrap();
         prop_assert!(res < PAPER_ACCURACY, "n={n} nb={nb} m0={m0} residual={res}");
         prop_assert_eq!(out.report.jobs, mrinv::schedule::total_jobs(n, nb));
     }

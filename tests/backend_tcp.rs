@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use mrinv::{invert_run, Checkpoint, InversionConfig, RunId};
+use mrinv::{InversionConfig, Request, RunId};
 use mrinv_mapreduce::job::JobSpec;
 use mrinv_mapreduce::runner::run_map_only;
 use mrinv_mapreduce::{
@@ -59,19 +59,27 @@ fn tcp_backend_matches_in_process_bit_for_bit() {
     let run = RunId::new("accept/backend-diff");
 
     let local = Cluster::new(unit_config(4));
-    let baseline = invert_run(&local, &a, &cfg, &run, Checkpoint::Enabled).unwrap();
+    let baseline = Request::invert(&a)
+        .config(&cfg)
+        .checkpoint(&run)
+        .submit(&local)
+        .unwrap();
     assert_eq!(baseline.report.jobs, 17);
     assert_eq!(baseline.report.backend, "in-process");
 
     let remote = tcp_cluster(unit_config(4), 2);
-    let out = invert_run(&remote, &a, &cfg, &run, Checkpoint::Enabled).unwrap();
+    let out = Request::invert(&a)
+        .config(&cfg)
+        .checkpoint(&run)
+        .submit(&remote)
+        .unwrap();
     assert_eq!(out.report.jobs, 17);
     assert_eq!(out.report.backend, "tcp-workers");
 
     // The inverse must match to the byte, not just to a tolerance.
     assert_eq!(
-        encode_binary(&out.inverse),
-        encode_binary(&baseline.inverse),
+        encode_binary(out.inverse().unwrap()),
+        encode_binary(baseline.inverse().unwrap()),
         "tcp-workers inverse bytes differ from in-process"
     );
 

@@ -4,7 +4,7 @@
 //! must agree on the same inputs.
 
 use mrinv::inmem::{block_lu, invert_block, invert_single_node};
-use mrinv::{invert, InversionConfig};
+use mrinv::{InversionConfig, Request};
 use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel};
 use mrinv_matrix::lu::lu_decompose;
 use mrinv_matrix::random::{random_invertible, random_well_conditioned};
@@ -33,9 +33,11 @@ fn four_implementations_agree() {
         let a = random_invertible(56, seed);
         let mr = {
             let cluster = unit_cluster(4);
-            invert(&cluster, &a, &InversionConfig::with_nb(14))
+            Request::invert(&a)
+                .config(&InversionConfig::with_nb(14))
+                .submit(&cluster)
                 .unwrap()
-                .inverse
+                .into_inverse()
         };
         let blocked = invert_block(&a, 14).unwrap();
         let single = invert_single_node(&a).unwrap();
@@ -55,7 +57,11 @@ fn mr_factors_match_in_memory_block_factors() {
     // Same split points (nb), same pivot decisions => identical factors.
     let a = random_invertible(64, 9);
     let cluster = unit_cluster(4);
-    let out = mrinv::lu(&cluster, &a, &InversionConfig::with_nb(16)).unwrap();
+    let out = mrinv::Request::lu(&a)
+        .config(&InversionConfig::with_nb(16))
+        .submit(&cluster)
+        .unwrap()
+        .into_factors();
     let reference = block_lu(&a, 16).unwrap();
     assert_eq!(out.perm, reference.perm, "identical pivot choices");
     assert!(out.l.approx_eq(&reference.l, 1e-9));
@@ -85,9 +91,11 @@ fn agreement_holds_on_ill_conditioned_but_invertible_inputs() {
         }
     }
     let cluster = unit_cluster(4);
-    let mr = invert(&cluster, &a, &InversionConfig::with_nb(10))
+    let mr = Request::invert(&a)
+        .config(&InversionConfig::with_nb(10))
+        .submit(&cluster)
         .unwrap()
-        .inverse;
+        .into_inverse();
     let single = invert_single_node(&a).unwrap();
     // Looser tolerance: conditioning amplifies rounding differently across
     // algorithms.
@@ -100,9 +108,11 @@ fn agreement_holds_on_ill_conditioned_but_invertible_inputs() {
 fn identity_inverts_to_identity_everywhere() {
     let a = Matrix::identity(32);
     let cluster = unit_cluster(4);
-    let mr = invert(&cluster, &a, &InversionConfig::with_nb(8))
+    let mr = Request::invert(&a)
+        .config(&InversionConfig::with_nb(8))
+        .submit(&cluster)
         .unwrap()
-        .inverse;
+        .into_inverse();
     assert!(mr.approx_eq(&a, 1e-12));
     assert!(invert_block(&a, 8).unwrap().approx_eq(&a, 1e-12));
     assert!(scalapack(&a).inverse.approx_eq(&a, 1e-12));
@@ -114,7 +124,10 @@ fn all_reject_singular_inputs() {
     let row = a.row(1).to_vec();
     a.row_mut(20).copy_from_slice(&row); // duplicate row => singular
     let cluster = unit_cluster(2);
-    assert!(invert(&cluster, &a, &InversionConfig::with_nb(6)).is_err());
+    assert!(Request::invert(&a)
+        .config(&InversionConfig::with_nb(6))
+        .submit(&cluster)
+        .is_err());
     assert!(invert_block(&a, 6).is_err());
     assert!(invert_single_node(&a).is_err());
     assert!(mrinv_scalapack::invert(

@@ -2,7 +2,7 @@
 //! tolerance claim — failed tasks are re-executed and the job still
 //! produces the correct result, at the cost of schedule time.
 
-use mrinv::{invert, invert_run, Checkpoint, InversionConfig, RunId};
+use mrinv::{InversionConfig, Request, RunId};
 use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel, MrError, Phase};
 use mrinv_matrix::norms::inversion_residual;
 use mrinv_matrix::random::random_well_conditioned;
@@ -17,10 +17,13 @@ fn cluster_with(compute_scale: f64) -> Cluster {
     Cluster::new(cfg)
 }
 
-fn run(cluster: &Cluster) -> (mrinv::InverseOutput, f64) {
+fn run(cluster: &Cluster) -> (mrinv::Outcome, f64) {
     let a = random_well_conditioned(64, 42);
-    let out = invert(cluster, &a, &InversionConfig::with_nb(16)).unwrap();
-    let res = inversion_residual(&a, &out.inverse).unwrap();
+    let out = Request::invert(&a)
+        .config(&InversionConfig::with_nb(16))
+        .submit(cluster)
+        .unwrap();
+    let res = inversion_residual(&a, out.inverse().unwrap()).unwrap();
     (out, res)
 }
 
@@ -88,13 +91,21 @@ fn retried_results_are_bit_identical() {
     let cfg = InversionConfig::with_nb(12);
     let clean = {
         let cluster = cluster_with(1.0);
-        invert(&cluster, &a, &cfg).unwrap().inverse
+        Request::invert(&a)
+            .config(&cfg)
+            .submit(&cluster)
+            .unwrap()
+            .into_inverse()
     };
     let faulty = {
         let cluster = cluster_with(1.0);
         cluster.faults.fail_task("", Phase::Map, 1, 1); // any job, map task 1
         cluster.faults.fail_task("", Phase::Reduce, 0, 1);
-        invert(&cluster, &a, &cfg).unwrap().inverse
+        Request::invert(&a)
+            .config(&cfg)
+            .submit(&cluster)
+            .unwrap()
+            .into_inverse()
     };
     assert!(
         clean.approx_eq(&faulty, 0.0),
@@ -108,7 +119,10 @@ fn exhausted_retry_budget_fails_the_whole_inversion() {
     // More failures than max_task_attempts (4).
     cluster.faults.fail_task("lu-level", Phase::Map, 0, 100);
     let a = random_well_conditioned(64, 42);
-    let err = invert(&cluster, &a, &InversionConfig::with_nb(16)).unwrap_err();
+    let err = Request::invert(&a)
+        .config(&InversionConfig::with_nb(16))
+        .submit(&cluster)
+        .unwrap_err();
     match err {
         mrinv::CoreError::MapReduce(MrError::TaskFailed {
             phase, attempts, ..
@@ -135,7 +149,11 @@ fn permanent_fault_fails_cleanly_and_resumes_once_cleared() {
     let a = random_well_conditioned(64, 42);
     let cfg = InversionConfig::with_nb(16);
     let run = RunId::new("perm-fault");
-    let err = invert_run(&cluster, &a, &cfg, &run, Checkpoint::Enabled).unwrap_err();
+    let err = Request::invert(&a)
+        .config(&cfg)
+        .checkpoint(&run)
+        .submit(&cluster)
+        .unwrap_err();
     match err {
         mrinv::CoreError::MapReduce(MrError::TaskFailed {
             phase,
@@ -161,13 +179,26 @@ fn permanent_fault_fails_cleanly_and_resumes_once_cleared() {
     // Clear the fault: the manifest restores the completed prefix and the
     // re-run converges to the same bits as an undisturbed inversion.
     cluster.faults.clear();
-    let out = invert_run(&cluster, &a, &cfg, &run, Checkpoint::Resume).unwrap();
+    let out = Request::invert(&a)
+        .config(&cfg)
+        .resume(&run)
+        .submit(&cluster)
+        .unwrap();
     assert!(
         out.report.restored_jobs >= 1,
         "the jobs before the faulty one restore from the manifest"
     );
-    let baseline = invert(&cluster_with(1.0), &a, &cfg).unwrap();
-    assert_eq!(out.inverse.max_abs_diff(&baseline.inverse).unwrap(), 0.0);
+    let baseline = Request::invert(&a)
+        .config(&cfg)
+        .submit(&cluster_with(1.0))
+        .unwrap();
+    assert_eq!(
+        out.inverse()
+            .unwrap()
+            .max_abs_diff(baseline.inverse().unwrap())
+            .unwrap(),
+        0.0
+    );
 }
 
 #[test]

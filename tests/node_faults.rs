@@ -4,7 +4,7 @@
 //! killing workers mid-run stretched a 5-hour inversion to 8 hours but
 //! still produced the correct inverse.
 
-use mrinv::{invert, InversionConfig};
+use mrinv::{InversionConfig, Request};
 use mrinv_mapreduce::tracelog::TracePhase;
 use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel};
 use mrinv_matrix::random::random_well_conditioned;
@@ -29,7 +29,10 @@ fn attempt_dur(e: &mrinv_mapreduce::tracelog::TaskEvent) -> f64 {
 fn locality_is_accounted_for_every_map_task() {
     let cluster = cluster(4);
     let a = random_well_conditioned(64, 5);
-    let out = invert(&cluster, &a, &InversionConfig::with_nb(8)).unwrap();
+    let out = Request::invert(&a)
+        .config(&InversionConfig::with_nb(8))
+        .submit(&cluster)
+        .unwrap();
     assert!(
         (0.0..=1.0).contains(&out.report.data_local_fraction),
         "fraction {} out of range",
@@ -50,13 +53,19 @@ fn locality_is_accounted_for_every_map_task() {
 fn a_node_dead_from_the_start_is_survivable_with_replication() {
     let a = random_well_conditioned(64, 17);
     let cfg = InversionConfig::with_nb(8);
-    let clean = invert(&cluster(4), &a, &cfg).unwrap();
+    let clean = Request::invert(&a)
+        .config(&cfg)
+        .submit(&cluster(4))
+        .unwrap();
 
     let c = cluster(4);
     c.faults.kill_node(3, 0.0);
-    let out = invert(&c, &a, &cfg).unwrap();
+    let out = Request::invert(&a).config(&cfg).submit(&c).unwrap();
     assert_eq!(
-        out.inverse.max_abs_diff(&clean.inverse).unwrap(),
+        out.inverse()
+            .unwrap()
+            .max_abs_diff(clean.inverse().unwrap())
+            .unwrap(),
         0.0,
         "losing one of two replicas must not change the answer"
     );
@@ -93,7 +102,7 @@ fn a_mid_run_death_loses_in_flight_work_and_still_converges() {
     // costs dominate under the unit model), so a death at its midpoint is
     // guaranteed to catch the node mid-attempt.
     let cc = cluster(4);
-    let clean = invert(&cc, &a, &cfg).unwrap();
+    let clean = Request::invert(&a).config(&cfg).submit(&cc).unwrap();
     let victim = cc
         .trace
         .events()
@@ -106,9 +115,12 @@ fn a_mid_run_death_loses_in_flight_work_and_still_converges() {
 
     let c = cluster(4);
     c.faults.kill_node(node, t_kill);
-    let out = invert(&c, &a, &cfg).unwrap();
+    let out = Request::invert(&a).config(&cfg).submit(&c).unwrap();
     assert_eq!(
-        out.inverse.max_abs_diff(&clean.inverse).unwrap(),
+        out.inverse()
+            .unwrap()
+            .max_abs_diff(clean.inverse().unwrap())
+            .unwrap(),
         0.0,
         "re-executed work must be bit-identical"
     );
@@ -144,7 +156,7 @@ fn timeouts_evict_tasks_from_a_degraded_node() {
     // Calibrate on a clean run: the timeout must exceed every healthy
     // attempt duration, and node 3 must blow through it once degraded.
     let cc = cluster(4);
-    let clean = invert(&cc, &a, &cfg).unwrap();
+    let clean = Request::invert(&a).config(&cfg).submit(&cc).unwrap();
     let events = cc.trace.events();
     let longest = events
         .iter()
@@ -180,9 +192,12 @@ fn timeouts_evict_tasks_from_a_degraded_node() {
     cfg_cluster.node_speeds = vec![1.0, 1.0, 1.0, slow];
     cfg_cluster.task_timeout_secs = Some(timeout);
     let c = Cluster::new(cfg_cluster);
-    let out = invert(&c, &a, &cfg).unwrap();
+    let out = Request::invert(&a).config(&cfg).submit(&c).unwrap();
     assert_eq!(
-        out.inverse.max_abs_diff(&clean.inverse).unwrap(),
+        out.inverse()
+            .unwrap()
+            .max_abs_diff(clean.inverse().unwrap())
+            .unwrap(),
         0.0,
         "timed-out tasks re-run to the same bits"
     );

@@ -26,7 +26,10 @@ fn traced_run_exports_prometheus_and_clean_audit() {
     kernel::perf::set_enabled(true);
     let cl = cluster(true);
     let a = random_well_conditioned(64, 42);
-    let out = mrinv::invert(&cl, &a, &InversionConfig::with_nb(4)).unwrap();
+    let out = mrinv::Request::invert(&a)
+        .config(&InversionConfig::with_nb(4))
+        .submit(&cl)
+        .unwrap();
     kernel::perf::set_enabled(false);
 
     let snap = full_snapshot(&cl);
@@ -89,14 +92,20 @@ fn disabled_observability_leaves_the_run_bit_identical() {
     let a = random_well_conditioned(64, 43);
 
     let off = cluster(false);
-    let out_off = mrinv::invert(&off, &a, &InversionConfig::with_nb(4)).unwrap();
+    let out_off = mrinv::Request::invert(&a)
+        .config(&InversionConfig::with_nb(4))
+        .submit(&off)
+        .unwrap();
 
     let on = cluster(true);
-    let out_on = mrinv::invert(&on, &a, &InversionConfig::with_nb(4)).unwrap();
+    let out_on = mrinv::Request::invert(&a)
+        .config(&InversionConfig::with_nb(4))
+        .submit(&on)
+        .unwrap();
 
     assert_eq!(
-        out_off.inverse.as_slice(),
-        out_on.inverse.as_slice(),
+        out_off.inverse().unwrap().as_slice(),
+        out_on.inverse().unwrap().as_slice(),
         "observability must not perturb the arithmetic"
     );
     // Deterministic report fields must match exactly. (Simulated time is
@@ -142,7 +151,10 @@ fn identical_runs_snapshot_identical_structure() {
     let a = random_well_conditioned(64, 44);
     let run = || {
         let cl = cluster(true);
-        mrinv::invert(&cl, &a, &InversionConfig::with_nb(4)).unwrap();
+        mrinv::Request::invert(&a)
+            .config(&InversionConfig::with_nb(4))
+            .submit(&cl)
+            .unwrap();
         let snap = cl.metrics.obs().snapshot();
         let attempts: Vec<_> = snap
             .counters

@@ -3,7 +3,7 @@
 
 use mrinv::partition::{ingest_input, run_partition_job, PartitionPlan};
 use mrinv::source::MasterIo;
-use mrinv::{invert, lu, InversionConfig, Optimizations, PipelineDriver, RunId};
+use mrinv::{InversionConfig, Optimizations, PipelineDriver, Request, RunId};
 use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel};
 use mrinv_matrix::norms::inversion_residual;
 use mrinv_matrix::random::{random_invertible, random_well_conditioned};
@@ -29,8 +29,11 @@ fn inversion_accuracy_across_shapes() {
     ] {
         let cluster = unit_cluster(m0);
         let a = random_well_conditioned(n, (n * m0) as u64);
-        let out = invert(&cluster, &a, &InversionConfig::with_nb(nb)).unwrap();
-        let res = inversion_residual(&a, &out.inverse).unwrap();
+        let out = Request::invert(&a)
+            .config(&InversionConfig::with_nb(nb))
+            .submit(&cluster)
+            .unwrap();
+        let res = inversion_residual(&a, out.inverse().unwrap()).unwrap();
         assert!(
             res < PAPER_ACCURACY,
             "n={n} nb={nb} m0={m0}: residual {res}"
@@ -44,8 +47,11 @@ fn pivoting_matrices_require_and_survive_row_swaps() {
     for seed in 0..3 {
         let cluster = unit_cluster(4);
         let a = random_invertible(48, 1000 + seed);
-        let out = invert(&cluster, &a, &InversionConfig::with_nb(12)).unwrap();
-        let res = inversion_residual(&a, &out.inverse).unwrap();
+        let out = Request::invert(&a)
+            .config(&InversionConfig::with_nb(12))
+            .submit(&cluster)
+            .unwrap();
+        let res = inversion_residual(&a, out.inverse().unwrap()).unwrap();
         assert!(res < 1e-6, "seed {seed}: residual {res}");
     }
 }
@@ -56,7 +62,10 @@ fn job_pipeline_length_matches_table3_structure() {
     for &(n, nb, expect) in &[(64usize, 16usize, 5u64), (128, 16, 9), (256, 16, 17)] {
         let cluster = unit_cluster(4);
         let a = random_well_conditioned(n, n as u64);
-        let out = invert(&cluster, &a, &InversionConfig::with_nb(nb)).unwrap();
+        let out = Request::invert(&a)
+            .config(&InversionConfig::with_nb(nb))
+            .submit(&cluster)
+            .unwrap();
         assert_eq!(out.report.jobs, expect, "n={n} nb={nb}");
         assert_eq!(out.report.jobs, mrinv::schedule::total_jobs(n, nb));
     }
@@ -84,7 +93,11 @@ fn partitioned_layout_reassembles_and_feeds_lu() {
 fn lu_stage_factors_reconstruct_pa() {
     let cluster = unit_cluster(4);
     let a = random_invertible(96, 13);
-    let out = lu(&cluster, &a, &InversionConfig::with_nb(24)).unwrap();
+    let out = Request::lu(&a)
+        .config(&InversionConfig::with_nb(24))
+        .submit(&cluster)
+        .unwrap()
+        .into_factors();
     let pa = out.perm.apply_rows(&a);
     let lu_prod = &out.l * &out.u;
     assert!(lu_prod.approx_eq(&pa, 1e-7));
@@ -112,7 +125,13 @@ fn optimization_toggles_preserve_numerics_exactly() {
                     block_wrap: wrap,
                     transpose_u: tr,
                 };
-                results.push(invert(&cluster, &a, &cfg).unwrap().inverse);
+                results.push(
+                    Request::invert(&a)
+                        .config(&cfg)
+                        .submit(&cluster)
+                        .unwrap()
+                        .into_inverse(),
+                );
             }
         }
     }
@@ -130,7 +149,10 @@ fn dfs_retains_result_files_for_downstream_jobs() {
     // MapReduce job in the workflow.
     let cluster = unit_cluster(4);
     let a = random_well_conditioned(32, 3);
-    let _ = invert(&cluster, &a, &InversionConfig::with_nb(8)).unwrap();
+    let _ = Request::invert(&a)
+        .config(&InversionConfig::with_nb(8))
+        .submit(&cluster)
+        .unwrap();
     let result_files: Vec<String> = cluster
         .dfs
         .list("")
@@ -158,7 +180,10 @@ fn io_accounting_tracks_table1_scaling() {
     let run_writes = |n: usize| {
         let cluster = unit_cluster(4);
         let a = random_well_conditioned(n, n as u64);
-        let out = lu(&cluster, &a, &InversionConfig::with_nb(n / 4)).unwrap();
+        let out = Request::lu(&a)
+            .config(&InversionConfig::with_nb(n / 4))
+            .submit(&cluster)
+            .unwrap();
         out.report.dfs_bytes_written as f64
     };
     let w64 = run_writes(64);
@@ -183,11 +208,15 @@ fn simulated_time_decreases_with_more_nodes() {
     cfg8.nodes = 8;
     let a = random_well_conditioned(128, 5);
     let icfg = InversionConfig::with_nb(32);
-    let t1 = invert(&Cluster::new(cfg1), &a, &icfg)
+    let t1 = Request::invert(&a)
+        .config(&icfg)
+        .submit(&Cluster::new(cfg1))
         .unwrap()
         .report
         .sim_secs;
-    let t8 = invert(&Cluster::new(cfg8), &a, &icfg)
+    let t8 = Request::invert(&a)
+        .config(&icfg)
+        .submit(&Cluster::new(cfg8))
         .unwrap()
         .report
         .sim_secs;

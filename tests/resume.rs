@@ -2,7 +2,7 @@
 //! job prefix resumes from the manifest to a bit-identical inverse, with
 //! exactly the killed prefix restored and only the remainder re-executed.
 
-use mrinv::{invert, invert_run, Checkpoint, CoreError, InversionConfig, RunId};
+use mrinv::{CoreError, InversionConfig, Request, RunId};
 use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel, ManifestRecord, MrError};
 use mrinv_matrix::random::random_well_conditioned;
 use proptest::prelude::*;
@@ -15,21 +15,25 @@ fn unit_cluster(m0: usize) -> Cluster {
 
 /// Kills a checkpointed inversion after `k` jobs, resumes it on the same
 /// cluster, and returns the resumed output.
-fn kill_and_resume(
-    a: &mrinv_matrix::Matrix,
-    cfg: &InversionConfig,
-    k: u64,
-) -> mrinv::InverseOutput {
+fn kill_and_resume(a: &mrinv_matrix::Matrix, cfg: &InversionConfig, k: u64) -> mrinv::Outcome {
     let cluster = unit_cluster(4);
     cluster.faults.kill_driver_after(k);
     let run = RunId::new("accept/resume");
-    let err = invert_run(&cluster, a, cfg, &run, Checkpoint::Enabled).unwrap_err();
+    let err = Request::invert(a)
+        .config(cfg)
+        .checkpoint(&run)
+        .submit(&cluster)
+        .unwrap_err();
     assert_eq!(
         err,
         CoreError::MapReduce(MrError::DriverKilled { after_jobs: k }),
         "kill after {k}"
     );
-    invert_run(&cluster, a, cfg, &run, Checkpoint::Resume).unwrap()
+    Request::invert(a)
+        .config(cfg)
+        .resume(&run)
+        .submit(&cluster)
+        .unwrap()
 }
 
 #[test]
@@ -38,7 +42,10 @@ fn every_kill_point_resumes_bit_identically() {
     let (n, nb) = (64, 4);
     let a = random_well_conditioned(n, 17);
     let cfg = InversionConfig::with_nb(nb);
-    let baseline = invert(&unit_cluster(4), &a, &cfg).unwrap();
+    let baseline = Request::invert(&a)
+        .config(&cfg)
+        .submit(&unit_cluster(4))
+        .unwrap();
     let total = baseline.report.jobs;
     assert_eq!(total, 17);
     assert_eq!(total, mrinv::schedule::total_jobs(n, nb));
@@ -46,7 +53,10 @@ fn every_kill_point_resumes_bit_identically() {
     for k in 1..=total {
         let out = kill_and_resume(&a, &cfg, k);
         assert_eq!(
-            out.inverse.max_abs_diff(&baseline.inverse).unwrap(),
+            out.inverse()
+                .unwrap()
+                .max_abs_diff(baseline.inverse().unwrap())
+                .unwrap(),
             0.0,
             "kill after {k}: the recovered inverse must be bit-identical"
         );
@@ -65,10 +75,24 @@ fn checkpointing_changes_nothing_about_an_uninterrupted_run() {
     let a = random_well_conditioned(48, 7);
     let cfg = InversionConfig::with_nb(12);
     let run = RunId::new("equiv");
-    let off = invert_run(&unit_cluster(4), &a, &cfg, &run, Checkpoint::Disabled).unwrap();
-    let on = invert_run(&unit_cluster(4), &a, &cfg, &run, Checkpoint::Enabled).unwrap();
+    let off = Request::invert(&a)
+        .config(&cfg)
+        .workdir(&run)
+        .submit(&unit_cluster(4))
+        .unwrap();
+    let on = Request::invert(&a)
+        .config(&cfg)
+        .checkpoint(&run)
+        .submit(&unit_cluster(4))
+        .unwrap();
 
-    assert_eq!(on.inverse.max_abs_diff(&off.inverse).unwrap(), 0.0);
+    assert_eq!(
+        on.inverse()
+            .unwrap()
+            .max_abs_diff(off.inverse().unwrap())
+            .unwrap(),
+        0.0
+    );
     // Report for report on every deterministic field (simulated times are
     // derived from measured CPU and may differ between any two runs; the
     // manifest itself is written outside the I/O accounting).
@@ -91,7 +115,11 @@ fn resume_without_a_manifest_names_the_missing_path() {
     let a = random_well_conditioned(16, 3);
     let cfg = InversionConfig::with_nb(4);
     let run = RunId::new("never-ran");
-    let err = invert_run(&cluster, &a, &cfg, &run, Checkpoint::Resume).unwrap_err();
+    let err = Request::invert(&a)
+        .config(&cfg)
+        .resume(&run)
+        .submit(&cluster)
+        .unwrap_err();
     match err {
         CoreError::MapReduce(MrError::FileNotFound {
             path,
@@ -111,11 +139,18 @@ fn resume_without_a_manifest_names_the_missing_path() {
 fn a_deleted_output_forces_rerun_from_that_job() {
     let a = random_well_conditioned(32, 11);
     let cfg = InversionConfig::with_nb(8);
-    let baseline = invert(&unit_cluster(4), &a, &cfg).unwrap();
+    let baseline = Request::invert(&a)
+        .config(&cfg)
+        .submit(&unit_cluster(4))
+        .unwrap();
 
     let cluster = unit_cluster(4);
     let run = RunId::new("damaged");
-    let full = invert_run(&cluster, &a, &cfg, &run, Checkpoint::Enabled).unwrap();
+    let full = Request::invert(&a)
+        .config(&cfg)
+        .checkpoint(&run)
+        .submit(&cluster)
+        .unwrap();
     assert_eq!(full.report.jobs, 5);
 
     // Damage a recorded output of the third job (seq 2): replay must stop
@@ -134,13 +169,23 @@ fn a_deleted_output_forces_rerun_from_that_job() {
         .clone();
     assert!(cluster.dfs.delete(&victim));
 
-    let out = invert_run(&cluster, &a, &cfg, &run, Checkpoint::Resume).unwrap();
+    let out = Request::invert(&a)
+        .config(&cfg)
+        .resume(&run)
+        .submit(&cluster)
+        .unwrap();
     assert_eq!(
         out.report.restored_jobs, 2,
         "only the jobs before the damaged one restore"
     );
     assert_eq!(out.report.jobs, 3);
-    assert_eq!(out.inverse.max_abs_diff(&baseline.inverse).unwrap(), 0.0);
+    assert_eq!(
+        out.inverse()
+            .unwrap()
+            .max_abs_diff(baseline.inverse().unwrap())
+            .unwrap(),
+        0.0
+    );
 }
 
 proptest! {
@@ -157,11 +202,11 @@ proptest! {
         let k = k_pick % total + 1;
         let a = random_well_conditioned(n, seed);
         let cfg = InversionConfig::with_nb(nb);
-        let baseline = invert(&unit_cluster(4), &a, &cfg).unwrap();
+        let baseline = Request::invert(&a).config(&cfg).submit(&unit_cluster(4)).unwrap();
         prop_assert_eq!(baseline.report.jobs, total);
 
         let out = kill_and_resume(&a, &cfg, k);
-        prop_assert_eq!(out.inverse.max_abs_diff(&baseline.inverse).unwrap(), 0.0);
+        prop_assert_eq!(out.inverse().unwrap().max_abs_diff(baseline.inverse().unwrap()).unwrap(), 0.0);
         prop_assert_eq!(out.report.restored_jobs, k);
         prop_assert_eq!(out.report.jobs, total - k);
     }

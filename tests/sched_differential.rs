@@ -7,7 +7,7 @@
 //! group content shows up as a different output value, not a tolerance
 //! miss.
 
-use mrinv::{invert_run, Checkpoint, InversionConfig, RunId};
+use mrinv::{InversionConfig, Request, RunId};
 use mrinv_mapreduce::job::{JobSpec, MapContext, Mapper, ReduceContext, Reducer};
 use mrinv_mapreduce::runner::run_job;
 use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel, ManifestRecord, SchedulingMode};
@@ -157,12 +157,16 @@ fn acceptance_pipeline_is_bit_identical_across_scheduling_modes() {
         cfg.cost = CostModel::unit_for_tests();
         cfg.scheduling = mode;
         let cluster = Cluster::new(cfg);
-        let out = invert_run(&cluster, &a, &inv_cfg, &run, Checkpoint::Enabled).unwrap();
+        let out = Request::invert(&a)
+            .config(&inv_cfg)
+            .checkpoint(&run)
+            .submit(&cluster)
+            .unwrap();
         assert_eq!(out.report.jobs, 17);
         let fingerprints = manifest_fingerprints(&cluster, &run);
         assert_eq!(fingerprints.len(), 17);
         results.push((
-            encode_binary(&out.inverse),
+            encode_binary(out.inverse().unwrap()),
             fingerprints,
             cluster.sim_secs(),
         ));

@@ -5,7 +5,7 @@
 
 use mrinv::schedule::{factor_file_count, job_plan, recursion_depth, total_jobs, PlannedJob};
 use mrinv::theory;
-use mrinv::{invert, lu, InversionConfig};
+use mrinv::{InversionConfig, Request};
 use mrinv_mapreduce::cluster::factor_pair;
 use mrinv_mapreduce::{Cluster, ClusterConfig, CostModel, TracePhase};
 use mrinv_matrix::random::random_well_conditioned;
@@ -28,7 +28,10 @@ fn executed_jobs_match_plan_for_the_scaled_suite() {
     ] {
         let cluster = unit_cluster(4);
         let a = random_well_conditioned(n, n as u64);
-        let out = invert(&cluster, &a, &InversionConfig::with_nb(nb)).unwrap();
+        let out = Request::invert(&a)
+            .config(&InversionConfig::with_nb(nb))
+            .submit(&cluster)
+            .unwrap();
         assert_eq!(out.report.jobs, expect, "n={n}");
         assert_eq!(job_plan(n, nb).len() as u64, expect);
     }
@@ -54,7 +57,10 @@ fn factor_file_count_matches_execution() {
     let nb = 16;
     let cluster = unit_cluster(m0);
     let a = random_well_conditioned(n, 1);
-    let _ = lu(&cluster, &a, &InversionConfig::with_nb(nb)).unwrap();
+    let _ = Request::lu(&a)
+        .config(&InversionConfig::with_nb(nb))
+        .submit(&cluster)
+        .unwrap();
     let l_files = cluster
         .dfs
         .list("")
@@ -76,7 +82,10 @@ fn measured_lu_writes_track_table1() {
     let n = 128;
     let cluster = unit_cluster(4);
     let a = random_well_conditioned(n, 2);
-    let out = lu(&cluster, &a, &InversionConfig::with_nb(16)).unwrap();
+    let out = Request::lu(&a)
+        .config(&InversionConfig::with_nb(16))
+        .submit(&cluster)
+        .unwrap();
     let measured_elements = out.report.dfs_bytes_written as f64 / 8.0;
     let theory = theory::table1_ours(n, 4).writes;
     let ratio = measured_elements / theory;
@@ -93,9 +102,15 @@ fn measured_inversion_writes_track_table2() {
     let n = 128;
     let cluster = unit_cluster(4);
     let a = random_well_conditioned(n, 3);
-    let lu_out = lu(&cluster, &a, &InversionConfig::with_nb(16)).unwrap();
+    let lu_out = Request::lu(&a)
+        .config(&InversionConfig::with_nb(16))
+        .submit(&cluster)
+        .unwrap();
     let before = cluster.dfs.counters().bytes_written;
-    let out = invert(&cluster, &a, &InversionConfig::with_nb(16)).unwrap();
+    let out = Request::invert(&a)
+        .config(&InversionConfig::with_nb(16))
+        .submit(&cluster)
+        .unwrap();
     let _ = (lu_out, before);
     // Total (LU + final) writes: LU stage ~2.6 n^2 plus the final stage's
     // L^-1, U^-1, and result blocks (~3 n^2) — all O(n^2), never O(n^3).
@@ -126,7 +141,10 @@ fn measured_transfer_matches_tables_1_and_2_closed_forms() {
     cfg.tracing = true;
     let cluster = Cluster::new(cfg);
     let a = random_well_conditioned(n, 7);
-    let out = invert(&cluster, &a, &InversionConfig::with_nb(nb)).unwrap();
+    let out = Request::invert(&a)
+        .config(&InversionConfig::with_nb(nb))
+        .submit(&cluster)
+        .unwrap();
 
     let stage_transfer = |prefix: &str| -> f64 {
         cluster

@@ -129,7 +129,10 @@ fn traced_n64_events() -> Vec<TaskEvent> {
     cfg.tracing = true;
     let cluster = Cluster::new(cfg);
     let a = random_well_conditioned(64, 42);
-    mrinv::invert(&cluster, &a, &InversionConfig::with_nb(4)).unwrap();
+    mrinv::Request::invert(&a)
+        .config(&InversionConfig::with_nb(4))
+        .submit(&cluster)
+        .unwrap();
     cluster.trace.events()
 }
 
